@@ -1,0 +1,142 @@
+// Concurrent build: the paper's motivating scenario. An OLTP workload keeps
+// inserting, deleting and updating rows while an index is built three ways —
+// offline (updates block for the whole build), NSF and SF (updates continue)
+// — and the example reports the update throughput and worst stall each way.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"onlineindex"
+)
+
+const tableRows = 30_000
+
+func main() {
+	for _, method := range []onlineindex.BuildMethod{onlineindex.Offline, onlineindex.NSF, onlineindex.SF} {
+		runScenario(method)
+	}
+}
+
+func runScenario(method onlineindex.BuildMethod) {
+	db, err := onlineindex.Open(onlineindex.Config{PoolSize: 4096})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.CreateTable("events", onlineindex.Schema{
+		{Name: "id", Kind: onlineindex.KindInt64},
+		{Name: "tag", Kind: onlineindex.KindString},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Populate.
+	rids := make([]onlineindex.RID, 0, tableRows)
+	for i := 0; i < tableRows; i++ {
+		tx := db.Begin()
+		rid, err := db.Insert(tx, "events", row(int64(i)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			log.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+
+	// OLTP workload: 4 workers hammering the table.
+	stop := make(chan struct{})
+	var commits atomic.Uint64
+	var maxStall atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			mine := append([]onlineindex.RID(nil), rids[w*len(rids)/4:(w+1)*len(rids)/4]...)
+			next := int64(1_000_000 * (w + 1))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				begin := time.Now()
+				tx := db.Begin()
+				var err error
+				switch rng.Intn(3) {
+				case 0:
+					next++
+					var rid onlineindex.RID
+					rid, err = db.Insert(tx, "events", row(next))
+					if err == nil {
+						mine = append(mine, rid)
+					}
+				case 1:
+					if len(mine) > 0 {
+						k := rng.Intn(len(mine))
+						err = db.Delete(tx, "events", mine[k])
+						if err == nil {
+							mine = append(mine[:k], mine[k+1:]...)
+						}
+					}
+				default:
+					if len(mine) > 0 {
+						k := rng.Intn(len(mine))
+						next++
+						var nr onlineindex.RID
+						nr, err = db.Update(tx, "events", mine[k], row(next))
+						if err == nil {
+							mine[k] = nr
+						}
+					}
+				}
+				if err != nil {
+					log.Fatalf("workload: %v", err)
+				}
+				if err := tx.Commit(); err != nil {
+					log.Fatalf("commit: %v", err)
+				}
+				commits.Add(1)
+				if d := int64(time.Since(begin)); d > maxStall.Load() {
+					maxStall.Store(d)
+				}
+			}
+		}(w)
+	}
+
+	// Build the index while the workload runs.
+	buildStart := time.Now()
+	res, err := db.BuildIndex(onlineindex.IndexSpec{
+		Name: "events_by_tag", Table: "events", Columns: []string{"tag"}, Method: method,
+	}, onlineindex.BuildOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	buildDur := time.Since(buildStart)
+	close(stop)
+	wg.Wait()
+
+	if err := db.CheckIndexConsistency("events_by_tag"); err != nil {
+		log.Fatalf("%s: index inconsistent: %v", method, err)
+	}
+
+	tps := float64(commits.Load()) / buildDur.Seconds()
+	fmt.Printf("%-8s build %6.0fms | txn commits during build: %6d (%7.0f/s) | worst txn stall: %6.0fms | side-file: %d entries\n",
+		method, buildDur.Seconds()*1000, commits.Load(), tps,
+		time.Duration(maxStall.Load()).Seconds()*1000, res.Stats.SideFileLen)
+}
+
+func row(id int64) onlineindex.Row {
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return onlineindex.Row{
+		onlineindex.Int64(id),
+		onlineindex.String(fmt.Sprintf("tag-%016x", h)),
+	}
+}

@@ -1,0 +1,3 @@
+module onlineindex
+
+go 1.22

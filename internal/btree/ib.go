@@ -1,0 +1,296 @@
+package btree
+
+import (
+	"fmt"
+
+	"onlineindex/internal/buffer"
+	"onlineindex/internal/latch"
+	"onlineindex/internal/rm"
+	"onlineindex/internal/types"
+	"onlineindex/internal/wal"
+)
+
+// IBCursor remembers the leaf the index builder last inserted into, "as in
+// ARIES/IM ... by remembering the path from the root to the leaf and
+// exploiting that information during a subsequent call" (§2.2.3). Because IB
+// feeds keys in ascending order, the remembered leaf is almost always right;
+// validation is purely local (the key must fall inside the leaf's occupied
+// range, or beyond it on the rightmost leaf), falling back to a full descent
+// otherwise.
+type IBCursor struct {
+	leaf  types.PageNum
+	valid bool
+}
+
+// Invalidate drops the remembered position.
+func (c *IBCursor) Invalidate() { c.valid = false }
+
+// IBInsertResult reports one IB batch call's effects.
+type IBInsertResult struct {
+	Inserted int // entries actually added
+	Skipped  int // entries rejected as already present (any state)
+}
+
+// IBInsertBatch inserts the (ascending, deduplicated) entries under the NSF
+// index builder rules (§2.2.3):
+//
+//   - an entry identical to one already in the index — live or
+//     pseudo-deleted — is skipped without logging ("if IB's insert is
+//     rejected because of duplication, then no log record is written by IB");
+//   - inserted entries are logged in multi-key TypeIdxMultiInsert records,
+//     one per touched leaf per call;
+//   - splits triggered by IB use the specialised cut-at-insert-position
+//     split;
+//   - for a unique index, an existing entry with the same key value but a
+//     different RID stops the batch: the caller must run the §2.2.3
+//     commit-verification protocol on both records before deciding whether
+//     the build fails. The conflict's index within ents is returned.
+//
+// The batch must be sorted ascending by (key, RID); IB's sorted stream
+// guarantees that.
+func (t *Tree) IBInsertBatch(tl rm.TxnLogger, ents []Entry, cur *IBCursor) (IBInsertResult, *UniqueConflict, int, error) {
+	var res IBInsertResult
+	i := 0
+	for i < len(ents) {
+		n, conflict, err := t.ibInsertSome(tl, ents[i:], cur, &res)
+		if err != nil {
+			return res, nil, 0, err
+		}
+		if conflict != nil {
+			return res, conflict, i + n, nil
+		}
+		i += n
+	}
+	return res, nil, 0, nil
+}
+
+// ibInsertSome inserts a prefix of ents into one leaf (one latch window, one
+// log record) and returns how many entries were consumed. A returned
+// UniqueConflict consumed `n` entries before stopping at ents[n].
+func (t *Tree) ibInsertSome(tl rm.TxnLogger, ents []Entry, cur *IBCursor, res *IBInsertResult) (int, *UniqueConflict, error) {
+	if t.unique {
+		// Unique trees serialize inserts; see tryInsertUnique.
+		n, conflict, err := t.ibInsertUniqueOne(tl, ents[0], res)
+		return n, conflict, err
+	}
+
+	for attempt := 0; ; attempt++ {
+		if attempt > 64 {
+			return 0, nil, fmt.Errorf("btree: IB insert retry livelock")
+		}
+		n, needSplit, err := t.ibTryLeafBatch(tl, ents, cur, res)
+		if err != nil {
+			return 0, nil, err
+		}
+		if !needSplit {
+			return n, nil, nil
+		}
+		if n > 0 {
+			return n, nil, nil // made progress; next call resumes
+		}
+		if err := t.makeRoom(tl, ents[0].Key, ents[0].RID, true); err != nil {
+			return 0, nil, err
+		}
+		cur.Invalidate()
+	}
+}
+
+// ibTryLeafBatch locates the leaf for ents[0] (via the cursor when possible)
+// and inserts as many consecutive entries as belong to that leaf and fit.
+func (t *Tree) ibTryLeafBatch(tl rm.TxnLogger, ents []Entry, cur *IBCursor, res *IBInsertResult) (consumed int, needSplit bool, err error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+
+	first := ents[0]
+	var leafF *frameNodePair
+	if cur.valid {
+		f, n, err := t.fetchLatched(cur.leaf, latch.X)
+		if err != nil {
+			return 0, false, err
+		}
+		if t.cursorValidFor(n, first.Key, first.RID) {
+			t.Stats.FastPathHits.Add(1)
+			leafF = &frameNodePair{f, n}
+		} else {
+			t.release(f, latch.X)
+			cur.valid = false
+		}
+	}
+	if leafF == nil {
+		f, n, err := t.descend(first.Key, first.RID, latch.X)
+		if err != nil {
+			return 0, false, err
+		}
+		leafF = &frameNodePair{f, n}
+	}
+	f, n := leafF.f, leafF.n
+	defer t.release(f, latch.X)
+
+	var batch []Entry
+	for bi, e := range ents {
+		i, exact := n.searchLeaf(e.Key, e.RID)
+		if exact {
+			res.Skipped++
+			t.Stats.IBSkips.Add(1)
+			consumed++
+			continue
+		}
+		if bi > 0 && i == len(n.entries) && n.next != NoPage {
+			// A later batch entry past the leaf's occupied range may belong
+			// to a successor leaf: stop this window and re-descend for it.
+			// (The FIRST entry is exempt: the descent/cursor validation
+			// located this leaf for it, so an at-the-end position is simply
+			// an insert into the leaf's range gap.)
+			break
+		}
+		if !n.hasRoomEntry(e.Key, t.budget) {
+			needSplit = true
+			break
+		}
+		n.insertEntryAt(i, Entry{Key: e.Key, RID: e.RID})
+		batch = append(batch, Entry{Key: e.Key, RID: e.RID})
+		res.Inserted++
+		t.Stats.Inserts.Add(1)
+		consumed++
+	}
+	if len(batch) > 0 {
+		pl := MultiInsertPayload{Entries: batch}
+		lsn, err := tl.Log(&wal.Record{
+			Type: wal.TypeIdxMultiInsert, Flags: wal.FlagRedo | wal.FlagUndo,
+			PageID: f.ID, Payload: pl.Encode(),
+		})
+		if err != nil {
+			return consumed, false, err
+		}
+		f.MarkDirty(lsn)
+		cur.leaf, cur.valid = f.ID.Page, true
+	}
+	return consumed, needSplit, nil
+}
+
+type frameNodePair struct {
+	f *buffer.Frame
+	n *Node
+}
+
+// cursorValidFor reports whether the remembered leaf is provably correct for
+// (key, rid): the key falls within the leaf's occupied entry range, or past
+// its end when the leaf is rightmost. (A key past the end of a non-rightmost
+// leaf might belong to a successor, so the fast path declines.)
+func (t *Tree) cursorValidFor(n *Node, key []byte, rid types.RID) bool {
+	if !n.leaf || len(n.entries) == 0 {
+		return false
+	}
+	first, last := n.entries[0], n.entries[len(n.entries)-1]
+	if CompareEntry(key, rid, first.Key, first.RID) < 0 {
+		return false
+	}
+	if CompareEntry(key, rid, last.Key, last.RID) <= 0 {
+		return true
+	}
+	return n.next == NoPage
+}
+
+// ibInsertUniqueOne inserts a single entry under the unique rules. Unlike a
+// transaction insert, an exact duplicate (either state) is skipped silently,
+// and any same-key-value entry under a different RID is a conflict for the
+// caller to verify — including a pseudo-deleted one, because IB must check
+// that both records involved are committed (§2.2.3).
+func (t *Tree) ibInsertUniqueOne(tl rm.TxnLogger, e Entry, res *IBInsertResult) (int, *UniqueConflict, error) {
+	for attempt := 0; ; attempt++ {
+		if attempt > 64 {
+			return 0, nil, fmt.Errorf("btree: IB unique insert retry livelock")
+		}
+		r, conflict, needSplit, err := t.tryInsert(tl, e.Key, e.RID, false, true)
+		if err != nil {
+			return 0, nil, err
+		}
+		if conflict != nil {
+			return 0, conflict, nil
+		}
+		if needSplit {
+			if err := t.makeRoom(tl, e.Key, e.RID, true); err != nil {
+				return 0, nil, err
+			}
+			continue
+		}
+		if r == Inserted {
+			res.Inserted++
+		} else {
+			res.Skipped++
+		}
+		return 1, nil, nil
+	}
+}
+
+// GCResult summarizes a garbage-collection pass (§2.2.4).
+type GCResult struct {
+	Scanned   int // leaf pages visited
+	Examined  int // pseudo-deleted entries seen
+	Collected int // entries physically removed
+	Skipped   int // entries whose delete was possibly uncommitted
+}
+
+// GC physically removes committed pseudo-deleted keys, following §2.2.4:
+// "Scan the leaf pages. For each page, latch the page and check if there are
+// any pseudo-deleted keys. If there are, then apply the Commit_LSN check. If
+// it is successful, then garbage collect those keys; otherwise, for each
+// pseudo-deleted key, request a conditional instant share lock on it. If the
+// lock is granted, then delete the key; otherwise, skip it since the key's
+// deletion is probably uncommitted."
+//
+// pageCommitted receives the page's LSN and implements the Commit_LSN check
+// (may be nil to always fall through to per-key checks); keyCommitted
+// implements the conditional instant lock (must not block).
+func (t *Tree) GC(tl rm.TxnLogger, pageCommitted func(types.LSN) bool, keyCommitted func(key []byte, rid types.RID) bool) (GCResult, error) {
+	var res GCResult
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+
+	f, n, err := t.descend(nil, types.RID{}, latch.X)
+	if err != nil {
+		return res, err
+	}
+	for {
+		res.Scanned++
+		wholePage := pageCommitted != nil && pageCommitted(n.PageLSN())
+		for i := 0; i < len(n.entries); {
+			e := n.entries[i]
+			if !e.Pseudo {
+				i++
+				continue
+			}
+			res.Examined++
+			if !wholePage && (keyCommitted == nil || !keyCommitted(e.Key, e.RID)) {
+				res.Skipped++
+				i++
+				continue
+			}
+			pl := EntryPayload{Key: e.Key, RID: e.RID, Pseudo: true}
+			lsn, err := tl.Log(&wal.Record{
+				Type: wal.TypeIdxDelete, Flags: wal.FlagRedo | wal.FlagUndo,
+				PageID: f.ID, Payload: pl.Encode(),
+			})
+			if err != nil {
+				t.release(f, latch.X)
+				return res, err
+			}
+			n.removeEntryAt(i)
+			f.MarkDirty(lsn)
+			res.Collected++
+			t.Stats.Removes.Add(1)
+		}
+		next := n.next
+		if next == NoPage {
+			t.release(f, latch.X)
+			return res, nil
+		}
+		nf, nn, err := t.fetchLatched(next, latch.X)
+		if err != nil {
+			t.release(f, latch.X)
+			return res, err
+		}
+		t.release(f, latch.X)
+		f, n = nf, nn
+	}
+}

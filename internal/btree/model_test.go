@@ -1,0 +1,149 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"onlineindex/internal/rm"
+	"onlineindex/internal/types"
+)
+
+// entryState mirrors one tree entry in the reference model.
+type entryState struct {
+	present bool
+	pseudo  bool
+}
+
+// TestModelRandomOps drives the tree with a long random operation sequence
+// and checks it against a plain-map reference model after every batch,
+// exercising every entry-level state transition the paper's algorithms rely
+// on (insert, duplicate rejection, pseudo-delete, tombstone insert,
+// reactivation, physical remove, the IB batch rules) together with the
+// structural invariants.
+func TestModelRandomOps(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			_, log, _, tr := newTree(t, false, smallBudget)
+			tl := &rm.SimpleLogger{L: log, Txn: 1}
+			ib := &rm.SimpleLogger{L: log, Txn: 2}
+			rng := rand.New(rand.NewSource(seed))
+
+			const keySpace = 400
+			model := make(map[int]entryState, keySpace)
+			key := func(i int) []byte { return keyOf(i) }
+			rid := func(i int) types.RID { return ridOf(i) }
+
+			for step := 0; step < 4000; step++ {
+				i := rng.Intn(keySpace)
+				st := model[i]
+				switch rng.Intn(5) {
+				case 0: // transaction insert
+					res, conflict, err := tr.TxnInsert(tl, key(i), rid(i))
+					if err != nil || conflict != nil {
+						t.Fatalf("step %d insert: %v %v", step, err, conflict)
+					}
+					switch {
+					case !st.present && res != Inserted:
+						t.Fatalf("step %d: insert of absent key = %v", step, res)
+					case st.present && st.pseudo && res != Reactivated:
+						t.Fatalf("step %d: insert over pseudo = %v", step, res)
+					case st.present && !st.pseudo && res != AlreadyPresent:
+						t.Fatalf("step %d: duplicate insert = %v", step, res)
+					}
+					model[i] = entryState{present: true}
+				case 1: // transaction delete
+					out, err := tr.TxnPseudoDelete(tl, key(i), rid(i))
+					if err != nil {
+						t.Fatalf("step %d delete: %v", step, err)
+					}
+					switch {
+					case !st.present && out != DeleteTombstoned:
+						t.Fatalf("step %d: delete of absent key = %v", step, out)
+					case st.present && st.pseudo && out != DeleteAlreadyPseudo:
+						t.Fatalf("step %d: delete of pseudo = %v", step, out)
+					case st.present && !st.pseudo && out != DeleteMarked:
+						t.Fatalf("step %d: delete of live = %v", step, out)
+					}
+					model[i] = entryState{present: true, pseudo: true}
+				case 2: // IB batch insert (ascending run of a few keys)
+					var ents []Entry
+					base := rng.Intn(keySpace - 8)
+					for j := base; j < base+rng.Intn(8)+1; j++ {
+						ents = append(ents, Entry{Key: key(j), RID: rid(j)})
+					}
+					cur := &IBCursor{}
+					res, conflict, _, err := tr.IBInsertBatch(ib, ents, cur)
+					if err != nil || conflict != nil {
+						t.Fatalf("step %d IB insert: %v %v", step, err, conflict)
+					}
+					wantInserted := 0
+					for j := range ents {
+						k := base + j
+						if !model[k].present {
+							model[k] = entryState{present: true}
+							wantInserted++
+						}
+					}
+					if res.Inserted != wantInserted {
+						t.Fatalf("step %d: IB inserted %d, model expects %d", step, res.Inserted, wantInserted)
+					}
+				case 3: // physical remove (GC / ReplaceRID path)
+					removed, err := tr.RemoveEntry(tl, key(i), rid(i))
+					if err != nil {
+						t.Fatalf("step %d remove: %v", step, err)
+					}
+					if removed != st.present {
+						t.Fatalf("step %d: removed=%v, model present=%v", step, removed, st.present)
+					}
+					delete(model, i)
+				case 4: // point lookup
+					found, pseudo, err := tr.SearchEntry(key(i), rid(i))
+					if err != nil {
+						t.Fatalf("step %d search: %v", step, err)
+					}
+					if found != st.present || (found && pseudo != st.pseudo) {
+						t.Fatalf("step %d: search=(%v,%v), model=%+v", step, found, pseudo, st)
+					}
+				}
+
+				if step%500 == 499 {
+					checkInvariants(t, tr)
+					verifyModel(t, tr, model)
+				}
+			}
+			checkInvariants(t, tr)
+			verifyModel(t, tr, model)
+		})
+	}
+}
+
+// verifyModel compares the full tree contents against the reference model.
+func verifyModel(t *testing.T, tr *Tree, model map[int]entryState) {
+	t.Helper()
+	got := make(map[string]bool) // key -> pseudo
+	if err := tr.ScanRange(nil, nil, func(e Entry) bool {
+		got[string(e.Key)] = e.Pseudo
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i, st := range model {
+		if !st.present {
+			continue
+		}
+		want++
+		pseudo, ok := got[string(keyOf(i))]
+		if !ok {
+			t.Fatalf("model key %d missing from tree", i)
+		}
+		if pseudo != st.pseudo {
+			t.Fatalf("model key %d pseudo=%v, tree=%v", i, st.pseudo, pseudo)
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("tree has %d entries, model has %d", len(got), want)
+	}
+}

@@ -1,0 +1,321 @@
+// Package btree implements the B+-tree index manager, following the parts of
+// ARIES/IM the paper builds on:
+//
+//   - Index entries are <key value, RID> pairs; a unique index allows at
+//     most one non-pseudo-deleted entry per key value (§1.1).
+//   - Every entry carries a 1-bit pseudo-deleted flag: deletes are logical
+//     ("this is done, for example, in the case of IMS indexes"), which lets
+//     deleters skip next-key locking and leaves the tombstones the NSF
+//     algorithm needs to win its races with the index builder (§2.1.2).
+//   - Entry-level changes are logged undo-redo (or undo-only for the
+//     "transaction found IB's key already present" case); page splits are
+//     redo-only nested top actions that are never undone — undo of an entry
+//     operation is logical, re-traversing from the root.
+//   - A multi-key insert interface and a remembered-path fast path keep the
+//     NSF index builder's insert phase cheap (§2.3.1), and a specialised
+//     split that moves only the keys higher than IB's insert point mimics a
+//     bottom-up build's clustering.
+//   - A bottom-up loader builds the tree without logging for the SF
+//     algorithm, with checkpoints (highest key + page count + rightmost
+//     path) that restart can truncate back to (§3.2.4).
+//
+// Concurrency: every operation runs under a tree latch in share mode with
+// page latches underneath (S on internal nodes while descending, X on the
+// leaves modified). Structure modifications (splits) retry the operation
+// under the tree latch in exclusive mode, so ordinary operations on
+// different leaves proceed in parallel and never deadlock: latch order is
+// root→leaf, left→right, and nobody waits for the exclusive tree latch
+// while holding a page latch.
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"onlineindex/internal/page"
+	"onlineindex/internal/types"
+)
+
+func init() {
+	page.Register(page.KindBTree, func() page.Page { return &Node{} })
+}
+
+// NoPage marks "no next leaf" in the leaf chain.
+const NoPage types.PageNum = ^types.PageNum(0)
+
+// Entry is one leaf entry: <key value, RID> plus the pseudo-deleted flag.
+type Entry struct {
+	Key    []byte
+	RID    types.RID
+	Pseudo bool
+}
+
+// CompareEntry orders entries by (key value, RID): the full-key ordering of
+// a nonunique index, where "the key must match completely (<key value, RID>)
+// for rejection".
+func CompareEntry(aKey []byte, aRID types.RID, bKey []byte, bRID types.RID) int {
+	if c := bytes.Compare(aKey, bKey); c != 0 {
+		return c
+	}
+	return aRID.Compare(bRID)
+}
+
+// sep is a separator in an internal node: the smallest (key, RID) reachable
+// through the child to its right.
+type sep struct {
+	key []byte
+	rid types.RID
+}
+
+// Node is a B+-tree page: leaf or internal.
+//
+// Internal layout: children[0..n] and seps[0..n-1]; child i+1 holds entries
+// >= seps[i], child i holds entries < seps[i].
+type Node struct {
+	page.Header
+	leaf bool
+
+	// leaf fields
+	entries []Entry
+	next    types.PageNum // right sibling (NoPage at the right edge)
+
+	// internal fields
+	seps     []sep
+	children []types.PageNum
+
+	used int // bytes the marshalled image needs
+}
+
+const nodeFixed = page.HeaderSize + 1 + 2 + 4 // header, isLeaf, count, next
+
+// NewLeaf returns an empty leaf node.
+func NewLeaf() *Node { return &Node{leaf: true, next: NoPage, used: nodeFixed} }
+
+// NewInternal returns an internal node with the given children and
+// separators (len(children) == len(seps)+1).
+func NewInternal(children []types.PageNum, seps []sep) *Node {
+	n := &Node{leaf: false, next: NoPage, children: children, seps: seps, used: nodeFixed}
+	n.used += 4 * len(children)
+	for _, s := range seps {
+		n.used += sepBytes(s.key)
+	}
+	return n
+}
+
+func entryBytes(key []byte) int { return 2 + len(key) + 10 + 1 } // len, key, rid, flags
+func sepBytes(key []byte) int   { return 2 + len(key) + 10 }
+
+// Kind implements page.Page.
+func (n *Node) Kind() page.Kind { return page.KindBTree }
+
+// IsLeaf reports whether the node is a leaf.
+func (n *Node) IsLeaf() bool { return n.leaf }
+
+// Next returns the right-sibling page of a leaf.
+func (n *Node) Next() types.PageNum { return n.next }
+
+// NumEntries returns the number of leaf entries (including pseudo-deleted).
+func (n *Node) NumEntries() int { return len(n.entries) }
+
+// EntryAt returns leaf entry i.
+func (n *Node) EntryAt(i int) Entry { return n.entries[i] }
+
+// NumChildren returns the number of children of an internal node.
+func (n *Node) NumChildren() int { return len(n.children) }
+
+// ChildAt returns child i of an internal node.
+func (n *Node) ChildAt(i int) types.PageNum { return n.children[i] }
+
+// UsedBytes returns the marshalled size the node currently needs.
+func (n *Node) UsedBytes() int { return n.used }
+
+// hasRoomEntry reports whether a leaf can absorb an entry with this key.
+func (n *Node) hasRoomEntry(key []byte, budget int) bool {
+	return n.used+entryBytes(key) <= budget
+}
+
+// hasRoomSep reports whether an internal node can absorb a separator+child.
+func (n *Node) hasRoomSep(key []byte, budget int) bool {
+	return n.used+sepBytes(key)+4 <= budget
+}
+
+// searchLeaf returns the index of the first entry >= (key, rid), and whether
+// that entry matches exactly.
+func (n *Node) searchLeaf(key []byte, rid types.RID) (int, bool) {
+	i := sort.Search(len(n.entries), func(i int) bool {
+		return CompareEntry(n.entries[i].Key, n.entries[i].RID, key, rid) >= 0
+	})
+	exact := i < len(n.entries) && CompareEntry(n.entries[i].Key, n.entries[i].RID, key, rid) == 0
+	return i, exact
+}
+
+// searchChild returns the child index to descend into for (key, rid).
+func (n *Node) searchChild(key []byte, rid types.RID) int {
+	return sort.Search(len(n.seps), func(i int) bool {
+		return CompareEntry(n.seps[i].key, n.seps[i].rid, key, rid) > 0
+	})
+}
+
+// insertEntryAt splices e into position i of a leaf.
+func (n *Node) insertEntryAt(i int, e Entry) {
+	n.entries = append(n.entries, Entry{})
+	copy(n.entries[i+1:], n.entries[i:])
+	n.entries[i] = Entry{Key: append([]byte(nil), e.Key...), RID: e.RID, Pseudo: e.Pseudo}
+	n.used += entryBytes(e.Key)
+}
+
+// removeEntryAt removes leaf entry i.
+func (n *Node) removeEntryAt(i int) {
+	n.used -= entryBytes(n.entries[i].Key)
+	n.entries = append(n.entries[:i], n.entries[i+1:]...)
+}
+
+// insertSepAt splices separator s and its right child at position i.
+func (n *Node) insertSepAt(i int, s sep, rightChild types.PageNum) {
+	n.seps = append(n.seps, sep{})
+	copy(n.seps[i+1:], n.seps[i:])
+	n.seps[i] = sep{key: append([]byte(nil), s.key...), rid: s.rid}
+	n.children = append(n.children, 0)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = rightChild
+	n.used += sepBytes(s.key) + 4
+}
+
+// MarshalPage implements page.Page.
+func (n *Node) MarshalPage() ([]byte, error) {
+	img := make([]byte, page.Size)
+	n.MarshalHeader(img, page.KindBTree)
+	off := page.HeaderSize
+	if n.leaf {
+		img[off] = 1
+	}
+	off++
+	binary.LittleEndian.PutUint32(img[off:], uint32(n.next))
+	off += 4
+	if n.leaf {
+		binary.LittleEndian.PutUint16(img[off:], uint16(len(n.entries)))
+		off += 2
+		for _, e := range n.entries {
+			need := entryBytes(e.Key)
+			if off+need > page.Size {
+				return nil, fmt.Errorf("btree: leaf overflow at %d bytes", off)
+			}
+			binary.LittleEndian.PutUint16(img[off:], uint16(len(e.Key)))
+			off += 2
+			copy(img[off:], e.Key)
+			off += len(e.Key)
+			off = putRID(img, off, e.RID)
+			if e.Pseudo {
+				img[off] = 1
+			}
+			off++
+		}
+		return img, nil
+	}
+	binary.LittleEndian.PutUint16(img[off:], uint16(len(n.seps)))
+	off += 2
+	for _, c := range n.children {
+		if off+4 > page.Size {
+			return nil, fmt.Errorf("btree: internal overflow at %d bytes", off)
+		}
+		binary.LittleEndian.PutUint32(img[off:], uint32(c))
+		off += 4
+	}
+	for _, s := range n.seps {
+		need := sepBytes(s.key)
+		if off+need > page.Size {
+			return nil, fmt.Errorf("btree: internal overflow at %d bytes", off)
+		}
+		binary.LittleEndian.PutUint16(img[off:], uint16(len(s.key)))
+		off += 2
+		copy(img[off:], s.key)
+		off += len(s.key)
+		off = putRID(img, off, s.rid)
+	}
+	return img, nil
+}
+
+// UnmarshalPage implements page.Page.
+func (n *Node) UnmarshalPage(img []byte) error {
+	if _, err := n.UnmarshalHeader(img); err != nil {
+		return err
+	}
+	off := page.HeaderSize
+	n.leaf = img[off] == 1
+	off++
+	n.next = types.PageNum(binary.LittleEndian.Uint32(img[off:]))
+	off += 4
+	count := int(binary.LittleEndian.Uint16(img[off:]))
+	off += 2
+	n.used = nodeFixed
+	n.entries, n.seps, n.children = nil, nil, nil
+	if n.leaf {
+		n.entries = make([]Entry, 0, count)
+		for i := 0; i < count; i++ {
+			if off+2 > len(img) {
+				return fmt.Errorf("btree: corrupt leaf (entry %d)", i)
+			}
+			kl := int(binary.LittleEndian.Uint16(img[off:]))
+			off += 2
+			if off+kl+11 > len(img) {
+				return fmt.Errorf("btree: corrupt leaf (entry %d key)", i)
+			}
+			key := append([]byte(nil), img[off:off+kl]...)
+			off += kl
+			var rid types.RID
+			rid, off = getRID(img, off)
+			pseudo := img[off] == 1
+			off++
+			n.entries = append(n.entries, Entry{Key: key, RID: rid, Pseudo: pseudo})
+			n.used += entryBytes(key)
+		}
+		return nil
+	}
+	n.children = make([]types.PageNum, 0, count+1)
+	for i := 0; i <= count; i++ {
+		if off+4 > len(img) {
+			return fmt.Errorf("btree: corrupt internal (child %d)", i)
+		}
+		n.children = append(n.children, types.PageNum(binary.LittleEndian.Uint32(img[off:])))
+		off += 4
+		n.used += 4
+	}
+	n.seps = make([]sep, 0, count)
+	for i := 0; i < count; i++ {
+		if off+2 > len(img) {
+			return fmt.Errorf("btree: corrupt internal (sep %d)", i)
+		}
+		kl := int(binary.LittleEndian.Uint16(img[off:]))
+		off += 2
+		if off+kl+10 > len(img) {
+			return fmt.Errorf("btree: corrupt internal (sep %d key)", i)
+		}
+		key := append([]byte(nil), img[off:off+kl]...)
+		off += kl
+		var rid types.RID
+		rid, off = getRID(img, off)
+		n.seps = append(n.seps, sep{key: key, rid: rid})
+		n.used += sepBytes(key)
+	}
+	return nil
+}
+
+func putRID(img []byte, off int, r types.RID) int {
+	binary.LittleEndian.PutUint32(img[off:], uint32(r.PageID.File))
+	binary.LittleEndian.PutUint32(img[off+4:], uint32(r.PageID.Page))
+	binary.LittleEndian.PutUint16(img[off+8:], uint16(r.Slot))
+	return off + 10
+}
+
+func getRID(img []byte, off int) (types.RID, int) {
+	r := types.RID{
+		PageID: types.PageID{
+			File: types.FileID(binary.LittleEndian.Uint32(img[off:])),
+			Page: types.PageNum(binary.LittleEndian.Uint32(img[off+4:])),
+		},
+		Slot: types.SlotNum(binary.LittleEndian.Uint16(img[off+8:])),
+	}
+	return r, off + 10
+}

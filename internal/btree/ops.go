@@ -1,0 +1,408 @@
+package btree
+
+import (
+	"errors"
+	"fmt"
+
+	"onlineindex/internal/buffer"
+	"onlineindex/internal/latch"
+	"onlineindex/internal/rm"
+	"onlineindex/internal/types"
+	"onlineindex/internal/wal"
+)
+
+// InsertResult describes the outcome of a transaction's key insert (§2.1.1):
+// the index manager "rejects insertion of a duplicate key", and the caller's
+// logging differs by outcome.
+type InsertResult int
+
+// Insert outcomes.
+const (
+	// Inserted: the entry was added; an undo-redo record was written.
+	Inserted InsertResult = iota
+	// AlreadyPresent: an identical non-pseudo entry existed (IB inserted it
+	// first); an undo-only record was written so rollback still deletes the
+	// key even though this transaction did not physically insert it.
+	AlreadyPresent
+	// Reactivated: an identical pseudo-deleted entry existed; its flag was
+	// cleared (the paper's example, step 8) with an undo-redo record.
+	Reactivated
+)
+
+func (r InsertResult) String() string {
+	switch r {
+	case Inserted:
+		return "Inserted"
+	case AlreadyPresent:
+		return "AlreadyPresent"
+	case Reactivated:
+		return "Reactivated"
+	default:
+		return fmt.Sprintf("InsertResult(%d)", int(r))
+	}
+}
+
+// UniqueConflict reports that a unique index already holds the key value
+// under a different RID. The caller (transaction or IB) resolves it with the
+// §2.2.3 protocol: lock the competing records, re-verify, and either fail
+// with a unique-violation, retry, or ReplaceRID a terminated pseudo entry.
+type UniqueConflict struct {
+	OtherRID types.RID
+	Pseudo   bool
+}
+
+func (u *UniqueConflict) Error() string {
+	return fmt.Sprintf("btree: unique conflict with entry at %s (pseudo=%v)", u.OtherRID, u.Pseudo)
+}
+
+// ErrTooManyDuplicates guards the bounded same-key-value walk.
+var ErrTooManyDuplicates = errors.New("btree: same-key-value run spans too many leaves")
+
+// maxRunLeaves bounds how many leaves a unique-insert duplicate check will
+// walk. A unique index holds at most one live entry per key value plus
+// pseudo-deleted tombstones, so a run this long means GC is badly overdue.
+const maxRunLeaves = 8
+
+// TxnInsert performs a transaction's key insert during forward processing
+// under the NSF rules. It writes the appropriate log record itself (see
+// InsertResult). A nil UniqueConflict means the operation completed.
+func (t *Tree) TxnInsert(tl rm.TxnLogger, key []byte, rid types.RID) (InsertResult, *UniqueConflict, error) {
+	for attempt := 0; ; attempt++ {
+		if attempt > 64 {
+			return 0, nil, fmt.Errorf("btree: insert retry livelock")
+		}
+		res, conflict, needSplit, err := t.tryInsert(tl, key, rid, false, false)
+		if err != nil || conflict != nil || !needSplit {
+			return res, conflict, err
+		}
+		if err := t.makeRoom(tl, key, rid, false); err != nil {
+			return 0, nil, err
+		}
+	}
+}
+
+// DeleteOutcome describes a transaction's key delete (§2.2.3, "IB and Delete
+// Operations").
+type DeleteOutcome int
+
+// Delete outcomes.
+const (
+	// DeleteMarked: the key existed and was marked pseudo-deleted.
+	DeleteMarked DeleteOutcome = iota
+	// DeleteAlreadyPseudo: the key was already pseudo-deleted; nothing was
+	// changed or logged.
+	DeleteAlreadyPseudo
+	// DeleteTombstoned: the key did not exist; a pseudo-deleted key was
+	// inserted as a tombstone so a later insert attempt by IB is rejected.
+	DeleteTombstoned
+)
+
+// TxnPseudoDelete performs a transaction's key delete: mark pseudo if
+// present, insert a pseudo-deleted tombstone if not. Undo-redo records are
+// written for both cases ("the deleter (1) inserts the key with an indicator
+// that it is pseudo deleted and (2) writes the usual log record").
+func (t *Tree) TxnPseudoDelete(tl rm.TxnLogger, key []byte, rid types.RID) (DeleteOutcome, error) {
+	for attempt := 0; ; attempt++ {
+		if attempt > 64 {
+			return 0, fmt.Errorf("btree: delete retry livelock")
+		}
+		out, needSplit, err := t.tryPseudoDelete(tl, key, rid)
+		if err != nil || !needSplit {
+			return out, err
+		}
+		if err := t.makeRoom(tl, key, rid, false); err != nil {
+			return 0, err
+		}
+	}
+}
+
+func (t *Tree) tryPseudoDelete(tl rm.TxnLogger, key []byte, rid types.RID) (DeleteOutcome, bool, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	f, n, err := t.descend(key, rid, latch.X)
+	if err != nil {
+		return 0, false, err
+	}
+	defer t.release(f, latch.X)
+	i, exact := n.searchLeaf(key, rid)
+	if exact {
+		if n.entries[i].Pseudo {
+			return DeleteAlreadyPseudo, false, nil
+		}
+		pl := EntryPayload{Key: key, RID: rid}
+		lsn, err := tl.Log(&wal.Record{
+			Type: wal.TypeIdxPseudoDel, Flags: wal.FlagRedo | wal.FlagUndo,
+			PageID: f.ID, Payload: pl.Encode(),
+		})
+		if err != nil {
+			return 0, false, err
+		}
+		n.entries[i].Pseudo = true
+		f.MarkDirty(lsn)
+		t.Stats.PseudoDeletes.Add(1)
+		return DeleteMarked, false, nil
+	}
+	// Tombstone insert: pseudo-deleted key so IB's later insert is rejected.
+	if !n.hasRoomEntry(key, t.budget) {
+		return 0, true, nil
+	}
+	pl := EntryPayload{Key: key, RID: rid, Pseudo: true}
+	lsn, err := tl.Log(&wal.Record{
+		Type: wal.TypeIdxInsert, Flags: wal.FlagRedo | wal.FlagUndo,
+		PageID: f.ID, Payload: pl.Encode(),
+	})
+	if err != nil {
+		return 0, false, err
+	}
+	n.insertEntryAt(i, Entry{Key: key, RID: rid, Pseudo: true})
+	f.MarkDirty(lsn)
+	t.Stats.Tombstones.Add(1)
+	return DeleteTombstoned, false, nil
+}
+
+// tryInsert is one attempt at an insert under the share tree latch. It
+// returns needSplit=true (with nothing logged) when the target leaf lacks
+// room. ib selects the index builder's duplicate rules (skip silently, no
+// noop logging); pseudo inserts the entry in the pseudo-deleted state.
+func (t *Tree) tryInsert(tl rm.TxnLogger, key []byte, rid types.RID, pseudo, ib bool) (InsertResult, *UniqueConflict, bool, error) {
+	if t.unique {
+		t.uniqMu.Lock()
+		defer t.uniqMu.Unlock()
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+
+	if t.unique {
+		return t.tryInsertUnique(tl, key, rid, pseudo, ib)
+	}
+	f, n, err := t.descend(key, rid, latch.X)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	defer t.release(f, latch.X)
+	i, exact := n.searchLeaf(key, rid)
+	if exact {
+		res, err := t.handleExisting(tl, f, n, i, ib)
+		return res, nil, false, err
+	}
+	if !n.hasRoomEntry(key, t.budget) {
+		return 0, nil, true, nil
+	}
+	res, err := t.doInsertAt(tl, f, n, i, key, rid, pseudo)
+	return res, nil, false, err
+}
+
+// tryInsertUnique handles the unique-index insert path. Same-tree unique
+// inserts are serialized by t.uniqMu (acquired by the caller before the tree
+// latch), which closes the check-then-insert race between two inserters of
+// the same key value — the paper's systems close it with key-value locks in
+// the lock manager; a per-tree mutex is this engine's equivalent with the
+// same observable semantics and less machinery. Deletes, reads and
+// other-tree operations are unaffected.
+//
+// The same-key-value run (which may cross leaf boundaries) is first walked
+// with share latches to classify what exists: the exact entry, a live
+// conflicting entry, or pseudo-deleted conflicting entries. The actual
+// modification then re-descends to the exact position. Entries cannot move
+// between leaves in the meantime because structure modifications need the
+// exclusive tree latch, which our share hold excludes.
+func (t *Tree) tryInsertUnique(tl rm.TxnLogger, key []byte, rid types.RID, pseudo, ib bool) (InsertResult, *UniqueConflict, bool, error) {
+	exactFound := false
+	var liveOther, pseudoOther *types.RID
+
+	f, n, err := t.descend(key, types.RID{}, latch.S)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	i, _ := n.searchLeaf(key, types.RID{})
+	hops := 0
+walk:
+	for {
+		for ; i < len(n.entries); i++ {
+			e := n.entries[i]
+			if CompareEntry(e.Key, types.RID{}, key, types.RID{}) != 0 {
+				break walk // past the key value's run
+			}
+			switch {
+			case e.RID == rid:
+				exactFound = true
+			case !e.Pseudo:
+				r := e.RID
+				liveOther = &r
+			default:
+				if pseudoOther == nil {
+					r := e.RID
+					pseudoOther = &r
+				}
+			}
+		}
+		if n.next == NoPage {
+			break
+		}
+		hops++
+		if hops > maxRunLeaves {
+			t.release(f, latch.S)
+			return 0, nil, false, ErrTooManyDuplicates
+		}
+		nf, nn, err := t.fetchLatched(n.next, latch.S)
+		if err != nil {
+			t.release(f, latch.S)
+			return 0, nil, false, err
+		}
+		t.release(f, latch.S)
+		f, n = nf, nn
+		i = 0
+		if len(n.entries) > 0 && CompareEntry(n.entries[0].Key, types.RID{}, key, types.RID{}) != 0 {
+			break
+		}
+	}
+	t.release(f, latch.S)
+
+	if liveOther != nil && !exactFound {
+		return 0, &UniqueConflict{OtherRID: *liveOther}, false, nil
+	}
+	if pseudoOther != nil && !exactFound && liveOther == nil {
+		return 0, &UniqueConflict{OtherRID: *pseudoOther, Pseudo: true}, false, nil
+	}
+
+	// Either the exact entry exists (handle its state) or no entry with this
+	// key value exists (insert). Re-descend to (key, rid) exclusively.
+	xf, xn, err := t.descend(key, rid, latch.X)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	defer t.release(xf, latch.X)
+	pos, exact := xn.searchLeaf(key, rid)
+	if exact {
+		res, err := t.handleExisting(tl, xf, xn, pos, ib)
+		return res, nil, false, err
+	}
+	if exactFound {
+		// The entry vanished between the walk and the re-descent (a
+		// concurrent physical remove, e.g. GC); fall through to insert.
+		_ = exactFound
+	}
+	if !xn.hasRoomEntry(key, t.budget) {
+		return 0, nil, true, nil
+	}
+	res, err := t.doInsertAt(tl, xf, xn, pos, key, rid, pseudo)
+	return res, nil, false, err
+}
+
+// handleExisting applies the duplicate rules when the exact entry (key,rid)
+// already exists at index i of node n.
+func (t *Tree) handleExisting(tl rm.TxnLogger, f *buffer.Frame, n *Node, i int, ib bool) (InsertResult, error) {
+	e := &n.entries[i]
+	if ib {
+		// "IB's attempt to insert a key which is currently present in the
+		// index in the pseudo-deleted state is rejected" — and likewise for
+		// a live duplicate. No log record is written by IB (§2.2.3).
+		t.Stats.IBSkips.Add(1)
+		return AlreadyPresent, nil
+	}
+	if e.Pseudo {
+		// Transaction insert finds its own key pseudo-deleted (example step
+		// 8): reactivate with an undo-redo record.
+		pl := EntryPayload{Key: e.Key, RID: e.RID}
+		lsn, err := tl.Log(&wal.Record{
+			Type: wal.TypeIdxReactivate, Flags: wal.FlagRedo | wal.FlagUndo,
+			PageID: f.ID, Payload: pl.Encode(),
+		})
+		if err != nil {
+			return 0, err
+		}
+		e.Pseudo = false
+		f.MarkDirty(lsn)
+		t.Stats.Reactivates.Add(1)
+		return Reactivated, nil
+	}
+	// "The transaction always writes a log record saying that it inserted
+	// the key even though sometimes it may not actually insert the key since
+	// IB had already inserted it" — undo-only, so rollback deletes IB's key.
+	pl := EntryPayload{Key: e.Key, RID: e.RID}
+	if _, err := tl.Log(&wal.Record{
+		Type: wal.TypeIdxInsertNoop, Flags: wal.FlagUndo,
+		PageID: f.ID, Payload: pl.Encode(),
+	}); err != nil {
+		return 0, err
+	}
+	// No page change and no redo: the page LSN is not advanced.
+	t.Stats.Noops.Add(1)
+	return AlreadyPresent, nil
+}
+
+// doInsertAt inserts the entry at position i of leaf n with an undo-redo log
+// record.
+func (t *Tree) doInsertAt(tl rm.TxnLogger, f *buffer.Frame, n *Node, i int, key []byte, rid types.RID, pseudo bool) (InsertResult, error) {
+	pl := EntryPayload{Key: key, RID: rid, Pseudo: pseudo}
+	lsn, err := tl.Log(&wal.Record{
+		Type: wal.TypeIdxInsert, Flags: wal.FlagRedo | wal.FlagUndo,
+		PageID: f.ID, Payload: pl.Encode(),
+	})
+	if err != nil {
+		return 0, err
+	}
+	n.insertEntryAt(i, Entry{Key: key, RID: rid, Pseudo: pseudo})
+	f.MarkDirty(lsn)
+	t.Stats.Inserts.Add(1)
+	if pseudo {
+		t.Stats.Tombstones.Add(1)
+	}
+	return Inserted, nil
+}
+
+// RemoveEntry physically removes the entry (key, rid) with an undo-redo log
+// record (undo re-inserts it in its prior state). It is used by the
+// unique-index ReplaceRID protocol and by rollbacks; GC uses GCRemove.
+func (t *Tree) RemoveEntry(tl rm.TxnLogger, key []byte, rid types.RID) (bool, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	f, n, err := t.descend(key, rid, latch.X)
+	if err != nil {
+		return false, err
+	}
+	defer t.release(f, latch.X)
+	i, exact := n.searchLeaf(key, rid)
+	if !exact {
+		return false, nil
+	}
+	pl := EntryPayload{Key: key, RID: rid, Pseudo: n.entries[i].Pseudo}
+	lsn, err := tl.Log(&wal.Record{
+		Type: wal.TypeIdxDelete, Flags: wal.FlagRedo | wal.FlagUndo,
+		PageID: f.ID, Payload: pl.Encode(),
+	})
+	if err != nil {
+		return false, err
+	}
+	n.removeEntryAt(i)
+	f.MarkDirty(lsn)
+	t.Stats.Removes.Add(1)
+	return true, nil
+}
+
+// ReplaceRID implements the paper's unique-index takeover (§2.2.3 example):
+// after the caller has verified that the inserter/deleter of the
+// pseudo-deleted entry <key, oldRID> has terminated, the entry is replaced
+// by a live <key, newRID>. Implemented as a logged physical remove plus a
+// fresh insert so the leaf's (key, RID) ordering is preserved even when the
+// two positions differ.
+func (t *Tree) ReplaceRID(tl rm.TxnLogger, key []byte, oldRID, newRID types.RID) error {
+	removed, err := t.RemoveEntry(tl, key, oldRID)
+	if err != nil {
+		return err
+	}
+	if !removed {
+		return fmt.Errorf("btree: ReplaceRID: entry %s not found", oldRID)
+	}
+	res, conflict, err := t.TxnInsert(tl, key, newRID)
+	if err != nil {
+		return err
+	}
+	if conflict != nil {
+		return conflict
+	}
+	if res != Inserted {
+		return fmt.Errorf("btree: ReplaceRID: unexpected insert result %s", res)
+	}
+	return nil
+}

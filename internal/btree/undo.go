@@ -1,0 +1,173 @@
+package btree
+
+import (
+	"fmt"
+
+	"onlineindex/internal/latch"
+	"onlineindex/internal/rm"
+	"onlineindex/internal/types"
+	"onlineindex/internal/wal"
+)
+
+// Undo operations are logical: they re-traverse the tree from the root
+// because the entry may have moved to a different page since the original
+// operation (splits are never undone, so the entry still exists somewhere).
+// Each undo writes a redo-only compensation log record whose UndoNextLSN is
+// the original record's PrevLSN.
+
+// UndoInsert compensates a TypeIdxInsert record.
+//
+//   - A regular insert (Pseudo=false) is undone by marking the entry
+//     pseudo-deleted, exactly as the paper's example step 6 ("T1 rolls back;
+//     T1 marks the key as being pseudo-deleted"): physical removal is left to
+//     GC so a racing IB extraction is still rejected later.
+//   - A tombstone insert (Pseudo=true, written by a deleter that did not find
+//     the key) is undone by *reactivating* the entry: "in case the
+//     transaction were to roll back, then the key will be reactivated (i.e.,
+//     put in the inserted state)".
+func (t *Tree) UndoInsert(tl rm.TxnLogger, pl EntryPayload, undoNext types.LSN) error {
+	if pl.Pseudo {
+		return t.undoSetFlag(tl, pl.Key, pl.RID, false, wal.TypeIdxReactivate, undoNext)
+	}
+	return t.undoSetFlag(tl, pl.Key, pl.RID, true, wal.TypeIdxPseudoDel, undoNext)
+}
+
+// UndoInsertNoop compensates a TypeIdxInsertNoop record: the transaction did
+// not insert the key (IB had), but its rollback must still remove it —
+// "without that log record, the transaction will not remove the key from the
+// index and that would be wrong" (§2.1.1). The removal is a pseudo-delete,
+// like the undo of a real insert.
+func (t *Tree) UndoInsertNoop(tl rm.TxnLogger, pl EntryPayload, undoNext types.LSN) error {
+	return t.undoSetFlag(tl, pl.Key, pl.RID, true, wal.TypeIdxPseudoDel, undoNext)
+}
+
+// UndoPseudoDelete compensates a TypeIdxPseudoDel record by reactivating the
+// entry ("the rollback processing of the deleter would ... place the key in
+// the inserted state", §2.2.3).
+func (t *Tree) UndoPseudoDelete(tl rm.TxnLogger, pl EntryPayload, undoNext types.LSN) error {
+	return t.undoSetFlag(tl, pl.Key, pl.RID, false, wal.TypeIdxReactivate, undoNext)
+}
+
+// UndoReactivate compensates a TypeIdxReactivate record by restoring the
+// pseudo-deleted state.
+func (t *Tree) UndoReactivate(tl rm.TxnLogger, pl EntryPayload, undoNext types.LSN) error {
+	return t.undoSetFlag(tl, pl.Key, pl.RID, true, wal.TypeIdxPseudoDel, undoNext)
+}
+
+// undoSetFlag sets the pseudo flag of the exact entry to `pseudo`, writing a
+// CLR of the given type.
+func (t *Tree) undoSetFlag(tl rm.TxnLogger, key []byte, rid types.RID, pseudo bool, clrType wal.RecType, undoNext types.LSN) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	f, n, err := t.descend(key, rid, latch.X)
+	if err != nil {
+		return err
+	}
+	defer t.release(f, latch.X)
+	i, exact := n.searchLeaf(key, rid)
+	if !exact {
+		return fmt.Errorf("btree: undo (%s): entry <%x,%s> missing", clrType, key, rid)
+	}
+	pl := EntryPayload{Key: key, RID: rid}
+	lsn, err := tl.LogCLR(&wal.Record{
+		Type: clrType, Flags: wal.FlagRedo,
+		PageID: f.ID, Payload: pl.Encode(),
+	}, undoNext)
+	if err != nil {
+		return err
+	}
+	n.entries[i].Pseudo = pseudo
+	f.MarkDirty(lsn)
+	if pseudo {
+		t.Stats.PseudoDeletes.Add(1)
+	} else {
+		t.Stats.Reactivates.Add(1)
+	}
+	return nil
+}
+
+// UndoRemoveEntry compensates a TypeIdxDelete record (a physical removal by
+// GC, ReplaceRID or a rolled-back utility) by re-inserting the entry in its
+// recorded state. The re-insert may need a split.
+func (t *Tree) UndoRemoveEntry(tl rm.TxnLogger, pl EntryPayload, undoNext types.LSN) error {
+	for attempt := 0; ; attempt++ {
+		if attempt > 64 {
+			return fmt.Errorf("btree: undo remove retry livelock")
+		}
+		done, err := func() (bool, error) {
+			t.mu.RLock()
+			defer t.mu.RUnlock()
+			f, n, err := t.descend(pl.Key, pl.RID, latch.X)
+			if err != nil {
+				return false, err
+			}
+			defer t.release(f, latch.X)
+			i, exact := n.searchLeaf(pl.Key, pl.RID)
+			if exact {
+				return false, fmt.Errorf("btree: undo remove: entry <%x,%s> already present", pl.Key, pl.RID)
+			}
+			if !n.hasRoomEntry(pl.Key, t.budget) {
+				return false, nil
+			}
+			clr := EntryPayload{Key: pl.Key, RID: pl.RID, Pseudo: pl.Pseudo}
+			lsn, err := tl.LogCLR(&wal.Record{
+				Type: wal.TypeIdxInsert, Flags: wal.FlagRedo,
+				PageID: f.ID, Payload: clr.Encode(),
+			}, undoNext)
+			if err != nil {
+				return false, err
+			}
+			n.insertEntryAt(i, Entry{Key: pl.Key, RID: pl.RID, Pseudo: pl.Pseudo})
+			f.MarkDirty(lsn)
+			return true, nil
+		}()
+		if err != nil || done {
+			return err
+		}
+		if err := t.makeRoom(tl, pl.Key, pl.RID, false); err != nil {
+			return err
+		}
+	}
+}
+
+// UndoMultiInsert compensates a TypeIdxMultiInsert record (the NSF index
+// builder's batch). IB's uncommitted inserts are its own — no committed
+// transaction can depend on them, because any transaction that found one of
+// these entries logged its own undo-only record and IB re-inserts the keys
+// after the last checkpoint on restart — so the undo removes them
+// physically, one CLR per entry (all sharing the original record's PrevLSN
+// as UndoNext).
+func (t *Tree) UndoMultiInsert(tl rm.TxnLogger, pl MultiInsertPayload, undoNext types.LSN) error {
+	for _, e := range pl.Entries {
+		if err := t.undoRemovePhysical(tl, e.Key, e.RID, undoNext); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *Tree) undoRemovePhysical(tl rm.TxnLogger, key []byte, rid types.RID, undoNext types.LSN) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	f, n, err := t.descend(key, rid, latch.X)
+	if err != nil {
+		return err
+	}
+	defer t.release(f, latch.X)
+	i, exact := n.searchLeaf(key, rid)
+	if !exact {
+		return fmt.Errorf("btree: undo multi-insert: entry <%x,%s> missing", key, rid)
+	}
+	pl := EntryPayload{Key: key, RID: rid, Pseudo: n.entries[i].Pseudo}
+	lsn, err := tl.LogCLR(&wal.Record{
+		Type: wal.TypeIdxDelete, Flags: wal.FlagRedo,
+		PageID: f.ID, Payload: pl.Encode(),
+	}, undoNext)
+	if err != nil {
+		return err
+	}
+	n.removeEntryAt(i)
+	f.MarkDirty(lsn)
+	t.Stats.Removes.Add(1)
+	return nil
+}

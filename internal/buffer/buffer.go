@@ -1,0 +1,511 @@
+// Package buffer implements the buffer pool: the volatile cache of page
+// structs between the resource managers and the VFS.
+//
+// The pool enforces the two WAL invariants the paper's recovery story rests
+// on: (1) before a dirty page is written to stable storage, the log is
+// forced up to the page's PageLSN (write-ahead), and (2) each dirty page
+// remembers its RecLSN — the LSN of the first record that dirtied it since
+// it was last clean — so fuzzy checkpoints can bound where redo must start.
+//
+// A simulated system failure (DB.Crash) simply discards the pool; only page
+// images that were flushed (and synced) survive, which is exactly the state
+// restart recovery must repair.
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"onlineindex/internal/latch"
+	"onlineindex/internal/page"
+	"onlineindex/internal/types"
+	"onlineindex/internal/vfs"
+	"onlineindex/internal/wal"
+)
+
+// Frame is a buffer-pool slot holding one page. The frame's latch is the
+// page latch of the paper's execution model: the index builder S-latches
+// data pages while extracting keys; transactions X-latch pages they modify.
+type Frame struct {
+	ID    types.PageID
+	Latch latch.Latch
+
+	mu     sync.Mutex // guards the fields below
+	pg     page.Page
+	dirty  bool
+	recLSN types.LSN
+	pins   int
+	refbit bool // clock eviction reference bit
+}
+
+// Page returns the page held by the frame. The caller must hold the frame's
+// latch (S for reading, X for modification).
+func (f *Frame) Page() page.Page {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.pg
+}
+
+// MarkDirty records that the caller modified the page under an X latch while
+// applying the log record at lsn. It updates the page's PageLSN and, if the
+// page was clean, sets RecLSN = lsn.
+func (f *Frame) MarkDirty(lsn types.LSN) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.pg.SetPageLSN(lsn)
+	if !f.dirty {
+		f.dirty = true
+		f.recLSN = lsn
+	}
+}
+
+// MarkDirtyUnlogged records a page modification that wrote no log record:
+// the SF bottom-up index build mutates index pages without logging ("IB does
+// not write log records for the inserts of keys that it extracts", §3.1).
+// The page's PageLSN is left alone; the RecLSN is set to the current end of
+// the log, which keeps the dirty page table conservative without dragging
+// redo back to LSN zero. Durability of such pages is the index builder's
+// own responsibility (its checkpoints flush the index file).
+func (p *Pool) MarkDirtyUnlogged(f *Frame) {
+	f.mu.Lock()
+	if f.dirty {
+		f.mu.Unlock()
+		return // hot path: the loader touches the same page repeatedly
+	}
+	f.mu.Unlock()
+	rec := types.LSN(1)
+	if p.log != nil {
+		rec = p.log.NextLSN()
+	}
+	f.mu.Lock()
+	if !f.dirty {
+		f.dirty = true
+		f.recLSN = rec
+	}
+	f.mu.Unlock()
+}
+
+// DirtyPage is one entry of the dirty page table, captured by checkpoints.
+type DirtyPage struct {
+	ID     types.PageID
+	RecLSN types.LSN
+}
+
+// Stats counts buffer pool activity.
+type Stats struct {
+	Fetches   uint64
+	Hits      uint64
+	Misses    uint64
+	Flushes   uint64
+	Evictions uint64
+}
+
+// ErrAllPinned is returned when the pool cannot evict any frame.
+var ErrAllPinned = errors.New("buffer: all frames pinned")
+
+// Pool is the buffer pool. Safe for concurrent use.
+type Pool struct {
+	fs       vfs.FS
+	log      *wal.Log
+	capacity int
+
+	mu     sync.Mutex
+	frames map[types.PageID]*Frame
+	clock  []types.PageID // eviction order ring
+	hand   int
+	files  map[types.FileID]vfs.File
+	nPages map[types.FileID]types.PageNum // page count per file
+	stats  Stats
+}
+
+// New creates a pool over fs with the given frame capacity. log may be nil
+// only in unit tests that never flush dirty pages.
+func New(fs vfs.FS, log *wal.Log, capacity int) *Pool {
+	if capacity < 8 {
+		capacity = 8
+	}
+	return &Pool{
+		fs:       fs,
+		log:      log,
+		capacity: capacity,
+		frames:   make(map[types.PageID]*Frame),
+		files:    make(map[types.FileID]vfs.File),
+		nPages:   make(map[types.FileID]types.PageNum),
+	}
+}
+
+func fileName(id types.FileID) string { return fmt.Sprintf("f%06d.dat", id) }
+
+// OpenFile opens (creating if needed) the storage file for a FileID and
+// registers its current page count.
+func (p *Pool) OpenFile(id types.FileID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.openFileLocked(id)
+}
+
+func (p *Pool) openFileLocked(id types.FileID) error {
+	if _, ok := p.files[id]; ok {
+		return nil
+	}
+	exists, err := p.fs.Exists(fileName(id))
+	if err != nil {
+		return err
+	}
+	var f vfs.File
+	if exists {
+		f, err = p.fs.Open(fileName(id))
+	} else {
+		f, err = p.fs.Create(fileName(id))
+		if err == nil {
+			err = f.Sync()
+		}
+	}
+	if err != nil {
+		return err
+	}
+	size, err := f.Size()
+	if err != nil {
+		return err
+	}
+	p.files[id] = f
+	p.nPages[id] = types.PageNum(size / page.Size)
+	return nil
+}
+
+// PageCount returns the number of pages allocated in the file.
+func (p *Pool) PageCount(id types.FileID) (types.PageNum, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.openFileLocked(id); err != nil {
+		return 0, err
+	}
+	return p.nPages[id], nil
+}
+
+// NewPage allocates the next page of the file, installs pg in a pinned
+// frame, and returns the frame. The caller formats the page, logs the
+// format record and calls MarkDirty before unpinning.
+func (p *Pool) NewPage(id types.FileID, pg page.Page) (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.openFileLocked(id); err != nil {
+		return nil, err
+	}
+	pid := types.PageID{File: id, Page: p.nPages[id]}
+	p.nPages[id]++
+	if err := p.makeRoomLocked(); err != nil {
+		return nil, err
+	}
+	f := &Frame{ID: pid, pg: pg, pins: 1, refbit: true}
+	p.frames[pid] = f
+	p.clock = append(p.clock, pid)
+	return f, nil
+}
+
+// Fetch pins the page and returns its frame, reading it from stable storage
+// on a miss. The caller latches the frame as needed and must Unpin it.
+func (p *Pool) Fetch(pid types.PageID) (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Fetches++
+	if f, ok := p.frames[pid]; ok {
+		p.stats.Hits++
+		f.mu.Lock()
+		f.pins++
+		f.refbit = true
+		f.mu.Unlock()
+		return f, nil
+	}
+	p.stats.Misses++
+	if err := p.openFileLocked(pid.File); err != nil {
+		return nil, err
+	}
+	if pid.Page >= p.nPages[pid.File] {
+		return nil, fmt.Errorf("buffer: fetch %s beyond file end (%d pages)", pid, p.nPages[pid.File])
+	}
+	img := make([]byte, page.Size)
+	if _, err := p.files[pid.File].ReadAt(img, int64(pid.Page)*page.Size); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("buffer: read %s: %w", pid, err)
+	}
+	pg, err := page.Unmarshal(img)
+	if err != nil {
+		return nil, fmt.Errorf("buffer: unmarshal %s: %w", pid, err)
+	}
+	if err := p.makeRoomLocked(); err != nil {
+		return nil, err
+	}
+	f := &Frame{ID: pid, pg: pg, pins: 1, refbit: true}
+	p.frames[pid] = f
+	p.clock = append(p.clock, pid)
+	return f, nil
+}
+
+// FetchOrCreate returns the frame for pid like Fetch, but if pid lies at or
+// beyond the current end of the file it extends the file with blank pages
+// from the factory. Restart redo uses it to rematerialize pages that were
+// allocated before a crash but never flushed: their format log records are
+// replayed into the blank pages. Intermediate pages created by the extension
+// are marked dirty with recLSN = lsn (a safe lower bound for the DPT).
+func (p *Pool) FetchOrCreate(pid types.PageID, factory func() page.Page, lsn types.LSN) (*Frame, error) {
+	p.mu.Lock()
+	if err := p.openFileLocked(pid.File); err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	for p.nPages[pid.File] <= pid.Page {
+		n := p.nPages[pid.File]
+		p.nPages[pid.File]++
+		blank := types.PageID{File: pid.File, Page: n}
+		if _, ok := p.frames[blank]; ok {
+			continue
+		}
+		if err := p.makeRoomLocked(); err != nil {
+			p.mu.Unlock()
+			return nil, err
+		}
+		f := &Frame{ID: blank, pg: factory(), dirty: true, recLSN: lsn, refbit: true}
+		p.frames[blank] = f
+		p.clock = append(p.clock, blank)
+	}
+	p.mu.Unlock()
+	fr, err := p.Fetch(pid)
+	if errors.Is(err, page.ErrBlank) {
+		// The page lies inside the file's durable extent but was never
+		// itself written (a later page's flush extended the file with
+		// zeros). It is logically a fresh page: install the factory image
+		// and let redo replay its history.
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if f, ok := p.frames[pid]; ok { // lost a race with another creator
+			f.mu.Lock()
+			f.pins++
+			f.mu.Unlock()
+			return f, nil
+		}
+		if err := p.makeRoomLocked(); err != nil {
+			return nil, err
+		}
+		f := &Frame{ID: pid, pg: factory(), dirty: true, recLSN: lsn, pins: 1, refbit: true}
+		p.frames[pid] = f
+		p.clock = append(p.clock, pid)
+		return f, nil
+	}
+	return fr, err
+}
+
+// Unpin releases one pin on the frame.
+func (p *Pool) Unpin(f *Frame) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.pins <= 0 {
+		panic("buffer: unpin of unpinned frame")
+	}
+	f.pins--
+}
+
+// makeRoomLocked evicts clock-chosen unpinned frames until the pool is under
+// capacity. Dirty victims are flushed (with the WAL protocol) first. A
+// victim whose latch is held is skipped rather than waited for: the holder
+// may be blocked on the pool mutex we hold, so waiting could deadlock.
+func (p *Pool) makeRoomLocked() error {
+	busy := 0
+	for len(p.frames) >= p.capacity {
+		victim := p.pickVictimLocked()
+		if victim == nil {
+			return ErrAllPinned
+		}
+		if !victim.Latch.TryAcquire(latch.S) {
+			// Busy: put it back in the ring and try another. If everything
+			// is latched, give up rather than spin under the pool mutex.
+			p.clock = append(p.clock, victim.ID)
+			busy++
+			if busy > 2*len(p.frames) {
+				return ErrAllPinned
+			}
+			continue
+		}
+		err := p.flushFrameLocked(victim)
+		victim.Latch.Release(latch.S)
+		if err != nil {
+			return err
+		}
+		delete(p.frames, victim.ID)
+		p.stats.Evictions++
+	}
+	return nil
+}
+
+func (p *Pool) pickVictimLocked() *Frame {
+	for sweep := 0; sweep < 2*len(p.clock)+1; sweep++ {
+		if len(p.clock) == 0 {
+			return nil
+		}
+		p.hand %= len(p.clock)
+		pid := p.clock[p.hand]
+		f, ok := p.frames[pid]
+		if !ok {
+			// stale ring entry: compact
+			p.clock = append(p.clock[:p.hand], p.clock[p.hand+1:]...)
+			continue
+		}
+		f.mu.Lock()
+		pinned := f.pins > 0
+		ref := f.refbit
+		f.refbit = false
+		f.mu.Unlock()
+		if !pinned && !ref {
+			p.clock = append(p.clock[:p.hand], p.clock[p.hand+1:]...)
+			return f
+		}
+		p.hand++
+	}
+	return nil
+}
+
+// flushFrameLocked writes the frame's page image to stable storage if dirty,
+// enforcing the WAL protocol: the log is forced up to the PageLSN first.
+// The caller must hold the pool mutex and the frame's latch in at least S
+// mode (so no writer is mutating the page mid-marshal).
+func (p *Pool) flushFrameLocked(f *Frame) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.dirty {
+		return nil
+	}
+	lsn := f.pg.PageLSN()
+	if p.log != nil {
+		if err := p.log.Force(lsn); err != nil {
+			return err
+		}
+	} else if lsn != types.NilLSN {
+		return errors.New("buffer: dirty page with PageLSN but no log attached")
+	}
+	img, err := f.pg.MarshalPage()
+	if err != nil {
+		return fmt.Errorf("buffer: marshal %s: %w", f.ID, err)
+	}
+	if len(img) != page.Size {
+		return fmt.Errorf("buffer: page %s image is %d bytes, want %d", f.ID, len(img), page.Size)
+	}
+	file := p.files[f.ID.File]
+	if file == nil {
+		return fmt.Errorf("buffer: flush %s: file not open", f.ID)
+	}
+	if _, err := file.WriteAt(img, int64(f.ID.Page)*page.Size); err != nil {
+		return err
+	}
+	if err := file.Sync(); err != nil {
+		return err
+	}
+	f.dirty = false
+	f.recLSN = types.NilLSN
+	p.stats.Flushes++
+	return nil
+}
+
+// FlushAll flushes every dirty page (used at clean shutdown and by SF's
+// index checkpointing, which requires "all the dirty pages of the index
+// [to] have been written to disk" before recording the checkpoint).
+func (p *Pool) FlushAll() error { return p.flushMatching(func(types.PageID) bool { return true }) }
+
+// FlushFile flushes the dirty pages of one file.
+func (p *Pool) FlushFile(id types.FileID) error {
+	return p.flushMatching(func(pid types.PageID) bool { return pid.File == id })
+}
+
+// flushMatching flushes all frames whose page ID matches. Frames are
+// snapshotted first and latched one at a time without the pool mutex held,
+// so a flush never deadlocks against an operation that holds a page latch
+// while fetching another page.
+func (p *Pool) flushMatching(match func(types.PageID) bool) error {
+	p.mu.Lock()
+	frames := make([]*Frame, 0, len(p.frames))
+	for _, f := range p.frames {
+		if match(f.ID) {
+			frames = append(frames, f)
+		}
+	}
+	p.mu.Unlock()
+	for _, f := range frames {
+		f.Latch.Acquire(latch.S)
+		p.mu.Lock()
+		err := p.flushFrameLocked(f)
+		p.mu.Unlock()
+		f.Latch.Release(latch.S)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DirtyPages returns the dirty page table (sorted by page ID) for fuzzy
+// checkpoints: each dirty page with the RecLSN from which redo must consider
+// it.
+func (p *Pool) DirtyPages() []DirtyPage {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var dpt []DirtyPage
+	for _, f := range p.frames {
+		f.mu.Lock()
+		if f.dirty {
+			dpt = append(dpt, DirtyPage{ID: f.ID, RecLSN: f.recLSN})
+		}
+		f.mu.Unlock()
+	}
+	sort.Slice(dpt, func(i, j int) bool { return dpt[i].ID.Less(dpt[j].ID) })
+	return dpt
+}
+
+// TruncateFile shrinks a file to n pages, discarding cached frames above the
+// cut. SF restart uses it to make "the keys higher than the checkpointed key
+// disappear from the index" by deallocating pages added after the last index
+// checkpoint (§3.2.4).
+func (p *Pool) TruncateFile(id types.FileID, n types.PageNum) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.openFileLocked(id); err != nil {
+		return err
+	}
+	for pid, f := range p.frames {
+		if pid.File == id && pid.Page >= n {
+			f.mu.Lock()
+			pinned := f.pins > 0
+			f.mu.Unlock()
+			if pinned {
+				return fmt.Errorf("buffer: truncate %d: page %s still pinned", id, pid)
+			}
+			delete(p.frames, pid)
+		}
+	}
+	if err := p.files[id].Truncate(int64(n) * page.Size); err != nil {
+		return err
+	}
+	if err := p.files[id].Sync(); err != nil {
+		return err
+	}
+	p.nPages[id] = n
+	return nil
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Close closes the underlying files without flushing (a crash path closes
+// nothing at all; a clean shutdown calls FlushAll first).
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.files {
+		f.Close()
+	}
+	return nil
+}

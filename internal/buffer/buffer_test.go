@@ -1,0 +1,265 @@
+package buffer
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"onlineindex/internal/page"
+	"onlineindex/internal/types"
+	"onlineindex/internal/vfs"
+	"onlineindex/internal/wal"
+)
+
+// testPage is a trivial page type: a counter plus the common header.
+type testPage struct {
+	page.Header
+	counter uint64
+}
+
+const testKind page.Kind = 200
+
+func init() {
+	page.Register(testKind, func() page.Page { return &testPage{} })
+}
+
+func (t *testPage) Kind() page.Kind { return testKind }
+
+func (t *testPage) MarshalPage() ([]byte, error) {
+	img := make([]byte, page.Size)
+	t.MarshalHeader(img, testKind)
+	binary.LittleEndian.PutUint64(img[page.HeaderSize:], t.counter)
+	return img, nil
+}
+
+func (t *testPage) UnmarshalPage(img []byte) error {
+	if _, err := t.UnmarshalHeader(img); err != nil {
+		return err
+	}
+	t.counter = binary.LittleEndian.Uint64(img[page.HeaderSize:])
+	return nil
+}
+
+func newPool(t *testing.T, capacity int) (*vfs.MemFS, *wal.Log, *Pool) {
+	t.Helper()
+	fs := vfs.NewMemFS()
+	log, err := wal.Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, log, New(fs, log, capacity)
+}
+
+func TestNewPageFetchRoundTrip(t *testing.T) {
+	_, log, pool := newPool(t, 16)
+	f, err := pool.NewPage(1, &testPage{counter: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, _ := log.Append(&wal.Record{Type: wal.TypeHeapFormat, Flags: wal.FlagRedo, PageID: f.ID})
+	f.Page().(*testPage).counter = 42
+	f.MarkDirty(lsn)
+	pid := f.ID
+	pool.Unpin(f)
+
+	g, err := pool.Fetch(pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Page().(*testPage).counter; got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	pool.Unpin(g)
+}
+
+func TestEvictionPersistsDirtyPages(t *testing.T) {
+	_, log, pool := newPool(t, 8)
+	var pids []types.PageID
+	for i := 0; i < 40; i++ {
+		f, err := pool.NewPage(1, &testPage{counter: uint64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsn, _ := log.Append(&wal.Record{Type: wal.TypeHeapFormat, Flags: wal.FlagRedo, PageID: f.ID})
+		f.MarkDirty(lsn)
+		pids = append(pids, f.ID)
+		pool.Unpin(f)
+	}
+	if pool.Stats().Evictions == 0 {
+		t.Fatal("expected evictions with capacity 8 and 40 pages")
+	}
+	for i, pid := range pids {
+		f, err := pool.Fetch(pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := f.Page().(*testPage).counter; got != uint64(i) {
+			t.Fatalf("page %v counter = %d, want %d", pid, got, i)
+		}
+		pool.Unpin(f)
+	}
+}
+
+func TestWALProtocolForcesLogBeforeFlush(t *testing.T) {
+	_, log, pool := newPool(t, 16)
+	f, _ := pool.NewPage(1, &testPage{})
+	lsn, _ := log.Append(&wal.Record{Type: wal.TypeHeapInsert, Flags: wal.FlagRedo, PageID: f.ID})
+	f.MarkDirty(lsn)
+	pool.Unpin(f)
+
+	if log.FlushedLSN() > lsn {
+		t.Fatal("log should not be durable yet")
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if log.FlushedLSN() <= lsn {
+		t.Fatalf("WAL protocol violated: page flushed but log FlushedLSN=%d <= pageLSN=%d",
+			log.FlushedLSN(), lsn)
+	}
+}
+
+func TestDirtyPageTable(t *testing.T) {
+	_, log, pool := newPool(t, 16)
+	f1, _ := pool.NewPage(1, &testPage{})
+	f2, _ := pool.NewPage(1, &testPage{})
+	lsn1, _ := log.Append(&wal.Record{Type: wal.TypeHeapInsert, Flags: wal.FlagRedo, PageID: f1.ID})
+	f1.MarkDirty(lsn1)
+	lsn2, _ := log.Append(&wal.Record{Type: wal.TypeHeapInsert, Flags: wal.FlagRedo, PageID: f1.ID})
+	f1.MarkDirty(lsn2) // second dirtying must keep original RecLSN
+	pool.Unpin(f1)
+	pool.Unpin(f2)
+
+	dpt := pool.DirtyPages()
+	if len(dpt) != 1 {
+		t.Fatalf("DPT = %v, want single entry", dpt)
+	}
+	if dpt[0].RecLSN != lsn1 {
+		t.Fatalf("RecLSN = %d, want first dirtying LSN %d", dpt[0].RecLSN, lsn1)
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if dpt := pool.DirtyPages(); len(dpt) != 0 {
+		t.Fatalf("DPT after flush = %v, want empty", dpt)
+	}
+}
+
+func TestCrashLosesUnflushedPages(t *testing.T) {
+	fs, log, pool := newPool(t, 16)
+	f, _ := pool.NewPage(1, &testPage{counter: 1})
+	lsn, _ := log.Append(&wal.Record{Type: wal.TypeHeapFormat, Flags: wal.FlagRedo, PageID: f.ID})
+	f.MarkDirty(lsn)
+	pid := f.ID
+	pool.Unpin(f)
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Dirty it again, don't flush, crash.
+	g, _ := pool.Fetch(pid)
+	g.Page().(*testPage).counter = 99
+	lsn2, _ := log.Append(&wal.Record{Type: wal.TypeHeapUpdate, Flags: wal.FlagRedo, PageID: pid})
+	g.MarkDirty(lsn2)
+	pool.Unpin(g)
+
+	fs.Crash()
+	fs.Recover()
+
+	pool2 := New(fs, nil, 16)
+	h, err := pool2.Fetch(pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := h.Page().(*testPage)
+	if tp.counter != 1 {
+		t.Fatalf("after crash counter = %d, want 1 (unflushed update must be lost)", tp.counter)
+	}
+	if tp.PageLSN() != lsn {
+		t.Fatalf("after crash PageLSN = %d, want %d", tp.PageLSN(), lsn)
+	}
+	pool2.Unpin(h)
+}
+
+func TestTruncateFile(t *testing.T) {
+	_, log, pool := newPool(t, 16)
+	for i := 0; i < 5; i++ {
+		f, _ := pool.NewPage(3, &testPage{counter: uint64(i)})
+		lsn, _ := log.Append(&wal.Record{Type: wal.TypeHeapFormat, Flags: wal.FlagRedo, PageID: f.ID})
+		f.MarkDirty(lsn)
+		pool.Unpin(f)
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.TruncateFile(3, 2); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := pool.PageCount(3)
+	if n != 2 {
+		t.Fatalf("page count = %d, want 2", n)
+	}
+	if _, err := pool.Fetch(types.PageID{File: 3, Page: 4}); err == nil {
+		t.Fatal("fetch beyond truncation should fail")
+	}
+	f, err := pool.Fetch(types.PageID{File: 3, Page: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Page().(*testPage).counter; got != 1 {
+		t.Fatalf("surviving page counter = %d, want 1", got)
+	}
+	pool.Unpin(f)
+	// Extending after truncation reuses page numbers from the cut.
+	g, _ := pool.NewPage(3, &testPage{counter: 77})
+	if g.ID.Page != 2 {
+		t.Fatalf("new page after truncate = %v, want page 2", g.ID)
+	}
+	pool.Unpin(g)
+}
+
+func TestAllPinnedError(t *testing.T) {
+	_, _, pool := newPool(t, 8)
+	var frames []*Frame
+	for i := 0; i < 8; i++ {
+		f, err := pool.NewPage(1, &testPage{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, f) // keep pinned
+	}
+	_, err := pool.NewPage(1, &testPage{})
+	if !errors.Is(err, ErrAllPinned) {
+		t.Fatalf("err = %v, want ErrAllPinned", err)
+	}
+	for _, f := range frames {
+		pool.Unpin(f)
+	}
+	if _, err := pool.NewPage(1, &testPage{}); err != nil {
+		t.Fatalf("after unpin: %v", err)
+	}
+}
+
+func TestFetchBeyondEOF(t *testing.T) {
+	_, _, pool := newPool(t, 8)
+	pool.OpenFile(1)
+	if _, err := pool.Fetch(types.PageID{File: 1, Page: 0}); err == nil {
+		t.Fatal("fetch from empty file should fail")
+	}
+}
+
+func TestPageCountPersists(t *testing.T) {
+	fs, log, pool := newPool(t, 8)
+	for i := 0; i < 3; i++ {
+		f, _ := pool.NewPage(1, &testPage{})
+		lsn, _ := log.Append(&wal.Record{Type: wal.TypeHeapFormat, Flags: wal.FlagRedo, PageID: f.ID})
+		f.MarkDirty(lsn)
+		pool.Unpin(f)
+	}
+	pool.FlushAll()
+	pool2 := New(fs, nil, 8)
+	n, err := pool2.PageCount(1)
+	if err != nil || n != 3 {
+		t.Fatalf("reopened page count = %d, %v; want 3", n, err)
+	}
+}

@@ -1,0 +1,466 @@
+// Package catalog holds the table and index descriptors and their
+// lifecycle. The paper's two algorithms differ in exactly when and how a new
+// index descriptor becomes visible:
+//
+//   - NSF creates the descriptor under a short table-S-lock quiesce
+//     (§2.2.1); from then on the index is *visible for updates* —
+//     transactions maintain it directly — but not usable as an access path
+//     until the build completes.
+//   - SF appends the descriptor without quiescing (§3.2.1) and sets the
+//     Index_Build flag; transactions route their changes to the side-file
+//     depending on the builder's scan position, and the index becomes
+//     directly maintained only when the flag is reset.
+//
+// The catalog is an in-memory structure rebuilt at restart from the fuzzy
+// checkpoint snapshot plus the DDL log records after it.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"onlineindex/internal/enc"
+	"onlineindex/internal/keyenc"
+	"onlineindex/internal/types"
+)
+
+// BuildMethod identifies which algorithm is building (or built) an index.
+type BuildMethod uint8
+
+// Build methods.
+const (
+	MethodOffline BuildMethod = iota // quiesce updates for the whole build (baseline)
+	MethodNSF                        // §2: no side-file
+	MethodSF                         // §3: side-file
+)
+
+func (m BuildMethod) String() string {
+	switch m {
+	case MethodOffline:
+		return "offline"
+	case MethodNSF:
+		return "NSF"
+	case MethodSF:
+		return "SF"
+	default:
+		return fmt.Sprintf("method(%d)", uint8(m))
+	}
+}
+
+// IndexState is an index's lifecycle state.
+type IndexState uint8
+
+// Index states.
+const (
+	// StateBuilding: the build is in progress. For NSF the index is visible
+	// for updates; for SF the Index_Build flag is conceptually set and
+	// transactions use the side-file protocol.
+	StateBuilding IndexState = iota + 1
+	// StateComplete: fully built; transactions maintain it directly and
+	// readers may use it as an access path.
+	StateComplete
+	// StateDropped: descriptor removed (drop or cancelled build).
+	StateDropped
+)
+
+func (s IndexState) String() string {
+	switch s {
+	case StateBuilding:
+		return "building"
+	case StateComplete:
+		return "complete"
+	case StateDropped:
+		return "dropped"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Kind keyenc.Kind
+}
+
+// Schema is a table's column list.
+type Schema []Column
+
+// Table is a table descriptor.
+type Table struct {
+	ID     types.TableID
+	Name   string
+	FileID types.FileID
+	Schema Schema
+}
+
+// Index is an index descriptor.
+type Index struct {
+	ID       types.IndexID
+	Name     string
+	Table    types.TableID
+	FileID   types.FileID
+	SideFile types.FileID // 0 when the index has no side-file (NSF/offline)
+	Columns  []int        // schema column positions forming the key
+	Unique   bool
+	Method   BuildMethod
+	State    IndexState
+	// CompleteLSN is the LSN of the TypeIndexStateChange record that marked
+	// the index complete (NilLSN while building). Rollback uses it to tell
+	// whether a data-page update predates the side-file switch: updates with
+	// smaller LSNs maintained this index through the side-file, so their
+	// undo must compensate logically instead of relying on the
+	// transaction's own index log records.
+	CompleteLSN types.LSN
+}
+
+// Catalog is the descriptor store. Safe for concurrent use.
+type Catalog struct {
+	mu       sync.RWMutex
+	tables   map[types.TableID]*Table
+	indexes  map[types.IndexID]*Index
+	byName   map[string]types.TableID
+	idxName  map[string]types.IndexID
+	nextTbl  types.TableID
+	nextIdx  types.IndexID
+	nextFile types.FileID
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		tables:  make(map[types.TableID]*Table),
+		indexes: make(map[types.IndexID]*Index),
+		byName:  make(map[string]types.TableID),
+		idxName: make(map[string]types.IndexID),
+	}
+}
+
+// AllocFileID hands out the next storage file ID.
+func (c *Catalog) AllocFileID() types.FileID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextFile++
+	return c.nextFile
+}
+
+// AddTable installs a table descriptor built from a DDL record (or a fresh
+// CreateTable). IDs must have been assigned by the caller.
+func (c *Catalog) AddTable(t *Table) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.byName[t.Name]; ok {
+		return fmt.Errorf("catalog: table %q exists", t.Name)
+	}
+	cp := *t
+	c.tables[t.ID] = &cp
+	c.byName[t.Name] = t.ID
+	if t.ID > c.nextTbl {
+		c.nextTbl = t.ID
+	}
+	if t.FileID > c.nextFile {
+		c.nextFile = t.FileID
+	}
+	return nil
+}
+
+// NextTableID allocates a table ID.
+func (c *Catalog) NextTableID() types.TableID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextTbl++
+	return c.nextTbl
+}
+
+// NextIndexID allocates an index ID.
+func (c *Catalog) NextIndexID() types.IndexID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextIdx++
+	return c.nextIdx
+}
+
+// AddIndex installs an index descriptor.
+func (c *Catalog) AddIndex(ix *Index) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.idxName[ix.Name]; ok {
+		return fmt.Errorf("catalog: index %q exists", ix.Name)
+	}
+	if _, ok := c.tables[ix.Table]; !ok {
+		return fmt.Errorf("catalog: index %q references missing table %d", ix.Name, ix.Table)
+	}
+	cp := *ix
+	cp.Columns = append([]int(nil), ix.Columns...)
+	c.indexes[ix.ID] = &cp
+	c.idxName[ix.Name] = ix.ID
+	if ix.ID > c.nextIdx {
+		c.nextIdx = ix.ID
+	}
+	if ix.FileID > c.nextFile {
+		c.nextFile = ix.FileID
+	}
+	if ix.SideFile > c.nextFile {
+		c.nextFile = ix.SideFile
+	}
+	return nil
+}
+
+// SetIndexState transitions an index's lifecycle state. lsn is the LSN of
+// the state-change log record; for transitions to StateComplete it becomes
+// the index's CompleteLSN.
+func (c *Catalog) SetIndexState(id types.IndexID, st IndexState, lsn types.LSN) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ix, ok := c.indexes[id]
+	if !ok {
+		return fmt.Errorf("catalog: no index %d", id)
+	}
+	ix.State = st
+	if st == StateComplete {
+		ix.CompleteLSN = lsn
+	}
+	if st == StateDropped {
+		delete(c.idxName, ix.Name)
+	}
+	return nil
+}
+
+// Table returns a copy of the named table's descriptor.
+func (c *Catalog) Table(name string) (Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	id, ok := c.byName[name]
+	if !ok {
+		return Table{}, false
+	}
+	return *c.tables[id], true
+}
+
+// TableByID returns a copy of the table descriptor.
+func (c *Catalog) TableByID(id types.TableID) (Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[id]
+	if !ok {
+		return Table{}, false
+	}
+	return *t, true
+}
+
+// Index returns a copy of the named index's descriptor.
+func (c *Catalog) Index(name string) (Index, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	id, ok := c.idxName[name]
+	if !ok {
+		return Index{}, false
+	}
+	return c.indexCopyLocked(id)
+}
+
+// IndexByID returns a copy of the index descriptor.
+func (c *Catalog) IndexByID(id types.IndexID) (Index, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.indexCopyLocked(id)
+}
+
+func (c *Catalog) indexCopyLocked(id types.IndexID) (Index, bool) {
+	ix, ok := c.indexes[id]
+	if !ok {
+		return Index{}, false
+	}
+	cp := *ix
+	cp.Columns = append([]int(nil), ix.Columns...)
+	return cp, true
+}
+
+// TableIndexes returns the non-dropped indexes of a table, in index-ID order
+// (creation order — "the number of indexes can only increase while update
+// transactions are active").
+func (c *Catalog) TableIndexes(t types.TableID) []Index {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []Index
+	for _, ix := range c.indexes {
+		if ix.Table == t && ix.State != StateDropped {
+			cp := *ix
+			cp.Columns = append([]int(nil), ix.Columns...)
+			out = append(out, cp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Tables returns all table descriptors.
+func (c *Catalog) Tables() []Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []Table
+	for _, t := range c.tables {
+		out = append(out, *t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Indexes returns all non-dropped index descriptors.
+func (c *Catalog) Indexes() []Index {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []Index
+	for _, ix := range c.indexes {
+		if ix.State != StateDropped {
+			cp := *ix
+			cp.Columns = append([]int(nil), ix.Columns...)
+			out = append(out, cp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Serialization: DDL log payloads and the checkpoint snapshot.
+// ---------------------------------------------------------------------------
+
+func encodeTable(w *enc.Writer, t *Table) {
+	w.U32(uint32(t.ID)).String32(t.Name).U32(uint32(t.FileID)).U32(uint32(len(t.Schema)))
+	for _, col := range t.Schema {
+		w.String32(col.Name).U8(uint8(col.Kind))
+	}
+}
+
+func decodeTable(r *enc.Reader) Table {
+	t := Table{ID: types.TableID(r.U32()), Name: r.String32(), FileID: types.FileID(r.U32())}
+	n := int(r.U32())
+	for i := 0; i < n; i++ {
+		t.Schema = append(t.Schema, Column{Name: r.String32(), Kind: keyenc.Kind(r.U8())})
+	}
+	return t
+}
+
+func encodeIndex(w *enc.Writer, ix *Index) {
+	w.U32(uint32(ix.ID)).String32(ix.Name).U32(uint32(ix.Table)).
+		U32(uint32(ix.FileID)).U32(uint32(ix.SideFile)).
+		Bool(ix.Unique).U8(uint8(ix.Method)).U8(uint8(ix.State)).
+		LSN(ix.CompleteLSN).
+		U32(uint32(len(ix.Columns)))
+	for _, c := range ix.Columns {
+		w.U32(uint32(c))
+	}
+}
+
+func decodeIndex(r *enc.Reader) Index {
+	ix := Index{
+		ID: types.IndexID(r.U32()), Name: r.String32(), Table: types.TableID(r.U32()),
+		FileID: types.FileID(r.U32()), SideFile: types.FileID(r.U32()),
+		Unique: r.Bool(), Method: BuildMethod(r.U8()), State: IndexState(r.U8()),
+		CompleteLSN: r.LSN(),
+	}
+	n := int(r.U32())
+	for i := 0; i < n; i++ {
+		ix.Columns = append(ix.Columns, int(r.U32()))
+	}
+	return ix
+}
+
+// EncodeCreateTable builds a TypeCreateTable payload.
+func EncodeCreateTable(t *Table) []byte {
+	w := enc.NewWriter()
+	encodeTable(w, t)
+	return w.Bytes()
+}
+
+// DecodeCreateTable parses a TypeCreateTable payload.
+func DecodeCreateTable(b []byte) (Table, error) {
+	r := enc.NewReader(b)
+	t := decodeTable(r)
+	return t, r.Err()
+}
+
+// EncodeCreateIndex builds a TypeCreateIndex payload.
+func EncodeCreateIndex(ix *Index) []byte {
+	w := enc.NewWriter()
+	encodeIndex(w, ix)
+	return w.Bytes()
+}
+
+// DecodeCreateIndex parses a TypeCreateIndex payload.
+func DecodeCreateIndex(b []byte) (Index, error) {
+	r := enc.NewReader(b)
+	ix := decodeIndex(r)
+	return ix, r.Err()
+}
+
+// StateChangePayload is the body of TypeIndexStateChange and TypeDropIndex.
+type StateChangePayload struct {
+	Index types.IndexID
+	State IndexState
+}
+
+// Encode serializes the payload.
+func (p *StateChangePayload) Encode() []byte {
+	return enc.NewWriter().U32(uint32(p.Index)).U8(uint8(p.State)).Bytes()
+}
+
+// DecodeStateChange parses a StateChangePayload.
+func DecodeStateChange(b []byte) (StateChangePayload, error) {
+	r := enc.NewReader(b)
+	p := StateChangePayload{Index: types.IndexID(r.U32()), State: IndexState(r.U8())}
+	return p, r.Err()
+}
+
+// Snapshot serializes the whole catalog for the fuzzy checkpoint.
+func (c *Catalog) Snapshot() []byte {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	w := enc.NewWriter()
+	w.U32(uint32(c.nextTbl)).U32(uint32(c.nextIdx)).U32(uint32(c.nextFile))
+	var tids []types.TableID
+	for id := range c.tables {
+		tids = append(tids, id)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	w.U32(uint32(len(tids)))
+	for _, id := range tids {
+		encodeTable(w, c.tables[id])
+	}
+	var iids []types.IndexID
+	for id := range c.indexes {
+		iids = append(iids, id)
+	}
+	sort.Slice(iids, func(i, j int) bool { return iids[i] < iids[j] })
+	w.U32(uint32(len(iids)))
+	for _, id := range iids {
+		encodeIndex(w, c.indexes[id])
+	}
+	return w.Bytes()
+}
+
+// FromSnapshot rebuilds a catalog from a checkpoint snapshot.
+func FromSnapshot(b []byte) (*Catalog, error) {
+	c := New()
+	r := enc.NewReader(b)
+	c.nextTbl = types.TableID(r.U32())
+	c.nextIdx = types.IndexID(r.U32())
+	c.nextFile = types.FileID(r.U32())
+	nt := int(r.U32())
+	for i := 0; i < nt; i++ {
+		t := decodeTable(r)
+		c.tables[t.ID] = &t
+		c.byName[t.Name] = t.ID
+	}
+	ni := int(r.U32())
+	for i := 0; i < ni; i++ {
+		ix := decodeIndex(r)
+		cp := ix
+		c.indexes[ix.ID] = &cp
+		if ix.State != StateDropped {
+			c.idxName[ix.Name] = ix.ID
+		}
+	}
+	return c, r.Err()
+}

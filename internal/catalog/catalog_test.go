@@ -1,0 +1,153 @@
+package catalog
+
+import (
+	"testing"
+
+	"onlineindex/internal/keyenc"
+	"onlineindex/internal/types"
+)
+
+func table(id types.TableID, name string) *Table {
+	return &Table{ID: id, Name: name, FileID: types.FileID(id) + 10, Schema: Schema{
+		{Name: "id", Kind: keyenc.KindInt64},
+		{Name: "name", Kind: keyenc.KindString},
+	}}
+}
+
+func index(id types.IndexID, name string, tbl types.TableID) *Index {
+	return &Index{
+		ID: id, Name: name, Table: tbl, FileID: types.FileID(id) + 100,
+		Columns: []int{1}, Method: MethodSF, State: StateBuilding, SideFile: types.FileID(id) + 200,
+	}
+}
+
+func TestAddLookupTableAndIndex(t *testing.T) {
+	c := New()
+	if err := c.AddTable(table(1, "orders")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTable(table(2, "orders")); err == nil {
+		t.Fatal("duplicate table name accepted")
+	}
+	if err := c.AddIndex(index(1, "by_name", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddIndex(index(2, "by_name", 1)); err == nil {
+		t.Fatal("duplicate index name accepted")
+	}
+	if err := c.AddIndex(index(3, "orphan", 99)); err == nil {
+		t.Fatal("index on missing table accepted")
+	}
+
+	tb, ok := c.Table("orders")
+	if !ok || tb.ID != 1 || len(tb.Schema) != 2 {
+		t.Fatalf("table lookup = %+v ok=%v", tb, ok)
+	}
+	ix, ok := c.Index("by_name")
+	if !ok || ix.ID != 1 || ix.State != StateBuilding {
+		t.Fatalf("index lookup = %+v ok=%v", ix, ok)
+	}
+}
+
+func TestIndexLifecycleAndCompleteLSN(t *testing.T) {
+	c := New()
+	c.AddTable(table(1, "t"))
+	c.AddIndex(index(1, "i", 1))
+	if err := c.SetIndexState(1, StateComplete, 777); err != nil {
+		t.Fatal(err)
+	}
+	ix, _ := c.Index("i")
+	if ix.State != StateComplete || ix.CompleteLSN != 777 {
+		t.Fatalf("after complete: %+v", ix)
+	}
+	if err := c.SetIndexState(1, StateDropped, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Index("i"); ok {
+		t.Fatal("dropped index still visible by name")
+	}
+	if _, ok := c.IndexByID(1); !ok {
+		t.Fatal("dropped index descriptor gone entirely (needed for log replay)")
+	}
+	if err := c.SetIndexState(99, StateComplete, 0); err == nil {
+		t.Fatal("state change of missing index accepted")
+	}
+}
+
+func TestTableIndexesOrderedByCreation(t *testing.T) {
+	c := New()
+	c.AddTable(table(1, "t"))
+	c.AddIndex(index(3, "c", 1))
+	c.AddIndex(index(1, "a", 1))
+	c.AddIndex(index(2, "b", 1))
+	c.SetIndexState(2, StateDropped, 0)
+	ixs := c.TableIndexes(1)
+	if len(ixs) != 2 || ixs[0].ID != 1 || ixs[1].ID != 3 {
+		t.Fatalf("indexes = %+v", ixs)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	c := New()
+	c.AddTable(table(1, "orders"))
+	c.AddTable(table(2, "lines"))
+	c.AddIndex(index(1, "by_name", 1))
+	c.AddIndex(index(2, "by_id", 2))
+	c.SetIndexState(2, StateComplete, 555)
+	id := c.AllocFileID()
+
+	c2, err := FromSnapshot(c.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c2.Tables()) != 2 || len(c2.Indexes()) != 2 {
+		t.Fatalf("restored: %d tables, %d indexes", len(c2.Tables()), len(c2.Indexes()))
+	}
+	ix, ok := c2.Index("by_id")
+	if !ok || ix.CompleteLSN != 555 || ix.State != StateComplete {
+		t.Fatalf("restored index = %+v", ix)
+	}
+	tb, _ := c2.Table("orders")
+	if tb.Schema[1].Kind != keyenc.KindString {
+		t.Fatal("schema kind lost")
+	}
+	// ID allocators continue past the snapshot.
+	if next := c2.AllocFileID(); next <= id {
+		t.Fatalf("file ID allocator regressed: %d <= %d", next, id)
+	}
+	if c2.NextTableID() <= 2 || c2.NextIndexID() <= 2 {
+		t.Fatal("table/index ID allocators regressed")
+	}
+}
+
+func TestDDLPayloadRoundTrip(t *testing.T) {
+	tb := table(4, "x")
+	got, err := DecodeCreateTable(EncodeCreateTable(tb))
+	if err != nil || got.Name != "x" || got.FileID != tb.FileID || len(got.Schema) != 2 {
+		t.Fatalf("table payload: %+v, %v", got, err)
+	}
+	ix := index(9, "idx", 4)
+	ix.Unique = true
+	gotIx, err := DecodeCreateIndex(EncodeCreateIndex(ix))
+	if err != nil || gotIx.Name != "idx" || !gotIx.Unique || gotIx.SideFile != ix.SideFile ||
+		len(gotIx.Columns) != 1 || gotIx.Columns[0] != 1 {
+		t.Fatalf("index payload: %+v, %v", gotIx, err)
+	}
+	sc := StateChangePayload{Index: 9, State: StateComplete}
+	gotSc, err := DecodeStateChange(sc.Encode())
+	if err != nil || gotSc != sc {
+		t.Fatalf("state payload: %+v, %v", gotSc, err)
+	}
+}
+
+func TestCopySemantics(t *testing.T) {
+	c := New()
+	c.AddTable(table(1, "t"))
+	c.AddIndex(index(1, "i", 1))
+	ix, _ := c.Index("i")
+	ix.Columns[0] = 99 // mutate the copy
+	again, _ := c.Index("i")
+	if again.Columns[0] == 99 {
+		t.Fatal("catalog returned aliased column slice")
+	}
+}

@@ -1,0 +1,351 @@
+// Package core implements the paper's contribution: building a B+-tree
+// index on a table without quiescing updates, by the NSF (No Side-File,
+// §2) and SF (Side-File, §3) algorithms, plus the offline baseline the
+// paper's introduction criticizes (quiesce updates for the whole build).
+//
+// Both online algorithms share the pipeline
+//
+//	scan data pages (share-latching only, no locks)
+//	  → restartable sort (tournament tree, run files, checkpoints)
+//	  → restartable merge feeding the index
+//	  → completion,
+//
+// and checkpoint their progress in TypeIBCheckpoint log records committed by
+// the builder's rotating transaction, so a system failure loses at most one
+// checkpoint interval of work (§2.2.3, §3.2.4, §5). Resume continues an
+// interrupted build from its last checkpoint after restart recovery.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"onlineindex/internal/catalog"
+	"onlineindex/internal/enc"
+	"onlineindex/internal/engine"
+	"onlineindex/internal/extsort"
+	"onlineindex/internal/lock"
+	"onlineindex/internal/txn"
+	"onlineindex/internal/types"
+	"onlineindex/internal/wal"
+)
+
+// Options tunes an index build.
+type Options struct {
+	// SortMemory is the tournament-tree capacity in keys (default 4096).
+	SortMemory int
+	// FillFactor is the bottom-up loader's node fill fraction (default 0.9).
+	FillFactor float64
+	// CheckpointPages: take a scan-phase checkpoint every N data pages
+	// (0 disables mid-scan checkpoints).
+	CheckpointPages int
+	// CheckpointKeys: take an insert/load-phase checkpoint every N keys
+	// (0 disables).
+	CheckpointKeys int
+	// BatchSize is the NSF multi-key insert batch (default 64).
+	BatchSize int
+	// SortSideFile applies the side-file sorted ("for improved performance,
+	// IB could sort the entries of the side-file, without modifying the
+	// relative positions of the identical keys", §3.2.5). The tail appended
+	// during the sorted pass is still processed sequentially.
+	SortSideFile bool
+	// GCAfterBuild schedules a pseudo-deleted key cleanup pass after an NSF
+	// build (§2.2.4).
+	GCAfterBuild bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SortMemory <= 0 {
+		o.SortMemory = 4096
+	}
+	if o.FillFactor <= 0 {
+		o.FillFactor = 0.9
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 64
+	}
+	return o
+}
+
+// Stats reports what a build did.
+type Stats struct {
+	Method          catalog.BuildMethod
+	PagesScanned    uint64
+	KeysExtracted   uint64
+	KeysInserted    uint64
+	KeysSkipped     uint64 // duplicates rejected (races IB lost)
+	SideFileLen     uint64 // entries the side-file accumulated (SF)
+	SideFileApplied uint64
+	Checkpoints     uint64
+	Runs            int // sorted runs produced
+	ScanSort        time.Duration
+	Insert          time.Duration // key insertion / bottom-up load
+	SideFile        time.Duration // side-file processing (SF)
+	QuiesceWait     time.Duration // time spent waiting to quiesce (NSF DDL / offline)
+	GC              struct {
+		Collected, Skipped int
+	}
+}
+
+// Result of a completed build.
+type Result struct {
+	Index catalog.Index
+	Stats Stats
+}
+
+// ErrBuildCancelled is returned when a unique violation (or explicit cancel)
+// aborts the build: "the index-build operation is abnormally terminated
+// since a unique index cannot be built on this table" (§2.2.3).
+var ErrBuildCancelled = errors.New("core: index build cancelled")
+
+// builder carries one build's state.
+type builder struct {
+	db   *engine.DB
+	ix   catalog.Index
+	tbl  catalog.Table
+	opts Options
+	ctl  *engine.BuildCtl
+	tx   *txn.Txn // rotating builder transaction, committed at checkpoints
+	st   Stats
+}
+
+// Build creates an index with the given method, concurrently with updates
+// for the online methods. It blocks until the index is complete (run it in
+// a goroutine to overlap with a workload).
+func Build(db *engine.DB, spec engine.CreateIndexSpec, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	b := &builder{db: db, opts: opts}
+	b.st.Method = spec.Method
+
+	switch spec.Method {
+	case catalog.MethodNSF:
+		return b.buildNSF(spec)
+	case catalog.MethodSF:
+		return b.buildSF(spec)
+	case catalog.MethodOffline:
+		return b.buildOffline(spec)
+	default:
+		return nil, fmt.Errorf("core: unknown build method %v", spec.Method)
+	}
+}
+
+// item encoding for the external sort: key bytes followed by a fixed-width
+// RID suffix, so bytes.Compare on items equals the (key value, RID) entry
+// order of the index.
+const ridSuffix = 10
+
+func encodeItem(key []byte, rid types.RID) []byte {
+	out := make([]byte, 0, len(key)+ridSuffix)
+	out = append(out, key...)
+	var tail [ridSuffix]byte
+	putRIDBytes(tail[:], rid)
+	return append(out, tail[:]...)
+}
+
+func decodeItem(item []byte) (key []byte, rid types.RID, err error) {
+	if len(item) < ridSuffix {
+		return nil, types.RID{}, fmt.Errorf("core: sort item too short (%d bytes)", len(item))
+	}
+	cut := len(item) - ridSuffix
+	return item[:cut], getRIDBytes(item[cut:]), nil
+}
+
+func putRIDBytes(dst []byte, r types.RID) {
+	be := func(off int, v uint32) {
+		dst[off] = byte(v >> 24)
+		dst[off+1] = byte(v >> 16)
+		dst[off+2] = byte(v >> 8)
+		dst[off+3] = byte(v)
+	}
+	be(0, uint32(r.PageID.File))
+	be(4, uint32(r.PageID.Page))
+	dst[8] = byte(uint16(r.Slot) >> 8)
+	dst[9] = byte(r.Slot)
+}
+
+func getRIDBytes(src []byte) types.RID {
+	be := func(off int) uint32 {
+		return uint32(src[off])<<24 | uint32(src[off+1])<<16 | uint32(src[off+2])<<8 | uint32(src[off+3])
+	}
+	return types.RID{
+		PageID: types.PageID{File: types.FileID(be(0)), Page: types.PageNum(be(4))},
+		Slot:   types.SlotNum(uint16(src[8])<<8 | uint16(src[9])),
+	}
+}
+
+// sortPrefix names a build's run files deterministically so restart finds
+// them.
+func sortPrefix(ix types.IndexID) string { return fmt.Sprintf("ib-%06d", ix) }
+
+// rotate commits the builder transaction with a checkpoint record and
+// starts a fresh one. The commit forces the log, making the checkpoint (and
+// everything the builder logged before it) durable — "this involves IB
+// recording on stable storage the highest key and issuing a commit call"
+// (§2.2.3).
+func (b *builder) rotate(st engine.IBState) error {
+	payload := st.Encode()
+	if _, err := b.tx.Log(&wal.Record{Type: wal.TypeIBCheckpoint, Flags: wal.FlagRedo, Payload: payload}); err != nil {
+		return err
+	}
+	if err := b.tx.Commit(); err != nil {
+		return err
+	}
+	b.db.NoteIBCheckpoint(b.ix.ID, payload)
+	b.st.Checkpoints++
+	b.tx = b.db.Begin()
+	return nil
+}
+
+// scanPosition encodes the data scan cursor stored inside the sort state.
+func scanPosition(next, end types.PageNum) []byte {
+	return enc.NewWriter().U32(uint32(next)).U32(uint32(end)).Bytes()
+}
+
+func parseScanPosition(b []byte) (next, end types.PageNum, err error) {
+	r := enc.NewReader(b)
+	next = types.PageNum(r.U32())
+	end = types.PageNum(r.U32())
+	return next, end, r.Err()
+}
+
+// cancel aborts the build: roll back the in-flight builder transaction and
+// drop the descriptor under the §2.3.2 quiesce.
+func (b *builder) cancel(cause error) error {
+	if b.tx != nil && b.tx.State() == txn.StateActive {
+		if err := b.tx.Rollback(); err != nil {
+			return err
+		}
+	}
+	if b.ctl != nil {
+		b.db.UnregisterBuild(b.ix.ID)
+	}
+	b.db.DropIBCheckpoint(b.ix.ID)
+	if err := b.db.DropIndex(b.ix.Name); err != nil {
+		return fmt.Errorf("core: cancelling build of %q: %w (cause: %v)", b.ix.Name, err, cause)
+	}
+	return fmt.Errorf("%w: %w", ErrBuildCancelled, cause)
+}
+
+// verifyIBConflict runs the §2.2.3 unique-check: "IB would lock both records
+// in share mode, and then access the index page and the corresponding data
+// page(s) to verify whether the duplicate key value condition still exists."
+// Returns action: skip the key (its record changed), replace the terminated
+// pseudo entry, or fail the build.
+type conflictAction int
+
+const (
+	conflictSkipKey conflictAction = iota
+	conflictReplace
+	conflictFatal
+	conflictRetry
+)
+
+func (b *builder) verifyIBConflict(tree treeLike, key []byte, rid, other types.RID, otherPseudo bool) (conflictAction, error) {
+	// Lock both records in share mode (waits out uncommitted owners).
+	if err := b.tx.Lock(lock.RecordName(rid), lock.S); err != nil {
+		return 0, err
+	}
+	if err := b.tx.Lock(lock.RecordName(other), lock.S); err != nil {
+		return 0, err
+	}
+	// (1) Does our record still produce this key?
+	if ok, err := b.recordHasKey(rid, key); err != nil {
+		return 0, err
+	} else if !ok {
+		return conflictSkipKey, nil // record deleted/updated since extraction
+	}
+	// (2) Does the competing entry still exist, and in what state?
+	found, pseudo, err := tree.SearchEntry(key, other)
+	if err != nil {
+		return 0, err
+	}
+	if !found {
+		return conflictRetry, nil
+	}
+	if pseudo {
+		return conflictReplace, nil
+	}
+	// (3) Does the competing record still produce this key value?
+	if ok, err := b.recordHasKey(other, key); err != nil {
+		return 0, err
+	} else if !ok {
+		// Stale live entry for a changed record: the owning transaction's
+		// delete must still be in flight elsewhere; retry.
+		return conflictRetry, nil
+	}
+	return conflictFatal, nil
+}
+
+// treeLike is the slice of the btree API conflict verification needs.
+type treeLike interface {
+	SearchEntry(key []byte, rid types.RID) (bool, bool, error)
+}
+
+// recordHasKey reports whether the record at rid exists and its key columns
+// encode to key.
+func (b *builder) recordHasKey(rid types.RID, key []byte) (bool, error) {
+	h, err := b.db.HeapOf(b.tbl.ID)
+	if err != nil {
+		return false, err
+	}
+	rec, ok, err := h.Get(rid)
+	if err != nil || !ok {
+		return false, err
+	}
+	got, err := engine.IndexKeyFromRecord(&b.ix, rec)
+	if err != nil {
+		return false, err
+	}
+	return string(got) == string(key), nil
+}
+
+// extractAndSort runs the shared scan phase: visit data pages [from..end],
+// extract keys under the page share latch, feed the sorter, optionally
+// advance the SF Current-RID, and checkpoint periodically.
+func (b *builder) extractAndSort(sorter *extsort.Sorter, from, end types.PageNum, phase engine.IBPhase) error {
+	h, err := b.db.HeapOf(b.tbl.ID)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	for pg := from; pg <= end; pg++ {
+		err := h.VisitPage(pg, func(rid types.RID, rec []byte) error {
+			key, err := engine.IndexKeyFromRecord(&b.ix, rec)
+			if err != nil {
+				return err
+			}
+			b.st.KeysExtracted++
+			return sorter.Add(encodeItem(key, rid))
+		}, func() error {
+			// Under the page latch: advance Current-RID past the whole page
+			// so every later modification of it routes to the side-file.
+			if b.ctl != nil {
+				b.ctl.AdvanceCurrentRID(types.RID{PageID: types.PageID{File: b.tbl.FileID, Page: pg + 1}})
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		b.st.PagesScanned++
+		if b.opts.CheckpointPages > 0 && int(pg-from+1)%b.opts.CheckpointPages == 0 && pg != end {
+			ss, err := sorter.Checkpoint(scanPosition(pg+1, end))
+			if err != nil {
+				return err
+			}
+			st := engine.IBState{
+				Index: b.ix.ID, Phase: phase, EndPage: end,
+				SortState: ss.Encode(),
+			}
+			if b.ctl != nil {
+				st.CurrentRID = b.ctl.CurrentRID()
+			}
+			if err := b.rotate(st); err != nil {
+				return err
+			}
+		}
+	}
+	b.st.ScanSort += time.Since(start)
+	return nil
+}

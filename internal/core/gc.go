@@ -1,0 +1,46 @@
+package core
+
+import (
+	"fmt"
+
+	"onlineindex/internal/btree"
+	"onlineindex/internal/engine"
+	"onlineindex/internal/lock"
+	"onlineindex/internal/types"
+)
+
+// GC garbage-collects pseudo-deleted keys from an index, per §2.2.4:
+//
+//	"Scan the leaf pages. For each page, latch the page and check if there
+//	are any pseudo-deleted keys. If there are, then apply the Commit_LSN
+//	check. If it is successful, then garbage collect those keys; otherwise,
+//	for each pseudo-deleted key, request a conditional instant share lock on
+//	it. If the lock is granted, then delete the key; otherwise, skip it
+//	since the key's deletion is probably uncommitted."
+//
+// The Commit_LSN check ([Moha90b]) lets whole pages skip per-key locking:
+// a page whose PageLSN is below the first LSN of the oldest active
+// transaction contains only committed changes.
+func GC(db *engine.DB, indexName string) (btree.GCResult, error) {
+	ix, ok := db.Catalog().Index(indexName)
+	if !ok {
+		return btree.GCResult{}, fmt.Errorf("core: no index %q", indexName)
+	}
+	tree, err := db.TreeOf(ix.ID)
+	if err != nil {
+		return btree.GCResult{}, err
+	}
+	tx := db.Begin()
+	commitLSN := db.Txns().CommitLSN()
+	res, err := tree.GC(tx,
+		func(pageLSN types.LSN) bool { return pageLSN < commitLSN },
+		func(key []byte, rid types.RID) bool {
+			// With data-only locking the key lock is the record lock (§6.2).
+			return tx.LockConditionalInstant(lock.RecordName(rid), lock.S) == nil
+		})
+	if err != nil {
+		tx.Rollback()
+		return res, err
+	}
+	return res, tx.Commit()
+}

@@ -1,0 +1,25 @@
+package core
+
+import (
+	"testing"
+
+	"onlineindex/internal/catalog"
+)
+
+func BenchmarkLoadPhaseOnly(b *testing.B) {
+	for _, method := range []catalog.BuildMethod{catalog.MethodOffline, catalog.MethodNSF, catalog.MethodSF} {
+		b.Run(method.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				db, _ := newDB(b, 20000)
+				b.StartTimer()
+				res, err := Build(db, spec("bench", method, false), Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Stats.Insert.Seconds()*1000, "insert-ms")
+				b.ReportMetric(res.Stats.ScanSort.Seconds()*1000, "scan-ms")
+			}
+		})
+	}
+}

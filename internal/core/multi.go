@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"onlineindex/internal/catalog"
+	"onlineindex/internal/engine"
+	"onlineindex/internal/extsort"
+	"onlineindex/internal/types"
+)
+
+// BuildMany builds several indexes on one table in a single data scan
+// (§6.2: "since the cost of accessing all the data pages may be a
+// significant part of the overall cost of index build, it would be very
+// beneficial to build multiple indexes in one data scan"). All specs must
+// name the same table and the same method. The scan feeds one sorter per
+// index; afterwards each index finishes its own merge/load/side-file phases.
+//
+// For SF, all the builds share the single scan position: each index's
+// Current-RID advances in lockstep under the page latch, so transactions
+// route changes for every index consistently.
+func BuildMany(db *engine.DB, specs []engine.CreateIndexSpec, opts Options) ([]*Result, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	opts = opts.withDefaults()
+	table, method := specs[0].Table, specs[0].Method
+	for _, s := range specs[1:] {
+		if s.Table != table || s.Method != method {
+			return nil, fmt.Errorf("core: BuildMany requires one table and one method")
+		}
+	}
+	if method == catalog.MethodOffline {
+		return buildManyOffline(db, specs, opts)
+	}
+
+	tbl, ok := db.Catalog().Table(table)
+	if !ok {
+		return nil, fmt.Errorf("core: no table %q", table)
+	}
+
+	// Create all descriptors (NSF quiesces per descriptor — each quiesce is
+	// short; SF quiesces nothing).
+	builders := make([]*builder, len(specs))
+	for i, spec := range specs {
+		b := &builder{db: db, tbl: tbl, opts: opts}
+		b.st.Method = method
+		var ix catalog.Index
+		var err error
+		if method == catalog.MethodSF {
+			ix, err = db.CreateIndexDescriptorWithCtl(spec, func(ix catalog.Index) *engine.BuildCtl {
+				b.ctl = engine.NewBuildCtl(ix.ID, catalog.MethodSF, engine.PhaseCapture)
+				b.ctl.SetCurrentRID(types.RID{PageID: types.PageID{File: tbl.FileID}})
+				return b.ctl
+			})
+		} else {
+			ix, err = db.CreateIndexDescriptor(spec)
+		}
+		if err != nil {
+			for _, done := range builders[:i] {
+				done.cancel(err) //nolint:errcheck // best-effort cleanup
+			}
+			return nil, err
+		}
+		b.ix = ix
+		b.tx = db.Begin()
+		builders[i] = b
+	}
+
+	// One shared scan feeding every sorter. For SF the scan chases the
+	// file's actual end before Current-RID goes to infinity (see
+	// builder.sfScan for why); for NSF the noted end is enough because
+	// transactions maintain the new indexes directly.
+	h, err := db.HeapOf(tbl.ID)
+	if err != nil {
+		return nil, err
+	}
+	sorters := make([]*extsort.Sorter, len(builders))
+	for i, b := range builders {
+		sorters[i] = extsort.NewSorter(db.FS(), sortPrefix(b.ix.ID), opts.SortMemory)
+	}
+	start := time.Now()
+	scanRange := func(from, to types.PageNum) error {
+		for pg := from; pg <= to; pg++ {
+			err := h.VisitPage(pg, func(rid types.RID, rec []byte) error {
+				for i, b := range builders {
+					key, err := engine.IndexKeyFromRecord(&b.ix, rec)
+					if err != nil {
+						return err
+					}
+					b.st.KeysExtracted++
+					if err := sorters[i].Add(encodeItem(key, rid)); err != nil {
+						return err
+					}
+				}
+				return nil
+			}, func() error {
+				for _, b := range builders {
+					if b.ctl != nil {
+						b.ctl.AdvanceCurrentRID(types.RID{PageID: types.PageID{File: tbl.FileID, Page: pg + 1}})
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			for _, b := range builders {
+				b.st.PagesScanned++
+			}
+		}
+		return nil
+	}
+	scanned := types.PageNum(0)
+	for {
+		m, err := h.PageCount()
+		if err != nil {
+			return nil, err
+		}
+		if m <= scanned {
+			break
+		}
+		if err := scanRange(scanned, m-1); err != nil {
+			return nil, err
+		}
+		scanned = m
+		if method == catalog.MethodNSF {
+			break // noted end is enough: transactions maintain NSF directly
+		}
+	}
+	for _, b := range builders {
+		if b.ctl != nil {
+			b.ctl.SetCurrentRID(types.MaxRID)
+		}
+	}
+	if method == catalog.MethodSF {
+		if m, err := h.PageCount(); err != nil {
+			return nil, err
+		} else if m > scanned {
+			if err := scanRange(scanned, m-1); err != nil {
+				return nil, err
+			}
+		}
+	}
+	scanDur := time.Since(start)
+	for _, b := range builders {
+		b.st.ScanSort += scanDur
+	}
+
+	// Finish each index concurrently — "a process can be spawned for each
+	// index to sort the keys, insert them and process the side-file" (§6.2).
+	// Concurrency matters beyond wall-clock: while one SF index catches up
+	// on its side-file, the others would otherwise keep capturing and their
+	// side-files would keep growing.
+	results := make([]*Result, len(builders))
+	errs := make([]error, len(builders))
+	var wg sync.WaitGroup
+	for i, b := range builders {
+		wg.Add(1)
+		go func(i int, b *builder) {
+			defer wg.Done()
+			if method == catalog.MethodNSF {
+				results[i], errs[i] = b.finishNSFFromSorter(sorters[i])
+				return
+			}
+			runs, err := sorters[i].Finish()
+			if err != nil {
+				errs[i] = b.cancel(err)
+				return
+			}
+			b.st.Runs = len(runs)
+			if err := b.sfLoadPhase(runs, nil, nil); err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = b.sfSideFilePhase(0)
+		}(i, b)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// buildManyOffline builds all indexes under one quiesce and one scan.
+func buildManyOffline(db *engine.DB, specs []engine.CreateIndexSpec, opts Options) ([]*Result, error) {
+	results := make([]*Result, 0, len(specs))
+	tbl, ok := db.Catalog().Table(specs[0].Table)
+	if !ok {
+		return nil, fmt.Errorf("core: no table %q", specs[0].Table)
+	}
+	quiesce, err := db.QuiesceTable(tbl.ID)
+	if err != nil {
+		return nil, err
+	}
+	defer quiesce.Commit() //nolint:errcheck
+	for _, spec := range specs {
+		b := &builder{db: db, opts: opts}
+		b.st.Method = catalog.MethodOffline
+		res, err := b.buildOffline(spec)
+		if err != nil {
+			return results, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}

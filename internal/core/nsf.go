@@ -1,0 +1,292 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"onlineindex/internal/btree"
+	"onlineindex/internal/engine"
+	"onlineindex/internal/extsort"
+)
+
+// buildNSF runs the No Side-File algorithm (§2):
+//
+//  1. Create the index descriptor under a short table-S-lock quiesce; from
+//     then on transactions maintain the new index directly.
+//  2. Scan the data pages (share latches only), extracting and sorting the
+//     keys in a pipelined, restartable sort.
+//  3. Merge the runs and insert the keys through the multi-key interface
+//     with the remembered-path cursor, checkpointing the highest inserted
+//     key periodically. Duplicates lost to transaction races are rejected
+//     without logging; unique conflicts run the both-records-locked
+//     verification.
+//  4. Make the index available for reads.
+//  5. Optionally garbage-collect pseudo-deleted keys.
+func (b *builder) buildNSF(spec engine.CreateIndexSpec) (*Result, error) {
+	tbl, ok := b.db.Catalog().Table(spec.Table)
+	if !ok {
+		return nil, fmt.Errorf("core: no table %q", spec.Table)
+	}
+	b.tbl = tbl
+
+	// Step 1: descriptor under the short quiesce (inside the engine call).
+	qStart := time.Now()
+	ix, err := b.db.CreateIndexDescriptor(spec)
+	if err != nil {
+		return nil, err
+	}
+	b.ix = ix
+	b.st.QuiesceWait = time.Since(qStart)
+	b.tx = b.db.Begin()
+
+	// Step 2: note the scan end before starting ("the last page to be
+	// processed by the data page scan can be noted before starting IB's
+	// data scan... transactions would insert directly into the index the
+	// keys of records belonging to those new pages").
+	h, err := b.db.HeapOf(tbl.ID)
+	if err != nil {
+		return nil, err
+	}
+	nPages, err := h.PageCount()
+	if err != nil {
+		return nil, err
+	}
+	sorter := extsort.NewSorter(b.db.FS(), sortPrefix(ix.ID), b.opts.SortMemory)
+	if nPages > 0 {
+		if err := b.extractAndSort(sorter, 0, nPages-1, engine.IBPhaseScan); err != nil {
+			return nil, b.cancel(err)
+		}
+	}
+	runs, err := sorter.Finish()
+	if err != nil {
+		return nil, b.cancel(err)
+	}
+	b.st.Runs = len(runs)
+
+	// Step 3: merge + insert.
+	merger, err := extsort.NewMerger(b.db.FS(), runs, nil)
+	if err != nil {
+		return nil, b.cancel(err)
+	}
+	defer merger.Close()
+	if err := b.nsfInsertPhase(merger, runs); err != nil {
+		return nil, err // cancel already handled inside
+	}
+
+	// Step 4: available for reads.
+	if err := b.db.SetIndexComplete(b.tx, ix.ID); err != nil {
+		return nil, b.cancel(err)
+	}
+	if err := b.tx.Commit(); err != nil {
+		return nil, err
+	}
+	b.db.DropIBCheckpoint(ix.ID)
+
+	// Step 5: optional cleanup.
+	if b.opts.GCAfterBuild {
+		res, err := GC(b.db, ix.Name)
+		if err != nil {
+			return nil, err
+		}
+		b.st.GC.Collected = res.Collected
+		b.st.GC.Skipped = res.Skipped
+	}
+	done, _ := b.db.Catalog().Index(ix.Name)
+	return &Result{Index: done, Stats: b.st}, nil
+}
+
+// nsfInsertPhase streams the merged keys into the tree in multi-key batches.
+func (b *builder) nsfInsertPhase(merger *extsort.Merger, runs []extsort.RunMeta) error {
+	tree, err := b.db.TreeOf(b.ix.ID)
+	if err != nil {
+		return b.cancel(err)
+	}
+	start := time.Now()
+	cursor := &btree.IBCursor{}
+	var batch []btree.Entry
+	var sinceCkpt int
+	var lastItem []byte
+
+	flush := func() error {
+		for len(batch) > 0 {
+			res, conflict, at, err := tree.IBInsertBatch(b.tx, batch, cursor)
+			b.st.KeysInserted += uint64(res.Inserted)
+			b.st.KeysSkipped += uint64(res.Skipped)
+			if err != nil {
+				return err
+			}
+			if conflict == nil {
+				batch = batch[:0]
+				return nil
+			}
+			e := batch[at]
+			action, err := b.verifyIBConflict(tree, e.Key, e.RID, conflict.OtherRID, conflict.Pseudo)
+			if err != nil {
+				return err
+			}
+			switch action {
+			case conflictFatal:
+				return &engine.UniqueViolationError{Index: b.ix.Name, Key: e.Key, Existing: conflict.OtherRID}
+			case conflictSkipKey:
+				batch = batch[at+1:]
+				b.st.KeysSkipped++
+			case conflictReplace:
+				if err := tree.ReplaceRID(b.tx, e.Key, conflict.OtherRID, e.RID); err != nil {
+					if _, isConflict := err.(*btree.UniqueConflict); isConflict {
+						batch = batch[at:] // retry the whole entry
+						continue
+					}
+					return err
+				}
+				b.st.KeysInserted++
+				batch = batch[at+1:]
+			case conflictRetry:
+				batch = batch[at:]
+			}
+		}
+		return nil
+	}
+
+	for {
+		item, _, ok, err := merger.Next()
+		if err != nil {
+			return b.cancel(err)
+		}
+		if !ok {
+			break
+		}
+		key, rid, err := decodeItem(item)
+		if err != nil {
+			return b.cancel(err)
+		}
+		batch = append(batch, btree.Entry{Key: append([]byte(nil), key...), RID: rid})
+		lastItem = item
+		if len(batch) >= b.opts.BatchSize {
+			if err := flush(); err != nil {
+				return b.cancel(err)
+			}
+		}
+		sinceCkpt++
+		if b.opts.CheckpointKeys > 0 && sinceCkpt >= b.opts.CheckpointKeys {
+			if err := flush(); err != nil {
+				return b.cancel(err)
+			}
+			ms := merger.State()
+			st := engine.IBState{
+				Index: b.ix.ID, Phase: engine.IBPhaseInsert,
+				MergeState: ms.Encode(), HighKey: append([]byte(nil), lastItem...),
+			}
+			if err := b.rotate(st); err != nil {
+				return b.cancel(err)
+			}
+			sinceCkpt = 0
+		}
+	}
+	if err := flush(); err != nil {
+		return b.cancel(err)
+	}
+	b.st.Insert += time.Since(start)
+	_ = runs
+	return nil
+}
+
+// resumeNSF continues an interrupted NSF build from its last checkpoint.
+func (b *builder) resumeNSF(state *engine.IBState) (*Result, error) {
+	b.tx = b.db.Begin()
+	switch {
+	case state == nil:
+		// Crashed before the first checkpoint: everything before the
+		// descriptor is durable; redo the scan from the beginning.
+		h, err := b.db.HeapOf(b.tbl.ID)
+		if err != nil {
+			return nil, err
+		}
+		n, err := h.PageCount()
+		if err != nil {
+			return nil, err
+		}
+		sorter := extsort.NewSorter(b.db.FS(), sortPrefix(b.ix.ID), b.opts.SortMemory)
+		if n > 0 {
+			if err := b.extractAndSort(sorter, 0, n-1, engine.IBPhaseScan); err != nil {
+				return nil, b.cancel(err)
+			}
+		}
+		return b.finishNSFFromSorter(sorter)
+
+	case state.Phase == engine.IBPhaseScan:
+		ss, err := extsort.DecodeSortState(state.SortState)
+		if err != nil {
+			return nil, err
+		}
+		sorter, scanPos, err := extsort.ResumeSorterWithCapacity(b.db.FS(), ss, b.opts.SortMemory)
+		if err != nil {
+			return nil, err
+		}
+		next, end, err := parseScanPosition(scanPos)
+		if err != nil {
+			return nil, err
+		}
+		if next <= end {
+			if err := b.extractAndSort(sorter, next, end, engine.IBPhaseScan); err != nil {
+				return nil, b.cancel(err)
+			}
+		}
+		return b.finishNSFFromSorter(sorter)
+
+	case state.Phase == engine.IBPhaseInsert:
+		ms, err := extsort.DecodeMergeState(state.MergeState)
+		if err != nil {
+			return nil, err
+		}
+		merger, err := extsort.ResumeMerger(b.db.FS(), ms)
+		if err != nil {
+			return nil, err
+		}
+		defer merger.Close()
+		b.st.Runs = len(ms.Runs)
+		if err := b.nsfInsertPhase(merger, ms.Runs); err != nil {
+			return nil, err
+		}
+		return b.completeNSF()
+
+	default:
+		return nil, fmt.Errorf("core: NSF build of %q in unexpected phase %v", b.ix.Name, state.Phase)
+	}
+}
+
+func (b *builder) finishNSFFromSorter(sorter *extsort.Sorter) (*Result, error) {
+	runs, err := sorter.Finish()
+	if err != nil {
+		return nil, b.cancel(err)
+	}
+	b.st.Runs = len(runs)
+	merger, err := extsort.NewMerger(b.db.FS(), runs, nil)
+	if err != nil {
+		return nil, b.cancel(err)
+	}
+	defer merger.Close()
+	if err := b.nsfInsertPhase(merger, runs); err != nil {
+		return nil, err
+	}
+	return b.completeNSF()
+}
+
+func (b *builder) completeNSF() (*Result, error) {
+	if err := b.db.SetIndexComplete(b.tx, b.ix.ID); err != nil {
+		return nil, b.cancel(err)
+	}
+	if err := b.tx.Commit(); err != nil {
+		return nil, err
+	}
+	b.db.DropIBCheckpoint(b.ix.ID)
+	if b.opts.GCAfterBuild {
+		res, err := GC(b.db, b.ix.Name)
+		if err != nil {
+			return nil, err
+		}
+		b.st.GC.Collected = res.Collected
+		b.st.GC.Skipped = res.Skipped
+	}
+	done, _ := b.db.Catalog().Index(b.ix.Name)
+	return &Result{Index: done, Stats: b.st}, nil
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+
+	"onlineindex/internal/catalog"
+	"onlineindex/internal/engine"
+)
+
+// Resume continues one interrupted index build found by restart recovery.
+// The build picks up from its last committed checkpoint: the restartable
+// sort repositions its runs and scan, the bottom-up loader truncates back to
+// its checkpoint, side-file processing resumes at the recorded position —
+// "in case a system failure were to interrupt the completion of the creation
+// of the index, not all the so-far-accomplished work is lost" (§1.3).
+func Resume(db *engine.DB, pb engine.PendingBuild, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	tbl, ok := db.Catalog().TableByID(pb.Index.Table)
+	if !ok {
+		return nil, fmt.Errorf("core: resumed index %q references missing table %d", pb.Index.Name, pb.Index.Table)
+	}
+	b := &builder{db: db, ix: pb.Index, tbl: tbl, opts: opts}
+	b.st.Method = pb.Index.Method
+	switch pb.Index.Method {
+	case catalog.MethodNSF:
+		return b.resumeNSF(pb.State)
+	case catalog.MethodSF:
+		b.ctl = db.BuildCtlOf(pb.Index.ID)
+		if b.ctl == nil {
+			return nil, fmt.Errorf("core: SF build of %q has no registered control after recovery", pb.Index.Name)
+		}
+		return b.resumeSF(pb.State)
+	default:
+		return nil, fmt.Errorf("core: build method %v is not resumable", pb.Index.Method)
+	}
+}
+
+// ResumeAll resumes every interrupted build after recovery, in index-ID
+// order, returning the results.
+func ResumeAll(db *engine.DB, opts Options) ([]*Result, error) {
+	pending, err := db.PendingBuilds()
+	if err != nil {
+		return nil, err
+	}
+	var out []*Result
+	for _, pb := range pending {
+		res, err := Resume(db, pb, opts)
+		if err != nil {
+			return out, fmt.Errorf("core: resuming %q: %w", pb.Index.Name, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Cancel aborts an in-progress build from outside (§2.3.2): quiesce the
+// table, drop the descriptor, discard the builder state.
+func Cancel(db *engine.DB, indexName string) error {
+	ix, ok := db.Catalog().Index(indexName)
+	if !ok {
+		return fmt.Errorf("core: no index %q", indexName)
+	}
+	if ix.State != catalog.StateBuilding {
+		return fmt.Errorf("core: index %q is not being built", indexName)
+	}
+	db.UnregisterBuild(ix.ID)
+	db.DropIBCheckpoint(ix.ID)
+	return db.DropIndex(indexName)
+}

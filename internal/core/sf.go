@@ -1,0 +1,501 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"onlineindex/internal/btree"
+	"onlineindex/internal/catalog"
+	"onlineindex/internal/engine"
+	"onlineindex/internal/extsort"
+	"onlineindex/internal/lock"
+	"onlineindex/internal/sidefile"
+	"onlineindex/internal/types"
+)
+
+// buildSF runs the Side-File algorithm (§3):
+//
+//  1. Create the descriptor and the side-file with no quiescing; register
+//     the build control (Index_Build flag + Current-RID) first so the
+//     descriptor and the protocol state appear together.
+//  2. Scan the data pages, advancing Current-RID past each page under its
+//     latch; extract and sort (restartable). Transactions route changes
+//     behind the scan position to the side-file.
+//  3. At scan end set Current-RID to infinity, then merge the runs into the
+//     bottom-up loader — no logging, no traversals, sequential page
+//     allocation (checkpointed via the loader state).
+//  4. Flush the loaded tree, then process the side-file from the beginning,
+//     logging undo-redo records like a normal transaction and checkpointing
+//     the position.
+//  5. When the side-file is drained, freeze appends, drain stragglers, mark
+//     the index complete and flip transactions to direct maintenance.
+func (b *builder) buildSF(spec engine.CreateIndexSpec) (*Result, error) {
+	tbl, ok := b.db.Catalog().Table(spec.Table)
+	if !ok {
+		return nil, fmt.Errorf("core: no table %q", spec.Table)
+	}
+	b.tbl = tbl
+
+	// Step 1: descriptor without quiesce; ctl registered before visibility.
+	ix, err := b.db.CreateIndexDescriptorWithCtl(spec, func(ix catalog.Index) *engine.BuildCtl {
+		b.ctl = engine.NewBuildCtl(ix.ID, catalog.MethodSF, engine.PhaseCapture)
+		// Current-RID starts at the first record of the table file: nothing
+		// is behind the scan yet, so no transaction appends to the
+		// side-file until the scan begins to pass them.
+		b.ctl.SetCurrentRID(types.RID{PageID: types.PageID{File: tbl.FileID}})
+		return b.ctl
+	})
+	if err != nil {
+		return nil, err
+	}
+	b.ix = ix
+	b.tx = b.db.Begin()
+
+	// Step 2: scan + sort.
+	sorter := extsort.NewSorter(b.db.FS(), sortPrefix(ix.ID), b.opts.SortMemory)
+	if err := b.sfScan(sorter, 0); err != nil {
+		return nil, b.cancel(err)
+	}
+
+	runs, err := sorter.Finish()
+	if err != nil {
+		return nil, b.cancel(err)
+	}
+	b.st.Runs = len(runs)
+
+	// Step 3: bottom-up load.
+	if err := b.sfLoadPhase(runs, nil, nil); err != nil {
+		return nil, err
+	}
+
+	// Steps 4-5: side-file processing and the switch.
+	return b.sfSideFilePhase(0)
+}
+
+// sfScan runs the SF data scan from page `from`, chasing the file's actual
+// end before setting Current-RID to infinity.
+//
+// Unlike NSF — where "the last page to be processed by the data page scan
+// can be noted before starting" because transactions maintain the index
+// directly for records in newer pages (§2.3.1) — the SF scan must cover
+// every page that exists while Current-RID is still finite: a record
+// inserted into a freshly extended page has Target-RID >= Current-RID, so
+// its transaction deliberately made no side-file entry, counting on IB's
+// scan to pick it up. Only once Current-RID is infinity do "transactions
+// which perform those actions make entries in the side-file" (§3.2.2).
+// After setting infinity we scan any pages that appeared during the final
+// check; records there may be double-covered by side-file entries, which
+// the duplicate-rejection rules absorb.
+func (b *builder) sfScan(sorter *extsort.Sorter, from types.PageNum) error {
+	h, err := b.db.HeapOf(b.tbl.ID)
+	if err != nil {
+		return err
+	}
+	scanned := from
+	for {
+		m, err := h.PageCount()
+		if err != nil {
+			return err
+		}
+		if m <= scanned {
+			break
+		}
+		if err := b.extractAndSort(sorter, scanned, m-1, engine.IBPhaseScan); err != nil {
+			return err
+		}
+		scanned = m
+	}
+	// "When IB finishes processing the last data page, it sets Current-RID
+	// to infinity" — from here on, file extensions go to the side-file.
+	b.ctl.SetCurrentRID(types.MaxRID)
+	if m, err := h.PageCount(); err != nil {
+		return err
+	} else if m > scanned {
+		// Pages allocated in the race window before infinity was visible:
+		// their records were not side-filed, so extract them now (entries
+		// also covered by post-infinity side-file appends are deduplicated
+		// at insert time).
+		if err := b.extractAndSort(sorter, scanned, m-1, engine.IBPhaseScan); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sfLoadPhase merges the runs into the bottom-up loader, optionally resuming
+// from checkpointed merge/loader state.
+func (b *builder) sfLoadPhase(runs []extsort.RunMeta, mergeState *extsort.MergeState, loadState *btree.LoaderState) error {
+	tree, err := b.db.TreeOf(b.ix.ID)
+	if err != nil {
+		return b.cancel(err)
+	}
+	start := time.Now()
+
+	var merger *extsort.Merger
+	var loader *btree.Loader
+	if mergeState != nil {
+		merger, err = extsort.ResumeMerger(b.db.FS(), *mergeState)
+		if err != nil {
+			return b.cancel(err)
+		}
+		loader, err = tree.RestartLoader(*loadState, b.opts.FillFactor)
+		if err != nil {
+			return b.cancel(err)
+		}
+	} else {
+		merger, err = extsort.NewMerger(b.db.FS(), runs, nil)
+		if err != nil {
+			return b.cancel(err)
+		}
+		loader = tree.NewLoader(b.opts.FillFactor)
+	}
+	defer merger.Close()
+
+	// For a unique index, the sorted stream makes duplicate key values
+	// adjacent; hold one entry back so a duplicate pair can be verified
+	// with the §2.2.3 both-records-locked protocol before anything reaches
+	// the loader. pendMergeState remembers the merge position from before
+	// the held-back entry was consumed, so checkpoints never lose it.
+	var pend *btree.Entry
+	var pendMergeState extsort.MergeState
+	verifyDup := func(next btree.Entry) error {
+		// Lock both records S and re-extract their keys.
+		if err := b.tx.Lock(lock.RecordName(pend.RID), lock.S); err != nil {
+			return err
+		}
+		if err := b.tx.Lock(lock.RecordName(next.RID), lock.S); err != nil {
+			return err
+		}
+		okPend, err := b.recordHasKey(pend.RID, pend.Key)
+		if err != nil {
+			return err
+		}
+		okNext, err := b.recordHasKey(next.RID, next.Key)
+		if err != nil {
+			return err
+		}
+		switch {
+		case okPend && okNext:
+			return &engine.UniqueViolationError{Index: b.ix.Name, Key: next.Key, Existing: pend.RID}
+		case okPend:
+			// next's record changed since extraction: drop next, keep pend.
+		case okNext:
+			*pend = next // pend's record changed: replace
+		default:
+			pend = nil // both gone
+		}
+		return nil
+	}
+
+	sinceCkpt := 0
+	for {
+		var preState extsort.MergeState
+		if b.ix.Unique {
+			// Snapshot the merge position before consuming the item that
+			// may become the held-back entry (checkpoint repositioning).
+			preState = merger.State()
+		}
+		item, _, ok, err := merger.Next()
+		if err != nil {
+			return b.cancel(err)
+		}
+		if !ok {
+			break
+		}
+		key, rid, err := decodeItem(item)
+		if err != nil {
+			return b.cancel(err)
+		}
+		e := btree.Entry{Key: append([]byte(nil), key...), RID: rid}
+		if b.ix.Unique {
+			switch {
+			case pend == nil:
+				pend = &e
+				pendMergeState = preState
+			case string(pend.Key) == string(e.Key):
+				if err := verifyDup(e); err != nil {
+					return b.cancel(err)
+				}
+				if pend == nil {
+					continue
+				}
+			default:
+				if err := loader.Add(*pend); err != nil {
+					return b.cancel(err)
+				}
+				b.st.KeysInserted++
+				pend = &e
+				pendMergeState = preState
+			}
+		} else {
+			if err := loader.Add(e); err != nil {
+				return b.cancel(err)
+			}
+			b.st.KeysInserted++
+		}
+		sinceCkpt++
+		if b.opts.CheckpointKeys > 0 && sinceCkpt >= b.opts.CheckpointKeys {
+			ls, err := loader.Checkpoint() // flushes the index file first
+			if err != nil {
+				return b.cancel(err)
+			}
+			ms := merger.State()
+			if pend != nil {
+				ms = pendMergeState // resume re-reads the held-back entry
+			}
+			st := engine.IBState{
+				Index: b.ix.ID, Phase: engine.IBPhaseLoad,
+				CurrentRID: types.MaxRID,
+				MergeState: ms.Encode(), LoadState: ls.Encode(),
+			}
+			if err := b.rotate(st); err != nil {
+				return b.cancel(err)
+			}
+			sinceCkpt = 0
+		}
+	}
+	if pend != nil {
+		if err := loader.Add(*pend); err != nil {
+			return b.cancel(err)
+		}
+		b.st.KeysInserted++
+	}
+	if err := loader.Finish(); err != nil {
+		return b.cancel(err)
+	}
+	// Durability boundary before logged side-file processing: the loaded
+	// (unlogged) tree must be on disk before records start referencing it.
+	if err := b.db.Pool().FlushFile(b.ix.FileID); err != nil {
+		return b.cancel(err)
+	}
+	st := engine.IBState{Index: b.ix.ID, Phase: engine.IBPhaseSideFile, CurrentRID: types.MaxRID, SFPos: 0}
+	if err := b.rotate(st); err != nil {
+		return b.cancel(err)
+	}
+	b.st.Insert += time.Since(start)
+	return nil
+}
+
+// sfSideFilePhase applies side-file entries from position pos onward and
+// performs the final switch.
+func (b *builder) sfSideFilePhase(pos uint64) (*Result, error) {
+	tree, err := b.db.TreeOf(b.ix.ID)
+	if err != nil {
+		return nil, b.cancel(err)
+	}
+	sf, err := b.db.SideFileOf(b.ix.ID)
+	if err != nil {
+		return nil, b.cancel(err)
+	}
+	start := time.Now()
+	const batch = 256
+
+	if b.opts.SortSideFile && pos == 0 {
+		// §3.2.5's performance option: apply the entries accumulated so far
+		// in sorted order (stable, so identical keys keep their relative
+		// positions); the tail appended meanwhile is processed sequentially
+		// below. Restart granularity is the whole sorted pass.
+		count := sf.Count()
+		if count > 0 {
+			entries, next, err := sf.Read(0, int(count))
+			if err != nil {
+				return nil, b.cancel(err)
+			}
+			sort.SliceStable(entries, func(i, j int) bool {
+				return btree.CompareEntry(entries[i].Key, entries[i].RID, entries[j].Key, entries[j].RID) < 0
+			})
+			for _, e := range entries {
+				if err := b.applySideFileEntry(tree, e); err != nil {
+					return nil, err
+				}
+			}
+			pos = next
+			b.st.SideFileApplied += uint64(len(entries))
+			st := engine.IBState{Index: b.ix.ID, Phase: engine.IBPhaseSideFile, CurrentRID: types.MaxRID, SFPos: pos}
+			if err := b.rotate(st); err != nil {
+				return nil, b.cancel(err)
+			}
+		}
+	}
+
+	var sinceCkpt int
+	for {
+		entries, next, err := sf.Read(pos, batch)
+		if err != nil {
+			return nil, b.cancel(err)
+		}
+		if len(entries) == 0 {
+			// Possibly caught up: freeze appends, drain stragglers, switch.
+			b.ctl.FreezeAppends()
+			entries, next, err = sf.Read(pos, 1<<30)
+			if err != nil {
+				b.ctl.UnfreezeAppends()
+				return nil, b.cancel(err)
+			}
+			for _, e := range entries {
+				if err := b.applySideFileEntry(tree, e); err != nil {
+					b.ctl.UnfreezeAppends()
+					return nil, err
+				}
+			}
+			b.st.SideFileApplied += uint64(len(entries))
+			pos = next
+
+			// The switch: "after processing the last entry in the side-file,
+			// IB resets the Index_Build flag so that subsequently
+			// transactions would modify the index directly."
+			if err := b.db.SetIndexComplete(b.tx, b.ix.ID); err != nil {
+				b.ctl.UnfreezeAppends()
+				return nil, b.cancel(err)
+			}
+			b.ctl.SetPhase(engine.PhaseDirect)
+			b.ctl.UnfreezeAppends()
+			if err := b.tx.Commit(); err != nil {
+				return nil, err
+			}
+			break
+		}
+		for _, e := range entries {
+			if err := b.applySideFileEntry(tree, e); err != nil {
+				return nil, err
+			}
+		}
+		b.st.SideFileApplied += uint64(len(entries))
+		pos = next
+		sinceCkpt += len(entries)
+		if b.opts.CheckpointKeys > 0 && sinceCkpt >= b.opts.CheckpointKeys {
+			st := engine.IBState{Index: b.ix.ID, Phase: engine.IBPhaseSideFile, CurrentRID: types.MaxRID, SFPos: pos}
+			if err := b.rotate(st); err != nil {
+				return nil, b.cancel(err)
+			}
+			sinceCkpt = 0
+		}
+	}
+	b.st.SideFile += time.Since(start)
+	b.st.SideFileLen = sf.Count()
+
+	b.db.UnregisterBuild(b.ix.ID)
+	b.db.DropIBCheckpoint(b.ix.ID)
+	done, _ := b.db.Catalog().Index(b.ix.Name)
+	return &Result{Index: done, Stats: b.st}, nil
+}
+
+// applySideFileEntry applies one <operation, key> tuple "as a normal
+// transaction would do" (§3.2.5), including the unique-conflict protocol.
+func (b *builder) applySideFileEntry(tree *btree.Tree, e sidefile.Entry) error {
+	switch e.Op {
+	case sidefile.OpInsert:
+		for attempt := 0; attempt < 32; attempt++ {
+			_, conflict, err := tree.TxnInsert(b.tx, e.Key, e.RID)
+			if err != nil {
+				return b.cancel(err)
+			}
+			if conflict == nil {
+				return nil
+			}
+			action, err := b.verifyIBConflict(tree, e.Key, e.RID, conflict.OtherRID, conflict.Pseudo)
+			if err != nil {
+				return b.cancel(err)
+			}
+			switch action {
+			case conflictFatal:
+				return b.cancel(&engine.UniqueViolationError{Index: b.ix.Name, Key: e.Key, Existing: conflict.OtherRID})
+			case conflictSkipKey:
+				return nil
+			case conflictReplace:
+				if err := tree.ReplaceRID(b.tx, e.Key, conflict.OtherRID, e.RID); err != nil {
+					if _, isConflict := err.(*btree.UniqueConflict); isConflict {
+						continue
+					}
+					return b.cancel(err)
+				}
+				return nil
+			case conflictRetry:
+				continue
+			}
+		}
+		return b.cancel(fmt.Errorf("side-file insert conflict did not converge"))
+	case sidefile.OpDelete:
+		_, err := tree.TxnPseudoDelete(b.tx, e.Key, e.RID)
+		if err != nil {
+			return b.cancel(err)
+		}
+		return nil
+	default:
+		return b.cancel(fmt.Errorf("side-file entry with unknown op %v", e.Op))
+	}
+}
+
+// resumeSF continues an interrupted SF build from its last checkpoint.
+func (b *builder) resumeSF(state *engine.IBState) (*Result, error) {
+	b.tx = b.db.Begin()
+	switch {
+	case state == nil:
+		// No checkpoint: rescan from the beginning. Current-RID was
+		// restored to the zero position by recovery, so nothing was lost.
+		sorter := extsort.NewSorter(b.db.FS(), sortPrefix(b.ix.ID), b.opts.SortMemory)
+		if err := b.sfScan(sorter, 0); err != nil {
+			return nil, b.cancel(err)
+		}
+		runs, err := sorter.Finish()
+		if err != nil {
+			return nil, b.cancel(err)
+		}
+		b.st.Runs = len(runs)
+		if err := b.sfLoadPhase(runs, nil, nil); err != nil {
+			return nil, err
+		}
+		return b.sfSideFilePhase(0)
+
+	case state.Phase == engine.IBPhaseScan:
+		ss, err := extsort.DecodeSortState(state.SortState)
+		if err != nil {
+			return nil, err
+		}
+		sorter, scanPos, err := extsort.ResumeSorterWithCapacity(b.db.FS(), ss, b.opts.SortMemory)
+		if err != nil {
+			return nil, err
+		}
+		next, _, err := parseScanPosition(scanPos)
+		if err != nil {
+			return nil, err
+		}
+		// Recovery restored Current-RID to the checkpointed position, which
+		// matches the sort's scan position by construction. The scan chases
+		// the file's current end, not the end recorded at checkpoint time.
+		if err := b.sfScan(sorter, next); err != nil {
+			return nil, b.cancel(err)
+		}
+		runs, err := sorter.Finish()
+		if err != nil {
+			return nil, b.cancel(err)
+		}
+		b.st.Runs = len(runs)
+		if err := b.sfLoadPhase(runs, nil, nil); err != nil {
+			return nil, err
+		}
+		return b.sfSideFilePhase(0)
+
+	case state.Phase == engine.IBPhaseLoad:
+		ms, err := extsort.DecodeMergeState(state.MergeState)
+		if err != nil {
+			return nil, err
+		}
+		ls, err := btree.DecodeLoaderState(state.LoadState)
+		if err != nil {
+			return nil, err
+		}
+		b.st.Runs = len(ms.Runs)
+		if err := b.sfLoadPhase(nil, &ms, &ls); err != nil {
+			return nil, err
+		}
+		return b.sfSideFilePhase(0)
+
+	case state.Phase == engine.IBPhaseSideFile:
+		return b.sfSideFilePhase(state.SFPos)
+
+	default:
+		return nil, fmt.Errorf("core: SF build of %q in unexpected phase %v", b.ix.Name, state.Phase)
+	}
+}

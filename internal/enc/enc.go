@@ -1,0 +1,174 @@
+// Package enc provides tiny append-style binary encoding helpers used by
+// log-record payloads, checkpoint images and index-builder state. All
+// integers are little-endian; byte strings are length-prefixed with uint32.
+package enc
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"onlineindex/internal/types"
+)
+
+// ErrShort is returned when a reader runs out of bytes.
+var ErrShort = errors.New("enc: short buffer")
+
+// Writer accumulates an encoded byte string.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns an empty writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// Bytes returns the accumulated encoding.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// U8 appends a uint8.
+func (w *Writer) U8(v uint8) *Writer { w.buf = append(w.buf, v); return w }
+
+// U16 appends a uint16.
+func (w *Writer) U16(v uint16) *Writer {
+	w.buf = binary.LittleEndian.AppendUint16(w.buf, v)
+	return w
+}
+
+// U32 appends a uint32.
+func (w *Writer) U32(v uint32) *Writer {
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, v)
+	return w
+}
+
+// U64 appends a uint64.
+func (w *Writer) U64(v uint64) *Writer {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+	return w
+}
+
+// Bool appends a bool as one byte.
+func (w *Writer) Bool(v bool) *Writer {
+	if v {
+		return w.U8(1)
+	}
+	return w.U8(0)
+}
+
+// Bytes32 appends a uint32 length prefix followed by b.
+func (w *Writer) Bytes32(b []byte) *Writer {
+	w.U32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+	return w
+}
+
+// String32 appends s as a length-prefixed byte string.
+func (w *Writer) String32(s string) *Writer { return w.Bytes32([]byte(s)) }
+
+// LSN appends a log sequence number.
+func (w *Writer) LSN(l types.LSN) *Writer { return w.U64(uint64(l)) }
+
+// PageID appends a page identifier.
+func (w *Writer) PageID(p types.PageID) *Writer {
+	return w.U32(uint32(p.File)).U32(uint32(p.Page))
+}
+
+// RID appends a record identifier.
+func (w *Writer) RID(r types.RID) *Writer {
+	return w.PageID(r.PageID).U16(uint16(r.Slot))
+}
+
+// Reader consumes an encoded byte string. Errors are sticky: after the
+// first failure every further read returns the zero value and Err() reports
+// the failure, so call sites can decode a full struct and check once.
+type Reader struct {
+	buf []byte
+	err error
+}
+
+// NewReader returns a reader over b.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the first error encountered, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) }
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.buf) < n {
+		r.err = ErrShort
+		return nil
+	}
+	b := r.buf[:n]
+	r.buf = r.buf[n:]
+	return b
+}
+
+// U8 reads a uint8.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads a uint16.
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U32 reads a uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// Bool reads a bool.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// Bytes32 reads a length-prefixed byte string (copied).
+func (r *Reader) Bytes32() []byte {
+	n := r.U32()
+	b := r.take(int(n))
+	if b == nil {
+		return nil
+	}
+	c := make([]byte, len(b))
+	copy(c, b)
+	return c
+}
+
+// String32 reads a length-prefixed string.
+func (r *Reader) String32() string { return string(r.Bytes32()) }
+
+// LSN reads a log sequence number.
+func (r *Reader) LSN() types.LSN { return types.LSN(r.U64()) }
+
+// PageID reads a page identifier.
+func (r *Reader) PageID() types.PageID {
+	return types.PageID{File: types.FileID(r.U32()), Page: types.PageNum(r.U32())}
+}
+
+// RID reads a record identifier.
+func (r *Reader) RID() types.RID {
+	return types.RID{PageID: r.PageID(), Slot: types.SlotNum(r.U16())}
+}

@@ -1,0 +1,92 @@
+package enc
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"onlineindex/internal/types"
+)
+
+func TestRoundTripAllTypes(t *testing.T) {
+	w := NewWriter().
+		U8(7).U16(300).U32(1 << 20).U64(1 << 40).
+		Bool(true).Bool(false).
+		Bytes32([]byte("hello")).String32("world").
+		LSN(12345).
+		PageID(types.PageID{File: 3, Page: 9}).
+		RID(types.RID{PageID: types.PageID{File: 1, Page: 2}, Slot: 5})
+	r := NewReader(w.Bytes())
+	if r.U8() != 7 || r.U16() != 300 || r.U32() != 1<<20 || r.U64() != 1<<40 {
+		t.Fatal("integer round trip failed")
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("bool round trip failed")
+	}
+	if string(r.Bytes32()) != "hello" || r.String32() != "world" {
+		t.Fatal("bytes round trip failed")
+	}
+	if r.LSN() != 12345 {
+		t.Fatal("LSN round trip failed")
+	}
+	if p := r.PageID(); p.File != 3 || p.Page != 9 {
+		t.Fatal("PageID round trip failed")
+	}
+	if rid := r.RID(); rid.Slot != 5 || rid.PageID.File != 1 {
+		t.Fatal("RID round trip failed")
+	}
+	if r.Err() != nil || r.Remaining() != 0 {
+		t.Fatalf("err=%v remaining=%d", r.Err(), r.Remaining())
+	}
+}
+
+func TestStickyError(t *testing.T) {
+	r := NewReader([]byte{1, 2}) // too short for U32
+	_ = r.U32()
+	if !errors.Is(r.Err(), ErrShort) {
+		t.Fatalf("err = %v", r.Err())
+	}
+	// Further reads return zero values without panicking.
+	if r.U64() != 0 || r.Bytes32() != nil || r.String32() != "" {
+		t.Fatal("reads after error should be zero")
+	}
+	if !errors.Is(r.Err(), ErrShort) {
+		t.Fatal("error not sticky")
+	}
+}
+
+func TestBytes32HugeLengthRejected(t *testing.T) {
+	// A corrupt length prefix larger than the buffer must not allocate or
+	// panic.
+	w := NewWriter().U32(1 << 31)
+	r := NewReader(w.Bytes())
+	if r.Bytes32() != nil || r.Err() == nil {
+		t.Fatal("oversized length accepted")
+	}
+}
+
+func TestPropertyBytesRoundTrip(t *testing.T) {
+	f := func(a []byte, b string, c uint64) bool {
+		w := NewWriter().Bytes32(a).String32(b).U64(c)
+		r := NewReader(w.Bytes())
+		ra, rb, rc := r.Bytes32(), r.String32(), r.U64()
+		if r.Err() != nil {
+			return false
+		}
+		return string(ra) == string(a) && rb == b && rc == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytes32CopiesData(t *testing.T) {
+	w := NewWriter().Bytes32([]byte("abc"))
+	buf := w.Bytes()
+	r := NewReader(buf)
+	got := r.Bytes32()
+	buf[4] = 'X' // mutate the source after read
+	if string(got) != "abc" {
+		t.Fatalf("Bytes32 did not copy: %q", got)
+	}
+}

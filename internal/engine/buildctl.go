@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"sync"
+
+	"onlineindex/internal/catalog"
+	"onlineindex/internal/types"
+)
+
+// BuildPhase is where an in-progress index build stands, as far as the DML
+// path needs to know.
+type BuildPhase uint8
+
+// Build phases relevant to transactions.
+const (
+	// PhaseCapture (SF): the Index_Build flag is set; transactions route
+	// changes behind the scan position to the side-file.
+	PhaseCapture BuildPhase = iota + 1
+	// PhaseDirect: transactions maintain the index directly. This is the
+	// whole build for NSF ("the new index is visible for key insert and
+	// delete operations by transactions" from descriptor creation, §2.2.1)
+	// and the post-side-file tail for SF.
+	PhaseDirect
+	// PhaseFrozen (offline baseline): updates are excluded by the table
+	// lock; transactions never see this phase in a decide callback.
+	PhaseFrozen
+)
+
+// BuildCtl is the runtime state of one in-progress index build, shared
+// between the index builder and the transactions' DML path. It carries the
+// two pieces of shared state the SF algorithm depends on — the Index_Build
+// flag (as Phase) and the builder's Current-RID scan position — plus the
+// switch gate that makes the final side-file drain atomic.
+type BuildCtl struct {
+	Index  types.IndexID
+	Method catalog.BuildMethod
+
+	mu      sync.Mutex
+	phase   BuildPhase
+	current types.RID // SF scan position (Current-RID)
+
+	// gate spans a transaction's [visibility decision .. side-file append]
+	// window in read mode; the builder takes it in write mode for the final
+	// switch (drain the side-file tail, set PhaseDirect), so no append can
+	// slip in after the builder has read the final count. The paper leaves
+	// this switch protocol implicit ("after processing the last entry in
+	// the side-file, IB resets the Index_Build flag"); the gate is the
+	// minimal mutual exclusion that makes it exact.
+	gate sync.RWMutex
+}
+
+// NewBuildCtl returns build state in the given phase.
+func NewBuildCtl(ix types.IndexID, method catalog.BuildMethod, phase BuildPhase) *BuildCtl {
+	return &BuildCtl{Index: ix, Method: method, phase: phase}
+}
+
+// Phase returns the current phase.
+func (b *BuildCtl) Phase() BuildPhase {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.phase
+}
+
+// SetPhase transitions the phase.
+func (b *BuildCtl) SetPhase(p BuildPhase) {
+	b.mu.Lock()
+	b.phase = p
+	b.mu.Unlock()
+}
+
+// CurrentRID returns the builder's scan position.
+func (b *BuildCtl) CurrentRID() types.RID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.current
+}
+
+// SetCurrentRID installs the scan position unconditionally (recovery
+// restoring a checkpointed position).
+func (b *BuildCtl) SetCurrentRID(r types.RID) {
+	b.mu.Lock()
+	b.current = r
+	b.mu.Unlock()
+}
+
+// AdvanceCurrentRID moves the scan position forward, never backward: once
+// the builder has declared a range behind it (in particular, once
+// Current-RID is infinity), a re-scan of late-allocated pages must not make
+// the index invisible again. The builder calls it under the data page's
+// share latch (via heap.Table.VisitPage's doneFn), which is what makes the
+// Target-RID comparison race-free.
+func (b *BuildCtl) AdvanceCurrentRID(r types.RID) {
+	b.mu.Lock()
+	if b.current.Less(r) {
+		b.current = r
+	}
+	b.mu.Unlock()
+}
+
+// EnterAppend takes the gate in read mode (transaction decided to append).
+func (b *BuildCtl) EnterAppend() { b.gate.RLock() }
+
+// LeaveAppend releases the read gate after the side-file append completed.
+func (b *BuildCtl) LeaveAppend() { b.gate.RUnlock() }
+
+// FreezeAppends takes the gate exclusively for the builder's final switch.
+func (b *BuildCtl) FreezeAppends() { b.gate.Lock() }
+
+// UnfreezeAppends releases the exclusive gate.
+func (b *BuildCtl) UnfreezeAppends() { b.gate.Unlock() }

@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"sort"
+
+	"onlineindex/internal/buffer"
+	"onlineindex/internal/enc"
+	"onlineindex/internal/txn"
+	"onlineindex/internal/types"
+	"onlineindex/internal/wal"
+)
+
+// checkpointImage is the payload of a TypeCheckpoint record: a fuzzy
+// snapshot of the transaction table, the dirty page table, the catalog and
+// the latest committed index-builder checkpoints. Restart analysis starts
+// here instead of at the beginning of the log.
+type checkpointImage struct {
+	NextTxnID types.TxnID
+	Txns      []txn.TxnSnapshot
+	Dirty     []buffer.DirtyPage
+	Catalog   []byte
+	IBStates  map[types.IndexID][]byte
+}
+
+func (c *checkpointImage) encode() []byte {
+	w := enc.NewWriter().U64(uint64(c.NextTxnID)).U32(uint32(len(c.Txns)))
+	for _, t := range c.Txns {
+		w.U64(uint64(t.ID)).LSN(t.FirstLSN).LSN(t.LastLSN)
+	}
+	w.U32(uint32(len(c.Dirty)))
+	for _, d := range c.Dirty {
+		w.PageID(d.ID).LSN(d.RecLSN)
+	}
+	w.Bytes32(c.Catalog)
+	var ids []types.IndexID
+	for id := range c.IBStates {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	w.U32(uint32(len(ids)))
+	for _, id := range ids {
+		w.U32(uint32(id)).Bytes32(c.IBStates[id])
+	}
+	return w.Bytes()
+}
+
+func decodeCheckpoint(b []byte) (checkpointImage, error) {
+	r := enc.NewReader(b)
+	c := checkpointImage{NextTxnID: types.TxnID(r.U64()), IBStates: make(map[types.IndexID][]byte)}
+	nt := int(r.U32())
+	for i := 0; i < nt; i++ {
+		c.Txns = append(c.Txns, txn.TxnSnapshot{
+			ID: types.TxnID(r.U64()), FirstLSN: r.LSN(), LastLSN: r.LSN(),
+		})
+	}
+	nd := int(r.U32())
+	for i := 0; i < nd; i++ {
+		c.Dirty = append(c.Dirty, buffer.DirtyPage{ID: r.PageID(), RecLSN: r.LSN()})
+	}
+	c.Catalog = r.Bytes32()
+	ni := int(r.U32())
+	for i := 0; i < ni; i++ {
+		id := types.IndexID(r.U32())
+		c.IBStates[id] = r.Bytes32()
+	}
+	return c, r.Err()
+}
+
+// Checkpoint writes a fuzzy checkpoint: no quiescing, just consistent-enough
+// snapshots of the volatile tables, then the master record pointing at it.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	ib := make(map[types.IndexID][]byte, len(db.lastIBCkpt))
+	for id, b := range db.lastIBCkpt {
+		ib[id] = append([]byte(nil), b...)
+	}
+	db.mu.Unlock()
+	img := checkpointImage{
+		NextTxnID: 0, // analysis recomputes from the TT and the tail scan
+		Txns:      db.txns.ActiveTxns(),
+		Dirty:     db.pool.DirtyPages(),
+		Catalog:   db.cat.Snapshot(),
+		IBStates:  ib,
+	}
+	for _, t := range img.Txns {
+		if t.ID > img.NextTxnID {
+			img.NextTxnID = t.ID
+		}
+	}
+	rec := &wal.Record{Type: wal.TypeCheckpoint, Flags: 0, Payload: img.encode()}
+	lsn, err := db.log.Append(rec)
+	if err != nil {
+		return err
+	}
+	if err := db.log.Force(lsn); err != nil {
+		return err
+	}
+	return wal.WriteMaster(db.fs, lsn)
+}

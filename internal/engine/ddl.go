@@ -1,0 +1,238 @@
+package engine
+
+import (
+	"fmt"
+
+	"onlineindex/internal/btree"
+	"onlineindex/internal/catalog"
+	"onlineindex/internal/heap"
+	"onlineindex/internal/lock"
+	"onlineindex/internal/rm"
+	"onlineindex/internal/sidefile"
+	"onlineindex/internal/txn"
+	"onlineindex/internal/types"
+	"onlineindex/internal/wal"
+)
+
+// CreateTable creates a table and opens its heap. DDL is logged redo-only
+// and committed immediately.
+func (db *DB) CreateTable(name string, schema catalog.Schema) (catalog.Table, error) {
+	t := catalog.Table{
+		ID:     db.cat.NextTableID(),
+		Name:   name,
+		FileID: db.cat.AllocFileID(),
+		Schema: schema,
+	}
+	tx := db.Begin()
+	if _, err := tx.Log(&wal.Record{
+		Type: wal.TypeCreateTable, Flags: wal.FlagRedo,
+		Payload: catalog.EncodeCreateTable(&t),
+	}); err != nil {
+		return catalog.Table{}, err
+	}
+	if err := db.cat.AddTable(&t); err != nil {
+		return catalog.Table{}, err
+	}
+	h, err := heap.Open(db.pool, t.FileID)
+	if err != nil {
+		return catalog.Table{}, err
+	}
+	db.mu.Lock()
+	db.tables[t.ID] = h
+	db.mu.Unlock()
+	if err := tx.Commit(); err != nil {
+		return catalog.Table{}, err
+	}
+	return t, nil
+}
+
+// CreateIndexSpec describes a new index.
+type CreateIndexSpec struct {
+	Name    string
+	Table   string
+	Columns []string // column names
+	Unique  bool
+	Method  catalog.BuildMethod
+}
+
+// CreateIndexDescriptor performs the descriptor-creation step of an index
+// build — the step whose quiescing behaviour distinguishes the algorithms:
+//
+//   - NSF: "this is a short term quiesce of updates against the table ...
+//     achieved by IB acquiring a share (S) lock on the table and holding it
+//     for the duration of the index descriptor create operation" (§2.2.1).
+//     The quiesce guarantees no transaction has uncommitted updates that
+//     predate the descriptor, so every later rollback finds its index log
+//     records. The lock is released as soon as the descriptor commit is
+//     durable.
+//   - SF: "the descriptor for the new index is created and appended ...
+//     without quiescing (update) transactions" (§3.2.1).
+//   - Offline: the caller holds the table S lock for the whole build.
+//
+// The returned transaction has already committed. The BuildCtl must be
+// registered by the caller *before* calling this for SF (transactions start
+// consulting it the moment the descriptor is visible).
+func (db *DB) CreateIndexDescriptor(spec CreateIndexSpec) (catalog.Index, error) {
+	return db.CreateIndexDescriptorWithCtl(spec, nil)
+}
+
+// CreateIndexDescriptorWithCtl is CreateIndexDescriptor with a hook that
+// supplies the build control to register together with the descriptor: the
+// SF algorithm's Index_Build flag and Current-RID must be observable by the
+// very first transaction that sees the new descriptor.
+func (db *DB) CreateIndexDescriptorWithCtl(spec CreateIndexSpec, makeCtl func(catalog.Index) *BuildCtl) (catalog.Index, error) {
+	tbl, ok := db.cat.Table(spec.Table)
+	if !ok {
+		return catalog.Index{}, fmt.Errorf("engine: no table %q", spec.Table)
+	}
+	var cols []int
+	for _, cn := range spec.Columns {
+		found := -1
+		for i, c := range tbl.Schema {
+			if c.Name == cn {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return catalog.Index{}, fmt.Errorf("engine: table %q has no column %q", spec.Table, cn)
+		}
+		cols = append(cols, found)
+	}
+
+	ix := catalog.Index{
+		ID:      db.cat.NextIndexID(),
+		Name:    spec.Name,
+		Table:   tbl.ID,
+		FileID:  db.cat.AllocFileID(),
+		Columns: cols,
+		Unique:  spec.Unique,
+		Method:  spec.Method,
+		State:   catalog.StateBuilding,
+	}
+	if spec.Method == catalog.MethodSF {
+		ix.SideFile = db.cat.AllocFileID()
+	}
+
+	tx := db.Begin()
+	quiesced := spec.Method == catalog.MethodNSF
+	if quiesced {
+		// The short-term quiesce: waits out all update transactions (they
+		// hold IX on the table) and blocks new ones until the descriptor
+		// commit.
+		if err := tx.Lock(lock.TableName(tbl.ID), lock.S); err != nil {
+			tx.Rollback()
+			return catalog.Index{}, err
+		}
+	}
+
+	if _, err := tx.Log(&wal.Record{
+		Type: wal.TypeCreateIndex, Flags: wal.FlagRedo,
+		Payload: catalog.EncodeCreateIndex(&ix),
+	}); err != nil {
+		tx.Rollback()
+		return catalog.Index{}, err
+	}
+
+	// Create the physical structures.
+	tree, err := btree.Create(db.pool, ix.FileID, btree.Config{Unique: ix.Unique, Budget: db.cfg.TreeBudget}, tx)
+	if err != nil {
+		tx.Rollback()
+		return catalog.Index{}, err
+	}
+	var sf *sidefile.File
+	if ix.SideFile != 0 {
+		sf, err = sidefile.Create(db.pool, ix.SideFile, tx)
+		if err != nil {
+			tx.Rollback()
+			return catalog.Index{}, err
+		}
+	}
+
+	// Install in the catalog and open handles — under the engine mutex so
+	// the descriptor, tree, side-file and build control appear to
+	// transactions atomically.
+	db.mu.Lock()
+	if err := db.cat.AddIndex(&ix); err != nil {
+		db.mu.Unlock()
+		tx.Rollback()
+		return catalog.Index{}, err
+	}
+	db.trees[ix.ID] = tree
+	if sf != nil {
+		db.sfiles[ix.ID] = sf
+	}
+	if makeCtl != nil {
+		db.builds[ix.ID] = makeCtl(ix)
+	}
+	db.mu.Unlock()
+
+	// Commit makes the DDL durable and, for NSF, ends the quiesce.
+	if err := tx.Commit(); err != nil {
+		return catalog.Index{}, err
+	}
+	return ix, nil
+}
+
+// SetIndexComplete transitions a built index to the readable state; the
+// state-change record's LSN becomes the index's CompleteLSN (the watershed
+// between side-file-era and direct-era updates that rollback consults).
+func (db *DB) SetIndexComplete(tl rm.TxnLogger, ix types.IndexID) error {
+	pl := catalog.StateChangePayload{Index: ix, State: catalog.StateComplete}
+	lsn, err := tl.Log(&wal.Record{
+		Type: wal.TypeIndexStateChange, Flags: wal.FlagRedo,
+		Payload: pl.Encode(),
+	})
+	if err != nil {
+		return err
+	}
+	return db.cat.SetIndexState(ix, catalog.StateComplete, lsn)
+}
+
+// DropIndex removes an index (or cancels a build, §2.3.2: "since canceling
+// an in-progress index build requires that the descriptor of the index be
+// deleted, we need to quiesce update transactions by acquiring a share lock
+// on the table"). The same quiesce covers ordinary drops: "an index cannot
+// be dropped while update transactions are active" (§3 footnote).
+func (db *DB) DropIndex(name string) error {
+	ix, ok := db.cat.Index(name)
+	if !ok {
+		return fmt.Errorf("engine: no index %q", name)
+	}
+	tx := db.Begin()
+	if err := tx.Lock(lock.TableName(ix.Table), lock.S); err != nil {
+		tx.Rollback()
+		return err
+	}
+	pl := catalog.StateChangePayload{Index: ix.ID, State: catalog.StateDropped}
+	if _, err := tx.Log(&wal.Record{
+		Type: wal.TypeDropIndex, Flags: wal.FlagRedo,
+		Payload: pl.Encode(),
+	}); err != nil {
+		tx.Rollback()
+		return err
+	}
+	if err := db.cat.SetIndexState(ix.ID, catalog.StateDropped, types.NilLSN); err != nil {
+		tx.Rollback()
+		return err
+	}
+	db.mu.Lock()
+	delete(db.trees, ix.ID)
+	delete(db.sfiles, ix.ID)
+	delete(db.builds, ix.ID)
+	delete(db.lastIBCkpt, ix.ID)
+	db.mu.Unlock()
+	return tx.Commit()
+}
+
+// QuiesceTable acquires a table S lock under a dedicated transaction and
+// returns it; the offline baseline holds it for the whole build. Callers
+// must Commit (or Rollback) the returned transaction to end the quiesce.
+func (db *DB) QuiesceTable(table types.TableID) (*txn.Txn, error) {
+	tx := db.Begin()
+	if err := tx.Lock(lock.TableName(table), lock.S); err != nil {
+		tx.Rollback()
+		return nil, err
+	}
+	return tx, nil
+}

@@ -1,0 +1,405 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"onlineindex/internal/btree"
+	"onlineindex/internal/catalog"
+	"onlineindex/internal/heap"
+	"onlineindex/internal/lock"
+	"onlineindex/internal/rm"
+	"onlineindex/internal/sidefile"
+	"onlineindex/internal/txn"
+	"onlineindex/internal/types"
+	"onlineindex/internal/wal"
+)
+
+// planMode is how one index is maintained for one record operation.
+type planMode uint8
+
+const (
+	planSkip     planMode = iota // index invisible: ignore completely
+	planDirect                   // maintain directly in the tree
+	planSideFile                 // append to the side-file (gate held)
+)
+
+// idxPlan is the visibility decision for one index, made under the data
+// page latch (Fig. 1).
+type idxPlan struct {
+	ix   catalog.Index
+	mode planMode
+	ctl  *BuildCtl // side-file plans hold the append gate until released
+}
+
+// opPlan is the full under-latch decision for one record operation.
+type opPlan struct {
+	visCount uint16
+	plans    []idxPlan
+	err      error
+}
+
+// release drops any append gates still held (idempotent per plan).
+func (p *opPlan) release() {
+	for i := range p.plans {
+		if p.plans[i].mode == planSideFile && p.plans[i].ctl != nil {
+			p.plans[i].ctl.LeaveAppend()
+			p.plans[i].ctl = nil
+		}
+	}
+}
+
+// planUnderLatch computes the Fig. 1 visibility decisions for an operation
+// on rid. It runs under the data page X latch. For every index of the table
+// (in creation order):
+//
+//   - complete, or building with NSF: visible, maintained directly;
+//   - building with SF: visible iff Target-RID < Current-RID, in which case
+//     the change goes to the side-file (and the append gate is entered);
+//     after the side-file switch (PhaseDirect) it is maintained directly;
+//   - building offline: unreachable (the table S lock excludes updaters).
+//
+// The returned visCount is recorded in the data page log record (§3.1.2).
+func (db *DB) planUnderLatch(table types.TableID, rid types.RID) opPlan {
+	var p opPlan
+	for _, ix := range db.cat.TableIndexes(table) {
+		switch {
+		case ix.State == catalog.StateComplete:
+			p.plans = append(p.plans, idxPlan{ix: ix, mode: planDirect})
+			p.visCount++
+		case ix.State == catalog.StateBuilding && ix.Method == catalog.MethodNSF:
+			p.plans = append(p.plans, idxPlan{ix: ix, mode: planDirect})
+			p.visCount++
+		case ix.State == catalog.StateBuilding && ix.Method == catalog.MethodOffline:
+			// The offline baseline quiesces updates; reaching here means the
+			// caller bypassed the table lock.
+			p.err = fmt.Errorf("engine: update during offline build of %q", ix.Name)
+			return p
+		case ix.State == catalog.StateBuilding && ix.Method == catalog.MethodSF:
+			ctl := db.BuildCtlOf(ix.ID)
+			if ctl == nil {
+				p.err = fmt.Errorf("engine: SF index %q building but no BuildCtl registered", ix.Name)
+				return p
+			}
+			// Enter the gate BEFORE reading the phase: the builder's final
+			// switch flips the phase to direct while holding the gate
+			// exclusively, so a capture decision made under the gate cannot
+			// be followed by an append that lands after the switch.
+			ctl.EnterAppend()
+			switch ctl.Phase() {
+			case PhaseDirect:
+				ctl.LeaveAppend()
+				p.plans = append(p.plans, idxPlan{ix: ix, mode: planDirect})
+				p.visCount++
+			case PhaseCapture:
+				if rid.Less(ctl.CurrentRID()) {
+					// "New index is VISIBLE; need to make entry in SF." The
+					// gate stays held until the append executes.
+					p.plans = append(p.plans, idxPlan{ix: ix, mode: planSideFile, ctl: ctl})
+					p.visCount++
+				} else {
+					// "New index INVISIBLE; no SF entry made."
+					ctl.LeaveAppend()
+					p.plans = append(p.plans, idxPlan{ix: ix, mode: planSkip})
+				}
+			default:
+				ctl.LeaveAppend()
+				p.err = fmt.Errorf("engine: SF index %q in unexpected phase", ix.Name)
+				return p
+			}
+		}
+	}
+	return p
+}
+
+// UniqueViolationError reports a genuine unique-key violation.
+type UniqueViolationError struct {
+	Index    string
+	Key      []byte
+	Existing types.RID
+}
+
+func (e *UniqueViolationError) Error() string {
+	return fmt.Sprintf("engine: unique violation on index %q (existing record %s)", e.Index, e.Existing)
+}
+
+// Insert inserts a row, maintaining every visible index per Fig. 1.
+func (db *DB) Insert(tx *txn.Txn, table string, row Row) (types.RID, error) {
+	tbl, ok := db.cat.Table(table)
+	if !ok {
+		return types.NilRID, fmt.Errorf("engine: no table %q", table)
+	}
+	if err := checkRow(tbl.Schema, row); err != nil {
+		return types.NilRID, err
+	}
+	h, err := db.heapOf(tbl.ID)
+	if err != nil {
+		return types.NilRID, err
+	}
+	if err := tx.Lock(lock.TableName(tbl.ID), lock.IX); err != nil {
+		return types.NilRID, err
+	}
+	rec := EncodeRow(row)
+
+	var plan opPlan
+	accept := func(rid types.RID) bool {
+		// Conditional X lock on the candidate RID under the page latch: a
+		// slot whose deleter is still uncommitted stays reserved for the
+		// deleter's possible rollback.
+		return db.lock.LockConditional(tx.ID(), lock.RecordName(rid), lock.X) == nil
+	}
+	rid, err := h.Insert(tx, rec, accept, func(r types.RID) uint16 {
+		plan = db.planUnderLatch(tbl.ID, r)
+		return plan.visCount
+	})
+	defer plan.release()
+	if err != nil {
+		return types.NilRID, err
+	}
+	if plan.err != nil {
+		return types.NilRID, plan.err
+	}
+	if err := db.applyIndexOps(tx, tx, &plan, nil, rec, rid); err != nil {
+		return types.NilRID, err
+	}
+	return rid, nil
+}
+
+// Delete deletes the record at rid, maintaining every visible index.
+func (db *DB) Delete(tx *txn.Txn, table string, rid types.RID) error {
+	tbl, ok := db.cat.Table(table)
+	if !ok {
+		return fmt.Errorf("engine: no table %q", table)
+	}
+	h, err := db.heapOf(tbl.ID)
+	if err != nil {
+		return err
+	}
+	if err := tx.Lock(lock.TableName(tbl.ID), lock.IX); err != nil {
+		return err
+	}
+	if err := tx.Lock(lock.RecordName(rid), lock.X); err != nil {
+		return err
+	}
+	var plan opPlan
+	old, err := h.Delete(tx, rid, func(r types.RID) uint16 {
+		plan = db.planUnderLatch(tbl.ID, r)
+		return plan.visCount
+	})
+	defer plan.release()
+	if err != nil {
+		return err
+	}
+	if plan.err != nil {
+		return plan.err
+	}
+	return db.applyIndexOps(tx, tx, &plan, old, nil, rid)
+}
+
+// Update replaces the record at rid in place, maintaining key changes in
+// every visible index (a key delete plus a key insert when the key columns
+// changed). If the grown record no longer fits its page, the update falls
+// back to a relocation — delete plus reinsert — and the returned RID is the
+// record's new identity.
+func (db *DB) Update(tx *txn.Txn, table string, rid types.RID, row Row) (types.RID, error) {
+	tbl, ok := db.cat.Table(table)
+	if !ok {
+		return types.NilRID, fmt.Errorf("engine: no table %q", table)
+	}
+	if err := checkRow(tbl.Schema, row); err != nil {
+		return types.NilRID, err
+	}
+	h, err := db.heapOf(tbl.ID)
+	if err != nil {
+		return types.NilRID, err
+	}
+	if err := tx.Lock(lock.TableName(tbl.ID), lock.IX); err != nil {
+		return types.NilRID, err
+	}
+	if err := tx.Lock(lock.RecordName(rid), lock.X); err != nil {
+		return types.NilRID, err
+	}
+	rec := EncodeRow(row)
+	var plan opPlan
+	old, err := h.Update(tx, rid, rec, func(r types.RID) uint16 {
+		plan = db.planUnderLatch(tbl.ID, r)
+		return plan.visCount
+	})
+	if errors.Is(err, heap.ErrPageFull) {
+		// Relocate: the record moves, so every visible index sees a delete
+		// plus an insert under the new RID — the ordinary operations handle
+		// it (the in-place attempt logged nothing).
+		plan.release()
+		if err := db.Delete(tx, table, rid); err != nil {
+			return types.NilRID, err
+		}
+		return db.Insert(tx, table, row)
+	}
+	defer plan.release()
+	if err != nil {
+		return types.NilRID, err
+	}
+	if plan.err != nil {
+		return types.NilRID, plan.err
+	}
+	return rid, db.applyIndexOps(tx, tx, &plan, old, rec, rid)
+}
+
+// applyIndexOps executes the planned index maintenance after the data page
+// latch has been released ("Unlatch(Target_Page); Make entry in side-file
+// ...; Update all other indexes directly"). oldRec/newRec select the
+// operation: insert (old nil), delete (new nil) or update (both).
+//
+// lockTx is the transaction whose locks are used for unique-conflict
+// resolution; logger is the TxnLogger records are written under. During
+// forward processing both are the transaction; during rollback the logger is
+// the CLR-emitting wrapper.
+func (db *DB) applyIndexOps(lockTx *txn.Txn, logger rm.TxnLogger, plan *opPlan, oldRec, newRec []byte, rid types.RID) error {
+	for i := range plan.plans {
+		p := &plan.plans[i]
+		if p.mode == planSkip {
+			continue
+		}
+		var oldKey, newKey []byte
+		var err error
+		if oldRec != nil {
+			if oldKey, err = indexKeyFromRecord(&p.ix, oldRec); err != nil {
+				return err
+			}
+		}
+		if newRec != nil {
+			if newKey, err = indexKeyFromRecord(&p.ix, newRec); err != nil {
+				return err
+			}
+		}
+		if oldRec != nil && newRec != nil && bytes.Equal(oldKey, newKey) {
+			// Update that did not change this index's key columns.
+			if p.mode == planSideFile {
+				p.ctl.LeaveAppend()
+				p.ctl = nil
+			}
+			continue
+		}
+		switch p.mode {
+		case planSideFile:
+			sf, err := db.SideFileOf(p.ix.ID)
+			if err != nil {
+				return err
+			}
+			if oldKey != nil {
+				if _, err := sf.Append(logger, sidefile.Entry{Op: sidefile.OpDelete, Key: oldKey, RID: rid}); err != nil {
+					return err
+				}
+			}
+			if newKey != nil {
+				if _, err := sf.Append(logger, sidefile.Entry{Op: sidefile.OpInsert, Key: newKey, RID: rid}); err != nil {
+					return err
+				}
+			}
+			p.ctl.LeaveAppend()
+			p.ctl = nil
+		case planDirect:
+			tree, err := db.TreeOf(p.ix.ID)
+			if err != nil {
+				return err
+			}
+			if oldKey != nil {
+				if _, err := tree.TxnPseudoDelete(logger, oldKey, rid); err != nil {
+					return err
+				}
+			}
+			if newKey != nil {
+				if err := db.directInsert(lockTx, logger, &p.ix, tree, newKey, rid); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// directInsert inserts a key into a directly-maintained index, running the
+// §2.2.3 unique-conflict protocol when needed: lock the competing record in
+// share mode (waiting out its transaction), re-verify the conflict, and
+// either fail with a unique violation (committed live duplicate), take over
+// a terminated pseudo-deleted entry with ReplaceRID, or retry.
+func (db *DB) directInsert(lockTx *txn.Txn, logger rm.TxnLogger, ix *catalog.Index, tree *btree.Tree, key []byte, rid types.RID) error {
+	for attempt := 0; attempt < 32; attempt++ {
+		_, conflict, err := tree.TxnInsert(logger, key, rid)
+		if err != nil {
+			return err
+		}
+		if conflict == nil {
+			return nil
+		}
+		// Wait out whoever owns the conflicting entry: with data-only
+		// locking the key lock is the record lock (§6.2).
+		if err := lockTx.Lock(lock.RecordName(conflict.OtherRID), lock.S); err != nil {
+			return err
+		}
+		found, pseudo, err := tree.SearchEntry(key, conflict.OtherRID)
+		if err != nil {
+			return err
+		}
+		switch {
+		case !found:
+			// Entry vanished (GC or ReplaceRID by someone else): retry.
+		case pseudo:
+			// The pseudo entry's owner has terminated (we hold its record
+			// lock): replace R with R1, as in the paper's example.
+			if err := tree.ReplaceRID(logger, key, conflict.OtherRID, rid); err != nil {
+				var uc *btree.UniqueConflict
+				if errors.As(err, &uc) {
+					continue // someone slipped in: re-run the protocol
+				}
+				return err
+			}
+			return nil
+		default:
+			// Live committed duplicate: genuine unique violation.
+			return &UniqueViolationError{Index: ix.Name, Key: key, Existing: conflict.OtherRID}
+		}
+	}
+	return fmt.Errorf("engine: unique-conflict resolution did not converge on %q", ix.Name)
+}
+
+// Get returns the row at rid (share record lock for the duration of the
+// read).
+func (db *DB) Get(tx *txn.Txn, table string, rid types.RID) (Row, bool, error) {
+	tbl, ok := db.cat.Table(table)
+	if !ok {
+		return nil, false, fmt.Errorf("engine: no table %q", table)
+	}
+	h, err := db.heapOf(tbl.ID)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := tx.Lock(lock.TableName(tbl.ID), lock.IS); err != nil {
+		return nil, false, err
+	}
+	if err := tx.Lock(lock.RecordName(rid), lock.S); err != nil {
+		return nil, false, err
+	}
+	rec, found, err := h.Get(rid)
+	if err != nil || !found {
+		return nil, false, err
+	}
+	row, err := DecodeRow(rec)
+	if err != nil {
+		return nil, false, err
+	}
+	return row, true, nil
+}
+
+// logOnly is a tiny TxnLogger adapter for state changes logged under a
+// transaction but emitted by engine helpers.
+type logOnly struct{ tx *txn.Txn }
+
+func (l logOnly) ID() types.TxnID { return l.tx.ID() }
+func (l logOnly) Log(r *wal.Record) (types.LSN, error) {
+	return l.tx.Log(r)
+}
+func (l logOnly) LogCLR(r *wal.Record, undoNext types.LSN) (types.LSN, error) {
+	return l.tx.LogCLR(r, undoNext)
+}

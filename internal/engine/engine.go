@@ -1,0 +1,243 @@
+// Package engine assembles the substrates — VFS, WAL, buffer pool, lock
+// manager, heap tables, B+-tree indexes, side-files, transactions, restart
+// recovery — into a small database engine, and implements the transaction
+// side of the paper's two online index build algorithms:
+//
+//   - the Fig. 1 forward-processing logic (count visible indexes under the
+//     data page latch; route changes for an SF-building index to its
+//     side-file iff Target-RID < Current-RID; maintain all other visible
+//     indexes directly with the NSF duplicate/pseudo-delete rules);
+//   - the Fig. 2 rollback logic (compare the visible-index count in the data
+//     page log record with the current count and compensate indexes that
+//     became visible in between);
+//   - the unique-index conflict-resolution protocol (§2.2.3): lock the
+//     competing records in share mode, re-verify, and either reactivate,
+//     replace the RID of a terminated pseudo entry, or fail.
+//
+// The index builders themselves live in package core; the engine exposes the
+// BuildCtl handshake they share with transactions.
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"onlineindex/internal/btree"
+	"onlineindex/internal/buffer"
+	"onlineindex/internal/catalog"
+	"onlineindex/internal/heap"
+	"onlineindex/internal/lock"
+	"onlineindex/internal/sidefile"
+	"onlineindex/internal/txn"
+	"onlineindex/internal/types"
+	"onlineindex/internal/vfs"
+	"onlineindex/internal/wal"
+)
+
+// Config tunes a DB.
+type Config struct {
+	// FS is the stable storage; nil means a fresh MemFS.
+	FS vfs.FS
+	// PoolSize is the buffer pool capacity in frames (default 1024).
+	PoolSize int
+	// TreeBudget caps index node size in bytes (tests use small values to
+	// force deep trees); 0 means the page size.
+	TreeBudget int
+}
+
+// DB is the engine instance.
+type DB struct {
+	fs   vfs.FS
+	log  *wal.Log
+	pool *buffer.Pool
+	lock *lock.Manager
+	txns *txn.Manager
+	cat  *catalog.Catalog
+	cfg  Config
+
+	mu     sync.Mutex
+	tables map[types.TableID]*heap.Table
+	trees  map[types.IndexID]*btree.Tree
+	sfiles map[types.IndexID]*sidefile.File
+	builds map[types.IndexID]*BuildCtl
+	// lastIBCkpt holds each building index's latest committed builder
+	// checkpoint payload, included in fuzzy checkpoints so restart can find
+	// it without scanning the whole log.
+	lastIBCkpt map[types.IndexID][]byte
+
+	crashed bool
+}
+
+// Open creates a fresh database on cfg.FS. Use Recover to reopen one that
+// has existing state.
+func Open(cfg Config) (*DB, error) {
+	if cfg.FS == nil {
+		cfg.FS = vfs.NewMemFS()
+	}
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 1024
+	}
+	log, err := wal.Open(cfg.FS)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{
+		fs:         cfg.FS,
+		log:        log,
+		pool:       buffer.New(cfg.FS, log, cfg.PoolSize),
+		lock:       lock.NewManager(),
+		cat:        catalog.New(),
+		cfg:        cfg,
+		tables:     make(map[types.TableID]*heap.Table),
+		trees:      make(map[types.IndexID]*btree.Tree),
+		sfiles:     make(map[types.IndexID]*sidefile.File),
+		builds:     make(map[types.IndexID]*BuildCtl),
+		lastIBCkpt: make(map[types.IndexID][]byte),
+	}
+	db.txns = txn.NewManager(log, db.lock)
+	db.txns.SetDispatcher(db)
+	return db, nil
+}
+
+// FS returns the underlying stable storage.
+func (db *DB) FS() vfs.FS { return db.fs }
+
+// Log returns the write-ahead log (stats and forced reads for the harness).
+func (db *DB) Log() *wal.Log { return db.log }
+
+// Pool returns the buffer pool.
+func (db *DB) Pool() *buffer.Pool { return db.pool }
+
+// Locks returns the lock manager.
+func (db *DB) Locks() *lock.Manager { return db.lock }
+
+// Catalog returns the catalog.
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// Txns returns the transaction manager.
+func (db *DB) Txns() *txn.Manager { return db.txns }
+
+// Begin starts a transaction.
+func (db *DB) Begin() *txn.Txn { return db.txns.Begin() }
+
+// heapOf returns the heap handle of a table.
+func (db *DB) heapOf(id types.TableID) (*heap.Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[id]
+	if !ok {
+		return nil, fmt.Errorf("engine: no open heap for table %d", id)
+	}
+	return t, nil
+}
+
+// HeapOf exposes a table's heap handle to the index builders, which drive
+// the page-at-a-time scan themselves to manage their scan position.
+func (db *DB) HeapOf(id types.TableID) (*heap.Table, error) { return db.heapOf(id) }
+
+// TreeOf returns the B+-tree of an index (exported for the builders and the
+// verification harness).
+func (db *DB) TreeOf(id types.IndexID) (*btree.Tree, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.trees[id]
+	if !ok {
+		return nil, fmt.Errorf("engine: no open tree for index %d", id)
+	}
+	return t, nil
+}
+
+// SideFileOf returns the side-file of an SF-building index.
+func (db *DB) SideFileOf(id types.IndexID) (*sidefile.File, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	sf, ok := db.sfiles[id]
+	if !ok {
+		return nil, fmt.Errorf("engine: no side-file for index %d", id)
+	}
+	return sf, nil
+}
+
+// BuildCtlOf returns the build control of an index, or nil when no build is
+// registered.
+func (db *DB) BuildCtlOf(id types.IndexID) *BuildCtl {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.builds[id]
+}
+
+// RegisterBuild installs build control state (called by the builder before
+// the descriptor becomes visible, and by recovery when it finds an
+// interrupted build).
+func (db *DB) RegisterBuild(ctl *BuildCtl) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.builds[ctl.Index] = ctl
+}
+
+// UnregisterBuild removes build control state after completion or cancel.
+func (db *DB) UnregisterBuild(id types.IndexID) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.builds, id)
+}
+
+// NoteIBCheckpoint records the latest committed builder checkpoint payload
+// for inclusion in fuzzy checkpoints.
+func (db *DB) NoteIBCheckpoint(id types.IndexID, payload []byte) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.lastIBCkpt[id] = append([]byte(nil), payload...)
+}
+
+// LastIBState returns the latest committed builder checkpoint for an index,
+// or nil. The crash experiments use it to aim failures at specific build
+// phases.
+func (db *DB) LastIBState(id types.IndexID) *IBState {
+	db.mu.Lock()
+	b := db.lastIBCkpt[id]
+	db.mu.Unlock()
+	if b == nil {
+		return nil
+	}
+	st, err := DecodeIBState(b)
+	if err != nil {
+		return nil
+	}
+	return &st
+}
+
+// DropIBCheckpoint forgets builder state after build completion.
+func (db *DB) DropIBCheckpoint(id types.IndexID) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.lastIBCkpt, id)
+}
+
+// Crash simulates a system failure: every volatile structure is dropped and
+// only forced state survives on the FS. The DB is unusable afterwards;
+// Recover(fs) brings up a new incarnation.
+func (db *DB) Crash() vfs.FS {
+	db.mu.Lock()
+	db.crashed = true
+	db.mu.Unlock()
+	if mem, ok := db.fs.(*vfs.MemFS); ok {
+		mem.Crash()
+		mem.Recover() // disks come back; volatile contents are gone
+	}
+	return db.fs
+}
+
+// Close flushes everything and closes files (clean shutdown).
+func (db *DB) Close() error {
+	if err := db.pool.FlushAll(); err != nil {
+		return err
+	}
+	if err := db.log.Force(db.log.NextLSN()); err != nil {
+		return err
+	}
+	if err := db.Checkpoint(); err != nil {
+		return err
+	}
+	return db.pool.Close()
+}

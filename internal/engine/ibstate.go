@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"fmt"
+
+	"onlineindex/internal/enc"
+	"onlineindex/internal/types"
+)
+
+// IBPhase is where an index build stands for restart purposes.
+type IBPhase uint8
+
+// Build phases recorded in builder checkpoints.
+const (
+	// IBPhaseScan: extracting keys from data pages and sorting (both
+	// algorithms; pipelined, §2.2.2/§3.2.2). State: sort-phase checkpoint
+	// (runs + scan position) and, for SF, the Current-RID.
+	IBPhaseScan IBPhase = iota + 1
+	// IBPhaseInsert (NSF): merging the sorted runs and inserting keys into
+	// the index. State: merge counters + highest key inserted (§2.2.3
+	// "periodic checkpointing by IB").
+	IBPhaseInsert
+	// IBPhaseLoad (SF): merging the runs into the bottom-up loader. State:
+	// merge counters + loader state (§3.2.4).
+	IBPhaseLoad
+	// IBPhaseSideFile (SF): applying side-file entries. State: side-file
+	// position (§3.2.5).
+	IBPhaseSideFile
+)
+
+func (p IBPhase) String() string {
+	switch p {
+	case IBPhaseScan:
+		return "scan"
+	case IBPhaseInsert:
+		return "insert"
+	case IBPhaseLoad:
+		return "load"
+	case IBPhaseSideFile:
+		return "side-file"
+	default:
+		return fmt.Sprintf("phase(%d)", uint8(p))
+	}
+}
+
+// IBState is the payload of a TypeIBCheckpoint log record: everything the
+// index builder needs to resume after a failure without redoing all work.
+// The sub-states are opaque encodings owned by extsort (SortState,
+// MergeState) and btree (LoaderState); the engine only stores and returns
+// them.
+type IBState struct {
+	Index      types.IndexID
+	Phase      IBPhase
+	CurrentRID types.RID     // SF: scan position at checkpoint time
+	EndPage    types.PageNum // data scan stops after this page (fixed at start)
+	SortState  []byte        // IBPhaseScan: extsort.SortState
+	MergeState []byte        // IBPhaseInsert/IBPhaseLoad: extsort.MergeState
+	LoadState  []byte        // IBPhaseLoad: btree.LoaderState
+	HighKey    []byte        // IBPhaseInsert: highest sort item inserted
+	SFPos      uint64        // IBPhaseSideFile: next side-file sequence number
+}
+
+// Encode serializes the state.
+func (s *IBState) Encode() []byte {
+	return enc.NewWriter().
+		U32(uint32(s.Index)).U8(uint8(s.Phase)).RID(s.CurrentRID).U32(uint32(s.EndPage)).
+		Bytes32(s.SortState).Bytes32(s.MergeState).Bytes32(s.LoadState).
+		Bytes32(s.HighKey).U64(s.SFPos).
+		Bytes()
+}
+
+// DecodeIBState parses an IBState.
+func DecodeIBState(b []byte) (IBState, error) {
+	r := enc.NewReader(b)
+	s := IBState{
+		Index: types.IndexID(r.U32()), Phase: IBPhase(r.U8()),
+		CurrentRID: r.RID(), EndPage: types.PageNum(r.U32()),
+		SortState: r.Bytes32(), MergeState: r.Bytes32(), LoadState: r.Bytes32(),
+		HighKey: r.Bytes32(), SFPos: r.U64(),
+	}
+	return s, r.Err()
+}

@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"fmt"
+
+	"onlineindex/internal/btree"
+	"onlineindex/internal/catalog"
+	"onlineindex/internal/keyenc"
+	"onlineindex/internal/txn"
+	"onlineindex/internal/types"
+)
+
+// ErrIndexNotReadable is returned when an index is used as an access path
+// before its build completes: "the index is still not available to the
+// transactions to use it as an access path for retrievals. Such usage has to
+// be delayed until the entire index is built" (§2.2.1).
+type ErrIndexNotReadable struct{ Name string }
+
+func (e *ErrIndexNotReadable) Error() string {
+	return fmt.Sprintf("engine: index %q is still being built and cannot be read", e.Name)
+}
+
+// IndexLookup returns the RIDs matching the key values in the named
+// (complete) index.
+func (db *DB) IndexLookup(tx *txn.Txn, index string, vals ...keyenc.Value) ([]types.RID, error) {
+	ix, tree, err := db.readableIndex(index)
+	if err != nil {
+		return nil, err
+	}
+	_ = ix
+	_ = tx
+	return tree.Lookup(keyenc.Encode(vals...))
+}
+
+// IndexScan streams the live entries of a complete index with lo <= key <=
+// hi (nil bounds are open). fn returning false stops the scan.
+func (db *DB) IndexScan(tx *txn.Txn, index string, lo, hi []keyenc.Value, fn func(key []byte, rid types.RID) bool) error {
+	_, tree, err := db.readableIndex(index)
+	if err != nil {
+		return err
+	}
+	_ = tx
+	var loB, hiB []byte
+	if lo != nil {
+		loB = keyenc.Encode(lo...)
+	}
+	if hi != nil {
+		hiB = keyenc.Encode(hi...)
+	}
+	return tree.ScanRange(loB, hiB, func(e btree.Entry) bool {
+		if e.Pseudo {
+			return true
+		}
+		return fn(e.Key, e.RID)
+	})
+}
+
+func (db *DB) readableIndex(name string) (catalog.Index, *btree.Tree, error) {
+	ix, ok := db.cat.Index(name)
+	if !ok {
+		return catalog.Index{}, nil, fmt.Errorf("engine: no index %q", name)
+	}
+	if ix.State != catalog.StateComplete {
+		return catalog.Index{}, nil, &ErrIndexNotReadable{Name: name}
+	}
+	tree, err := db.TreeOf(ix.ID)
+	if err != nil {
+		return catalog.Index{}, nil, err
+	}
+	return ix, tree, nil
+}
+
+// TableScan streams every live row of a table in RID order (no record
+// locking: the harness uses it at quiescent points; concurrent use sees
+// latch-consistent page states).
+func (db *DB) TableScan(table string, fn func(rid types.RID, row Row) error) error {
+	tbl, ok := db.cat.Table(table)
+	if !ok {
+		return fmt.Errorf("engine: no table %q", table)
+	}
+	h, err := db.heapOf(tbl.ID)
+	if err != nil {
+		return err
+	}
+	return h.Scan(func(rid types.RID, rec []byte) error {
+		row, err := DecodeRow(rec)
+		if err != nil {
+			return err
+		}
+		return fn(rid, row)
+	})
+}
+
+// CheckIndexConsistency verifies that a complete index exactly reflects its
+// table: every row's key has a live entry, no live entry lacks a row, and
+// unique indexes have no duplicate key values. It is the harness's ground
+// truth after every experiment.
+func (db *DB) CheckIndexConsistency(index string) error {
+	ix, ok := db.cat.Index(index)
+	if !ok {
+		return fmt.Errorf("engine: no index %q", index)
+	}
+	tree, err := db.TreeOf(ix.ID)
+	if err != nil {
+		return err
+	}
+	tbl, _ := db.cat.TableByID(ix.Table)
+	h, err := db.heapOf(ix.Table)
+	if err != nil {
+		return err
+	}
+
+	want := make(map[string]types.RID) // key+rid -> rid
+	err = h.Scan(func(rid types.RID, rec []byte) error {
+		key, err := indexKeyFromRecord(&ix, rec)
+		if err != nil {
+			return err
+		}
+		want[string(key)+"|"+rid.String()] = rid
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	got := 0
+	var verr error
+	uniqueSeen := make(map[string]types.RID)
+	err = tree.ScanRange(nil, nil, func(e btree.Entry) bool {
+		if e.Pseudo {
+			return true
+		}
+		got++
+		k := string(e.Key) + "|" + e.RID.String()
+		if _, ok := want[k]; !ok {
+			verr = fmt.Errorf("engine: index %q has live entry <%x,%s> with no matching row", index, e.Key, e.RID)
+			return false
+		}
+		if ix.Unique {
+			if prev, dup := uniqueSeen[string(e.Key)]; dup {
+				verr = fmt.Errorf("engine: unique index %q has duplicate key %x (records %s, %s)", index, e.Key, prev, e.RID)
+				return false
+			}
+			uniqueSeen[string(e.Key)] = e.RID
+		}
+		delete(want, k)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if verr != nil {
+		return verr
+	}
+	if len(want) != 0 {
+		for k, rid := range want {
+			// Distinguish "entry absent" from "entry present but
+			// pseudo-deleted" — different bugs.
+			keyPart := k[:len(k)-len("|")-len(rid.String())]
+			found, pseudo, _ := tree.SearchEntry([]byte(keyPart), rid)
+			return fmt.Errorf("engine: index %q (table %q) is missing entry %q (%d missing of %d rows; exact entry found=%v pseudo=%v)",
+				index, tbl.Name, k, len(want), got+len(want), found, pseudo)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,355 @@
+package engine
+
+import (
+	"fmt"
+
+	"onlineindex/internal/btree"
+	"onlineindex/internal/catalog"
+	"onlineindex/internal/heap"
+	"onlineindex/internal/lock"
+	"onlineindex/internal/sidefile"
+	"onlineindex/internal/txn"
+	"onlineindex/internal/types"
+	"onlineindex/internal/vfs"
+	"onlineindex/internal/wal"
+)
+
+// PendingBuild describes an index build interrupted by a crash: the catalog
+// descriptor plus the builder's last committed checkpoint (nil if the build
+// never checkpointed).
+type PendingBuild struct {
+	Index catalog.Index
+	State *IBState
+}
+
+// Recover brings up a database from the durable state on fs, running
+// ARIES-style restart: analysis (rebuild the catalog, transaction table,
+// dirty page table and index-builder states from the master checkpoint and
+// the log tail), redo (repeat history), and undo (roll back losers with
+// compensation records). Interrupted index builds are left registered in
+// StateBuilding with their Current-RID restored, so transactions immediately
+// observe the correct side-file protocol; the caller resumes them through
+// the builders in package core (see PendingBuilds).
+func Recover(cfg Config) (*DB, error) {
+	if cfg.FS == nil {
+		return nil, fmt.Errorf("engine: Recover requires the FS to recover from")
+	}
+	if mem, ok := cfg.FS.(*vfs.MemFS); ok {
+		mem.Recover() // idempotent: mount the disks
+	}
+	db, err := Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// ----- Analysis ------------------------------------------------------
+	master, err := wal.ReadMaster(db.fs)
+	if err != nil {
+		return nil, err
+	}
+	type ttEntry struct {
+		first, last types.LSN
+		committed   bool
+	}
+	tt := make(map[types.TxnID]*ttEntry)
+	dpt := make(map[types.PageID]types.LSN)
+	ibCandidates := make(map[types.IndexID]struct {
+		txn     types.TxnID
+		payload []byte
+	})
+	committedIB := make(map[types.IndexID][]byte)
+	var maxTxn types.TxnID
+
+	scanFrom := types.LSN(1)
+	if master != types.NilLSN {
+		rec, err := db.log.ReadAt(master)
+		if err != nil {
+			return nil, fmt.Errorf("engine: read checkpoint: %w", err)
+		}
+		img, err := decodeCheckpoint(rec.Payload)
+		if err != nil {
+			return nil, err
+		}
+		cat, err := catalog.FromSnapshot(img.Catalog)
+		if err != nil {
+			return nil, err
+		}
+		db.cat = cat
+		for _, t := range img.Txns {
+			tt[t.ID] = &ttEntry{first: t.FirstLSN, last: t.LastLSN}
+			if t.ID > maxTxn {
+				maxTxn = t.ID
+			}
+		}
+		for _, d := range img.Dirty {
+			dpt[d.ID] = d.RecLSN
+		}
+		for id, b := range img.IBStates {
+			committedIB[id] = b
+		}
+		if img.NextTxnID > maxTxn {
+			maxTxn = img.NextTxnID
+		}
+		scanFrom = master
+	}
+
+	it, err := db.log.NewIterator(scanFrom)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		rec, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if rec.TxnID != types.NilTxn {
+			if rec.TxnID > maxTxn {
+				maxTxn = rec.TxnID
+			}
+			e := tt[rec.TxnID]
+			if e == nil {
+				e = &ttEntry{first: rec.LSN}
+				tt[rec.TxnID] = e
+			}
+			e.last = rec.LSN
+			switch rec.Type {
+			case wal.TypeCommit:
+				e.committed = true
+			case wal.TypeEnd:
+				if e.committed {
+					// Late-bind the builder checkpoints this txn carried.
+					for id, c := range ibCandidates {
+						if c.txn == rec.TxnID {
+							committedIB[id] = c.payload
+							delete(ibCandidates, id)
+						}
+					}
+				}
+				delete(tt, rec.TxnID)
+			}
+		}
+		switch rec.Type {
+		case wal.TypeCreateTable:
+			t, err := catalog.DecodeCreateTable(rec.Payload)
+			if err != nil {
+				return nil, err
+			}
+			if _, exists := db.cat.TableByID(t.ID); !exists {
+				if err := db.cat.AddTable(&t); err != nil {
+					return nil, err
+				}
+			}
+		case wal.TypeCreateIndex:
+			ix, err := catalog.DecodeCreateIndex(rec.Payload)
+			if err != nil {
+				return nil, err
+			}
+			if _, exists := db.cat.IndexByID(ix.ID); !exists {
+				if err := db.cat.AddIndex(&ix); err != nil {
+					return nil, err
+				}
+			}
+		case wal.TypeDropIndex, wal.TypeIndexStateChange:
+			pl, err := catalog.DecodeStateChange(rec.Payload)
+			if err != nil {
+				return nil, err
+			}
+			if err := db.cat.SetIndexState(pl.Index, pl.State, rec.LSN); err != nil {
+				return nil, err
+			}
+			if pl.State != catalog.StateBuilding {
+				delete(committedIB, pl.Index)
+				delete(ibCandidates, pl.Index)
+			}
+		case wal.TypeIBCheckpoint:
+			st, err := DecodeIBState(rec.Payload)
+			if err != nil {
+				return nil, err
+			}
+			ibCandidates[st.Index] = struct {
+				txn     types.TxnID
+				payload []byte
+			}{rec.TxnID, append([]byte(nil), rec.Payload...)}
+		}
+		if rec.Redoable() && !rec.PageID.IsNil() {
+			if _, in := dpt[rec.PageID]; !in {
+				dpt[rec.PageID] = rec.LSN
+			}
+		}
+	}
+	// A commit record without its end record still means committed.
+	for id, c := range ibCandidates {
+		if e := tt[c.txn]; e != nil && e.committed {
+			committedIB[id] = c.payload
+		}
+	}
+
+	// ----- Redo (repeating history) --------------------------------------
+	redoStart := scanFrom
+	for _, recLSN := range dpt {
+		if recLSN < redoStart {
+			redoStart = recLSN
+		}
+	}
+	it, err = db.log.NewIterator(redoStart)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		rec, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if !rec.Redoable() || rec.PageID.IsNil() {
+			continue
+		}
+		switch rec.Type {
+		case wal.TypeHeapFormat, wal.TypeHeapInsert, wal.TypeHeapDelete, wal.TypeHeapUpdate:
+			err = heap.Redo(db.pool, &rec)
+		case wal.TypeIdxFormat, wal.TypeIdxInsert, wal.TypeIdxMultiInsert, wal.TypeIdxDelete,
+			wal.TypeIdxPseudoDel, wal.TypeIdxReactivate, wal.TypeIdxSplit, wal.TypeIdxNewRoot:
+			err = btree.Redo(db.pool, &rec)
+		case wal.TypeSFFormat, wal.TypeSFAppend:
+			err = sidefile.Redo(db.pool, &rec)
+		default:
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("engine: redo of %s: %w", &rec, err)
+		}
+	}
+
+	// ----- Open handles ---------------------------------------------------
+	for _, t := range db.cat.Tables() {
+		h, err := heap.Open(db.pool, t.FileID)
+		if err != nil {
+			return nil, err
+		}
+		db.tables[t.ID] = h
+	}
+	for _, ix := range db.cat.Indexes() {
+		tree, err := btree.Open(db.pool, ix.FileID, btree.Config{Unique: ix.Unique, Budget: db.cfg.TreeBudget})
+		if err != nil {
+			return nil, fmt.Errorf("engine: reopen index %q: %w", ix.Name, err)
+		}
+		db.trees[ix.ID] = tree
+		if ix.SideFile != 0 && ix.State == catalog.StateBuilding {
+			sf, err := sidefile.Open(db.pool, ix.SideFile)
+			if err != nil {
+				return nil, fmt.Errorf("engine: reopen side-file of %q: %w", ix.Name, err)
+			}
+			db.sfiles[ix.ID] = sf
+		}
+	}
+
+	// ----- Rebuild builder state so the DML protocol is correct from the
+	// first post-recovery transaction, before any build is resumed. --------
+	for _, ix := range db.cat.Indexes() {
+		if ix.State != catalog.StateBuilding {
+			continue
+		}
+		switch ix.Method {
+		case catalog.MethodSF:
+			ctl := NewBuildCtl(ix.ID, ix.Method, PhaseCapture)
+			if b, ok := committedIB[ix.ID]; ok {
+				st, err := DecodeIBState(b)
+				if err != nil {
+					return nil, err
+				}
+				ctl.SetCurrentRID(st.CurrentRID)
+				db.lastIBCkpt[ix.ID] = append([]byte(nil), b...)
+			}
+			db.RegisterBuild(ctl)
+		case catalog.MethodNSF:
+			if b, ok := committedIB[ix.ID]; ok {
+				db.lastIBCkpt[ix.ID] = append([]byte(nil), b...)
+			}
+			// NSF needs no ctl: the index is maintained directly.
+		case catalog.MethodOffline:
+			// The offline baseline is not restartable (the paper's
+			// restartability machinery is exactly what it lacks); cancel it.
+			if err := db.cancelBuildInternal(ix); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// ----- Undo losers -----------------------------------------------------
+	db.txns.SetNextTxnID(maxTxn)
+	for id, e := range tt {
+		if e.committed {
+			// Commit was durable but the end record was lost: the
+			// transaction wins; just note completion.
+			continue
+		}
+		loser := db.txns.Adopt(id, e.first, e.last)
+		if err := loser.Rollback(); err != nil {
+			return nil, fmt.Errorf("engine: rollback of loser %d: %w", id, err)
+		}
+	}
+
+	if err := db.Checkpoint(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// cancelBuildInternal drops an interrupted, non-resumable build.
+func (db *DB) cancelBuildInternal(ix catalog.Index) error {
+	tx := db.Begin()
+	pl := catalog.StateChangePayload{Index: ix.ID, State: catalog.StateDropped}
+	if _, err := tx.Log(&wal.Record{Type: wal.TypeDropIndex, Flags: wal.FlagRedo, Payload: pl.Encode()}); err != nil {
+		tx.Rollback()
+		return err
+	}
+	if err := db.cat.SetIndexState(ix.ID, catalog.StateDropped, types.NilLSN); err != nil {
+		tx.Rollback()
+		return err
+	}
+	db.mu.Lock()
+	delete(db.trees, ix.ID)
+	delete(db.sfiles, ix.ID)
+	delete(db.builds, ix.ID)
+	delete(db.lastIBCkpt, ix.ID)
+	db.mu.Unlock()
+	return tx.Commit()
+}
+
+// PendingBuilds returns the interrupted index builds found by recovery, for
+// the core builders to resume.
+func (db *DB) PendingBuilds() ([]PendingBuild, error) {
+	var out []PendingBuild
+	for _, ix := range db.cat.Indexes() {
+		if ix.State != catalog.StateBuilding {
+			continue
+		}
+		pb := PendingBuild{Index: ix}
+		db.mu.Lock()
+		b := db.lastIBCkpt[ix.ID]
+		db.mu.Unlock()
+		if b != nil {
+			st, err := DecodeIBState(b)
+			if err != nil {
+				return nil, err
+			}
+			pb.State = &st
+		}
+		out = append(out, pb)
+	}
+	return out, nil
+}
+
+// Quiesce helper used by the offline baseline and DDL paths: acquire the
+// table lock under tx, returning a function that releases it.
+func (db *DB) lockTableS(tx *txn.Txn, table types.TableID) (func(), error) {
+	if err := tx.Lock(lock.TableName(table), lock.S); err != nil {
+		return nil, err
+	}
+	return func() { tx.Unlock(lock.TableName(table)) }, nil
+}

@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"fmt"
+
+	"onlineindex/internal/catalog"
+	"onlineindex/internal/enc"
+	"onlineindex/internal/keyenc"
+)
+
+// Row is one table row: typed column values matching the table schema.
+type Row []keyenc.Value
+
+// EncodeRow serializes a row for heap storage.
+func EncodeRow(row Row) []byte {
+	w := enc.NewWriter().U16(uint16(len(row)))
+	for _, v := range row {
+		w.Bytes32(keyenc.Encode(v))
+	}
+	return w.Bytes()
+}
+
+// DecodeRow parses a heap record back into a row.
+func DecodeRow(rec []byte) (Row, error) {
+	r := enc.NewReader(rec)
+	n := int(r.U16())
+	row := make(Row, 0, n)
+	for i := 0; i < n; i++ {
+		b := r.Bytes32()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		v, rest, err := keyenc.DecodeOne(b)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("engine: trailing bytes in column %d", i)
+		}
+		row = append(row, v)
+	}
+	return row, r.Err()
+}
+
+// checkRow validates a row against a schema.
+func checkRow(schema catalog.Schema, row Row) error {
+	if len(row) != len(schema) {
+		return fmt.Errorf("engine: row has %d columns, schema has %d", len(row), len(schema))
+	}
+	for i, v := range row {
+		if v.Kind != schema[i].Kind && v.Kind != keyenc.KindNull {
+			return fmt.Errorf("engine: column %q: got %s, want %s", schema[i].Name, v.Kind, schema[i].Kind)
+		}
+	}
+	return nil
+}
+
+// indexKey extracts an index's key value from a row: "the concatenation of
+// the values of the columns over which the index is defined" in the
+// order-preserving encoding.
+func indexKey(ix *catalog.Index, row Row) ([]byte, error) {
+	var key []byte
+	for _, c := range ix.Columns {
+		if c < 0 || c >= len(row) {
+			return nil, fmt.Errorf("engine: index %q references column %d of %d-column row", ix.Name, c, len(row))
+		}
+		key = keyenc.Append(key, row[c])
+	}
+	return key, nil
+}
+
+// indexKeyFromRecord extracts the key directly from an encoded heap record.
+func indexKeyFromRecord(ix *catalog.Index, rec []byte) ([]byte, error) {
+	row, err := DecodeRow(rec)
+	if err != nil {
+		return nil, err
+	}
+	return indexKey(ix, row)
+}
+
+// IndexKeyFromRecord is indexKeyFromRecord for the index builders: "the
+// index-builder scans the data pages, builds index keys" (§1.1).
+func IndexKeyFromRecord(ix *catalog.Index, rec []byte) ([]byte, error) {
+	return indexKeyFromRecord(ix, rec)
+}
+
+// IndexKey extracts an index key from a decoded row.
+func IndexKey(ix *catalog.Index, row Row) ([]byte, error) { return indexKey(ix, row) }

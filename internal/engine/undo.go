@@ -1,0 +1,261 @@
+package engine
+
+import (
+	"fmt"
+
+	"onlineindex/internal/btree"
+	"onlineindex/internal/catalog"
+	"onlineindex/internal/heap"
+	"onlineindex/internal/rm"
+	"onlineindex/internal/txn"
+	"onlineindex/internal/types"
+	"onlineindex/internal/wal"
+)
+
+// clrLogger wraps a rolling-back transaction so every record emitted by a
+// compensation path is a redo-only CLR chained to the proper UndoNextLSN —
+// compensations are never undone.
+type clrLogger struct {
+	tx       *txn.Txn
+	undoNext types.LSN
+}
+
+func (c clrLogger) ID() types.TxnID { return c.tx.ID() }
+
+func (c clrLogger) Log(r *wal.Record) (types.LSN, error) {
+	r.Flags &^= wal.FlagUndo
+	return c.tx.LogCLR(r, c.undoNext)
+}
+
+func (c clrLogger) LogCLR(r *wal.Record, _ types.LSN) (types.LSN, error) {
+	r.Flags &^= wal.FlagUndo
+	return c.tx.LogCLR(r, c.undoNext)
+}
+
+var _ rm.TxnLogger = clrLogger{}
+
+// Undo implements txn.UndoDispatcher: it reverses one undoable log record,
+// including the paper's Fig. 2 logic for data-page records — comparing the
+// visible-index count stored in the record with the count visible at undo
+// time and compensating the difference through the side-file or by logical
+// index undo.
+func (db *DB) Undo(tx *txn.Txn, rec *wal.Record, undoNext types.LSN) error {
+	logger := clrLogger{tx: tx, undoNext: undoNext}
+	switch rec.Type {
+	case wal.TypeHeapInsert:
+		pl, err := heap.DecodeInsert(rec.Payload)
+		if err != nil {
+			return err
+		}
+		// Undoing an insert deletes the record: old state = no record.
+		return db.undoHeapOp(tx, logger, rec, pl.VisCount, pl.RID, pl.Rec, nil,
+			func(h *heap.Table, decide heap.DecideFn) error {
+				return h.UndoInsert(tx, pl, undoNext, decide)
+			})
+
+	case wal.TypeHeapDelete:
+		pl, err := heap.DecodeDelete(rec.Payload)
+		if err != nil {
+			return err
+		}
+		// Undoing a delete reinserts the old record.
+		return db.undoHeapOp(tx, logger, rec, pl.VisCount, pl.RID, nil, pl.Old,
+			func(h *heap.Table, decide heap.DecideFn) error {
+				return h.UndoDelete(tx, pl, undoNext, decide)
+			})
+
+	case wal.TypeHeapUpdate:
+		pl, err := heap.DecodeUpdate(rec.Payload)
+		if err != nil {
+			return err
+		}
+		// Undoing an update restores the old image: delete the new key,
+		// insert the old key.
+		return db.undoHeapOp(tx, logger, rec, pl.VisCount, pl.RID, pl.New, pl.Old,
+			func(h *heap.Table, decide heap.DecideFn) error {
+				return h.UndoUpdate(tx, pl, undoNext, decide)
+			})
+
+	case wal.TypeIdxInsert:
+		pl, err := btree.DecodeEntry(rec.Payload)
+		if err != nil {
+			return err
+		}
+		tree, err := db.treeByFile(rec.PageID.File)
+		if err != nil {
+			return err
+		}
+		return tree.UndoInsert(tx, pl, undoNext)
+
+	case wal.TypeIdxInsertNoop:
+		pl, err := btree.DecodeEntry(rec.Payload)
+		if err != nil {
+			return err
+		}
+		tree, err := db.treeByFile(rec.PageID.File)
+		if err != nil {
+			return err
+		}
+		return tree.UndoInsertNoop(tx, pl, undoNext)
+
+	case wal.TypeIdxPseudoDel:
+		pl, err := btree.DecodeEntry(rec.Payload)
+		if err != nil {
+			return err
+		}
+		tree, err := db.treeByFile(rec.PageID.File)
+		if err != nil {
+			return err
+		}
+		return tree.UndoPseudoDelete(tx, pl, undoNext)
+
+	case wal.TypeIdxReactivate:
+		pl, err := btree.DecodeEntry(rec.Payload)
+		if err != nil {
+			return err
+		}
+		tree, err := db.treeByFile(rec.PageID.File)
+		if err != nil {
+			return err
+		}
+		return tree.UndoReactivate(tx, pl, undoNext)
+
+	case wal.TypeIdxDelete:
+		pl, err := btree.DecodeEntry(rec.Payload)
+		if err != nil {
+			return err
+		}
+		tree, err := db.treeByFile(rec.PageID.File)
+		if err != nil {
+			return err
+		}
+		return tree.UndoRemoveEntry(tx, pl, undoNext)
+
+	case wal.TypeIdxMultiInsert:
+		pl, err := btree.DecodeMultiInsert(rec.Payload)
+		if err != nil {
+			return err
+		}
+		tree, err := db.treeByFile(rec.PageID.File)
+		if err != nil {
+			return err
+		}
+		return tree.UndoMultiInsert(tx, pl, undoNext)
+
+	default:
+		return fmt.Errorf("engine: no undo handler for record type %s", rec.Type)
+	}
+}
+
+// treeByFile resolves the tree whose index file is f.
+func (db *DB) treeByFile(f types.FileID) (*btree.Tree, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, t := range db.trees {
+		if t.FileID() == f {
+			return t, nil
+		}
+	}
+	return nil, fmt.Errorf("engine: no open tree for index file %d", f)
+}
+
+// undoHeapOp undoes one data-page record and performs the index
+// compensation of Fig. 2. delKey is the key the undo removes from indexes
+// (the key of the record image being undone away); insKey is the key the
+// undo adds back. Either may be nil.
+//
+// For each index visible at undo time, three cases:
+//
+//   - it was visible at op time (position < opVisCount) and was maintained
+//     directly then (NSF/offline method, or an SF index whose build had
+//     already completed when the op ran, rec.LSN >= CompleteLSN): the
+//     transaction has its own index log records — nothing to do here;
+//   - it was visible at op time through the side-file (SF method and
+//     rec.LSN < CompleteLSN): mirror the compensation the forward pass would
+//     have logged — a side-file append while capture is still on, or a
+//     logical index undo if the build has since completed;
+//   - it became visible after the op (position >= opVisCount, Fig. 2's
+//     "data page log record's count < Current_Count"): compensate the index
+//     builder's view — the builder extracted (or will extract) the post-op
+//     record state, so apply the inverse through the side-file or the tree.
+func (db *DB) undoHeapOp(tx *txn.Txn, logger clrLogger, rec *wal.Record, opVisCount uint16,
+	rid types.RID, delRec, insRec []byte,
+	heapUndo func(h *heap.Table, decide heap.DecideFn) error) error {
+
+	tbl, err := db.tableByFile(rec.PageID.File)
+	if err != nil {
+		return err
+	}
+	h, err := db.heapOf(tbl.ID)
+	if err != nil {
+		return err
+	}
+
+	var plan opPlan
+	if err := heapUndo(h, func(r types.RID) uint16 {
+		plan = db.planUnderLatch(tbl.ID, r)
+		return plan.visCount
+	}); err != nil {
+		return err
+	}
+	defer plan.release()
+	if plan.err != nil {
+		return plan.err
+	}
+
+	visIdx := -1 // position among *visible* indexes, for the count comparison
+	for i := range plan.plans {
+		p := &plan.plans[i]
+		if p.mode == planSkip {
+			continue
+		}
+		visIdx++
+		visibleAtOp := visIdx < int(opVisCount)
+		if visibleAtOp {
+			maintainedBySideFile := p.ix.Method == catalog.MethodSF &&
+				(p.ix.CompleteLSN == types.NilLSN || rec.LSN < p.ix.CompleteLSN)
+			if !maintainedBySideFile {
+				// The transaction logged its own index records; they are
+				// undone individually. Just drop the gate if held.
+				if p.mode == planSideFile {
+					p.ctl.LeaveAppend()
+					p.ctl = nil
+				}
+				continue
+			}
+		}
+		// Compensate: remove delKey's effect / restore insKey.
+		var delKey, insKey []byte
+		if delRec != nil {
+			if delKey, err = indexKeyFromRecord(&p.ix, delRec); err != nil {
+				return err
+			}
+		}
+		if insRec != nil {
+			if insKey, err = indexKeyFromRecord(&p.ix, insRec); err != nil {
+				return err
+			}
+		}
+		if delRec != nil && insRec != nil && string(delKey) == string(insKey) {
+			if p.mode == planSideFile {
+				p.ctl.LeaveAppend()
+				p.ctl = nil
+			}
+			continue
+		}
+		if err := db.applyIndexOps(tx, logger, &opPlan{plans: plan.plans[i : i+1]}, delRec, insRec, rid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// tableByFile resolves the table whose heap file is f.
+func (db *DB) tableByFile(f types.FileID) (catalog.Table, error) {
+	for _, t := range db.cat.Tables() {
+		if t.FileID == f {
+			return t, nil
+		}
+	}
+	return catalog.Table{}, fmt.Errorf("engine: no table for heap file %d", f)
+}

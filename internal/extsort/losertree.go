@@ -1,0 +1,123 @@
+// Package extsort implements the paper's restartable external sort (§5): a
+// tournament-tree sort whose sort phase and merge phase both checkpoint
+// enough state to resume after a system failure without re-reading the
+// already-sorted prefix of the input.
+//
+// The sort phase uses replacement selection over a tournament (loser) tree,
+// producing sorted runs on the VFS; a checkpoint drains the tree, forces the
+// run files, and records the run metadata plus the caller's scan position
+// (§5.1). The merge phase is an N-way tournament merge that maintains the
+// paper's per-input counters: "while outputting a value from the tree, we
+// increment by one the counter associated with the input stream from which
+// that value came" (§5.2); checkpointing the counter vector lets restart
+// reposition every input exactly.
+//
+// Items are opaque byte strings ordered by bytes.Compare — the
+// memcmp-comparable index keys of package keyenc.
+package extsort
+
+import "bytes"
+
+// slot is one tournament-tree leaf: a run-tagged item. Replacement selection
+// orders by (tag, item) so items assigned to the next run lose against every
+// current-run item; an invalid slot is +infinity.
+type slot struct {
+	tag  uint64
+	item []byte
+	ok   bool
+}
+
+func slotLess(a, b slot) bool {
+	if a.ok != b.ok {
+		return a.ok // valid beats invalid (+inf)
+	}
+	if !a.ok {
+		return false
+	}
+	if a.tag != b.tag {
+		return a.tag < b.tag
+	}
+	return bytes.Compare(a.item, b.item) < 0
+}
+
+// loserTree is a classic tournament tree of n leaves: internal node k holds
+// the index of the leaf that *lost* the match at k, and tree[0] holds the
+// overall winner. Replacing the winner replays only its root path —
+// O(log n) comparisons per output, the property that makes tournament sort
+// the paper's choice for both phases.
+type loserTree struct {
+	n      int
+	tree   []int  // size n; tree[0] = winner leaf index
+	leaves []slot // size n
+	merge  bool   // merge ordering: by (item, tag) instead of (tag, item)
+}
+
+// mergeLess orders merge-tree slots by item, breaking ties by source stream
+// index so equal keys stay in run order (a stable merge).
+func mergeLess(a, b slot) bool {
+	if a.ok != b.ok {
+		return a.ok
+	}
+	if !a.ok {
+		return false
+	}
+	if c := bytes.Compare(a.item, b.item); c != 0 {
+		return c < 0
+	}
+	return a.tag < b.tag
+}
+
+// newLoserTree builds a tree over the given leaves (length >= 1).
+func newLoserTree(leaves []slot) *loserTree {
+	n := len(leaves)
+	t := &loserTree{n: n, tree: make([]int, n), leaves: leaves}
+	for i := range t.tree {
+		t.tree[i] = -1 // virtual "always loses" entries during build
+	}
+	for i := n - 1; i >= 0; i-- {
+		t.adjust(i)
+	}
+	return t
+}
+
+// adjust replays leaf i's path to the root. During the initial build a climb
+// parks at the first empty node (classic tournament construction: each
+// internal node hosts exactly one loser once every leaf has been entered);
+// afterwards every node is occupied, so the climb plays a match at each
+// level — the loser stays, the winner continues — and installs the overall
+// winner at tree[0].
+func (t *loserTree) adjust(i int) {
+	less := slotLess
+	if t.merge {
+		less = mergeLess
+	}
+	winner := i
+	node := (i + t.n) / 2
+	for node > 0 {
+		if t.tree[node] == -1 {
+			t.tree[node] = winner
+			return // parked during build; the champion is not yet known
+		}
+		if less(t.leaves[t.tree[node]], t.leaves[winner]) {
+			t.tree[node], winner = winner, t.tree[node]
+		}
+		node /= 2
+	}
+	t.tree[0] = winner
+}
+
+// winner returns the index of the winning leaf.
+func (t *loserTree) winner() int { return t.tree[0] }
+
+// winnerSlot returns the winning slot.
+func (t *loserTree) winnerSlot() slot { return t.leaves[t.tree[0]] }
+
+// replaceWinner installs s in the winning leaf and restores the tournament.
+func (t *loserTree) replaceWinner(s slot) {
+	w := t.tree[0]
+	t.leaves[w] = s
+	t.adjust(w)
+}
+
+// empty reports whether every leaf is invalid (+inf).
+func (t *loserTree) empty() bool { return !t.winnerSlot().ok }

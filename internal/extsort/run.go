@@ -1,0 +1,182 @@
+package extsort
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"onlineindex/internal/enc"
+	"onlineindex/internal/vfs"
+)
+
+// RunMeta describes one sorted run file: its name, how many items it holds,
+// its byte length, and its highest (last) item. This is exactly what the
+// sort-phase checkpoint records per stream ("file names, etc." plus, for the
+// last stream, "the value of the highest key that was output", §5.1).
+type RunMeta struct {
+	Name  string
+	Count uint64
+	Bytes int64
+	High  []byte
+}
+
+func (m RunMeta) encode(w *enc.Writer) {
+	w.String32(m.Name).U64(m.Count).U64(uint64(m.Bytes)).Bytes32(m.High)
+}
+
+func decodeRunMeta(r *enc.Reader) RunMeta {
+	return RunMeta{Name: r.String32(), Count: r.U64(), Bytes: int64(r.U64()), High: r.Bytes32()}
+}
+
+// Run file format: a sequence of [uint32 length][item bytes] records.
+
+// runWriter appends items to a run file.
+type runWriter struct {
+	f    vfs.File
+	meta RunMeta
+	buf  []byte // pending bytes not yet written through
+}
+
+func createRun(fs vfs.FS, name string) (*runWriter, error) {
+	f, err := fs.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &runWriter{f: f, meta: RunMeta{Name: name}}, nil
+}
+
+// reopenRun opens an existing run for appending, truncating it to the
+// checkpointed state first (restart: "reposition the last sorted output
+// stream ... to the end of file position recorded in the checkpoint").
+func reopenRun(fs vfs.FS, meta RunMeta) (*runWriter, error) {
+	f, err := fs.Open(meta.Name)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(meta.Bytes); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &runWriter{f: f, meta: meta}, nil
+}
+
+func (w *runWriter) add(item []byte) {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(item)))
+	w.buf = append(w.buf, hdr[:]...)
+	w.buf = append(w.buf, item...)
+	w.meta.Count++
+	w.meta.High = append(w.meta.High[:0], item...)
+	if len(w.buf) >= 1<<16 {
+		w.flush()
+	}
+}
+
+func (w *runWriter) flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	if _, err := w.f.WriteAt(w.buf, w.meta.Bytes); err != nil {
+		return err
+	}
+	w.meta.Bytes += int64(len(w.buf))
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// force flushes and fsyncs the run file (checkpoint durability).
+func (w *runWriter) force() error {
+	if err := w.flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *runWriter) close() error {
+	if err := w.flush(); err != nil {
+		return err
+	}
+	return w.f.Close()
+}
+
+// runReader streams items from a run file.
+type runReader struct {
+	f      vfs.File
+	off    int64
+	rdbuf  []byte
+	bufOff int64 // file offset of rdbuf[0]
+	count  uint64
+}
+
+func openRun(fs vfs.FS, meta RunMeta) (*runReader, error) {
+	f, err := fs.Open(meta.Name)
+	if err != nil {
+		return nil, err
+	}
+	return &runReader{f: f}, nil
+}
+
+// next returns the next item, or ok=false at end of run.
+func (r *runReader) next() ([]byte, bool, error) {
+	hdr, err := r.read(4)
+	if err == io.EOF {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	n := binary.LittleEndian.Uint32(hdr)
+	item, err := r.read(int(n))
+	if err != nil {
+		return nil, false, fmt.Errorf("extsort: truncated run item: %w", err)
+	}
+	out := make([]byte, n)
+	copy(out, item)
+	r.count++
+	return out, true, nil
+}
+
+// skip advances past k items (restart repositioning by counter value).
+func (r *runReader) skip(k uint64) error {
+	for i := uint64(0); i < k; i++ {
+		if _, ok, err := r.next(); err != nil {
+			return err
+		} else if !ok {
+			return fmt.Errorf("extsort: skip %d past end of run at %d", k, i)
+		}
+	}
+	return nil
+}
+
+const readChunk = 1 << 16
+
+// read returns n bytes at the current offset, buffering reads.
+func (r *runReader) read(n int) ([]byte, error) {
+	for int64(len(r.rdbuf)) < r.off-r.bufOff+int64(n) {
+		// Need more data: refill the window starting at r.off.
+		if r.off > r.bufOff && len(r.rdbuf) > 0 {
+			r.rdbuf = append(r.rdbuf[:0], r.rdbuf[r.off-r.bufOff:]...)
+			r.bufOff = r.off
+		}
+		chunk := make([]byte, readChunk)
+		m, err := r.f.ReadAt(chunk, r.bufOff+int64(len(r.rdbuf)))
+		if m > 0 {
+			r.rdbuf = append(r.rdbuf, chunk[:m]...)
+			continue
+		}
+		if err == io.EOF {
+			if int64(len(r.rdbuf)) >= r.off-r.bufOff+int64(n) {
+				break
+			}
+			return nil, io.EOF
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	start := r.off - r.bufOff
+	r.off += int64(n)
+	return r.rdbuf[start : start+int64(n)], nil
+}
+
+func (r *runReader) close() error { return r.f.Close() }

@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"onlineindex/internal/btree"
+	"onlineindex/internal/buffer"
+	"onlineindex/internal/rm"
+	"onlineindex/internal/types"
+	"onlineindex/internal/vfs"
+	"onlineindex/internal/wal"
+)
+
+func TestClusteringFactorPerfectAndShuffled(t *testing.T) {
+	fs := vfs.NewMemFS()
+	log, _ := wal.Open(fs)
+	pool := buffer.New(fs, log, 128)
+	tl := &rm.SimpleLogger{L: log, Txn: 1}
+	tree, err := btree.Create(pool, 5, btree.Config{Budget: 512}, tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bottom-up load: perfect clustering.
+	ld := tree.NewLoader(0.9)
+	for i := 0; i < 2000; i++ {
+		ld.Add(btree.Entry{Key: []byte(keyStr(i)), RID: ridOf(i)})
+	}
+	ld.Finish()
+	cl, err := ClusteringFactor(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl != 1.0 {
+		t.Fatalf("bottom-up clustering = %v, want 1.0", cl)
+	}
+
+	// Random-order top-down inserts: clustering must be visibly worse.
+	tree2, err := btree.Create(pool, 6, btree.Config{Budget: 512}, tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := []int{}
+	for i := 0; i < 2000; i++ {
+		perm = append(perm, (i*1117)%2000)
+	}
+	for _, p := range perm {
+		tree2.TxnInsert(tl, []byte(keyStr(p)), ridOf(p))
+	}
+	cl2, err := ClusteringFactor(tree2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl2 >= cl {
+		t.Fatalf("random insert clustering %v not below bottom-up %v", cl2, cl)
+	}
+}
+
+func keyStr(i int) string {
+	const digits = "0123456789"
+	s := make([]byte, 8)
+	for j := 7; j >= 0; j-- {
+		s[j] = digits[i%10]
+		i /= 10
+	}
+	return "k" + string(s)
+}
+
+func ridOf(i int) types.RID {
+	return types.RID{PageID: types.PageID{File: 1, Page: types.PageNum(i / 100)}, Slot: types.SlotNum(i % 100)}
+}
+
+func TestTableRendering(t *testing.T) {
+	out := Table("Title", []string{"col", "value"}, [][]string{
+		{"a", "1"},
+		{"long-name", "2"},
+	})
+	if !strings.Contains(out, "Title") || !strings.Contains(out, "long-name") {
+		t.Fatalf("table output: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if N(1234567) != "1,234,567" {
+		t.Fatalf("N = %q", N(1234567))
+	}
+	if N(12) != "12" || N(1000) != "1,000" {
+		t.Fatalf("N small = %q %q", N(12), N(1000))
+	}
+	if F(1.005) == "" {
+		t.Fatal("F empty")
+	}
+	if D(1500*time.Millisecond) != "1500.0ms" {
+		t.Fatalf("D = %q", D(1500*time.Millisecond))
+	}
+}

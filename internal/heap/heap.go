@@ -1,0 +1,467 @@
+package heap
+
+import (
+	"fmt"
+	"sync"
+
+	"onlineindex/internal/buffer"
+	"onlineindex/internal/latch"
+	"onlineindex/internal/page"
+	"onlineindex/internal/rm"
+	"onlineindex/internal/types"
+	"onlineindex/internal/wal"
+)
+
+// DecideFn is invoked while the data page latch is still held, after the
+// target RID is known but before the operation is logged. It returns the
+// count of indexes visible to the transaction for this update, which is
+// recorded in the log record (§3.1.2). The SF algorithm's transaction layer
+// uses the same under-latch window to compare Target-RID against the index
+// builder's Current-RID and capture the side-file decision.
+type DecideFn func(rid types.RID) (visCount uint16)
+
+// Table is the record manager for one heap file.
+type Table struct {
+	pool *buffer.Pool
+	file types.FileID
+
+	mu       sync.Mutex
+	freeHint map[types.PageNum]int // approximate free bytes per page
+	lastPage types.PageNum
+	havePage bool
+}
+
+// Open opens the heap file, scanning existing pages to build the free-space
+// hints.
+func Open(pool *buffer.Pool, file types.FileID) (*Table, error) {
+	t := &Table{pool: pool, file: file, freeHint: make(map[types.PageNum]int)}
+	if err := pool.OpenFile(file); err != nil {
+		return nil, err
+	}
+	n, err := pool.PageCount(file)
+	if err != nil {
+		return nil, err
+	}
+	for i := types.PageNum(0); i < n; i++ {
+		pid := types.PageID{File: file, Page: i}
+		err := rm.WithPage(pool, pid, latch.S, func(f *buffer.Frame) error {
+			hp, ok := f.Page().(*Page)
+			if !ok {
+				return fmt.Errorf("heap: page %s is %s, not heap", pid, f.Page().Kind())
+			}
+			t.freeHint[i] = hp.FreeSpace()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if n > 0 {
+		t.lastPage = n - 1
+		t.havePage = true
+	}
+	return t, nil
+}
+
+// FileID returns the table's file ID.
+func (t *Table) FileID() types.FileID { return t.file }
+
+// PageCount returns the number of data pages.
+func (t *Table) PageCount() (types.PageNum, error) { return t.pool.PageCount(t.file) }
+
+// pickPage returns a page number likely to fit recLen, or ok=false if a new
+// page must be allocated.
+func (t *Table) pickPage(recLen int) (types.PageNum, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.havePage {
+		return 0, false
+	}
+	if t.freeHint[t.lastPage] >= recLen+slotSize {
+		return t.lastPage, true
+	}
+	for n, free := range t.freeHint {
+		if free >= recLen+slotSize {
+			return n, true
+		}
+	}
+	return 0, false
+}
+
+func (t *Table) setHint(n types.PageNum, free int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.freeHint[n] = free
+	if !t.havePage || n > t.lastPage {
+		t.lastPage, t.havePage = n, true
+	}
+}
+
+// allocPage allocates and formats a new data page, logging the format as a
+// redo-only record under tl.
+func (t *Table) allocPage(tl rm.TxnLogger) (*buffer.Frame, error) {
+	f, err := t.pool.NewPage(t.file, NewPage())
+	if err != nil {
+		return nil, err
+	}
+	lsn, err := tl.Log(&wal.Record{Type: wal.TypeHeapFormat, Flags: wal.FlagRedo, PageID: f.ID})
+	if err != nil {
+		t.pool.Unpin(f)
+		return nil, err
+	}
+	f.MarkDirty(lsn)
+	return f, nil
+}
+
+// insertHeadroom is free space Insert leaves on every page so records can be
+// restored in place: rollback of a delete must reinsert the old record at
+// its exact RID even if later inserts consumed the freed bytes. The slot
+// itself is protected by the engine's conditional record lock (AcceptFn);
+// the headroom covers the bytes for the realistic case of a few concurrent
+// small-record deleters per page.
+const insertHeadroom = 512
+
+// AcceptFn can veto a candidate RID before the insert commits to it; it runs
+// under the page X latch. The engine uses it to conditionally X-lock the
+// RID, refusing slots whose previous occupant's deleter is still uncommitted.
+type AcceptFn func(rid types.RID) bool
+
+// Insert appends rec to the table under tl, returning its RID. accept and
+// decide run under the page X latch (see AcceptFn, DecideFn); either may be
+// nil.
+func (t *Table) Insert(tl rm.TxnLogger, rec []byte, accept AcceptFn, decide DecideFn) (types.RID, error) {
+	for attempt := 0; ; attempt++ {
+		pageNum, ok := t.pickPage(len(rec))
+		var f *buffer.Frame
+		var err error
+		if !ok {
+			if f, err = t.allocPage(tl); err != nil {
+				return types.NilRID, err
+			}
+		} else {
+			if f, err = t.pool.Fetch(types.PageID{File: t.file, Page: pageNum}); err != nil {
+				return types.NilRID, err
+			}
+			f.Latch.Acquire(latch.X)
+		}
+		if !ok {
+			f.Latch.Acquire(latch.X)
+		}
+		hp := f.Page().(*Page)
+		if hp.NumRecords() > 0 && hp.FreeSpace()-len(rec)-slotSize < insertHeadroom {
+			t.setHint(f.ID.Page, 0) // effectively full for inserts
+			f.Latch.Release(latch.X)
+			t.pool.Unpin(f)
+			if attempt > 1024 {
+				return types.NilRID, fmt.Errorf("heap: insert livelock")
+			}
+			continue
+		}
+		var acceptSlot func(types.SlotNum) bool
+		if accept != nil {
+			acceptSlot = func(s types.SlotNum) bool {
+				return accept(types.RID{PageID: f.ID, Slot: s})
+			}
+		}
+		slot, ierr := hp.Insert(rec, acceptSlot)
+		if ierr == ErrPageFull {
+			t.setHint(f.ID.Page, hp.FreeSpace())
+			f.Latch.Release(latch.X)
+			t.pool.Unpin(f)
+			if attempt > 1024 {
+				return types.NilRID, fmt.Errorf("heap: insert livelock")
+			}
+			continue
+		}
+		if ierr != nil {
+			f.Latch.Release(latch.X)
+			t.pool.Unpin(f)
+			return types.NilRID, ierr
+		}
+		rid := types.RID{PageID: f.ID, Slot: slot}
+		var vis uint16
+		if decide != nil {
+			vis = decide(rid)
+		}
+		pl := InsertPayload{RID: rid, Rec: rec, VisCount: vis}
+		lsn, lerr := tl.Log(&wal.Record{
+			Type: wal.TypeHeapInsert, Flags: wal.FlagRedo | wal.FlagUndo,
+			PageID: f.ID, Payload: pl.Encode(),
+		})
+		if lerr != nil {
+			f.Latch.Release(latch.X)
+			t.pool.Unpin(f)
+			return types.NilRID, lerr
+		}
+		f.MarkDirty(lsn)
+		t.setHint(f.ID.Page, hp.FreeSpace())
+		f.Latch.Release(latch.X)
+		t.pool.Unpin(f)
+		return rid, nil
+	}
+}
+
+// Delete removes the record at rid under tl and returns the old record.
+func (t *Table) Delete(tl rm.TxnLogger, rid types.RID, decide DecideFn) ([]byte, error) {
+	if rid.PageID.File != t.file {
+		return nil, fmt.Errorf("heap: RID %s not in table file %d", rid, t.file)
+	}
+	var old []byte
+	err := rm.WithPage(t.pool, rid.PageID, latch.X, func(f *buffer.Frame) error {
+		hp := f.Page().(*Page)
+		var vis uint16
+		if decide != nil {
+			vis = decide(rid)
+		}
+		o, err := hp.Delete(rid.Slot)
+		if err != nil {
+			return err
+		}
+		old = o
+		pl := DeletePayload{RID: rid, Old: o, VisCount: vis}
+		lsn, err := tl.Log(&wal.Record{
+			Type: wal.TypeHeapDelete, Flags: wal.FlagRedo | wal.FlagUndo,
+			PageID: rid.PageID, Payload: pl.Encode(),
+		})
+		if err != nil {
+			return err
+		}
+		f.MarkDirty(lsn)
+		t.setHint(rid.PageID.Page, hp.FreeSpace())
+		return nil
+	})
+	return old, err
+}
+
+// Update replaces the record at rid under tl and returns the old record.
+func (t *Table) Update(tl rm.TxnLogger, rid types.RID, rec []byte, decide DecideFn) ([]byte, error) {
+	if rid.PageID.File != t.file {
+		return nil, fmt.Errorf("heap: RID %s not in table file %d", rid, t.file)
+	}
+	var old []byte
+	err := rm.WithPage(t.pool, rid.PageID, latch.X, func(f *buffer.Frame) error {
+		hp := f.Page().(*Page)
+		var vis uint16
+		if decide != nil {
+			vis = decide(rid)
+		}
+		o, err := hp.Update(rid.Slot, rec)
+		if err != nil {
+			return err
+		}
+		old = o
+		pl := UpdatePayload{RID: rid, Old: o, New: rec, VisCount: vis}
+		lsn, err := tl.Log(&wal.Record{
+			Type: wal.TypeHeapUpdate, Flags: wal.FlagRedo | wal.FlagUndo,
+			PageID: rid.PageID, Payload: pl.Encode(),
+		})
+		if err != nil {
+			return err
+		}
+		f.MarkDirty(lsn)
+		t.setHint(rid.PageID.Page, hp.FreeSpace())
+		return nil
+	})
+	return old, err
+}
+
+// Get returns a copy of the record at rid (under an S latch), or ok=false if
+// the slot is empty. Locking is the caller's concern.
+func (t *Table) Get(rid types.RID) ([]byte, bool, error) {
+	var rec []byte
+	var ok bool
+	err := rm.WithPage(t.pool, rid.PageID, latch.S, func(f *buffer.Frame) error {
+		hp, isHeap := f.Page().(*Page)
+		if !isHeap {
+			return fmt.Errorf("heap: page %s is not a heap page", rid.PageID)
+		}
+		if r := hp.Get(rid.Slot); r != nil {
+			rec = append([]byte(nil), r...)
+			ok = true
+		}
+		return nil
+	})
+	return rec, ok, err
+}
+
+// VisitPage S-latches one data page and streams its live records to recFn in
+// slot order; doneFn (if non-nil) runs while the latch is still held, after
+// the last record. The index builder's scan uses doneFn to advance its
+// Current-RID past the whole page before any transaction can latch it
+// (§3.2.2) — this is what makes Target-RID vs Current-RID comparisons
+// unambiguous.
+func (t *Table) VisitPage(n types.PageNum, recFn func(rid types.RID, rec []byte) error, doneFn func() error) error {
+	pid := types.PageID{File: t.file, Page: n}
+	return rm.WithPage(t.pool, pid, latch.S, func(f *buffer.Frame) error {
+		hp, ok := f.Page().(*Page)
+		if !ok {
+			return fmt.Errorf("heap: page %s is not a heap page", pid)
+		}
+		for i := 0; i < hp.NumSlots(); i++ {
+			if rec := hp.Get(types.SlotNum(i)); rec != nil {
+				if err := recFn(types.RID{PageID: pid, Slot: types.SlotNum(i)}, rec); err != nil {
+					return err
+				}
+			}
+		}
+		if doneFn != nil {
+			return doneFn()
+		}
+		return nil
+	})
+}
+
+// Scan visits every live record of the table in RID order (ordinary readers;
+// the index builder drives VisitPage itself to manage its scan position).
+func (t *Table) Scan(fn func(rid types.RID, rec []byte) error) error {
+	n, err := t.PageCount()
+	if err != nil {
+		return err
+	}
+	for i := types.PageNum(0); i < n; i++ {
+		if err := t.VisitPage(i, fn, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Undo (transaction rollback)
+// ---------------------------------------------------------------------------
+
+// UndoInsert compensates a TypeHeapInsert record: it deletes the record and
+// writes a redo-only CLR (of type TypeHeapDelete). decide runs under the
+// page latch so the rollback can evaluate the Fig. 2 visibility logic.
+func (t *Table) UndoInsert(tl rm.TxnLogger, pl InsertPayload, undoNext types.LSN, decide DecideFn) error {
+	return rm.WithPage(t.pool, pl.RID.PageID, latch.X, func(f *buffer.Frame) error {
+		hp := f.Page().(*Page)
+		if decide != nil {
+			decide(pl.RID)
+		}
+		old, err := hp.Delete(pl.RID.Slot)
+		if err != nil {
+			return fmt.Errorf("heap: undo insert %s: %w", pl.RID, err)
+		}
+		clr := DeletePayload{RID: pl.RID, Old: old, VisCount: pl.VisCount}
+		lsn, err := tl.LogCLR(&wal.Record{
+			Type: wal.TypeHeapDelete, Flags: wal.FlagRedo,
+			PageID: pl.RID.PageID, Payload: clr.Encode(),
+		}, undoNext)
+		if err != nil {
+			return err
+		}
+		f.MarkDirty(lsn)
+		t.setHint(pl.RID.PageID.Page, hp.FreeSpace())
+		return nil
+	})
+}
+
+// UndoDelete compensates a TypeHeapDelete record: it reinserts the old
+// record at its original RID and writes a redo-only CLR.
+func (t *Table) UndoDelete(tl rm.TxnLogger, pl DeletePayload, undoNext types.LSN, decide DecideFn) error {
+	return rm.WithPage(t.pool, pl.RID.PageID, latch.X, func(f *buffer.Frame) error {
+		hp := f.Page().(*Page)
+		if decide != nil {
+			decide(pl.RID)
+		}
+		if err := hp.InsertAt(pl.RID.Slot, pl.Old); err != nil {
+			return fmt.Errorf("heap: undo delete %s: %w", pl.RID, err)
+		}
+		clr := InsertPayload{RID: pl.RID, Rec: pl.Old, VisCount: pl.VisCount}
+		lsn, err := tl.LogCLR(&wal.Record{
+			Type: wal.TypeHeapInsert, Flags: wal.FlagRedo,
+			PageID: pl.RID.PageID, Payload: clr.Encode(),
+		}, undoNext)
+		if err != nil {
+			return err
+		}
+		f.MarkDirty(lsn)
+		t.setHint(pl.RID.PageID.Page, hp.FreeSpace())
+		return nil
+	})
+}
+
+// UndoUpdate compensates a TypeHeapUpdate record: it restores the old image
+// and writes a redo-only CLR.
+func (t *Table) UndoUpdate(tl rm.TxnLogger, pl UpdatePayload, undoNext types.LSN, decide DecideFn) error {
+	return rm.WithPage(t.pool, pl.RID.PageID, latch.X, func(f *buffer.Frame) error {
+		hp := f.Page().(*Page)
+		if decide != nil {
+			decide(pl.RID)
+		}
+		if _, err := hp.Update(pl.RID.Slot, pl.Old); err != nil {
+			return fmt.Errorf("heap: undo update %s: %w", pl.RID, err)
+		}
+		clr := UpdatePayload{RID: pl.RID, Old: pl.New, New: pl.Old, VisCount: pl.VisCount}
+		lsn, err := tl.LogCLR(&wal.Record{
+			Type: wal.TypeHeapUpdate, Flags: wal.FlagRedo,
+			PageID: pl.RID.PageID, Payload: clr.Encode(),
+		}, undoNext)
+		if err != nil {
+			return err
+		}
+		f.MarkDirty(lsn)
+		return nil
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Redo (restart recovery)
+// ---------------------------------------------------------------------------
+
+// Redo applies one heap log record to its page if the page has not already
+// seen it (PageLSN < record LSN). It handles TypeHeapFormat, TypeHeapInsert,
+// TypeHeapDelete and TypeHeapUpdate, including the CLR variants.
+func Redo(pool *buffer.Pool, rec *wal.Record) error {
+	f, err := pool.FetchOrCreate(rec.PageID, func() page.Page { return NewPage() }, rec.LSN)
+	if err != nil {
+		return err
+	}
+	defer pool.Unpin(f)
+	f.Latch.Acquire(latch.X)
+	defer f.Latch.Release(latch.X)
+	hp, ok := f.Page().(*Page)
+	if !ok {
+		return fmt.Errorf("heap: redo LSN %d: page %s is %s, not heap", rec.LSN, rec.PageID, f.Page().Kind())
+	}
+	if hp.PageLSN() >= rec.LSN {
+		return nil // already applied
+	}
+	return applyRedo(f, hp, rec)
+}
+
+func applyRedo(f *buffer.Frame, hp *Page, rec *wal.Record) error {
+	switch rec.Type {
+	case wal.TypeHeapFormat:
+		*hp = *NewPage()
+	case wal.TypeHeapInsert:
+		pl, err := DecodeInsert(rec.Payload)
+		if err != nil {
+			return err
+		}
+		if err := hp.InsertAt(pl.RID.Slot, pl.Rec); err != nil {
+			return fmt.Errorf("heap: redo insert LSN %d: %w", rec.LSN, err)
+		}
+	case wal.TypeHeapDelete:
+		pl, err := DecodeDelete(rec.Payload)
+		if err != nil {
+			return err
+		}
+		if _, err := hp.Delete(pl.RID.Slot); err != nil {
+			return fmt.Errorf("heap: redo delete LSN %d: %w", rec.LSN, err)
+		}
+	case wal.TypeHeapUpdate:
+		pl, err := DecodeUpdate(rec.Payload)
+		if err != nil {
+			return err
+		}
+		if _, err := hp.Update(pl.RID.Slot, pl.New); err != nil {
+			return fmt.Errorf("heap: redo update LSN %d: %w", rec.LSN, err)
+		}
+	default:
+		return fmt.Errorf("heap: redo of unexpected record type %s", rec.Type)
+	}
+	f.MarkDirty(rec.LSN)
+	return nil
+}

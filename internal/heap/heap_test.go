@@ -1,0 +1,438 @@
+package heap
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"onlineindex/internal/buffer"
+	"onlineindex/internal/rm"
+	"onlineindex/internal/types"
+	"onlineindex/internal/vfs"
+	"onlineindex/internal/wal"
+)
+
+func setup(t *testing.T) (*vfs.MemFS, *wal.Log, *buffer.Pool, *Table) {
+	t.Helper()
+	fs := vfs.NewMemFS()
+	log, err := wal.Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := buffer.New(fs, log, 64)
+	tbl, err := Open(pool, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, log, pool, tbl
+}
+
+func logger(log *wal.Log, txn types.TxnID) *rm.SimpleLogger {
+	return &rm.SimpleLogger{L: log, Txn: txn}
+}
+
+func TestInsertGet(t *testing.T) {
+	_, log, _, tbl := setup(t)
+	tl := logger(log, 1)
+	rid, err := tbl.Insert(tl, []byte("record one"), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, ok, err := tbl.Get(rid)
+	if err != nil || !ok {
+		t.Fatalf("get: ok=%v err=%v", ok, err)
+	}
+	if string(rec) != "record one" {
+		t.Fatalf("rec = %q", rec)
+	}
+}
+
+func TestDeleteFreesSlotAndRIDReuse(t *testing.T) {
+	_, log, _, tbl := setup(t)
+	tl := logger(log, 1)
+	rid1, _ := tbl.Insert(tl, []byte("aaa"), nil, nil)
+	old, err := tbl.Delete(tl, rid1, nil)
+	if err != nil || string(old) != "aaa" {
+		t.Fatalf("delete = %q, %v", old, err)
+	}
+	if _, ok, _ := tbl.Get(rid1); ok {
+		t.Fatal("deleted record still visible")
+	}
+	// The paper's §2.2.3 example: a new insert can land on the same RID.
+	rid2, _ := tbl.Insert(tl, []byte("bbb"), nil, nil)
+	if rid2 != rid1 {
+		t.Fatalf("slot not reused: %v vs %v", rid2, rid1)
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	_, log, _, tbl := setup(t)
+	tl := logger(log, 1)
+	rid, _ := tbl.Insert(tl, []byte("before"), nil, nil)
+	old, err := tbl.Update(tl, rid, []byte("after"), nil)
+	if err != nil || string(old) != "before" {
+		t.Fatalf("update = %q, %v", old, err)
+	}
+	rec, _, _ := tbl.Get(rid)
+	if string(rec) != "after" {
+		t.Fatalf("rec = %q", rec)
+	}
+}
+
+func TestMultiPageAllocationAndScan(t *testing.T) {
+	_, log, _, tbl := setup(t)
+	tl := logger(log, 1)
+	var want []string
+	for i := 0; i < 500; i++ {
+		rec := fmt.Sprintf("record-%04d-%s", i, string(bytes.Repeat([]byte{'x'}, 100)))
+		if _, err := tbl.Insert(tl, []byte(rec), nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, rec)
+	}
+	n, _ := tbl.PageCount()
+	if n < 2 {
+		t.Fatalf("expected multiple pages, got %d", n)
+	}
+	var got []string
+	err := tbl.Scan(func(rid types.RID, rec []byte) error {
+		got = append(got, string(rec))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scan found %d records, want %d", len(got), len(want))
+	}
+	seen := make(map[string]bool, len(got))
+	for _, g := range got {
+		seen[g] = true
+	}
+	for _, w := range want {
+		if !seen[w] {
+			t.Fatalf("record %q missing from scan", w)
+		}
+	}
+}
+
+func TestDecideRunsUnderLatchWithRID(t *testing.T) {
+	_, log, _, tbl := setup(t)
+	tl := logger(log, 1)
+	var sawRID types.RID
+	rid, err := tbl.Insert(tl, []byte("r"), nil, func(r types.RID) uint16 {
+		sawRID = r
+		return 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sawRID != rid {
+		t.Fatalf("decide saw %v, insert returned %v", sawRID, rid)
+	}
+	// The logged record must carry the decide-supplied visible count.
+	it, _ := log.NewIterator(1)
+	var found bool
+	for {
+		r, ok, _ := it.Next()
+		if !ok {
+			break
+		}
+		if r.Type == wal.TypeHeapInsert {
+			pl, err := DecodeInsert(r.Payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pl.VisCount != 3 {
+				t.Fatalf("VisCount = %d, want 3", pl.VisCount)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no HeapInsert record logged")
+	}
+}
+
+func TestUndoInsertDeleteUpdate(t *testing.T) {
+	_, log, _, tbl := setup(t)
+	tl := logger(log, 1)
+
+	rid, _ := tbl.Insert(tl, []byte("v1"), nil, nil)
+	tbl.Update(tl, rid, []byte("v2"), nil)
+
+	// Undo the update: record reverts to v1.
+	if err := tbl.UndoUpdate(tl, UpdatePayload{RID: rid, Old: []byte("v1"), New: []byte("v2")}, types.NilLSN, nil); err != nil {
+		t.Fatal(err)
+	}
+	rec, _, _ := tbl.Get(rid)
+	if string(rec) != "v1" {
+		t.Fatalf("after undo update rec = %q", rec)
+	}
+
+	// Undo the insert: record disappears.
+	if err := tbl.UndoInsert(tl, InsertPayload{RID: rid, Rec: []byte("v1")}, types.NilLSN, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := tbl.Get(rid); ok {
+		t.Fatal("record visible after undo insert")
+	}
+
+	// Undo a delete: record reappears at its RID.
+	if err := tbl.UndoDelete(tl, DeletePayload{RID: rid, Old: []byte("v1")}, types.NilLSN, nil); err != nil {
+		t.Fatal(err)
+	}
+	rec, ok, _ := tbl.Get(rid)
+	if !ok || string(rec) != "v1" {
+		t.Fatalf("after undo delete rec = %q ok=%v", rec, ok)
+	}
+
+	// CLRs were written for each undo.
+	it, _ := log.NewIterator(1)
+	clrs := 0
+	for {
+		r, ok, _ := it.Next()
+		if !ok {
+			break
+		}
+		if r.IsCLR() {
+			clrs++
+		}
+	}
+	if clrs != 3 {
+		t.Fatalf("CLRs = %d, want 3", clrs)
+	}
+}
+
+func TestRedoRebuildsFromLog(t *testing.T) {
+	fs, log, pool, tbl := setup(t)
+	tl := logger(log, 1)
+	var rids []types.RID
+	for i := 0; i < 50; i++ {
+		rid, err := tbl.Insert(tl, []byte(fmt.Sprintf("rec-%d", i)), nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	tbl.Delete(tl, rids[10], nil)
+	tbl.Update(tl, rids[20], []byte("rec-20-updated"), nil)
+
+	// Force the log but NOT the data pages, then crash.
+	if err := log.Force(log.NextLSN()); err != nil {
+		t.Fatal(err)
+	}
+	_ = pool
+	fs.Crash()
+	fs.Recover()
+
+	// Redo everything from the log into a fresh pool.
+	log2, err := wal.Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool2 := buffer.New(fs, log2, 64)
+	it, _ := log2.NewIterator(1)
+	for {
+		r, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		switch r.Type {
+		case wal.TypeHeapFormat, wal.TypeHeapInsert, wal.TypeHeapDelete, wal.TypeHeapUpdate:
+			if err := Redo(pool2, &r); err != nil {
+				t.Fatalf("redo %s: %v", &r, err)
+			}
+		}
+	}
+	tbl2, err := Open(pool2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := tbl2.Get(rids[10]); ok {
+		t.Error("deleted record resurrected by redo")
+	}
+	rec, ok, _ := tbl2.Get(rids[20])
+	if !ok || string(rec) != "rec-20-updated" {
+		t.Errorf("updated record after redo = %q ok=%v", rec, ok)
+	}
+	rec, ok, _ = tbl2.Get(rids[30])
+	if !ok || string(rec) != "rec-30" {
+		t.Errorf("record 30 after redo = %q ok=%v", rec, ok)
+	}
+}
+
+func TestRedoIsIdempotent(t *testing.T) {
+	_, log, pool, tbl := setup(t)
+	tl := logger(log, 1)
+	rid, _ := tbl.Insert(tl, []byte("once"), nil, nil)
+
+	// Re-apply the whole log to the SAME pool: PageLSN checks must make it a
+	// no-op rather than a duplicate insert.
+	it, _ := log.NewIterator(1)
+	for {
+		r, ok, _ := it.Next()
+		if !ok {
+			break
+		}
+		if r.Type == wal.TypeHeapFormat || r.Type == wal.TypeHeapInsert {
+			if err := Redo(pool, &r); err != nil {
+				t.Fatalf("re-redo: %v", err)
+			}
+		}
+	}
+	rec, ok, _ := tbl.Get(rid)
+	if !ok || string(rec) != "once" {
+		t.Fatalf("rec = %q ok=%v", rec, ok)
+	}
+	n, _ := tbl.PageCount()
+	if n != 1 {
+		t.Fatalf("pages = %d, want 1", n)
+	}
+}
+
+func TestConcurrentInserts(t *testing.T) {
+	_, log, _, tbl := setup(t)
+	const workers = 8
+	const per = 100
+	var wg sync.WaitGroup
+	rids := make([][]types.RID, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tl := logger(log, types.TxnID(w+1))
+			for i := 0; i < per; i++ {
+				rid, err := tbl.Insert(tl, []byte(fmt.Sprintf("w%d-i%d", w, i)), nil, nil)
+				if err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+				rids[w] = append(rids[w], rid)
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[types.RID]bool)
+	for w := range rids {
+		for i, rid := range rids[w] {
+			if seen[rid] {
+				t.Fatalf("duplicate RID %v", rid)
+			}
+			seen[rid] = true
+			rec, ok, _ := tbl.Get(rid)
+			if !ok || string(rec) != fmt.Sprintf("w%d-i%d", w, i) {
+				t.Fatalf("w%d i%d: rec=%q ok=%v", w, i, rec, ok)
+			}
+		}
+	}
+}
+
+func TestVisitPageDoneFnUnderLatch(t *testing.T) {
+	_, log, _, tbl := setup(t)
+	tl := logger(log, 1)
+	for i := 0; i < 5; i++ {
+		tbl.Insert(tl, []byte("r"), nil, nil)
+	}
+	var order []string
+	err := tbl.VisitPage(0, func(rid types.RID, rec []byte) error {
+		order = append(order, "rec")
+		return nil
+	}, func() error {
+		order = append(order, "done")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 6 || order[5] != "done" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestPageMarshalRoundTripProperty(t *testing.T) {
+	f := func(recs [][]byte) bool {
+		p := NewPage()
+		var inserted []int
+		for i, r := range recs {
+			if len(r) > 512 {
+				r = r[:512]
+			}
+			recs[i] = r
+			if _, err := p.Insert(r, nil); err == nil {
+				inserted = append(inserted, i)
+			}
+		}
+		if len(inserted) > 2 {
+			p.Delete(types.SlotNum(1)) // leave a hole
+		}
+		img, err := p.MarshalPage()
+		if err != nil {
+			return false
+		}
+		var q Page
+		if err := q.UnmarshalPage(img); err != nil {
+			return false
+		}
+		if q.NumSlots() != p.NumSlots() {
+			return false
+		}
+		for i := 0; i < p.NumSlots(); i++ {
+			a, b := p.Get(types.SlotNum(i)), q.Get(types.SlotNum(i))
+			if (a == nil) != (b == nil) || !bytes.Equal(a, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageFullRejected(t *testing.T) {
+	p := NewPage()
+	big := bytes.Repeat([]byte{1}, 4000)
+	if _, err := p.Insert(big, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Insert(big, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Insert(big, nil); err != ErrPageFull {
+		t.Fatalf("third insert = %v, want ErrPageFull", err)
+	}
+	if _, err := p.Insert(bytes.Repeat([]byte{1}, MaxRecordSize+1), nil); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+}
+
+func TestReopenRebuildsFreeHints(t *testing.T) {
+	fs, log, pool, tbl := setup(t)
+	tl := logger(log, 1)
+	for i := 0; i < 100; i++ {
+		tbl.Insert(tl, bytes.Repeat([]byte{byte(i)}, 200), nil, nil)
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	pool2 := buffer.New(fs, log, 64)
+	tbl2, err := Open(pool2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New inserts should go into existing free space, not only new pages.
+	before, _ := tbl2.PageCount()
+	if _, err := tbl2.Insert(tl, []byte("small"), nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := tbl2.PageCount()
+	if after != before {
+		t.Fatalf("small insert allocated a new page (%d -> %d)", before, after)
+	}
+}

@@ -1,0 +1,68 @@
+package heap
+
+import (
+	"onlineindex/internal/enc"
+	"onlineindex/internal/types"
+)
+
+// InsertPayload is the body of a TypeHeapInsert log record. VisCount is the
+// count of indexes visible to the transaction when it performed the update
+// (§3.1.2): rollback compares it against the then-current count to find
+// indexes that became visible in between.
+type InsertPayload struct {
+	RID      types.RID
+	Rec      []byte
+	VisCount uint16
+}
+
+// Encode serializes the payload.
+func (p *InsertPayload) Encode() []byte {
+	return enc.NewWriter().RID(p.RID).U16(p.VisCount).Bytes32(p.Rec).Bytes()
+}
+
+// DecodeInsert parses a TypeHeapInsert payload.
+func DecodeInsert(b []byte) (InsertPayload, error) {
+	r := enc.NewReader(b)
+	p := InsertPayload{RID: r.RID(), VisCount: r.U16(), Rec: r.Bytes32()}
+	return p, r.Err()
+}
+
+// DeletePayload is the body of a TypeHeapDelete log record. Old carries the
+// deleted record so undo can restore it.
+type DeletePayload struct {
+	RID      types.RID
+	Old      []byte
+	VisCount uint16
+}
+
+// Encode serializes the payload.
+func (p *DeletePayload) Encode() []byte {
+	return enc.NewWriter().RID(p.RID).U16(p.VisCount).Bytes32(p.Old).Bytes()
+}
+
+// DecodeDelete parses a TypeHeapDelete payload.
+func DecodeDelete(b []byte) (DeletePayload, error) {
+	r := enc.NewReader(b)
+	p := DeletePayload{RID: r.RID(), VisCount: r.U16(), Old: r.Bytes32()}
+	return p, r.Err()
+}
+
+// UpdatePayload is the body of a TypeHeapUpdate log record, carrying both
+// images.
+type UpdatePayload struct {
+	RID      types.RID
+	Old, New []byte
+	VisCount uint16
+}
+
+// Encode serializes the payload.
+func (p *UpdatePayload) Encode() []byte {
+	return enc.NewWriter().RID(p.RID).U16(p.VisCount).Bytes32(p.Old).Bytes32(p.New).Bytes()
+}
+
+// DecodeUpdate parses a TypeHeapUpdate payload.
+func DecodeUpdate(b []byte) (UpdatePayload, error) {
+	r := enc.NewReader(b)
+	p := UpdatePayload{RID: r.RID(), VisCount: r.U16(), Old: r.Bytes32(), New: r.Bytes32()}
+	return p, r.Err()
+}

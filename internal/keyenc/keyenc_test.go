@@ -1,0 +1,164 @@
+package keyenc
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := [][]Value{
+		{Int64(0)},
+		{Int64(-1), Int64(1)},
+		{Int64(math.MinInt64), Int64(math.MaxInt64)},
+		{Uint64(0), Uint64(math.MaxUint64)},
+		{String("")},
+		{String("hello"), Int64(42)},
+		{String("with\x00null")},
+		{String("with\x00\x00двойной")},
+		{Bytes(nil)},
+		{Bytes([]byte{0x00, 0xFF, 0x01, 0x00})},
+		{Null()},
+		{Null(), String("x"), Int64(-7), Bytes([]byte{0})},
+	}
+	for _, vals := range cases {
+		enc := Encode(vals...)
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("decode %v: %v", vals, err)
+		}
+		if len(dec) != len(vals) {
+			t.Fatalf("decode %v: got %d values, want %d", vals, len(dec), len(vals))
+		}
+		for i := range vals {
+			if !dec[i].Equal(vals[i]) {
+				t.Errorf("round trip %v: value %d = %v, want %v", vals, i, dec[i], vals[i])
+			}
+		}
+	}
+}
+
+func TestInt64OrderPreserved(t *testing.T) {
+	ints := []int64{math.MinInt64, -1 << 32, -255, -2, -1, 0, 1, 2, 255, 1 << 32, math.MaxInt64}
+	for i := 1; i < len(ints); i++ {
+		a, b := Encode(Int64(ints[i-1])), Encode(Int64(ints[i]))
+		if bytes.Compare(a, b) >= 0 {
+			t.Errorf("encoding order violated: %d !< %d", ints[i-1], ints[i])
+		}
+	}
+}
+
+func TestStringOrderPreserved(t *testing.T) {
+	strs := []string{"", "a", "a\x00", "a\x00b", "a\x01", "ab", "b", "ba"}
+	for i := 1; i < len(strs); i++ {
+		a, b := Encode(String(strs[i-1])), Encode(String(strs[i]))
+		if bytes.Compare(a, b) >= 0 {
+			t.Errorf("encoding order violated: %q !< %q", strs[i-1], strs[i])
+		}
+	}
+}
+
+func TestCompositeKeyColumnBoundary(t *testing.T) {
+	// ("a", "b") must sort before ("ab", "") even though the raw
+	// concatenations are equal; the terminator guarantees it.
+	a := Encode(String("a"), String("b"))
+	b := Encode(String("ab"), String(""))
+	if bytes.Compare(a, b) >= 0 {
+		t.Errorf(`("a","b") should sort before ("ab",""): %x vs %x`, a, b)
+	}
+}
+
+func TestNullSortsFirst(t *testing.T) {
+	null := Encode(Null())
+	for _, v := range []Value{Int64(math.MinInt64), Uint64(0), String(""), Bytes(nil)} {
+		if bytes.Compare(null, Encode(v)) >= 0 {
+			t.Errorf("NULL should sort before %v", v)
+		}
+	}
+}
+
+func TestPropertyInt64OrderMatchesEncodingOrder(t *testing.T) {
+	f := func(a, b int64) bool {
+		ea, eb := Encode(Int64(a)), Encode(Int64(b))
+		switch {
+		case a < b:
+			return bytes.Compare(ea, eb) < 0
+		case a > b:
+			return bytes.Compare(ea, eb) > 0
+		default:
+			return bytes.Equal(ea, eb)
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyStringOrderMatchesEncodingOrder(t *testing.T) {
+	f := func(a, b string) bool {
+		ea, eb := Encode(String(a)), Encode(String(b))
+		return bytes.Compare(ea, eb) == bytes.Compare([]byte(a), []byte(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBytesRoundTrip(t *testing.T) {
+	f := func(b []byte, s string, i int64, u uint64) bool {
+		vals := []Value{Bytes(b), String(s), Int64(i), Uint64(u)}
+		dec, err := Decode(Encode(vals...))
+		if err != nil || len(dec) != len(vals) {
+			return false
+		}
+		for j := range vals {
+			if !dec[j].Equal(vals[j]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySortedValuesSortedEncodings(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		vals := make([]int64, 100)
+		for i := range vals {
+			vals[i] = rng.Int63n(1000) - 500
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		encs := make([][]byte, len(vals))
+		for i, v := range vals {
+			encs[i] = Encode(Int64(v), String("suffix"))
+		}
+		if !sort.SliceIsSorted(encs, func(i, j int) bool { return bytes.Compare(encs[i], encs[j]) < 0 }) {
+			t.Fatal("encodings of sorted values are not sorted")
+		}
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	cases := [][]byte{
+		{0x01},                  // truncated int64
+		{0x02, 1, 2, 3},         // truncated uint64
+		{0x03, 'a'},             // unterminated string
+		{0x03, 'a', 0x00},       // escape at end
+		{0x03, 'a', 0x00, 0x02}, // bad escape
+		{0x99},                  // unknown tag
+	}
+	for _, c := range cases {
+		if _, err := Decode(c); err == nil {
+			t.Errorf("Decode(%x) should fail", c)
+		}
+	}
+	if _, _, err := DecodeOne(nil); err == nil {
+		t.Error("DecodeOne(nil) should fail")
+	}
+}

@@ -1,0 +1,99 @@
+// Package latch implements the short-duration physical-consistency locks the
+// paper calls latches. "A latch is like a semaphore and it is very cheap in
+// terms of instructions executed. It provides physical consistency of the
+// data when a page is being examined. Readers of the page acquire a share
+// (S) latch, while updaters acquire an exclusive (X) latch."
+//
+// Latches differ from locks in that they have no deadlock detection (callers
+// must order acquisitions or use conditional requests) and no owner
+// bookkeeping. The implementation wraps sync.RWMutex and adds conditional
+// (try) acquisition plus contention counters the experiment harness reports.
+package latch
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Mode is a latch mode: share or exclusive.
+type Mode int
+
+// Latch modes.
+const (
+	S Mode = iota // share: many concurrent readers
+	X             // exclusive: single updater
+)
+
+func (m Mode) String() string {
+	if m == S {
+		return "S"
+	}
+	return "X"
+}
+
+// Latch is an S/X latch. The zero value is ready to use.
+type Latch struct {
+	mu sync.RWMutex
+
+	// contention counters (approximate: a failed TryAcquire counts as one
+	// contention event, a blocking acquire that had to wait is not
+	// distinguishable cheaply and is counted optimistically on TryAcquire
+	// fast-path failure only).
+	acquires   atomic.Uint64
+	contention atomic.Uint64
+}
+
+// Acquire blocks until the latch is held in the given mode.
+func (l *Latch) Acquire(m Mode) {
+	// Fast-path try first so contended acquisitions are counted.
+	if l.TryAcquire(m) {
+		return
+	}
+	l.contention.Add(1)
+	if m == S {
+		l.mu.RLock()
+	} else {
+		l.mu.Lock()
+	}
+	l.acquires.Add(1)
+}
+
+// TryAcquire attempts the latch without blocking and reports success. The
+// paper's algorithms use conditional latching to avoid latch deadlocks
+// between the index builder and transactions.
+func (l *Latch) TryAcquire(m Mode) bool {
+	var ok bool
+	if m == S {
+		ok = l.mu.TryRLock()
+	} else {
+		ok = l.mu.TryLock()
+	}
+	if ok {
+		l.acquires.Add(1)
+	}
+	return ok
+}
+
+// Release releases a latch held in the given mode.
+func (l *Latch) Release(m Mode) {
+	if m == S {
+		l.mu.RUnlock()
+	} else {
+		l.mu.Unlock()
+	}
+}
+
+// Upgrade converts an S latch into an X latch non-atomically (release then
+// re-acquire). Callers must revalidate any state examined under the S latch,
+// because another holder may have intervened. It exists so call sites
+// document their intent.
+func (l *Latch) Upgrade() {
+	l.mu.RUnlock()
+	l.mu.Lock()
+	l.acquires.Add(1)
+}
+
+// Stats returns the total acquisitions and the contended acquisitions seen.
+func (l *Latch) Stats() (acquires, contended uint64) {
+	return l.acquires.Load(), l.contention.Load()
+}

@@ -1,0 +1,98 @@
+package latch
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestShareLatchAllowsConcurrentReaders(t *testing.T) {
+	var l Latch
+	l.Acquire(S)
+	if !l.TryAcquire(S) {
+		t.Fatal("second S latch should succeed")
+	}
+	l.Release(S)
+	l.Release(S)
+}
+
+func TestExclusiveLatchBlocksAll(t *testing.T) {
+	var l Latch
+	l.Acquire(X)
+	if l.TryAcquire(S) {
+		t.Fatal("S latch should fail while X held")
+	}
+	if l.TryAcquire(X) {
+		t.Fatal("X latch should fail while X held")
+	}
+	l.Release(X)
+	if !l.TryAcquire(X) {
+		t.Fatal("X latch should succeed after release")
+	}
+	l.Release(X)
+}
+
+func TestXWaitsForReaders(t *testing.T) {
+	var l Latch
+	l.Acquire(S)
+	done := make(chan struct{})
+	go func() {
+		l.Acquire(X)
+		l.Release(X)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("X acquired while S held")
+	case <-time.After(10 * time.Millisecond):
+	}
+	l.Release(S)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("X never acquired after S release")
+	}
+}
+
+func TestLatchCounter(t *testing.T) {
+	var l Latch
+	l.Acquire(S)
+	l.Release(S)
+	l.Acquire(X)
+	l.Release(X)
+	acq, _ := l.Stats()
+	if acq != 2 {
+		t.Fatalf("acquires = %d, want 2", acq)
+	}
+}
+
+func TestLatchStress(t *testing.T) {
+	var l Latch
+	var counter int
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				l.Acquire(X)
+				counter++
+				l.Release(X)
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 8000 {
+		t.Fatalf("counter = %d, want 8000 (latch failed mutual exclusion)", counter)
+	}
+}
+
+func TestUpgrade(t *testing.T) {
+	var l Latch
+	l.Acquire(S)
+	l.Upgrade()
+	if l.TryAcquire(S) {
+		t.Fatal("S should fail after upgrade to X")
+	}
+	l.Release(X)
+}

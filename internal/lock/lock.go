@@ -1,0 +1,487 @@
+// Package lock implements the transaction lock manager: hierarchical lock
+// modes (IS, IX, S, SIX, U, X), conditional and instant-duration requests,
+// lock conversion, FIFO queuing and waits-for deadlock detection.
+//
+// The paper's algorithms depend on several specific lock-manager behaviours:
+//
+//   - NSF quiesces updates for descriptor creation by taking an S lock on
+//     the table (§2.2.1); drop/cancel of an index does the same (§2.3.2).
+//   - The offline baseline quiesces the whole build with a table S lock.
+//   - Unique-index duplicate checking locks the competing records in share
+//     mode to wait out uncommitted inserters/deleters (§2.2.3).
+//   - Pseudo-delete garbage collection issues *conditional instant* share
+//     locks on keys: "If the lock is granted, then delete the key;
+//     otherwise, skip it since the key's deletion is probably uncommitted"
+//     (§2.2.4).
+//
+// The index builder itself never locks data while extracting keys — that is
+// the whole point of the execution model (§1.1).
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"onlineindex/internal/types"
+)
+
+// Mode is a lock mode.
+type Mode int
+
+// Lock modes, weakest to strongest by supremum ordering.
+const (
+	None Mode = iota
+	IS        // intention share
+	IX        // intention exclusive
+	S         // share
+	SIX       // share + intention exclusive
+	U         // update (asymmetric: compatible with S, not with itself)
+	X         // exclusive
+)
+
+func (m Mode) String() string {
+	switch m {
+	case None:
+		return "None"
+	case IS:
+		return "IS"
+	case IX:
+		return "IX"
+	case S:
+		return "S"
+	case SIX:
+		return "SIX"
+	case U:
+		return "U"
+	case X:
+		return "X"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// compat[a][b] reports whether a holder in mode a is compatible with a
+// requester in mode b. The U row/column is asymmetric: a U holder allows new
+// S requests, but an S holder does not allow U→ nothing special needed here;
+// we use the standard matrix from the locking literature.
+var compat = map[Mode]map[Mode]bool{
+	IS:  {IS: true, IX: true, S: true, SIX: true, U: true, X: false},
+	IX:  {IS: true, IX: true, S: false, SIX: false, U: false, X: false},
+	S:   {IS: true, IX: false, S: true, SIX: false, U: true, X: false},
+	SIX: {IS: true, IX: false, S: false, SIX: false, U: false, X: false},
+	U:   {IS: true, IX: false, S: false, SIX: false, U: false, X: false},
+	X:   {IS: false, IX: false, S: false, SIX: false, U: false, X: false},
+}
+
+// supremum[a][b] is the weakest mode at least as strong as both a and b,
+// used for lock conversion.
+var supremum = map[Mode]map[Mode]Mode{
+	None: {None: None, IS: IS, IX: IX, S: S, SIX: SIX, U: U, X: X},
+	IS:   {None: IS, IS: IS, IX: IX, S: S, SIX: SIX, U: U, X: X},
+	IX:   {None: IX, IS: IX, IX: IX, S: SIX, SIX: SIX, U: X, X: X},
+	S:    {None: S, IS: S, IX: SIX, S: S, SIX: SIX, U: U, X: X},
+	SIX:  {None: SIX, IS: SIX, IX: SIX, S: SIX, SIX: SIX, U: SIX, X: X},
+	U:    {None: U, IS: U, IX: X, S: U, SIX: SIX, U: U, X: X},
+	X:    {None: X, IS: X, IX: X, S: X, SIX: X, U: X, X: X},
+}
+
+// Covers reports whether holding mode m satisfies a request for mode want
+// (i.e. supremum(m, want) == m).
+func (m Mode) Covers(want Mode) bool { return supremum[m][want] == m }
+
+// Space partitions lock names so different object kinds never collide.
+type Space uint8
+
+// Lock name spaces.
+const (
+	SpaceTable Space = iota + 1
+	SpaceRecord
+	SpaceKeyValue
+)
+
+// Name is a lock name. A and B carry the object identity; their meaning
+// depends on the space.
+type Name struct {
+	Space Space
+	A, B  uint64
+}
+
+// TableName returns the lock name for a whole table.
+func TableName(t types.TableID) Name {
+	return Name{Space: SpaceTable, A: uint64(t)}
+}
+
+// RecordName returns the lock name for a record. With data-only locking
+// (§6.2) the lock on an index key is the same as the lock on the record the
+// key was derived from, so key locks also use RecordName.
+func RecordName(r types.RID) Name {
+	return Name{
+		Space: SpaceRecord,
+		A:     uint64(r.PageID.File)<<32 | uint64(r.PageID.Page),
+		B:     uint64(r.Slot),
+	}
+}
+
+// KeyValueName returns the lock name for a unique-index key value (hash),
+// used by unique-violation checking when data-only locking is not in effect.
+func KeyValueName(idx types.IndexID, keyHash uint64) Name {
+	return Name{Space: SpaceKeyValue, A: uint64(idx), B: keyHash}
+}
+
+// Errors returned by lock requests.
+var (
+	// ErrDeadlock aborts the requester chosen as the deadlock victim.
+	ErrDeadlock = errors.New("lock: deadlock detected")
+	// ErrWouldBlock is returned by conditional requests that cannot be
+	// granted immediately.
+	ErrWouldBlock = errors.New("lock: conditional request would block")
+)
+
+// holder records one transaction's granted mode on a lock.
+type holder struct {
+	txn   types.TxnID
+	mode  Mode
+	count int // re-acquisitions in the same (or covered) mode
+}
+
+// waiter is one queued request.
+type waiter struct {
+	txn     types.TxnID
+	mode    Mode // requested mode (for conversion: the target mode)
+	convert bool // conversion of an existing hold
+	granted bool
+	dead    bool // chosen as deadlock victim
+	ch      chan struct{}
+}
+
+// lockHead is the state of one lock name.
+type lockHead struct {
+	holders map[types.TxnID]*holder
+	queue   []*waiter
+}
+
+// Stats counts lock manager activity for the experiment harness.
+type Stats struct {
+	Requests    uint64 // lock calls (excluding re-grants of covered modes)
+	Grants      uint64
+	Waits       uint64 // requests that blocked
+	Conditional uint64 // conditional requests denied
+	Deadlocks   uint64
+}
+
+// Manager is the lock manager. Safe for concurrent use.
+type Manager struct {
+	mu    sync.Mutex
+	locks map[Name]*lockHead
+	held  map[types.TxnID]map[Name]struct{} // for ReleaseAll
+	// waitsFor[t] is the set of transactions t currently waits behind.
+	waitsFor map[types.TxnID]map[types.TxnID]struct{}
+	stats    Stats
+}
+
+// NewManager returns an empty lock manager.
+func NewManager() *Manager {
+	return &Manager{
+		locks:    make(map[Name]*lockHead),
+		held:     make(map[types.TxnID]map[Name]struct{}),
+		waitsFor: make(map[types.TxnID]map[types.TxnID]struct{}),
+	}
+}
+
+// Stats returns a snapshot of the activity counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Lock acquires name in the given mode for txn, blocking until granted. If
+// the transaction already holds the lock in a covering mode the call returns
+// immediately; if it holds a weaker mode the request is a conversion to the
+// supremum. Returns ErrDeadlock if granting would complete a cycle and this
+// requester is chosen as victim.
+func (m *Manager) Lock(txn types.TxnID, name Name, mode Mode) error {
+	return m.lock(txn, name, mode, false, false)
+}
+
+// LockConditional is Lock but never blocks: if the request cannot be granted
+// immediately it returns ErrWouldBlock and leaves no trace.
+func (m *Manager) LockConditional(txn types.TxnID, name Name, mode Mode) error {
+	return m.lock(txn, name, mode, true, false)
+}
+
+// LockInstant acquires the lock and releases it immediately ("instant
+// duration"): the caller learns that the lock *was grantable* — e.g. that no
+// uncommitted deleter holds the key — without retaining it.
+func (m *Manager) LockInstant(txn types.TxnID, name Name, mode Mode) error {
+	return m.lock(txn, name, mode, false, true)
+}
+
+// LockConditionalInstant combines both: the GC of pseudo-deleted keys uses
+// it per §2.2.4 ("request a conditional instant share lock").
+func (m *Manager) LockConditionalInstant(txn types.TxnID, name Name, mode Mode) error {
+	return m.lock(txn, name, mode, true, true)
+}
+
+func (m *Manager) lock(txn types.TxnID, name Name, mode Mode, conditional, instant bool) error {
+	m.mu.Lock()
+	m.stats.Requests++
+
+	lh := m.locks[name]
+	if lh == nil {
+		lh = &lockHead{holders: make(map[types.TxnID]*holder)}
+		m.locks[name] = lh
+	}
+
+	h := lh.holders[txn]
+	target := mode
+	convert := false
+	if h != nil {
+		if h.mode.Covers(mode) {
+			h.count++
+			m.stats.Grants++
+			m.mu.Unlock()
+			if instant {
+				m.Unlock(txn, name)
+			}
+			return nil
+		}
+		target = supremum[h.mode][mode]
+		convert = true
+	}
+
+	grantable := m.grantableLocked(lh, txn, target, convert)
+	if grantable && (!convert && len(lh.queue) == 0 || convert) {
+		// Conversions jump the queue (standard behaviour: the holder already
+		// owns the lock and making it wait behind new requesters risks
+		// avoidable deadlocks); fresh requests must respect FIFO fairness.
+		m.grantLocked(lh, txn, name, target, convert)
+		m.mu.Unlock()
+		if instant {
+			m.Unlock(txn, name)
+		}
+		return nil
+	}
+
+	if conditional {
+		m.stats.Conditional++
+		m.mu.Unlock()
+		return ErrWouldBlock
+	}
+
+	// Enqueue and wait.
+	w := &waiter{txn: txn, mode: target, convert: convert, ch: make(chan struct{})}
+	if convert {
+		// Conversions wait at the front, after other pending conversions.
+		i := 0
+		for i < len(lh.queue) && lh.queue[i].convert {
+			i++
+		}
+		lh.queue = append(lh.queue, nil)
+		copy(lh.queue[i+1:], lh.queue[i:])
+		lh.queue[i] = w
+	} else {
+		lh.queue = append(lh.queue, w)
+	}
+	m.stats.Waits++
+	m.updateWaitEdgesLocked(lh, name)
+
+	if m.deadlockLocked(txn) {
+		m.stats.Deadlocks++
+		m.removeWaiterLocked(lh, name, w)
+		m.mu.Unlock()
+		return ErrDeadlock
+	}
+	m.mu.Unlock()
+
+	<-w.ch
+
+	m.mu.Lock()
+	dead := w.dead
+	m.mu.Unlock()
+	if dead {
+		return ErrDeadlock
+	}
+	if instant {
+		m.Unlock(txn, name)
+	}
+	return nil
+}
+
+// grantableLocked reports whether txn can hold `target` on lh given the
+// other current holders. For conversions the transaction's own hold is
+// ignored.
+func (m *Manager) grantableLocked(lh *lockHead, txn types.TxnID, target Mode, convert bool) bool {
+	for t, h := range lh.holders {
+		if t == txn {
+			continue
+		}
+		if !compat[h.mode][target] {
+			return false
+		}
+	}
+	_ = convert
+	return true
+}
+
+func (m *Manager) grantLocked(lh *lockHead, txn types.TxnID, name Name, target Mode, convert bool) {
+	h := lh.holders[txn]
+	if h == nil {
+		h = &holder{txn: txn}
+		lh.holders[txn] = h
+	}
+	h.mode = target
+	h.count++
+	m.stats.Grants++
+	hs := m.held[txn]
+	if hs == nil {
+		hs = make(map[Name]struct{})
+		m.held[txn] = hs
+	}
+	hs[name] = struct{}{}
+	_ = convert
+}
+
+// Unlock releases one acquisition of name by txn. The lock is fully released
+// when its acquisition count reaches zero, at which point waiters are
+// re-examined.
+func (m *Manager) Unlock(txn types.TxnID, name Name) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	lh := m.locks[name]
+	if lh == nil {
+		return
+	}
+	h := lh.holders[txn]
+	if h == nil {
+		return
+	}
+	h.count--
+	if h.count > 0 {
+		return
+	}
+	delete(lh.holders, txn)
+	if hs := m.held[txn]; hs != nil {
+		delete(hs, name)
+	}
+	m.wakeLocked(lh, name)
+}
+
+// ReleaseAll releases every lock txn holds (commit/rollback time).
+func (m *Manager) ReleaseAll(txn types.TxnID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name := range m.held[txn] {
+		lh := m.locks[name]
+		if lh == nil {
+			continue
+		}
+		delete(lh.holders, txn)
+		m.wakeLocked(lh, name)
+	}
+	delete(m.held, txn)
+	delete(m.waitsFor, txn)
+}
+
+// wakeLocked grants queued requests that are now compatible, in FIFO order,
+// stopping at the first ungrantable one (no barging past blocked waiters).
+func (m *Manager) wakeLocked(lh *lockHead, name Name) {
+	for len(lh.queue) > 0 {
+		w := lh.queue[0]
+		if !m.grantableLocked(lh, w.txn, w.mode, w.convert) {
+			break
+		}
+		lh.queue = lh.queue[1:]
+		m.grantLocked(lh, w.txn, name, w.mode, w.convert)
+		w.granted = true
+		delete(m.waitsFor, w.txn)
+		close(w.ch)
+	}
+	m.updateWaitEdgesLocked(lh, name)
+	if len(lh.holders) == 0 && len(lh.queue) == 0 {
+		delete(m.locks, name)
+	}
+}
+
+// updateWaitEdgesLocked recomputes the waits-for edges contributed by lh's
+// queue: each waiter waits for all incompatible holders and all earlier
+// incompatible waiters.
+func (m *Manager) updateWaitEdgesLocked(lh *lockHead, name Name) {
+	for i, w := range lh.queue {
+		edges := make(map[types.TxnID]struct{})
+		for t, h := range lh.holders {
+			if t != w.txn && !compat[h.mode][w.mode] {
+				edges[t] = struct{}{}
+			}
+		}
+		for j := 0; j < i; j++ {
+			prev := lh.queue[j]
+			if prev.txn != w.txn && !compat[prev.mode][w.mode] {
+				edges[prev.txn] = struct{}{}
+			}
+		}
+		m.waitsFor[w.txn] = edges
+	}
+	_ = name
+}
+
+// deadlockLocked reports whether start is part of a waits-for cycle.
+func (m *Manager) deadlockLocked(start types.TxnID) bool {
+	seen := make(map[types.TxnID]bool)
+	var dfs func(t types.TxnID) bool
+	dfs = func(t types.TxnID) bool {
+		if t == start && len(seen) > 0 {
+			return true
+		}
+		if seen[t] {
+			return false
+		}
+		seen[t] = true
+		for next := range m.waitsFor[t] {
+			if dfs(next) {
+				return true
+			}
+		}
+		return false
+	}
+	for next := range m.waitsFor[start] {
+		if next == start || dfs(next) {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Manager) removeWaiterLocked(lh *lockHead, name Name, w *waiter) {
+	for i, q := range lh.queue {
+		if q == w {
+			lh.queue = append(lh.queue[:i], lh.queue[i+1:]...)
+			break
+		}
+	}
+	w.dead = true
+	delete(m.waitsFor, w.txn)
+	// Removing a waiter can unblock those queued behind it.
+	m.wakeLocked(lh, name)
+}
+
+// HoldsAtLeast reports whether txn currently holds name in a mode covering
+// `mode`. Used by assertions and by the unique-key commit check.
+func (m *Manager) HoldsAtLeast(txn types.TxnID, name Name, mode Mode) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	lh := m.locks[name]
+	if lh == nil {
+		return false
+	}
+	h := lh.holders[txn]
+	return h != nil && h.mode.Covers(mode)
+}
+
+// HeldCount returns the number of distinct lock names txn holds.
+func (m *Manager) HeldCount(txn types.TxnID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.held[txn])
+}

@@ -1,0 +1,314 @@
+package lock
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"onlineindex/internal/types"
+)
+
+func name(i uint64) Name { return Name{Space: SpaceRecord, A: i} }
+
+func TestSharedCompatible(t *testing.T) {
+	m := NewManager()
+	if err := m.Lock(1, name(1), S); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, name(1), S); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LockConditional(3, name(1), X); !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("X over S+S = %v, want ErrWouldBlock", err)
+	}
+}
+
+func TestExclusiveBlocksAndUnblocks(t *testing.T) {
+	m := NewManager()
+	if err := m.Lock(1, name(1), X); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- m.Lock(2, name(1), X) }()
+	select {
+	case err := <-got:
+		t.Fatalf("second X granted while first held: %v", err)
+	case <-time.After(10 * time.Millisecond):
+	}
+	m.Unlock(1, name(1))
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter never woken")
+	}
+}
+
+func TestReacquireCoveredMode(t *testing.T) {
+	m := NewManager()
+	m.Lock(1, name(1), X)
+	if err := m.Lock(1, name(1), S); err != nil {
+		t.Fatalf("re-acquire covered mode: %v", err)
+	}
+	m.Unlock(1, name(1))
+	// Still held once (count was 2).
+	if !m.HoldsAtLeast(1, name(1), X) {
+		t.Fatal("lock released too early")
+	}
+	m.Unlock(1, name(1))
+	if m.HoldsAtLeast(1, name(1), S) {
+		t.Fatal("lock not released")
+	}
+}
+
+func TestConversionSToX(t *testing.T) {
+	m := NewManager()
+	m.Lock(1, name(1), S)
+	if err := m.Lock(1, name(1), X); err != nil {
+		t.Fatalf("solo S->X conversion: %v", err)
+	}
+	if !m.HoldsAtLeast(1, name(1), X) {
+		t.Fatal("conversion did not take effect")
+	}
+	if err := m.LockConditional(2, name(1), S); !errors.Is(err, ErrWouldBlock) {
+		t.Fatal("other txn S should block after conversion to X")
+	}
+}
+
+func TestConversionWaitsForOtherHolder(t *testing.T) {
+	m := NewManager()
+	m.Lock(1, name(1), S)
+	m.Lock(2, name(1), S)
+	got := make(chan error, 1)
+	go func() { got <- m.Lock(1, name(1), X) }()
+	select {
+	case err := <-got:
+		t.Fatalf("conversion granted while other S holder exists: %v", err)
+	case <-time.After(10 * time.Millisecond):
+	}
+	m.Unlock(2, name(1))
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConversionJumpsQueue(t *testing.T) {
+	m := NewManager()
+	m.Lock(1, name(1), S)
+	m.Lock(2, name(1), S)
+	// Txn 3 queues for X behind the two S holders.
+	x3 := make(chan error, 1)
+	go func() { x3 <- m.Lock(3, name(1), X) }()
+	time.Sleep(10 * time.Millisecond)
+	// Txn 1 converts S->X; it must not wait behind txn 3 (which would
+	// deadlock against txn 1's own S hold being required to drain first).
+	conv := make(chan error, 1)
+	go func() { conv <- m.Lock(1, name(1), X) }()
+	time.Sleep(10 * time.Millisecond)
+	m.Unlock(2, name(1))
+	select {
+	case err := <-conv:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("conversion starved behind later X request")
+	}
+	m.ReleaseAll(1)
+	if err := <-x3; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	m := NewManager()
+	m.Lock(1, name(1), X)
+	m.Lock(2, name(2), X)
+
+	res := make(chan error, 2)
+	go func() { res <- m.Lock(1, name(2), X) }() // 1 waits for 2
+	time.Sleep(20 * time.Millisecond)
+	go func() { res <- m.Lock(2, name(1), X) }() // 2 waits for 1: cycle
+
+	var errs []error
+	select {
+	case err := <-res:
+		errs = append(errs, err)
+	case <-time.After(2 * time.Second):
+		t.Fatal("deadlock not detected")
+	}
+	// One request must fail with ErrDeadlock; releasing its locks lets the
+	// other proceed.
+	if !errors.Is(errs[0], ErrDeadlock) {
+		t.Fatalf("expected ErrDeadlock, got %v", errs[0])
+	}
+	m.ReleaseAll(2) // victim was txn 2's request; release its holds
+	select {
+	case err := <-res:
+		if err != nil {
+			t.Fatalf("survivor errored: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("survivor never granted")
+	}
+}
+
+func TestInstantLock(t *testing.T) {
+	m := NewManager()
+	if err := m.LockInstant(1, name(1), S); err != nil {
+		t.Fatal(err)
+	}
+	if m.HoldsAtLeast(1, name(1), S) {
+		t.Fatal("instant lock retained")
+	}
+	if m.HeldCount(1) != 0 {
+		t.Fatal("instant lock left bookkeeping")
+	}
+}
+
+func TestConditionalInstantLockGC(t *testing.T) {
+	// §2.2.4: GC requests a conditional instant S lock on each pseudo-deleted
+	// key; an uncommitted deleter (holding X) causes the key to be skipped.
+	m := NewManager()
+	deleter, gc := types.TxnID(1), types.TxnID(2)
+	m.Lock(deleter, name(42), X)
+	if err := m.LockConditionalInstant(gc, name(42), S); !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("GC lock over uncommitted delete = %v, want ErrWouldBlock", err)
+	}
+	m.ReleaseAll(deleter)
+	if err := m.LockConditionalInstant(gc, name(42), S); err != nil {
+		t.Fatalf("GC lock after commit = %v, want nil", err)
+	}
+	if m.HeldCount(gc) != 0 {
+		t.Fatal("conditional instant lock retained")
+	}
+}
+
+func TestReleaseAllWakesWaiters(t *testing.T) {
+	m := NewManager()
+	m.Lock(1, name(1), X)
+	m.Lock(1, name(2), X)
+	res := make(chan error, 2)
+	go func() { res <- m.Lock(2, name(1), S) }()
+	go func() { res <- m.Lock(3, name(2), S) }()
+	time.Sleep(10 * time.Millisecond)
+	m.ReleaseAll(1)
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-res:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(time.Second):
+			t.Fatal("waiter not woken by ReleaseAll")
+		}
+	}
+}
+
+func TestIntentionModes(t *testing.T) {
+	m := NewManager()
+	tbl := TableName(7)
+	if err := m.Lock(1, tbl, IX); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, tbl, IX); err != nil {
+		t.Fatal(err) // IX compatible with IX
+	}
+	if err := m.LockConditional(3, tbl, S); !errors.Is(err, ErrWouldBlock) {
+		t.Fatal("S should be incompatible with IX")
+	}
+	if err := m.Lock(4, tbl, IS); err != nil {
+		t.Fatal(err) // IS compatible with IX
+	}
+}
+
+func TestQuiesceScenario(t *testing.T) {
+	// NSF descriptor creation: IB takes table S; updaters take table IX.
+	// Updaters active => IB blocks; after they finish IB proceeds; new
+	// updaters block behind IB (no barging) until IB releases.
+	m := NewManager()
+	tbl := TableName(1)
+	m.Lock(10, tbl, IX) // active updater
+
+	ibDone := make(chan error, 1)
+	go func() { ibDone <- m.Lock(99, tbl, S) }()
+	select {
+	case <-ibDone:
+		t.Fatal("IB quiesce lock granted while updater active")
+	case <-time.After(10 * time.Millisecond):
+	}
+
+	lateUpdater := make(chan error, 1)
+	go func() { lateUpdater <- m.Lock(11, tbl, IX) }()
+
+	m.ReleaseAll(10) // updater commits
+	if err := <-ibDone; err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-lateUpdater:
+		t.Fatal("late updater barged past IB's S lock")
+	case <-time.After(10 * time.Millisecond):
+	}
+	m.ReleaseAll(99) // descriptor created, quiesce over
+	if err := <-lateUpdater; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	m := NewManager()
+	m.Lock(1, name(1), X)
+	m.LockConditional(2, name(1), X)
+	st := m.Stats()
+	if st.Requests != 2 || st.Grants != 1 || st.Conditional != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLockStress(t *testing.T) {
+	m := NewManager()
+	const goroutines = 8
+	const iters = 200
+	var wg sync.WaitGroup
+	counters := make([]int, 4)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			txn := types.TxnID(id + 1)
+			for i := 0; i < iters; i++ {
+				n := name(uint64(i % 4))
+				if err := m.Lock(txn, n, X); err != nil {
+					t.Errorf("lock: %v", err)
+					return
+				}
+				counters[i%4]++
+				m.Unlock(txn, n)
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range counters {
+		total += c
+	}
+	if total != goroutines*iters {
+		t.Fatalf("lost updates under X locks: %d != %d", total, goroutines*iters)
+	}
+}
+
+func TestModeCovers(t *testing.T) {
+	if !X.Covers(S) || !X.Covers(IX) || !SIX.Covers(S) || !SIX.Covers(IX) {
+		t.Error("strong modes should cover weaker ones")
+	}
+	if S.Covers(X) || IX.Covers(S) || IS.Covers(IX) {
+		t.Error("weak modes must not cover stronger ones")
+	}
+	if !S.Covers(IS) || !U.Covers(S) {
+		t.Error("expected coverings missing")
+	}
+}

@@ -1,0 +1,139 @@
+// Package page defines the page abstraction shared by the buffer pool and
+// the resource managers (heap, B+-tree, side-file).
+//
+// Pages live in the buffer pool as typed Go structs and are serialized to a
+// fixed-size on-disk image only when flushed. Every page carries a PageLSN —
+// the LSN of the last log record applied to it — which makes redo idempotent
+// (ARIES: redo a record only if PageLSN < record LSN) and drives the WAL
+// protocol (the log must be forced up to PageLSN before the page image may
+// be written to disk).
+//
+// Concrete page types register an unmarshal factory here so the buffer pool
+// can materialize pages without importing the resource-manager packages.
+package page
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"onlineindex/internal/types"
+)
+
+// ErrBlank reports an all-zero page image: a region of the file that was
+// durably extended (by the flush of a later page) but whose own page was
+// never written. Restart redo recreates such pages from their format
+// records.
+var ErrBlank = errors.New("page: blank (never written) page image")
+
+// Size is the page size in bytes. Resource managers use it as the capacity
+// budget when deciding whether a page is full; the marshalled image of a
+// page must never exceed it.
+const Size = 8192
+
+// Kind tags the concrete type of a page image.
+type Kind uint8
+
+// Page kinds.
+const (
+	KindInvalid  Kind = iota
+	KindHeap          // slotted data page of a table
+	KindBTree         // B+-tree node (leaf or internal)
+	KindSideFile      // append-only side-file page
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindHeap:
+		return "heap"
+	case KindBTree:
+		return "btree"
+	case KindSideFile:
+		return "sidefile"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Page is the interface all page types implement.
+type Page interface {
+	// Kind returns the page's type tag.
+	Kind() Kind
+	// PageLSN returns the LSN of the last log record applied to this page.
+	PageLSN() types.LSN
+	// SetPageLSN records that the log record at lsn was applied.
+	SetPageLSN(types.LSN)
+	// MarshalPage serializes the page into an image of exactly Size bytes.
+	MarshalPage() ([]byte, error)
+	// UnmarshalPage restores the page from an image produced by MarshalPage.
+	UnmarshalPage([]byte) error
+}
+
+// Header is the common on-disk prefix every page image starts with and the
+// common in-memory state every page struct embeds.
+type Header struct {
+	lsn types.LSN
+}
+
+// PageLSN implements Page.
+func (h *Header) PageLSN() types.LSN { return h.lsn }
+
+// SetPageLSN implements Page.
+func (h *Header) SetPageLSN(lsn types.LSN) { h.lsn = lsn }
+
+// HeaderSize is the marshalled size of the common prefix: kind byte plus
+// 8-byte PageLSN.
+const HeaderSize = 1 + 8
+
+// MarshalHeader writes the common prefix (kind + PageLSN) into dst, which
+// must be at least HeaderSize long.
+func (h *Header) MarshalHeader(dst []byte, k Kind) {
+	dst[0] = uint8(k)
+	binary.LittleEndian.PutUint64(dst[1:], uint64(h.lsn))
+}
+
+// UnmarshalHeader reads the common prefix and returns the kind.
+func (h *Header) UnmarshalHeader(src []byte) (Kind, error) {
+	if len(src) < HeaderSize {
+		return KindInvalid, fmt.Errorf("page: image too small (%d bytes)", len(src))
+	}
+	h.lsn = types.LSN(binary.LittleEndian.Uint64(src[1:]))
+	return Kind(src[0]), nil
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[Kind]func() Page{}
+)
+
+// Register installs a factory for pages of kind k. Resource-manager packages
+// call it from init so the buffer pool can materialize their pages.
+func Register(k Kind, factory func() Page) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	registry[k] = factory
+}
+
+// Unmarshal materializes a page from an on-disk image by dispatching on the
+// kind byte.
+func Unmarshal(img []byte) (Page, error) {
+	if len(img) < HeaderSize {
+		return nil, fmt.Errorf("page: image too small (%d bytes)", len(img))
+	}
+	k := Kind(img[0])
+	registryMu.RLock()
+	factory := registry[k]
+	registryMu.RUnlock()
+	if factory == nil {
+		if k == KindInvalid {
+			return nil, ErrBlank
+		}
+		return nil, fmt.Errorf("page: no factory registered for kind %s", k)
+	}
+	p := factory()
+	if err := p.UnmarshalPage(img); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

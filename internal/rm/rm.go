@@ -1,0 +1,71 @@
+// Package rm holds the small contracts shared by the resource managers
+// (heap, btree, sidefile): how operations log under a transaction, and how
+// pages are fetched-and-latched. It exists so the resource managers do not
+// import the transaction manager (which imports them back for rollback).
+package rm
+
+import (
+	"onlineindex/internal/buffer"
+	"onlineindex/internal/latch"
+	"onlineindex/internal/types"
+	"onlineindex/internal/wal"
+)
+
+// TxnLogger is the face a transaction (or the index builder acting as a
+// transaction) shows to resource managers. Log fills in the TxnID and
+// PrevLSN chain and returns the assigned LSN; LogCLR additionally sets the
+// record's UndoNextLSN and CLR flag.
+type TxnLogger interface {
+	// ID returns the transaction ID.
+	ID() types.TxnID
+	// Log appends r to the WAL under this transaction.
+	Log(r *wal.Record) (types.LSN, error)
+	// LogCLR appends a compensation record whose UndoNextLSN is undoNext.
+	LogCLR(r *wal.Record, undoNext types.LSN) (types.LSN, error)
+}
+
+// SimpleLogger is a minimal TxnLogger that chains records for one
+// transaction ID directly on a log. The transaction manager provides the
+// full-featured implementation; SimpleLogger serves system activities that
+// log outside any user transaction and the resource-manager unit tests.
+type SimpleLogger struct {
+	L    *wal.Log
+	Txn  types.TxnID
+	Last types.LSN
+}
+
+// ID implements TxnLogger.
+func (s *SimpleLogger) ID() types.TxnID { return s.Txn }
+
+// Log implements TxnLogger.
+func (s *SimpleLogger) Log(r *wal.Record) (types.LSN, error) {
+	r.TxnID = s.Txn
+	r.PrevLSN = s.Last
+	lsn, err := s.L.Append(r)
+	if err != nil {
+		return types.NilLSN, err
+	}
+	s.Last = lsn
+	return lsn, nil
+}
+
+// LogCLR implements TxnLogger.
+func (s *SimpleLogger) LogCLR(r *wal.Record, undoNext types.LSN) (types.LSN, error) {
+	r.Flags |= wal.FlagCLR
+	r.UndoNext = undoNext
+	return s.Log(r)
+}
+
+// WithPage fetches pid, holds its latch in the given mode for the duration
+// of fn, and unpins it afterwards.
+func WithPage(pool *buffer.Pool, pid types.PageID, mode latch.Mode, fn func(f *buffer.Frame) error) error {
+	f, err := pool.Fetch(pid)
+	if err != nil {
+		return err
+	}
+	f.Latch.Acquire(mode)
+	err = fn(f)
+	f.Latch.Release(mode)
+	pool.Unpin(f)
+	return err
+}

@@ -1,0 +1,369 @@
+// Package sidefile implements the SF algorithm's side-file: "an append-only
+// (sequential) table in which the transactions insert tuples of the form
+// <operation, key>, where operation is insert or delete. Transactions append
+// entries without doing any locking of the appended entries" (§1.3, §3.1).
+//
+// Appends are logged with redo-only records ("transactions write redo-only
+// log records for the appends that they make to the side-file") and are
+// never undone — a rolled-back transaction *appends a compensating entry*
+// instead (Fig. 2), preserving the strict append-only discipline. The index
+// builder consumes entries by position, checkpointing its position so
+// side-file processing is restartable (§3.2.5).
+package sidefile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"onlineindex/internal/buffer"
+	"onlineindex/internal/enc"
+	"onlineindex/internal/latch"
+	"onlineindex/internal/page"
+	"onlineindex/internal/rm"
+	"onlineindex/internal/types"
+	"onlineindex/internal/wal"
+)
+
+func init() {
+	page.Register(page.KindSideFile, func() page.Page { return &Page{} })
+}
+
+// Op is a side-file operation.
+type Op uint8
+
+// Side-file operations.
+const (
+	OpInsert Op = 1 // insert <key, RID> into the index
+	OpDelete Op = 2 // delete <key, RID> from the index
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Entry is one side-file tuple.
+type Entry struct {
+	Op  Op
+	Key []byte
+	RID types.RID
+}
+
+func entrySize(e Entry) int { return 1 + 4 + len(e.Key) + 10 }
+
+// Page is one side-file page: a sequence of entries plus the sequence number
+// of the first one.
+type Page struct {
+	page.Header
+	startSeq uint64
+	entries  []Entry
+	used     int
+}
+
+const sfFixed = page.HeaderSize + 8 + 2
+
+// NewPage returns an empty side-file page starting at startSeq.
+func NewPage(startSeq uint64) *Page {
+	return &Page{startSeq: startSeq, used: sfFixed}
+}
+
+// Kind implements page.Page.
+func (p *Page) Kind() page.Kind { return page.KindSideFile }
+
+// MarshalPage implements page.Page.
+func (p *Page) MarshalPage() ([]byte, error) {
+	img := make([]byte, page.Size)
+	p.MarshalHeader(img, page.KindSideFile)
+	off := page.HeaderSize
+	binary.LittleEndian.PutUint64(img[off:], p.startSeq)
+	off += 8
+	binary.LittleEndian.PutUint16(img[off:], uint16(len(p.entries)))
+	off += 2
+	for _, e := range p.entries {
+		need := entrySize(e)
+		if off+need > page.Size {
+			return nil, fmt.Errorf("sidefile: page overflow at %d", off)
+		}
+		img[off] = uint8(e.Op)
+		off++
+		binary.LittleEndian.PutUint32(img[off:], uint32(len(e.Key)))
+		off += 4
+		copy(img[off:], e.Key)
+		off += len(e.Key)
+		binary.LittleEndian.PutUint32(img[off:], uint32(e.RID.PageID.File))
+		binary.LittleEndian.PutUint32(img[off+4:], uint32(e.RID.PageID.Page))
+		binary.LittleEndian.PutUint16(img[off+8:], uint16(e.RID.Slot))
+		off += 10
+	}
+	return img, nil
+}
+
+// UnmarshalPage implements page.Page.
+func (p *Page) UnmarshalPage(img []byte) error {
+	if _, err := p.UnmarshalHeader(img); err != nil {
+		return err
+	}
+	off := page.HeaderSize
+	p.startSeq = binary.LittleEndian.Uint64(img[off:])
+	off += 8
+	n := int(binary.LittleEndian.Uint16(img[off:]))
+	off += 2
+	p.entries = make([]Entry, 0, n)
+	p.used = sfFixed
+	for i := 0; i < n; i++ {
+		if off+5 > len(img) {
+			return fmt.Errorf("sidefile: corrupt page (entry %d)", i)
+		}
+		e := Entry{Op: Op(img[off])}
+		off++
+		kl := int(binary.LittleEndian.Uint32(img[off:]))
+		off += 4
+		if off+kl+10 > len(img) {
+			return fmt.Errorf("sidefile: corrupt page (entry %d key)", i)
+		}
+		e.Key = append([]byte(nil), img[off:off+kl]...)
+		off += kl
+		e.RID = types.RID{
+			PageID: types.PageID{
+				File: types.FileID(binary.LittleEndian.Uint32(img[off:])),
+				Page: types.PageNum(binary.LittleEndian.Uint32(img[off+4:])),
+			},
+			Slot: types.SlotNum(binary.LittleEndian.Uint16(img[off+8:])),
+		}
+		off += 10
+		p.entries = append(p.entries, e)
+		p.used += entrySize(e)
+	}
+	return nil
+}
+
+// AppendPayload is the body of a TypeSFAppend log record.
+type AppendPayload struct {
+	Seq uint64
+	E   Entry
+}
+
+// Encode serializes the payload.
+func (p *AppendPayload) Encode() []byte {
+	return enc.NewWriter().U64(p.Seq).U8(uint8(p.E.Op)).Bytes32(p.E.Key).RID(p.E.RID).Bytes()
+}
+
+// DecodeAppend parses an AppendPayload.
+func DecodeAppend(b []byte) (AppendPayload, error) {
+	r := enc.NewReader(b)
+	p := AppendPayload{Seq: r.U64(), E: Entry{Op: Op(r.U8()), Key: r.Bytes32(), RID: r.RID()}}
+	return p, r.Err()
+}
+
+// File is one side-file.
+type File struct {
+	pool *buffer.Pool
+	file types.FileID
+
+	mu     sync.Mutex
+	count  uint64          // total entries
+	pages  []types.PageNum // page of each startSeq, in order (implicitly 0..n-1)
+	starts []uint64        // startSeq per page
+}
+
+// Create formats a new side-file (one empty page) under tl.
+func Create(pool *buffer.Pool, file types.FileID, tl rm.TxnLogger) (*File, error) {
+	if err := pool.OpenFile(file); err != nil {
+		return nil, err
+	}
+	n, err := pool.PageCount(file)
+	if err != nil {
+		return nil, err
+	}
+	if n != 0 {
+		return nil, fmt.Errorf("sidefile: create on non-empty file %d", file)
+	}
+	f, err := pool.NewPage(file, NewPage(0))
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Unpin(f)
+	lsn, err := tl.Log(&wal.Record{Type: wal.TypeSFFormat, Flags: wal.FlagRedo, PageID: f.ID})
+	if err != nil {
+		return nil, err
+	}
+	f.MarkDirty(lsn)
+	return &File{pool: pool, file: file, pages: []types.PageNum{0}, starts: []uint64{0}}, nil
+}
+
+// Open loads an existing side-file, scanning its pages to rebuild the
+// position index and the entry count.
+func Open(pool *buffer.Pool, file types.FileID) (*File, error) {
+	if err := pool.OpenFile(file); err != nil {
+		return nil, err
+	}
+	n, err := pool.PageCount(file)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("sidefile: open of empty file %d", file)
+	}
+	sf := &File{pool: pool, file: file}
+	for i := types.PageNum(0); i < n; i++ {
+		pid := types.PageID{File: file, Page: i}
+		err := rm.WithPage(pool, pid, latch.S, func(fr *buffer.Frame) error {
+			p, ok := fr.Page().(*Page)
+			if !ok {
+				return fmt.Errorf("sidefile: page %s is not a side-file page", pid)
+			}
+			sf.pages = append(sf.pages, i)
+			sf.starts = append(sf.starts, p.startSeq)
+			sf.count = p.startSeq + uint64(len(p.entries))
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return sf, nil
+}
+
+// FileID returns the side-file's file ID.
+func (s *File) FileID() types.FileID { return s.file }
+
+// Count returns the number of entries appended so far.
+func (s *File) Count() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Append adds e to the end of the side-file under tl (redo-only log record,
+// no locks) and returns its sequence number.
+func (s *File) Append(tl rm.TxnLogger, e Entry) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seq := s.count
+	lastPg := s.pages[len(s.pages)-1]
+	fr, err := s.pool.Fetch(types.PageID{File: s.file, Page: lastPg})
+	if err != nil {
+		return 0, err
+	}
+	fr.Latch.Acquire(latch.X)
+	p := fr.Page().(*Page)
+	if p.used+entrySize(e) > page.Size {
+		fr.Latch.Release(latch.X)
+		s.pool.Unpin(fr)
+		nf, err := s.pool.NewPage(s.file, NewPage(seq))
+		if err != nil {
+			return 0, err
+		}
+		s.pages = append(s.pages, nf.ID.Page)
+		s.starts = append(s.starts, seq)
+		fr = nf
+		fr.Latch.Acquire(latch.X)
+		p = fr.Page().(*Page)
+	}
+	pl := AppendPayload{Seq: seq, E: e}
+	lsn, err := tl.Log(&wal.Record{
+		Type: wal.TypeSFAppend, Flags: wal.FlagRedo,
+		PageID: fr.ID, Payload: pl.Encode(),
+	})
+	if err != nil {
+		fr.Latch.Release(latch.X)
+		s.pool.Unpin(fr)
+		return 0, err
+	}
+	p.entries = append(p.entries, Entry{Op: e.Op, Key: append([]byte(nil), e.Key...), RID: e.RID})
+	p.used += entrySize(e)
+	fr.MarkDirty(lsn)
+	fr.Latch.Release(latch.X)
+	s.pool.Unpin(fr)
+	s.count = seq + 1
+	return seq, nil
+}
+
+// Read returns up to max entries starting at sequence number from. It
+// returns the entries and the sequence number of the next unread entry.
+func (s *File) Read(from uint64, max int) ([]Entry, uint64, error) {
+	s.mu.Lock()
+	count := s.count
+	// Find the page containing `from` (last page whose startSeq <= from).
+	pi := len(s.starts) - 1
+	for pi > 0 && s.starts[pi] > from {
+		pi--
+	}
+	pages := append([]types.PageNum(nil), s.pages[pi:]...)
+	s.mu.Unlock()
+
+	if from >= count {
+		return nil, from, nil
+	}
+	var out []Entry
+	next := from
+	for _, pg := range pages {
+		if len(out) >= max {
+			break
+		}
+		pid := types.PageID{File: s.file, Page: pg}
+		err := rm.WithPage(s.pool, pid, latch.S, func(fr *buffer.Frame) error {
+			p := fr.Page().(*Page)
+			for i, e := range p.entries {
+				seq := p.startSeq + uint64(i)
+				if seq < next || len(out) >= max {
+					continue
+				}
+				out = append(out, Entry{Op: e.Op, Key: append([]byte(nil), e.Key...), RID: e.RID})
+				next = seq + 1
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, from, err
+		}
+	}
+	return out, next, nil
+}
+
+// Redo applies a side-file log record during restart recovery.
+func Redo(pool *buffer.Pool, rec *wal.Record) error {
+	f, err := pool.FetchOrCreate(rec.PageID, func() page.Page { return NewPage(0) }, rec.LSN)
+	if err != nil {
+		return err
+	}
+	defer pool.Unpin(f)
+	f.Latch.Acquire(latch.X)
+	defer f.Latch.Release(latch.X)
+	p, ok := f.Page().(*Page)
+	if !ok {
+		return fmt.Errorf("sidefile: redo: page %s is not a side-file page", rec.PageID)
+	}
+	if p.PageLSN() >= rec.LSN {
+		return nil
+	}
+	switch rec.Type {
+	case wal.TypeSFFormat:
+		*p = *NewPage(0)
+	case wal.TypeSFAppend:
+		pl, err := DecodeAppend(rec.Payload)
+		if err != nil {
+			return err
+		}
+		if len(p.entries) == 0 {
+			p.startSeq = pl.Seq
+		}
+		want := p.startSeq + uint64(len(p.entries))
+		if pl.Seq != want {
+			return fmt.Errorf("sidefile: redo append LSN %d: seq %d, page expects %d", rec.LSN, pl.Seq, want)
+		}
+		p.entries = append(p.entries, pl.E)
+		p.used += entrySize(pl.E)
+	default:
+		return fmt.Errorf("sidefile: redo of unexpected record type %s", rec.Type)
+	}
+	f.MarkDirty(rec.LSN)
+	return nil
+}

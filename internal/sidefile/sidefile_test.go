@@ -1,0 +1,223 @@
+package sidefile
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"onlineindex/internal/buffer"
+	"onlineindex/internal/rm"
+	"onlineindex/internal/types"
+	"onlineindex/internal/vfs"
+	"onlineindex/internal/wal"
+)
+
+func setup(t *testing.T) (*vfs.MemFS, *wal.Log, *buffer.Pool, *File) {
+	t.Helper()
+	fs := vfs.NewMemFS()
+	log, err := wal.Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := buffer.New(fs, log, 64)
+	sf, err := Create(pool, 9, &rm.SimpleLogger{L: log, Txn: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, log, pool, sf
+}
+
+func mkEntry(i int) Entry {
+	op := OpInsert
+	if i%3 == 0 {
+		op = OpDelete
+	}
+	return Entry{Op: op, Key: []byte(fmt.Sprintf("key-%06d", i)), RID: types.RID{
+		PageID: types.PageID{File: 1, Page: types.PageNum(i / 10)}, Slot: types.SlotNum(i % 10)}}
+}
+
+func TestAppendRead(t *testing.T) {
+	_, log, _, sf := setup(t)
+	tl := &rm.SimpleLogger{L: log, Txn: 2}
+	const n = 2000 // spans multiple pages
+	for i := 0; i < n; i++ {
+		seq, err := sf.Append(tl, mkEntry(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i) {
+			t.Fatalf("seq = %d, want %d", seq, i)
+		}
+	}
+	if sf.Count() != n {
+		t.Fatalf("count = %d", sf.Count())
+	}
+	// Read in chunks from various positions.
+	got, next, err := sf.Read(0, 100)
+	if err != nil || len(got) != 100 || next != 100 {
+		t.Fatalf("read: %d entries, next=%d, err=%v", len(got), next, err)
+	}
+	for i, e := range got {
+		want := mkEntry(i)
+		if e.Op != want.Op || string(e.Key) != string(want.Key) || e.RID != want.RID {
+			t.Fatalf("entry %d = %+v, want %+v", i, e, want)
+		}
+	}
+	got, next, _ = sf.Read(1995, 100)
+	if len(got) != 5 || next != n {
+		t.Fatalf("tail read: %d entries, next=%d", len(got), next)
+	}
+	got, next, _ = sf.Read(n, 10)
+	if len(got) != 0 || next != n {
+		t.Fatalf("read past end: %d, %d", len(got), next)
+	}
+}
+
+func TestAppendsAreRedoOnly(t *testing.T) {
+	_, log, _, sf := setup(t)
+	tl := &rm.SimpleLogger{L: log, Txn: 2}
+	sf.Append(tl, mkEntry(1))
+	it, _ := log.NewIterator(1)
+	for {
+		r, ok, _ := it.Next()
+		if !ok {
+			break
+		}
+		if r.Type == wal.TypeSFAppend {
+			if r.Undoable() || !r.Redoable() {
+				t.Fatalf("SF append flags = %v, want redo-only", r.Flags)
+			}
+		}
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	_, log, _, sf := setup(t)
+	const workers = 8
+	const per = 200
+	var wg sync.WaitGroup
+	seqs := make([][]uint64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tl := &rm.SimpleLogger{L: log, Txn: types.TxnID(w + 1)}
+			for i := 0; i < per; i++ {
+				seq, err := sf.Append(tl, mkEntry(w*per+i))
+				if err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+				seqs[w] = append(seqs[w], seq)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if sf.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", sf.Count(), workers*per)
+	}
+	seen := make(map[uint64]bool)
+	for _, ws := range seqs {
+		for _, s := range ws {
+			if seen[s] {
+				t.Fatalf("duplicate seq %d", s)
+			}
+			seen[s] = true
+		}
+	}
+	all, next, err := sf.Read(0, workers*per+10)
+	if err != nil || len(all) != workers*per || next != workers*per {
+		t.Fatalf("read all: %d, next=%d, err=%v", len(all), next, err)
+	}
+}
+
+func TestReopenAfterFlush(t *testing.T) {
+	fs, log, pool, sf := setup(t)
+	tl := &rm.SimpleLogger{L: log, Txn: 2}
+	for i := 0; i < 500; i++ {
+		sf.Append(tl, mkEntry(i))
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	pool2 := buffer.New(fs, log, 64)
+	sf2, err := Open(pool2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf2.Count() != 500 {
+		t.Fatalf("reopened count = %d", sf2.Count())
+	}
+	got, _, _ := sf2.Read(123, 7)
+	for i, e := range got {
+		want := mkEntry(123 + i)
+		if string(e.Key) != string(want.Key) {
+			t.Fatalf("entry %d = %q, want %q", i, e.Key, want.Key)
+		}
+	}
+}
+
+func TestRedoRebuildsSideFile(t *testing.T) {
+	fs, log, _, sf := setup(t)
+	tl := &rm.SimpleLogger{L: log, Txn: 2}
+	const n = 800
+	for i := 0; i < n; i++ {
+		sf.Append(tl, mkEntry(i))
+	}
+	log.Force(log.NextLSN())
+	fs.Crash()
+	fs.Recover()
+
+	log2, _ := wal.Open(fs)
+	pool2 := buffer.New(fs, log2, 64)
+	it, _ := log2.NewIterator(1)
+	for {
+		r, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if r.Type == wal.TypeSFFormat || r.Type == wal.TypeSFAppend {
+			if err := Redo(pool2, &r); err != nil {
+				t.Fatalf("redo: %v", err)
+			}
+		}
+	}
+	sf2, err := Open(pool2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf2.Count() != n {
+		t.Fatalf("count after redo = %d, want %d", sf2.Count(), n)
+	}
+	all, _, _ := sf2.Read(0, n)
+	for i, e := range all {
+		want := mkEntry(i)
+		if e.Op != want.Op || string(e.Key) != string(want.Key) || e.RID != want.RID {
+			t.Fatalf("entry %d mismatch after redo", i)
+		}
+	}
+}
+
+func TestPageRoundTripWithLargeKeys(t *testing.T) {
+	p := NewPage(77)
+	for i := 0; i < 5; i++ {
+		e := Entry{Op: OpInsert, Key: make([]byte, 1000), RID: types.RID{Slot: types.SlotNum(i)}}
+		e.Key[0] = byte(i)
+		p.entries = append(p.entries, e)
+		p.used += entrySize(e)
+	}
+	img, err := p.MarshalPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Page
+	if err := q.UnmarshalPage(img); err != nil {
+		t.Fatal(err)
+	}
+	if q.startSeq != 77 || len(q.entries) != 5 || q.used != p.used {
+		t.Fatalf("round trip mismatch: %+v", q)
+	}
+}

@@ -1,0 +1,368 @@
+// Package txn implements the transaction manager: begin/commit/rollback with
+// write-ahead logging, lock release at end-of-transaction, PrevLSN-chained
+// rollback that writes compensation log records, and the Commit_LSN value
+// ([Moha90b]) the paper's pseudo-delete GC uses to skip per-key lock checks.
+//
+// Rollback itself is generic chain-walking; *what* an undo does is the
+// resource managers' business, so the manager delegates each undoable record
+// to an UndoDispatcher supplied by the engine — which is where the SF
+// algorithm's Fig. 2 visibility compensation lives.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"onlineindex/internal/lock"
+	"onlineindex/internal/types"
+	"onlineindex/internal/wal"
+)
+
+// State is a transaction's lifecycle state.
+type State uint8
+
+// Transaction states.
+const (
+	StateActive State = iota + 1
+	StateCommitted
+	StateAborted
+)
+
+func (s State) String() string {
+	switch s {
+	case StateActive:
+		return "active"
+	case StateCommitted:
+		return "committed"
+	case StateAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// UndoDispatcher undoes one undoable log record on behalf of a rolling-back
+// transaction. undoNext is the value the dispatcher must put in the CLR(s)
+// it writes (the record's PrevLSN).
+type UndoDispatcher interface {
+	Undo(tx *Txn, rec *wal.Record, undoNext types.LSN) error
+}
+
+// ErrNotActive is returned for operations on ended transactions.
+var ErrNotActive = errors.New("txn: transaction not active")
+
+// Txn is one transaction. It implements rm.TxnLogger.
+type Txn struct {
+	id  types.TxnID
+	mgr *Manager
+
+	mu       sync.Mutex
+	state    State
+	firstLSN types.LSN
+	lastLSN  types.LSN
+}
+
+// ID implements rm.TxnLogger.
+func (t *Txn) ID() types.TxnID { return t.id }
+
+// State returns the transaction's state.
+func (t *Txn) State() State {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state
+}
+
+// LastLSN returns the transaction's most recent log record.
+func (t *Txn) LastLSN() types.LSN {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lastLSN
+}
+
+// Log implements rm.TxnLogger: it fills TxnID and PrevLSN, appends, and
+// advances the chain.
+func (t *Txn) Log(r *wal.Record) (types.LSN, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != StateActive {
+		return types.NilLSN, ErrNotActive
+	}
+	r.TxnID = t.id
+	r.PrevLSN = t.lastLSN
+	lsn, err := t.mgr.log.Append(r)
+	if err != nil {
+		return types.NilLSN, err
+	}
+	t.lastLSN = lsn
+	if t.firstLSN == types.NilLSN {
+		t.firstLSN = lsn
+		t.mgr.noteFirstLSN(t.id, lsn)
+	}
+	return lsn, nil
+}
+
+// LogCLR implements rm.TxnLogger.
+func (t *Txn) LogCLR(r *wal.Record, undoNext types.LSN) (types.LSN, error) {
+	r.Flags |= wal.FlagCLR
+	r.UndoNext = undoNext
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != StateActive && t.state != StateAborted {
+		return types.NilLSN, ErrNotActive
+	}
+	r.TxnID = t.id
+	r.PrevLSN = t.lastLSN
+	lsn, err := t.mgr.log.Append(r)
+	if err != nil {
+		return types.NilLSN, err
+	}
+	t.lastLSN = lsn
+	return lsn, nil
+}
+
+// Lock acquires a lock for the transaction (manual duration; released at
+// end).
+func (t *Txn) Lock(name lock.Name, mode lock.Mode) error {
+	return t.mgr.locks.Lock(t.id, name, mode)
+}
+
+// LockInstant acquires and immediately releases (instant duration).
+func (t *Txn) LockInstant(name lock.Name, mode lock.Mode) error {
+	return t.mgr.locks.LockInstant(t.id, name, mode)
+}
+
+// LockConditionalInstant is the GC probe: granted-and-released or
+// ErrWouldBlock, never waiting.
+func (t *Txn) LockConditionalInstant(name lock.Name, mode lock.Mode) error {
+	return t.mgr.locks.LockConditionalInstant(t.id, name, mode)
+}
+
+// Unlock releases one lock early (used for short-duration latching-protocol
+// locks like NSF's descriptor-create table lock, which ends with the DDL).
+func (t *Txn) Unlock(name lock.Name) {
+	t.mgr.locks.Unlock(t.id, name)
+}
+
+// Commit writes the commit record, forces the log (durability), releases
+// locks and writes the end record.
+func (t *Txn) Commit() error {
+	t.mu.Lock()
+	if t.state != StateActive {
+		t.mu.Unlock()
+		return ErrNotActive
+	}
+	r := &wal.Record{Type: wal.TypeCommit, Flags: wal.FlagRedo, TxnID: t.id, PrevLSN: t.lastLSN}
+	lsn, err := t.mgr.log.Append(r)
+	if err != nil {
+		t.mu.Unlock()
+		return err
+	}
+	t.lastLSN = lsn
+	t.mu.Unlock()
+	if err := t.mgr.log.Force(lsn); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.state = StateCommitted
+	t.mu.Unlock()
+	t.mgr.locks.ReleaseAll(t.id)
+	end := &wal.Record{Type: wal.TypeEnd, Flags: wal.FlagRedo, TxnID: t.id, PrevLSN: lsn}
+	if _, err := t.mgr.log.Append(end); err != nil {
+		return err
+	}
+	t.mgr.finish(t.id)
+	return nil
+}
+
+// Rollback undoes the transaction: an abort record, then the PrevLSN chain
+// walked newest-first, dispatching each undoable record and honoring CLR
+// UndoNext jumps, then lock release and the end record.
+func (t *Txn) Rollback() error {
+	t.mu.Lock()
+	if t.state != StateActive {
+		t.mu.Unlock()
+		return ErrNotActive
+	}
+	abort := &wal.Record{Type: wal.TypeAbort, Flags: wal.FlagRedo, TxnID: t.id, PrevLSN: t.lastLSN}
+	lsn, err := t.mgr.log.Append(abort)
+	if err != nil {
+		t.mu.Unlock()
+		return err
+	}
+	undoPoint := t.lastLSN // records at or before this need undoing
+	t.lastLSN = lsn
+	t.state = StateAborted
+	t.mu.Unlock()
+
+	if err := t.undoFrom(undoPoint); err != nil {
+		return fmt.Errorf("txn %d rollback: %w", t.id, err)
+	}
+
+	t.mgr.locks.ReleaseAll(t.id)
+	t.mu.Lock()
+	end := &wal.Record{Type: wal.TypeEnd, Flags: wal.FlagRedo, TxnID: t.id, PrevLSN: t.lastLSN}
+	if _, err := t.mgr.log.Append(end); err != nil {
+		t.mu.Unlock()
+		return err
+	}
+	t.mu.Unlock()
+	t.mgr.finish(t.id)
+	return nil
+}
+
+// undoFrom walks the chain from lsn undoing as it goes.
+func (t *Txn) undoFrom(lsn types.LSN) error {
+	next := lsn
+	for next != types.NilLSN {
+		rec, err := t.mgr.log.ReadAt(next)
+		if err != nil {
+			return err
+		}
+		switch {
+		case rec.IsCLR():
+			// Never undo an undo: jump over the compensated region.
+			next = rec.UndoNext
+		case rec.Undoable():
+			if err := t.mgr.dispatcher.Undo(t, &rec, rec.PrevLSN); err != nil {
+				return fmt.Errorf("undo of %s: %w", &rec, err)
+			}
+			next = rec.PrevLSN
+		default:
+			next = rec.PrevLSN
+		}
+	}
+	return nil
+}
+
+// Manager creates and tracks transactions.
+type Manager struct {
+	log        *wal.Log
+	locks      *lock.Manager
+	dispatcher UndoDispatcher
+
+	mu     sync.Mutex
+	nextID types.TxnID
+	active map[types.TxnID]*Txn
+}
+
+// NewManager returns a transaction manager. The dispatcher may be set later
+// with SetDispatcher (the engine wires itself in after construction).
+func NewManager(log *wal.Log, locks *lock.Manager) *Manager {
+	return &Manager{log: log, locks: locks, active: make(map[types.TxnID]*Txn)}
+}
+
+// SetDispatcher installs the undo dispatcher.
+func (m *Manager) SetDispatcher(d UndoDispatcher) { m.dispatcher = d }
+
+// SetNextTxnID bumps the ID counter (restart recovery: new transactions must
+// not reuse loser IDs).
+func (m *Manager) SetNextTxnID(id types.TxnID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if id > m.nextID {
+		m.nextID = id
+	}
+}
+
+// Begin starts a transaction.
+func (m *Manager) Begin() *Txn {
+	m.mu.Lock()
+	m.nextID++
+	id := m.nextID
+	t := &Txn{id: id, mgr: m, state: StateActive}
+	m.active[id] = t
+	m.mu.Unlock()
+	return t
+}
+
+// Adopt reconstructs a transaction object for restart undo: a loser found in
+// the log with the given last LSN.
+func (m *Manager) Adopt(id types.TxnID, firstLSN, lastLSN types.LSN) *Txn {
+	m.mu.Lock()
+	if id > m.nextID {
+		m.nextID = id
+	}
+	t := &Txn{id: id, mgr: m, state: StateActive, firstLSN: firstLSN, lastLSN: lastLSN}
+	m.active[id] = t
+	m.mu.Unlock()
+	return t
+}
+
+// RollbackAdopted undoes an adopted loser transaction during restart.
+func (m *Manager) RollbackAdopted(t *Txn) error { return t.Rollback() }
+
+func (m *Manager) noteFirstLSN(id types.TxnID, lsn types.LSN) {
+	// The Txn itself records firstLSN under its own mutex; nothing else to
+	// do — the map holds the Txn pointer.
+	_ = id
+	_ = lsn
+}
+
+func (m *Manager) finish(id types.TxnID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.active, id)
+}
+
+// ActiveCount returns the number of in-flight transactions.
+func (m *Manager) ActiveCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.active)
+}
+
+// CommitLSN returns the Commit_LSN of [Moha90b]: "the LSN of the first log
+// record of the oldest update transaction still executing". Any page whose
+// PageLSN is below it contains only committed data — the paper's GC uses
+// this to skip per-key locking (§2.2.4). When no transaction is active (or
+// none has logged yet) it is the current end of the log.
+func (m *Manager) CommitLSN() types.LSN {
+	m.mu.Lock()
+	txns := make([]*Txn, 0, len(m.active))
+	for _, t := range m.active {
+		txns = append(txns, t)
+	}
+	m.mu.Unlock()
+	min := types.LSN(0)
+	for _, t := range txns {
+		t.mu.Lock()
+		first := t.firstLSN
+		t.mu.Unlock()
+		if first == types.NilLSN {
+			continue
+		}
+		if min == 0 || first < min {
+			min = first
+		}
+	}
+	if min == 0 {
+		return m.log.NextLSN()
+	}
+	return min
+}
+
+// TxnSnapshot is one active transaction's checkpointed chain state.
+type TxnSnapshot struct {
+	ID       types.TxnID
+	FirstLSN types.LSN
+	LastLSN  types.LSN
+}
+
+// ActiveTxns returns a snapshot of the active transactions' log chains for
+// fuzzy checkpointing.
+func (m *Manager) ActiveTxns() []TxnSnapshot {
+	m.mu.Lock()
+	txns := make([]*Txn, 0, len(m.active))
+	for _, t := range m.active {
+		txns = append(txns, t)
+	}
+	m.mu.Unlock()
+	out := make([]TxnSnapshot, 0, len(txns))
+	for _, t := range txns {
+		t.mu.Lock()
+		out = append(out, TxnSnapshot{ID: t.id, FirstLSN: t.firstLSN, LastLSN: t.lastLSN})
+		t.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,243 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"onlineindex/internal/lock"
+	"onlineindex/internal/types"
+	"onlineindex/internal/vfs"
+	"onlineindex/internal/wal"
+)
+
+// recordingDispatcher logs which LSNs were undone.
+type recordingDispatcher struct {
+	mu      sync.Mutex
+	undone  []types.LSN
+	emitCLR bool
+}
+
+func (d *recordingDispatcher) Undo(tx *Txn, rec *wal.Record, undoNext types.LSN) error {
+	d.mu.Lock()
+	d.undone = append(d.undone, rec.LSN)
+	d.mu.Unlock()
+	if d.emitCLR {
+		_, err := tx.LogCLR(&wal.Record{Type: rec.Type, Flags: wal.FlagRedo, PageID: rec.PageID}, undoNext)
+		return err
+	}
+	return nil
+}
+
+func setup(t *testing.T) (*vfs.MemFS, *wal.Log, *Manager, *recordingDispatcher) {
+	t.Helper()
+	fs := vfs.NewMemFS()
+	log, err := wal.Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(log, lock.NewManager())
+	d := &recordingDispatcher{emitCLR: true}
+	m.SetDispatcher(d)
+	return fs, log, m, d
+}
+
+func undoable(payload string) *wal.Record {
+	return &wal.Record{Type: wal.TypeHeapInsert, Flags: wal.FlagRedo | wal.FlagUndo, Payload: []byte(payload)}
+}
+
+func TestCommitForcesLog(t *testing.T) {
+	_, log, m, _ := setup(t)
+	tx := m.Begin()
+	lsn, err := tx.Log(undoable("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.FlushedLSN() > lsn {
+		t.Fatal("record durable before commit")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if log.FlushedLSN() <= lsn {
+		t.Fatal("commit did not force the log")
+	}
+	if tx.State() != StateCommitted {
+		t.Fatalf("state = %v", tx.State())
+	}
+	if m.ActiveCount() != 0 {
+		t.Fatal("committed txn still active")
+	}
+}
+
+func TestRollbackUndoesInReverseOrder(t *testing.T) {
+	_, _, m, d := setup(t)
+	tx := m.Begin()
+	var lsns []types.LSN
+	for i := 0; i < 5; i++ {
+		lsn, _ := tx.Log(undoable(fmt.Sprintf("op%d", i)))
+		lsns = append(lsns, lsn)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.undone) != 5 {
+		t.Fatalf("undone %d records, want 5", len(d.undone))
+	}
+	for i := range d.undone {
+		if d.undone[i] != lsns[len(lsns)-1-i] {
+			t.Fatalf("undo order wrong: %v vs %v", d.undone, lsns)
+		}
+	}
+}
+
+func TestRollbackSkipsRedoOnlyRecords(t *testing.T) {
+	_, _, m, d := setup(t)
+	tx := m.Begin()
+	tx.Log(undoable("a"))
+	tx.Log(&wal.Record{Type: wal.TypeIdxSplit, Flags: wal.FlagRedo}) // NTA: never undone
+	tx.Log(undoable("b"))
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.undone) != 2 {
+		t.Fatalf("undone = %d records, want 2 (split skipped)", len(d.undone))
+	}
+}
+
+func TestCLRChainSkipsCompensatedWork(t *testing.T) {
+	// Simulate a partial rollback shape: records r1, r2, then a CLR that
+	// compensates r2 (UndoNext -> r1). A full rollback must undo only r1.
+	_, _, m, d := setup(t)
+	tx := m.Begin()
+	l1, _ := tx.Log(undoable("r1"))
+	_, _ = tx.Log(undoable("r2"))
+	if _, err := tx.LogCLR(&wal.Record{Type: wal.TypeHeapDelete, Flags: wal.FlagRedo}, l1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.undone) != 1 || d.undone[0] != l1 {
+		t.Fatalf("undone = %v, want only %d", d.undone, l1)
+	}
+}
+
+func TestOpsAfterEndRejected(t *testing.T) {
+	_, _, m, _ := setup(t)
+	tx := m.Begin()
+	tx.Commit()
+	if _, err := tx.Log(undoable("late")); !errors.Is(err, ErrNotActive) {
+		t.Fatalf("log after commit = %v", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrNotActive) {
+		t.Fatalf("double commit = %v", err)
+	}
+	if err := tx.Rollback(); !errors.Is(err, ErrNotActive) {
+		t.Fatalf("rollback after commit = %v", err)
+	}
+}
+
+func TestLocksReleasedAtEnd(t *testing.T) {
+	_, _, m, _ := setup(t)
+	tx1 := m.Begin()
+	name := lock.TableName(1)
+	if err := tx1.Lock(name, lock.X); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := m.Begin()
+	if err := m.locks.LockConditional(tx2.ID(), name, lock.S); !errors.Is(err, lock.ErrWouldBlock) {
+		t.Fatal("lock not held")
+	}
+	tx1.Commit()
+	if err := m.locks.LockConditional(tx2.ID(), name, lock.S); err != nil {
+		t.Fatalf("lock not released at commit: %v", err)
+	}
+	tx2.Rollback()
+}
+
+func TestCommitLSN(t *testing.T) {
+	_, log, m, _ := setup(t)
+	// No active transactions: Commit_LSN is the end of the log.
+	if got := m.CommitLSN(); got != log.NextLSN() {
+		t.Fatalf("idle CommitLSN = %d, want %d", got, log.NextLSN())
+	}
+	t1 := m.Begin()
+	l1, _ := t1.Log(undoable("a"))
+	t2 := m.Begin()
+	t2.Log(undoable("b"))
+	if got := m.CommitLSN(); got != l1 {
+		t.Fatalf("CommitLSN = %d, want oldest active first LSN %d", got, l1)
+	}
+	t1.Commit()
+	if got := m.CommitLSN(); got <= l1 {
+		t.Fatalf("CommitLSN = %d after oldest committed, want > %d", got, l1)
+	}
+	t2.Commit()
+}
+
+func TestAdoptAndRollbackLoser(t *testing.T) {
+	_, log, m, d := setup(t)
+	// Write a loser chain "by hand" as restart analysis would find it.
+	r1 := undoable("loser-1")
+	r1.TxnID = 42
+	l1, _ := log.Append(r1)
+	r2 := undoable("loser-2")
+	r2.TxnID = 42
+	r2.PrevLSN = l1
+	l2, _ := log.Append(r2)
+
+	loser := m.Adopt(42, l1, l2)
+	if err := m.RollbackAdopted(loser); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.undone) != 2 || d.undone[0] != l2 || d.undone[1] != l1 {
+		t.Fatalf("loser undo = %v, want [%d %d]", d.undone, l2, l1)
+	}
+	// New transactions must not reuse the loser's ID.
+	fresh := m.Begin()
+	if fresh.ID() <= 42 {
+		t.Fatalf("fresh txn ID %d not beyond adopted 42", fresh.ID())
+	}
+}
+
+func TestActiveTxnsSnapshot(t *testing.T) {
+	_, _, m, _ := setup(t)
+	t1 := m.Begin()
+	l1, _ := t1.Log(undoable("x"))
+	snap := m.ActiveTxns()
+	if len(snap) != 1 || snap[0].ID != t1.ID() || snap[0].FirstLSN != l1 || snap[0].LastLSN != l1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	t1.Commit()
+	if len(m.ActiveTxns()) != 0 {
+		t.Fatal("snapshot after commit not empty")
+	}
+}
+
+func TestConcurrentTransactions(t *testing.T) {
+	_, _, m, _ := setup(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tx := m.Begin()
+				tx.Log(undoable("w"))
+				if i%3 == 0 {
+					if err := tx.Rollback(); err != nil {
+						t.Errorf("rollback: %v", err)
+					}
+				} else if err := tx.Commit(); err != nil {
+					t.Errorf("commit: %v", err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.ActiveCount() != 0 {
+		t.Fatalf("active = %d after all ended", m.ActiveCount())
+	}
+}

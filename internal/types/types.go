@@ -1,0 +1,113 @@
+// Package types holds the primitive identifiers shared by every storage
+// subsystem: log sequence numbers, page identifiers, record identifiers and
+// transaction identifiers. Keeping them in a leaf package avoids import
+// cycles between the WAL, buffer, heap, index and transaction layers.
+package types
+
+import "fmt"
+
+// LSN is a log sequence number. As in ARIES, it is the byte offset of a log
+// record in the (conceptually infinite) log address space, so LSNs are
+// totally ordered and monotonically increasing.
+type LSN uint64
+
+// NilLSN marks "no LSN" (e.g. the PrevLSN of a transaction's first record).
+const NilLSN LSN = 0
+
+// FileID identifies a storage object (a heap table file, an index file, a
+// side-file). FileID 0 is reserved.
+type FileID uint32
+
+// PageNum is a page's ordinal position within its file, starting at 0.
+type PageNum uint32
+
+// PageID names a page globally: file plus page number within the file.
+type PageID struct {
+	File FileID
+	Page PageNum
+}
+
+// NilPageID is the zero PageID, used as "no page".
+var NilPageID = PageID{}
+
+func (p PageID) String() string { return fmt.Sprintf("P(%d:%d)", p.File, p.Page) }
+
+// IsNil reports whether p is the reserved nil page ID.
+func (p PageID) IsNil() bool { return p == NilPageID }
+
+// Less orders PageIDs by (file, page). The order within one file is the
+// physical order of pages on disk, which the SF algorithm's scan-position
+// comparison depends on.
+func (p PageID) Less(q PageID) bool {
+	if p.File != q.File {
+		return p.File < q.File
+	}
+	return p.Page < q.Page
+}
+
+// SlotNum is a record's slot index within a slotted data page.
+type SlotNum uint16
+
+// RID is a record identifier: the page holding the record plus the record's
+// slot within that page. Index entries are <key value, RID> pairs.
+type RID struct {
+	PageID PageID
+	Slot   SlotNum
+}
+
+// NilRID is the zero RID, used as "no record".
+var NilRID = RID{}
+
+func (r RID) String() string { return fmt.Sprintf("R(%d:%d.%d)", r.PageID.File, r.PageID.Page, r.Slot) }
+
+// IsNil reports whether r is the reserved nil RID.
+func (r RID) IsNil() bool { return r == NilRID }
+
+// Compare returns -1, 0 or +1 ordering RIDs by (file, page, slot). This is
+// the physical scan order of the index builder, so "behind the scan" in the
+// SF algorithm means Compare(target, current) < 0.
+func (r RID) Compare(o RID) int {
+	switch {
+	case r.PageID.File != o.PageID.File:
+		return cmpU32(uint32(r.PageID.File), uint32(o.PageID.File))
+	case r.PageID.Page != o.PageID.Page:
+		return cmpU32(uint32(r.PageID.Page), uint32(o.PageID.Page))
+	default:
+		return cmpU32(uint32(r.Slot), uint32(o.Slot))
+	}
+}
+
+// Less reports whether r precedes o in physical scan order.
+func (r RID) Less(o RID) bool { return r.Compare(o) < 0 }
+
+func cmpU32(a, b uint32) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// MaxRID is a RID greater than every real RID. The SF index builder sets its
+// Current-RID to MaxRID ("infinity") when it finishes the data scan so that
+// transactions extending the file still route their changes to the side-file.
+var MaxRID = RID{PageID: PageID{File: ^FileID(0), Page: ^PageNum(0)}, Slot: ^SlotNum(0)}
+
+// TxnID identifies a transaction. IDs are assigned from a monotonically
+// increasing counter; TxnID 0 is reserved for "no transaction" (e.g. log
+// records written by system activities outside any transaction).
+type TxnID uint64
+
+// NilTxn is the reserved "no transaction" ID.
+const NilTxn TxnID = 0
+
+func (t TxnID) String() string { return fmt.Sprintf("T%d", t) }
+
+// IndexID identifies an index within the catalog.
+type IndexID uint32
+
+// TableID identifies a table within the catalog.
+type TableID uint32

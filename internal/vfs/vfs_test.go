@@ -1,0 +1,234 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"testing"
+)
+
+func TestMemFSCreateWriteRead(t *testing.T) {
+	fs := NewMemFS()
+	f, err := fs.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("hello world"), 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := f.ReadAt(buf, 6); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "world" {
+		t.Fatalf("read %q, want %q", buf, "world")
+	}
+	sz, err := f.Size()
+	if err != nil || sz != 11 {
+		t.Fatalf("size = %d, %v; want 11", sz, err)
+	}
+}
+
+func TestMemFSSparseWrite(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("a")
+	if _, err := f.WriteAt([]byte("x"), 100); err != nil {
+		t.Fatal(err)
+	}
+	sz, _ := f.Size()
+	if sz != 101 {
+		t.Fatalf("size = %d, want 101", sz)
+	}
+	buf := make([]byte, 1)
+	if _, err := f.ReadAt(buf, 50); err != nil || buf[0] != 0 {
+		t.Fatalf("hole read = %v %v, want zero byte", buf, err)
+	}
+}
+
+func TestMemFSReadAtEOF(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("a")
+	f.WriteAt([]byte("abc"), 0)
+	buf := make([]byte, 10)
+	n, err := f.ReadAt(buf, 0)
+	if n != 3 || err != io.EOF {
+		t.Fatalf("short read = %d, %v; want 3, EOF", n, err)
+	}
+	if _, err := f.ReadAt(buf, 3); err != io.EOF {
+		t.Fatalf("read at EOF = %v, want EOF", err)
+	}
+}
+
+func TestMemFSCrashLosesUnsynced(t *testing.T) {
+	fs := NewMemFS()
+
+	// synced file with an unsynced tail
+	f, _ := fs.Create("synced")
+	f.WriteAt([]byte("durable"), 0)
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.WriteAt([]byte("volatile!!"), 0) // overwrite, never synced
+
+	// never-synced file
+	g, _ := fs.Create("unsynced")
+	g.WriteAt([]byte("gone"), 0)
+
+	fs.Crash()
+
+	if _, err := fs.Open("synced"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("open during crash = %v, want ErrCrashed", err)
+	}
+	if _, err := f.ReadAt(make([]byte, 1), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("stale handle read = %v, want ErrCrashed", err)
+	}
+
+	fs.Recover()
+
+	if ok, _ := fs.Exists("unsynced"); ok {
+		t.Error("unsynced file survived crash")
+	}
+	f2, err := fs.Open("synced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sz, _ := f2.Size()
+	buf := make([]byte, sz)
+	f2.ReadAt(buf, 0)
+	if string(buf) != "durable" {
+		t.Fatalf("after crash content = %q, want %q", buf, "durable")
+	}
+}
+
+func TestMemFSCrashTruncateNotDurable(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("a")
+	f.WriteAt([]byte("0123456789"), 0)
+	f.Sync()
+	f.Truncate(3) // volatile truncate only
+	fs.Crash()
+	fs.Recover()
+	f2, _ := fs.Open("a")
+	sz, _ := f2.Size()
+	if sz != 10 {
+		t.Fatalf("size after crash = %d, want 10 (truncate was volatile)", sz)
+	}
+}
+
+func TestMemFSTruncateExtend(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("a")
+	f.WriteAt([]byte("abc"), 0)
+	if err := f.Truncate(6); err != nil {
+		t.Fatal(err)
+	}
+	sz, _ := f.Size()
+	if sz != 6 {
+		t.Fatalf("size = %d, want 6", sz)
+	}
+	if err := f.Truncate(2); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	f.ReadAt(buf, 0)
+	if string(buf) != "ab" {
+		t.Fatalf("content = %q, want ab", buf)
+	}
+}
+
+func TestMemFSRemoveAndList(t *testing.T) {
+	fs := NewMemFS()
+	fs.Create("b")
+	fs.Create("a")
+	names, err := fs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("list = %v", names)
+	}
+	if err := fs.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := fs.Exists("a"); ok {
+		t.Error("removed file still exists")
+	}
+	if err := fs.Remove("a"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("double remove = %v, want ErrNotExist", err)
+	}
+	if _, err := fs.Open("a"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("open missing = %v, want ErrNotExist", err)
+	}
+}
+
+func TestMemFSClosedHandle(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("a")
+	f.Close()
+	if _, err := f.WriteAt([]byte("x"), 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("write on closed = %v, want ErrClosed", err)
+	}
+}
+
+func TestMemFSStats(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("a")
+	f.WriteAt(make([]byte, 100), 0)
+	f.ReadAt(make([]byte, 40), 0)
+	f.Sync()
+	st := fs.Stats()
+	if st.Writes != 1 || st.Reads != 1 || st.Syncs != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BytesWrite != 100 || st.BytesRead != 40 {
+		t.Fatalf("byte stats = %+v", st)
+	}
+	fs.ResetStats()
+	if st := fs.Stats(); st.Writes != 0 {
+		t.Fatalf("after reset stats = %+v", st)
+	}
+}
+
+func TestOSFS(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewOSFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("persist"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	g, err := fs.Open("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	sz, _ := g.Size()
+	buf := make([]byte, sz)
+	g.ReadAt(buf, 0)
+	if string(buf) != "persist" {
+		t.Fatalf("content = %q", buf)
+	}
+	names, _ := fs.List()
+	if len(names) != 1 || names[0] != "data" {
+		t.Fatalf("list = %v", names)
+	}
+	if ok, _ := fs.Exists("data"); !ok {
+		t.Error("Exists = false")
+	}
+	if err := fs.Remove("data"); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := fs.Exists("data"); ok {
+		t.Error("file not removed")
+	}
+}

@@ -1,0 +1,303 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"onlineindex/internal/types"
+	"onlineindex/internal/vfs"
+)
+
+var (
+	errTruncated = errors.New("wal: truncated record")
+	errBadCRC    = errors.New("wal: checksum mismatch")
+)
+
+// logFileName and masterFileName are the fixed file names on the VFS.
+const (
+	logFileName    = "wal.log"
+	masterFileName = "wal.master"
+)
+
+// Log is the append-only write-ahead log.
+//
+// Appends go to an in-memory tail buffer; Force writes the buffer through to
+// the VFS file and syncs it, advancing FlushedLSN. The buffer pool enforces
+// the WAL protocol by calling Force(pageLSN) before writing a dirty page,
+// and the transaction manager forces the log at commit.
+//
+// Log is safe for concurrent use.
+type Log struct {
+	mu      sync.Mutex
+	f       vfs.File
+	nextLSN types.LSN // LSN the next record will receive
+	flushed types.LSN // all records with LSN < flushed are durable
+	buf     []byte    // unflushed tail; starts at LSN `flushed`
+
+	stats Stats
+}
+
+// Stats aggregates log-volume counters, reported by experiment E5 (the
+// paper's §2.3.1/§4 logging-overhead claims).
+type Stats struct {
+	Records uint64
+	Bytes   uint64
+	Forces  uint64
+	// Per-type record counts and bytes.
+	ByType [numRecTypes]TypeStats
+}
+
+// TypeStats counts records and payload bytes of one record type.
+type TypeStats struct {
+	Records uint64
+	Bytes   uint64
+}
+
+// Delta returns s minus prev, counter-wise.
+func (s Stats) Delta(prev Stats) Stats {
+	d := Stats{
+		Records: s.Records - prev.Records,
+		Bytes:   s.Bytes - prev.Bytes,
+		Forces:  s.Forces - prev.Forces,
+	}
+	for i := range s.ByType {
+		d.ByType[i] = TypeStats{
+			Records: s.ByType[i].Records - prev.ByType[i].Records,
+			Bytes:   s.ByType[i].Bytes - prev.ByType[i].Bytes,
+		}
+	}
+	return d
+}
+
+// TypeStat returns the counters for one record type.
+func (s *Stats) TypeStat(t RecType) TypeStats { return s.ByType[t] }
+
+// Open opens (or creates) the log on fs. Existing log contents are scanned
+// to find the end of the valid log; a torn record at the tail (from a crash
+// during an unforced write) is discarded.
+func Open(fs vfs.FS) (*Log, error) {
+	var f vfs.File
+	exists, err := fs.Exists(logFileName)
+	if err != nil {
+		return nil, err
+	}
+	if exists {
+		f, err = fs.Open(logFileName)
+	} else {
+		f, err = fs.Create(logFileName)
+		if err == nil {
+			err = f.Sync() // make the log file's existence durable immediately
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{f: f, nextLSN: 1, flushed: 1}
+	if exists {
+		if err := l.recoverTail(); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// recoverTail scans the durable log to find its valid end and positions
+// nextLSN/flushed there.
+func (l *Log) recoverTail() error {
+	size, err := l.f.Size()
+	if err != nil {
+		return err
+	}
+	data := make([]byte, size)
+	if size > 0 {
+		if _, err := l.f.ReadAt(data, 0); err != nil && err != io.EOF {
+			return err
+		}
+	}
+	off := 0
+	for off < len(data) {
+		_, n, err := decodeRecord(data[off:])
+		if err != nil {
+			break // torn tail: log ends here
+		}
+		off += n
+	}
+	l.nextLSN = types.LSN(off) + 1
+	l.flushed = l.nextLSN
+	// Drop any torn tail so future appends land on a clean boundary.
+	if int64(off) != size {
+		if err := l.f.Truncate(int64(off)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Append assigns the next LSN to r, buffers its encoding, and returns the
+// LSN. The record is not durable until Force reaches it.
+func (l *Log) Append(r *Record) (types.LSN, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r.LSN = l.nextLSN
+	l.buf = r.encode(l.buf)
+	l.nextLSN += types.LSN(r.EncodedSize())
+	l.stats.Records++
+	l.stats.Bytes += uint64(r.EncodedSize())
+	if int(r.Type) < len(l.stats.ByType) {
+		l.stats.ByType[r.Type].Records++
+		l.stats.ByType[r.Type].Bytes += uint64(r.EncodedSize())
+	}
+	return r.LSN, nil
+}
+
+// Force makes every record with LSN <= lsn durable. Passing the latest LSN
+// (or types.LSN(^uint64(0))) forces the whole log.
+func (l *Log) Force(lsn types.LSN) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if lsn < l.flushed || len(l.buf) == 0 {
+		return nil // already durable
+	}
+	if _, err := l.f.WriteAt(l.buf, int64(l.flushed-1)); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.flushed += types.LSN(len(l.buf))
+	l.buf = l.buf[:0]
+	l.stats.Forces++
+	return nil
+}
+
+// FlushedLSN returns the first LSN that is NOT yet durable: every record
+// with LSN < FlushedLSN survives a crash.
+func (l *Log) FlushedLSN() types.LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushed
+}
+
+// NextLSN returns the LSN the next appended record will receive.
+func (l *Log) NextLSN() types.LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// Stats returns a snapshot of the log-volume counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Close closes the underlying file without forcing (a deliberate crash
+// leaves unforced records volatile).
+func (l *Log) Close() error { return l.f.Close() }
+
+// WriteMaster durably records the LSN of the latest checkpoint record in the
+// master file, which restart recovery reads first (ARIES master record).
+func WriteMaster(fs vfs.FS, lsn types.LSN) error {
+	f, err := fs.Create(masterFileName)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(lsn))
+	if _, err := f.WriteAt(buf[:], 0); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// ReadMaster returns the checkpoint LSN recorded by WriteMaster, or NilLSN
+// if no master record exists (log scanned from the beginning).
+func ReadMaster(fs vfs.FS) (types.LSN, error) {
+	exists, err := fs.Exists(masterFileName)
+	if err != nil || !exists {
+		return types.NilLSN, err
+	}
+	f, err := fs.Open(masterFileName)
+	if err != nil {
+		return types.NilLSN, err
+	}
+	defer f.Close()
+	var buf [8]byte
+	if _, err := f.ReadAt(buf[:], 0); err != nil && err != io.EOF {
+		return types.NilLSN, err
+	}
+	return types.LSN(binary.LittleEndian.Uint64(buf[:])), nil
+}
+
+// Iterator reads log records in LSN order. It reads through the volatile
+// file image, so within one incarnation it also sees unforced records; after
+// a crash the file only contains what was forced.
+type Iterator struct {
+	data []byte
+	base types.LSN // LSN of data[0]
+	off  int
+}
+
+// NewIterator returns an iterator positioned at `from` (use 1 or the
+// checkpoint LSN). It snapshots the current log contents.
+func (l *Log) NewIterator(from types.LSN) (*Iterator, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from == types.NilLSN {
+		from = 1
+	}
+	size, err := l.f.Size()
+	if err != nil {
+		return nil, err
+	}
+	data := make([]byte, size, int(size)+len(l.buf))
+	if size > 0 {
+		if _, err := l.f.ReadAt(data, 0); err != nil && err != io.EOF {
+			return nil, err
+		}
+	}
+	data = append(data, l.buf...)
+	if from-1 > types.LSN(len(data)) {
+		return nil, fmt.Errorf("wal: iterator start %d beyond log end %d", from, len(data)+1)
+	}
+	return &Iterator{data: data[from-1:], base: from}, nil
+}
+
+// Next returns the next record, or ok=false at the end of the log.
+func (it *Iterator) Next() (Record, bool, error) {
+	if it.off >= len(it.data) {
+		return Record{}, false, nil
+	}
+	r, n, err := decodeRecord(it.data[it.off:])
+	if err != nil {
+		if errors.Is(err, errTruncated) {
+			return Record{}, false, nil // clean end / torn tail
+		}
+		return Record{}, false, err
+	}
+	r.LSN = it.base + types.LSN(it.off)
+	it.off += n
+	return r, true, nil
+}
+
+// ReadAt returns the single record stored at the given LSN. Rollback uses it
+// to walk a transaction's PrevLSN chain.
+func (l *Log) ReadAt(lsn types.LSN) (Record, error) {
+	it, err := l.NewIterator(lsn)
+	if err != nil {
+		return Record{}, err
+	}
+	r, ok, err := it.Next()
+	if err != nil {
+		return Record{}, err
+	}
+	if !ok {
+		return Record{}, fmt.Errorf("wal: no record at LSN %d", lsn)
+	}
+	return r, nil
+}

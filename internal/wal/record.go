@@ -1,0 +1,230 @@
+// Package wal implements the write-ahead log the paper assumes for recovery
+// (§1.1): "The undo (respectively, redo) portion of a log record provides
+// information on how to undo (respectively, redo) changes performed by the
+// transaction. A log record which contains both the undo and the redo
+// information is called an undo-redo log record. Sometimes, a log record may
+// be written to contain only the redo information or only the undo
+// information."
+//
+// The design follows ARIES: every log record carries the transaction's
+// PrevLSN to chain its records for rollback, compensation log records (CLRs)
+// carry an UndoNextLSN so rollbacks never undo an undo, and pages carry the
+// LSN of the last record applied to them so redo is idempotent. LSNs are
+// 1-based byte offsets in the log file. The wal package stores typed but
+// opaque payloads; the resource managers (heap, btree, sidefile, catalog,
+// index builder) define the payload formats and the redo/undo logic, which
+// the recovery package dispatches.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"onlineindex/internal/types"
+)
+
+// RecType identifies which resource-manager operation a log record describes.
+type RecType uint8
+
+// Log record types. The groups mirror the resource managers of the engine.
+const (
+	TypeInvalid RecType = iota
+
+	// Transaction control.
+	TypeCommit // transaction committed (forced)
+	TypeAbort  // rollback has begun
+	TypeEnd    // transaction fully ended (after commit or rollback)
+
+	// Fuzzy checkpoint. Payload: serialized txn table + dirty page table +
+	// catalog + index-build state. The master record points at the latest.
+	TypeCheckpoint
+
+	// Heap (data page) operations. Payloads defined in package heap.
+	TypeHeapFormat // format a new data page
+	TypeHeapInsert
+	TypeHeapDelete
+	TypeHeapUpdate
+
+	// B+-tree index operations. Payloads defined in package btree.
+	TypeIdxFormat      // format a new index page
+	TypeIdxInsert      // insert one key entry
+	TypeIdxMultiInsert // insert several key entries in one record (NSF IB, §2.3.1)
+	TypeIdxDelete      // physically remove an entry
+	TypeIdxPseudoDel   // set the pseudo-deleted flag on an entry (§2.1.2)
+	TypeIdxReactivate  // clear the pseudo-deleted flag (undo of a delete)
+	TypeIdxSetRID      // replace the RID of an existing entry (unique index, §2.2.3 example)
+	TypeIdxInsertNoop  // txn insert found the key already present: undo-only record (§2.1.1)
+	TypeIdxSplit       // page split (redo-only nested top action, never undone)
+	TypeIdxNewRoot     // root split / tree growth (redo-only)
+
+	// Side-file operations (SF algorithm, §3). Redo-only appends.
+	TypeSFFormat
+	TypeSFAppend
+
+	// Catalog / DDL.
+	TypeCreateTable
+	TypeCreateIndex      // index descriptor created (§2.2.1 / §3.2.1)
+	TypeDropIndex        // index dropped or build cancelled (§2.3.2)
+	TypeIndexStateChange // lifecycle transition (e.g. build complete, readable)
+
+	// Index-builder progress checkpoints (§2.2.3 / §3.2.4): highest key
+	// inserted, side-file position, rightmost branch.
+	TypeIBCheckpoint
+
+	numRecTypes // sentinel for stats arrays
+)
+
+var recTypeNames = map[RecType]string{
+	TypeCommit: "Commit", TypeAbort: "Abort", TypeEnd: "End",
+	TypeCheckpoint: "Checkpoint",
+	TypeHeapFormat: "HeapFormat", TypeHeapInsert: "HeapInsert",
+	TypeHeapDelete: "HeapDelete", TypeHeapUpdate: "HeapUpdate",
+	TypeIdxFormat: "IdxFormat", TypeIdxInsert: "IdxInsert",
+	TypeIdxMultiInsert: "IdxMultiInsert", TypeIdxDelete: "IdxDelete",
+	TypeIdxPseudoDel: "IdxPseudoDel", TypeIdxReactivate: "IdxReactivate",
+	TypeIdxSetRID: "IdxSetRID", TypeIdxInsertNoop: "IdxInsertNoop",
+	TypeIdxSplit: "IdxSplit", TypeIdxNewRoot: "IdxNewRoot",
+	TypeSFFormat: "SFFormat", TypeSFAppend: "SFAppend",
+	TypeCreateTable: "CreateTable", TypeCreateIndex: "CreateIndex",
+	TypeDropIndex: "DropIndex", TypeIndexStateChange: "IndexStateChange",
+	TypeIBCheckpoint: "IBCheckpoint",
+}
+
+func (t RecType) String() string {
+	if n, ok := recTypeNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("RecType(%d)", uint8(t))
+}
+
+// Flags describe a record's redo/undo capabilities per the paper's
+// terminology: an undo-redo record has both bits, a redo-only record has
+// only FlagRedo, an undo-only record has only FlagUndo.
+type Flags uint8
+
+// Flag bits.
+const (
+	FlagRedo Flags = 1 << iota // record carries redo information
+	FlagUndo                   // record carries undo information
+	FlagCLR                    // record is a compensation log record
+)
+
+func (f Flags) String() string {
+	s := ""
+	if f&FlagRedo != 0 {
+		s += "R"
+	}
+	if f&FlagUndo != 0 {
+		s += "U"
+	}
+	if f&FlagCLR != 0 {
+		s += "C"
+	}
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// Record is one log record. LSN is assigned by Log.Append.
+type Record struct {
+	LSN      types.LSN
+	PrevLSN  types.LSN // previous record of the same transaction (NilLSN if first)
+	UndoNext types.LSN // CLRs only: next record of this txn to undo
+	TxnID    types.TxnID
+	Type     RecType
+	Flags    Flags
+	PageID   types.PageID // page the redo applies to (zero for logical/control records)
+	Payload  []byte       // resource-manager-specific body
+}
+
+// Redoable reports whether the record carries redo information.
+func (r *Record) Redoable() bool { return r.Flags&FlagRedo != 0 }
+
+// Undoable reports whether the record carries undo information. CLRs are
+// never undoable regardless of flags.
+func (r *Record) Undoable() bool { return r.Flags&FlagUndo != 0 && r.Flags&FlagCLR == 0 }
+
+// IsCLR reports whether the record is a compensation log record.
+func (r *Record) IsCLR() bool { return r.Flags&FlagCLR != 0 }
+
+func (r *Record) String() string {
+	return fmt.Sprintf("LSN=%d %s %s txn=%d prev=%d page=%s len=%d",
+		r.LSN, r.Type, r.Flags, r.TxnID, r.PrevLSN, r.PageID, len(r.Payload))
+}
+
+// Wire layout of one record:
+//
+//	totalLen  uint32   (header + payload, excluding this length field and crc)
+//	crc       uint32   (castagnoli, over everything after the crc field)
+//	type      uint8
+//	flags     uint8
+//	txnID     uint64
+//	prevLSN   uint64
+//	undoNext  uint64
+//	pageFile  uint32
+//	pageNum   uint32
+//	payload   [totalLen-34]byte
+const (
+	lenSize    = 4
+	crcSize    = 4
+	fixedSize  = 1 + 1 + 8 + 8 + 8 + 4 + 4 // type..pageNum = 34
+	headerSize = lenSize + crcSize + fixedSize
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// EncodedSize returns the number of log bytes r will occupy.
+func (r *Record) EncodedSize() int { return headerSize + len(r.Payload) }
+
+func (r *Record) encode(dst []byte) []byte {
+	total := uint32(fixedSize + len(r.Payload))
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], total)
+	hdr[8] = uint8(r.Type)
+	hdr[9] = uint8(r.Flags)
+	binary.LittleEndian.PutUint64(hdr[10:], uint64(r.TxnID))
+	binary.LittleEndian.PutUint64(hdr[18:], uint64(r.PrevLSN))
+	binary.LittleEndian.PutUint64(hdr[26:], uint64(r.UndoNext))
+	binary.LittleEndian.PutUint32(hdr[34:], uint32(r.PageID.File))
+	binary.LittleEndian.PutUint32(hdr[38:], uint32(r.PageID.Page))
+	crc := crc32.Update(0, crcTable, hdr[8:])
+	crc = crc32.Update(crc, crcTable, r.Payload)
+	binary.LittleEndian.PutUint32(hdr[4:], crc)
+	dst = append(dst, hdr[:]...)
+	return append(dst, r.Payload...)
+}
+
+// decodeRecord parses one record from b. It returns the record, the number
+// of bytes consumed, and an error if the bytes do not form a valid record
+// (torn write at the end of the log).
+func decodeRecord(b []byte) (Record, int, error) {
+	if len(b) < headerSize {
+		return Record{}, 0, errTruncated
+	}
+	total := binary.LittleEndian.Uint32(b[0:])
+	if total < fixedSize || int(total) > len(b)-lenSize-crcSize {
+		return Record{}, 0, errTruncated
+	}
+	wantCRC := binary.LittleEndian.Uint32(b[4:])
+	end := lenSize + crcSize + int(total)
+	if crc32.Checksum(b[8:end], crcTable) != wantCRC {
+		return Record{}, 0, errBadCRC
+	}
+	r := Record{
+		Type:     RecType(b[8]),
+		Flags:    Flags(b[9]),
+		TxnID:    types.TxnID(binary.LittleEndian.Uint64(b[10:])),
+		PrevLSN:  types.LSN(binary.LittleEndian.Uint64(b[18:])),
+		UndoNext: types.LSN(binary.LittleEndian.Uint64(b[26:])),
+		PageID: types.PageID{
+			File: types.FileID(binary.LittleEndian.Uint32(b[34:])),
+			Page: types.PageNum(binary.LittleEndian.Uint32(b[38:])),
+		},
+	}
+	if int(total) > fixedSize {
+		r.Payload = append([]byte(nil), b[headerSize:end]...)
+	}
+	return r, end, nil
+}

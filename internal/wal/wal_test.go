@@ -1,0 +1,260 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"onlineindex/internal/types"
+	"onlineindex/internal/vfs"
+)
+
+func TestAppendAssignsMonotonicLSNs(t *testing.T) {
+	l, err := Open(vfs.NewMemFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last types.LSN
+	for i := 0; i < 100; i++ {
+		lsn, err := l.Append(&Record{Type: TypeHeapInsert, TxnID: 1, Flags: FlagRedo | FlagUndo,
+			Payload: bytes.Repeat([]byte{byte(i)}, i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn <= last {
+			t.Fatalf("LSN %d not > previous %d", lsn, last)
+		}
+		last = lsn
+	}
+}
+
+func TestIteratorRoundTrip(t *testing.T) {
+	l, _ := Open(vfs.NewMemFS())
+	want := []Record{
+		{Type: TypeHeapInsert, TxnID: 1, Flags: FlagRedo | FlagUndo, PageID: types.PageID{File: 2, Page: 3}, Payload: []byte("alpha")},
+		{Type: TypeIdxPseudoDel, TxnID: 2, Flags: FlagRedo | FlagUndo, PrevLSN: 1, Payload: []byte("beta")},
+		{Type: TypeCommit, TxnID: 1, Flags: FlagRedo},
+		{Type: TypeIdxDelete, TxnID: 2, Flags: FlagRedo | FlagCLR, UndoNext: 7, Payload: nil},
+	}
+	for i := range want {
+		if _, err := l.Append(&want[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := l.NewIterator(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		r, ok, err := it.Next()
+		if err != nil || !ok {
+			t.Fatalf("record %d: ok=%v err=%v", i, ok, err)
+		}
+		if r.LSN != want[i].LSN {
+			t.Errorf("record %d LSN = %d, want %d", i, r.LSN, want[i].LSN)
+		}
+		if r.Type != want[i].Type || r.TxnID != want[i].TxnID || r.Flags != want[i].Flags ||
+			r.PrevLSN != want[i].PrevLSN || r.UndoNext != want[i].UndoNext ||
+			r.PageID != want[i].PageID || !bytes.Equal(r.Payload, want[i].Payload) {
+			t.Errorf("record %d = %+v, want %+v", i, r, want[i])
+		}
+	}
+	if _, ok, _ := it.Next(); ok {
+		t.Error("iterator should be exhausted")
+	}
+}
+
+func TestReadAt(t *testing.T) {
+	l, _ := Open(vfs.NewMemFS())
+	var lsns []types.LSN
+	for i := 0; i < 10; i++ {
+		lsn, _ := l.Append(&Record{Type: TypeHeapUpdate, TxnID: types.TxnID(i), Flags: FlagRedo | FlagUndo,
+			Payload: []byte(fmt.Sprintf("payload-%d", i))})
+		lsns = append(lsns, lsn)
+	}
+	for i, lsn := range lsns {
+		r, err := l.ReadAt(lsn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.TxnID != types.TxnID(i) || string(r.Payload) != fmt.Sprintf("payload-%d", i) {
+			t.Errorf("ReadAt(%d) = %+v", lsn, r)
+		}
+	}
+}
+
+func TestCrashLosesUnforcedTail(t *testing.T) {
+	fs := vfs.NewMemFS()
+	l, _ := Open(fs)
+	l.Append(&Record{Type: TypeHeapInsert, TxnID: 1, Flags: FlagRedo, Payload: []byte("durable")})
+	forceUpTo := l.NextLSN() - 1
+	if err := l.Force(forceUpTo); err != nil {
+		t.Fatal(err)
+	}
+	l.Append(&Record{Type: TypeHeapInsert, TxnID: 1, Flags: FlagRedo, Payload: []byte("volatile")})
+
+	fs.Crash()
+	fs.Recover()
+
+	l2, err := Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, _ := l2.NewIterator(1)
+	var got []string
+	for {
+		r, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, string(r.Payload))
+	}
+	if len(got) != 1 || got[0] != "durable" {
+		t.Fatalf("after crash records = %v, want [durable]", got)
+	}
+	// New appends continue at the recovered tail.
+	lsn, _ := l2.Append(&Record{Type: TypeCommit, TxnID: 1, Flags: FlagRedo})
+	if lsn == types.NilLSN {
+		t.Fatal("append after recovery failed")
+	}
+}
+
+func TestForceIdempotentAndFlushedLSN(t *testing.T) {
+	l, _ := Open(vfs.NewMemFS())
+	lsn, _ := l.Append(&Record{Type: TypeCommit, TxnID: 1, Flags: FlagRedo})
+	if l.FlushedLSN() > lsn {
+		t.Fatal("record should not be durable before force")
+	}
+	if err := l.Force(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if l.FlushedLSN() <= lsn {
+		t.Fatalf("FlushedLSN = %d, want > %d", l.FlushedLSN(), lsn)
+	}
+	st := l.Stats()
+	if err := l.Force(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if l.Stats().Forces != st.Forces {
+		t.Error("second force of same LSN should be a no-op")
+	}
+}
+
+func TestMasterRecord(t *testing.T) {
+	fs := vfs.NewMemFS()
+	if lsn, err := ReadMaster(fs); err != nil || lsn != types.NilLSN {
+		t.Fatalf("empty master = %d, %v", lsn, err)
+	}
+	if err := WriteMaster(fs, 12345); err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := ReadMaster(fs)
+	if err != nil || lsn != 12345 {
+		t.Fatalf("master = %d, %v; want 12345", lsn, err)
+	}
+	// Master survives crash (it is synced).
+	fs.Crash()
+	fs.Recover()
+	lsn, err = ReadMaster(fs)
+	if err != nil || lsn != 12345 {
+		t.Fatalf("master after crash = %d, %v; want 12345", lsn, err)
+	}
+}
+
+func TestStatsByType(t *testing.T) {
+	l, _ := Open(vfs.NewMemFS())
+	before := l.Stats()
+	l.Append(&Record{Type: TypeIdxInsert, TxnID: 1, Flags: FlagRedo | FlagUndo, Payload: make([]byte, 10)})
+	l.Append(&Record{Type: TypeIdxInsert, TxnID: 1, Flags: FlagRedo | FlagUndo, Payload: make([]byte, 20)})
+	l.Append(&Record{Type: TypeCommit, TxnID: 1, Flags: FlagRedo})
+	d := l.Stats().Delta(before)
+	if d.Records != 3 {
+		t.Fatalf("records = %d, want 3", d.Records)
+	}
+	ins := d.TypeStat(TypeIdxInsert)
+	if ins.Records != 2 {
+		t.Fatalf("IdxInsert records = %d, want 2", ins.Records)
+	}
+	if ins.Bytes != uint64(2*headerSize+30) {
+		t.Fatalf("IdxInsert bytes = %d, want %d", ins.Bytes, 2*headerSize+30)
+	}
+}
+
+func TestRecordFlagClassification(t *testing.T) {
+	undoRedo := Record{Flags: FlagRedo | FlagUndo}
+	if !undoRedo.Redoable() || !undoRedo.Undoable() {
+		t.Error("undo-redo record misclassified")
+	}
+	redoOnly := Record{Flags: FlagRedo}
+	if !redoOnly.Redoable() || redoOnly.Undoable() {
+		t.Error("redo-only record misclassified")
+	}
+	undoOnly := Record{Flags: FlagUndo}
+	if undoOnly.Redoable() || !undoOnly.Undoable() {
+		t.Error("undo-only record misclassified")
+	}
+	clr := Record{Flags: FlagRedo | FlagUndo | FlagCLR}
+	if clr.Undoable() {
+		t.Error("CLR must never be undoable")
+	}
+	if !clr.IsCLR() {
+		t.Error("IsCLR false")
+	}
+}
+
+func TestPropertyEncodeDecodeRecord(t *testing.T) {
+	f := func(typ uint8, flags uint8, txn uint64, prev, undoNext uint64, file, page uint32, payload []byte) bool {
+		r := Record{
+			Type:     RecType(typ),
+			Flags:    Flags(flags),
+			TxnID:    types.TxnID(txn),
+			PrevLSN:  types.LSN(prev),
+			UndoNext: types.LSN(undoNext),
+			PageID:   types.PageID{File: types.FileID(file), Page: types.PageNum(page)},
+			Payload:  payload,
+		}
+		enc := r.encode(nil)
+		dec, n, err := decodeRecord(enc)
+		if err != nil || n != len(enc) {
+			return false
+		}
+		return dec.Type == r.Type && dec.Flags == r.Flags && dec.TxnID == r.TxnID &&
+			dec.PrevLSN == r.PrevLSN && dec.UndoNext == r.UndoNext && dec.PageID == r.PageID &&
+			bytes.Equal(dec.Payload, r.Payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeCorruptRecord(t *testing.T) {
+	r := Record{Type: TypeHeapInsert, Flags: FlagRedo, Payload: []byte("hello")}
+	enc := r.encode(nil)
+	// Flip a payload byte: CRC must catch it.
+	enc[len(enc)-1] ^= 0xFF
+	if _, _, err := decodeRecord(enc); err == nil {
+		t.Error("corrupted record decoded without error")
+	}
+	// Truncated header.
+	if _, _, err := decodeRecord(enc[:10]); err == nil {
+		t.Error("truncated record decoded without error")
+	}
+}
+
+func TestIteratorFromMidLog(t *testing.T) {
+	l, _ := Open(vfs.NewMemFS())
+	l.Append(&Record{Type: TypeHeapInsert, TxnID: 1, Flags: FlagRedo, Payload: []byte("first")})
+	second, _ := l.Append(&Record{Type: TypeHeapInsert, TxnID: 2, Flags: FlagRedo, Payload: []byte("second")})
+	it, err := l.NewIterator(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok, _ := it.Next()
+	if !ok || string(r.Payload) != "second" {
+		t.Fatalf("mid-log iterator got %+v ok=%v", r, ok)
+	}
+}

@@ -1,0 +1,330 @@
+// Package workload generates the table populations and concurrent update
+// streams the experiment harness runs against the engine: deterministic
+// row populations, configurable insert/delete/update mixes with rollback
+// fractions, optional target rates, and per-window throughput timelines for
+// the availability experiments.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"onlineindex/internal/catalog"
+	"onlineindex/internal/engine"
+	"onlineindex/internal/keyenc"
+	"onlineindex/internal/lock"
+	"onlineindex/internal/types"
+)
+
+// Schema is the standard experiment table: a synthetic "orders" table with
+// an integer id, a string key column indexes are built over, and a filler
+// column controlling record size.
+func Schema() catalog.Schema {
+	return catalog.Schema{
+		{Name: "id", Kind: keyenc.KindInt64},
+		{Name: "key", Kind: keyenc.KindString},
+		{Name: "filler", Kind: keyenc.KindString},
+	}
+}
+
+// RowOf builds one experiment row. Keys are generated so their sort order is
+// uncorrelated with insertion order (hashed), which is the hard case for
+// index builds.
+func RowOf(id int64, fillerLen int) engine.Row {
+	return engine.Row{
+		keyenc.Int64(id),
+		keyenc.String(KeyOf(id)),
+		keyenc.String(filler(id, fillerLen)),
+	}
+}
+
+// KeyOf is the key column value for an id: a hash-prefixed string so
+// key order is independent of id order.
+func KeyOf(id int64) string {
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return fmt.Sprintf("k%016x-%08d", h, id)
+}
+
+func filler(id int64, n int) string {
+	if n <= 0 {
+		n = 16
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = 'a' + byte((uint64(id)+uint64(i))%26)
+	}
+	return string(b)
+}
+
+// Populate fills the table with n rows (ids 0..n-1) and returns their RIDs.
+// Rows are committed in batches of 100 — population is setup, not the
+// workload under measurement, so per-row commit forcing would only slow the
+// experiments down.
+func Populate(db *engine.DB, table string, n, fillerLen int) ([]types.RID, error) {
+	rids := make([]types.RID, 0, n)
+	const batch = 100
+	for i := 0; i < n; {
+		tx := db.Begin()
+		for j := 0; j < batch && i < n; j++ {
+			rid, err := db.Insert(tx, table, RowOf(int64(i), fillerLen))
+			if err != nil {
+				tx.Rollback()
+				return nil, err
+			}
+			rids = append(rids, rid)
+			i++
+		}
+		if err := tx.Commit(); err != nil {
+			return nil, err
+		}
+	}
+	return rids, nil
+}
+
+// Mix is an operation mix in percent (must sum to <= 100; the remainder is
+// point reads).
+type Mix struct {
+	InsertPct   int
+	DeletePct   int
+	UpdatePct   int
+	RollbackPct int // fraction of update transactions that roll back
+}
+
+// DefaultMix is a balanced insert/delete/update mix.
+var DefaultMix = Mix{InsertPct: 34, DeletePct: 33, UpdatePct: 33, RollbackPct: 5}
+
+// Stats summarizes a workload run.
+type Stats struct {
+	Ops       uint64
+	Commits   uint64
+	Rollbacks uint64
+	Inserts   uint64
+	Deletes   uint64
+	Updates   uint64
+	Reads     uint64
+	Errors    uint64
+	Deadlocks uint64 // deadlock victims (rolled back and continued)
+	Elapsed   time.Duration
+	// MaxStall is the longest observed single-operation latency — during an
+	// offline build this is roughly the build duration (updates block on
+	// the table lock).
+	MaxStall time.Duration
+}
+
+// Throughput returns committed transactions per second.
+func (s Stats) Throughput() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Commits) / s.Elapsed.Seconds()
+}
+
+// Runner drives concurrent update transactions against one table.
+type Runner struct {
+	db      *engine.DB
+	table   string
+	workers int
+	mix     Mix
+	// Pace is an optional per-operation sleep that turns the closed loop
+	// into an arrival process: without it the workers saturate every core
+	// and starve whatever they run alongside (an index builder, say), which
+	// models a stress test rather than an OLTP system.
+	Pace time.Duration
+	// windowLen buckets committed ops for the availability timeline.
+	windowLen time.Duration
+
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	start     time.Time
+	ops       atomic.Uint64
+	commits   atomic.Uint64
+	rolls     atomic.Uint64
+	ins       atomic.Uint64
+	dels      atomic.Uint64
+	upds      atomic.Uint64
+	reads     atomic.Uint64
+	errors    atomic.Uint64
+	deadlocks atomic.Uint64
+	maxNano   atomic.Int64
+
+	mu      sync.Mutex
+	windows []uint64 // commits per window
+	errs    []error
+
+	prepopulated []types.RID
+}
+
+// NewRunner prepares a workload over the pre-populated rids.
+func NewRunner(db *engine.DB, table string, rids []types.RID, workers int, mix Mix) *Runner {
+	r := &Runner{
+		db: db, table: table, workers: workers, mix: mix,
+		windowLen: 50 * time.Millisecond,
+		stop:      make(chan struct{}),
+	}
+	r.prepopulated = rids
+	return r
+}
+
+// Start launches the workers.
+func (r *Runner) Start() {
+	r.start = time.Now()
+	per := len(r.prepopulated) / max(1, r.workers)
+	for w := 0; w < r.workers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if w == r.workers-1 {
+			hi = len(r.prepopulated)
+		}
+		mine := append([]types.RID(nil), r.prepopulated[lo:hi]...)
+		r.wg.Add(1)
+		go r.work(w, mine)
+	}
+}
+
+// Stop halts the workers and returns the stats.
+func (r *Runner) Stop() Stats {
+	close(r.stop)
+	r.wg.Wait()
+	st := Stats{
+		Ops: r.ops.Load(), Commits: r.commits.Load(), Rollbacks: r.rolls.Load(),
+		Inserts: r.ins.Load(), Deletes: r.dels.Load(), Updates: r.upds.Load(),
+		Reads: r.reads.Load(), Errors: r.errors.Load(),
+		Deadlocks: r.deadlocks.Load(),
+		Elapsed:   time.Since(r.start),
+		MaxStall:  time.Duration(r.maxNano.Load()),
+	}
+	return st
+}
+
+// Errs returns the first few operation errors (normally empty).
+func (r *Runner) Errs() []error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]error(nil), r.errs...)
+}
+
+// Timeline returns commits per window since Start.
+func (r *Runner) Timeline() []uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]uint64(nil), r.windows...)
+}
+
+func (r *Runner) noteCommit() {
+	r.commits.Add(1)
+	w := int(time.Since(r.start) / r.windowLen)
+	r.mu.Lock()
+	for len(r.windows) <= w {
+		r.windows = append(r.windows, 0)
+	}
+	r.windows[w]++
+	r.mu.Unlock()
+}
+
+func (r *Runner) noteErr(err error) {
+	r.errors.Add(1)
+	r.mu.Lock()
+	if len(r.errs) < 8 {
+		r.errs = append(r.errs, err)
+	}
+	r.mu.Unlock()
+}
+
+func (r *Runner) work(w int, mine []types.RID) {
+	defer r.wg.Done()
+	rng := rand.New(rand.NewSource(int64(w)*7919 + 13))
+	nextID := int64(10_000_000) + int64(w)*1_000_000
+	for {
+		select {
+		case <-r.stop:
+			return
+		default:
+		}
+		if r.Pace > 0 {
+			time.Sleep(r.Pace)
+		}
+		opStart := time.Now()
+		p := rng.Intn(100)
+		rollback := rng.Intn(100) < r.mix.RollbackPct
+		tx := r.db.Begin()
+		var err error
+		var did *atomic.Uint64
+		var undoTrack func()
+		switch {
+		case p < r.mix.InsertPct:
+			nextID++
+			var rid types.RID
+			rid, err = r.db.Insert(tx, r.table, RowOf(nextID, 16))
+			did = &r.ins
+			if err == nil && !rollback {
+				undoTrack = func() { mine = append(mine, rid) }
+			}
+		case p < r.mix.InsertPct+r.mix.DeletePct && len(mine) > 0:
+			k := rng.Intn(len(mine))
+			err = r.db.Delete(tx, r.table, mine[k])
+			did = &r.dels
+			if err == nil && !rollback {
+				undoTrack = func() { mine = append(mine[:k], mine[k+1:]...) }
+			}
+		case p < r.mix.InsertPct+r.mix.DeletePct+r.mix.UpdatePct && len(mine) > 0:
+			k := rng.Intn(len(mine))
+			nextID++
+			var newRID types.RID
+			newRID, err = r.db.Update(tx, r.table, mine[k], RowOf(nextID, 16))
+			did = &r.upds
+			if err == nil && !rollback {
+				undoTrack = func() { mine[k] = newRID }
+			}
+		default:
+			if len(mine) > 0 {
+				_, _, err = r.db.Get(tx, r.table, mine[rng.Intn(len(mine))])
+			}
+			did = &r.reads
+			rollback = true // reads just release
+		}
+		if err != nil {
+			tx.Rollback()
+			if errors.Is(err, lock.ErrDeadlock) {
+				// Chosen as a deadlock victim: roll back and move on, as any
+				// application would.
+				r.deadlocks.Add(1)
+				continue
+			}
+			r.noteErr(err)
+			continue
+		}
+		if rollback {
+			if err := tx.Rollback(); err != nil {
+				r.noteErr(err)
+				continue
+			}
+			r.rolls.Add(1)
+		} else {
+			if err := tx.Commit(); err != nil {
+				r.noteErr(err)
+				continue
+			}
+			if undoTrack != nil {
+				undoTrack()
+			}
+			r.noteCommit()
+		}
+		r.ops.Add(1)
+		if did != nil {
+			did.Add(1)
+		}
+		if d := time.Since(opStart); int64(d) > r.maxNano.Load() {
+			r.maxNano.Store(int64(d))
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
