@@ -3,12 +3,16 @@
 //
 // Usage:
 //
-//	benchtab                # run every experiment at full scale
-//	benchtab -run E4,E5     # run a subset
-//	benchtab -scale 0.2     # shrink table sizes for a quick pass
+//	benchtab                      # run every experiment at full scale
+//	benchtab -run E4,E5           # run a subset
+//	benchtab -scale 0.2           # shrink table sizes for a quick pass
+//	benchtab -workers 4           # scan-pipeline workers for build experiments
+//	benchtab -buildbench 200000   # worker-scaling build benchmark; writes
+//	                              # BENCH_build.json (workers 1 and -workers N)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +25,9 @@ import (
 func main() {
 	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
 	scale := flag.Float64("scale", 1.0, "table-size scale factor")
+	workers := flag.Int("workers", 1, "scan-pipeline key-extraction workers (core.Options.ScanWorkers)")
+	buildBench := flag.Int("buildbench", 0, "run the build benchmark on a table of this many rows and write -out (skips experiments)")
+	out := flag.String("out", "BENCH_build.json", "output path for the -buildbench JSON records")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -28,6 +35,33 @@ func main() {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 		}
+		return
+	}
+
+	cfg := experiments.Config{Scale: *scale, Workers: *workers, Out: os.Stdout}
+
+	if *buildBench > 0 {
+		// Compare serial against the requested worker count (one record per
+		// method and worker count) and emit machine-readable results.
+		counts := []int{1}
+		if *workers > 1 {
+			counts = append(counts, *workers)
+		}
+		recs, err := experiments.BuildBench(cfg, *buildBench, counts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: buildbench failed: %v\n", err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(recs, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d records to %s\n", len(recs), *out)
 		return
 	}
 
@@ -45,7 +79,6 @@ func main() {
 		}
 	}
 
-	cfg := experiments.Config{Scale: *scale, Out: os.Stdout}
 	for _, e := range selected {
 		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
 		start := time.Now()

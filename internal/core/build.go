@@ -25,26 +25,39 @@ import (
 	"onlineindex/internal/enc"
 	"onlineindex/internal/engine"
 	"onlineindex/internal/extsort"
+	"onlineindex/internal/harness"
 	"onlineindex/internal/lock"
 	"onlineindex/internal/txn"
 	"onlineindex/internal/types"
 	"onlineindex/internal/wal"
 )
 
-// Options tunes an index build.
+// Options tunes an index build. The zero value of every field means "use
+// the documented default"; Validate rejects values that are out of range
+// (negative counts, an impossible fill factor) instead of silently
+// clamping them.
 type Options struct {
-	// SortMemory is the tournament-tree capacity in keys (default 4096).
+	// SortMemory is the tournament-tree capacity in keys.
+	// Default 4096; minimum 2 (replacement selection needs a tournament).
 	SortMemory int
-	// FillFactor is the bottom-up loader's node fill fraction (default 0.9).
+	// FillFactor is the bottom-up loader's node fill fraction, in (0, 1].
+	// Default 0.9.
 	FillFactor float64
-	// CheckpointPages: take a scan-phase checkpoint every N data pages
-	// (0 disables mid-scan checkpoints).
+	// CheckpointPages: take a scan-phase checkpoint every N data pages.
+	// Default 0: no mid-scan checkpoints.
 	CheckpointPages int
-	// CheckpointKeys: take an insert/load-phase checkpoint every N keys
-	// (0 disables).
+	// CheckpointKeys: take an insert/load-phase checkpoint every N keys.
+	// Default 0: no mid-insert checkpoints.
 	CheckpointKeys int
-	// BatchSize is the NSF multi-key insert batch (default 64).
+	// BatchSize is the NSF multi-key insert batch. Default 64.
 	BatchSize int
+	// ScanWorkers is the number of parallel key-extraction workers in the
+	// staged scan pipeline (see pipeline.go). Default 1: extraction runs
+	// inline on the scan goroutine. At any worker count the page visit and
+	// the sorter feed stay in strict page order, so the SF Current-RID
+	// invariant (§3.2.2) and the scan checkpoints are unaffected; workers
+	// only spread the key extraction between the two serial stages.
+	ScanWorkers int
 	// SortSideFile applies the side-file sorted ("for improved performance,
 	// IB could sort the entries of the side-file, without modifying the
 	// relative positions of the identical keys", §3.2.5). The tail appended
@@ -55,15 +68,52 @@ type Options struct {
 	GCAfterBuild bool
 }
 
+// ErrInvalidOptions tags every option-validation failure, so callers can
+// errors.Is for the whole class.
+var ErrInvalidOptions = errors.New("core: invalid build options")
+
+// Validate rejects option values that are out of range. Zero values are
+// valid everywhere (they select the documented defaults).
+func (o Options) Validate() error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("%w: "+format, append([]any{ErrInvalidOptions}, args...)...)
+	}
+	if o.SortMemory < 0 {
+		return fail("SortMemory %d is negative", o.SortMemory)
+	}
+	if o.SortMemory == 1 {
+		return fail("SortMemory 1: replacement selection needs a tournament of >= 2 keys")
+	}
+	if o.FillFactor < 0 || o.FillFactor > 1 {
+		return fail("FillFactor %v is outside (0, 1]", o.FillFactor)
+	}
+	if o.CheckpointPages < 0 {
+		return fail("CheckpointPages %d is negative", o.CheckpointPages)
+	}
+	if o.CheckpointKeys < 0 {
+		return fail("CheckpointKeys %d is negative", o.CheckpointKeys)
+	}
+	if o.BatchSize < 0 {
+		return fail("BatchSize %d is negative", o.BatchSize)
+	}
+	if o.ScanWorkers < 0 {
+		return fail("ScanWorkers %d is negative", o.ScanWorkers)
+	}
+	return nil
+}
+
 func (o Options) withDefaults() Options {
-	if o.SortMemory <= 0 {
+	if o.SortMemory == 0 {
 		o.SortMemory = 4096
 	}
-	if o.FillFactor <= 0 {
+	if o.FillFactor == 0 {
 		o.FillFactor = 0.9
 	}
-	if o.BatchSize <= 0 {
+	if o.BatchSize == 0 {
 		o.BatchSize = 64
+	}
+	if o.ScanWorkers == 0 {
+		o.ScanWorkers = 1
 	}
 	return o
 }
@@ -83,7 +133,11 @@ type Stats struct {
 	Insert          time.Duration // key insertion / bottom-up load
 	SideFile        time.Duration // side-file processing (SF)
 	QuiesceWait     time.Duration // time spent waiting to quiesce (NSF DDL / offline)
-	GC              struct {
+	// Pipeline breaks the scan phase down by pipeline stage (prefetch /
+	// extraction / sorter feed) so ScanSort's wall clock stays explainable
+	// when extraction fans out over Options.ScanWorkers.
+	Pipeline harness.PipelineStats
+	GC       struct {
 		Collected, Skipped int
 	}
 }
@@ -114,6 +168,9 @@ type builder struct {
 // for the online methods. It blocks until the index is complete (run it in
 // a goroutine to overlap with a workload).
 func Build(db *engine.DB, spec engine.CreateIndexSpec, opts Options) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	opts = opts.withDefaults()
 	b := &builder{db: db, opts: opts}
 	b.st.Method = spec.Method
@@ -300,52 +357,50 @@ func (b *builder) recordHasKey(rid types.RID, key []byte) (bool, error) {
 	return string(got) == string(key), nil
 }
 
-// extractAndSort runs the shared scan phase: visit data pages [from..end],
-// extract keys under the page share latch, feed the sorter, optionally
-// advance the SF Current-RID, and checkpoint periodically.
+// extractAndSort runs the shared scan phase over pages [from..end] through
+// the staged pipeline (pipeline.go): the page visitor S-latches pages in
+// order (advancing the SF Current-RID under the latch), ScanWorkers
+// extraction workers build the sort items, and the in-order sorter feed
+// takes a watermark checkpoint every CheckpointPages pages.
 func (b *builder) extractAndSort(sorter *extsort.Sorter, from, end types.PageNum, phase engine.IBPhase) error {
 	h, err := b.db.HeapOf(b.tbl.ID)
 	if err != nil {
 		return err
 	}
-	start := time.Now()
-	for pg := from; pg <= end; pg++ {
-		err := h.VisitPage(pg, func(rid types.RID, rec []byte) error {
-			key, err := engine.IndexKeyFromRecord(&b.ix, rec)
-			if err != nil {
-				return err
-			}
-			b.st.KeysExtracted++
-			return sorter.Add(encodeItem(key, rid))
-		}, func() error {
+	feeds := []*scanFeed{{ix: &b.ix, sorter: sorter, st: &b.st}}
+	var advance func(next types.PageNum)
+	if b.ctl != nil {
+		advance = func(next types.PageNum) {
 			// Under the page latch: advance Current-RID past the whole page
 			// so every later modification of it routes to the side-file.
-			if b.ctl != nil {
-				b.ctl.AdvanceCurrentRID(types.RID{PageID: types.PageID{File: b.tbl.FileID, Page: pg + 1}})
-			}
-			return nil
-		})
+			b.ctl.AdvanceCurrentRID(types.RID{PageID: types.PageID{File: b.tbl.FileID, Page: next}})
+		}
+	}
+	checkpoint := func(next types.PageNum) error {
+		ss, err := sorter.Checkpoint(scanPosition(next, end))
 		if err != nil {
 			return err
 		}
-		b.st.PagesScanned++
-		if b.opts.CheckpointPages > 0 && int(pg-from+1)%b.opts.CheckpointPages == 0 && pg != end {
-			ss, err := sorter.Checkpoint(scanPosition(pg+1, end))
-			if err != nil {
-				return err
-			}
-			st := engine.IBState{
-				Index: b.ix.ID, Phase: phase, EndPage: end,
-				SortState: ss.Encode(),
-			}
-			if b.ctl != nil {
-				st.CurrentRID = b.ctl.CurrentRID()
-			}
-			if err := b.rotate(st); err != nil {
-				return err
-			}
+		st := engine.IBState{
+			Index: b.ix.ID, Phase: phase, EndPage: end,
+			SortState: ss.Encode(),
 		}
+		if b.ctl != nil {
+			// The checkpoint covers exactly the drained watermark [from..next):
+			// the visitor may have prefetched further and advanced the live
+			// Current-RID with it, but recovery must restore the position that
+			// matches the sorter state, so resume rescans from `next` at any
+			// worker count. An update between the watermark and the prefetch
+			// head that reached the side-file before a crash is re-extracted
+			// by the resumed scan and absorbed by duplicate rejection, like
+			// the §3.2.2 race-window pages.
+			st.CurrentRID = types.RID{PageID: types.PageID{File: b.tbl.FileID, Page: next}}
+		}
+		return b.rotate(st)
 	}
+	start := time.Now()
+	err = pipelineScan(h, from, end, feeds, b.opts.ScanWorkers, advance,
+		b.opts.CheckpointPages, checkpoint)
 	b.st.ScanSort += time.Since(start)
-	return nil
+	return err
 }

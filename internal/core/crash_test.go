@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 	"time"
@@ -147,11 +148,129 @@ func crashAtPhaseStopEarly(t *testing.T, method catalog.BuildMethod, want, stopA
 
 func TestCrashAtScanPhaseAndResume(t *testing.T) {
 	for _, method := range []catalog.BuildMethod{catalog.MethodNSF, catalog.MethodSF} {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/workers=%d", method, workers), func(t *testing.T) {
+				ok := crashAtPhase(t, method, engine.IBPhaseScan, 6000,
+					Options{CheckpointPages: 2, CheckpointKeys: 100_000, ScanWorkers: workers})
+				if !ok {
+					t.Skip("build completed before the scan checkpoint was observed")
+				}
+			})
+		}
+	}
+}
+
+// TestCrashMidScanParallelResumeByteIdentical crashes a ScanWorkers=4 build
+// mid-scan, resumes it from the pipeline's watermark checkpoint (still at 4
+// workers), and requires the final index to be byte-identical — same entry
+// stream, same page count — to an uninterrupted single-worker build of an
+// identically populated table. This is what "checkpoints cover only the
+// drained watermark" buys: worker count and crash point are unobservable in
+// the result.
+func TestCrashMidScanParallelResumeByteIdentical(t *testing.T) {
+	const rows = 20_000
+	for _, method := range []catalog.BuildMethod{catalog.MethodNSF, catalog.MethodSF} {
 		t.Run(method.String(), func(t *testing.T) {
-			ok := crashAtPhase(t, method, engine.IBPhaseScan, 6000,
-				Options{CheckpointPages: 2, CheckpointKeys: 100_000})
-			if !ok {
-				t.Skip("build completed before the scan checkpoint was observed")
+			// Reference: uninterrupted, serial scan.
+			refDB, _ := newDB(t, rows)
+			refRes, err := Build(refDB, spec("by_name", method, false), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := indexEntries(t, refDB, "by_name")
+			refTree, err := refDB.TreeOf(refRes.Index.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refPages, err := refTree.PageCount()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Same table again; this build runs at 4 workers with frequent
+			// scan checkpoints (each checkpoint commit forces the log, which
+			// also keeps the scan phase long enough to crash into).
+			fs := vfs.NewMemFS()
+			db, err := engine.Open(engine.Config{FS: fs, PoolSize: 1024, TreeBudget: 1024})
+			if err != nil {
+				t.Fatal(err)
+			}
+			db.CreateTable("items", schema())
+			for i := 0; i < rows; i++ {
+				tx := db.Begin()
+				if _, err := db.Insert(tx, "items", rowOf(int64(i), nameOf(i), int64(i%97))); err != nil {
+					t.Fatal(err)
+				}
+				tx.Commit()
+			}
+			opts := Options{ScanWorkers: 4, CheckpointPages: 2, CheckpointKeys: 100_000}
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				defer func() { recover() }()
+				Build(db, spec("by_name", method, false), opts) //nolint:errcheck
+			}()
+			var ixID types.IndexID
+			deadline := time.Now().Add(20 * time.Second)
+			hit := false
+			for time.Now().Before(deadline) {
+				if ixID == 0 {
+					if ix, ok := db.Catalog().Index("by_name"); ok {
+						ixID = ix.ID
+					}
+				}
+				if ixID != 0 {
+					if ix, ok := db.Catalog().Index("by_name"); ok && ix.State == catalog.StateComplete {
+						break
+					}
+					if st := db.LastIBState(ixID); st != nil && st.Phase == engine.IBPhaseScan {
+						hit = true
+						break
+					}
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+			db.Crash()
+			<-done
+			if !hit {
+				t.Skip("build completed before a scan checkpoint was observed")
+			}
+
+			db2, err := engine.Recover(engine.Config{FS: fs, PoolSize: 1024, TreeBudget: 1024})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pending, err := db2.PendingBuilds()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pending) != 1 {
+				t.Fatalf("pending = %d, want 1", len(pending))
+			}
+			if pending[0].State == nil || pending[0].State.Phase != engine.IBPhaseScan {
+				t.Fatalf("recovered state = %+v, want mid-scan", pending[0].State)
+			}
+			if _, err := Resume(db2, pending[0], opts); err != nil {
+				t.Fatal(err)
+			}
+			if err := db2.CheckIndexConsistency("by_name"); err != nil {
+				t.Fatal(err)
+			}
+			got := indexEntries(t, db2, "by_name")
+			if !bytes.Equal(got, ref) {
+				t.Fatalf("resumed index entry stream differs from uninterrupted serial build (%d vs %d bytes)", len(got), len(ref))
+			}
+			ix2, _ := db2.Catalog().Index("by_name")
+			tree2, err := db2.TreeOf(ix2.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pages2, err := tree2.PageCount()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pages2 != refPages {
+				t.Fatalf("resumed index has %d pages, uninterrupted serial build had %d", pages2, refPages)
 			}
 		})
 	}

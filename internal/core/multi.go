@@ -25,6 +25,9 @@ func BuildMany(db *engine.DB, specs []engine.CreateIndexSpec, opts Options) ([]*
 	if len(specs) == 0 {
 		return nil, nil
 	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	opts = opts.withDefaults()
 	table, method := specs[0].Table, specs[0].Method
 	for _, s := range specs[1:] {
@@ -69,79 +72,52 @@ func BuildMany(db *engine.DB, specs []engine.CreateIndexSpec, opts Options) ([]*
 		builders[i] = b
 	}
 
-	// One shared scan feeding every sorter. For SF the scan chases the
-	// file's actual end before Current-RID goes to infinity (see
-	// builder.sfScan for why); for NSF the noted end is enough because
+	// One shared scan feeding every sorter through the staged pipeline —
+	// one feed per index, all fed from the same page batches, so each page
+	// is visited (and each record decoded per index) exactly once. For SF
+	// the scan chases the file's actual end before Current-RID goes to
+	// infinity (see chaseScan); for NSF the noted end is enough because
 	// transactions maintain the new indexes directly.
 	h, err := db.HeapOf(tbl.ID)
 	if err != nil {
 		return nil, err
 	}
 	sorters := make([]*extsort.Sorter, len(builders))
+	feeds := make([]*scanFeed, len(builders))
 	for i, b := range builders {
 		sorters[i] = extsort.NewSorter(db.FS(), sortPrefix(b.ix.ID), opts.SortMemory)
+		feeds[i] = &scanFeed{ix: &b.ix, sorter: sorters[i], st: &b.st}
+	}
+	advance := func(next types.PageNum) {
+		// Every index's Current-RID advances in lockstep under the page
+		// latch (the serial stage-1 visitor is the only caller).
+		for _, b := range builders {
+			if b.ctl != nil {
+				b.ctl.AdvanceCurrentRID(types.RID{PageID: types.PageID{File: tbl.FileID, Page: next}})
+			}
+		}
+	}
+	scanRange := func(from, to types.PageNum) error {
+		return pipelineScan(h, from, to, feeds, opts.ScanWorkers, advance, 0, nil)
 	}
 	start := time.Now()
-	scanRange := func(from, to types.PageNum) error {
-		for pg := from; pg <= to; pg++ {
-			err := h.VisitPage(pg, func(rid types.RID, rec []byte) error {
-				for i, b := range builders {
-					key, err := engine.IndexKeyFromRecord(&b.ix, rec)
-					if err != nil {
-						return err
-					}
-					b.st.KeysExtracted++
-					if err := sorters[i].Add(encodeItem(key, rid)); err != nil {
-						return err
-					}
-				}
-				return nil
-			}, func() error {
-				for _, b := range builders {
-					if b.ctl != nil {
-						b.ctl.AdvanceCurrentRID(types.RID{PageID: types.PageID{File: tbl.FileID, Page: pg + 1}})
-					}
-				}
-				return nil
-			})
-			if err != nil {
-				return err
-			}
-			for _, b := range builders {
-				b.st.PagesScanned++
-			}
-		}
-		return nil
-	}
-	scanned := types.PageNum(0)
-	for {
-		m, err := h.PageCount()
-		if err != nil {
-			return nil, err
-		}
-		if m <= scanned {
-			break
-		}
-		if err := scanRange(scanned, m-1); err != nil {
-			return nil, err
-		}
-		scanned = m
-		if method == catalog.MethodNSF {
-			break // noted end is enough: transactions maintain NSF directly
-		}
-	}
-	for _, b := range builders {
-		if b.ctl != nil {
-			b.ctl.SetCurrentRID(types.MaxRID)
-		}
-	}
-	if method == catalog.MethodSF {
+	if method == catalog.MethodNSF {
+		// Noted end is enough: transactions maintain NSF directly.
 		if m, err := h.PageCount(); err != nil {
 			return nil, err
-		} else if m > scanned {
-			if err := scanRange(scanned, m-1); err != nil {
+		} else if m > 0 {
+			if err := scanRange(0, m-1); err != nil {
 				return nil, err
 			}
+		}
+	} else {
+		err := chaseScan(h, 0, scanRange, func() {
+			for _, b := range builders {
+				b.ctl.SetCurrentRID(types.MaxRID)
+			}
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
 	scanDur := time.Since(start)

@@ -14,6 +14,9 @@ import (
 // "in case a system failure were to interrupt the completion of the creation
 // of the index, not all the so-far-accomplished work is lost" (§1.3).
 func Resume(db *engine.DB, pb engine.PendingBuild, opts Options) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	opts = opts.withDefaults()
 	tbl, ok := db.Catalog().TableByID(pb.Index.Table)
 	if !ok {

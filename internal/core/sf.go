@@ -79,48 +79,22 @@ func (b *builder) buildSF(spec engine.CreateIndexSpec) (*Result, error) {
 // Unlike NSF — where "the last page to be processed by the data page scan
 // can be noted before starting" because transactions maintain the index
 // directly for records in newer pages (§2.3.1) — the SF scan must cover
-// every page that exists while Current-RID is still finite: a record
-// inserted into a freshly extended page has Target-RID >= Current-RID, so
-// its transaction deliberately made no side-file entry, counting on IB's
-// scan to pick it up. Only once Current-RID is infinity do "transactions
-// which perform those actions make entries in the side-file" (§3.2.2).
-// After setting infinity we scan any pages that appeared during the final
-// check; records there may be double-covered by side-file entries, which
-// the duplicate-rejection rules absorb.
+// every page that exists while Current-RID is still finite; chaseScan
+// (pipeline.go) implements the loop and the post-infinity race-window
+// sweep for every SF scan, single- or multi-index.
 func (b *builder) sfScan(sorter *extsort.Sorter, from types.PageNum) error {
 	h, err := b.db.HeapOf(b.tbl.ID)
 	if err != nil {
 		return err
 	}
-	scanned := from
-	for {
-		m, err := h.PageCount()
-		if err != nil {
-			return err
-		}
-		if m <= scanned {
-			break
-		}
-		if err := b.extractAndSort(sorter, scanned, m-1, engine.IBPhaseScan); err != nil {
-			return err
-		}
-		scanned = m
-	}
-	// "When IB finishes processing the last data page, it sets Current-RID
-	// to infinity" — from here on, file extensions go to the side-file.
-	b.ctl.SetCurrentRID(types.MaxRID)
-	if m, err := h.PageCount(); err != nil {
-		return err
-	} else if m > scanned {
-		// Pages allocated in the race window before infinity was visible:
-		// their records were not side-filed, so extract them now (entries
-		// also covered by post-infinity side-file appends are deduplicated
-		// at insert time).
-		if err := b.extractAndSort(sorter, scanned, m-1, engine.IBPhaseScan); err != nil {
-			return err
-		}
-	}
-	return nil
+	return chaseScan(h, from, func(lo, hi types.PageNum) error {
+		return b.extractAndSort(sorter, lo, hi, engine.IBPhaseScan)
+	}, func() {
+		// "When IB finishes processing the last data page, it sets
+		// Current-RID to infinity" — from here on, file extensions go to
+		// the side-file.
+		b.ctl.SetCurrentRID(types.MaxRID)
+	})
 }
 
 // sfLoadPhase merges the runs into the bottom-up loader, optionally resuming

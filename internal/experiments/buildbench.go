@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"onlineindex/internal/catalog"
+	"onlineindex/internal/core"
+	"onlineindex/internal/harness"
+)
+
+// BuildRecord is one machine-readable build measurement, written by
+// `benchtab -buildbench` to BENCH_build.json so worker-scaling runs can be
+// diffed across commits without parsing tables.
+type BuildRecord struct {
+	Rows     int     `json:"rows"`
+	Method   string  `json:"method"`
+	Workers  int     `json:"workers"`
+	TotalMs  float64 `json:"total_ms"`
+	ScanMs   float64 `json:"scan_sort_ms"`
+	InsertMs float64 `json:"insert_ms"`
+	SideMs   float64 `json:"side_file_ms"`
+	Runs     int     `json:"runs"`
+	// Staged-pipeline counters (prefetch and feed-wait stay zero for
+	// workers=1 serial scans, which have no prefetch depth).
+	PagesPrefetched uint64  `json:"pages_prefetched"`
+	ExtractBusyMs   float64 `json:"extract_busy_ms"`
+	FeedWaitMs      float64 `json:"feed_wait_ms"`
+}
+
+func msf(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// BuildBench builds an index on a quiet n-row table with each method at each
+// worker count, on identically populated tables, and returns one record per
+// (method, workers) pair. It verifies every built index before recording.
+func BuildBench(cfg Config, n int, workerCounts []int) ([]BuildRecord, error) {
+	var recs []BuildRecord
+	var rows [][]string
+	for _, method := range []catalog.BuildMethod{catalog.MethodOffline, catalog.MethodNSF, catalog.MethodSF} {
+		for _, w := range workerCounts {
+			db, _, err := setup(n)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			res, err := core.Build(db, spec("by_key", method), core.Options{ScanWorkers: w})
+			if err != nil {
+				return nil, fmt.Errorf("buildbench %s workers=%d: %w", method, w, err)
+			}
+			total := time.Since(start)
+			if err := db.CheckIndexConsistency("by_key"); err != nil {
+				return nil, fmt.Errorf("buildbench %s workers=%d: %w", method, w, err)
+			}
+			st := res.Stats
+			recs = append(recs, BuildRecord{
+				Rows: n, Method: methodName(method), Workers: w,
+				TotalMs: msf(total), ScanMs: msf(st.ScanSort),
+				InsertMs: msf(st.Insert), SideMs: msf(st.SideFile),
+				Runs:            st.Runs,
+				PagesPrefetched: st.Pipeline.PagesPrefetched,
+				ExtractBusyMs:   msf(st.Pipeline.ExtractBusy),
+				FeedWaitMs:      msf(st.Pipeline.FeedWait),
+			})
+			rows = append(rows, []string{
+				harness.N(uint64(n)), methodName(method), fmt.Sprintf("%d", w),
+				ms(st.ScanSort), ms(st.Insert), ms(st.SideFile), ms(total),
+			})
+		}
+	}
+	cfg.printf("%s\n", harness.Table(
+		"Build wall-clock vs scan workers (quiet table)",
+		[]string{"rows", "method", "workers", "scan+sort ms", "insert ms", "side-file ms", "total ms"},
+		rows))
+	return recs, nil
+}

@@ -27,7 +27,7 @@ func E1BuildTime(cfg Config) error {
 				return err
 			}
 			start := time.Now()
-			res, err := core.Build(db, spec("by_key", method), core.Options{})
+			res, err := core.Build(db, spec("by_key", method), cfg.buildOptions())
 			if err != nil {
 				return err
 			}
@@ -37,15 +37,15 @@ func E1BuildTime(cfg Config) error {
 			}
 			st := res.Stats
 			rows = append(rows, []string{
-				harness.N(uint64(n)), methodName(method),
+				harness.N(uint64(n)), methodName(method), fmt.Sprintf("%d", cfg.workers()),
 				ms(st.ScanSort), ms(st.Insert), ms(st.SideFile), ms(total),
-				fmt.Sprintf("%d", st.Runs),
+				fmt.Sprintf("%d", st.Runs), ms(st.Pipeline.ExtractBusy), ms(st.Pipeline.FeedWait),
 			})
 		}
 	}
 	cfg.printf("%s\n", harness.Table(
 		"E1  Build time, quiet table (phase breakdown)",
-		[]string{"rows", "method", "scan+sort ms", "insert ms", "side-file ms", "total ms", "runs"},
+		[]string{"rows", "method", "workers", "scan+sort ms", "insert ms", "side-file ms", "total ms", "runs", "extract-busy ms", "feed-wait ms"},
 		rows))
 	return nil
 }

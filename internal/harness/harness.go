@@ -6,11 +6,44 @@ package harness
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"onlineindex/internal/btree"
 	"onlineindex/internal/engine"
 	"onlineindex/internal/types"
 )
+
+// PipelineStats counts the staged scan pipeline's per-stage activity: how
+// far the page visitor ran ahead of the in-order sorter feed, how much
+// extraction work the workers did, and how long the feed had to wait for
+// out-of-order extractions. The builders accumulate one per build so E1's
+// scan/sort phase breakdown stays honest when extraction is parallel (the
+// wall-clock ScanSort timer alone cannot say where the time went).
+type PipelineStats struct {
+	// Workers is the extraction worker count the scan ran with.
+	Workers int
+	// PagesPrefetched counts pages the visitor S-latched and copied while
+	// at least one earlier page had not yet been fed to the sorter (0 in
+	// serial mode, where visit and feed alternate on one goroutine).
+	PagesPrefetched uint64
+	// ExtractBusy is the summed busy time of the extraction workers
+	// (exceeds the wall-clock share of extraction when workers > 1).
+	ExtractBusy time.Duration
+	// FeedWait is how long the in-order sorter feed sat blocked waiting
+	// for page extractions to arrive.
+	FeedWait time.Duration
+}
+
+// Merge folds another scan's counters into p (a build may run several scan
+// ranges: checkpointed resumes, the SF end-chasing loop).
+func (p *PipelineStats) Merge(q PipelineStats) {
+	if q.Workers > p.Workers {
+		p.Workers = q.Workers
+	}
+	p.PagesPrefetched += q.PagesPrefetched
+	p.ExtractBusy += q.ExtractBusy
+	p.FeedWait += q.FeedWait
+}
 
 // ClusteringFactor measures how physically sequential an index's leaf chain
 // is: the fraction of leaf-to-leaf transitions (in key order) whose page

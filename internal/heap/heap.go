@@ -311,6 +311,70 @@ func (t *Table) VisitPage(n types.PageNum, recFn func(rid types.RID, rec []byte)
 	})
 }
 
+// PageBatch is the batched form of VisitPage: one data page's live records,
+// copied out under the page's S latch so key extraction can run off the
+// latch — and on another goroutine — while the scan moves to the next page.
+// Slot order is preserved. The records live in one contiguous buffer, so a
+// batch costs two allocations regardless of record count.
+type PageBatch struct {
+	Page types.PageNum
+	rids []types.RID
+	buf  []byte   // record bytes, concatenated in slot order
+	offs []uint32 // len(rids)+1 boundaries into buf
+}
+
+// Len returns the number of live records in the batch.
+func (b *PageBatch) Len() int { return len(b.rids) }
+
+// RID returns the i-th record's RID.
+func (b *PageBatch) RID(i int) types.RID { return b.rids[i] }
+
+// Rec returns the i-th record's bytes (valid for the batch's lifetime; do
+// not mutate).
+func (b *PageBatch) Rec(i int) []byte { return b.buf[b.offs[i]:b.offs[i+1]] }
+
+// ReadPageBatch S-latches page n and copies its live records into a batch.
+// doneFn (if non-nil) runs while the latch is still held, after the copy —
+// the same under-latch hook as VisitPage's doneFn, which the index builder
+// uses to advance its Current-RID past the whole page before any
+// transaction can latch it (§3.2.2). The batch is a snapshot of the page as
+// of the latch: every later modification is covered by the build protocols
+// (direct maintenance for NSF, the side-file for SF), so extracting keys
+// from the copy after the latch is released is equivalent to extracting
+// them under it.
+func (t *Table) ReadPageBatch(n types.PageNum, doneFn func() error) (PageBatch, error) {
+	pid := types.PageID{File: t.file, Page: n}
+	batch := PageBatch{Page: n}
+	err := rm.WithPage(t.pool, pid, latch.S, func(f *buffer.Frame) error {
+		hp, ok := f.Page().(*Page)
+		if !ok {
+			return fmt.Errorf("heap: page %s is not a heap page", pid)
+		}
+		nSlots := hp.NumSlots()
+		total := 0
+		for i := 0; i < nSlots; i++ {
+			if rec := hp.Get(types.SlotNum(i)); rec != nil {
+				total += len(rec)
+			}
+		}
+		batch.rids = make([]types.RID, 0, hp.NumRecords())
+		batch.buf = make([]byte, 0, total)
+		batch.offs = make([]uint32, 1, hp.NumRecords()+1)
+		for i := 0; i < nSlots; i++ {
+			if rec := hp.Get(types.SlotNum(i)); rec != nil {
+				batch.rids = append(batch.rids, types.RID{PageID: pid, Slot: types.SlotNum(i)})
+				batch.buf = append(batch.buf, rec...)
+				batch.offs = append(batch.offs, uint32(len(batch.buf)))
+			}
+		}
+		if doneFn != nil {
+			return doneFn()
+		}
+		return nil
+	})
+	return batch, err
+}
+
 // Scan visits every live record of the table in RID order (ordinary readers;
 // the index builder drives VisitPage itself to manage its scan position).
 func (t *Table) Scan(fn func(rid types.RID, rec []byte) error) error {

@@ -436,3 +436,95 @@ func TestReopenRebuildsFreeHints(t *testing.T) {
 		t.Fatalf("small insert allocated a new page (%d -> %d)", before, after)
 	}
 }
+
+func TestReadPageBatchMatchesVisitPage(t *testing.T) {
+	_, log, _, tbl := setup(t)
+	tl := logger(log, 1)
+	var rids []types.RID
+	for i := 0; i < 300; i++ {
+		rid, err := tbl.Insert(tl, bytes.Repeat([]byte{byte(i)}, 50+i%70), nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	// Punch holes so batches see free slots interleaved with live records.
+	for i := 0; i < len(rids); i += 7 {
+		if _, err := tbl.Delete(tl, rids[i], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := tbl.PageCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 2 {
+		t.Fatalf("want multiple pages, got %d", n)
+	}
+	for pg := types.PageNum(0); pg < n; pg++ {
+		type rec struct {
+			rid types.RID
+			rec []byte
+		}
+		var visited []rec
+		if err := tbl.VisitPage(pg, func(rid types.RID, r []byte) error {
+			visited = append(visited, rec{rid, append([]byte(nil), r...)})
+			return nil
+		}, nil); err != nil {
+			t.Fatal(err)
+		}
+		doneCalls := 0
+		batch, err := tbl.ReadPageBatch(pg, func() error { doneCalls++; return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if doneCalls != 1 {
+			t.Fatalf("doneFn ran %d times", doneCalls)
+		}
+		if batch.Page != pg {
+			t.Fatalf("batch page = %d, want %d", batch.Page, pg)
+		}
+		if batch.Len() != len(visited) {
+			t.Fatalf("page %d: batch has %d records, VisitPage saw %d", pg, batch.Len(), len(visited))
+		}
+		for i := 0; i < batch.Len(); i++ {
+			if batch.RID(i) != visited[i].rid {
+				t.Fatalf("page %d record %d: RID %v, want %v", pg, i, batch.RID(i), visited[i].rid)
+			}
+			if !bytes.Equal(batch.Rec(i), visited[i].rec) {
+				t.Fatalf("page %d record %d: bytes differ", pg, i)
+			}
+		}
+	}
+}
+
+func TestReadPageBatchIsSnapshot(t *testing.T) {
+	_, log, _, tbl := setup(t)
+	tl := logger(log, 1)
+	rid, err := tbl.Insert(tl, []byte("original"), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := tbl.ReadPageBatch(rid.PageID.Page, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Update(tl, rid, []byte("replaced"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if string(batch.Rec(0)) != "original" {
+		t.Fatalf("batch mutated under us: %q", batch.Rec(0))
+	}
+}
+
+func TestReadPageBatchDoneFnError(t *testing.T) {
+	_, log, _, tbl := setup(t)
+	tl := logger(log, 1)
+	if _, err := tbl.Insert(tl, []byte("x"), nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	wantErr := fmt.Errorf("done failed")
+	if _, err := tbl.ReadPageBatch(0, func() error { return wantErr }); err != wantErr {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+}

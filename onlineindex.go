@@ -121,8 +121,15 @@ type IndexSpec struct {
 	Method  BuildMethod
 }
 
-// BuildOptions tunes a build; see core.Options for the fields.
+// BuildOptions tunes a build; see core.Options for the fields and their
+// defaults. ScanWorkers sets the number of parallel key-extraction workers
+// in the staged scan pipeline (default 1 — serial). The zero value is valid;
+// out-of-range fields make the build fail with ErrInvalidBuildOptions.
 type BuildOptions = core.Options
+
+// ErrInvalidBuildOptions is wrapped by the error every build entry point
+// returns for out-of-range BuildOptions; test with errors.Is.
+var ErrInvalidBuildOptions = core.ErrInvalidOptions
 
 // BuildResult reports a completed build.
 type BuildResult = core.Result

@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# CI entry point: build everything, vet, and run the full test suite under
+# the race detector (the staged scan pipeline is concurrent; -race is the
+# point, not a nicety). Mirrored by .github/workflows/ci.yml.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test -race ./...
