@@ -7,100 +7,12 @@ import (
 	"onlineindex/internal/types"
 )
 
-// checkInvariants validates the whole tree structure:
-//   - every node's keys are strictly sorted by (key, RID);
-//   - child subtrees respect their separators;
-//   - all leaves are at the same depth;
-//   - the leaf chain visits exactly the leaves, left to right;
-//   - byte accounting matches recomputation.
+// checkInvariants delegates to the exported CheckInvariants (shared with the
+// crash-sweep oracle), failing the test on the first violation.
 func checkInvariants(t *testing.T, tr *Tree) {
 	t.Helper()
-	var leavesByTree []types.PageNum
-	var walk func(pg types.PageNum, lo, hi *sep, depth int) int
-	walk = func(pg types.PageNum, lo, hi *sep, depth int) int {
-		f, err := tr.pool.Fetch(tr.pid(pg))
-		if err != nil {
-			t.Fatalf("fetch %d: %v", pg, err)
-		}
-		defer tr.pool.Unpin(f)
-		n := f.Page().(*Node)
-
-		within := func(key []byte, rid types.RID, what string) {
-			if lo != nil && CompareEntry(key, rid, lo.key, lo.rid) < 0 {
-				t.Fatalf("page %d: %s <%x,%s> below low bound <%x>", pg, what, key, rid, lo.key)
-			}
-			if hi != nil && CompareEntry(key, rid, hi.key, hi.rid) >= 0 {
-				t.Fatalf("page %d: %s <%x,%s> not below high bound <%x>", pg, what, key, rid, hi.key)
-			}
-		}
-
-		if n.leaf {
-			used := nodeFixed
-			for i, e := range n.entries {
-				within(e.Key, e.RID, "entry")
-				if i > 0 {
-					p := n.entries[i-1]
-					if CompareEntry(p.Key, p.RID, e.Key, e.RID) >= 0 {
-						t.Fatalf("page %d: entries %d,%d out of order", pg, i-1, i)
-					}
-				}
-				used += entryBytes(e.Key)
-			}
-			if used != n.used {
-				t.Fatalf("page %d: used=%d, recomputed %d", pg, n.used, used)
-			}
-			leavesByTree = append(leavesByTree, pg)
-			return 1
-		}
-
-		used := nodeFixed + 4*len(n.children)
-		if len(n.children) != len(n.seps)+1 {
-			t.Fatalf("page %d: %d children, %d seps", pg, len(n.children), len(n.seps))
-		}
-		for i, s := range n.seps {
-			within(s.key, s.rid, "sep")
-			if i > 0 {
-				p := n.seps[i-1]
-				if CompareEntry(p.key, p.rid, s.key, s.rid) >= 0 {
-					t.Fatalf("page %d: seps %d,%d out of order", pg, i-1, i)
-				}
-			}
-			used += sepBytes(s.key)
-		}
-		if used != n.used {
-			t.Fatalf("page %d: used=%d, recomputed %d", pg, n.used, used)
-		}
-		depth0 := -1
-		for i, c := range n.children {
-			clo, chi := lo, hi
-			if i > 0 {
-				clo = &n.seps[i-1]
-			}
-			if i < len(n.seps) {
-				chi = &n.seps[i]
-			}
-			d := walk(c, clo, chi, depth+1)
-			if depth0 == -1 {
-				depth0 = d
-			} else if d != depth0 {
-				t.Fatalf("page %d: uneven leaf depth under children", pg)
-			}
-		}
-		return depth0 + 1
-	}
-	walk(RootPage, nil, nil, 0)
-
-	chain, err := tr.LeafPages()
-	if err != nil {
-		t.Fatalf("leaf chain: %v", err)
-	}
-	if len(chain) != len(leavesByTree) {
-		t.Fatalf("leaf chain has %d pages, tree walk found %d", len(chain), len(leavesByTree))
-	}
-	for i := range chain {
-		if chain[i] != leavesByTree[i] {
-			t.Fatalf("leaf chain[%d]=%d, tree order %d", i, chain[i], leavesByTree[i])
-		}
+	if err := CheckInvariants(tr); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -66,6 +66,7 @@ func (ld *Loader) Add(e Entry) error {
 		if err != nil {
 			return err
 		}
+		ld.t.pool.MarkDirtyUnlogged(f)
 		ld.levels = append(ld.levels, f)
 	}
 	lf := ld.levels[0]
@@ -74,6 +75,7 @@ func (ld *Loader) Add(e Entry) error {
 		if err != nil {
 			return err
 		}
+		ld.t.pool.MarkDirtyUnlogged(nf)
 		mutate(ld.t.pool, lf, func(n *Node) { n.next = nf.ID.Page })
 		ld.t.pool.Unpin(lf)
 		ld.levels[0] = nf
@@ -98,6 +100,7 @@ func (ld *Loader) addSep(level int, s sep, right, left types.PageNum) error {
 		if err != nil {
 			return err
 		}
+		ld.t.pool.MarkDirtyUnlogged(f)
 		ld.levels = append(ld.levels, f)
 	}
 	f := ld.levels[level]
@@ -107,6 +110,10 @@ func (ld *Loader) addSep(level int, s sep, right, left types.PageNum) error {
 		if err != nil {
 			return err
 		}
+		// The separator goes up a level, not into nf: if no later separator
+		// lands at this level, nf's single-child content would otherwise
+		// never be marked dirty and a clean eviction would lose it.
+		ld.t.pool.MarkDirtyUnlogged(nf)
 		ld.t.pool.Unpin(f)
 		ld.levels[level] = nf
 		return ld.addSep(level+1, s, nf.ID.Page, f.ID.Page)

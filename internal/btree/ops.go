@@ -188,7 +188,7 @@ func (t *Tree) tryInsert(tl rm.TxnLogger, key []byte, rid types.RID, pseudo, ib 
 	if !n.hasRoomEntry(key, t.budget) {
 		return 0, nil, true, nil
 	}
-	res, err := t.doInsertAt(tl, f, n, i, key, rid, pseudo)
+	res, err := t.doInsertAt(tl, f, n, i, key, rid, pseudo, ib)
 	return res, nil, false, err
 }
 
@@ -285,7 +285,7 @@ walk:
 	if !xn.hasRoomEntry(key, t.budget) {
 		return 0, nil, true, nil
 	}
-	res, err := t.doInsertAt(tl, xf, xn, pos, key, rid, pseudo)
+	res, err := t.doInsertAt(tl, xf, xn, pos, key, rid, pseudo, ib)
 	return res, nil, false, err
 }
 
@@ -332,13 +332,28 @@ func (t *Tree) handleExisting(tl rm.TxnLogger, f *buffer.Frame, n *Node, i int, 
 }
 
 // doInsertAt inserts the entry at position i of leaf n with an undo-redo log
-// record.
-func (t *Tree) doInsertAt(tl rm.TxnLogger, f *buffer.Frame, n *Node, i int, key []byte, rid types.RID, pseudo bool) (InsertResult, error) {
-	pl := EntryPayload{Key: key, RID: rid, Pseudo: pseudo}
-	lsn, err := tl.Log(&wal.Record{
-		Type: wal.TypeIdxInsert, Flags: wal.FlagRedo | wal.FlagUndo,
-		PageID: f.ID, Payload: pl.Encode(),
-	})
+// record. IB inserts are logged as one-entry TypeIdxMultiInsert records: a
+// TypeIdxInsert is undone by pseudo-deletion, which would leave a tombstone
+// that the restarted build's re-insert of the same key then skips as a
+// duplicate — the entry would stay dead forever. Multi-insert undo removes
+// the entry physically (IB's uncommitted inserts are its own; see
+// UndoMultiInsert), so the re-insert after a crash mid-build lands cleanly.
+func (t *Tree) doInsertAt(tl rm.TxnLogger, f *buffer.Frame, n *Node, i int, key []byte, rid types.RID, pseudo, ib bool) (InsertResult, error) {
+	var lsn types.LSN
+	var err error
+	if ib && !pseudo {
+		pl := MultiInsertPayload{Entries: []Entry{{Key: key, RID: rid}}}
+		lsn, err = tl.Log(&wal.Record{
+			Type: wal.TypeIdxMultiInsert, Flags: wal.FlagRedo | wal.FlagUndo,
+			PageID: f.ID, Payload: pl.Encode(),
+		})
+	} else {
+		pl := EntryPayload{Key: key, RID: rid, Pseudo: pseudo}
+		lsn, err = tl.Log(&wal.Record{
+			Type: wal.TypeIdxInsert, Flags: wal.FlagRedo | wal.FlagUndo,
+			PageID: f.ID, Payload: pl.Encode(),
+		})
+	}
 	if err != nil {
 		return 0, err
 	}

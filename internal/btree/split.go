@@ -100,11 +100,18 @@ func (t *Tree) makeRoom(tl rm.TxnLogger, key []byte, rid types.RID, ibMode bool)
 }
 
 // splitPlan returns the cut position for splitting node n to make room for
-// (key, rid). For leaves in ibMode the cut is the insert position itself.
+// (key, rid). For leaves in ibMode the cut is the insert position itself —
+// unless that position is 0: cutting there moves every entry to the right
+// node, which the pending key (equal to the promoted separator) then
+// descends into, still full — no progress, makeRoom loops forever. That
+// arises when IB's key sorts below everything in the leaf, e.g. a leaf
+// holding only transaction-made tombstones for higher seed keys; use the
+// ordinary median split instead, which frees space on the left side the
+// pending key descends into.
 func (t *Tree) splitPlan(n *Node, key []byte, rid types.RID, ibLeaf bool) int {
 	if n.leaf {
 		pos, _ := n.searchLeaf(key, rid)
-		if ibLeaf {
+		if ibLeaf && pos > 0 {
 			return pos
 		}
 		cut := len(n.entries) / 2

@@ -430,6 +430,16 @@ func (p *Pool) flushMatching(match func(types.PageID) bool) error {
 		}
 	}
 	p.mu.Unlock()
+	// Flush in page-ID order, not map order: the fault-injection harness
+	// numbers I/O operations and needs identical runs to issue them in an
+	// identical sequence.
+	sort.Slice(frames, func(i, j int) bool {
+		a, b := frames[i].ID, frames[j].ID
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Page < b.Page
+	})
 	for _, f := range frames {
 		f.Latch.Acquire(latch.S)
 		p.mu.Lock()

@@ -29,6 +29,7 @@ import (
 	"onlineindex/internal/lock"
 	"onlineindex/internal/txn"
 	"onlineindex/internal/types"
+	"onlineindex/internal/vfs"
 	"onlineindex/internal/wal"
 )
 
@@ -66,6 +67,19 @@ type Options struct {
 	// GCAfterBuild schedules a pseudo-deleted key cleanup pass after an NSF
 	// build (§2.2.4).
 	GCAfterBuild bool
+	// OnCheckpoint, when set, is called after every committed builder
+	// checkpoint, on the builder's goroutine with no page latches or builder
+	// transaction in flight. The fault-injection sweep uses it to interleave
+	// scripted DML with the build at deterministic points; a non-nil error
+	// aborts the build. The phase argument tells the script where the build
+	// is (scan, insert, load, side-file catch-up).
+	OnCheckpoint func(phase engine.IBPhase) error
+	// SerialFinish makes BuildMany run its per-index finish phases (merge,
+	// load, side-file catch-up) sequentially in spec order instead of
+	// spawning one goroutine per index. Real builds want the concurrency
+	// (§6.2: "a process can be spawned for each index"); the deterministic
+	// fault-injection harness needs a single-goroutine I/O order.
+	SerialFinish bool
 }
 
 // ErrInvalidOptions tags every option-validation failure, so callers can
@@ -251,6 +265,11 @@ func (b *builder) rotate(st engine.IBState) error {
 	b.db.NoteIBCheckpoint(b.ix.ID, payload)
 	b.st.Checkpoints++
 	b.tx = b.db.Begin()
+	if b.opts.OnCheckpoint != nil {
+		if err := b.opts.OnCheckpoint(st.Phase); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -269,6 +288,12 @@ func parseScanPosition(b []byte) (next, end types.PageNum, err error) {
 // cancel aborts the build: roll back the in-flight builder transaction and
 // drop the descriptor under the §2.3.2 quiesce.
 func (b *builder) cancel(cause error) error {
+	if errors.Is(cause, vfs.ErrCrashed) {
+		// The file system is gone: no compensation can run on this
+		// incarnation (DropIndex would block on locks held by transactions
+		// that died with the machine). Restart recovery owns the cleanup.
+		return fmt.Errorf("%w: %w", ErrBuildCancelled, cause)
+	}
 	if b.tx != nil && b.tx.State() == txn.StateActive {
 		if err := b.tx.Rollback(); err != nil {
 			return err

@@ -129,32 +129,43 @@ func BuildMany(db *engine.DB, specs []engine.CreateIndexSpec, opts Options) ([]*
 	// index to sort the keys, insert them and process the side-file" (§6.2).
 	// Concurrency matters beyond wall-clock: while one SF index catches up
 	// on its side-file, the others would otherwise keep capturing and their
-	// side-files would keep growing.
+	// side-files would keep growing. Options.SerialFinish trades that for a
+	// deterministic I/O order (the later indexes' side-files then absorb the
+	// catch-up of the earlier ones).
 	results := make([]*Result, len(builders))
 	errs := make([]error, len(builders))
-	var wg sync.WaitGroup
-	for i, b := range builders {
-		wg.Add(1)
-		go func(i int, b *builder) {
-			defer wg.Done()
-			if method == catalog.MethodNSF {
-				results[i], errs[i] = b.finishNSFFromSorter(sorters[i])
-				return
-			}
-			runs, err := sorters[i].Finish()
-			if err != nil {
-				errs[i] = b.cancel(err)
-				return
-			}
-			b.st.Runs = len(runs)
-			if err := b.sfLoadPhase(runs, nil, nil); err != nil {
-				errs[i] = err
-				return
-			}
-			results[i], errs[i] = b.sfSideFilePhase(0)
-		}(i, b)
+	finish := func(i int, b *builder) {
+		if method == catalog.MethodNSF {
+			results[i], errs[i] = b.finishNSFFromSorter(sorters[i])
+			return
+		}
+		runs, err := sorters[i].Finish()
+		if err != nil {
+			errs[i] = b.cancel(err)
+			return
+		}
+		b.st.Runs = len(runs)
+		if err := b.sfLoadPhase(runs, nil, nil); err != nil {
+			errs[i] = err
+			return
+		}
+		results[i], errs[i] = b.sfSideFilePhase(0)
 	}
-	wg.Wait()
+	if opts.SerialFinish {
+		for i, b := range builders {
+			finish(i, b)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i, b := range builders {
+			wg.Add(1)
+			go func(i int, b *builder) {
+				defer wg.Done()
+				finish(i, b)
+			}(i, b)
+		}
+		wg.Wait()
+	}
 	for _, err := range errs {
 		if err != nil {
 			return results, err

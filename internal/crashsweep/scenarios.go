@@ -1,0 +1,196 @@
+package crashsweep
+
+import (
+	"fmt"
+	"strings"
+
+	"onlineindex/internal/catalog"
+	"onlineindex/internal/core"
+	"onlineindex/internal/engine"
+	"onlineindex/internal/keyenc"
+	"onlineindex/internal/types"
+)
+
+// Scenario is one scripted build-plus-workload whose crash schedule the
+// sweep explores. Run must be deterministic: single-goroutine, no
+// wall-clock or map-iteration dependence, so the i'th I/O operation of
+// every execution is the same operation. The sweep verifies this by
+// comparing each faulted run's operation at point k against the count run's
+// trace.
+type Scenario struct {
+	Name string
+	// Rows seeds the "items" table before the harness arms fault counting.
+	Rows int
+	// Opts are the build options. Resume after a crash reuses them with the
+	// DML hook stripped: a new incarnation of the system does not replay the
+	// interleaved workload, it only finishes the build.
+	Opts core.Options
+	// Specs are the indexes Run creates, which the oracle verifies.
+	Specs []engine.CreateIndexSpec
+	// Run performs the faulted section. rids are the seed rows' RIDs in
+	// insert order.
+	Run func(db *engine.DB, rids []types.RID) error
+}
+
+// Table schema shared by all scenarios: id (unique by construction),
+// a padded name (fat records keep the page count realistic at small row
+// counts), and a low-cardinality qty.
+func sweepSchema() catalog.Schema {
+	return catalog.Schema{
+		{Name: "id", Kind: keyenc.KindInt64},
+		{Name: "name", Kind: keyenc.KindString},
+		{Name: "qty", Kind: keyenc.KindInt64},
+	}
+}
+
+func sweepRow(id int64, name string, qty int64) engine.Row {
+	return engine.Row{keyenc.Int64(id), keyenc.String(name), keyenc.Int64(qty)}
+}
+
+func sweepName(i int) string {
+	return fmt.Sprintf("name-%06d-%s", i, strings.Repeat("x", 80))
+}
+
+// observer returns an OnCheckpoint hook that runs one scripted transaction
+// after every builder checkpoint: an insert of a fresh row, an update and a
+// delete of seed rows. Targets are chosen by fixed arithmetic on the
+// checkpoint ordinal, and the closure tracks row movement, so the DML
+// stream is a pure function of the checkpoint sequence — which is exactly
+// what (seed, point) reproducibility requires. During an SF scan this
+// generates behind-Current-RID updates (applied directly) and ahead-of-it
+// ones (captured in the side-file); during load and catch-up, every change
+// lands in the side-file, growing the tail the drain must chase (§3.2.3).
+func observer(db *engine.DB, rids []types.RID) func(engine.IBPhase) error {
+	n := 0
+	cur := append([]types.RID(nil), rids...) // current RID of each live seed row
+	live := make([]bool, len(rids))
+	for i := range live {
+		live[i] = true
+	}
+	pick := func(start int) int {
+		for i := 0; i < len(live); i++ {
+			j := (start + i) % len(live)
+			if live[j] {
+				return j
+			}
+		}
+		return -1
+	}
+	return func(engine.IBPhase) error {
+		n++
+		tx := db.Begin()
+		if _, err := db.Insert(tx, "items", sweepRow(int64(1_000_000+n), sweepName(1_000_000+n), int64(n))); err != nil {
+			tx.Rollback() //nolint:errcheck
+			return err
+		}
+		if u := pick(7 * n); u >= 0 {
+			rid, err := db.Update(tx, "items", cur[u], sweepRow(int64(2_000_000+n), fmt.Sprintf("upd-%06d-%s", n, strings.Repeat("y", 80)), int64(n%7)))
+			if err != nil {
+				tx.Rollback() //nolint:errcheck
+				return err
+			}
+			cur[u] = rid
+		}
+		if d := pick(11*n + 3); d >= 0 {
+			if err := db.Delete(tx, "items", cur[d]); err != nil {
+				tx.Rollback() //nolint:errcheck
+				return err
+			}
+			live[d] = false
+		}
+		if err := tx.Commit(); err != nil {
+			// A commit whose log force failed leaves the transaction active
+			// and holding its locks; roll it back so nothing downstream
+			// blocks on a zombie. On a crashed FS the rollback fails too —
+			// fine, the whole incarnation is about to unwind.
+			tx.Rollback() //nolint:errcheck
+			return err
+		}
+		return nil
+	}
+}
+
+func nameSpec(name string, method catalog.BuildMethod) engine.CreateIndexSpec {
+	return engine.CreateIndexSpec{Name: name, Table: "items", Columns: []string{"name"}, Method: method}
+}
+
+// Scenarios returns the sweep's scenario set: the paper's two online
+// algorithms, the single-scan multi-index variant (§6.2), and an external
+// sort stressed into many runs (§5) under a unique index (§2.2).
+func Scenarios() []*Scenario {
+	nsfOpts := core.Options{SortMemory: 64, CheckpointPages: 2, CheckpointKeys: 40, BatchSize: 32}
+	sfOpts := core.Options{SortMemory: 64, CheckpointPages: 2, CheckpointKeys: 40}
+	multiOpts := core.Options{SortMemory: 64, CheckpointKeys: 40, SerialFinish: true}
+	sortOpts := core.Options{SortMemory: 4, CheckpointPages: 2, CheckpointKeys: 64, BatchSize: 16}
+
+	return []*Scenario{
+		{
+			Name:  "nsf",
+			Rows:  360,
+			Opts:  nsfOpts,
+			Specs: []engine.CreateIndexSpec{nameSpec("by_name", catalog.MethodNSF)},
+			Run: func(db *engine.DB, rids []types.RID) error {
+				opts := nsfOpts
+				opts.OnCheckpoint = observer(db, rids)
+				_, err := core.Build(db, nameSpec("by_name", catalog.MethodNSF), opts)
+				return err
+			},
+		},
+		{
+			Name:  "sf",
+			Rows:  360,
+			Opts:  sfOpts,
+			Specs: []engine.CreateIndexSpec{nameSpec("by_name", catalog.MethodSF)},
+			Run: func(db *engine.DB, rids []types.RID) error {
+				opts := sfOpts
+				opts.OnCheckpoint = observer(db, rids)
+				_, err := core.Build(db, nameSpec("by_name", catalog.MethodSF), opts)
+				return err
+			},
+		},
+		{
+			Name: "multi",
+			Rows: 300,
+			Opts: multiOpts,
+			Specs: []engine.CreateIndexSpec{
+				nameSpec("by_name", catalog.MethodSF),
+				{Name: "by_qty", Table: "items", Columns: []string{"qty"}, Method: catalog.MethodSF},
+			},
+			Run: func(db *engine.DB, rids []types.RID) error {
+				opts := multiOpts
+				opts.OnCheckpoint = observer(db, rids)
+				_, err := core.BuildMany(db, []engine.CreateIndexSpec{
+					nameSpec("by_name", catalog.MethodSF),
+					{Name: "by_qty", Table: "items", Columns: []string{"qty"}, Method: catalog.MethodSF},
+				}, opts)
+				return err
+			},
+		},
+		{
+			Name: "extsort",
+			Rows: 420,
+			Opts: sortOpts,
+			Specs: []engine.CreateIndexSpec{
+				{Name: "by_id", Table: "items", Columns: []string{"id"}, Unique: true, Method: catalog.MethodNSF},
+			},
+			Run: func(db *engine.DB, rids []types.RID) error {
+				opts := sortOpts
+				opts.OnCheckpoint = observer(db, rids)
+				_, err := core.Build(db, engine.CreateIndexSpec{
+					Name: "by_id", Table: "items", Columns: []string{"id"}, Unique: true, Method: catalog.MethodNSF,
+				}, opts)
+				return err
+			},
+		},
+	}
+}
+
+// ScenarioByName returns the named scenario, or nil.
+func ScenarioByName(name string) *Scenario {
+	for _, sc := range Scenarios() {
+		if sc.Name == name {
+			return sc
+		}
+	}
+	return nil
+}

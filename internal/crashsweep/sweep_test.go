@@ -1,0 +1,173 @@
+package crashsweep
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"testing"
+
+	"onlineindex/internal/faultfs"
+)
+
+// Replay/paging knobs. Flags win over the SWEEP_* environment variables;
+// the env fallbacks exist so a failure can be replayed without threading
+// flags through wrapper scripts: e.g.
+//
+//	SWEEP_SCENARIO=sf SWEEP_POINT=143 go test ./internal/crashsweep -run Replay -v
+var (
+	flagSeed     = flag.Int64("sweep.seed", envInt64("SWEEP_SEED", 1), "fault-injection seed")
+	flagPoint    = flag.Uint64("sweep.point", uint64(envInt64("SWEEP_POINT", 0)), "replay this single fault point (0 = off)")
+	flagScenario = flag.String("sweep.scenario", os.Getenv("SWEEP_SCENARIO"), "restrict the sweep (or replay) to one scenario")
+	flagMode     = flag.String("sweep.mode", envOr("SWEEP_MODE", "crash"), "fault mode for replay: crash|torn|error")
+	flagFull     = flag.Bool("sweep.full", os.Getenv("SWEEP_FULL") != "", "run the exhaustive sweep even under -short")
+)
+
+func envOr(key, def string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return def
+}
+
+func envInt64(key string, def int64) int64 {
+	v := os.Getenv(key)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		panic(fmt.Sprintf("bad %s=%q: %v", key, v, err))
+	}
+	return n
+}
+
+func parseMode(t *testing.T, s string) faultfs.Mode {
+	switch s {
+	case "crash":
+		return faultfs.ModeCrash
+	case "torn":
+		return faultfs.ModeTorn
+	case "error":
+		return faultfs.ModeError
+	default:
+		t.Fatalf("unknown -sweep.mode %q (want crash|torn|error)", s)
+		return 0
+	}
+}
+
+// sweepConfig picks strides: exhaustive by default (every clean-crash
+// point, every torn-eligible point, errors at stride 7); -short keeps a
+// smoke-sized subset unless -sweep.full forces the exhaustive matrix.
+func sweepConfig(t *testing.T) Config {
+	cfg := Config{Seed: *flagSeed, Stride: 1, TornStride: 1, ErrorStride: 7, Logf: t.Logf}
+	if testing.Short() && !*flagFull {
+		cfg.Stride, cfg.TornStride, cfg.ErrorStride = 8, 4, 0
+	}
+	return cfg
+}
+
+// TestCrashSweep is the exhaustive crash-schedule exploration: for every
+// scenario, crash at every fault point (plus torn and error passes) and
+// require recovery + resume + the full oracle to pass each time.
+func TestCrashSweep(t *testing.T) {
+	cfg := sweepConfig(t)
+	exhaustive := cfg.Stride == 1
+
+	var mu sync.Mutex
+	totalPoints, totalVerified := uint64(0), 0
+	for _, sc := range Scenarios() {
+		if *flagScenario != "" && sc.Name != *flagScenario {
+			continue
+		}
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			scCfg := cfg
+			scCfg.Logf = t.Logf
+			rep, err := Sweep(sc, scCfg)
+			if err != nil {
+				// The error already carries the (scenario, seed, mode,
+				// point) tuple; repeat the replay recipe prominently.
+				t.Fatalf("%v\nreplay with: go test ./internal/crashsweep -run Replay -sweep.scenario=%s -sweep.seed=%d -sweep.point=<point> -sweep.mode=<mode>",
+					err, sc.Name, scCfg.Seed)
+			}
+			t.Logf("%s: %d fault points, %d clean / %d torn / %d error injections verified; redone pages %s",
+				sc.Name, rep.Points,
+				rep.Crashes(faultfs.ModeCrash), rep.Crashes(faultfs.ModeTorn), rep.Crashes(faultfs.ModeError),
+				redoneSummary(rep))
+			mu.Lock()
+			totalPoints += rep.Points
+			totalVerified += len(rep.Results)
+			mu.Unlock()
+		})
+	}
+	t.Cleanup(func() {
+		if *flagScenario != "" {
+			return
+		}
+		t.Logf("sweep total: %d fault points enumerated, %d faulted runs verified", totalPoints, totalVerified)
+		if exhaustive && totalPoints < 200 {
+			t.Errorf("scenarios enumerate only %d fault points in total, want >= 200", totalPoints)
+		}
+		if exhaustive && totalVerified < 200 {
+			t.Errorf("sweep verified only %d faulted runs, want >= 200", totalVerified)
+		}
+	})
+}
+
+// redoneSummary reports the distribution of re-done scan work across the
+// clean-crash runs (EXPERIMENTS.md E12): the paper's checkpoint argument
+// bounds it by one checkpoint interval.
+func redoneSummary(rep *Report) string {
+	var pages []int
+	for _, pr := range rep.Results {
+		if pr.Mode == faultfs.ModeCrash && pr.Resumed > 0 {
+			pages = append(pages, int(pr.RedonePages))
+		}
+	}
+	if len(pages) == 0 {
+		return "(no resumed builds)"
+	}
+	sort.Ints(pages)
+	return fmt.Sprintf("min=%d p50=%d max=%d over %d resumes",
+		pages[0], pages[len(pages)/2], pages[len(pages)-1], len(pages))
+}
+
+// TestReplay re-runs a single (scenario, seed, mode, point) tuple — the
+// reproduction path printed by a failing sweep. Without -sweep.point it
+// replays a fixed smoke point per scenario so the path itself stays tested.
+func TestReplay(t *testing.T) {
+	if *flagPoint != 0 {
+		name := *flagScenario
+		if name == "" {
+			t.Fatal("-sweep.point requires -sweep.scenario (or SWEEP_SCENARIO)")
+		}
+		sc := ScenarioByName(name)
+		if sc == nil {
+			t.Fatalf("no scenario %q", name)
+		}
+		mode := parseMode(t, *flagMode)
+		pr, err := Replay(sc, *flagSeed, mode, *flagPoint)
+		if err != nil {
+			t.Fatalf("replay (scenario=%s seed=%d mode=%v point=%d): %v", name, *flagSeed, mode, *flagPoint, err)
+		}
+		t.Logf("replay ok: %+v", pr)
+		return
+	}
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			pr, err := Replay(sc, *flagSeed, faultfs.ModeCrash, 5)
+			if err != nil {
+				t.Fatalf("replay (scenario=%s seed=%d mode=crash point=5): %v", sc.Name, *flagSeed, err)
+			}
+			if pr.Op == 0 && pr.File == "" {
+				t.Fatalf("replay recorded no fired event: %+v", pr)
+			}
+		})
+	}
+}

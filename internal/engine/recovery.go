@@ -58,6 +58,8 @@ func Recover(cfg Config) (*DB, error) {
 		payload []byte
 	})
 	committedIB := make(map[types.IndexID][]byte)
+	createIdxTxn := make(map[types.IndexID]types.TxnID)
+	committedTxns := make(map[types.TxnID]bool) // survives the End-record delete from tt
 	var maxTxn types.TxnID
 
 	scanFrom := types.LSN(1)
@@ -118,6 +120,7 @@ func Recover(cfg Config) (*DB, error) {
 			switch rec.Type {
 			case wal.TypeCommit:
 				e.committed = true
+				committedTxns[rec.TxnID] = true
 			case wal.TypeEnd:
 				if e.committed {
 					// Late-bind the builder checkpoints this txn carried.
@@ -151,6 +154,7 @@ func Recover(cfg Config) (*DB, error) {
 				if err := db.cat.AddIndex(&ix); err != nil {
 					return nil, err
 				}
+				createIdxTxn[ix.ID] = rec.TxnID
 			}
 		case wal.TypeDropIndex, wal.TypeIndexStateChange:
 			pl, err := catalog.DecodeStateChange(rec.Payload)
@@ -184,6 +188,26 @@ func Recover(cfg Config) (*DB, error) {
 	for id, c := range ibCandidates {
 		if e := tt[c.txn]; e != nil && e.committed {
 			committedIB[id] = c.payload
+		}
+	}
+
+	// A CreateIndex whose transaction never committed is dropped before any
+	// handle is opened: the log can end between the descriptor record and its
+	// commit (a torn tail lands on an arbitrary record boundary), or the
+	// creating transaction can have rolled back after the record (an I/O
+	// error creating the index file) and ended cleanly — either way leaving a
+	// descriptor whose index file may hold nothing, not even a formatted
+	// root. Nothing committed can reference the index (the descriptor only
+	// becomes visible at commit), and TypeCreateIndex is redo-only, so undo
+	// would not clean it up either. AddIndex already advanced the catalog's
+	// file-ID high-water mark, so the orphaned file's ID is never reused.
+	for id, txnID := range createIdxTxn {
+		if !committedTxns[txnID] {
+			if err := db.cat.SetIndexState(id, catalog.StateDropped, types.NilLSN); err != nil {
+				return nil, err
+			}
+			delete(committedIB, id)
+			delete(ibCandidates, id)
 		}
 	}
 

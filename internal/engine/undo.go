@@ -203,10 +203,44 @@ func (db *DB) undoHeapOp(tx *txn.Txn, logger clrLogger, rec *wal.Record, opVisCo
 		return plan.err
 	}
 
+	// Fig. 2's count comparison has a second direction that only restart can
+	// produce: recovery restores an SF build's Current-RID from its last
+	// *committed* checkpoint, which may trail the Current-RID the op saw, so
+	// an index that was visible at op time (rid < Current-RID then) can be
+	// invisible at undo time (rid >= Current-RID now). The op's side-file
+	// entry is durable, but the resumed scan re-extracts the rid's region
+	// from the post-undo heap and will not see the record — without a
+	// compensating side-file entry the drain would replay the rolled-back
+	// change. The record count exceeding the currently-visible count detects
+	// exactly this; the surplus is matched to skipped SF plans in creation
+	// order (exact whenever the table's SF builds share one builder's
+	// Current-RID, which is how builds are run here).
+	visibleNow := 0
+	for i := range plan.plans {
+		if plan.plans[i].mode != planSkip {
+			visibleNow++
+		}
+	}
+	deficit := int(opVisCount) - visibleNow
+
 	visIdx := -1 // position among *visible* indexes, for the count comparison
 	for i := range plan.plans {
 		p := &plan.plans[i]
 		if p.mode == planSkip {
+			if deficit > 0 && p.ix.Method == catalog.MethodSF && p.ix.State == catalog.StateBuilding {
+				deficit--
+				if ctl := db.BuildCtlOf(p.ix.ID); ctl != nil {
+					ctl.EnterAppend()
+					if ctl.Phase() == PhaseCapture {
+						sub := opPlan{plans: []idxPlan{{ix: p.ix, mode: planSideFile, ctl: ctl}}}
+						if err := db.applyIndexOps(tx, logger, &sub, delRec, insRec, rid); err != nil {
+							return err
+						}
+					} else {
+						ctl.LeaveAppend()
+					}
+				}
+			}
 			continue
 		}
 		visIdx++

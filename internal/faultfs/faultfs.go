@@ -1,0 +1,355 @@
+// Package faultfs wraps a vfs.MemFS and numbers every state-changing I/O
+// operation — WriteAt, Sync, Truncate, Create, Remove — as a fault point.
+// A configured fault fires at exactly one point k:
+//
+//   - ModeCrash: the file system crashes instead of performing op k, losing
+//     everything that was never synced (vfs.MemFS.Crash).
+//   - ModeTorn: the crash happens while op k's bytes are in flight. A torn
+//     WriteAt first applies a seeded prefix of its buffer, then every file's
+//     unsynced byte range is cut at a seeded point and persisted
+//     (vfs.MemFS.CrashTorn) — modelling writes that partially reached the
+//     platter when the power failed.
+//   - ModeError: op k fails with ErrInjected and the file system keeps
+//     running, exercising the caller's error-cleanup path.
+//
+// Reads and metadata queries are never fault points: they don't change
+// durable state, so crashing "at" them explores no new schedule.
+//
+// Because fault points are numbered by arrival order, a workload that issues
+// I/O deterministically makes every failure reproducible from the
+// (seed, point) pair alone. The optional trace records each counted op so a
+// sweep can verify that determinism instead of assuming it.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"onlineindex/internal/vfs"
+)
+
+// ErrInjected is returned by the faulted operation in ModeError.
+var ErrInjected = errors.New("faultfs: injected I/O error")
+
+// Op identifies the kind of a counted I/O operation.
+type Op uint8
+
+// Counted operations. These are exactly the calls that mutate volatile or
+// durable file-system state.
+const (
+	OpCreate Op = iota
+	OpRemove
+	OpWriteAt
+	OpSync
+	OpTruncate
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpCreate:
+		return "create"
+	case OpRemove:
+		return "remove"
+	case OpWriteAt:
+		return "writeat"
+	case OpSync:
+		return "sync"
+	case OpTruncate:
+		return "truncate"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Mode selects what happens at the configured fault point.
+type Mode uint8
+
+const (
+	// ModeCount performs no injection; the run just numbers fault points.
+	ModeCount Mode = iota
+	// ModeCrash crashes the file system instead of performing the op.
+	ModeCrash
+	// ModeTorn crashes with the op's (and every file's) unsynced bytes torn.
+	ModeTorn
+	// ModeError fails the op with ErrInjected and keeps running.
+	ModeError
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeCount:
+		return "count"
+	case ModeCrash:
+		return "crash"
+	case ModeTorn:
+		return "torn"
+	case ModeError:
+		return "error"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Event is one counted I/O operation.
+type Event struct {
+	K    uint64 // 1-based fault-point number
+	Op   Op
+	Name string
+	Off  int64 // WriteAt offset / Truncate size; 0 otherwise
+	Len  int   // WriteAt buffer length; 0 otherwise
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("#%d %s %s off=%d len=%d", e.K, e.Op, e.Name, e.Off, e.Len)
+}
+
+// Config parameterizes one faulted run.
+type Config struct {
+	Mode Mode
+	// Point is the 1-based fault point at which the fault fires. Ignored in
+	// ModeCount.
+	Point uint64
+	// Seed drives the torn-write cut points. The same (Seed, Point) always
+	// tears the same bytes.
+	Seed int64
+	// TornOK, when non-nil, restricts which files a torn crash may persist
+	// unsynced bytes of; others lose them as in a clean crash. The sweep uses
+	// this to confine tearing to files with torn-tolerant formats (the
+	// CRC-framed WAL, length-checkpointed sort runs) — page files have no
+	// checksums, so a torn page write is undetectable by construction and is
+	// out of the fault model (DESIGN.md §6).
+	TornOK func(name string) bool
+	// Trace records every counted op for replay verification.
+	Trace bool
+}
+
+// FS is the fault-injecting file system. Wrap it around a fresh MemFS, set
+// up any state that should not be counted (schema, seed rows), then Arm it
+// and run the workload under test.
+type FS struct {
+	mem *vfs.MemFS
+	cfg Config
+
+	mu     sync.Mutex
+	armed  bool
+	points uint64
+	fired  bool
+	fireEv Event
+	trace  []Event
+	rng    *rand.Rand // created when the torn fault fires
+}
+
+// Wrap returns a fault-injecting view of mem. The wrapper starts disarmed:
+// operations pass through uncounted until Arm.
+func Wrap(mem *vfs.MemFS, cfg Config) *FS {
+	return &FS{mem: mem, cfg: cfg}
+}
+
+// Underlying returns the wrapped MemFS (for recovery: the new incarnation
+// mounts the disks directly, without fault injection).
+func (f *FS) Underlying() *vfs.MemFS { return f.mem }
+
+// Arm starts counting fault points at 1.
+func (f *FS) Arm() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.armed = true
+}
+
+// Disarm stops counting; operations pass through again.
+func (f *FS) Disarm() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.armed = false
+}
+
+// Points returns how many fault points have been counted since Arm.
+func (f *FS) Points() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.points
+}
+
+// Fired reports whether the configured fault fired, and at which operation.
+func (f *FS) Fired() (Event, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fireEv, f.fired
+}
+
+// Trace returns the recorded operations (Config.Trace must be set).
+func (f *FS) Trace() []Event {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Event(nil), f.trace...)
+}
+
+// action is what the current operation must do after counting.
+type action uint8
+
+const (
+	actPass action = iota
+	actCrash
+	actTorn
+	actError
+)
+
+// note counts one operation and decides its fate. The torn mode only makes
+// sense for operations with bytes in flight; at any other op it degrades to
+// a clean crash (the schedule is still explored, just without tearing).
+func (f *FS) note(op Op, name string, off int64, length int) action {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.armed || f.fired {
+		return actPass
+	}
+	f.points++
+	ev := Event{K: f.points, Op: op, Name: name, Off: off, Len: length}
+	if f.cfg.Trace {
+		f.trace = append(f.trace, ev)
+	}
+	if f.cfg.Mode == ModeCount || f.points != f.cfg.Point {
+		return actPass
+	}
+	f.fired = true
+	f.fireEv = ev
+	switch f.cfg.Mode {
+	case ModeError:
+		return actError
+	case ModeTorn:
+		f.rng = rand.New(rand.NewSource(f.cfg.Seed ^ int64(uint64(f.cfg.Point)*0x9E3779B97F4A7C15)))
+		if (op == OpWriteAt || op == OpSync) && (f.cfg.TornOK == nil || f.cfg.TornOK(name)) {
+			return actTorn
+		}
+		return actCrash
+	default:
+		return actCrash
+	}
+}
+
+// tornLen picks how many of n in-flight bytes reach the page cache before
+// the power fails: a strict prefix, possibly empty.
+func (f *FS) tornLen(n int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n <= 0 {
+		return 0
+	}
+	return f.rng.Intn(n)
+}
+
+// chooser returns the per-file cut-point function for vfs.MemFS.CrashTorn.
+// MemFS calls it in sorted file-name order, so the draws are deterministic.
+func (f *FS) chooser() func(name string, lo, hi int64) int64 {
+	return func(name string, lo, hi int64) int64 {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if f.cfg.TornOK != nil && !f.cfg.TornOK(name) {
+			return lo
+		}
+		return lo + f.rng.Int63n(hi-lo+1)
+	}
+}
+
+// Create implements vfs.FS.
+func (f *FS) Create(name string) (vfs.File, error) {
+	switch f.note(OpCreate, name, 0, 0) {
+	case actError:
+		return nil, fmt.Errorf("create %s: %w", name, ErrInjected)
+	case actCrash, actTorn:
+		f.mem.Crash()
+		return nil, vfs.ErrCrashed
+	}
+	inner, err := f.mem.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, inner: inner, name: name}, nil
+}
+
+// Open implements vfs.FS. Opening is not a fault point, but the returned
+// handle's mutating operations are counted.
+func (f *FS) Open(name string) (vfs.File, error) {
+	inner, err := f.mem.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, inner: inner, name: name}, nil
+}
+
+// Remove implements vfs.FS.
+func (f *FS) Remove(name string) error {
+	switch f.note(OpRemove, name, 0, 0) {
+	case actError:
+		return fmt.Errorf("remove %s: %w", name, ErrInjected)
+	case actCrash, actTorn:
+		f.mem.Crash()
+		return vfs.ErrCrashed
+	}
+	return f.mem.Remove(name)
+}
+
+// Exists implements vfs.FS.
+func (f *FS) Exists(name string) (bool, error) { return f.mem.Exists(name) }
+
+// List implements vfs.FS.
+func (f *FS) List() ([]string, error) { return f.mem.List() }
+
+// file wraps one handle, counting its mutating operations.
+type file struct {
+	fs    *FS
+	inner vfs.File
+	name  string
+}
+
+func (h *file) ReadAt(p []byte, off int64) (int, error) { return h.inner.ReadAt(p, off) }
+func (h *file) Size() (int64, error)                    { return h.inner.Size() }
+func (h *file) Close() error                            { return h.inner.Close() }
+func (h *file) Name() string                            { return h.name }
+
+func (h *file) WriteAt(p []byte, off int64) (int, error) {
+	switch h.fs.note(OpWriteAt, h.name, off, len(p)) {
+	case actError:
+		return 0, fmt.Errorf("write %s: %w", h.name, ErrInjected)
+	case actCrash:
+		h.fs.mem.Crash()
+		return 0, vfs.ErrCrashed
+	case actTorn:
+		// A prefix of p reaches the page cache, then the crash tears every
+		// file's in-flight bytes at seeded cut points.
+		if n := h.fs.tornLen(len(p)); n > 0 {
+			h.inner.WriteAt(p[:n], off) //nolint:errcheck // pre-crash best effort
+		}
+		h.fs.mem.CrashTorn(h.fs.chooser())
+		return 0, vfs.ErrCrashed
+	}
+	return h.inner.WriteAt(p, off)
+}
+
+func (h *file) Sync() error {
+	switch h.fs.note(OpSync, h.name, 0, 0) {
+	case actError:
+		return fmt.Errorf("sync %s: %w", h.name, ErrInjected)
+	case actCrash:
+		h.fs.mem.Crash()
+		return vfs.ErrCrashed
+	case actTorn:
+		// The sync was in flight: some of the dirty range made it out.
+		h.fs.mem.CrashTorn(h.fs.chooser())
+		return vfs.ErrCrashed
+	}
+	return h.inner.Sync()
+}
+
+func (h *file) Truncate(size int64) error {
+	switch h.fs.note(OpTruncate, h.name, size, 0) {
+	case actError:
+		return fmt.Errorf("truncate %s: %w", h.name, ErrInjected)
+	case actCrash, actTorn:
+		h.fs.mem.Crash()
+		return vfs.ErrCrashed
+	}
+	return h.inner.Truncate(size)
+}

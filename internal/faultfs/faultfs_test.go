@@ -1,0 +1,260 @@
+package faultfs
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"onlineindex/internal/vfs"
+)
+
+// workload issues a fixed sequence of mutating operations: create two files,
+// write and sync both, truncate one, remove the other. Nine fault points.
+func workload(fs vfs.FS) error {
+	a, err := fs.Create("a.dat") // point 1
+	if err != nil {
+		return err
+	}
+	b, err := fs.Create("b.dat") // point 2
+	if err != nil {
+		return err
+	}
+	if _, err := a.WriteAt([]byte("aaaaaaaa"), 0); err != nil { // point 3
+		return err
+	}
+	if _, err := b.WriteAt([]byte("bbbbbbbb"), 0); err != nil { // point 4
+		return err
+	}
+	if err := a.Sync(); err != nil { // point 5
+		return err
+	}
+	if err := b.Sync(); err != nil { // point 6
+		return err
+	}
+	if _, err := a.WriteAt([]byte("AAAA"), 8); err != nil { // point 7
+		return err
+	}
+	if err := a.Truncate(4); err != nil { // point 8
+		return err
+	}
+	return fs.Remove("b.dat") // point 9
+}
+
+func countRun(t *testing.T) []Event {
+	t.Helper()
+	fs := Wrap(vfs.NewMemFS(), Config{Mode: ModeCount, Trace: true})
+	fs.Arm()
+	if err := workload(fs); err != nil {
+		t.Fatalf("count run failed: %v", err)
+	}
+	return fs.Trace()
+}
+
+func TestCountingDeterministic(t *testing.T) {
+	tr1, tr2 := countRun(t), countRun(t)
+	if len(tr1) != 9 {
+		t.Fatalf("counted %d fault points, want 9: %v", len(tr1), tr1)
+	}
+	if !reflect.DeepEqual(tr1, tr2) {
+		t.Fatalf("two count runs disagree:\n%v\n%v", tr1, tr2)
+	}
+	wantOps := []Op{OpCreate, OpCreate, OpWriteAt, OpWriteAt, OpSync, OpSync, OpWriteAt, OpTruncate, OpRemove}
+	for i, ev := range tr1 {
+		if ev.K != uint64(i+1) || ev.Op != wantOps[i] {
+			t.Fatalf("event %d = %v, want op %v at k=%d", i, ev, wantOps[i], i+1)
+		}
+	}
+}
+
+func TestDisarmedNotCounted(t *testing.T) {
+	fs := Wrap(vfs.NewMemFS(), Config{Mode: ModeCount, Trace: true})
+	f, err := fs.Create("pre.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Points(); got != 0 {
+		t.Fatalf("disarmed ops counted: %d points", got)
+	}
+	fs.Arm()
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fs.Disarm()
+	if _, err := f.WriteAt([]byte("y"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Points(); got != 1 {
+		t.Fatalf("points = %d, want 1 (only the armed Sync)", got)
+	}
+}
+
+// TestCrashAtEveryPoint crashes at each of the workload's nine points and
+// checks (a) the faulted op returns ErrCrashed, (b) the fired event matches
+// the count run's trace, (c) operations before the point are not replayed —
+// synced state survives, unsynced state does not.
+func TestCrashAtEveryPoint(t *testing.T) {
+	trace := countRun(t)
+	for k := uint64(1); k <= uint64(len(trace)); k++ {
+		mem := vfs.NewMemFS()
+		fs := Wrap(mem, Config{Mode: ModeCrash, Point: k, Seed: 1})
+		fs.Arm()
+		err := workload(fs)
+		if !errors.Is(err, vfs.ErrCrashed) {
+			t.Fatalf("point %d: workload error = %v, want ErrCrashed", k, err)
+		}
+		ev, ok := fs.Fired()
+		if !ok {
+			t.Fatalf("point %d: fault never fired", k)
+		}
+		if want := trace[k-1]; ev != want {
+			t.Fatalf("point %d: fired %v, want %v", k, ev, want)
+		}
+		mem.Recover()
+		// Points 1-5 precede a.dat's sync: it must not exist durably. From
+		// point 6 on (crash at b's Sync or later) a.dat holds its synced bytes.
+		ok, err = mem.Exists("a.dat")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := k >= 6; ok != want {
+			t.Fatalf("point %d: a.dat exists=%v, want %v", k, ok, want)
+		}
+		if k >= 6 {
+			f, err := mem.Open("a.dat")
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, 8)
+			if _, err := f.ReadAt(buf, 0); err != nil {
+				t.Fatalf("point %d: read a.dat: %v", k, err)
+			}
+			if string(buf) != "aaaaaaaa" {
+				t.Fatalf("point %d: a.dat = %q, want synced image", k, buf)
+			}
+			if sz, _ := f.Size(); k <= 8 && sz != 8 {
+				// The unsynced post-sync write (point 7) and truncate (8)
+				// must not have reached the durable image.
+				t.Fatalf("point %d: a.dat size = %d, want 8", k, sz)
+			}
+		}
+	}
+}
+
+func TestErrorInjectionKeepsRunning(t *testing.T) {
+	mem := vfs.NewMemFS()
+	fs := Wrap(mem, Config{Mode: ModeError, Point: 3, Seed: 1})
+	fs.Arm()
+	err := workload(fs)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("workload error = %v, want ErrInjected", err)
+	}
+	// The file system did not crash: the handle still works and later,
+	// uncounted operations succeed (only one fault fires per run).
+	f, err := fs.Open("a.dat")
+	if err != nil {
+		t.Fatalf("open after injected error: %v", err)
+	}
+	if _, err := f.WriteAt([]byte("retry"), 0); err != nil {
+		t.Fatalf("write after injected error: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after injected error: %v", err)
+	}
+	if ev, ok := fs.Fired(); !ok || ev.K != 3 || ev.Op != OpWriteAt {
+		t.Fatalf("fired = %v/%v, want WriteAt at k=3", ev, ok)
+	}
+}
+
+// TestTornWriteAt tears the workload at a WriteAt: a seeded prefix of the
+// in-flight buffer may persist, and the result is deterministic per seed.
+func TestTornWriteAt(t *testing.T) {
+	read := func(seed int64) (bool, []byte) {
+		mem := vfs.NewMemFS()
+		fs := Wrap(mem, Config{Mode: ModeTorn, Point: 7, Seed: seed})
+		fs.Arm()
+		if err := workload(fs); !errors.Is(err, vfs.ErrCrashed) {
+			t.Fatalf("workload error = %v, want ErrCrashed", err)
+		}
+		mem.Recover()
+		f, err := mem.Open("a.dat")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sz, _ := f.Size()
+		buf := make([]byte, sz)
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+		synced := string(buf[:8]) == "aaaaaaaa"
+		return synced, buf[8:]
+	}
+	sawTail := false
+	for seed := int64(1); seed <= 16; seed++ {
+		synced, tail1 := read(seed)
+		if !synced {
+			t.Fatalf("seed %d: synced prefix of a.dat corrupted by torn write", seed)
+		}
+		_, tail2 := read(seed)
+		if string(tail1) != string(tail2) {
+			t.Fatalf("seed %d: torn result not deterministic: %q vs %q", seed, tail1, tail2)
+		}
+		// Whatever persisted must be a prefix of the in-flight "AAAA".
+		if len(tail1) > 4 || string(tail1) != "AAAA"[:len(tail1)] {
+			t.Fatalf("seed %d: torn tail %q is not a prefix of the write", seed, tail1)
+		}
+		if len(tail1) > 0 {
+			sawTail = true
+		}
+	}
+	if !sawTail {
+		t.Fatal("no seed in 1..16 persisted any torn bytes; tearing looks inert")
+	}
+}
+
+// TestTornOKFallback: when TornOK rejects the file, the torn fault degrades
+// to a clean crash — no unsynced byte of any file persists.
+func TestTornOKFallback(t *testing.T) {
+	mem := vfs.NewMemFS()
+	fs := Wrap(mem, Config{
+		Mode: ModeTorn, Point: 7, Seed: 3,
+		TornOK: func(string) bool { return false },
+	})
+	fs.Arm()
+	if err := workload(fs); !errors.Is(err, vfs.ErrCrashed) {
+		t.Fatalf("workload error = %v, want ErrCrashed", err)
+	}
+	mem.Recover()
+	f, err := mem.Open("a.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := f.Size(); sz != 8 {
+		t.Fatalf("a.dat size = %d after clean-degraded torn crash, want 8", sz)
+	}
+}
+
+// TestTornAtTruncateDegrades: torn mode at an op with no bytes in flight is
+// a clean crash, not a panic or a tear.
+func TestTornAtTruncateDegrades(t *testing.T) {
+	mem := vfs.NewMemFS()
+	fs := Wrap(mem, Config{Mode: ModeTorn, Point: 8, Seed: 1})
+	fs.Arm()
+	if err := workload(fs); !errors.Is(err, vfs.ErrCrashed) {
+		t.Fatalf("workload error = %v, want ErrCrashed", err)
+	}
+	ev, ok := fs.Fired()
+	if !ok || ev.Op != OpTruncate {
+		t.Fatalf("fired = %v/%v, want Truncate", ev, ok)
+	}
+	mem.Recover()
+	f, err := mem.Open("a.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := f.Size(); sz != 8 {
+		t.Fatalf("a.dat size = %d, want 8 (post-sync write and truncate both lost)", sz)
+	}
+}

@@ -1,0 +1,148 @@
+package keyenc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// parseValues interprets fuzz bytes as a value list: each value takes a kind
+// byte followed by its operand (8 bytes for the integer kinds, a
+// length-prefixed blob for string/bytes). The interpreter is total — any
+// input yields some value list — so the fuzzer explores the semantic space,
+// not the parser.
+func parseValues(data []byte) []Value {
+	var vals []Value
+	for len(vals) < 8 && len(data) > 0 {
+		kind := data[0] % 5
+		data = data[1:]
+		switch Kind(kind) {
+		case KindNull:
+			vals = append(vals, Null())
+		case KindInt64:
+			var buf [8]byte
+			copy(buf[:], data)
+			data = data[min(8, len(data)):]
+			vals = append(vals, Int64(int64(binary.BigEndian.Uint64(buf[:]))))
+		case KindUint64:
+			var buf [8]byte
+			copy(buf[:], data)
+			data = data[min(8, len(data)):]
+			vals = append(vals, Uint64(binary.BigEndian.Uint64(buf[:])))
+		case KindString, KindBytes:
+			n := 0
+			if len(data) > 0 {
+				n = int(data[0]) % 24
+				data = data[1:]
+			}
+			if n > len(data) {
+				n = len(data)
+			}
+			blob := append([]byte(nil), data[:n]...)
+			data = data[n:]
+			if Kind(kind) == KindString {
+				vals = append(vals, String(string(blob)))
+			} else {
+				vals = append(vals, Bytes(blob))
+			}
+		}
+	}
+	return vals
+}
+
+// compareValues is the semantic comparator the encoding must agree with:
+// position by position, first by kind tag, then by the natural order of the
+// value; a shorter list that is a prefix of a longer one sorts first.
+func compareValues(a, b []Value) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		av, bv := a[i], b[i]
+		if av.Kind != bv.Kind {
+			if av.Kind < bv.Kind {
+				return -1
+			}
+			return 1
+		}
+		var c int
+		switch av.Kind {
+		case KindNull:
+			c = 0
+		case KindInt64:
+			switch {
+			case av.I < bv.I:
+				c = -1
+			case av.I > bv.I:
+				c = 1
+			}
+		case KindUint64:
+			switch {
+			case av.U < bv.U:
+				c = -1
+			case av.U > bv.U:
+				c = 1
+			}
+		case KindString:
+			c = bytes.Compare([]byte(av.S), []byte(bv.S))
+		case KindBytes:
+			c = bytes.Compare(av.B, bv.B)
+		}
+		if c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+func sign(c int) int {
+	switch {
+	case c < 0:
+		return -1
+	case c > 0:
+		return 1
+	}
+	return 0
+}
+
+// FuzzKeyEncOrder checks the package's one contract on arbitrary value
+// lists: bytes.Compare of the encodings equals the semantic comparison of
+// the values (memcmp-comparability), and Decode inverts Encode exactly.
+func FuzzKeyEncOrder(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 5}, []byte{1, 0, 0, 0, 0, 0, 0, 0, 9})
+	f.Add([]byte{3, 1, 'a'}, []byte{3, 3, 'a', 0, 'b'})                                            // "a" vs "a\x00b"
+	f.Add([]byte{3, 2, 'a', 'b'}, []byte{3, 1, 'a'})                                               // "ab" vs "a"
+	f.Add([]byte{0, 1, 255, 255, 255, 255, 255, 255, 255, 255}, []byte{2, 0, 0, 0, 0, 0, 0, 0, 0}) // null,-1 vs uint 0
+	f.Add([]byte{4, 3, 0, 0, 1}, []byte{4, 2, 0, 0})                                               // embedded zeros
+	f.Add([]byte{1, 128, 0, 0, 0, 0, 0, 0, 0}, []byte{1, 127, 255, 255, 255, 255, 255, 255, 255})  // MinInt64 vs MaxInt64
+
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
+		a, b := parseValues(rawA), parseValues(rawB)
+		ea, eb := Encode(a...), Encode(b...)
+
+		if got, want := sign(bytes.Compare(ea, eb)), sign(compareValues(a, b)); got != want {
+			t.Fatalf("order mismatch: bytes.Compare=%d semantic=%d\na=%v -> %x\nb=%v -> %x", got, want, a, ea, b, eb)
+		}
+		for _, pair := range []struct {
+			vals []Value
+			enc  []byte
+		}{{a, ea}, {b, eb}} {
+			dec, err := Decode(pair.enc)
+			if err != nil {
+				t.Fatalf("decode %x (from %v): %v", pair.enc, pair.vals, err)
+			}
+			if len(dec) != len(pair.vals) {
+				t.Fatalf("decode %x: %d values, want %d", pair.enc, len(dec), len(pair.vals))
+			}
+			for i := range dec {
+				if !dec[i].Equal(pair.vals[i]) {
+					t.Fatalf("decode %x: value %d = %v, want %v", pair.enc, i, dec[i], pair.vals[i])
+				}
+			}
+		}
+	})
+}

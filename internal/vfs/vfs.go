@@ -175,12 +175,35 @@ func (fs *MemFS) ResetStats() {
 // durable image. Until Recover is called, every operation fails with
 // ErrCrashed, which catches code that accidentally holds on to pre-crash
 // file handles.
-func (fs *MemFS) Crash() {
+func (fs *MemFS) Crash() { fs.crash(nil) }
+
+// CrashTorn simulates a system failure while writes were in flight: for
+// every file with unsynced bytes, persist(name, lo, hi) chooses a cut point
+// in [lo, hi] and the bytes [lo, cut) reach the durable image even though
+// they were never synced — a torn write. A file whose size shrank since its
+// last sync keeps clean Crash semantics (the truncate stays volatile, the
+// durable image is untouched). Files are visited in sorted name order, so a
+// deterministic chooser produces a deterministic durable image; this is what
+// makes fault-injection runs replayable from a seed.
+func (fs *MemFS) CrashTorn(persist func(name string, lo, hi int64) int64) {
+	fs.crash(persist)
+}
+
+func (fs *MemFS) crash(persist func(name string, lo, hi int64) int64) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	fs.crashed = true
 	fs.gen++
-	for name, f := range fs.files {
+	names := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := fs.files[name]
+		if persist != nil && !f.shrunk {
+			fs.tearLocked(f, persist)
+		}
 		if !f.synced {
 			delete(fs.files, name)
 			continue
@@ -189,6 +212,38 @@ func (fs *MemFS) Crash() {
 		f.dirtyLo, f.dirtyHi = cleanLo, 0
 		f.shrunk = false
 	}
+}
+
+// tearLocked persists a chooser-selected prefix of f's unsynced byte range
+// to the durable image. For a file that was never synced the whole volatile
+// image is in flight; persisting any of it also makes the file's existence
+// durable (the directory entry reached the platter along with the data).
+func (fs *MemFS) tearLocked(f *memFile, persist func(name string, lo, hi int64) int64) {
+	lo, hi := f.dirtyLo, f.dirtyHi
+	if !f.synced {
+		lo, hi = 0, int64(len(f.volatle))
+	}
+	if hi > int64(len(f.volatle)) {
+		hi = int64(len(f.volatle))
+	}
+	if lo >= hi {
+		return
+	}
+	cut := persist(f.name, lo, hi)
+	if cut < lo {
+		cut = lo
+	}
+	if cut > hi {
+		cut = hi
+	}
+	if cut == lo {
+		return
+	}
+	if int64(len(f.durable)) < cut {
+		f.durable = append(f.durable, make([]byte, cut-int64(len(f.durable)))...)
+	}
+	copy(f.durable[lo:cut], f.volatle[lo:cut])
+	f.synced = true
 }
 
 // Recover ends the crashed state, making the durable images readable again.

@@ -232,3 +232,203 @@ func TestOSFS(t *testing.T) {
 		t.Error("file not removed")
 	}
 }
+
+// TestMemFSPostCrashErrors audits every error path after Crash: each
+// operation — through a pre-crash handle or at the FS level — must fail with
+// ErrCrashed, and pre-crash handles stay fenced even after Recover (the dead
+// incarnation's I/O must never reach the recovered disks).
+func TestMemFSPostCrashErrors(t *testing.T) {
+	setup := func() (*MemFS, File) {
+		fs := NewMemFS()
+		f, err := fs.Create("a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt([]byte("payload"), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		fs.Crash()
+		return fs, f
+	}
+
+	handleOps := []struct {
+		name string
+		op   func(f File) error
+	}{
+		{"ReadAt", func(f File) error { _, err := f.ReadAt(make([]byte, 1), 0); return err }},
+		{"WriteAt", func(f File) error { _, err := f.WriteAt([]byte("x"), 0); return err }},
+		{"Sync", func(f File) error { return f.Sync() }},
+		{"Truncate", func(f File) error { return f.Truncate(0) }},
+		{"Size", func(f File) error { _, err := f.Size(); return err }},
+	}
+	for _, tc := range handleOps {
+		t.Run("handle/"+tc.name, func(t *testing.T) {
+			fs, f := setup()
+			if err := tc.op(f); !errors.Is(err, ErrCrashed) {
+				t.Fatalf("%s on pre-crash handle = %v, want ErrCrashed", tc.name, err)
+			}
+			// The fence is generational, not just the crashed flag: after
+			// Recover the old handle must still be dead while new handles work.
+			fs.Recover()
+			if err := tc.op(f); !errors.Is(err, ErrCrashed) {
+				t.Fatalf("%s on pre-crash handle after Recover = %v, want ErrCrashed", tc.name, err)
+			}
+			nf, err := fs.Open("a")
+			if err != nil {
+				t.Fatalf("open after Recover: %v", err)
+			}
+			if err := tc.op(nf); errors.Is(err, ErrCrashed) {
+				t.Fatalf("%s on post-Recover handle still fenced", tc.name)
+			}
+		})
+	}
+
+	fsOps := []struct {
+		name string
+		op   func(fs *MemFS) error
+	}{
+		{"Create", func(fs *MemFS) error { _, err := fs.Create("b"); return err }},
+		{"Open", func(fs *MemFS) error { _, err := fs.Open("a"); return err }},
+		{"Remove", func(fs *MemFS) error { return fs.Remove("a") }},
+		{"Exists", func(fs *MemFS) error { _, err := fs.Exists("a"); return err }},
+		{"List", func(fs *MemFS) error { _, err := fs.List(); return err }},
+	}
+	for _, tc := range fsOps {
+		t.Run("fs/"+tc.name, func(t *testing.T) {
+			fs, _ := setup()
+			if err := tc.op(fs); !errors.Is(err, ErrCrashed) {
+				t.Fatalf("%s while crashed = %v, want ErrCrashed", tc.name, err)
+			}
+			fs.Recover()
+			if err := tc.op(fs); errors.Is(err, ErrCrashed) {
+				t.Fatalf("%s after Recover still returns ErrCrashed", tc.name)
+			}
+		})
+	}
+}
+
+// TestMemFSCrashTornSyncedFile: a torn crash persists exactly the chosen
+// prefix of a synced file's unsynced range and nothing beyond it.
+func TestMemFSCrashTornSyncedFile(t *testing.T) {
+	fs := NewMemFS()
+	f, err := fs.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("00000000"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("11111111"), 8); err != nil {
+		t.Fatal(err)
+	}
+	var gotLo, gotHi int64
+	fs.CrashTorn(func(name string, lo, hi int64) int64 {
+		gotLo, gotHi = lo, hi
+		return lo + 3
+	})
+	if gotLo != 8 || gotHi != 16 {
+		t.Fatalf("chooser saw range [%d,%d), want [8,16)", gotLo, gotHi)
+	}
+	fs.Recover()
+	nf, err := fs.Open("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sz, _ := nf.Size()
+	if sz != 11 {
+		t.Fatalf("size after torn crash = %d, want 11 (8 synced + 3 torn)", sz)
+	}
+	buf := make([]byte, sz)
+	if _, err := nf.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "00000000111" {
+		t.Fatalf("torn image = %q, want %q", buf, "00000000111")
+	}
+}
+
+// TestMemFSCrashTornUnsyncedFile: for a never-synced file the whole volatile
+// image is in flight; a non-empty cut makes the file (and its torn prefix)
+// durable, a zero cut makes it vanish as in a clean crash.
+func TestMemFSCrashTornUnsyncedFile(t *testing.T) {
+	for _, cutBytes := range []int64{0, 5} {
+		fs := NewMemFS()
+		f, err := fs.Create("u")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt([]byte("abcdefgh"), 0); err != nil {
+			t.Fatal(err)
+		}
+		fs.CrashTorn(func(name string, lo, hi int64) int64 { return lo + cutBytes })
+		fs.Recover()
+		ok, err := fs.Exists("u")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := cutBytes > 0; ok != want {
+			t.Fatalf("cut=%d: exists=%v, want %v", cutBytes, ok, want)
+		}
+		if cutBytes > 0 {
+			nf, err := fs.Open("u")
+			if err != nil {
+				t.Fatal(err)
+			}
+			sz, _ := nf.Size()
+			buf := make([]byte, sz)
+			if _, err := nf.ReadAt(buf, 0); err != nil {
+				t.Fatal(err)
+			}
+			if string(buf) != "abcde" {
+				t.Fatalf("cut=%d: image %q, want %q", cutBytes, buf, "abcde")
+			}
+		}
+	}
+}
+
+// TestMemFSCrashTornShrunkFile: a file truncated (shrunk) since its last
+// sync keeps clean-crash semantics under CrashTorn — the volatile truncate
+// never reaches the durable image.
+func TestMemFSCrashTornShrunkFile(t *testing.T) {
+	fs := NewMemFS()
+	f, err := fs.Create("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("longcontent"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("XY"), 4); err != nil {
+		t.Fatal(err)
+	}
+	called := false
+	fs.CrashTorn(func(name string, lo, hi int64) int64 { called = true; return hi })
+	if called {
+		t.Fatal("chooser called for a shrunk file; tearing must not apply")
+	}
+	fs.Recover()
+	nf, err := fs.Open("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sz, _ := nf.Size()
+	buf := make([]byte, sz)
+	if _, err := nf.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "longcontent" {
+		t.Fatalf("shrunk file after torn crash = %q, want last synced image", buf)
+	}
+}

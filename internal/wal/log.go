@@ -199,6 +199,60 @@ func (l *Log) Stats() Stats {
 // leaves unforced records volatile).
 func (l *Log) Close() error { return l.f.Close() }
 
+// TailInfo describes how much of the log file's image parses as a valid
+// record sequence.
+type TailInfo struct {
+	Size    int64 // log file size in bytes
+	Valid   int64 // length of the decodable record prefix
+	Records int   // records in that prefix
+	Torn    bool  // bytes after the prefix failed to decode
+}
+
+// VerifyTail parses the log file on fs exactly as the next incarnation's
+// recovery would and reports where the valid prefix ends. This is the
+// durability contract the fault-injection oracle checks: a crash — even one
+// that tears an in-flight log write — may only ever cut whole records off
+// the end. The valid prefix always lands on a record boundary, never
+// mid-record, because every record is framed by its length and CRC.
+//
+// A missing log file yields a zero TailInfo (an empty log is trivially
+// valid).
+func VerifyTail(fs vfs.FS) (TailInfo, error) {
+	var ti TailInfo
+	exists, err := fs.Exists(logFileName)
+	if err != nil || !exists {
+		return ti, err
+	}
+	f, err := fs.Open(logFileName)
+	if err != nil {
+		return ti, err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return ti, err
+	}
+	ti.Size = size
+	data := make([]byte, size)
+	if size > 0 {
+		if _, err := f.ReadAt(data, 0); err != nil && err != io.EOF {
+			return ti, err
+		}
+	}
+	off := 0
+	for off < len(data) {
+		_, n, err := decodeRecord(data[off:])
+		if err != nil {
+			ti.Torn = true
+			break
+		}
+		off += n
+		ti.Records++
+	}
+	ti.Valid = int64(off)
+	return ti, nil
+}
+
 // WriteMaster durably records the LSN of the latest checkpoint record in the
 // master file, which restart recovery reads first (ARIES master record).
 func WriteMaster(fs vfs.FS, lsn types.LSN) error {

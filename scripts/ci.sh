@@ -1,11 +1,34 @@
 #!/usr/bin/env sh
-# CI entry point: build everything, vet, and run the full test suite under
-# the race detector (the staged scan pipeline is concurrent; -race is the
-# point, not a nicety). Mirrored by .github/workflows/ci.yml.
+# CI entry point. Modes:
+#
+#   ci.sh          build everything, vet, and run the full test suite under
+#                  the race detector (the staged scan pipeline is concurrent;
+#                  -race is the point, not a nicety). Runs -short, so the
+#                  crash sweep covers its smoke subset (every 8th clean crash,
+#                  every 4th torn point).
+#   ci.sh sweep    the exhaustive crash-schedule exploration: every fault
+#                  point of every scenario in clean, torn and error modes,
+#                  plus the fuzz seed corpora. Nightly / on demand.
+#
+# Mirrored by .github/workflows/ci.yml.
 set -eux
 
 cd "$(dirname "$0")/.."
 
-go build ./...
-go vet ./...
-go test -race ./...
+case "${1:-test}" in
+test)
+    go build ./...
+    go vet ./...
+    go test -race -short ./...
+    ;;
+sweep)
+    go build ./...
+    go test -race -timeout 60m -run 'TestCrashSweep|TestReplay' -v -sweep.full ./internal/crashsweep
+    go test -run xxx -fuzz FuzzKeyEncOrder -fuzztime 60s ./internal/keyenc
+    go test -run xxx -fuzz FuzzWALRoundTrip -fuzztime 60s ./internal/wal
+    ;;
+*)
+    echo "usage: $0 [test|sweep]" >&2
+    exit 2
+    ;;
+esac
