@@ -30,6 +30,8 @@ func main() {
 	unique := flag.Bool("unique", false, "build a unique index (on the id column)")
 	crash := flag.Bool("crash", false, "crash mid-build, then recover and resume")
 	sortSF := flag.Bool("sortsf", false, "apply the side-file sorted (SF only)")
+	adminAddr := flag.String("admin", "", "serve the live admin endpoint on this address (e.g. 127.0.0.1:7070; port 0 picks one)")
+	linger := flag.Duration("linger", 0, "keep the admin endpoint serving this long after the build finishes")
 	flag.Parse()
 
 	var m onlineindex.BuildMethod
@@ -51,6 +53,14 @@ func main() {
 		log.Fatal(err)
 	}
 	eng := db.Engine()
+	if *adminAddr != "" {
+		adm, err := db.ServeAdmin(*adminAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		currentAdmin = adm
+		fmt.Printf("admin endpoint at %s\n", adm.URL())
+	}
 	if _, err := eng.CreateTable("orders", workload.Schema()); err != nil {
 		log.Fatal(err)
 	}
@@ -125,10 +135,21 @@ func main() {
 			wst.Commits, wst.Throughput(), wst.MaxStall.Seconds()*1000)
 	}
 	fmt.Println("index verified consistent with table")
+	if currentAdmin != nil {
+		if *linger > 0 {
+			fmt.Printf("admin endpoint serving the final snapshot for %s\n", *linger)
+			time.Sleep(*linger)
+		}
+		currentAdmin.Close() //nolint:errcheck
+	}
 }
 
 // currentDB lets buildWithCrash hand back the post-recovery handle.
 var currentDB *onlineindex.DB
+
+// currentAdmin is the live admin endpoint; buildWithCrash rebinds it to the
+// recovered engine so pollers keep seeing the resumed build.
+var currentAdmin *onlineindex.AdminServer
 
 func buildWithCrash(fs onlineindex.FS, db *onlineindex.DB, spec onlineindex.IndexSpec, opts onlineindex.BuildOptions) (*onlineindex.BuildResult, error) {
 	currentDB = db
@@ -147,6 +168,14 @@ func buildWithCrash(fs onlineindex.FS, db *onlineindex.DB, spec onlineindex.Inde
 		return nil, err
 	}
 	currentDB = db2
+	if currentAdmin != nil {
+		addr := currentAdmin.Addr()
+		currentAdmin.Close() //nolint:errcheck
+		currentAdmin = nil
+		if adm, err := db2.ServeAdmin(addr); err == nil {
+			currentAdmin = adm
+		}
+	}
 	pending, err := db2.PendingBuilds()
 	if err != nil {
 		return nil, err

@@ -1,0 +1,118 @@
+// Package admin serves a live, read-only JSON view of a running engine:
+// the metrics registry snapshot and every registered build's progress. It is
+// the observability surface ISSUE'd for watching an online index build from
+// outside the process:
+//
+//	idxbuild -admin 127.0.0.1:7070 &
+//	watch -n1 'curl -s http://127.0.0.1:7070/ | head -40'
+//
+// Routes (all GET, all JSON):
+//
+//	/          combined view: {"metrics": ..., "builds": [...], "side_file_backlog": N}
+//	/metrics   the metrics.Snapshot alone
+//	/progress  the []progress.Snapshot alone
+//
+// The handler only reads atomic counters and tracker snapshots — it never
+// takes engine latches or locks, so polling cannot stall a build.
+package admin
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+
+	"onlineindex/internal/engine"
+	"onlineindex/internal/metrics"
+	"onlineindex/internal/progress"
+)
+
+// View is the combined admin snapshot served at "/".
+type View struct {
+	Metrics metrics.Snapshot    `json:"metrics"`
+	Builds  []progress.Snapshot `json:"builds"`
+	// SideFileBacklog is the number of captured side-file entries not yet
+	// applied by any builder (sidefile.entries minus sidefile.applied,
+	// clamped at zero). Zero once every SF build has caught up.
+	SideFileBacklog int64 `json:"side_file_backlog"`
+}
+
+// Handler serves the admin routes for one engine.
+type Handler struct {
+	db *engine.DB
+}
+
+// NewHandler returns the admin handler for db.
+func NewHandler(db *engine.DB) *Handler { return &Handler{db: db} }
+
+// Snapshot assembles the combined view (also usable without HTTP).
+func (h *Handler) Snapshot() View {
+	ms := h.db.Metrics().Snapshot()
+	v := View{
+		Metrics: ms,
+		Builds:  h.db.ProgressSnapshots(),
+	}
+	entries := ms.Gauge("sidefile.entries")
+	applied := int64(ms.Counter("sidefile.applied")) //nolint:gosec // counter < 2^62 in practice
+	if backlog := entries - applied; backlog > 0 {
+		v.SideFileBacklog = backlog
+	}
+	if v.Builds == nil {
+		v.Builds = []progress.Snapshot{}
+	}
+	return v
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var body any
+	switch r.URL.Path {
+	case "/", "":
+		body = h.Snapshot()
+	case "/metrics":
+		body = h.db.Metrics().Snapshot()
+	case "/progress":
+		snaps := h.db.ProgressSnapshots()
+		if snaps == nil {
+			snaps = []progress.Snapshot{}
+		}
+		body = snaps
+	default:
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(body) //nolint:errcheck // client went away
+}
+
+// Server is a running admin endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts listening on addr (e.g. "127.0.0.1:0") and serves the admin
+// routes in a background goroutine until Close.
+func Serve(addr string, db *engine.DB) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: NewHandler(db)}
+	go srv.Serve(ln) //nolint:errcheck // returns ErrServerClosed on Close
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address (resolves ":0" to the actual port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close stops the listener and the server.
+func (s *Server) Close() error { return s.srv.Close() }

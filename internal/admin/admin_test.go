@@ -1,0 +1,135 @@
+package admin_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"onlineindex/internal/admin"
+	"onlineindex/internal/catalog"
+	"onlineindex/internal/core"
+	"onlineindex/internal/engine"
+	"onlineindex/internal/workload"
+)
+
+// TestAdminSmoke is the in-process half of the CI admin-smoke step: it runs
+// an SF build with concurrent updates while polling the admin endpoint over
+// real HTTP, and asserts the terminal snapshot reports fraction exactly 1.0
+// with zero side-file backlog.
+func TestAdminSmoke(t *testing.T) {
+	db, err := engine.Open(engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.CreateTable("orders", workload.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	rids, err := workload.Populate(db, "orders", 3000, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := admin.Serve("127.0.0.1:0", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	runner := workload.NewRunner(db, "orders", rids, 2, workload.DefaultMix)
+	runner.Start()
+	buildErr := make(chan error, 1)
+	go func() {
+		_, err := core.Build(db, engine.CreateIndexSpec{
+			Name: "orders_key", Table: "orders", Columns: []string{"key"},
+			Method: catalog.MethodSF,
+		}, core.Options{CheckpointPages: 16, CheckpointKeys: 500})
+		buildErr <- err
+	}()
+
+	// Poll the live endpoint while the build runs; fractions over one poller's
+	// lifetime must never decrease (the tracker clamps them monotone).
+	var lastFrac float64
+	var final admin.View
+	deadline := time.After(30 * time.Second)
+	for {
+		v := getView(t, srv.URL()+"/")
+		if len(v.Builds) > 0 {
+			b := v.Builds[0]
+			if b.Fraction+1e-9 < lastFrac {
+				t.Fatalf("fraction went backwards: %.6f -> %.6f", lastFrac, b.Fraction)
+			}
+			lastFrac = b.Fraction
+			if b.Complete {
+				final = v
+				break
+			}
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("build did not complete; last fraction %.4f", lastFrac)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	runner.Stop()
+	if err := <-buildErr; err != nil {
+		t.Fatalf("build: %v", err)
+	}
+
+	// Terminal view: the build is done, so its fraction is exactly 1 and the
+	// side-file has been fully applied.
+	final = getView(t, srv.URL()+"/")
+	if len(final.Builds) != 1 {
+		t.Fatalf("want 1 build in final view, got %d", len(final.Builds))
+	}
+	b := final.Builds[0]
+	if !b.Complete || b.Fraction != 1.0 {
+		t.Fatalf("final snapshot not terminal: complete=%v fraction=%v", b.Complete, b.Fraction)
+	}
+	if final.SideFileBacklog != 0 {
+		t.Fatalf("side-file backlog %d after completion, want 0", final.SideFileBacklog)
+	}
+	if b.Regressions != 0 {
+		t.Fatalf("progress regressions reported: %d", b.Regressions)
+	}
+
+	// The sub-routes serve the same data standalone.
+	var snaps []json.RawMessage
+	getJSON(t, srv.URL()+"/progress", &snaps)
+	if len(snaps) != 1 {
+		t.Fatalf("/progress: want 1 snapshot, got %d", len(snaps))
+	}
+	var ms struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	getJSON(t, srv.URL()+"/metrics", &ms)
+	if ms.Counters["buffer.fetches"] == 0 {
+		t.Fatal("/metrics: expected nonzero buffer.fetches")
+	}
+	if ms.Counters["sidefile.appends"] == 0 {
+		t.Fatal("/metrics: expected nonzero sidefile.appends under concurrent DML")
+	}
+}
+
+func getView(t *testing.T, url string) admin.View {
+	t.Helper()
+	var v admin.View
+	getJSON(t, url, &v)
+	return v
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}

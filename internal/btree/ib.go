@@ -151,6 +151,7 @@ func (t *Tree) ibTryLeafBatch(tl rm.TxnLogger, ents []Entry, cur *IBCursor, res 
 		batch = append(batch, Entry{Key: e.Key, RID: e.RID})
 		res.Inserted++
 		t.Stats.Inserts.Add(1)
+		t.met.Inserts.Inc()
 		consumed++
 	}
 	if len(batch) > 0 {
@@ -279,6 +280,8 @@ func (t *Tree) GC(tl rm.TxnLogger, pageCommitted func(types.LSN) bool, keyCommit
 			f.MarkDirty(lsn)
 			res.Collected++
 			t.Stats.Removes.Add(1)
+			t.met.Removes.Inc()
+			t.met.PseudoDeleted.Dec()
 		}
 		next := n.next
 		if next == NoPage {

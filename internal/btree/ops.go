@@ -140,6 +140,7 @@ func (t *Tree) tryPseudoDelete(tl rm.TxnLogger, key []byte, rid types.RID) (Dele
 		n.entries[i].Pseudo = true
 		f.MarkDirty(lsn)
 		t.Stats.PseudoDeletes.Add(1)
+		t.met.PseudoDeleted.Inc()
 		return DeleteMarked, false, nil
 	}
 	// Tombstone insert: pseudo-deleted key so IB's later insert is rejected.
@@ -157,6 +158,7 @@ func (t *Tree) tryPseudoDelete(tl rm.TxnLogger, key []byte, rid types.RID) (Dele
 	n.insertEntryAt(i, Entry{Key: key, RID: rid, Pseudo: true})
 	f.MarkDirty(lsn)
 	t.Stats.Tombstones.Add(1)
+	t.met.PseudoDeleted.Inc()
 	return DeleteTombstoned, false, nil
 }
 
@@ -314,6 +316,7 @@ func (t *Tree) handleExisting(tl rm.TxnLogger, f *buffer.Frame, n *Node, i int, 
 		e.Pseudo = false
 		f.MarkDirty(lsn)
 		t.Stats.Reactivates.Add(1)
+		t.met.PseudoDeleted.Dec()
 		return Reactivated, nil
 	}
 	// "The transaction always writes a log record saying that it inserted
@@ -360,8 +363,10 @@ func (t *Tree) doInsertAt(tl rm.TxnLogger, f *buffer.Frame, n *Node, i int, key 
 	n.insertEntryAt(i, Entry{Key: key, RID: rid, Pseudo: pseudo})
 	f.MarkDirty(lsn)
 	t.Stats.Inserts.Add(1)
+	t.met.Inserts.Inc()
 	if pseudo {
 		t.Stats.Tombstones.Add(1)
+		t.met.PseudoDeleted.Inc()
 	}
 	return Inserted, nil
 }
@@ -389,9 +394,14 @@ func (t *Tree) RemoveEntry(tl rm.TxnLogger, key []byte, rid types.RID) (bool, er
 	if err != nil {
 		return false, err
 	}
+	wasPseudo := n.entries[i].Pseudo
 	n.removeEntryAt(i)
 	f.MarkDirty(lsn)
 	t.Stats.Removes.Add(1)
+	t.met.Removes.Inc()
+	if wasPseudo {
+		t.met.PseudoDeleted.Dec()
+	}
 	return true, nil
 }
 

@@ -181,6 +181,7 @@ func (t *Tree) splitChild(tl rm.TxnLogger, pf *buffer.Frame, parent *Node, cf *b
 	rf.MarkDirty(lsn)
 	t.applyParentAdd(pf, parent, promoted, rf.ID.Page, lsn)
 	t.Stats.Splits.Add(1)
+	t.met.Splits.Inc()
 	return nil
 }
 
@@ -306,5 +307,7 @@ func (t *Tree) splitRoot(tl rm.TxnLogger, rootF *buffer.Frame, root *Node, key [
 	rootF.Latch.Release(latch.X)
 	t.Stats.Splits.Add(1)
 	t.Stats.RootSplits.Add(1)
+	t.met.Splits.Inc()
+	t.met.RootSplits.Inc()
 	return nil
 }

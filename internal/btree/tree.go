@@ -7,6 +7,7 @@ import (
 
 	"onlineindex/internal/buffer"
 	"onlineindex/internal/latch"
+	"onlineindex/internal/metrics"
 	"onlineindex/internal/rm"
 	"onlineindex/internal/types"
 	"onlineindex/internal/wal"
@@ -50,6 +51,40 @@ func (s *Stats) Snapshot() StatsSnapshot {
 	}
 }
 
+// Metrics holds the tree's registry handles; the zero value disables export.
+// PseudoDeleted tracks the entries currently in the pseudo-deleted state: it
+// rises at pseudo-delete and tombstone-insert sites and falls when an entry
+// is reactivated or physically removed. The gauge is volatile — it counts
+// transitions observed by this incarnation, not the on-disk state, so it is
+// meaningful only for trees opened before any pseudo entries existed (or
+// after a full GC).
+type Metrics struct {
+	Splits        *metrics.Counter
+	RootSplits    *metrics.Counter
+	Inserts       *metrics.Counter
+	Removes       *metrics.Counter
+	PseudoDeleted *metrics.Gauge
+}
+
+// MetricsFrom resolves the tree's standard instrument names on r. All trees
+// attached to the same registry share the instruments (engine-wide totals).
+func MetricsFrom(r *metrics.Registry) Metrics {
+	return Metrics{
+		Splits:        r.Counter("btree.splits"),
+		RootSplits:    r.Counter("btree.root_splits"),
+		Inserts:       r.Counter("btree.inserts"),
+		Removes:       r.Counter("btree.removes"),
+		PseudoDeleted: r.Gauge("btree.pseudo_deleted"),
+	}
+}
+
+// SetMetrics attaches registry handles. Call before concurrent use.
+func (t *Tree) SetMetrics(m Metrics) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.met = m
+}
+
 // Tree is one B+-tree index over an index file.
 //
 // The tree latch (mu) is held in share mode by every entry-level operation
@@ -67,6 +102,7 @@ type Tree struct {
 	// tryInsertUnique for the rationale. Always acquired before mu.
 	uniqMu sync.Mutex
 	Stats  Stats
+	met    Metrics
 }
 
 // Config tunes a Tree.

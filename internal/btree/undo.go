@@ -80,8 +80,10 @@ func (t *Tree) undoSetFlag(tl rm.TxnLogger, key []byte, rid types.RID, pseudo bo
 	f.MarkDirty(lsn)
 	if pseudo {
 		t.Stats.PseudoDeletes.Add(1)
+		t.met.PseudoDeleted.Inc()
 	} else {
 		t.Stats.Reactivates.Add(1)
+		t.met.PseudoDeleted.Dec()
 	}
 	return nil
 }
@@ -119,6 +121,9 @@ func (t *Tree) UndoRemoveEntry(tl rm.TxnLogger, pl EntryPayload, undoNext types.
 			}
 			n.insertEntryAt(i, Entry{Key: pl.Key, RID: pl.RID, Pseudo: pl.Pseudo})
 			f.MarkDirty(lsn)
+			if pl.Pseudo {
+				t.met.PseudoDeleted.Inc()
+			}
 			return true, nil
 		}()
 		if err != nil || done {
@@ -158,7 +163,8 @@ func (t *Tree) undoRemovePhysical(tl rm.TxnLogger, key []byte, rid types.RID, un
 	if !exact {
 		return fmt.Errorf("btree: undo multi-insert: entry <%x,%s> missing", key, rid)
 	}
-	pl := EntryPayload{Key: key, RID: rid, Pseudo: n.entries[i].Pseudo}
+	wasPseudo := n.entries[i].Pseudo
+	pl := EntryPayload{Key: key, RID: rid, Pseudo: wasPseudo}
 	lsn, err := tl.LogCLR(&wal.Record{
 		Type: wal.TypeIdxDelete, Flags: wal.FlagRedo,
 		PageID: f.ID, Payload: pl.Encode(),
@@ -169,5 +175,9 @@ func (t *Tree) undoRemovePhysical(tl rm.TxnLogger, key []byte, rid types.RID, un
 	n.removeEntryAt(i)
 	f.MarkDirty(lsn)
 	t.Stats.Removes.Add(1)
+	t.met.Removes.Inc()
+	if wasPseudo {
+		t.met.PseudoDeleted.Dec()
+	}
 	return nil
 }

@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"onlineindex/internal/latch"
+	"onlineindex/internal/metrics"
 	"onlineindex/internal/page"
 	"onlineindex/internal/types"
 	"onlineindex/internal/vfs"
@@ -103,6 +104,36 @@ type Stats struct {
 	Evictions uint64
 }
 
+// Metrics holds the pool's registry handles. The zero value (all-nil
+// handles) disables export; every update is then a nil-check and nothing
+// else (see internal/metrics).
+type Metrics struct {
+	Fetches   *metrics.Counter
+	Hits      *metrics.Counter
+	Misses    *metrics.Counter
+	Flushes   *metrics.Counter
+	Evictions *metrics.Counter
+}
+
+// MetricsFrom resolves the pool's standard instrument names on r (all nil
+// when r is nil).
+func MetricsFrom(r *metrics.Registry) Metrics {
+	return Metrics{
+		Fetches:   r.Counter("buffer.fetches"),
+		Hits:      r.Counter("buffer.hits"),
+		Misses:    r.Counter("buffer.misses"),
+		Flushes:   r.Counter("buffer.flushes"),
+		Evictions: r.Counter("buffer.evictions"),
+	}
+}
+
+// SetMetrics attaches registry handles. Call before concurrent use.
+func (p *Pool) SetMetrics(m Metrics) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.met = m
+}
+
 // ErrAllPinned is returned when the pool cannot evict any frame.
 var ErrAllPinned = errors.New("buffer: all frames pinned")
 
@@ -119,6 +150,7 @@ type Pool struct {
 	files  map[types.FileID]vfs.File
 	nPages map[types.FileID]types.PageNum // page count per file
 	stats  Stats
+	met    Metrics
 }
 
 // New creates a pool over fs with the given frame capacity. log may be nil
@@ -212,8 +244,10 @@ func (p *Pool) Fetch(pid types.PageID) (*Frame, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.stats.Fetches++
+	p.met.Fetches.Inc()
 	if f, ok := p.frames[pid]; ok {
 		p.stats.Hits++
+		p.met.Hits.Inc()
 		f.mu.Lock()
 		f.pins++
 		f.refbit = true
@@ -221,6 +255,7 @@ func (p *Pool) Fetch(pid types.PageID) (*Frame, error) {
 		return f, nil
 	}
 	p.stats.Misses++
+	p.met.Misses.Inc()
 	if err := p.openFileLocked(pid.File); err != nil {
 		return nil, err
 	}
@@ -335,6 +370,7 @@ func (p *Pool) makeRoomLocked() error {
 		}
 		delete(p.frames, victim.ID)
 		p.stats.Evictions++
+		p.met.Evictions.Inc()
 	}
 	return nil
 }
@@ -404,6 +440,7 @@ func (p *Pool) flushFrameLocked(f *Frame) error {
 	f.dirty = false
 	f.recLSN = types.NilLSN
 	p.stats.Flushes++
+	p.met.Flushes.Inc()
 	return nil
 }
 

@@ -27,6 +27,7 @@ import (
 	"onlineindex/internal/extsort"
 	"onlineindex/internal/harness"
 	"onlineindex/internal/lock"
+	"onlineindex/internal/progress"
 	"onlineindex/internal/txn"
 	"onlineindex/internal/types"
 	"onlineindex/internal/vfs"
@@ -176,6 +177,9 @@ type builder struct {
 	ctl  *engine.BuildCtl
 	tx   *txn.Txn // rotating builder transaction, committed at checkpoints
 	st   Stats
+	// prog is the build's progress tracker (nil when the engine runs with
+	// metrics disabled; all feeds are nil-safe).
+	prog *progress.Tracker
 }
 
 // Build creates an index with the given method, concurrently with updates
@@ -263,6 +267,7 @@ func (b *builder) rotate(st engine.IBState) error {
 		return err
 	}
 	b.db.NoteIBCheckpoint(b.ix.ID, payload)
+	b.prog.MarkDurable()
 	b.st.Checkpoints++
 	b.tx = b.db.Begin()
 	if b.opts.OnCheckpoint != nil {
@@ -392,7 +397,7 @@ func (b *builder) extractAndSort(sorter *extsort.Sorter, from, end types.PageNum
 	if err != nil {
 		return err
 	}
-	feeds := []*scanFeed{{ix: &b.ix, sorter: sorter, st: &b.st}}
+	feeds := []*scanFeed{{ix: &b.ix, sorter: sorter, st: &b.st, prog: b.prog, met: b.db.Metrics()}}
 	var advance func(next types.PageNum)
 	if b.ctl != nil {
 		advance = func(next types.PageNum) {

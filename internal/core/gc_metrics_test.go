@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"onlineindex/internal/btree"
+	"onlineindex/internal/catalog"
+)
+
+// TestGCDrainsPseudoDeletedGauge exercises gc.go under concurrent DML and
+// asserts the engine-wide btree.pseudo_deleted gauge is exact: deletes and
+// key-changing updates drive it up, GC passes drive it back down, and once
+// the workload quiesces it drains to exactly zero while the tree invariants
+// keep holding.
+func TestGCDrainsPseudoDeletedGauge(t *testing.T) {
+	db, rids := newDB(t, 1500)
+	if _, err := Build(db, spec("by_name", catalog.MethodNSF, false), Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	gauge := func() int64 {
+		s := db.Metrics().Snapshot()
+		return s.Gauge("btree.pseudo_deleted")
+	}
+
+	// Concurrent DML: one deleter, one key-changing updater. Both pseudo-
+	// delete entries in the visible index (deletes mark the key; updates mark
+	// the old key and insert the new one).
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w + 1)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tx := db.Begin()
+				k := rng.Intn(len(rids))
+				if w == 0 {
+					db.Delete(tx, "items", rids[k]) //nolint:errcheck // double deletes just error
+				} else {
+					// A new name pseudo-deletes the old index key.
+					_, _ = db.Update(tx, "items", rids[k], rowOf(int64(k), nameOf(k+100000), 1))
+				}
+				tx.Commit()
+			}
+		}(w)
+	}
+
+	// Let pseudo-deletes accumulate, then GC while the workload is still
+	// running: uncommitted deletions are skipped, invariants must hold.
+	deadline := time.Now().Add(10 * time.Second)
+	for gauge() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no pseudo-deletes accumulated")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := GC(db, "by_name"); err != nil {
+		close(stop)
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	// Quiesced: every deletion is committed, so GC passes must drain the
+	// gauge to exactly zero (the Commit_LSN check admits every page once no
+	// transactions are active).
+	before := gauge()
+	var collected int
+	for i := 0; gauge() != 0; i++ {
+		if i >= 5 {
+			t.Fatalf("gauge stuck at %d after %d GC passes (started at %d)", gauge(), i, before)
+		}
+		res, err := GC(db, "by_name")
+		if err != nil {
+			t.Fatal(err)
+		}
+		collected += res.Collected
+	}
+	if before > 0 && collected == 0 {
+		t.Fatalf("gauge went %d -> 0 with nothing collected", before)
+	}
+	t.Logf("pseudo_deleted %d -> 0, collected %d", before, collected)
+
+	ix, ok := db.Catalog().Index("by_name")
+	if !ok {
+		t.Fatal("index lost")
+	}
+	tree, err := db.TreeOf(ix.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := btree.CheckInvariants(tree); err != nil {
+		t.Fatalf("invariants after GC: %v", err)
+	}
+	if err := db.CheckIndexConsistency("by_name"); err != nil {
+		t.Fatal(err)
+	}
+}

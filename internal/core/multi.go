@@ -8,6 +8,7 @@ import (
 	"onlineindex/internal/catalog"
 	"onlineindex/internal/engine"
 	"onlineindex/internal/extsort"
+	"onlineindex/internal/progress"
 	"onlineindex/internal/types"
 )
 
@@ -69,6 +70,7 @@ func BuildMany(db *engine.DB, specs []engine.CreateIndexSpec, opts Options) ([]*
 		}
 		b.ix = ix
 		b.tx = db.Begin()
+		b.startProgress()
 		builders[i] = b
 	}
 
@@ -85,8 +87,9 @@ func BuildMany(db *engine.DB, specs []engine.CreateIndexSpec, opts Options) ([]*
 	sorters := make([]*extsort.Sorter, len(builders))
 	feeds := make([]*scanFeed, len(builders))
 	for i, b := range builders {
-		sorters[i] = extsort.NewSorter(db.FS(), sortPrefix(b.ix.ID), opts.SortMemory)
-		feeds[i] = &scanFeed{ix: &b.ix, sorter: sorters[i], st: &b.st}
+		sorters[i] = b.newSorter()
+		feeds[i] = &scanFeed{ix: &b.ix, sorter: sorters[i], st: &b.st,
+			prog: b.prog, met: db.Metrics()}
 	}
 	advance := func(next types.PageNum) {
 		// Every index's Current-RID advances in lockstep under the page
@@ -98,6 +101,9 @@ func BuildMany(db *engine.DB, specs []engine.CreateIndexSpec, opts Options) ([]*
 		}
 	}
 	scanRange := func(from, to types.PageNum) error {
+		for _, b := range builders {
+			b.prog.SetTotal(progress.Scan, uint64(to)+1)
+		}
 		return pipelineScan(h, from, to, feeds, opts.ScanWorkers, advance, 0, nil)
 	}
 	start := time.Now()
@@ -123,6 +129,7 @@ func BuildMany(db *engine.DB, specs []engine.CreateIndexSpec, opts Options) ([]*
 	scanDur := time.Since(start)
 	for _, b := range builders {
 		b.st.ScanSort += scanDur
+		b.prog.FinishPhase(progress.Scan)
 	}
 
 	// Finish each index concurrently — "a process can be spawned for each

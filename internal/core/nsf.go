@@ -7,6 +7,7 @@ import (
 	"onlineindex/internal/btree"
 	"onlineindex/internal/engine"
 	"onlineindex/internal/extsort"
+	"onlineindex/internal/progress"
 )
 
 // buildNSF runs the No Side-File algorithm (§2):
@@ -38,6 +39,7 @@ func (b *builder) buildNSF(spec engine.CreateIndexSpec) (*Result, error) {
 	b.ix = ix
 	b.st.QuiesceWait = time.Since(qStart)
 	b.tx = b.db.Begin()
+	b.startProgress()
 
 	// Step 2: note the scan end before starting ("the last page to be
 	// processed by the data page scan can be noted before starting IB's
@@ -51,48 +53,31 @@ func (b *builder) buildNSF(spec engine.CreateIndexSpec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	sorter := extsort.NewSorter(b.db.FS(), sortPrefix(ix.ID), b.opts.SortMemory)
+	sorter := b.newSorter()
+	b.prog.SetTotal(progress.Scan, uint64(nPages))
 	if nPages > 0 {
 		if err := b.extractAndSort(sorter, 0, nPages-1, engine.IBPhaseScan); err != nil {
 			return nil, b.cancel(err)
 		}
 	}
+	b.prog.FinishPhase(progress.Scan)
 	runs, err := sorter.Finish()
 	if err != nil {
 		return nil, b.cancel(err)
 	}
 	b.st.Runs = len(runs)
 
-	// Step 3: merge + insert.
+	// Step 3: merge + insert (steps 4-5 shared with the resume path).
 	merger, err := extsort.NewMerger(b.db.FS(), runs, nil)
 	if err != nil {
 		return nil, b.cancel(err)
 	}
 	defer merger.Close()
+	b.noteMerge(runs, nil)
 	if err := b.nsfInsertPhase(merger, runs); err != nil {
 		return nil, err // cancel already handled inside
 	}
-
-	// Step 4: available for reads.
-	if err := b.db.SetIndexComplete(b.tx, ix.ID); err != nil {
-		return nil, b.cancel(err)
-	}
-	if err := b.tx.Commit(); err != nil {
-		return nil, err
-	}
-	b.db.DropIBCheckpoint(ix.ID)
-
-	// Step 5: optional cleanup.
-	if b.opts.GCAfterBuild {
-		res, err := GC(b.db, ix.Name)
-		if err != nil {
-			return nil, err
-		}
-		b.st.GC.Collected = res.Collected
-		b.st.GC.Skipped = res.Skipped
-	}
-	done, _ := b.db.Catalog().Index(ix.Name)
-	return &Result{Index: done, Stats: b.st}, nil
+	return b.completeNSF()
 }
 
 // nsfInsertPhase streams the merged keys into the tree in multi-key batches.
@@ -106,6 +91,12 @@ func (b *builder) nsfInsertPhase(merger *extsort.Merger, runs []extsort.RunMeta)
 	var batch []btree.Entry
 	var sinceCkpt int
 	var lastItem []byte
+	// merged counts every key consumed from the merge (absolute, so it lines
+	// up with the counter vector a resumed merger starts from).
+	var merged uint64
+	for _, c := range merger.Counters() {
+		merged += c
+	}
 
 	flush := func() error {
 		for len(batch) > 0 {
@@ -161,16 +152,19 @@ func (b *builder) nsfInsertPhase(merger *extsort.Merger, runs []extsort.RunMeta)
 		}
 		batch = append(batch, btree.Entry{Key: append([]byte(nil), key...), RID: rid})
 		lastItem = item
+		merged++
 		if len(batch) >= b.opts.BatchSize {
 			if err := flush(); err != nil {
 				return b.cancel(err)
 			}
+			b.prog.Advance(progress.Load, merged)
 		}
 		sinceCkpt++
 		if b.opts.CheckpointKeys > 0 && sinceCkpt >= b.opts.CheckpointKeys {
 			if err := flush(); err != nil {
 				return b.cancel(err)
 			}
+			b.prog.Advance(progress.Load, merged)
 			ms := merger.State()
 			st := engine.IBState{
 				Index: b.ix.ID, Phase: engine.IBPhaseInsert,
@@ -185,6 +179,8 @@ func (b *builder) nsfInsertPhase(merger *extsort.Merger, runs []extsort.RunMeta)
 	if err := flush(); err != nil {
 		return b.cancel(err)
 	}
+	b.prog.Advance(progress.Load, merged)
+	b.prog.FinishPhase(progress.Load)
 	b.st.Insert += time.Since(start)
 	_ = runs
 	return nil
@@ -193,6 +189,8 @@ func (b *builder) nsfInsertPhase(merger *extsort.Merger, runs []extsort.RunMeta)
 // resumeNSF continues an interrupted NSF build from its last checkpoint.
 func (b *builder) resumeNSF(state *engine.IBState) (*Result, error) {
 	b.tx = b.db.Begin()
+	b.startProgress()
+	b.seedProgress(state)
 	switch {
 	case state == nil:
 		// Crashed before the first checkpoint: everything before the
@@ -205,7 +203,8 @@ func (b *builder) resumeNSF(state *engine.IBState) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		sorter := extsort.NewSorter(b.db.FS(), sortPrefix(b.ix.ID), b.opts.SortMemory)
+		sorter := b.newSorter()
+		b.prog.SetTotal(progress.Scan, uint64(n))
 		if n > 0 {
 			if err := b.extractAndSort(sorter, 0, n-1, engine.IBPhaseScan); err != nil {
 				return nil, b.cancel(err)
@@ -222,6 +221,7 @@ func (b *builder) resumeNSF(state *engine.IBState) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		sorter.SetMetrics(extsort.MetricsFrom(b.db.Metrics()))
 		next, end, err := parseScanPosition(scanPos)
 		if err != nil {
 			return nil, err
@@ -244,6 +244,7 @@ func (b *builder) resumeNSF(state *engine.IBState) (*Result, error) {
 		}
 		defer merger.Close()
 		b.st.Runs = len(ms.Runs)
+		b.noteMerge(ms.Runs, ms.Counters)
 		if err := b.nsfInsertPhase(merger, ms.Runs); err != nil {
 			return nil, err
 		}
@@ -255,6 +256,7 @@ func (b *builder) resumeNSF(state *engine.IBState) (*Result, error) {
 }
 
 func (b *builder) finishNSFFromSorter(sorter *extsort.Sorter) (*Result, error) {
+	b.prog.FinishPhase(progress.Scan)
 	runs, err := sorter.Finish()
 	if err != nil {
 		return nil, b.cancel(err)
@@ -265,6 +267,7 @@ func (b *builder) finishNSFFromSorter(sorter *extsort.Sorter) (*Result, error) {
 		return nil, b.cancel(err)
 	}
 	defer merger.Close()
+	b.noteMerge(runs, nil)
 	if err := b.nsfInsertPhase(merger, runs); err != nil {
 		return nil, err
 	}
@@ -286,7 +289,9 @@ func (b *builder) completeNSF() (*Result, error) {
 		}
 		b.st.GC.Collected = res.Collected
 		b.st.GC.Skipped = res.Skipped
+		b.prog.FinishPhase(progress.GC)
 	}
+	b.prog.Complete()
 	done, _ := b.db.Catalog().Index(b.ix.Name)
 	return &Result{Index: done, Stats: b.st}, nil
 }

@@ -44,6 +44,8 @@ import (
 	"onlineindex/internal/extsort"
 	"onlineindex/internal/harness"
 	"onlineindex/internal/heap"
+	"onlineindex/internal/metrics"
+	"onlineindex/internal/progress"
 	"onlineindex/internal/types"
 )
 
@@ -54,6 +56,8 @@ type scanFeed struct {
 	ix     *catalog.Index
 	sorter *extsort.Sorter
 	st     *Stats
+	prog   *progress.Tracker // may be nil; fed one step per page
+	met    *metrics.Registry // may be nil; receives the pipeline counters
 }
 
 // scanJob is one visited page on its way to an extraction worker.
@@ -121,14 +125,20 @@ func feedPage(feeds []*scanFeed, items [][][]byte, n int) error {
 		}
 		f.st.KeysExtracted += uint64(n)
 		f.st.PagesScanned++
+		f.prog.Step(progress.Scan, 1)
 	}
 	return nil
 }
 
-// mergePipelineStats folds one scan's pipeline counters into every feed.
+// mergePipelineStats folds one scan's pipeline counters into every feed and
+// exports them once into the engine registry (all feeds of one scan share the
+// engine, so the first feed's registry stands for the scan).
 func mergePipelineStats(feeds []*scanFeed, ps harness.PipelineStats) {
 	for _, f := range feeds {
 		f.st.Pipeline.Merge(ps)
+	}
+	if len(feeds) > 0 {
+		ps.Export(feeds[0].met)
 	}
 }
 

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"onlineindex/internal/catalog"
+	"onlineindex/internal/engine"
+	"onlineindex/internal/vfs"
+)
+
+// TestProgressMonotoneAcrossCrashResume kills an NSF build mid-merge and
+// asserts the resumed build's reported progress never goes backwards past the
+// last durable checkpoint: the tracker seeds its floor from the committed
+// IBState, every sampled fraction is monotone from there, the raw feed never
+// dips below the durable floor (Regressions == 0), and the terminal fraction
+// is exactly 1.
+func TestProgressMonotoneAcrossCrashResume(t *testing.T) {
+	fs := vfs.NewMemFS()
+	db, err := engine.Open(engine.Config{FS: fs, PoolSize: 512, TreeBudget: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("items", schema()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		tx := db.Begin()
+		if _, err := db.Insert(tx, "items", rowOf(int64(i), nameOf(i), int64(i%97))); err != nil {
+			t.Fatal(err)
+		}
+		tx.Commit()
+	}
+
+	// Crash after the third insert-phase (mid-merge) checkpoint: the hook
+	// runs with no builder transaction in flight, so the committed IBState
+	// carries the merge counter vector the resume will seed from.
+	errCrash := errors.New("injected crash")
+	inserts := 0
+	opts := Options{CheckpointPages: 8, CheckpointKeys: 200,
+		OnCheckpoint: func(ph engine.IBPhase) error {
+			if ph == engine.IBPhaseInsert {
+				if inserts++; inserts == 3 {
+					db.Crash()
+					return errCrash
+				}
+			}
+			return nil
+		}}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() { recover() }()                               // post-crash engine calls may panic
+		Build(db, spec("by_name", catalog.MethodNSF, false), opts) //nolint:errcheck
+	}()
+	<-done
+	if inserts < 3 {
+		t.Fatalf("build finished after %d insert checkpoints; crash never fired", inserts)
+	}
+
+	db2, err := engine.Recover(engine.Config{FS: fs, PoolSize: 512, TreeBudget: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pending, err := db2.PendingBuilds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 1 {
+		t.Fatalf("pending builds = %d, want 1", len(pending))
+	}
+	pb := pending[0]
+	if pb.State == nil || pb.State.Phase != engine.IBPhaseInsert {
+		t.Fatalf("checkpointed phase = %v, want mid-merge (insert)", pb.State)
+	}
+
+	// Resume, sampling the reported fraction at every checkpoint of the new
+	// incarnation.
+	var samples []float64
+	opts2 := Options{CheckpointPages: 8, CheckpointKeys: 200,
+		OnCheckpoint: func(engine.IBPhase) error {
+			samples = append(samples, db2.ProgressOf(pb.Index.ID).Fraction())
+			return nil
+		}}
+	if _, err := Resume(db2, pb, opts2); err != nil {
+		t.Fatal(err)
+	}
+	tr := db2.ProgressOf(pb.Index.ID)
+	if tr == nil {
+		t.Fatal("resumed build registered no tracker")
+	}
+	snap := tr.Snapshot()
+
+	// The floor must reflect the mid-merge checkpoint: scan done plus three
+	// checkpoints' worth of merged keys — well past zero.
+	if snap.ResumeFloor <= 0.3 {
+		t.Fatalf("resume floor %.4f: not seeded from the mid-merge checkpoint", snap.ResumeFloor)
+	}
+	if len(samples) == 0 {
+		t.Fatal("resumed build took no checkpoints to sample at")
+	}
+	prev := snap.ResumeFloor
+	for i, f := range samples {
+		if f+1e-9 < prev {
+			t.Fatalf("sample %d: fraction %.6f fell below %.6f", i, f, prev)
+		}
+		prev = f
+	}
+	if !snap.Complete || snap.Fraction != 1.0 {
+		t.Fatalf("terminal snapshot: complete=%v fraction=%v", snap.Complete, snap.Fraction)
+	}
+	if got := tr.Regressions(); got != 0 {
+		t.Fatalf("raw progress feed dipped below the durable floor %d times", got)
+	}
+	if err := db2.CheckIndexConsistency("by_name"); err != nil {
+		t.Fatal(err)
+	}
+}

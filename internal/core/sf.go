@@ -10,6 +10,7 @@ import (
 	"onlineindex/internal/engine"
 	"onlineindex/internal/extsort"
 	"onlineindex/internal/lock"
+	"onlineindex/internal/progress"
 	"onlineindex/internal/sidefile"
 	"onlineindex/internal/types"
 )
@@ -51,9 +52,10 @@ func (b *builder) buildSF(spec engine.CreateIndexSpec) (*Result, error) {
 	}
 	b.ix = ix
 	b.tx = b.db.Begin()
+	b.startProgress()
 
 	// Step 2: scan + sort.
-	sorter := extsort.NewSorter(b.db.FS(), sortPrefix(ix.ID), b.opts.SortMemory)
+	sorter := b.newSorter()
 	if err := b.sfScan(sorter, 0); err != nil {
 		return nil, b.cancel(err)
 	}
@@ -88,6 +90,9 @@ func (b *builder) sfScan(sorter *extsort.Sorter, from types.PageNum) error {
 		return err
 	}
 	return chaseScan(h, from, func(lo, hi types.PageNum) error {
+		// The chase discovers appended pages round by round: the scan total
+		// grows with each round and the tracker clamps the reported fraction.
+		b.prog.SetTotal(progress.Scan, uint64(hi)+1)
 		return b.extractAndSort(sorter, lo, hi, engine.IBPhaseScan)
 	}, func() {
 		// "When IB finishes processing the last data page, it sets
@@ -117,14 +122,22 @@ func (b *builder) sfLoadPhase(runs []extsort.RunMeta, mergeState *extsort.MergeS
 		if err != nil {
 			return b.cancel(err)
 		}
+		b.noteMerge(mergeState.Runs, mergeState.Counters)
 	} else {
 		merger, err = extsort.NewMerger(b.db.FS(), runs, nil)
 		if err != nil {
 			return b.cancel(err)
 		}
 		loader = tree.NewLoader(b.opts.FillFactor)
+		b.noteMerge(runs, nil)
 	}
 	defer merger.Close()
+	// merged counts keys consumed from the merge (absolute, aligned with the
+	// counter vector a resumed merger starts from).
+	var merged uint64
+	for _, c := range merger.Counters() {
+		merged += c
+	}
 
 	// For a unique index, the sorted stream makes duplicate key values
 	// adjacent; hold one entry back so a duplicate pair can be verified
@@ -181,6 +194,10 @@ func (b *builder) sfLoadPhase(runs []extsort.RunMeta, mergeState *extsort.MergeS
 		if err != nil {
 			return b.cancel(err)
 		}
+		merged++
+		if merged%64 == 0 {
+			b.prog.Advance(progress.Load, merged)
+		}
 		e := btree.Entry{Key: append([]byte(nil), key...), RID: rid}
 		if b.ix.Unique {
 			switch {
@@ -218,6 +235,10 @@ func (b *builder) sfLoadPhase(runs []extsort.RunMeta, mergeState *extsort.MergeS
 			if pend != nil {
 				ms = pendMergeState // resume re-reads the held-back entry
 			}
+			// Durable progress is what the checkpoint records: the (possibly
+			// repositioned) counter vector, not the in-memory consumption.
+			ckptDone, _ := mergeProgress(&ms)
+			b.prog.Advance(progress.Load, ckptDone)
 			st := engine.IBState{
 				Index: b.ix.ID, Phase: engine.IBPhaseLoad,
 				CurrentRID: types.MaxRID,
@@ -238,6 +259,8 @@ func (b *builder) sfLoadPhase(runs []extsort.RunMeta, mergeState *extsort.MergeS
 	if err := loader.Finish(); err != nil {
 		return b.cancel(err)
 	}
+	b.prog.Advance(progress.Load, merged)
+	b.prog.FinishPhase(progress.Load)
 	// Durability boundary before logged side-file processing: the loaded
 	// (unlogged) tree must be on disk before records start referencing it.
 	if err := b.db.Pool().FlushFile(b.ix.FileID); err != nil {
@@ -264,6 +287,20 @@ func (b *builder) sfSideFilePhase(pos uint64) (*Result, error) {
 	}
 	start := time.Now()
 	const batch = 256
+	// "sidefile.applied" mirrors the builder's apply position on the
+	// registry; the side-file's "sidefile.entries" gauge minus this counter
+	// is the catch-up backlog a monitor watches drain to zero. Seeded with
+	// the resume position so the difference is the true remaining backlog.
+	appliedCtr := b.db.Metrics().Counter("sidefile.applied")
+	appliedCtr.Add(pos)
+	b.prog.SetTotal(progress.SideFile, sf.Count())
+	last := pos
+	noteApplied := func(pos uint64) {
+		appliedCtr.Add(pos - last)
+		last = pos
+		b.prog.SetTotal(progress.SideFile, sf.Count())
+		b.prog.Advance(progress.SideFile, pos)
+	}
 
 	if b.opts.SortSideFile && pos == 0 {
 		// §3.2.5's performance option: apply the entries accumulated so far
@@ -286,6 +323,7 @@ func (b *builder) sfSideFilePhase(pos uint64) (*Result, error) {
 			}
 			pos = next
 			b.st.SideFileApplied += uint64(len(entries))
+			noteApplied(pos)
 			st := engine.IBState{Index: b.ix.ID, Phase: engine.IBPhaseSideFile, CurrentRID: types.MaxRID, SFPos: pos}
 			if err := b.rotate(st); err != nil {
 				return nil, b.cancel(err)
@@ -315,6 +353,7 @@ func (b *builder) sfSideFilePhase(pos uint64) (*Result, error) {
 			}
 			b.st.SideFileApplied += uint64(len(entries))
 			pos = next
+			noteApplied(pos)
 
 			// The switch: "after processing the last entry in the side-file,
 			// IB resets the Index_Build flag so that subsequently
@@ -337,6 +376,7 @@ func (b *builder) sfSideFilePhase(pos uint64) (*Result, error) {
 		}
 		b.st.SideFileApplied += uint64(len(entries))
 		pos = next
+		noteApplied(pos)
 		sinceCkpt += len(entries)
 		if b.opts.CheckpointKeys > 0 && sinceCkpt >= b.opts.CheckpointKeys {
 			st := engine.IBState{Index: b.ix.ID, Phase: engine.IBPhaseSideFile, CurrentRID: types.MaxRID, SFPos: pos}
@@ -348,6 +388,8 @@ func (b *builder) sfSideFilePhase(pos uint64) (*Result, error) {
 	}
 	b.st.SideFile += time.Since(start)
 	b.st.SideFileLen = sf.Count()
+	b.prog.FinishPhase(progress.SideFile)
+	b.prog.Complete()
 
 	b.db.UnregisterBuild(b.ix.ID)
 	b.db.DropIBCheckpoint(b.ix.ID)
@@ -404,11 +446,13 @@ func (b *builder) applySideFileEntry(tree *btree.Tree, e sidefile.Entry) error {
 // resumeSF continues an interrupted SF build from its last checkpoint.
 func (b *builder) resumeSF(state *engine.IBState) (*Result, error) {
 	b.tx = b.db.Begin()
+	b.startProgress()
+	b.seedProgress(state)
 	switch {
 	case state == nil:
 		// No checkpoint: rescan from the beginning. Current-RID was
 		// restored to the zero position by recovery, so nothing was lost.
-		sorter := extsort.NewSorter(b.db.FS(), sortPrefix(b.ix.ID), b.opts.SortMemory)
+		sorter := b.newSorter()
 		if err := b.sfScan(sorter, 0); err != nil {
 			return nil, b.cancel(err)
 		}
@@ -431,6 +475,7 @@ func (b *builder) resumeSF(state *engine.IBState) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		sorter.SetMetrics(extsort.MetricsFrom(b.db.Metrics()))
 		next, _, err := parseScanPosition(scanPos)
 		if err != nil {
 			return nil, err

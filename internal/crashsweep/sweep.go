@@ -313,6 +313,20 @@ func verifyScenario(db *engine.DB, mem *vfs.MemFS, sc *Scenario, pr *PointResult
 		if ix.State != catalog.StateComplete {
 			return fmt.Errorf("index %q in state %v after resume", spec.Name, ix.State)
 		}
+		// A resumed build's progress report must have ended terminal and
+		// monotone: fraction exactly 1, and the live feed never below what a
+		// durable checkpoint had already claimed.
+		if tr := db.ProgressOf(ix.ID); tr != nil {
+			snap := tr.Snapshot()
+			if !snap.Complete || snap.Fraction != 1 {
+				return fmt.Errorf("index %q progress not terminal after resume: complete=%v fraction=%v",
+					spec.Name, snap.Complete, snap.Fraction)
+			}
+			if snap.Regressions != 0 {
+				return fmt.Errorf("index %q progress fell below its durable floor %d times",
+					spec.Name, snap.Regressions)
+			}
+		}
 		tree, err := db.TreeOf(ix.ID)
 		if err != nil {
 			return fmt.Errorf("tree of %q: %w", spec.Name, err)

@@ -140,6 +140,7 @@ func (db *DB) CreateIndexDescriptorWithCtl(spec CreateIndexSpec, makeCtl func(ca
 		tx.Rollback()
 		return catalog.Index{}, err
 	}
+	tree.SetMetrics(btree.MetricsFrom(db.met))
 	var sf *sidefile.File
 	if ix.SideFile != 0 {
 		sf, err = sidefile.Create(db.pool, ix.SideFile, tx)
@@ -147,6 +148,7 @@ func (db *DB) CreateIndexDescriptorWithCtl(spec CreateIndexSpec, makeCtl func(ca
 			tx.Rollback()
 			return catalog.Index{}, err
 		}
+		sf.SetMetrics(sidefile.MetricsFrom(db.met))
 	}
 
 	// Install in the catalog and open handles — under the engine mutex so

@@ -27,6 +27,8 @@ import (
 	"onlineindex/internal/catalog"
 	"onlineindex/internal/heap"
 	"onlineindex/internal/lock"
+	"onlineindex/internal/metrics"
+	"onlineindex/internal/progress"
 	"onlineindex/internal/sidefile"
 	"onlineindex/internal/txn"
 	"onlineindex/internal/types"
@@ -43,6 +45,10 @@ type Config struct {
 	// TreeBudget caps index node size in bytes (tests use small values to
 	// force deep trees); 0 means the page size.
 	TreeBudget int
+	// DisableMetrics turns off the metrics registry: every subsystem gets
+	// nil instrument handles, whose methods are no-ops (the overhead
+	// benchmark compares the two modes).
+	DisableMetrics bool
 }
 
 // DB is the engine instance.
@@ -55,11 +61,18 @@ type DB struct {
 	cat  *catalog.Catalog
 	cfg  Config
 
+	// met is the engine-wide metrics registry; nil when Config.DisableMetrics
+	// is set (nil registries hand out nil no-op instrument handles).
+	met *metrics.Registry
+
 	mu     sync.Mutex
 	tables map[types.TableID]*heap.Table
 	trees  map[types.IndexID]*btree.Tree
 	sfiles map[types.IndexID]*sidefile.File
 	builds map[types.IndexID]*BuildCtl
+	// progs holds one progress tracker per in-flight (or just-finished)
+	// index build, registered by the builders in package core.
+	progs map[types.IndexID]*progress.Tracker
 	// lastIBCkpt holds each building index's latest committed builder
 	// checkpoint payload, included in fuzzy checkpoints so restart can find
 	// it without scanning the whole log.
@@ -81,6 +94,10 @@ func Open(cfg Config) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	var reg *metrics.Registry
+	if !cfg.DisableMetrics {
+		reg = metrics.New()
+	}
 	db := &DB{
 		fs:         cfg.FS,
 		log:        log,
@@ -88,15 +105,66 @@ func Open(cfg Config) (*DB, error) {
 		lock:       lock.NewManager(),
 		cat:        catalog.New(),
 		cfg:        cfg,
+		met:        reg,
 		tables:     make(map[types.TableID]*heap.Table),
 		trees:      make(map[types.IndexID]*btree.Tree),
 		sfiles:     make(map[types.IndexID]*sidefile.File),
 		builds:     make(map[types.IndexID]*BuildCtl),
+		progs:      make(map[types.IndexID]*progress.Tracker),
 		lastIBCkpt: make(map[types.IndexID][]byte),
 	}
+	db.log.SetMetrics(wal.MetricsFrom(reg))
+	db.pool.SetMetrics(buffer.MetricsFrom(reg))
+	db.lock.SetMetrics(lock.MetricsFrom(reg))
 	db.txns = txn.NewManager(log, db.lock)
 	db.txns.SetDispatcher(db)
 	return db, nil
+}
+
+// Metrics returns the engine-wide metrics registry (nil when disabled).
+func (db *DB) Metrics() *metrics.Registry { return db.met }
+
+// RegisterProgress installs the progress tracker of an index build. The
+// builders call it at build start and at resume; a second registration for
+// the same index replaces the first (a resumed build starts a fresh tracker
+// seeded from the durable checkpoint).
+func (db *DB) RegisterProgress(id types.IndexID, tr *progress.Tracker) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.progs[id] = tr
+}
+
+// DropProgress forgets a build's tracker (e.g. after a cancelled build; a
+// completed build's tracker is kept so its terminal fraction==1 snapshot
+// stays observable).
+func (db *DB) DropProgress(id types.IndexID) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.progs, id)
+}
+
+// ProgressOf returns the progress tracker of an index build, or nil. All
+// tracker methods are nil-safe, so callers may use the result unchecked.
+func (db *DB) ProgressOf(id types.IndexID) *progress.Tracker {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.progs[id]
+}
+
+// ProgressSnapshots returns a snapshot of every registered build tracker,
+// in unspecified order.
+func (db *DB) ProgressSnapshots() []progress.Snapshot {
+	db.mu.Lock()
+	trs := make([]*progress.Tracker, 0, len(db.progs))
+	for _, tr := range db.progs {
+		trs = append(trs, tr)
+	}
+	db.mu.Unlock()
+	out := make([]progress.Snapshot, 0, len(trs))
+	for _, tr := range trs {
+		out = append(out, tr.Snapshot())
+	}
+	return out
 }
 
 // FS returns the underlying stable storage.

@@ -262,12 +262,14 @@ func Recover(cfg Config) (*DB, error) {
 		if err != nil {
 			return nil, fmt.Errorf("engine: reopen index %q: %w", ix.Name, err)
 		}
+		tree.SetMetrics(btree.MetricsFrom(db.met))
 		db.trees[ix.ID] = tree
 		if ix.SideFile != 0 && ix.State == catalog.StateBuilding {
 			sf, err := sidefile.Open(db.pool, ix.SideFile)
 			if err != nil {
 				return nil, fmt.Errorf("engine: reopen side-file of %q: %w", ix.Name, err)
 			}
+			sf.SetMetrics(sidefile.MetricsFrom(db.met))
 			db.sfiles[ix.ID] = sf
 		}
 	}

@@ -1,0 +1,27 @@
+package extsort
+
+import "onlineindex/internal/metrics"
+
+// Metrics holds the sort phase's registry handles; the zero value disables
+// export. Runs counts run files opened (including a reopened run after
+// resume starting a successor), Items counts items accepted by the sorter,
+// and MergeFanIn records the number of input streams of each merge the
+// caller opens (observed by the caller at merger creation, since the merge
+// is an iterator without a handle back to the sorter).
+type Metrics struct {
+	Runs       *metrics.Counter
+	Items      *metrics.Counter
+	MergeFanIn *metrics.Histogram
+}
+
+// MetricsFrom resolves the sort phase's standard instrument names on r.
+func MetricsFrom(r *metrics.Registry) Metrics {
+	return Metrics{
+		Runs:       r.Counter("extsort.runs"),
+		Items:      r.Counter("extsort.items"),
+		MergeFanIn: r.Histogram("extsort.merge_fanin", metrics.ExpBounds(1, 12)),
+	}
+}
+
+// SetMetrics attaches registry handles to the sorter. Call before use.
+func (s *Sorter) SetMetrics(m Metrics) { s.met = m }

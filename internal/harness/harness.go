@@ -10,6 +10,7 @@ import (
 
 	"onlineindex/internal/btree"
 	"onlineindex/internal/engine"
+	"onlineindex/internal/metrics"
 	"onlineindex/internal/types"
 )
 
@@ -43,6 +44,19 @@ func (p *PipelineStats) Merge(q PipelineStats) {
 	p.PagesPrefetched += q.PagesPrefetched
 	p.ExtractBusy += q.ExtractBusy
 	p.FeedWait += q.FeedWait
+}
+
+// Export publishes one scan's pipeline counters into the engine's metrics
+// registry, so PipelineStats and the registry count through one mechanism.
+// A nil registry (metrics disabled) is a no-op.
+func (p PipelineStats) Export(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	r.Gauge("pipeline.workers").Set(int64(p.Workers))
+	r.Counter("pipeline.pages_prefetched").Add(p.PagesPrefetched)
+	r.Counter("pipeline.extract_busy_ns").Add(uint64(p.ExtractBusy))
+	r.Counter("pipeline.feed_wait_ns").Add(uint64(p.FeedWait))
 }
 
 // ClusteringFactor measures how physically sequential an index's leaf chain

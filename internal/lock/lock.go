@@ -22,7 +22,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"onlineindex/internal/metrics"
 	"onlineindex/internal/types"
 )
 
@@ -170,6 +172,27 @@ type Stats struct {
 	Deadlocks   uint64
 }
 
+// Metrics holds the manager's registry handles; the zero value disables
+// export (nil handles are no-ops).
+type Metrics struct {
+	Requests  *metrics.Counter
+	Waits     *metrics.Counter
+	Deadlocks *metrics.Counter
+	// WaitNs observes how long blocked requests waited, in nanoseconds
+	// (granted or victimized alike — the time was spent either way).
+	WaitNs *metrics.Histogram
+}
+
+// MetricsFrom resolves the manager's standard instrument names on r.
+func MetricsFrom(r *metrics.Registry) Metrics {
+	return Metrics{
+		Requests:  r.Counter("lock.requests"),
+		Waits:     r.Counter("lock.waits"),
+		Deadlocks: r.Counter("lock.deadlocks"),
+		WaitNs:    r.Histogram("lock.wait_ns", metrics.ExpBounds(1<<12, 20)), // 4µs .. ~2s
+	}
+}
+
 // Manager is the lock manager. Safe for concurrent use.
 type Manager struct {
 	mu    sync.Mutex
@@ -178,6 +201,14 @@ type Manager struct {
 	// waitsFor[t] is the set of transactions t currently waits behind.
 	waitsFor map[types.TxnID]map[types.TxnID]struct{}
 	stats    Stats
+	met      Metrics
+}
+
+// SetMetrics attaches registry handles. Call before concurrent use.
+func (m *Manager) SetMetrics(mt Metrics) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.met = mt
 }
 
 // NewManager returns an empty lock manager.
@@ -227,6 +258,7 @@ func (m *Manager) LockConditionalInstant(txn types.TxnID, name Name, mode Mode) 
 func (m *Manager) lock(txn types.TxnID, name Name, mode Mode, conditional, instant bool) error {
 	m.mu.Lock()
 	m.stats.Requests++
+	m.met.Requests.Inc()
 
 	lh := m.locks[name]
 	if lh == nil {
@@ -285,17 +317,27 @@ func (m *Manager) lock(txn types.TxnID, name Name, mode Mode, conditional, insta
 		lh.queue = append(lh.queue, w)
 	}
 	m.stats.Waits++
+	m.met.Waits.Inc()
 	m.updateWaitEdgesLocked(lh, name)
 
 	if m.deadlockLocked(txn) {
 		m.stats.Deadlocks++
+		m.met.Deadlocks.Inc()
 		m.removeWaiterLocked(lh, name, w)
 		m.mu.Unlock()
 		return ErrDeadlock
 	}
+	waitHist := m.met.WaitNs
 	m.mu.Unlock()
 
+	var waitStart time.Time
+	if waitHist != nil {
+		waitStart = time.Now()
+	}
 	<-w.ch
+	if waitHist != nil {
+		waitHist.Observe(uint64(time.Since(waitStart).Nanoseconds()))
+	}
 
 	m.mu.Lock()
 	dead := w.dead

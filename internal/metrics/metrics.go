@@ -1,0 +1,319 @@
+// Package metrics is a dependency-free registry of atomic counters, gauges
+// and fixed-bucket histograms for the engine's hot paths.
+//
+// Design constraints, in order:
+//
+//  1. Near-zero cost when disabled. Every handle type is safe to use through
+//     a nil pointer — Inc/Add/Observe on a nil handle is a predictable
+//     branch and nothing else — and a nil *Registry hands out nil handles,
+//     so a subsystem instrumented against a disabled registry does one
+//     nil-check per event and never touches shared memory.
+//  2. Allocation-free on the hot path. Handles are resolved once, at
+//     attach time (engine open, index create); Inc/Add/Set/Observe never
+//     allocate and never take a lock.
+//  3. No dependencies. Only sync/atomic and sort; the JSON snapshot is a
+//     plain map for encoding/json at the admin endpoint, built only when a
+//     snapshot is requested.
+//
+// Names are dotted paths, "subsystem.event" (buffer.hits, lock.waits,
+// btree.splits). The registry is register-or-get: asking twice for the same
+// name returns the same handle, so independent attach sites share counters.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one. No-op on a nil handle.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n. No-op on a nil handle.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil handle).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can move both ways (queue depths, live pseudo-entry
+// counts). It is signed: concurrent inc/dec interleavings may transiently
+// pass through negative values even when the tracked quantity cannot.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc adds one. No-op on a nil handle.
+func (g *Gauge) Inc() {
+	if g == nil {
+		return
+	}
+	g.v.Add(1)
+}
+
+// Dec subtracts one. No-op on a nil handle.
+func (g *Gauge) Dec() {
+	if g == nil {
+		return
+	}
+	g.v.Add(-1)
+}
+
+// Add adds d (which may be negative). No-op on a nil handle.
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Set stores v. No-op on a nil handle.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Value returns the current value (0 on a nil handle).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram: bucket i counts observations v with
+// v <= Bounds[i]; one extra bucket counts the overflow. Bounds are set at
+// registration and never change, so Observe is a binary search over a small
+// immutable slice plus one atomic add.
+type Histogram struct {
+	bounds  []uint64 // sorted ascending
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// Observe records one observation. No-op on a nil handle.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observations (0 on a nil handle).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 on a nil handle).
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// ExpBounds returns n power-of-two bucket bounds starting at first:
+// first, first*2, first*4, ... — the fixed bucket layouts the engine uses
+// for durations (ns) and sizes.
+func ExpBounds(first uint64, n int) []uint64 {
+	if first == 0 {
+		first = 1
+	}
+	out := make([]uint64, n)
+	v := first
+	for i := 0; i < n; i++ {
+		out[i] = v
+		v *= 2
+	}
+	return out
+}
+
+// Registry holds named instruments. The zero value is NOT ready: use New.
+// A nil *Registry is the disabled registry — every lookup returns a nil
+// handle and Snapshot returns an empty snapshot.
+type Registry struct {
+	mu    sync.Mutex
+	ctrs  map[string]*Counter
+	ggs   map[string]*Gauge
+	hists map[string]*Histogram
+}
+
+// New creates an enabled registry.
+func New() *Registry {
+	return &Registry{
+		ctrs:  make(map[string]*Counter),
+		ggs:   make(map[string]*Gauge),
+		hists: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns nil
+// (the no-op handle) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.ctrs[name]
+	if !ok {
+		c = &Counter{}
+		r.ctrs[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil on a
+// nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.ggs[name]
+	if !ok {
+		g = &Gauge{}
+		r.ggs[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bounds
+// on first use (later calls keep the original bounds). Returns nil on a nil
+// registry.
+func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		bs := append([]uint64(nil), bounds...)
+		sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+		h = &Histogram{bounds: bs, buckets: make([]atomic.Uint64, len(bs)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// HistSnapshot is one histogram in a snapshot.
+type HistSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Bounds  []uint64 `json:"bounds"`
+	Buckets []uint64 `json:"buckets"` // len(Bounds)+1; last is overflow
+}
+
+// Snapshot is a point-in-time copy of every instrument, shaped for
+// encoding/json. Counters and gauges are flat name→value maps; histograms
+// carry their bucket layout.
+type Snapshot struct {
+	Counters   map[string]uint64       `json:"counters"`
+	Gauges     map[string]int64        `json:"gauges"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the registry. Values are read instrument-by-instrument
+// with atomic loads; the snapshot is consistent per instrument, not across
+// instruments (fine for monitoring). An empty snapshot on a nil registry.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.ctrs {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.ggs {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistSnapshot{
+			Count:  h.count.Load(),
+			Sum:    h.sum.Load(),
+			Bounds: append([]uint64(nil), h.bounds...),
+		}
+		for i := range h.buckets {
+			hs.Buckets = append(hs.Buckets, h.buckets[i].Load())
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// Counter returns a counter's value from the snapshot (0 when absent).
+func (s *Snapshot) Counter(name string) uint64 { return s.Counters[name] }
+
+// Gauge returns a gauge's value from the snapshot (0 when absent).
+func (s *Snapshot) Gauge(name string) int64 { return s.Gauges[name] }
+
+// Diff returns s - prev for counters (gauges and histograms are copied from
+// s): the per-interval view a poller wants.
+func (s *Snapshot) Diff(prev *Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	for name, v := range s.Counters {
+		out.Counters[name] = v - prev.Counters[name]
+	}
+	for name, v := range s.Gauges {
+		out.Gauges[name] = v
+	}
+	for name, v := range s.Histograms {
+		out.Histograms[name] = v
+	}
+	return out
+}
+
+// String renders a snapshot compactly for logs and tests.
+func (s Snapshot) String() string {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := ""
+	for _, n := range names {
+		out += fmt.Sprintf("%s=%d ", n, s.Counters[n])
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package metrics
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(7)
+	g.Inc()
+	g.Dec()
+	g.Add(-3)
+	g.Set(42)
+	h.Observe(123)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("nil handles must read zero")
+	}
+}
+
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("y") != nil || r.Histogram("z", ExpBounds(1, 4)) != nil {
+		t.Fatalf("nil registry must hand out nil handles")
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot must be empty: %+v", s)
+	}
+}
+
+func TestRegisterOrGet(t *testing.T) {
+	r := New()
+	a := r.Counter("buffer.hits")
+	b := r.Counter("buffer.hits")
+	if a != b {
+		t.Fatalf("same name must return the same counter")
+	}
+	a.Add(3)
+	if b.Value() != 3 {
+		t.Fatalf("shared handle: got %d, want 3", b.Value())
+	}
+	g1 := r.Gauge("sidefile.backlog")
+	g2 := r.Gauge("sidefile.backlog")
+	if g1 != g2 {
+		t.Fatalf("same name must return the same gauge")
+	}
+	h1 := r.Histogram("lock.wait_ns", ExpBounds(1000, 8))
+	h2 := r.Histogram("lock.wait_ns", nil) // later bounds ignored
+	if h1 != h2 {
+		t.Fatalf("same name must return the same histogram")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("h", []uint64{10, 100, 1000})
+	for _, v := range []uint64{5, 10, 11, 100, 999, 1000, 1001, 1 << 40} {
+		h.Observe(v)
+	}
+	s := r.Snapshot()
+	hs := s.Histograms["h"]
+	want := []uint64{2, 2, 2, 2} // <=10: {5,10}; <=100: {11,100}; <=1000: {999,1000}; over: {1001, 2^40}
+	if len(hs.Buckets) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(hs.Buckets), len(want))
+	}
+	for i := range want {
+		if hs.Buckets[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (%+v)", i, hs.Buckets[i], want[i], hs)
+		}
+	}
+	if hs.Count != 8 {
+		t.Fatalf("count = %d, want 8", hs.Count)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", ExpBounds(1, 10))
+	var wg sync.WaitGroup
+	const workers, per = 8, 10000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Inc()
+				g.Dec()
+				h.Observe(uint64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %d, want 0", g.Value())
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+func TestSnapshotJSONAndDiff(t *testing.T) {
+	r := New()
+	r.Counter("wal.bytes").Add(100)
+	r.Gauge("btree.pseudo_deleted").Set(5)
+	r.Histogram("lock.wait_ns", ExpBounds(1024, 4)).Observe(2000)
+	s1 := r.Snapshot()
+	b, err := json.Marshal(s1)
+	if err != nil {
+		t.Fatalf("snapshot must marshal: %v", err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("snapshot must round-trip: %v", err)
+	}
+	if back.Counter("wal.bytes") != 100 || back.Gauge("btree.pseudo_deleted") != 5 {
+		t.Fatalf("round-trip lost values: %s", b)
+	}
+	r.Counter("wal.bytes").Add(50)
+	s2 := r.Snapshot()
+	d := s2.Diff(&s1)
+	if d.Counter("wal.bytes") != 50 {
+		t.Fatalf("diff = %d, want 50", d.Counter("wal.bytes"))
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := New()
+	c := r.Counter("bench")
+	b.Run("enabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	var nc *Counter
+	b.Run("disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			nc.Inc()
+		}
+	})
+}

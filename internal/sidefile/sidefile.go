@@ -19,6 +19,7 @@ import (
 	"onlineindex/internal/buffer"
 	"onlineindex/internal/enc"
 	"onlineindex/internal/latch"
+	"onlineindex/internal/metrics"
 	"onlineindex/internal/page"
 	"onlineindex/internal/rm"
 	"onlineindex/internal/types"
@@ -162,6 +163,25 @@ func DecodeAppend(b []byte) (AppendPayload, error) {
 	return p, r.Err()
 }
 
+// Metrics holds a side-file's registry handles; the zero value disables
+// export. Appends is the producer side; Entries mirrors Count() as a gauge
+// so a monitor can subtract the builder's apply position (exported by the
+// build as sidefile.applied) to see the catch-up backlog.
+type Metrics struct {
+	Appends *metrics.Counter
+	Entries *metrics.Gauge
+}
+
+// MetricsFrom resolves the side-file's standard instrument names on r.
+// Side-files of concurrent builds share the handles: the backlog reported
+// is engine-wide, which is what a capacity monitor wants.
+func MetricsFrom(r *metrics.Registry) Metrics {
+	return Metrics{
+		Appends: r.Counter("sidefile.appends"),
+		Entries: r.Gauge("sidefile.entries"),
+	}
+}
+
 // File is one side-file.
 type File struct {
 	pool *buffer.Pool
@@ -171,6 +191,16 @@ type File struct {
 	count  uint64          // total entries
 	pages  []types.PageNum // page of each startSeq, in order (implicitly 0..n-1)
 	starts []uint64        // startSeq per page
+	met    Metrics
+}
+
+// SetMetrics attaches registry handles. Call before concurrent use. A
+// reopened side-file (restart) re-exports its recovered entry count.
+func (s *File) SetMetrics(m Metrics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.met = m
+	m.Entries.Add(int64(s.count))
 }
 
 // Create formats a new side-file (one empty page) under tl.
@@ -283,6 +313,8 @@ func (s *File) Append(tl rm.TxnLogger, e Entry) (uint64, error) {
 	fr.Latch.Release(latch.X)
 	s.pool.Unpin(fr)
 	s.count = seq + 1
+	s.met.Appends.Inc()
+	s.met.Entries.Inc()
 	return seq, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"io"
 	"sync"
 
+	"onlineindex/internal/metrics"
 	"onlineindex/internal/types"
 	"onlineindex/internal/vfs"
 )
@@ -38,6 +39,30 @@ type Log struct {
 	buf     []byte    // unflushed tail; starts at LSN `flushed`
 
 	stats Stats
+	met   Metrics
+}
+
+// Metrics holds the log's registry handles; the zero value disables export.
+type Metrics struct {
+	Records *metrics.Counter
+	Bytes   *metrics.Counter
+	Forces  *metrics.Counter
+}
+
+// MetricsFrom resolves the log's standard instrument names on r.
+func MetricsFrom(r *metrics.Registry) Metrics {
+	return Metrics{
+		Records: r.Counter("wal.records"),
+		Bytes:   r.Counter("wal.bytes"),
+		Forces:  r.Counter("wal.forces"),
+	}
+}
+
+// SetMetrics attaches registry handles. Call before concurrent use.
+func (l *Log) SetMetrics(m Metrics) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.met = m
 }
 
 // Stats aggregates log-volume counters, reported by experiment E5 (the
@@ -146,6 +171,8 @@ func (l *Log) Append(r *Record) (types.LSN, error) {
 	l.nextLSN += types.LSN(r.EncodedSize())
 	l.stats.Records++
 	l.stats.Bytes += uint64(r.EncodedSize())
+	l.met.Records.Inc()
+	l.met.Bytes.Add(uint64(r.EncodedSize()))
 	if int(r.Type) < len(l.stats.ByType) {
 		l.stats.ByType[r.Type].Records++
 		l.stats.ByType[r.Type].Bytes += uint64(r.EncodedSize())
@@ -170,6 +197,7 @@ func (l *Log) Force(lsn types.LSN) error {
 	l.flushed += types.LSN(len(l.buf))
 	l.buf = l.buf[:0]
 	l.stats.Forces++
+	l.met.Forces.Inc()
 	return nil
 }
 

@@ -31,11 +31,14 @@
 package onlineindex
 
 import (
+	"onlineindex/internal/admin"
 	"onlineindex/internal/btree"
 	"onlineindex/internal/catalog"
 	"onlineindex/internal/core"
 	"onlineindex/internal/engine"
 	"onlineindex/internal/keyenc"
+	"onlineindex/internal/metrics"
+	"onlineindex/internal/progress"
 	"onlineindex/internal/txn"
 	"onlineindex/internal/types"
 	"onlineindex/internal/vfs"
@@ -110,6 +113,10 @@ type Config struct {
 	FS FS
 	// PoolSize is the buffer pool capacity in frames (default 1024).
 	PoolSize int
+	// DisableMetrics turns off the metrics registry and build progress
+	// tracking; every instrumentation site degrades to a nil-handle no-op
+	// (the configuration the overhead benchmark compares against).
+	DisableMetrics bool
 }
 
 // IndexSpec describes an index to build.
@@ -155,9 +162,13 @@ type DB struct {
 	eng *engine.DB
 }
 
+func (cfg Config) engineConfig() engine.Config {
+	return engine.Config{FS: cfg.FS, PoolSize: cfg.PoolSize, DisableMetrics: cfg.DisableMetrics}
+}
+
 // Open creates a fresh database.
 func Open(cfg Config) (*DB, error) {
-	eng, err := engine.Open(engine.Config{FS: cfg.FS, PoolSize: cfg.PoolSize})
+	eng, err := engine.Open(cfg.engineConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -168,7 +179,7 @@ func Open(cfg Config) (*DB, error) {
 // recovery (analysis, redo, undo). Interrupted online index builds are
 // resumed from their last checkpoints before Recover returns.
 func Recover(cfg Config) (*DB, error) {
-	eng, err := engine.Recover(engine.Config{FS: cfg.FS, PoolSize: cfg.PoolSize})
+	eng, err := engine.Recover(cfg.engineConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -183,7 +194,7 @@ func Recover(cfg Config) (*DB, error) {
 // pending; PendingBuilds/ResumeBuild give the caller control over when the
 // builders run (the crash/restart examples and experiments use this).
 func RecoverWithoutResume(cfg Config) (*DB, error) {
-	eng, err := engine.Recover(engine.Config{FS: cfg.FS, PoolSize: cfg.PoolSize})
+	eng, err := engine.Recover(cfg.engineConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -291,6 +302,36 @@ func (db *DB) Crash() FS { return db.eng.Crash() }
 
 // Close flushes everything and shuts down cleanly.
 func (db *DB) Close() error { return db.eng.Close() }
+
+// MetricsSnapshot is a point-in-time copy of every engine instrument.
+type MetricsSnapshot = metrics.Snapshot
+
+// ProgressSnapshot is a point-in-time view of one build's progress and ETA.
+type ProgressSnapshot = progress.Snapshot
+
+// Metrics returns a snapshot of the engine's metrics registry (empty when
+// Config.DisableMetrics was set).
+func (db *DB) Metrics() MetricsSnapshot { return db.eng.Metrics().Snapshot() }
+
+// BuildProgress returns a progress snapshot for every build the engine has
+// tracked, running or complete (empty when metrics are disabled).
+func (db *DB) BuildProgress() []ProgressSnapshot { return db.eng.ProgressSnapshots() }
+
+// AdminServer is a running admin HTTP endpoint (see ServeAdmin).
+type AdminServer = admin.Server
+
+// ServeAdmin starts the read-only admin endpoint on addr ("127.0.0.1:0"
+// picks a free port; the server's URL method reports it). It serves JSON
+// snapshots of the metrics registry and every build's progress:
+//
+//	GET /          combined view with the side-file backlog
+//	GET /metrics   the metrics snapshot
+//	GET /progress  the build progress list
+//
+// Close the returned server when done.
+func (db *DB) ServeAdmin(addr string) (*AdminServer, error) {
+	return admin.Serve(addr, db.eng)
+}
 
 // PendingBuilds lists index builds interrupted by a crash (after
 // RecoverWithoutResume).

@@ -1,0 +1,95 @@
+package onlineindex_test
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"onlineindex/internal/catalog"
+	"onlineindex/internal/core"
+	"onlineindex/internal/engine"
+	"onlineindex/internal/vfs"
+	"onlineindex/internal/workload"
+)
+
+// overheadDB is benchDB with the metrics registry (and progress tracking)
+// optionally disabled — the baseline the instrumentation cost is measured
+// against.
+func overheadDB(tb testing.TB, rows int, disableMetrics bool) *engine.DB {
+	tb.Helper()
+	db, err := engine.Open(engine.Config{FS: vfs.NewMemFS(), PoolSize: 4096, DisableMetrics: disableMetrics})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := db.CreateTable("orders", workload.Schema()); err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := workload.Populate(db, "orders", rows, 24); err != nil {
+		tb.Fatal(err)
+	}
+	return db
+}
+
+// BenchmarkMetricsOverhead compares the E1 quiet-table build with the full
+// observability subsystem (metrics registry + progress tracker) against the
+// DisableMetrics baseline, per method. The instrumented/disabled keys/s gap
+// is the subsystem's cost; the budget is < 2%.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	for _, method := range []catalog.BuildMethod{catalog.MethodNSF, catalog.MethodSF} {
+		for _, variant := range []struct {
+			name     string
+			disabled bool
+		}{{"instrumented", false}, {"disabled", true}} {
+			b.Run(method.String()+"/"+variant.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					db := overheadDB(b, benchRows, variant.disabled)
+					b.StartTimer()
+					if _, err := core.Build(db, buildSpec(method), core.Options{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(benchRows*b.N)/b.Elapsed().Seconds(), "keys/s")
+			})
+		}
+	}
+}
+
+// TestMetricsOverheadGate enforces the < 2% observability budget on the E1
+// build. Wall-clock comparisons are noisy on shared machines, so the gate
+// only runs when explicitly requested (ONLINEINDEX_OVERHEAD_GATE=1, set by
+// `scripts/ci.sh overhead`) and compares the minimum of several trials — the
+// minimum estimates the undisturbed run, which is what the instrumentation
+// delta shifts.
+func TestMetricsOverheadGate(t *testing.T) {
+	if os.Getenv("ONLINEINDEX_OVERHEAD_GATE") == "" {
+		t.Skip("set ONLINEINDEX_OVERHEAD_GATE=1 to run the overhead gate")
+	}
+	const rows = 100_000
+	const trials = 7
+	measure := func(method catalog.BuildMethod, disabled bool) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < trials; i++ {
+			db := overheadDB(t, rows, disabled)
+			start := time.Now()
+			if _, err := core.Build(db, buildSpec(method), core.Options{}); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+			db.Close() //nolint:errcheck
+		}
+		return best
+	}
+	for _, method := range []catalog.BuildMethod{catalog.MethodNSF, catalog.MethodSF} {
+		on := measure(method, false)
+		off := measure(method, true)
+		overhead := (on - off).Seconds() / off.Seconds() * 100
+		t.Logf("%s: instrumented %.1fms, disabled %.1fms, overhead %+.2f%%",
+			method, on.Seconds()*1000, off.Seconds()*1000, overhead)
+		if overhead > 2.0 {
+			t.Errorf("%s: metrics overhead %.2f%% exceeds the 2%% budget", method, overhead)
+		}
+	}
+}
