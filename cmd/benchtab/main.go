@@ -9,6 +9,13 @@
 //	benchtab -workers 4           # scan-pipeline workers for build experiments
 //	benchtab -buildbench 200000   # worker-scaling build benchmark; writes
 //	                              # BENCH_build.json (workers 1 and -workers N)
+//	benchtab -commitbench         # multi-writer commit-throughput benchmark
+//	                              # (group commit vs serial Force); merges a
+//	                              # commit_tps record into BENCH_build.json
+//
+// -buildbench and -commitbench both merge into -out rather than clobbering
+// each other's records: build records carry no "kind" field, the commit
+// record carries "kind": "commit_tps", and each mode replaces only its own.
 package main
 
 import (
@@ -22,12 +29,41 @@ import (
 	"onlineindex/internal/experiments"
 )
 
+// mergeRecords rewrites the JSON array at path, dropping existing entries
+// whose "kind" field equals kind (build records have none, so kind "" drops
+// them) and appending recs. A missing file starts from an empty array, so
+// either benchmark mode can run first.
+func mergeRecords(path, kind string, recs []any) error {
+	var kept []any
+	if data, err := os.ReadFile(path); err == nil {
+		var existing []map[string]any
+		if err := json.Unmarshal(data, &existing); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		for _, r := range existing {
+			k, _ := r["kind"].(string)
+			if k != kind {
+				kept = append(kept, r)
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	kept = append(kept, recs...)
+	data, err := json.MarshalIndent(kept, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func main() {
 	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
 	scale := flag.Float64("scale", 1.0, "table-size scale factor")
 	workers := flag.Int("workers", 1, "scan-pipeline key-extraction workers (core.Options.ScanWorkers)")
-	buildBench := flag.Int("buildbench", 0, "run the build benchmark on a table of this many rows and write -out (skips experiments)")
-	out := flag.String("out", "BENCH_build.json", "output path for the -buildbench JSON records")
+	buildBench := flag.Int("buildbench", 0, "run the build benchmark on a table of this many rows and merge into -out (skips experiments)")
+	commitBench := flag.Bool("commitbench", false, "run the commit-throughput benchmark and merge a commit_tps record into -out (skips experiments)")
+	out := flag.String("out", "BENCH_build.json", "output path for the -buildbench/-commitbench JSON records")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -52,16 +88,30 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchtab: buildbench failed: %v\n", err)
 			os.Exit(1)
 		}
-		data, err := json.MarshalIndent(recs, "", "  ")
+		anys := make([]any, len(recs))
+		for i := range recs {
+			anys[i] = recs[i]
+		}
+		// Build records are the ones without a "kind" discriminator.
+		if err := mergeRecords(*out, "", anys); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("merged %d build records into %s\n", len(recs), *out)
+		return
+	}
+
+	if *commitBench {
+		rec, err := experiments.CommitBench(cfg)
 		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: commitbench failed: %v\n", err)
+			os.Exit(1)
+		}
+		if err := mergeRecords(*out, rec.Kind, []any{rec}); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
 			os.Exit(1)
 		}
-		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote %d records to %s\n", len(recs), *out)
+		fmt.Printf("merged commit_tps record into %s\n", *out)
 		return
 	}
 

@@ -3,6 +3,7 @@ package admin_test
 import (
 	"encoding/json"
 	"net/http"
+	"sync"
 	"testing"
 	"time"
 
@@ -40,11 +41,33 @@ func TestAdminSmoke(t *testing.T) {
 	runner := workload.NewRunner(db, "orders", rids, 2, workload.DefaultMix)
 	runner.Start()
 	buildErr := make(chan error, 1)
+	// The free-running updaters make the scenario realistic but don't
+	// guarantee any DML lands inside the build window on a fast or loaded
+	// machine; one committed insert from the first load-phase checkpoint
+	// (the sweep's deterministic-DML mechanism) pins the sidefile.appends
+	// assertion below. It must wait for the load phase: during the scan a
+	// fresh insert lands ahead of Current-RID and is picked up by the scan
+	// itself, with no side-file entry.
+	var sideDML sync.Once
 	go func() {
 		_, err := core.Build(db, engine.CreateIndexSpec{
 			Name: "orders_key", Table: "orders", Columns: []string{"key"},
 			Method: catalog.MethodSF,
-		}, core.Options{CheckpointPages: 16, CheckpointKeys: 500})
+		}, core.Options{CheckpointPages: 16, CheckpointKeys: 500,
+			OnCheckpoint: func(phase engine.IBPhase) error {
+				if phase != engine.IBPhaseLoad {
+					return nil
+				}
+				var err error
+				sideDML.Do(func() {
+					tx := db.Begin()
+					if _, err = db.Insert(tx, "orders", workload.RowOf(1_000_001, 24)); err != nil {
+						return
+					}
+					err = tx.Commit()
+				})
+				return err
+			}})
 		buildErr <- err
 	}()
 

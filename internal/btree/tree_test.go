@@ -492,7 +492,7 @@ func TestRedoRebuildsTree(t *testing.T) {
 		tr.TxnPseudoDelete(tl, keyOf(i), ridOf(i))
 	}
 	// Log forced, data pages NOT flushed.
-	log.Force(log.NextLSN())
+	log.ForceAll()
 	fs.Crash()
 	fs.Recover()
 
@@ -626,7 +626,7 @@ func TestLoaderCheckpointRestart(t *testing.T) {
 		}
 	}
 	// Crash before finishing. Unflushed post-checkpoint pages are lost.
-	log.Force(log.NextLSN())
+	log.ForceAll()
 	fs.Crash()
 	fs.Recover()
 

@@ -406,6 +406,13 @@ func (p *Pool) pickVictimLocked() *Frame {
 // enforcing the WAL protocol: the log is forced up to the PageLSN first.
 // The caller must hold the pool mutex and the frame's latch in at least S
 // mode (so no writer is mutating the page mid-marshal).
+//
+// The Force may ride a group-commit epoch: if a WAL flush covering PageLSN
+// is already in flight this call parks until that epoch's leader syncs,
+// holding the pool mutex the whole time. That is deadlock-free — the leader
+// needs only the WAL's own mutex and the log file, never the pool — and
+// correct: Force returns only once PageLSN is durable (a failed epoch
+// returns the leader's error, and the page write below is skipped).
 func (p *Pool) flushFrameLocked(f *Frame) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()

@@ -1,0 +1,131 @@
+package crashsweep
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"onlineindex/internal/engine"
+	"onlineindex/internal/faultfs"
+	"onlineindex/internal/keyenc"
+	"onlineindex/internal/types"
+	"onlineindex/internal/vfs"
+	"onlineindex/internal/wal"
+)
+
+// committerResult is one concurrent committer's claim about its transaction.
+type committerResult struct {
+	id        int64
+	rid       types.RID
+	attempted bool // the insert succeeded and Commit was called
+	committed bool // Commit returned nil: the engine promised durability
+}
+
+// TestGroupCommitCrashAtomicity crashes at every fault point of a workload
+// where four committers commit concurrently (sharing group-commit flush
+// epochs), twice in a row, and checks the durability contract transaction by
+// transaction on the recovered engine: every commit that returned nil must
+// have its row, every commit that returned an error must not. A group flush
+// makes this sharper than the scripted sweep scenarios — several committers
+// ride one fsync, so a crash inside it must fail ALL of them, and a crash
+// after it must lose NONE.
+//
+// Unlike the scripted scenarios this workload is intentionally concurrent,
+// so which operation lands on fault point k varies run to run; the oracle
+// therefore keys on what Commit *returned*, not on a fixed schedule.
+func TestGroupCommitCrashAtomicity(t *testing.T) {
+	const (
+		committers = 4
+		rounds     = 2
+		seedRows   = 40
+		maxPoints  = 200 // backstop; the schedule exhausts long before this
+	)
+	fired := 0
+	for k := uint64(1); k <= maxPoints; k++ {
+		mem := vfs.NewMemFS()
+		ffs := faultfs.Wrap(mem, faultfs.Config{Mode: faultfs.ModeCrash, Point: k, Seed: 1})
+		db, _, err := openPopulated(ffs, seedRows)
+		if err != nil {
+			t.Fatalf("point %d: populate: %v", k, err)
+		}
+		ffs.Arm()
+
+		var all []committerResult
+		for round := 0; round < rounds; round++ {
+			results := make([]committerResult, committers)
+			var ready, done sync.WaitGroup
+			start := make(chan struct{})
+			ready.Add(committers)
+			done.Add(committers)
+			for w := 0; w < committers; w++ {
+				go func(w int) {
+					defer done.Done()
+					tx := db.Begin()
+					id := int64(5_000_000 + round*100 + w)
+					rid, err := db.Insert(tx, "items", sweepRow(id, sweepName(int(id%1_000_000)), int64(w)))
+					ready.Done()
+					// Barrier: all four hold their insert until everyone is
+					// ready, so the commits race into shared flush epochs.
+					<-start
+					if err != nil {
+						tx.Rollback() //nolint:errcheck
+						return
+					}
+					results[w] = committerResult{id: id, rid: rid, attempted: true}
+					if tx.Commit() == nil {
+						results[w].committed = true
+					}
+				}(w)
+			}
+			ready.Wait()
+			close(start)
+			done.Wait()
+			all = append(all, results...)
+		}
+		ffs.Disarm()
+
+		if _, ok := ffs.Fired(); !ok {
+			// Past the end of the schedule: every fault point is covered.
+			if fired == 0 {
+				t.Fatal("no fault point ever fired; the workload performs no I/O?")
+			}
+			t.Logf("swept %d fault points", fired)
+			return
+		}
+		fired++
+
+		mem.Recover()
+		db2, err := engine.Recover(engine.Config{FS: mem, PoolSize: poolSize, TreeBudget: treeBudget})
+		if err != nil {
+			t.Fatalf("point %d: restart recovery: %v", k, err)
+		}
+		if ti, err := wal.VerifyTail(mem); err != nil || ti.Torn {
+			t.Fatalf("point %d: log tail: torn=%v err=%v", k, ti.Torn, err)
+		}
+		check := db2.Begin()
+		for _, r := range all {
+			if !r.attempted {
+				continue
+			}
+			row, ok, err := db2.Get(check, "items", r.rid)
+			// Slot reuse can put a different row at a loser's RID; only the
+			// original row counts as "survived".
+			same := ok && err == nil && len(row) > 0 &&
+				fmt.Sprint(row[0]) == fmt.Sprint(keyenc.Int64(r.id))
+			if r.committed && !same {
+				t.Fatalf("point %d: txn for row %d committed (Commit returned nil) but its row is gone after recovery (ok=%v err=%v)",
+					k, r.id, ok, err)
+			}
+			if !r.committed && same {
+				t.Fatalf("point %d: txn for row %d failed to commit but its row survived recovery", k, r.id)
+			}
+		}
+		if err := check.Rollback(); err != nil {
+			t.Fatalf("point %d: %v", k, err)
+		}
+		if err := db2.Close(); err != nil {
+			t.Fatalf("point %d: close recovered engine: %v", k, err)
+		}
+	}
+	t.Fatalf("fault schedule still firing after %d points", maxPoints)
+}

@@ -99,11 +99,10 @@ func observer(db *engine.DB, rids []types.RID) func(engine.IBPhase) error {
 			live[d] = false
 		}
 		if err := tx.Commit(); err != nil {
-			// A commit whose log force failed leaves the transaction active
-			// and holding its locks; roll it back so nothing downstream
-			// blocks on a zombie. On a crashed FS the rollback fails too —
-			// fine, the whole incarnation is about to unwind.
-			tx.Rollback() //nolint:errcheck
+			// A commit whose log force fails poisons itself to aborted
+			// (undo, lock release, active-table removal all happen inside
+			// Commit), so there is no zombie to clean up here — just
+			// surface the error and let the incarnation unwind.
 			return err
 		}
 		return nil

@@ -21,6 +21,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"onlineindex/internal/btree"
 	"onlineindex/internal/buffer"
@@ -49,6 +50,14 @@ type Config struct {
 	// nil instrument handles, whose methods are no-ops (the overhead
 	// benchmark compares the two modes).
 	DisableMetrics bool
+	// CommitBatchDelay is the WAL group-commit max batch delay: how long a
+	// flush leader lingers before writing, letting more concurrent
+	// committers ride the same fsync. 0 (the default) flushes immediately;
+	// commit batching then comes only from flushes that overlap in time.
+	CommitBatchDelay time.Duration
+	// SerialCommitForce disables group commit and restores the serial
+	// hold-the-mutex-across-fsync Force. Benchmark baseline only.
+	SerialCommitForce bool
 }
 
 // DB is the engine instance.
@@ -114,6 +123,8 @@ func Open(cfg Config) (*DB, error) {
 		lastIBCkpt: make(map[types.IndexID][]byte),
 	}
 	db.log.SetMetrics(wal.MetricsFrom(reg))
+	db.log.SetBatchDelay(cfg.CommitBatchDelay)
+	db.log.SetSerialForce(cfg.SerialCommitForce)
 	db.pool.SetMetrics(buffer.MetricsFrom(reg))
 	db.lock.SetMetrics(lock.MetricsFrom(reg))
 	db.txns = txn.NewManager(log, db.lock)
@@ -301,7 +312,7 @@ func (db *DB) Close() error {
 	if err := db.pool.FlushAll(); err != nil {
 		return err
 	}
-	if err := db.log.Force(db.log.NextLSN()); err != nil {
+	if err := db.log.ForceAll(); err != nil {
 		return err
 	}
 	if err := db.Checkpoint(); err != nil {

@@ -121,6 +121,13 @@ func Recover(cfg Config) (*DB, error) {
 			case wal.TypeCommit:
 				e.committed = true
 				committedTxns[rec.TxnID] = true
+			case wal.TypeAbort:
+				// An abort after a commit record means the commit's force
+				// failed and the transaction was poisoned to the rollback
+				// path: the commit never became durable on its own terms,
+				// and the abort outcome wins.
+				e.committed = false
+				delete(committedTxns, rec.TxnID)
 			case wal.TypeEnd:
 				if e.committed {
 					// Late-bind the builder checkpoints this txn carried.

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"onlineindex/internal/catalog"
+	"onlineindex/internal/core"
+	"onlineindex/internal/engine"
+	"onlineindex/internal/harness"
+	"onlineindex/internal/vfs"
+	"onlineindex/internal/wal"
+	"onlineindex/internal/workload"
+)
+
+// CommitSyncLatency is the simulated fsync cost the commit-throughput
+// measurements run under. MemFS syncs are otherwise free, which would hide
+// exactly the barrier group commit amortizes; 400µs is a mid-range SSD
+// flush. The group/serial ratio is nearly latency-invariant — both modes'
+// throughput is meanBatch/latency, so the ratio is the batch ratio — but the
+// absolute numbers only mean something with a realistic barrier charged.
+const CommitSyncLatency = 400 * time.Microsecond
+
+// commitMix is the insert-only workload the commit-throughput measurements
+// drive: every transaction inserts one fresh row and commits, the same load
+// BenchmarkCommitThroughput applies, so `benchtab -commitbench` numbers and
+// the benchmark agree. Deletes/updates would add row-lock conflicts and
+// rollbacks that cap how many commits overlap a flush, diluting the very
+// batching under test.
+var commitMix = workload.Mix{InsertPct: 100}
+
+// CommitRecord is the machine-readable commit-throughput measurement
+// appended to BENCH_build.json by `benchtab -commitbench`. Throughputs are
+// committed transactions per second from insert-commit writers against the
+// orders table (the BenchmarkCommitThroughput load). The 1w/4w/16w fields
+// run on a quiet table; the *_live fields repeat the 16-writer pair while an
+// SF index build of the same table loops concurrently — the paper's
+// scenario. The live pair is context, not the gate: a concurrent build adds
+// page-latch and buffer-pool contention that throttles group and serial
+// alike, so it understates the fsync convoy the quiet pair isolates.
+type CommitRecord struct {
+	Kind        string  `json:"kind"` // "commit_tps"
+	Rows        int     `json:"rows"`
+	SyncUs      float64 `json:"sync_latency_us"`
+	CommitTPS1W float64 `json:"commit_tps_1w"`
+	CommitTPS4W float64 `json:"commit_tps_4w"`
+	// CommitTPS16W and the serial baseline at the same width are the
+	// headline pair: the acceptance gate requires group/serial >= 3x.
+	CommitTPS16W       float64 `json:"commit_tps_16w"`
+	CommitTPSSerial16W float64 `json:"commit_tps_serial_16w"`
+	Speedup16W         float64 `json:"group_commit_speedup_16w"`
+	MeanBatch          float64 `json:"group_commit_mean_batch"`
+	// 16-writer pair with a live SF build of the same table running.
+	CommitTPS16WLive       float64 `json:"commit_tps_16w_live_build"`
+	CommitTPSSerial16WLive float64 `json:"commit_tps_serial_16w_live_build"`
+}
+
+// MeasureCommitTPS runs `workers` insert-commit writers against a populated
+// orders table for roughly dur and returns committed transactions per
+// second plus the mean commits-per-WAL-flush. serial selects the
+// pre-group-commit serial-Force baseline. When liveBuild is set, an SF
+// build of an index on the table runs concurrently, started just before the
+// measurement window (the build restarts as needed to span it). The MemFS
+// charges CommitSyncLatency per WAL fsync.
+func MeasureCommitTPS(rows, workers int, serial, liveBuild bool, dur time.Duration) (float64, float64, error) {
+	fs := vfs.NewMemFS()
+	db, err := engine.Open(engine.Config{FS: fs, PoolSize: 4096, SerialCommitForce: serial})
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := db.CreateTable(tableName, workload.Schema()); err != nil {
+		return 0, 0, err
+	}
+	rids, err := workload.Populate(db, tableName, rows, 24)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Populate runs sync-latency-free so short calibration runs stay short.
+	// The charge is scoped to the WAL file: commit fsync is the barrier under
+	// test, and a concurrent build's spill/page Syncs (some issued under the
+	// buffer-pool mutex) would otherwise become a shared per-Sync bottleneck
+	// that throttles both modes identically and hides the convoy.
+	fs.SetSyncLatency(CommitSyncLatency, wal.LogFileName)
+
+	buildDone := make(chan error, 1)
+	buildStop := make(chan struct{})
+	if liveBuild {
+		go func() {
+			i := 0
+			for {
+				select {
+				case <-buildStop:
+					buildDone <- nil
+					return
+				default:
+				}
+				sp := spec(fmt.Sprintf("commitbench_%d", i), catalog.MethodSF)
+				if _, err := core.Build(db, sp, core.Options{}); err != nil {
+					buildDone <- err
+					return
+				}
+				if err := db.DropIndex(sp.Name); err != nil {
+					buildDone <- err
+					return
+				}
+				i++
+			}
+		}()
+	} else {
+		close(buildStop)
+		buildDone <- nil
+	}
+
+	runner := workload.NewRunner(db, tableName, rids, workers, commitMix)
+	runner.Start()
+	time.Sleep(dur)
+	st := runner.Stop()
+	if liveBuild {
+		close(buildStop)
+	}
+	if err := <-buildDone; err != nil {
+		return 0, 0, err
+	}
+	if errs := runner.Errs(); len(errs) > 0 {
+		return 0, 0, fmt.Errorf("commitbench workload: %v", errs[0])
+	}
+
+	meanBatch := 0.0
+	wst := db.Log().Stats()
+	if wst.Forces > 0 {
+		meanBatch = float64(st.Commits) / float64(wst.Forces)
+	}
+	return st.Throughput(), meanBatch, nil
+}
+
+// CommitBench measures multi-writer commit throughput at 1, 4 and 16
+// writers on the group-commit path plus the 16-writer serial-Force baseline
+// on a quiet table, repeats the 16-writer pair during a live SF build, and
+// returns the BENCH_build.json record.
+func CommitBench(cfg Config) (CommitRecord, error) {
+	rows := cfg.rows(20_000)
+	const dur = 600 * time.Millisecond
+	rec := CommitRecord{
+		Kind:   "commit_tps",
+		Rows:   rows,
+		SyncUs: float64(CommitSyncLatency) / float64(time.Microsecond),
+	}
+	for _, m := range []struct {
+		workers int
+		serial  bool
+		live    bool
+		tps     *float64
+	}{
+		{1, false, false, &rec.CommitTPS1W},
+		{4, false, false, &rec.CommitTPS4W},
+		{16, false, false, &rec.CommitTPS16W},
+		{16, true, false, &rec.CommitTPSSerial16W},
+		{16, false, true, &rec.CommitTPS16WLive},
+		{16, true, true, &rec.CommitTPSSerial16WLive},
+	} {
+		tps, batch, err := MeasureCommitTPS(rows, m.workers, m.serial, m.live, dur)
+		if err != nil {
+			return rec, fmt.Errorf("commitbench workers=%d serial=%v live=%v: %w",
+				m.workers, m.serial, m.live, err)
+		}
+		*m.tps = tps
+		if m.workers == 16 && !m.serial && !m.live {
+			rec.MeanBatch = batch
+		}
+	}
+	if rec.CommitTPSSerial16W > 0 {
+		rec.Speedup16W = rec.CommitTPS16W / rec.CommitTPSSerial16W
+	}
+	cfg.printf("%s\n", harness.Table(
+		"Commit throughput, insert-commit writers (group commit vs serial Force)",
+		[]string{"writers", "mode", "build", "commits/s"},
+		[][]string{
+			{"1", "group", "quiet", fmt.Sprintf("%.0f", rec.CommitTPS1W)},
+			{"4", "group", "quiet", fmt.Sprintf("%.0f", rec.CommitTPS4W)},
+			{"16", "group", "quiet", fmt.Sprintf("%.0f (mean batch %.1f)", rec.CommitTPS16W, rec.MeanBatch)},
+			{"16", "serial", "quiet", fmt.Sprintf("%.0f (group speedup %.1fx)",
+				rec.CommitTPSSerial16W, rec.Speedup16W)},
+			{"16", "group", "live SF", fmt.Sprintf("%.0f", rec.CommitTPS16WLive)},
+			{"16", "serial", "live SF", fmt.Sprintf("%.0f", rec.CommitTPSSerial16WLive)},
+		}))
+	return rec, nil
+}

@@ -221,7 +221,7 @@ func TestRedoRebuildsFromLog(t *testing.T) {
 	tbl.Update(tl, rids[20], []byte("rec-20-updated"), nil)
 
 	// Force the log but NOT the data pages, then crash.
-	if err := log.Force(log.NextLSN()); err != nil {
+	if err := log.ForceAll(); err != nil {
 		t.Fatal(err)
 	}
 	_ = pool

@@ -164,7 +164,7 @@ func TestRedoRebuildsSideFile(t *testing.T) {
 	for i := 0; i < n; i++ {
 		sf.Append(tl, mkEntry(i))
 	}
-	log.Force(log.NextLSN())
+	log.ForceAll()
 	fs.Crash()
 	fs.Recover()
 

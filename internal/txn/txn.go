@@ -146,6 +146,15 @@ func (t *Txn) Unlock(name lock.Name) {
 
 // Commit writes the commit record, forces the log (durability), releases
 // locks and writes the end record.
+//
+// Failure semantics: an error never leaves the transaction in limbo. If the
+// commit can't be made durable (Append or Force fails), the transaction is
+// poisoned to aborted via the normal rollback path — its updates are undone,
+// its locks released, and it leaves the active table; recovery treats the
+// abort record as overriding the unforced commit record. If the commit IS
+// durable but the post-commit End append fails, the error is reported with
+// the transaction in StateCommitted (restart recovery handles
+// commit-without-end), and finish/ReleaseAll still run.
 func (t *Txn) Commit() error {
 	t.mu.Lock()
 	if t.state != StateActive {
@@ -156,58 +165,82 @@ func (t *Txn) Commit() error {
 	lsn, err := t.mgr.log.Append(r)
 	if err != nil {
 		t.mu.Unlock()
-		return err
+		t.Rollback() //nolint:errcheck // best-effort poison; the commit error is the caller's signal
+		return fmt.Errorf("txn %d commit append: %w", t.id, err)
 	}
 	t.lastLSN = lsn
 	t.mu.Unlock()
 	if err := t.mgr.log.Force(lsn); err != nil {
-		return err
+		// The commit record is not durable, so the outcome must become
+		// "aborted": undo, release locks, leave the active table. Without
+		// this the transaction would sit in StateActive holding every lock
+		// it ever took, with no one left to end it.
+		t.Rollback() //nolint:errcheck // best-effort poison; the force error is the caller's signal
+		return fmt.Errorf("txn %d commit force: %w", t.id, err)
 	}
 	t.mu.Lock()
 	t.state = StateCommitted
 	t.mu.Unlock()
 	t.mgr.locks.ReleaseAll(t.id)
 	end := &wal.Record{Type: wal.TypeEnd, Flags: wal.FlagRedo, TxnID: t.id, PrevLSN: lsn}
-	if _, err := t.mgr.log.Append(end); err != nil {
-		return err
-	}
+	_, endErr := t.mgr.log.Append(end)
+	// The transaction is committed and its locks are gone; it must leave the
+	// active table even if the End append failed, or it would pin Commit_LSN
+	// and leak in ActiveCount forever.
 	t.mgr.finish(t.id)
+	if endErr != nil {
+		return fmt.Errorf("txn %d commit end record (commit IS durable): %w", t.id, endErr)
+	}
 	return nil
 }
 
 // Rollback undoes the transaction: an abort record, then the PrevLSN chain
 // walked newest-first, dispatching each undoable record and honoring CLR
 // UndoNext jumps, then lock release and the end record.
+//
+// Lock release and removal from the active table are unconditional: even
+// when the undo dispatch fails (dead filesystem mid-unwind), a rolled-back
+// transaction must not linger as a zombie holding locks — restart recovery
+// re-drives the undo from the log. The End record is written only after a
+// complete undo; a failed undo leaves the chain open so recovery adopts the
+// transaction as a loser and finishes the job.
 func (t *Txn) Rollback() error {
 	t.mu.Lock()
 	if t.state != StateActive {
 		t.mu.Unlock()
 		return ErrNotActive
 	}
-	abort := &wal.Record{Type: wal.TypeAbort, Flags: wal.FlagRedo, TxnID: t.id, PrevLSN: t.lastLSN}
-	lsn, err := t.mgr.log.Append(abort)
-	if err != nil {
-		t.mu.Unlock()
-		return err
-	}
 	undoPoint := t.lastLSN // records at or before this need undoing
-	t.lastLSN = lsn
 	t.state = StateAborted
+	abort := &wal.Record{Type: wal.TypeAbort, Flags: wal.FlagRedo, TxnID: t.id, PrevLSN: t.lastLSN}
+	lsn, abortErr := t.mgr.log.Append(abort)
+	if abortErr == nil {
+		t.lastLSN = lsn
+	}
 	t.mu.Unlock()
 
-	if err := t.undoFrom(undoPoint); err != nil {
-		return fmt.Errorf("txn %d rollback: %w", t.id, err)
+	var undoErr error
+	if abortErr == nil {
+		undoErr = t.undoFrom(undoPoint)
 	}
 
 	t.mgr.locks.ReleaseAll(t.id)
-	t.mu.Lock()
-	end := &wal.Record{Type: wal.TypeEnd, Flags: wal.FlagRedo, TxnID: t.id, PrevLSN: t.lastLSN}
-	if _, err := t.mgr.log.Append(end); err != nil {
+	var endErr error
+	if abortErr == nil && undoErr == nil {
+		t.mu.Lock()
+		end := &wal.Record{Type: wal.TypeEnd, Flags: wal.FlagRedo, TxnID: t.id, PrevLSN: t.lastLSN}
+		_, endErr = t.mgr.log.Append(end)
 		t.mu.Unlock()
-		return err
 	}
-	t.mu.Unlock()
 	t.mgr.finish(t.id)
+	switch {
+	case abortErr != nil:
+		return fmt.Errorf("txn %d rollback abort record: %w", t.id, abortErr)
+	case undoErr != nil:
+		return fmt.Errorf("txn %d rollback: %w", t.id, undoErr)
+	case endErr != nil:
+		return fmt.Errorf("txn %d rollback end record: %w", t.id, endErr)
+	}
 	return nil
 }
 
@@ -235,9 +268,19 @@ func (t *Txn) undoFrom(lsn types.LSN) error {
 	return nil
 }
 
+// WAL is the slice of the log the transaction manager uses. *wal.Log
+// implements it; tests substitute failing wrappers to drive the commit and
+// rollback error paths, which a real in-memory Append cannot reach.
+type WAL interface {
+	Append(r *wal.Record) (types.LSN, error)
+	Force(lsn types.LSN) error
+	ReadAt(lsn types.LSN) (wal.Record, error)
+	NextLSN() types.LSN
+}
+
 // Manager creates and tracks transactions.
 type Manager struct {
-	log        *wal.Log
+	log        WAL
 	locks      *lock.Manager
 	dispatcher UndoDispatcher
 
@@ -248,7 +291,7 @@ type Manager struct {
 
 // NewManager returns a transaction manager. The dispatcher may be set later
 // with SetDispatcher (the engine wires itself in after construction).
-func NewManager(log *wal.Log, locks *lock.Manager) *Manager {
+func NewManager(log WAL, locks *lock.Manager) *Manager {
 	return &Manager{log: log, locks: locks, active: make(map[types.TxnID]*Txn)}
 }
 

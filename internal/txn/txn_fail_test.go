@@ -1,0 +1,207 @@
+package txn
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"onlineindex/internal/faultfs"
+	"onlineindex/internal/lock"
+	"onlineindex/internal/types"
+	"onlineindex/internal/vfs"
+	"onlineindex/internal/wal"
+)
+
+// lockFree reports whether another transaction could take name in X mode —
+// i.e. whether the original holder really released it.
+func lockFree(t *testing.T, m *Manager, name lock.Name) bool {
+	t.Helper()
+	probe := m.Begin()
+	defer probe.Rollback() //nolint:errcheck
+	err := m.locks.LockConditionalInstant(probe.id, name, lock.X)
+	if err != nil && !errors.Is(err, lock.ErrWouldBlock) {
+		t.Fatal(err)
+	}
+	return err == nil
+}
+
+// TestCommitForceFailurePoisonsToAborted: a commit whose log force fails must
+// not strand the transaction in StateActive holding its locks — it is
+// poisoned to aborted through the rollback path, its updates undone, its
+// locks released, and it leaves the active table. Before the fix, Commit
+// returned the error with state still active, every lock still held, and no
+// one left responsible for ending the transaction.
+func TestCommitForceFailurePoisonsToAborted(t *testing.T) {
+	// Fault point 1 is the flush's WriteAt, point 2 its Sync (counting
+	// starts at Arm; Append does no I/O).
+	for _, tc := range []struct {
+		name  string
+		point uint64
+	}{{"write-fails", 1}, {"sync-fails", 2}} {
+		t.Run(tc.name, func(t *testing.T) {
+			mem := vfs.NewMemFS()
+			ffs := faultfs.Wrap(mem, faultfs.Config{Mode: faultfs.ModeError, Point: tc.point, Seed: 1})
+			log, err := wal.Open(ffs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := NewManager(log, lock.NewManager())
+			d := &recordingDispatcher{emitCLR: true}
+			m.SetDispatcher(d)
+
+			tx := m.Begin()
+			name := lock.RecordName(types.RID{Slot: 7})
+			if err := tx.Lock(name, lock.X); err != nil {
+				t.Fatal(err)
+			}
+			lsn, err := tx.Log(undoable("poisoned"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ffs.Arm()
+			err = tx.Commit()
+			if !errors.Is(err, faultfs.ErrInjected) {
+				t.Fatalf("Commit error = %v, want the injected force failure", err)
+			}
+			if got := tx.State(); got != StateAborted {
+				t.Fatalf("state after failed commit force = %v, want aborted", got)
+			}
+			if got := m.ActiveCount(); got != 0 {
+				t.Fatalf("ActiveCount = %d after failed commit, want 0", got)
+			}
+			if !lockFree(t, m, name) {
+				t.Fatal("failed commit left its X lock held")
+			}
+			d.mu.Lock()
+			undone := append([]types.LSN(nil), d.undone...)
+			d.mu.Unlock()
+			if len(undone) != 1 || undone[0] != lsn {
+				t.Fatalf("undone = %v, want exactly the poisoned update %d", undone, lsn)
+			}
+			// Double-ending the transaction must be a plain ErrNotActive.
+			if err := tx.Rollback(); !errors.Is(err, ErrNotActive) {
+				t.Fatalf("Rollback after poisoned commit = %v, want ErrNotActive", err)
+			}
+		})
+	}
+}
+
+// failEndWAL passes everything through to the real log but fails the Append
+// of the first TypeEnd record it sees. Append itself performs no I/O, so
+// faultfs cannot reach this path; the WAL interface seam can.
+type failEndWAL struct {
+	*wal.Log
+	failed bool
+}
+
+var errEndAppend = errors.New("injected end-append failure")
+
+func (w *failEndWAL) Append(r *wal.Record) (types.LSN, error) {
+	if r.Type == wal.TypeEnd && !w.failed {
+		w.failed = true
+		return types.NilLSN, errEndAppend
+	}
+	return w.Log.Append(r)
+}
+
+// TestCommitEndAppendFailureStillFinishes: once the commit record is forced
+// the transaction IS committed; a failure appending the End record must not
+// leak it in the active table (where it would pin Commit_LSN forever).
+// Before the fix, Commit returned early and skipped mgr.finish.
+func TestCommitEndAppendFailureStillFinishes(t *testing.T) {
+	log, err := wal.Open(vfs.NewMemFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := &failEndWAL{Log: log}
+	m := NewManager(fw, lock.NewManager())
+	m.SetDispatcher(&recordingDispatcher{})
+
+	tx := m.Begin()
+	name := lock.RecordName(types.RID{Slot: 9})
+	if err := tx.Lock(name, lock.X); err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := tx.Log(undoable("durable"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = tx.Commit()
+	if !errors.Is(err, errEndAppend) {
+		t.Fatalf("Commit error = %v, want the end-append failure", err)
+	}
+	if got := m.ActiveCount(); got != 0 {
+		t.Fatalf("ActiveCount = %d, want 0: txn leaked in the active table", got)
+	}
+	if !strings.Contains(err.Error(), "commit IS durable") {
+		t.Fatalf("error %q does not tell the caller the commit is durable", err)
+	}
+	if got := tx.State(); got != StateCommitted {
+		t.Fatalf("state = %v, want committed (the commit record was forced)", got)
+	}
+	if log.FlushedLSN() <= lsn {
+		t.Fatal("commit record not durable")
+	}
+	if !lockFree(t, m, name) {
+		t.Fatal("committed txn's lock still held")
+	}
+}
+
+// failingDispatcher refuses every undo.
+type failingDispatcher struct{}
+
+var errUndo = errors.New("injected undo failure")
+
+func (failingDispatcher) Undo(*Txn, *wal.Record, types.LSN) error { return errUndo }
+
+// TestRollbackUndoFailureReleasesLocks: a rollback whose undo dispatch fails
+// (dead filesystem mid-unwind) must still release locks and leave the active
+// table — restart recovery re-drives the undo — but must NOT write an End
+// record, or recovery would not adopt the loser.
+func TestRollbackUndoFailureReleasesLocks(t *testing.T) {
+	log, err := wal.Open(vfs.NewMemFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(log, lock.NewManager())
+	m.SetDispatcher(failingDispatcher{})
+
+	tx := m.Begin()
+	name := lock.RecordName(types.RID{Slot: 3})
+	if err := tx.Lock(name, lock.X); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Log(undoable("stuck")); err != nil {
+		t.Fatal(err)
+	}
+	err = tx.Rollback()
+	if !errors.Is(err, errUndo) {
+		t.Fatalf("Rollback error = %v, want the undo failure", err)
+	}
+	if got := tx.State(); got != StateAborted {
+		t.Fatalf("state = %v, want aborted", got)
+	}
+	if got := m.ActiveCount(); got != 0 {
+		t.Fatalf("ActiveCount = %d, want 0", got)
+	}
+	if !lockFree(t, m, name) {
+		t.Fatal("failed rollback left its X lock held")
+	}
+	// The chain must stay open: no End record for this transaction.
+	it, err := log.NewIterator(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		r, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if r.Type == wal.TypeEnd && r.TxnID == tx.ID() {
+			t.Fatal("failed rollback wrote an End record; recovery would not adopt the loser")
+		}
+	}
+}

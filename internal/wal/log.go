@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"onlineindex/internal/metrics"
 	"onlineindex/internal/types"
@@ -17,18 +18,30 @@ var (
 	errBadCRC    = errors.New("wal: checksum mismatch")
 )
 
-// logFileName and masterFileName are the fixed file names on the VFS.
+// LogFileName and masterFileName are the fixed file names on the VFS.
+// LogFileName is exported so benchmarks can charge a simulated fsync cost to
+// the log file alone (vfs.MemFS.SetSyncLatency's filter).
 const (
-	logFileName    = "wal.log"
+	LogFileName    = "wal.log"
 	masterFileName = "wal.master"
 )
 
 // Log is the append-only write-ahead log.
 //
-// Appends go to an in-memory tail buffer; Force writes the buffer through to
-// the VFS file and syncs it, advancing FlushedLSN. The buffer pool enforces
-// the WAL protocol by calling Force(pageLSN) before writing a dirty page,
-// and the transaction manager forces the log at commit.
+// Appends go to an in-memory tail buffer; Force writes buffered records
+// through to the VFS file and syncs them, advancing FlushedLSN. The buffer
+// pool enforces the WAL protocol by calling Force(pageLSN) before writing a
+// dirty page, and the transaction manager forces the log at commit.
+//
+// Forcing is group commit with a double buffer: the log keeps an append
+// buffer (buf) and at most one in-flight flush buffer (inflight). The first
+// Force caller that finds no flush in flight becomes the leader of a flush
+// epoch: it swaps the append buffer out, releases the mutex, and performs one
+// WriteAt+Sync covering every record appended so far. Concurrent Force
+// callers whose target the in-flight epoch covers park on the epoch and share
+// the leader's outcome — one fsync durably commits the whole batch, and a
+// failed Sync fails every waiter of that epoch. Append only ever touches the
+// append buffer, so it never waits behind an in-flight fsync.
 //
 // Log is safe for concurrent use.
 type Log struct {
@@ -36,25 +49,66 @@ type Log struct {
 	f       vfs.File
 	nextLSN types.LSN // LSN the next record will receive
 	flushed types.LSN // all records with LSN < flushed are durable
-	buf     []byte    // unflushed tail; starts at LSN `flushed`
+
+	// buf holds records not yet handed to a flush: [flushed, nextLSN) when
+	// idle, [flushed+len(inflight), nextLSN) while a flush is in flight.
+	buf []byte
+	// inflight holds the records the current epoch's leader is writing:
+	// [flushed, flushed+len(inflight)). Empty when no flush is in flight.
+	inflight []byte
+	// spare recycles the buffer a successful flush retires, so steady-state
+	// group commit ping-pongs between two arrays instead of reallocating.
+	spare []byte
+
+	flushing   bool        // a leader is (or is about to be) flushing
+	curEpoch   *flushEpoch // epoch accepting waiters; nil unless flushing
+	batchDelay time.Duration
+	serial     bool // legacy serial-Force path (benchmark baseline)
 
 	stats Stats
 	met   Metrics
+}
+
+// flushEpoch is one group flush: everyone whose commit the leader's single
+// WriteAt+Sync covers parks on done and shares err.
+type flushEpoch struct {
+	done chan struct{}
+	err  error
+	// end is the first LSN NOT covered by this epoch. Zero while the leader
+	// is still accumulating (batch-delay window): joiners' targets are
+	// covered by construction, because the leader swaps the append buffer
+	// after they joined.
+	end     types.LSN
+	waiters uint64 // batch size: leader + parked waiters
 }
 
 // Metrics holds the log's registry handles; the zero value disables export.
 type Metrics struct {
 	Records *metrics.Counter
 	Bytes   *metrics.Counter
-	Forces  *metrics.Counter
+	// Forces counts completed (durable) flushes; ForceAttempts counts
+	// initiated ones. attempts - forces - errors == in-flight right now, and
+	// a growing ForceErrors is the admin-endpoint signal that fsync is
+	// failing.
+	Forces        *metrics.Counter
+	ForceAttempts *metrics.Counter
+	ForceErrors   *metrics.Counter
+	// BatchSize observes committers per group flush; WaitNs observes how
+	// long a parked committer waited for its epoch's leader.
+	BatchSize *metrics.Histogram
+	WaitNs    *metrics.Histogram
 }
 
 // MetricsFrom resolves the log's standard instrument names on r.
 func MetricsFrom(r *metrics.Registry) Metrics {
 	return Metrics{
-		Records: r.Counter("wal.records"),
-		Bytes:   r.Counter("wal.bytes"),
-		Forces:  r.Counter("wal.forces"),
+		Records:       r.Counter("wal.records"),
+		Bytes:         r.Counter("wal.bytes"),
+		Forces:        r.Counter("wal.forces"),
+		ForceAttempts: r.Counter("wal.force_attempts"),
+		ForceErrors:   r.Counter("wal.force_errors"),
+		BatchSize:     r.Histogram("wal.group_commit.batch_size", metrics.ExpBounds(1, 10)),
+		WaitNs:        r.Histogram("wal.group_commit.wait_ns", metrics.ExpBounds(1024, 21)),
 	}
 }
 
@@ -65,12 +119,36 @@ func (l *Log) SetMetrics(m Metrics) {
 	l.met = m
 }
 
+// SetBatchDelay sets the group-commit max batch delay: how long a flush
+// leader lingers before swapping the append buffer, letting more committers
+// pile into its epoch. Zero (the default) flushes immediately; latency is
+// then bounded by the in-flight fsync alone. Call before concurrent use.
+func (l *Log) SetBatchDelay(d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.batchDelay = d
+}
+
+// SetSerialForce switches Force to the pre-group-commit serial path that
+// holds the log mutex across WriteAt+Sync. It exists only as the baseline for
+// BenchmarkCommitThroughput; leave it off otherwise.
+func (l *Log) SetSerialForce(on bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.serial = on
+}
+
 // Stats aggregates log-volume counters, reported by experiment E5 (the
 // paper's §2.3.1/§4 logging-overhead claims).
 type Stats struct {
 	Records uint64
 	Bytes   uint64
-	Forces  uint64
+	// Forces counts completed flushes, ForceAttempts initiated ones, and
+	// ForceErrors flushes that failed in WriteAt or Sync (the failed bytes
+	// stay buffered and a later Force retries them).
+	Forces        uint64
+	ForceAttempts uint64
+	ForceErrors   uint64
 	// Per-type record counts and bytes.
 	ByType [numRecTypes]TypeStats
 }
@@ -84,9 +162,11 @@ type TypeStats struct {
 // Delta returns s minus prev, counter-wise.
 func (s Stats) Delta(prev Stats) Stats {
 	d := Stats{
-		Records: s.Records - prev.Records,
-		Bytes:   s.Bytes - prev.Bytes,
-		Forces:  s.Forces - prev.Forces,
+		Records:       s.Records - prev.Records,
+		Bytes:         s.Bytes - prev.Bytes,
+		Forces:        s.Forces - prev.Forces,
+		ForceAttempts: s.ForceAttempts - prev.ForceAttempts,
+		ForceErrors:   s.ForceErrors - prev.ForceErrors,
 	}
 	for i := range s.ByType {
 		d.ByType[i] = TypeStats{
@@ -105,14 +185,14 @@ func (s *Stats) TypeStat(t RecType) TypeStats { return s.ByType[t] }
 // during an unforced write) is discarded.
 func Open(fs vfs.FS) (*Log, error) {
 	var f vfs.File
-	exists, err := fs.Exists(logFileName)
+	exists, err := fs.Exists(LogFileName)
 	if err != nil {
 		return nil, err
 	}
 	if exists {
-		f, err = fs.Open(logFileName)
+		f, err = fs.Open(LogFileName)
 	} else {
-		f, err = fs.Create(logFileName)
+		f, err = fs.Create(LogFileName)
 		if err == nil {
 			err = f.Sync() // make the log file's existence durable immediately
 		}
@@ -162,7 +242,9 @@ func (l *Log) recoverTail() error {
 }
 
 // Append assigns the next LSN to r, buffers its encoding, and returns the
-// LSN. The record is not durable until Force reaches it.
+// LSN. The record is not durable until Force reaches it. Append only takes
+// the log mutex — never the in-flight fsync — so its latency is independent
+// of any concurrent Force.
 func (l *Log) Append(r *Record) (types.LSN, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -180,18 +262,146 @@ func (l *Log) Append(r *Record) (types.LSN, error) {
 	return r.LSN, nil
 }
 
-// Force makes every record with LSN <= lsn durable. Passing the latest LSN
-// (or types.LSN(^uint64(0))) forces the whole log.
+// Force makes every record with LSN <= lsn durable before returning. Callers
+// racing on the same region share one flush: see the group-commit protocol on
+// Log. Passing types.LSN(^uint64(0)) forces the whole log, but prefer
+// ForceAll for that.
 func (l *Log) Force(lsn types.LSN) error {
+	target := lsn + 1 // first LSN that need NOT be durable
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if lsn < l.flushed || len(l.buf) == 0 {
-		return nil // already durable
+	// Clamp overflow (lsn == ^uint64(0)) and targets beyond the last
+	// assigned LSN to "everything appended so far": an unassigned LSN can't
+	// become durable, and NextLSN-style callers mean the current end of log.
+	if target < lsn || target > l.nextLSN {
+		target = l.nextLSN
 	}
+	return l.forceLocked(target)
+}
+
+// ForceAll makes every record appended so far durable. It is the one
+// unambiguous "flush everything" entry point (checkpoint barriers, engine
+// Close, tests) — unlike Force(NextLSN()), which leans on target clamping.
+func (l *Log) ForceAll() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.forceLocked(l.nextLSN)
+}
+
+// forceLocked makes every LSN < target durable. Called and returns with l.mu
+// held; parks (mutex released) while waiting on an in-flight epoch.
+func (l *Log) forceLocked(target types.LSN) error {
+	if l.serial {
+		return l.serialForceLocked(target)
+	}
+	for {
+		if l.flushed >= target {
+			return nil // already durable
+		}
+		if !l.flushing {
+			// No flush in flight: this caller leads a new epoch, which
+			// covers every record appended so far — including target.
+			return l.leadFlush()
+		}
+		ep := l.curEpoch
+		if ep.end != 0 && target > ep.end {
+			// The in-flight flush stops short of target. Wait for it to
+			// retire (off-mutex), then go around: we'll lead the next
+			// epoch or join one that covers us.
+			l.mu.Unlock()
+			<-ep.done
+			l.mu.Lock()
+			continue
+		}
+		// Covered: either the epoch's range is fixed and includes target,
+		// or the leader is still accumulating (end == 0) and will swap the
+		// append buffer — which holds target — when it proceeds.
+		ep.waiters++
+		l.mu.Unlock()
+		start := time.Now()
+		<-ep.done
+		wait := time.Since(start)
+		l.mu.Lock()
+		l.met.WaitNs.Observe(uint64(wait))
+		// The leader's outcome is the whole epoch's outcome: a failed Sync
+		// fails every waiter, a successful one made target durable.
+		return ep.err
+	}
+}
+
+// leadFlush runs one flush epoch as its leader. Called with l.mu held and a
+// non-empty append buffer; returns with l.mu held.
+func (l *Log) leadFlush() error {
+	ep := &flushEpoch{done: make(chan struct{}), waiters: 1}
+	l.curEpoch = ep
+	l.flushing = true
+	if l.batchDelay > 0 {
+		// Linger with the mutex released so more committers append their
+		// commit records and join this epoch.
+		l.mu.Unlock()
+		time.Sleep(l.batchDelay)
+		l.mu.Lock()
+	}
+	data := l.buf
+	if l.spare != nil {
+		l.buf = l.spare[:0]
+		l.spare = nil
+	} else {
+		l.buf = nil
+	}
+	base := l.flushed
+	ep.end = base + types.LSN(len(data))
+	l.inflight = data
+	l.stats.ForceAttempts++
+	l.met.ForceAttempts.Inc()
+	l.mu.Unlock()
+
+	_, err := l.f.WriteAt(data, int64(base-1))
+	if err == nil {
+		err = l.f.Sync()
+	}
+
+	l.mu.Lock()
+	if err == nil {
+		l.flushed = ep.end
+		l.spare = data[:0]
+		l.stats.Forces++
+		l.met.Forces.Inc()
+		l.met.BatchSize.Observe(ep.waiters)
+	} else {
+		// The flush failed: its records are not durable. Put them back in
+		// front of the append buffer so a later Force retries them; the
+		// iterator never trusts file bytes at or beyond flushed, so a
+		// half-applied WriteAt can't surface.
+		l.buf = append(data, l.buf...)
+		l.stats.ForceErrors++
+		l.met.ForceErrors.Inc()
+	}
+	l.inflight = nil
+	l.flushing = false
+	l.curEpoch = nil
+	ep.err = err
+	close(ep.done)
+	return err
+}
+
+// serialForceLocked is the pre-group-commit Force: one caller at a time,
+// mutex held across WriteAt+Sync. Kept as the benchmark baseline
+// (SetSerialForce).
+func (l *Log) serialForceLocked(target types.LSN) error {
+	if l.flushed >= target {
+		return nil
+	}
+	l.stats.ForceAttempts++
+	l.met.ForceAttempts.Inc()
 	if _, err := l.f.WriteAt(l.buf, int64(l.flushed-1)); err != nil {
+		l.stats.ForceErrors++
+		l.met.ForceErrors.Inc()
 		return err
 	}
 	if err := l.f.Sync(); err != nil {
+		l.stats.ForceErrors++
+		l.met.ForceErrors.Inc()
 		return err
 	}
 	l.flushed += types.LSN(len(l.buf))
@@ -247,11 +457,11 @@ type TailInfo struct {
 // valid).
 func VerifyTail(fs vfs.FS) (TailInfo, error) {
 	var ti TailInfo
-	exists, err := fs.Exists(logFileName)
+	exists, err := fs.Exists(LogFileName)
 	if err != nil || !exists {
 		return ti, err
 	}
-	f, err := fs.Open(logFileName)
+	f, err := fs.Open(LogFileName)
 	if err != nil {
 		return ti, err
 	}
@@ -317,7 +527,7 @@ func ReadMaster(fs vfs.FS) (types.LSN, error) {
 }
 
 // Iterator reads log records in LSN order. It reads through the volatile
-// file image, so within one incarnation it also sees unforced records; after
+// log image, so within one incarnation it also sees unforced records; after
 // a crash the file only contains what was forced.
 type Iterator struct {
 	data []byte
@@ -326,7 +536,11 @@ type Iterator struct {
 }
 
 // NewIterator returns an iterator positioned at `from` (use 1 or the
-// checkpoint LSN). It snapshots the current log contents.
+// checkpoint LSN). It snapshots the current log contents: the durable file
+// prefix below flushed, then any in-flight flush buffer, then the append
+// buffer. File bytes at or beyond flushed are never trusted — a failed flush
+// may have written them without making them durable, and the buffered copy
+// is the authoritative one.
 func (l *Log) NewIterator(from types.LSN) (*Iterator, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -337,12 +551,17 @@ func (l *Log) NewIterator(from types.LSN) (*Iterator, error) {
 	if err != nil {
 		return nil, err
 	}
-	data := make([]byte, size, int(size)+len(l.buf))
-	if size > 0 {
+	durable := int64(l.flushed - 1)
+	if durable > size {
+		durable = size
+	}
+	data := make([]byte, durable, int(durable)+len(l.inflight)+len(l.buf))
+	if durable > 0 {
 		if _, err := l.f.ReadAt(data, 0); err != nil && err != io.EOF {
 			return nil, err
 		}
 	}
+	data = append(data, l.inflight...)
 	data = append(data, l.buf...)
 	if from-1 > types.LSN(len(data)) {
 		return nil, fmt.Errorf("wal: iterator start %d beyond log end %d", from, len(data)+1)

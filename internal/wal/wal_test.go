@@ -302,7 +302,7 @@ func TestVerifyTailDetectsGarbage(t *testing.T) {
 	if err := l.Force(types.LSN(^uint64(0))); err != nil {
 		t.Fatal(err)
 	}
-	f, err := fs.Open(logFileName)
+	f, err := fs.Open(LogFileName)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -367,7 +367,7 @@ func TestTornTailRecovery(t *testing.T) {
 	for cut := 0; cut <= inFlight; cut++ {
 		fs, _, off, _ := build()
 		fs.CrashTorn(func(name string, lo, hi int64) int64 {
-			if name != logFileName {
+			if name != LogFileName {
 				return lo
 			}
 			c := off + int64(cut)

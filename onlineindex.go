@@ -31,6 +31,8 @@
 package onlineindex
 
 import (
+	"time"
+
 	"onlineindex/internal/admin"
 	"onlineindex/internal/btree"
 	"onlineindex/internal/catalog"
@@ -117,6 +119,16 @@ type Config struct {
 	// tracking; every instrumentation site degrades to a nil-handle no-op
 	// (the configuration the overhead benchmark compares against).
 	DisableMetrics bool
+	// CommitBatchDelay makes a group-commit flush leader linger this long
+	// before issuing the WAL fsync, letting more concurrent committers join
+	// the batch. Zero (the default) flushes immediately; commits never wait
+	// unless other commits are actually in flight. See README "Tuning commit
+	// throughput".
+	CommitBatchDelay time.Duration
+	// SerialCommitForce disables group commit, restoring the serial Force
+	// path that holds the log mutex across the fsync. Benchmarks use it as
+	// the baseline; production code should leave it off.
+	SerialCommitForce bool
 }
 
 // IndexSpec describes an index to build.
@@ -163,7 +175,10 @@ type DB struct {
 }
 
 func (cfg Config) engineConfig() engine.Config {
-	return engine.Config{FS: cfg.FS, PoolSize: cfg.PoolSize, DisableMetrics: cfg.DisableMetrics}
+	return engine.Config{
+		FS: cfg.FS, PoolSize: cfg.PoolSize, DisableMetrics: cfg.DisableMetrics,
+		CommitBatchDelay: cfg.CommitBatchDelay, SerialCommitForce: cfg.SerialCommitForce,
+	}
 }
 
 // Open creates a fresh database.

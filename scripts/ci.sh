@@ -12,6 +12,11 @@
 #   ci.sh overhead     the observability budget gate: fails if the metrics +
 #                      progress instrumentation costs > 2% on the E1 build
 #                      (wall-clock; run on a quiet machine).
+#   ci.sh bench-commit the group-commit throughput gate: fails unless 16
+#                      concurrent insert-commit writers get >= 3x the commit
+#                      throughput of the serial-Force baseline (wall-clock;
+#                      run on a quiet machine), then records the measured
+#                      commit_tps numbers in BENCH_build.json.
 #   ci.sh admin-smoke  end-to-end admin endpoint check: run an SF build with
 #                      `idxbuild -admin`, poll the live endpoint over HTTP
 #                      until the build completes, and assert the terminal
@@ -31,12 +36,18 @@ test)
     ;;
 sweep)
     go build ./...
-    go test -race -timeout 60m -run 'TestCrashSweep|TestReplay' -v -sweep.full ./internal/crashsweep
+    # NB: -sweep.full is a test-binary flag the go tool doesn't know; it must
+    # come AFTER the package path or `go test` runs the root package instead.
+    go test -race -timeout 60m -run 'TestCrashSweep|TestReplay' -v ./internal/crashsweep -sweep.full
     go test -run xxx -fuzz FuzzKeyEncOrder -fuzztime 60s ./internal/keyenc
     go test -run xxx -fuzz FuzzWALRoundTrip -fuzztime 60s ./internal/wal
     ;;
 overhead)
     ONLINEINDEX_OVERHEAD_GATE=1 go test -run TestMetricsOverheadGate -v -count=1 .
+    ;;
+bench-commit)
+    ONLINEINDEX_COMMIT_GATE=1 go test -run TestCommitThroughputGate -v -count=1 -timeout 10m .
+    go run ./cmd/benchtab -commitbench -out BENCH_build.json
     ;;
 admin-smoke)
     go build -o /tmp/onlineindex-idxbuild ./cmd/idxbuild
@@ -68,7 +79,7 @@ admin-smoke)
     echo "admin-smoke OK"
     ;;
 *)
-    echo "usage: $0 [test|sweep|overhead|admin-smoke]" >&2
+    echo "usage: $0 [test|sweep|overhead|bench-commit|admin-smoke]" >&2
     exit 2
     ;;
 esac
