@@ -12,10 +12,14 @@
 //	benchtab -commitbench         # multi-writer commit-throughput benchmark
 //	                              # (group commit vs serial Force); merges a
 //	                              # commit_tps record into BENCH_build.json
+//	benchtab -sortbench 200000    # partitioned sort + merge→load overlap
+//	                              # benchmark; merges sortbench records into
+//	                              # BENCH_build.json
 //
-// -buildbench and -commitbench both merge into -out rather than clobbering
-// each other's records: build records carry no "kind" field, the commit
-// record carries "kind": "commit_tps", and each mode replaces only its own.
+// The benchmark modes all merge into -out rather than clobbering each
+// other's records: build records carry no "kind" field, the commit record
+// carries "kind": "commit_tps", sort records carry "kind": "sortbench", and
+// each mode replaces only its own.
 package main
 
 import (
@@ -63,6 +67,7 @@ func main() {
 	workers := flag.Int("workers", 1, "scan-pipeline key-extraction workers (core.Options.ScanWorkers)")
 	buildBench := flag.Int("buildbench", 0, "run the build benchmark on a table of this many rows and merge into -out (skips experiments)")
 	commitBench := flag.Bool("commitbench", false, "run the commit-throughput benchmark and merge a commit_tps record into -out (skips experiments)")
+	sortBench := flag.Int("sortbench", 0, "run the partitioned-sort benchmark on a table of this many rows and merge sortbench records into -out (skips experiments)")
 	out := flag.String("out", "BENCH_build.json", "output path for the -buildbench/-commitbench JSON records")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
@@ -98,6 +103,24 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("merged %d build records into %s\n", len(recs), *out)
+		return
+	}
+
+	if *sortBench > 0 {
+		recs, err := experiments.SortBench(cfg, *sortBench)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: sortbench failed: %v\n", err)
+			os.Exit(1)
+		}
+		anys := make([]any, len(recs))
+		for i := range recs {
+			anys[i] = recs[i]
+		}
+		if err := mergeRecords(*out, "sortbench", anys); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("merged %d sortbench records into %s\n", len(recs), *out)
 		return
 	}
 

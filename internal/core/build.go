@@ -60,6 +60,28 @@ type Options struct {
 	// invariant (§3.2.2) and the scan checkpoints are unaffected; workers
 	// only spread the key extraction between the two serial stages.
 	ScanWorkers int
+	// SortPartitions fans run generation out over N independent
+	// replacement-selection sorters, fed round-robin by page from the
+	// in-order feed (partition.go in extsort). SortMemory is split across
+	// the partitions, each emits its own run stream under a disjoint file
+	// prefix, and the merge simply sees a wider set of inputs — §5.2's
+	// per-stream counter vector makes a wide merge exactly as restartable
+	// as a narrow one. Default 1: the serial sorter with today's I/O
+	// sequence, op for op. With SerialFinish set, the partitions are fed
+	// inline on the scan goroutine (same runs and checkpoints,
+	// deterministic I/O order for the fault-injection harness).
+	SortPartitions int
+	// MergeOverlap hands merged keys to the bottom-up loader through a
+	// small bounded buffer so the final merge runs concurrently with leaf
+	// construction — §2.2.2's "the final merge phase of sort can be
+	// performed as keys are being inserted into the index". Checkpoints
+	// are taken only at batch hand-off points, where the merge-counter
+	// vector and the loader position form a consistent pair. Applies to
+	// the SF load phase (non-unique indexes; the unique path's held-back
+	// dup verification needs the serial loop) and the offline baseline.
+	// With SerialFinish set, produce and consume alternate on one
+	// goroutine — identical batches and checkpoints, deterministic I/O.
+	MergeOverlap bool
 	// SortSideFile applies the side-file sorted ("for improved performance,
 	// IB could sort the entries of the side-file, without modifying the
 	// relative positions of the identical keys", §3.2.5). The tail appended
@@ -114,6 +136,9 @@ func (o Options) Validate() error {
 	if o.ScanWorkers < 0 {
 		return fail("ScanWorkers %d is negative", o.ScanWorkers)
 	}
+	if o.SortPartitions < 0 {
+		return fail("SortPartitions %d is negative", o.SortPartitions)
+	}
 	return nil
 }
 
@@ -129,6 +154,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ScanWorkers == 0 {
 		o.ScanWorkers = 1
+	}
+	if o.SortPartitions == 0 {
+		o.SortPartitions = 1
 	}
 	return o
 }
@@ -392,7 +420,7 @@ func (b *builder) recordHasKey(rid types.RID, key []byte) (bool, error) {
 // order (advancing the SF Current-RID under the latch), ScanWorkers
 // extraction workers build the sort items, and the in-order sorter feed
 // takes a watermark checkpoint every CheckpointPages pages.
-func (b *builder) extractAndSort(sorter *extsort.Sorter, from, end types.PageNum, phase engine.IBPhase) error {
+func (b *builder) extractAndSort(sorter *extsort.PartSorter, from, end types.PageNum, phase engine.IBPhase) error {
 	h, err := b.db.HeapOf(b.tbl.ID)
 	if err != nil {
 		return err

@@ -84,13 +84,20 @@ func BuildMany(db *engine.DB, specs []engine.CreateIndexSpec, opts Options) ([]*
 	if err != nil {
 		return nil, err
 	}
-	sorters := make([]*extsort.Sorter, len(builders))
+	sorters := make([]*extsort.PartSorter, len(builders))
 	feeds := make([]*scanFeed, len(builders))
 	for i, b := range builders {
 		sorters[i] = b.newSorter()
 		feeds[i] = &scanFeed{ix: &b.ix, sorter: sorters[i], st: &b.st,
 			prog: b.prog, met: db.Metrics()}
 	}
+	defer func() {
+		// Idempotent (Finish closes too); stops partition workers on the
+		// error paths that return before the finish phase.
+		for _, s := range sorters {
+			s.Close()
+		}
+	}()
 	advance := func(next types.PageNum) {
 		// Every index's Current-RID advances in lockstep under the page
 		// latch (the serial stage-1 visitor is the only caller).

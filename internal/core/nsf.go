@@ -54,6 +54,7 @@ func (b *builder) buildNSF(spec engine.CreateIndexSpec) (*Result, error) {
 		return nil, err
 	}
 	sorter := b.newSorter()
+	defer sorter.Close()
 	b.prog.SetTotal(progress.Scan, uint64(nPages))
 	if nPages > 0 {
 		if err := b.extractAndSort(sorter, 0, nPages-1, engine.IBPhaseScan); err != nil {
@@ -68,7 +69,7 @@ func (b *builder) buildNSF(spec engine.CreateIndexSpec) (*Result, error) {
 	b.st.Runs = len(runs)
 
 	// Step 3: merge + insert (steps 4-5 shared with the resume path).
-	merger, err := extsort.NewMerger(b.db.FS(), runs, nil)
+	merger, err := extsort.NewMergerWith(b.db.FS(), runs, nil, b.mergeOpts())
 	if err != nil {
 		return nil, b.cancel(err)
 	}
@@ -204,6 +205,7 @@ func (b *builder) resumeNSF(state *engine.IBState) (*Result, error) {
 			return nil, err
 		}
 		sorter := b.newSorter()
+		defer sorter.Close()
 		b.prog.SetTotal(progress.Scan, uint64(n))
 		if n > 0 {
 			if err := b.extractAndSort(sorter, 0, n-1, engine.IBPhaseScan); err != nil {
@@ -213,15 +215,11 @@ func (b *builder) resumeNSF(state *engine.IBState) (*Result, error) {
 		return b.finishNSFFromSorter(sorter)
 
 	case state.Phase == engine.IBPhaseScan:
-		ss, err := extsort.DecodeSortState(state.SortState)
+		sorter, scanPos, err := b.resumeSorter(state.SortState)
 		if err != nil {
 			return nil, err
 		}
-		sorter, scanPos, err := extsort.ResumeSorterWithCapacity(b.db.FS(), ss, b.opts.SortMemory)
-		if err != nil {
-			return nil, err
-		}
-		sorter.SetMetrics(extsort.MetricsFrom(b.db.Metrics()))
+		defer sorter.Close()
 		next, end, err := parseScanPosition(scanPos)
 		if err != nil {
 			return nil, err
@@ -238,7 +236,7 @@ func (b *builder) resumeNSF(state *engine.IBState) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		merger, err := extsort.ResumeMerger(b.db.FS(), ms)
+		merger, err := extsort.ResumeMergerWith(b.db.FS(), ms, b.mergeOpts())
 		if err != nil {
 			return nil, err
 		}
@@ -255,14 +253,14 @@ func (b *builder) resumeNSF(state *engine.IBState) (*Result, error) {
 	}
 }
 
-func (b *builder) finishNSFFromSorter(sorter *extsort.Sorter) (*Result, error) {
+func (b *builder) finishNSFFromSorter(sorter *extsort.PartSorter) (*Result, error) {
 	b.prog.FinishPhase(progress.Scan)
 	runs, err := sorter.Finish()
 	if err != nil {
 		return nil, b.cancel(err)
 	}
 	b.st.Runs = len(runs)
-	merger, err := extsort.NewMerger(b.db.FS(), runs, nil)
+	merger, err := extsort.NewMergerWith(b.db.FS(), runs, nil, b.mergeOpts())
 	if err != nil {
 		return nil, b.cancel(err)
 	}

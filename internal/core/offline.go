@@ -8,6 +8,7 @@ import (
 	"onlineindex/internal/engine"
 	"onlineindex/internal/extsort"
 	"onlineindex/internal/txn"
+	"onlineindex/internal/types"
 )
 
 // buildOffline is the baseline the paper's introduction argues against:
@@ -55,7 +56,8 @@ func (b *builder) buildOffline(spec engine.CreateIndexSpec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	sorter := extsort.NewSorter(b.db.FS(), sortPrefix(ix.ID), b.opts.SortMemory)
+	sorter := b.newSorter()
+	defer sorter.Close()
 	if nPages > 0 {
 		if err := b.extractAndSort(sorter, 0, nPages-1, engine.IBPhaseScan); err != nil {
 			return nil, b.cancel(err)
@@ -72,37 +74,67 @@ func (b *builder) buildOffline(spec engine.CreateIndexSpec) (*Result, error) {
 		return nil, b.cancel(err)
 	}
 	start := time.Now()
-	merger, err := extsort.NewMerger(b.db.FS(), runs, nil)
+	merger, err := extsort.NewMergerWith(b.db.FS(), runs, nil, b.mergeOpts())
 	if err != nil {
 		return nil, b.cancel(err)
 	}
 	defer merger.Close()
 	loader := tree.NewLoader(b.opts.FillFactor)
+	// With the table quiesced there is nothing to verify on a unique
+	// conflict: adjacent identical keys in the sorted stream are a genuine
+	// violation.
 	var uniquePrev []byte
-	for {
-		item, _, ok, err := merger.Next()
-		if err != nil {
-			return nil, b.cancel(err)
+	checkUnique := func(key []byte, rid types.RID) error {
+		if uniquePrev != nil && string(uniquePrev) == string(key) {
+			return &engine.UniqueViolationError{Index: ix.Name, Key: key, Existing: rid}
 		}
-		if !ok {
-			break
-		}
-		key, rid, err := decodeItem(item)
-		if err != nil {
-			return nil, b.cancel(err)
-		}
-		if ix.Unique {
-			if uniquePrev != nil && string(uniquePrev) == string(key) {
-				// With the table quiesced there is nothing to verify: a
-				// duplicate key value is a genuine violation.
-				return nil, b.cancel(&engine.UniqueViolationError{Index: ix.Name, Key: key, Existing: rid})
+		uniquePrev = append(uniquePrev[:0], key...)
+		return nil
+	}
+	if b.opts.MergeOverlap {
+		// §2.2.2 pipelining; batches preserve adjacency, so the unique
+		// check runs unchanged on the consumer side (across batch
+		// boundaries via uniquePrev).
+		err := overlapMerge(merger, 0, !b.opts.SerialFinish, func(bt loadBatch) error {
+			if ix.Unique {
+				for _, e := range bt.entries {
+					if err := checkUnique(e.Key, e.RID); err != nil {
+						return err
+					}
+				}
 			}
-			uniquePrev = append(uniquePrev[:0], key...)
-		}
-		if err := loader.Add(btree.Entry{Key: key, RID: rid}); err != nil {
+			if err := loader.AddBatch(bt.entries); err != nil {
+				return err
+			}
+			b.st.KeysInserted += uint64(len(bt.entries))
+			return nil
+		})
+		if err != nil {
 			return nil, b.cancel(err)
 		}
-		b.st.KeysInserted++
+	} else {
+		for {
+			item, _, ok, err := merger.Next()
+			if err != nil {
+				return nil, b.cancel(err)
+			}
+			if !ok {
+				break
+			}
+			key, rid, err := decodeItem(item)
+			if err != nil {
+				return nil, b.cancel(err)
+			}
+			if ix.Unique {
+				if err := checkUnique(key, rid); err != nil {
+					return nil, b.cancel(err)
+				}
+			}
+			if err := loader.Add(btree.Entry{Key: key, RID: rid}); err != nil {
+				return nil, b.cancel(err)
+			}
+			b.st.KeysInserted++
+		}
 	}
 	if err := loader.Finish(); err != nil {
 		return nil, b.cancel(err)

@@ -1,0 +1,159 @@
+package core
+
+// Merge→load overlap: §2.2.2 observes that "the final merge phase of sort
+// can be performed as keys are being inserted into the index". Here the
+// merge hands decoded entries to the bottom-up loader in small batches
+// through a bounded buffer, so run-file reads and leaf construction
+// proceed concurrently. The batch boundaries are the quiescent hand-off
+// points: each batch carries the merge-counter vector as of *after* its
+// last entry, so a consumer that has loaded exactly that prefix can
+// checkpoint (counters, loader position) as a consistent §5.2/§3.2.4 pair
+// without stopping the producer more than one hand-off.
+
+import (
+	"onlineindex/internal/btree"
+	"onlineindex/internal/engine"
+	"onlineindex/internal/extsort"
+	"onlineindex/internal/progress"
+	"onlineindex/internal/types"
+)
+
+// overlapBatchSize is the hand-off granularity in entries. Small enough
+// that the loader never waits long for the first key of a batch, large
+// enough that channel traffic is negligible against tournament work.
+const overlapBatchSize = 256
+
+// overlapDepth bounds the producer's lead, in batches: the merge stays at
+// most overlapDepth hand-offs ahead of the loader.
+const overlapDepth = 2
+
+// loadBatch is one merge→load hand-off unit.
+type loadBatch struct {
+	entries []btree.Entry
+	state   extsort.MergeState // merge position after the batch's last entry
+	merged  uint64             // absolute keys consumed after this batch
+	done    bool               // merge exhausted
+	err     error
+}
+
+// nextLoadBatch consumes up to overlapBatchSize entries from the merger.
+func nextLoadBatch(merger *extsort.Merger, merged uint64) loadBatch {
+	bt := loadBatch{merged: merged}
+	for len(bt.entries) < overlapBatchSize {
+		item, _, ok, err := merger.Next()
+		if err != nil {
+			bt.err = err
+			return bt
+		}
+		if !ok {
+			bt.done = true
+			break
+		}
+		key, rid, err := decodeItem(item)
+		if err != nil {
+			bt.err = err
+			return bt
+		}
+		bt.entries = append(bt.entries, btree.Entry{Key: append([]byte(nil), key...), RID: rid})
+		bt.merged++
+	}
+	bt.state = merger.State()
+	return bt
+}
+
+// overlapMerge drives merge batches into consume. Concurrent mode runs the
+// producer on its own goroutine, at most overlapDepth batches ahead of the
+// consumer. Serial mode alternates produce and consume on the calling
+// goroutine: identical batches and hand-off points, single-goroutine I/O
+// order — the shape the deterministic fault-injection harness sweeps.
+// consume never runs concurrently with merger.Next, and the merger is
+// quiescent again by the time overlapMerge returns.
+func overlapMerge(merger *extsort.Merger, merged uint64, concurrent bool, consume func(loadBatch) error) error {
+	if !concurrent {
+		for {
+			bt := nextLoadBatch(merger, merged)
+			merged = bt.merged
+			if bt.err != nil {
+				return bt.err
+			}
+			if err := consume(bt); err != nil {
+				return err
+			}
+			if bt.done {
+				return nil
+			}
+		}
+	}
+	ch := make(chan loadBatch, overlapDepth)
+	stop := make(chan struct{})
+	go func() {
+		defer close(ch)
+		m := merged
+		for {
+			bt := nextLoadBatch(merger, m)
+			m = bt.merged
+			select {
+			case ch <- bt:
+			case <-stop:
+				return
+			}
+			if bt.err != nil || bt.done {
+				return
+			}
+		}
+	}()
+	defer func() {
+		// Unstick a blocked producer and wait it out (closing ch is its
+		// last act), so the caller may close the merger afterwards.
+		close(stop)
+		for range ch {
+		}
+	}()
+	for bt := range ch {
+		if bt.err != nil {
+			return bt.err
+		}
+		if err := consume(bt); err != nil {
+			return err
+		}
+		if bt.done {
+			return nil
+		}
+	}
+	return nil
+}
+
+// sfLoadOverlapped streams the merge into the loader through overlapMerge,
+// checkpointing the (merge counters, loader position) pair only at batch
+// boundaries. Returns the total number of keys consumed from the merge.
+// Non-unique indexes only: the unique path's held-back entry and
+// both-records-locked verification need the one-at-a-time serial loop.
+func (b *builder) sfLoadOverlapped(merger *extsort.Merger, loader *btree.Loader, merged uint64) (uint64, error) {
+	sinceCkpt := 0
+	err := overlapMerge(merger, merged, !b.opts.SerialFinish, func(bt loadBatch) error {
+		if err := loader.AddBatch(bt.entries); err != nil {
+			return err
+		}
+		b.st.KeysInserted += uint64(len(bt.entries))
+		merged = bt.merged
+		b.prog.Advance(progress.Load, bt.merged)
+		sinceCkpt += len(bt.entries)
+		if b.opts.CheckpointKeys > 0 && sinceCkpt >= b.opts.CheckpointKeys {
+			ls, err := loader.Checkpoint() // flushes the index file first
+			if err != nil {
+				return err
+			}
+			st := engine.IBState{
+				Index: b.ix.ID, Phase: engine.IBPhaseLoad,
+				CurrentRID: types.MaxRID,
+				MergeState: bt.state.Encode(), LoadState: ls.Encode(),
+			}
+			if err := b.rotate(st); err != nil {
+				return err
+			}
+			sinceCkpt = 0
+		}
+		return nil
+	})
+	return merged, err
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"onlineindex/internal/catalog"
+	"onlineindex/internal/engine"
+	"onlineindex/internal/types"
+	"onlineindex/internal/vfs"
+)
+
+// TestPartitionedBuildMatchesSerial builds each method with the full new
+// back half enabled — 4 sort partitions, merge→load overlap, parallel scan —
+// and requires a byte-identical entry stream (and page count) to the plain
+// serial build. The tentpole's compatibility rule, observed end to end.
+func TestPartitionedBuildMatchesSerial(t *testing.T) {
+	const rows = 5000
+	for _, method := range []catalog.BuildMethod{catalog.MethodOffline, catalog.MethodNSF, catalog.MethodSF} {
+		for _, unique := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/unique=%v", method, unique), func(t *testing.T) {
+				var ref []byte
+				var refPages int
+				for _, par := range []bool{false, true} {
+					db, _ := newDB(t, rows)
+					opts := Options{}
+					if par {
+						opts = Options{ScanWorkers: 4, SortPartitions: 4, MergeOverlap: true, SortMemory: 256}
+					}
+					res, err := Build(db, spec("by_name", method, unique), opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.Stats.KeysExtracted != rows {
+						t.Fatalf("par=%v: extracted %d keys, want %d", par, res.Stats.KeysExtracted, rows)
+					}
+					if err := db.CheckIndexConsistency("by_name"); err != nil {
+						t.Fatalf("par=%v: %v", par, err)
+					}
+					got := indexEntries(t, db, "by_name")
+					tree, err := db.TreeOf(res.Index.ID)
+					if err != nil {
+						t.Fatal(err)
+					}
+					pages, err := tree.PageCount()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !par {
+						ref, refPages = got, int(pages)
+						continue
+					}
+					if !bytes.Equal(got, ref) {
+						t.Fatalf("partitioned entry stream differs from serial build (%d vs %d bytes)", len(got), len(ref))
+					}
+					if int(pages) != refPages {
+						t.Fatalf("partitioned index has %d pages, serial build had %d", pages, refPages)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPartitionedBuildUnderWorkload runs the online methods against a
+// concurrent update workload with partitions and overlap on: the capture
+// invariants must hold regardless of how the back half is parallelised.
+func TestPartitionedBuildUnderWorkload(t *testing.T) {
+	for _, method := range []catalog.BuildMethod{catalog.MethodNSF, catalog.MethodSF} {
+		t.Run(method.String(), func(t *testing.T) {
+			db, rids := newDB(t, 3000)
+			stop := make(chan struct{})
+			wg := runWorkload(t, db, rids, 3, stop)
+			res, err := Build(db, spec("by_name", method, false),
+				Options{ScanWorkers: 4, SortPartitions: 4, MergeOverlap: true,
+					CheckpointPages: 4, CheckpointKeys: 500})
+			close(stop)
+			wg.Wait()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Index.State != catalog.StateComplete {
+				t.Fatalf("state = %v", res.Index.State)
+			}
+			if err := db.CheckIndexConsistency("by_name"); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestCrashMidScanPartitionedResume crashes a SortPartitions=4 build
+// mid-scan and resumes it. The vector checkpoint (one SortState per
+// partition at a single scan watermark) must restore every partition, and
+// the finished index must be byte-identical to an uninterrupted serial
+// build — partition count, crash point, and worker count all unobservable.
+func TestCrashMidScanPartitionedResume(t *testing.T) {
+	const rows = 20_000
+	for _, method := range []catalog.BuildMethod{catalog.MethodNSF, catalog.MethodSF} {
+		t.Run(method.String(), func(t *testing.T) {
+			refDB, _ := newDB(t, rows)
+			if _, err := Build(refDB, spec("by_name", method, false), Options{}); err != nil {
+				t.Fatal(err)
+			}
+			ref := indexEntries(t, refDB, "by_name")
+
+			fs := vfs.NewMemFS()
+			db, err := engine.Open(engine.Config{FS: fs, PoolSize: 1024, TreeBudget: 1024})
+			if err != nil {
+				t.Fatal(err)
+			}
+			db.CreateTable("items", schema())
+			for i := 0; i < rows; i++ {
+				tx := db.Begin()
+				if _, err := db.Insert(tx, "items", rowOf(int64(i), nameOf(i), int64(i%97))); err != nil {
+					t.Fatal(err)
+				}
+				tx.Commit()
+			}
+			opts := Options{ScanWorkers: 4, SortPartitions: 4, MergeOverlap: true,
+				SortMemory: 256, CheckpointPages: 2, CheckpointKeys: 100_000}
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				defer func() { recover() }()
+				Build(db, spec("by_name", method, false), opts) //nolint:errcheck
+			}()
+			var ixID types.IndexID
+			deadline := time.Now().Add(20 * time.Second)
+			hit := false
+			for time.Now().Before(deadline) {
+				if ixID == 0 {
+					if ix, ok := db.Catalog().Index("by_name"); ok {
+						ixID = ix.ID
+					}
+				}
+				if ixID != 0 {
+					if ix, ok := db.Catalog().Index("by_name"); ok && ix.State == catalog.StateComplete {
+						break
+					}
+					if st := db.LastIBState(ixID); st != nil && st.Phase == engine.IBPhaseScan {
+						hit = true
+						break
+					}
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+			db.Crash()
+			<-done
+			if !hit {
+				t.Skip("build completed before a scan checkpoint was observed")
+			}
+
+			db2, err := engine.Recover(engine.Config{FS: fs, PoolSize: 1024, TreeBudget: 1024})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pending, err := db2.PendingBuilds()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pending) != 1 {
+				t.Fatalf("pending = %d, want 1", len(pending))
+			}
+			if pending[0].State == nil || pending[0].State.Phase != engine.IBPhaseScan {
+				t.Fatalf("recovered state = %+v, want mid-scan", pending[0].State)
+			}
+			if _, err := Resume(db2, pending[0], opts); err != nil {
+				t.Fatal(err)
+			}
+			if err := db2.CheckIndexConsistency("by_name"); err != nil {
+				t.Fatal(err)
+			}
+			got := indexEntries(t, db2, "by_name")
+			if !bytes.Equal(got, ref) {
+				t.Fatalf("resumed partitioned index differs from uninterrupted serial build (%d vs %d bytes)", len(got), len(ref))
+			}
+		})
+	}
+}
+
+// TestCrashAtLoadPhaseOverlapResumeSF lands a crash on a checkpoint taken
+// at an overlapped-batch hand-off point and resumes. The (merge counters,
+// loader state) pair recorded there must be mutually consistent even though
+// producer and consumer ran concurrently.
+func TestCrashAtLoadPhaseOverlapResumeSF(t *testing.T) {
+	ok := crashAtPhase(t, catalog.MethodSF, engine.IBPhaseLoad, 50_000,
+		Options{CheckpointKeys: 500, SortPartitions: 4, MergeOverlap: true, SortMemory: 512})
+	if !ok {
+		t.Skip("build completed before a load checkpoint was observed")
+	}
+}
+
+// TestResumePartitionCountFromState resumes a build whose durable checkpoint
+// recorded 4 partitions using options that say 1 (and vice versa): the
+// durable vector, not the current option, dictates the resumed shape.
+func TestResumePartitionCountFromState(t *testing.T) {
+	const rows = 20_000
+	refDB, _ := newDB(t, rows)
+	if _, err := Build(refDB, spec("by_name", catalog.MethodSF, false), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	ref := indexEntries(t, refDB, "by_name")
+
+	fs := vfs.NewMemFS()
+	db, err := engine.Open(engine.Config{FS: fs, PoolSize: 1024, TreeBudget: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.CreateTable("items", schema())
+	for i := 0; i < rows; i++ {
+		tx := db.Begin()
+		if _, err := db.Insert(tx, "items", rowOf(int64(i), nameOf(i), 0)); err != nil {
+			t.Fatal(err)
+		}
+		tx.Commit()
+	}
+	opts := Options{SortPartitions: 4, SortMemory: 256, CheckpointPages: 2, CheckpointKeys: 100_000}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() { recover() }()
+		Build(db, spec("by_name", catalog.MethodSF, false), opts) //nolint:errcheck
+	}()
+	var ixID types.IndexID
+	deadline := time.Now().Add(20 * time.Second)
+	hit := false
+	for time.Now().Before(deadline) {
+		if ixID == 0 {
+			if ix, ok := db.Catalog().Index("by_name"); ok {
+				ixID = ix.ID
+			}
+		}
+		if ixID != 0 {
+			if ix, ok := db.Catalog().Index("by_name"); ok && ix.State == catalog.StateComplete {
+				break
+			}
+			if st := db.LastIBState(ixID); st != nil && st.Phase == engine.IBPhaseScan {
+				hit = true
+				break
+			}
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	db.Crash()
+	<-done
+	if !hit {
+		t.Skip("build completed before a scan checkpoint was observed")
+	}
+
+	db2, err := engine.Recover(engine.Config{FS: fs, PoolSize: 1024, TreeBudget: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pending, err := db2.PendingBuilds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 1 {
+		t.Fatalf("pending = %d, want 1", len(pending))
+	}
+	// Resume with SortPartitions unset: the durable state still says 4.
+	if _, err := Resume(db2, pending[0], Options{CheckpointPages: 2, CheckpointKeys: 100_000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.CheckIndexConsistency("by_name"); err != nil {
+		t.Fatal(err)
+	}
+	got := indexEntries(t, db2, "by_name")
+	if !bytes.Equal(got, ref) {
+		t.Fatalf("index resumed with mismatched partition option differs from serial build")
+	}
+}

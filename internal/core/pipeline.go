@@ -54,7 +54,7 @@ import (
 // the same page visits (§6.2).
 type scanFeed struct {
 	ix     *catalog.Index
-	sorter *extsort.Sorter
+	sorter *extsort.PartSorter
 	st     *Stats
 	prog   *progress.Tracker // may be nil; fed one step per page
 	met    *metrics.Registry // may be nil; receives the pipeline counters
@@ -115,13 +115,14 @@ func extractPage(feeds []*scanFeed, batch *heap.PageBatch) ([][][]byte, error) {
 
 // feedPage pushes one page's extracted items into the sorters (stage 3) and
 // updates the per-feed counters. Items are owned by the pipeline, so the
-// copy inside Sorter.Add is skipped.
+// copy inside Sorter.Add is skipped. Whole pages go in at once: the
+// partitioned sorter assigns pages to partitions round-robin, and in
+// concurrent mode the push is a channel hand-off rather than tournament
+// work on this goroutine.
 func feedPage(feeds []*scanFeed, items [][][]byte, n int) error {
 	for fi, f := range feeds {
-		for _, it := range items[fi] {
-			if err := f.sorter.AddOwned(it); err != nil {
-				return err
-			}
+		if err := f.sorter.FeedPage(items[fi]); err != nil {
+			return err
 		}
 		f.st.KeysExtracted += uint64(n)
 		f.st.PagesScanned++
@@ -148,7 +149,7 @@ func mergePipelineStats(feeds []*scanFeed, ps harness.PipelineStats) {
 func serialScan(h *heap.Table, from, end types.PageNum, feeds []*scanFeed,
 	advance func(next types.PageNum),
 	checkpointPages int, checkpoint func(next types.PageNum) error) error {
-	var busy time.Duration
+	var busy, feedBusy time.Duration
 	for pg := from; pg <= end; pg++ {
 		batch, err := h.ReadPageBatch(pg, underLatch(advance, pg))
 		if err != nil {
@@ -160,7 +161,10 @@ func serialScan(h *heap.Table, from, end types.PageNum, feeds []*scanFeed,
 		if err != nil {
 			return err
 		}
-		if err := feedPage(feeds, items, batch.Len()); err != nil {
+		t1 := time.Now()
+		err = feedPage(feeds, items, batch.Len())
+		feedBusy += time.Since(t1)
+		if err != nil {
 			return err
 		}
 		if checkpointPages > 0 && int(pg-from+1)%checkpointPages == 0 && pg != end {
@@ -169,7 +173,7 @@ func serialScan(h *heap.Table, from, end types.PageNum, feeds []*scanFeed,
 			}
 		}
 	}
-	mergePipelineStats(feeds, harness.PipelineStats{Workers: 1, ExtractBusy: busy})
+	mergePipelineStats(feeds, harness.PipelineStats{Workers: 1, ExtractBusy: busy, FeedBusy: feedBusy})
 	return nil
 }
 
@@ -196,9 +200,14 @@ func parallelScan(h *heap.Table, from, end types.PageNum, feeds []*scanFeed,
 	}
 	// Buffer sizes bound the visitor's read-ahead: at most
 	// len(jobs) + workers + len(results) pages are in flight beyond the
-	// watermark, so memory stays O(workers) pages.
-	jobs := make(chan scanJob, workers)
-	results := make(chan pageResult, workers)
+	// watermark, so memory stays O(workers) pages. The 4x depth absorbs
+	// head-of-line bursts — the sequencer consumes pages in order, so a
+	// slow extraction of page k parks every later page in the channels;
+	// with cap == workers the whole pool then stalls until k arrives.
+	// Checkpoints still cover only the drained watermark, so the deeper
+	// read-ahead changes no durable state.
+	jobs := make(chan scanJob, workers*4)
+	results := make(chan pageResult, workers*4)
 	stop := make(chan struct{})
 	var stopOnce sync.Once
 	halt := func() { stopOnce.Do(func() { close(stop) }) }
@@ -297,7 +306,10 @@ func parallelScan(h *heap.Table, from, end types.PageNum, feeds []*scanFeed,
 			}
 			delete(pending, next)
 			ps.ExtractBusy += pr.busy
-			if err := feedPage(feeds, pr.items, pr.n); err != nil {
+			t1 := time.Now()
+			err := feedPage(feeds, pr.items, pr.n)
+			ps.FeedBusy += time.Since(t1)
+			if err != nil {
 				fail(err)
 				break
 			}

@@ -56,6 +56,7 @@ func (b *builder) buildSF(spec engine.CreateIndexSpec) (*Result, error) {
 
 	// Step 2: scan + sort.
 	sorter := b.newSorter()
+	defer sorter.Close()
 	if err := b.sfScan(sorter, 0); err != nil {
 		return nil, b.cancel(err)
 	}
@@ -84,7 +85,7 @@ func (b *builder) buildSF(spec engine.CreateIndexSpec) (*Result, error) {
 // every page that exists while Current-RID is still finite; chaseScan
 // (pipeline.go) implements the loop and the post-infinity race-window
 // sweep for every SF scan, single- or multi-index.
-func (b *builder) sfScan(sorter *extsort.Sorter, from types.PageNum) error {
+func (b *builder) sfScan(sorter *extsort.PartSorter, from types.PageNum) error {
 	h, err := b.db.HeapOf(b.tbl.ID)
 	if err != nil {
 		return err
@@ -114,7 +115,7 @@ func (b *builder) sfLoadPhase(runs []extsort.RunMeta, mergeState *extsort.MergeS
 	var merger *extsort.Merger
 	var loader *btree.Loader
 	if mergeState != nil {
-		merger, err = extsort.ResumeMerger(b.db.FS(), *mergeState)
+		merger, err = extsort.ResumeMergerWith(b.db.FS(), *mergeState, b.mergeOpts())
 		if err != nil {
 			return b.cancel(err)
 		}
@@ -124,7 +125,7 @@ func (b *builder) sfLoadPhase(runs []extsort.RunMeta, mergeState *extsort.MergeS
 		}
 		b.noteMerge(mergeState.Runs, mergeState.Counters)
 	} else {
-		merger, err = extsort.NewMerger(b.db.FS(), runs, nil)
+		merger, err = extsort.NewMergerWith(b.db.FS(), runs, nil, b.mergeOpts())
 		if err != nil {
 			return b.cancel(err)
 		}
@@ -137,6 +138,16 @@ func (b *builder) sfLoadPhase(runs []extsort.RunMeta, mergeState *extsort.MergeS
 	var merged uint64
 	for _, c := range merger.Counters() {
 		merged += c
+	}
+
+	if b.opts.MergeOverlap && !b.ix.Unique {
+		// §2.2.2 pipelining: the merge runs concurrently with leaf
+		// construction (overlap.go), checkpointing only at batch hand-offs.
+		merged, err = b.sfLoadOverlapped(merger, loader, merged)
+		if err != nil {
+			return b.cancel(err)
+		}
+		return b.sfLoadTail(loader, merged, start)
 	}
 
 	// For a unique index, the sorted stream makes duplicate key values
@@ -256,6 +267,12 @@ func (b *builder) sfLoadPhase(runs []extsort.RunMeta, mergeState *extsort.MergeS
 		}
 		b.st.KeysInserted++
 	}
+	return b.sfLoadTail(loader, merged, start)
+}
+
+// sfLoadTail completes the load phase: finish the loader, flush the
+// unlogged tree, and rotate into the side-file phase.
+func (b *builder) sfLoadTail(loader *btree.Loader, merged uint64, start time.Time) error {
 	if err := loader.Finish(); err != nil {
 		return b.cancel(err)
 	}
@@ -453,6 +470,7 @@ func (b *builder) resumeSF(state *engine.IBState) (*Result, error) {
 		// No checkpoint: rescan from the beginning. Current-RID was
 		// restored to the zero position by recovery, so nothing was lost.
 		sorter := b.newSorter()
+		defer sorter.Close()
 		if err := b.sfScan(sorter, 0); err != nil {
 			return nil, b.cancel(err)
 		}
@@ -467,15 +485,11 @@ func (b *builder) resumeSF(state *engine.IBState) (*Result, error) {
 		return b.sfSideFilePhase(0)
 
 	case state.Phase == engine.IBPhaseScan:
-		ss, err := extsort.DecodeSortState(state.SortState)
+		sorter, scanPos, err := b.resumeSorter(state.SortState)
 		if err != nil {
 			return nil, err
 		}
-		sorter, scanPos, err := extsort.ResumeSorterWithCapacity(b.db.FS(), ss, b.opts.SortMemory)
-		if err != nil {
-			return nil, err
-		}
-		sorter.SetMetrics(extsort.MetricsFrom(b.db.Metrics()))
+		defer sorter.Close()
 		next, _, err := parseScanPosition(scanPos)
 		if err != nil {
 			return nil, err

@@ -121,6 +121,14 @@ func Scenarios() []*Scenario {
 	sfOpts := core.Options{SortMemory: 64, CheckpointPages: 2, CheckpointKeys: 40}
 	multiOpts := core.Options{SortMemory: 64, CheckpointKeys: 40, SerialFinish: true}
 	sortOpts := core.Options{SortMemory: 4, CheckpointPages: 2, CheckpointKeys: 64, BatchSize: 16}
+	// Partitioned sort + merge→load overlap under SerialFinish: the feed is
+	// inline round-robin and the overlap alternates produce/consume on one
+	// goroutine, so the I/O schedule stays a pure function of the fault
+	// point. SortMemory 24 over 4 partitions = 6 keys of tree per partition,
+	// forcing several runs each; checkpoints land on vector sort states
+	// during the scan and on overlap hand-off points during the load.
+	sortparOpts := core.Options{SortMemory: 24, SortPartitions: 4, MergeOverlap: true,
+		SerialFinish: true, CheckpointPages: 2, CheckpointKeys: 48}
 
 	return []*Scenario{
 		{
@@ -162,6 +170,18 @@ func Scenarios() []*Scenario {
 					nameSpec("by_name", catalog.MethodSF),
 					{Name: "by_qty", Table: "items", Columns: []string{"qty"}, Method: catalog.MethodSF},
 				}, opts)
+				return err
+			},
+		},
+		{
+			Name:  "sortpar",
+			Rows:  320,
+			Opts:  sortparOpts,
+			Specs: []engine.CreateIndexSpec{nameSpec("by_name", catalog.MethodSF)},
+			Run: func(db *engine.DB, rids []types.RID) error {
+				opts := sortparOpts
+				opts.OnCheckpoint = observer(db, rids)
+				_, err := core.Build(db, nameSpec("by_name", catalog.MethodSF), opts)
 				return err
 			},
 		},

@@ -79,6 +79,20 @@ func (db *DB) planUnderLatch(table types.TableID, rid types.RID) opPlan {
 		case ix.State == catalog.StateBuilding && ix.Method == catalog.MethodSF:
 			ctl := db.BuildCtlOf(ix.ID)
 			if ctl == nil {
+				// The Building snapshot can be stale: the builder commits
+				// StateComplete before unregistering its control, so the ctl
+				// may vanish between the catalog read above and this lookup.
+				// Re-read the live state; only Building-without-ctl is an
+				// invariant violation.
+				switch cur, ok := db.cat.IndexByID(ix.ID); {
+				case ok && cur.State == catalog.StateComplete:
+					p.plans = append(p.plans, idxPlan{ix: cur, mode: planDirect})
+					p.visCount++
+					continue
+				case !ok || cur.State == catalog.StateDropped:
+					// Cancelled underneath us; the index no longer exists.
+					continue
+				}
 				p.err = fmt.Errorf("engine: SF index %q building but no BuildCtl registered", ix.Name)
 				return p
 			}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"onlineindex/internal/catalog"
+	"onlineindex/internal/core"
+	"onlineindex/internal/extsort"
+	"onlineindex/internal/harness"
+	"onlineindex/internal/vfs"
+)
+
+// SortRecord is one machine-readable measurement of the parallel back half
+// (partitioned run generation + merge→load overlap), written by
+// `benchtab -sortbench` into BENCH_build.json with "kind": "sortbench" so it
+// merges alongside the plain build records without clobbering them.
+type SortRecord struct {
+	Kind    string `json:"kind"` // "sortbench"
+	Rows    int    `json:"rows"`
+	Method  string `json:"method"`
+	Workers int    `json:"workers"`
+	// NumCPU records the cores the measurement ran on: partition counts
+	// beyond it cannot show a wall-clock win, only feed-busy movement.
+	NumCPU     int     `json:"num_cpu"`
+	Partitions int     `json:"sort_partitions"`
+	Overlap    bool    `json:"merge_overlap"`
+	TotalMs    float64 `json:"total_ms"`
+	ScanMs     float64 `json:"scan_sort_ms"`
+	InsertMs   float64 `json:"insert_ms"`
+	SideMs     float64 `json:"side_file_ms"`
+	Runs       int     `json:"runs"`
+	// FeedWait is the sequencer blocking on extraction results; FeedBusy is
+	// the time it spends inside the sorter feed. Partitioning is meant to
+	// collapse FeedBusy (the serial-feed bottleneck) — watching both shows
+	// whether the wait merely moved.
+	FeedWaitMs float64 `json:"feed_wait_ms"`
+	FeedBusyMs float64 `json:"feed_busy_ms"`
+}
+
+// SortBench builds an SF index on a quiet n-row table at ScanWorkers=4 for
+// each (SortPartitions, MergeOverlap) combination on identically populated
+// tables. Configurations are interleaved and each is recorded as the best of
+// several trials, the BuildBench protocol, so they see the same machine
+// drift. Every built index is verified before its time is recorded.
+func SortBench(cfg Config, n int) ([]SortRecord, error) {
+	const trials = 5
+	const workers = 4
+	type config struct {
+		parts   int
+		overlap bool
+	}
+	configs := []config{{1, false}, {4, false}, {1, true}, {4, true}}
+
+	oneBuild := func(c config) (*core.Result, time.Duration, error) {
+		db, _, err := setup(n)
+		if err != nil {
+			return nil, 0, err
+		}
+		runtime.GC()
+		start := time.Now()
+		res, err := core.Build(db, spec("by_key", catalog.MethodSF), core.Options{
+			ScanWorkers: workers, SortPartitions: c.parts, MergeOverlap: c.overlap,
+		})
+		if err != nil {
+			return nil, 0, fmt.Errorf("sortbench P=%d overlap=%v: %w", c.parts, c.overlap, err)
+		}
+		total := time.Since(start)
+		if err := db.CheckIndexConsistency("by_key"); err != nil {
+			return nil, 0, fmt.Errorf("sortbench P=%d overlap=%v: %w", c.parts, c.overlap, err)
+		}
+		return res, total, nil
+	}
+
+	best := make([]*core.Result, len(configs))
+	bestT := make([]time.Duration, len(configs))
+	for trial := 0; trial < trials; trial++ {
+		for i, c := range configs {
+			res, total, err := oneBuild(c)
+			if err != nil {
+				return nil, err
+			}
+			if best[i] == nil || total < bestT[i] {
+				best[i], bestT[i] = res, total
+			}
+		}
+	}
+
+	var recs []SortRecord
+	var rows [][]string
+	for i, c := range configs {
+		st := best[i].Stats
+		rec := SortRecord{
+			Kind: "sortbench", Rows: n, Method: methodName(catalog.MethodSF),
+			Workers: workers, NumCPU: runtime.NumCPU(),
+			Partitions: c.parts, Overlap: c.overlap,
+			TotalMs: msf(bestT[i]), ScanMs: msf(st.ScanSort),
+			InsertMs: msf(st.Insert), SideMs: msf(st.SideFile),
+			Runs:       st.Runs,
+			FeedWaitMs: msf(st.Pipeline.FeedWait),
+			FeedBusyMs: msf(st.Pipeline.FeedBusy),
+		}
+		recs = append(recs, rec)
+		rows = append(rows, []string{
+			harness.N(uint64(n)), fmt.Sprintf("%d", c.parts), fmt.Sprintf("%v", c.overlap),
+			ms(st.ScanSort), ms(st.Insert), ms(bestT[i]),
+			fmt.Sprintf("%.1f", rec.FeedWaitMs), fmt.Sprintf("%.1f", rec.FeedBusyMs),
+		})
+	}
+	cfg.printf("%s\n", harness.Table(
+		"SF build vs sort partitions and merge→load overlap (ScanWorkers=4, quiet table)",
+		[]string{"rows", "partitions", "overlap", "scan+sort ms", "insert ms", "total ms", "feed wait ms", "feed busy ms"},
+		rows))
+	return recs, nil
+}
+
+// MeasureRunGeneration times the sort's run-generation half in isolation —
+// feeding n pre-generated items through a PartSorter page by page and
+// spilling the final runs — with everything else (item generation, the merge
+// that is serial either way) outside the window. This is what the
+// partitioned-sort gate compares across partition counts.
+func MeasureRunGeneration(n, capacity, parts int, concurrent bool) (time.Duration, error) {
+	fs := vfs.NewMemFS()
+	rng := rand.New(rand.NewSource(7))
+	perm := rng.Perm(n)
+	const pageLen = 64
+	pages := make([][][]byte, 0, n/pageLen+1)
+	for i := 0; i < n; i += pageLen {
+		j := i + pageLen
+		if j > n {
+			j = n
+		}
+		page := make([][]byte, j-i)
+		for k := i; k < j; k++ {
+			page[k-i] = []byte(fmt.Sprintf("key-%012d-pad-%016x", perm[k], perm[k]))
+		}
+		pages = append(pages, page)
+	}
+	partCap := capacity
+	if parts > 1 {
+		partCap = capacity / parts
+		if partCap < 2 {
+			partCap = 2
+		}
+	}
+	s := extsort.NewPartSorter(fs, "sortgate", partCap, parts, concurrent)
+	defer s.Close()
+	runtime.GC()
+	start := time.Now()
+	for _, page := range pages {
+		if err := s.FeedPage(page); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := s.Finish(); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}

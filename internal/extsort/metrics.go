@@ -5,13 +5,19 @@ import "onlineindex/internal/metrics"
 // Metrics holds the sort phase's registry handles; the zero value disables
 // export. Runs counts run files opened (including a reopened run after
 // resume starting a successor), Items counts items accepted by the sorter,
+// RunLen records each completed run's item count (a run-count explosion
+// from an undersized tree capacity shows up here as a pile of short runs),
 // and MergeFanIn records the number of input streams of each merge the
 // caller opens (observed by the caller at merger creation, since the merge
-// is an iterator without a handle back to the sorter).
+// is an iterator without a handle back to the sorter) — as a histogram of
+// every merge opened and as a gauge holding the latest fan-in, so /metrics
+// shows the width of the merge currently running.
 type Metrics struct {
 	Runs       *metrics.Counter
 	Items      *metrics.Counter
+	RunLen     *metrics.Histogram
 	MergeFanIn *metrics.Histogram
+	FanIn      *metrics.Gauge
 }
 
 // MetricsFrom resolves the sort phase's standard instrument names on r.
@@ -19,7 +25,9 @@ func MetricsFrom(r *metrics.Registry) Metrics {
 	return Metrics{
 		Runs:       r.Counter("extsort.runs"),
 		Items:      r.Counter("extsort.items"),
+		RunLen:     r.Histogram("extsort.run_len", metrics.ExpBounds(1, 20)),
 		MergeFanIn: r.Histogram("extsort.merge_fanin", metrics.ExpBounds(1, 12)),
+		FanIn:      r.Gauge("extsort.merge_fanin"),
 	}
 }
 

@@ -99,13 +99,26 @@ func (w *runWriter) close() error {
 	return w.f.Close()
 }
 
-// runReader streams items from a run file.
+// runReader streams items from a run file, optionally double-buffering
+// behind a prefetch goroutine (startPrefetch) so the merge never blocks on
+// a vfs read.
 type runReader struct {
 	f      vfs.File
 	off    int64
 	rdbuf  []byte
 	bufOff int64 // file offset of rdbuf[0]
 	count  uint64
+
+	pf     chan pfBlock  // prefetched chunks; nil = synchronous reads
+	pfStop chan struct{} // closed by close() to unstick a blocked send
+	pfEOF  bool          // terminal block consumed; pf yields nothing more
+}
+
+// pfBlock is one prefetched chunk, or the stream's terminal error
+// (io.EOF at a clean end of file).
+type pfBlock struct {
+	data []byte
+	err  error
 }
 
 func openRun(fs vfs.FS, meta RunMeta) (*runReader, error) {
@@ -150,6 +163,73 @@ func (r *runReader) skip(k uint64) error {
 
 const readChunk = 1 << 16
 
+// startPrefetch switches the reader to double-buffered asynchronous reads
+// from its current position: a goroutine stays up to two chunks ahead of
+// consumption, so by the time fill needs bytes they are usually already
+// in the channel. Call at most once, after any skip repositioning.
+func (r *runReader) startPrefetch() {
+	r.pf = make(chan pfBlock, 2)
+	r.pfStop = make(chan struct{})
+	go func(off int64) {
+		defer close(r.pf)
+		for {
+			chunk := make([]byte, readChunk)
+			m, err := r.f.ReadAt(chunk, off)
+			off += int64(m)
+			if m > 0 {
+				select {
+				case r.pf <- pfBlock{data: chunk[:m]}:
+				case <-r.pfStop:
+					return
+				}
+			}
+			if err == nil {
+				continue
+			}
+			// A partial chunk's EOF arrives as its own terminal block, after
+			// the data block above, so fill sees data and end separately.
+			select {
+			case r.pf <- pfBlock{err: err}:
+			case <-r.pfStop:
+			}
+			return
+		}
+	}(r.bufOff + int64(len(r.rdbuf)))
+}
+
+// fill appends at least one more byte to rdbuf or reports why it cannot:
+// io.EOF at a clean end of file, any other error verbatim.
+func (r *runReader) fill() error {
+	if r.pf != nil {
+		if r.pfEOF {
+			return io.EOF
+		}
+		blk, ok := <-r.pf
+		if !ok {
+			r.pfEOF = true
+			return io.EOF
+		}
+		if blk.err != nil {
+			r.pfEOF = true
+			return blk.err
+		}
+		r.rdbuf = append(r.rdbuf, blk.data...)
+		return nil
+	}
+	for {
+		chunk := make([]byte, readChunk)
+		m, err := r.f.ReadAt(chunk, r.bufOff+int64(len(r.rdbuf)))
+		if m > 0 {
+			r.rdbuf = append(r.rdbuf, chunk[:m]...)
+			return nil
+		}
+		if err == nil {
+			continue
+		}
+		return err
+	}
+}
+
 // read returns n bytes at the current offset, buffering reads.
 func (r *runReader) read(n int) ([]byte, error) {
 	for int64(len(r.rdbuf)) < r.off-r.bufOff+int64(n) {
@@ -158,19 +238,10 @@ func (r *runReader) read(n int) ([]byte, error) {
 			r.rdbuf = append(r.rdbuf[:0], r.rdbuf[r.off-r.bufOff:]...)
 			r.bufOff = r.off
 		}
-		chunk := make([]byte, readChunk)
-		m, err := r.f.ReadAt(chunk, r.bufOff+int64(len(r.rdbuf)))
-		if m > 0 {
-			r.rdbuf = append(r.rdbuf, chunk[:m]...)
-			continue
-		}
-		if err == io.EOF {
-			if int64(len(r.rdbuf)) >= r.off-r.bufOff+int64(n) {
+		if err := r.fill(); err != nil {
+			if err == io.EOF && int64(len(r.rdbuf)) >= r.off-r.bufOff+int64(n) {
 				break
 			}
-			return nil, io.EOF
-		}
-		if err != nil {
 			return nil, err
 		}
 	}
@@ -179,4 +250,14 @@ func (r *runReader) read(n int) ([]byte, error) {
 	return r.rdbuf[start : start+int64(n)], nil
 }
 
-func (r *runReader) close() error { return r.f.Close() }
+func (r *runReader) close() error {
+	if r.pfStop != nil {
+		// Unstick and wait out the prefetcher (channel close is its last
+		// act) so no read races the file close below.
+		close(r.pfStop)
+		for range r.pf {
+		}
+		r.pfStop = nil
+	}
+	return r.f.Close()
+}

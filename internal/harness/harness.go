@@ -33,6 +33,12 @@ type PipelineStats struct {
 	// FeedWait is how long the in-order sorter feed sat blocked waiting
 	// for page extractions to arrive.
 	FeedWait time.Duration
+	// FeedBusy is how long the in-order feed spent pushing items into the
+	// sorters. With partitioned sorting (core.Options.SortPartitions) the
+	// push becomes a channel hand-off and this collapses, which is the
+	// point: FeedBusy falling while FeedWait holds shows the serial feed
+	// stopped being the bottleneck.
+	FeedBusy time.Duration
 }
 
 // Merge folds another scan's counters into p (a build may run several scan
@@ -44,6 +50,7 @@ func (p *PipelineStats) Merge(q PipelineStats) {
 	p.PagesPrefetched += q.PagesPrefetched
 	p.ExtractBusy += q.ExtractBusy
 	p.FeedWait += q.FeedWait
+	p.FeedBusy += q.FeedBusy
 }
 
 // Export publishes one scan's pipeline counters into the engine's metrics
@@ -57,6 +64,7 @@ func (p PipelineStats) Export(r *metrics.Registry) {
 	r.Counter("pipeline.pages_prefetched").Add(p.PagesPrefetched)
 	r.Counter("pipeline.extract_busy_ns").Add(uint64(p.ExtractBusy))
 	r.Counter("pipeline.feed_wait_ns").Add(uint64(p.FeedWait))
+	r.Counter("pipeline.feed_busy_ns").Add(uint64(p.FeedBusy))
 }
 
 // ClusteringFactor measures how physically sequential an index's leaf chain

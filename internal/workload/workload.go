@@ -321,10 +321,3 @@ func (r *Runner) work(w int, mine []types.RID) {
 		}
 	}
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -17,6 +17,11 @@
 #                      throughput of the serial-Force baseline (wall-clock;
 #                      run on a quiet machine), then records the measured
 #                      commit_tps numbers in BENCH_build.json.
+#   ci.sh bench-sort   the partitioned-sort gate: fails unless run generation
+#                      over 4 concurrent sort partitions is >= 1.5x faster
+#                      than the serial single-tree sorter (wall-clock; run on
+#                      a quiet machine), then records the sortbench build
+#                      matrix (partitions x overlap) in BENCH_build.json.
 #   ci.sh admin-smoke  end-to-end admin endpoint check: run an SF build with
 #                      `idxbuild -admin`, poll the live endpoint over HTTP
 #                      until the build completes, and assert the terminal
@@ -49,6 +54,10 @@ bench-commit)
     ONLINEINDEX_COMMIT_GATE=1 go test -run TestCommitThroughputGate -v -count=1 -timeout 10m .
     go run ./cmd/benchtab -commitbench -out BENCH_build.json
     ;;
+bench-sort)
+    ONLINEINDEX_SORT_GATE=1 go test -run TestPartitionedSortGate -v -count=1 -timeout 10m .
+    go run ./cmd/benchtab -sortbench 200000 -out BENCH_build.json
+    ;;
 admin-smoke)
     go build -o /tmp/onlineindex-idxbuild ./cmd/idxbuild
     addr=127.0.0.1:7071
@@ -79,7 +88,7 @@ admin-smoke)
     echo "admin-smoke OK"
     ;;
 *)
-    echo "usage: $0 [test|sweep|overhead|bench-commit|admin-smoke]" >&2
+    echo "usage: $0 [test|sweep|overhead|bench-commit|bench-sort|admin-smoke]" >&2
     exit 2
     ;;
 esac

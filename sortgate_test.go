@@ -1,0 +1,58 @@
+package onlineindex_test
+
+import (
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"onlineindex/internal/experiments"
+)
+
+// TestPartitionedSortGate enforces the partitioned-sort win: run generation
+// over 4 concurrent partitions must be at least 1.5x faster than the serial
+// single-tree sorter on the same item stream. The window covers only the
+// parallelised half (page feed + replacement selection + run spill) — the
+// merge is serial in both configurations and would only dilute the ratio.
+// Wall-clock measurements are noisy on shared machines, so the gate only
+// runs when explicitly requested (ONLINEINDEX_SORT_GATE=1, set by
+// `scripts/ci.sh bench-sort`) and takes the best of several trials per
+// configuration, interleaved so both see the same machine drift.
+func TestPartitionedSortGate(t *testing.T) {
+	if os.Getenv("ONLINEINDEX_SORT_GATE") == "" {
+		t.Skip("set ONLINEINDEX_SORT_GATE=1 to run the partitioned-sort gate")
+	}
+	// The gate measures parallel speedup, which needs parallel hardware: on
+	// fewer cores than partitions the concurrent feed can only add scheduling
+	// overhead (1 core measures ~0.9x). CI's nightly runners have >= 4.
+	if runtime.NumCPU() < 4 {
+		t.Skipf("partitioned-sort gate needs >= 4 CPUs, have %d", runtime.NumCPU())
+	}
+	const (
+		items    = 400_000
+		capacity = 8192
+		trials   = 3
+	)
+	one := func(parts int, concurrent bool) time.Duration {
+		d, err := experiments.MeasureRunGeneration(items, capacity, parts, concurrent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	var serial, par time.Duration
+	for i := 0; i < trials; i++ {
+		if d := one(1, false); serial == 0 || d < serial {
+			serial = d
+		}
+		if d := one(4, true); par == 0 || d < par {
+			par = d
+		}
+	}
+	speedup := float64(serial) / float64(par)
+	t.Logf("run generation over %d items: serial %v, 4 partitions %v, speedup %.2fx",
+		items, serial, par, speedup)
+	if speedup < 1.5 {
+		t.Errorf("partitioned sort speedup %.2fx below the 1.5x gate", speedup)
+	}
+}
