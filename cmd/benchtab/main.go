@@ -15,11 +15,15 @@
 //	benchtab -sortbench 200000    # partitioned sort + merge→load overlap
 //	                              # benchmark; merges sortbench records into
 //	                              # BENCH_build.json
+//	benchtab -concbench           # buffer/lock/WAL contention matrix
+//	                              # (shards×stripes at 8 goroutines); merges a
+//	                              # concbench record into BENCH_build.json
 //
 // The benchmark modes all merge into -out rather than clobbering each
 // other's records: build records carry no "kind" field, the commit record
-// carries "kind": "commit_tps", sort records carry "kind": "sortbench", and
-// each mode replaces only its own.
+// carries "kind": "commit_tps", sort records carry "kind": "sortbench", the
+// contention record carries "kind": "concbench", and each mode replaces only
+// its own.
 package main
 
 import (
@@ -68,6 +72,7 @@ func main() {
 	buildBench := flag.Int("buildbench", 0, "run the build benchmark on a table of this many rows and merge into -out (skips experiments)")
 	commitBench := flag.Bool("commitbench", false, "run the commit-throughput benchmark and merge a commit_tps record into -out (skips experiments)")
 	sortBench := flag.Int("sortbench", 0, "run the partitioned-sort benchmark on a table of this many rows and merge sortbench records into -out (skips experiments)")
+	concBench := flag.Bool("concbench", false, "run the buffer/lock/WAL contention benchmark and merge a concbench record into -out (skips experiments)")
 	out := flag.String("out", "BENCH_build.json", "output path for the -buildbench/-commitbench JSON records")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
@@ -121,6 +126,20 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("merged %d sortbench records into %s\n", len(recs), *out)
+		return
+	}
+
+	if *concBench {
+		rec, err := experiments.ConcBench(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: concbench failed: %v\n", err)
+			os.Exit(1)
+		}
+		if err := mergeRecords(*out, rec.Kind, []any{rec}); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("merged concbench record into %s\n", *out)
 		return
 	}
 

@@ -35,6 +35,8 @@ func main() {
 	overlap := flag.Bool("merge-overlap", false, "overlap the run merge with index loading (§2.2.2)")
 	adminAddr := flag.String("admin", "", "serve the live admin endpoint on this address (e.g. 127.0.0.1:7070; port 0 picks one)")
 	linger := flag.Duration("linger", 0, "keep the admin endpoint serving this long after the build finishes")
+	bufShards := flag.Int("buffer-shards", 0, "buffer pool page-table shards, rounded up to a power of two (0 = min(16, GOMAXPROCS))")
+	lockStripes := flag.Int("lock-stripes", 0, "lock manager bucket-map stripes, rounded up to a power of two (0 = min(16, GOMAXPROCS))")
 	flag.Parse()
 
 	var m onlineindex.BuildMethod
@@ -51,7 +53,8 @@ func main() {
 	}
 
 	fs := onlineindex.NewMemFS()
-	db, err := onlineindex.Open(onlineindex.Config{FS: fs, PoolSize: 4096})
+	cfg := onlineindex.Config{FS: fs, PoolSize: 4096, BufferShards: *bufShards, LockStripes: *lockStripes}
+	db, err := onlineindex.Open(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -98,7 +101,7 @@ func main() {
 	start := time.Now()
 	var res *onlineindex.BuildResult
 	if *crash {
-		res, err = buildWithCrash(fs, db, spec, opts)
+		res, err = buildWithCrash(cfg, db, spec, opts)
 	} else {
 		res, err = db.BuildIndex(spec, opts)
 	}
@@ -155,7 +158,7 @@ var currentDB *onlineindex.DB
 // recovered engine so pollers keep seeing the resumed build.
 var currentAdmin *onlineindex.AdminServer
 
-func buildWithCrash(fs onlineindex.FS, db *onlineindex.DB, spec onlineindex.IndexSpec, opts onlineindex.BuildOptions) (*onlineindex.BuildResult, error) {
+func buildWithCrash(cfg onlineindex.Config, db *onlineindex.DB, spec onlineindex.IndexSpec, opts onlineindex.BuildOptions) (*onlineindex.BuildResult, error) {
 	currentDB = db
 	done := make(chan struct{})
 	go func() {
@@ -167,7 +170,7 @@ func buildWithCrash(fs onlineindex.FS, db *onlineindex.DB, spec onlineindex.Inde
 	db.Crash()
 	<-done
 	fmt.Println("CRASH injected; recovering...")
-	db2, err := onlineindex.RecoverWithoutResume(onlineindex.Config{FS: fs, PoolSize: 4096})
+	db2, err := onlineindex.RecoverWithoutResume(cfg)
 	if err != nil {
 		return nil, err
 	}

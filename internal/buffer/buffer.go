@@ -7,6 +7,17 @@
 // remembers its RecLSN — the LSN of the first record that dirtied it since
 // it was last clean — so fuzzy checkpoints can bound where redo must start.
 //
+// The page table is split into N power-of-two shards keyed by a page-ID
+// hash; each shard has its own mutex, frame map, and clock-eviction ring, so
+// concurrent fetches on different shards never serialize. Eviction is
+// per-shard with a work-stealing fallback: a shard whose frames are all
+// pinned evicts from a sibling (TryLock only, so two shards stealing from
+// each other can never deadlock) and temporarily overflows its own nominal
+// share — the global frame count stays bounded because every overflow insert
+// pairs with a sibling eviction. At one shard the pool behaves exactly like
+// the historical single-mutex pool, which is what the deterministic
+// fault-injection sweep runs.
+//
 // A simulated system failure (DB.Crash) simply discards the pool; only page
 // images that were flushed (and synced) survive, which is exactly the state
 // restart recovery must repair.
@@ -16,8 +27,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"onlineindex/internal/latch"
 	"onlineindex/internal/metrics"
@@ -113,60 +126,164 @@ type Metrics struct {
 	Misses    *metrics.Counter
 	Flushes   *metrics.Counter
 	Evictions *metrics.Counter
+	// ShardLookups[i]/ShardEvictions[i] count per-shard page-table activity
+	// (contention observability: a hot shard shows up as a skewed lookup
+	// distribution). ShardImbalance exports max/mean shard occupancy x100 —
+	// 100 means perfectly even, 200 means the fullest shard holds twice the
+	// mean.
+	ShardLookups   []*metrics.Counter
+	ShardEvictions []*metrics.Counter
+	ShardImbalance *metrics.Gauge
 }
 
 // MetricsFrom resolves the pool's standard instrument names on r (all nil
-// when r is nil).
-func MetricsFrom(r *metrics.Registry) Metrics {
-	return Metrics{
-		Fetches:   r.Counter("buffer.fetches"),
-		Hits:      r.Counter("buffer.hits"),
-		Misses:    r.Counter("buffer.misses"),
-		Flushes:   r.Counter("buffer.flushes"),
-		Evictions: r.Counter("buffer.evictions"),
+// when r is nil), including per-shard counters for shards shards.
+func MetricsFrom(r *metrics.Registry, shards int) Metrics {
+	m := Metrics{
+		Fetches:        r.Counter("buffer.fetches"),
+		Hits:           r.Counter("buffer.hits"),
+		Misses:         r.Counter("buffer.misses"),
+		Flushes:        r.Counter("buffer.flushes"),
+		Evictions:      r.Counter("buffer.evictions"),
+		ShardImbalance: r.Gauge("buffer.shard_imbalance"),
 	}
+	for i := 0; i < shards; i++ {
+		m.ShardLookups = append(m.ShardLookups, r.Counter(fmt.Sprintf("buffer.shard_lookups.%d", i)))
+		m.ShardEvictions = append(m.ShardEvictions, r.Counter(fmt.Sprintf("buffer.shard_evictions.%d", i)))
+	}
+	return m
 }
 
 // SetMetrics attaches registry handles. Call before concurrent use.
 func (p *Pool) SetMetrics(m Metrics) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.met = m
+	for i, s := range p.shards {
+		if i < len(m.ShardLookups) {
+			s.mLookups = m.ShardLookups[i]
+		}
+		if i < len(m.ShardEvictions) {
+			s.mEvictions = m.ShardEvictions[i]
+		}
+	}
 }
 
 // ErrAllPinned is returned when the pool cannot evict any frame.
 var ErrAllPinned = errors.New("buffer: all frames pinned")
 
+// shard is one slice of the page table: a frame map plus its own clock ring,
+// all guarded by the shard mutex.
+type shard struct {
+	mu     sync.Mutex
+	frames map[types.PageID]*Frame
+	clock  []types.PageID // eviction order ring
+	hand   int
+	cap    int // nominal frame share; overflows while stealing
+
+	occupancy  atomic.Int64 // len(frames), readable without mu
+	lookups    atomic.Uint64
+	evictions  atomic.Uint64
+	mLookups   *metrics.Counter
+	mEvictions *metrics.Counter
+}
+
 // Pool is the buffer pool. Safe for concurrent use.
+//
+// Lock ordering: a shard mutex may be taken before the file-registry mutex
+// (fmu), never the other way around; a second shard mutex is only ever
+// TryLock'd (work-stealing) or taken in ascending index order with all
+// shards held (truncate). Frame mutexes are leaves.
 type Pool struct {
 	fs       vfs.FS
 	log      *wal.Log
 	capacity int
 
-	mu     sync.Mutex
-	frames map[types.PageID]*Frame
-	clock  []types.PageID // eviction order ring
-	hand   int
+	shards []*shard
+	mask   uint64
+
+	fmu    sync.Mutex // guards files and nPages
 	files  map[types.FileID]vfs.File
 	nPages map[types.FileID]types.PageNum // page count per file
-	stats  Stats
-	met    Metrics
+
+	ctr struct {
+		fetches   atomic.Uint64
+		hits      atomic.Uint64
+		misses    atomic.Uint64
+		flushes   atomic.Uint64
+		evictions atomic.Uint64
+	}
+	met Metrics
 }
 
-// New creates a pool over fs with the given frame capacity. log may be nil
-// only in unit tests that never flush dirty pages.
+// DefaultShards is the shard count used when a caller passes 0: one shard
+// per core up to 16, so the page table scales with the hardware without
+// fragmenting small pools.
+func DefaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 16 {
+		n = 16
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// New creates a single-shard pool over fs with the given frame capacity —
+// the deterministic configuration the fault-injection sweep replays. log may
+// be nil only in unit tests that never flush dirty pages.
 func New(fs vfs.FS, log *wal.Log, capacity int) *Pool {
+	return NewSharded(fs, log, capacity, 1)
+}
+
+// NewSharded creates a pool whose page table is split across shards shards
+// (rounded up to a power of two, clamped so every shard keeps a useful frame
+// share; 0 means DefaultShards).
+func NewSharded(fs vfs.FS, log *wal.Log, capacity, shards int) *Pool {
 	if capacity < 8 {
 		capacity = 8
 	}
-	return &Pool{
+	if shards <= 0 {
+		shards = DefaultShards()
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	for n > 1 && capacity/n < 4 {
+		n >>= 1
+	}
+	p := &Pool{
 		fs:       fs,
 		log:      log,
 		capacity: capacity,
-		frames:   make(map[types.PageID]*Frame),
+		mask:     uint64(n - 1),
 		files:    make(map[types.FileID]vfs.File),
 		nPages:   make(map[types.FileID]types.PageNum),
 	}
+	per := (capacity + n - 1) / n
+	for i := 0; i < n; i++ {
+		p.shards = append(p.shards, &shard{
+			frames: make(map[types.PageID]*Frame),
+			cap:    per,
+		})
+	}
+	return p
+}
+
+// Shards returns the pool's shard count.
+func (p *Pool) Shards() int { return len(p.shards) }
+
+// shardFor hashes the page ID to its shard. The hash is a fixed splitmix64
+// finalizer — deterministic across runs and processes, which the
+// fault-injection sweep's replayability requires.
+func (p *Pool) shardFor(pid types.PageID) *shard {
+	h := uint64(pid.File)<<32 | uint64(pid.Page)
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return p.shards[h&p.mask]
 }
 
 func fileName(id types.FileID) string { return fmt.Sprintf("f%06d.dat", id) }
@@ -174,11 +291,12 @@ func fileName(id types.FileID) string { return fmt.Sprintf("f%06d.dat", id) }
 // OpenFile opens (creating if needed) the storage file for a FileID and
 // registers its current page count.
 func (p *Pool) OpenFile(id types.FileID) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.fmu.Lock()
+	defer p.fmu.Unlock()
 	return p.openFileLocked(id)
 }
 
+// openFileLocked requires p.fmu.
 func (p *Pool) openFileLocked(id types.FileID) error {
 	if _, ok := p.files[id]; ok {
 		return nil
@@ -210,8 +328,8 @@ func (p *Pool) openFileLocked(id types.FileID) error {
 
 // PageCount returns the number of pages allocated in the file.
 func (p *Pool) PageCount(id types.FileID) (types.PageNum, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.fmu.Lock()
+	defer p.fmu.Unlock()
 	if err := p.openFileLocked(id); err != nil {
 		return 0, err
 	}
@@ -222,31 +340,69 @@ func (p *Pool) PageCount(id types.FileID) (types.PageNum, error) {
 // frame, and returns the frame. The caller formats the page, logs the
 // format record and calls MarkDirty before unpinning.
 func (p *Pool) NewPage(id types.FileID, pg page.Page) (*Frame, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.fmu.Lock()
 	if err := p.openFileLocked(id); err != nil {
+		p.fmu.Unlock()
 		return nil, err
 	}
 	pid := types.PageID{File: id, Page: p.nPages[id]}
 	p.nPages[id]++
-	if err := p.makeRoomLocked(); err != nil {
+	p.fmu.Unlock()
+
+	s := p.shardFor(pid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := p.makeRoomLocked(s); err != nil {
 		return nil, err
 	}
 	f := &Frame{ID: pid, pg: pg, pins: 1, refbit: true}
-	p.frames[pid] = f
-	p.clock = append(p.clock, pid)
+	p.installLocked(s, f)
 	return f, nil
+}
+
+// installLocked adds f to shard s (s.mu held) and refreshes the imbalance
+// gauge.
+func (p *Pool) installLocked(s *shard, f *Frame) {
+	s.frames[f.ID] = f
+	s.clock = append(s.clock, f.ID)
+	s.occupancy.Store(int64(len(s.frames)))
+	p.updateImbalance()
+}
+
+// updateImbalance recomputes the max/mean shard-occupancy ratio (x100).
+// Reads only the per-shard occupancy atomics, so any thread may call it.
+func (p *Pool) updateImbalance() {
+	if p.met.ShardImbalance == nil || len(p.shards) < 2 {
+		return
+	}
+	var total, max int64
+	for _, s := range p.shards {
+		o := s.occupancy.Load()
+		total += o
+		if o > max {
+			max = o
+		}
+	}
+	if total == 0 {
+		p.met.ShardImbalance.Set(100)
+		return
+	}
+	mean := float64(total) / float64(len(p.shards))
+	p.met.ShardImbalance.Set(int64(float64(max) / mean * 100))
 }
 
 // Fetch pins the page and returns its frame, reading it from stable storage
 // on a miss. The caller latches the frame as needed and must Unpin it.
 func (p *Pool) Fetch(pid types.PageID) (*Frame, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats.Fetches++
+	s := p.shardFor(pid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p.ctr.fetches.Add(1)
 	p.met.Fetches.Inc()
-	if f, ok := p.frames[pid]; ok {
-		p.stats.Hits++
+	s.lookups.Add(1)
+	s.mLookups.Inc()
+	if f, ok := s.frames[pid]; ok {
+		p.ctr.hits.Add(1)
 		p.met.Hits.Inc()
 		f.mu.Lock()
 		f.pins++
@@ -254,28 +410,31 @@ func (p *Pool) Fetch(pid types.PageID) (*Frame, error) {
 		f.mu.Unlock()
 		return f, nil
 	}
-	p.stats.Misses++
+	p.ctr.misses.Add(1)
 	p.met.Misses.Inc()
+	p.fmu.Lock()
 	if err := p.openFileLocked(pid.File); err != nil {
+		p.fmu.Unlock()
 		return nil, err
 	}
-	if pid.Page >= p.nPages[pid.File] {
-		return nil, fmt.Errorf("buffer: fetch %s beyond file end (%d pages)", pid, p.nPages[pid.File])
+	file, n := p.files[pid.File], p.nPages[pid.File]
+	p.fmu.Unlock()
+	if pid.Page >= n {
+		return nil, fmt.Errorf("buffer: fetch %s beyond file end (%d pages)", pid, n)
 	}
 	img := make([]byte, page.Size)
-	if _, err := p.files[pid.File].ReadAt(img, int64(pid.Page)*page.Size); err != nil && err != io.EOF {
+	if _, err := file.ReadAt(img, int64(pid.Page)*page.Size); err != nil && err != io.EOF {
 		return nil, fmt.Errorf("buffer: read %s: %w", pid, err)
 	}
 	pg, err := page.Unmarshal(img)
 	if err != nil {
 		return nil, fmt.Errorf("buffer: unmarshal %s: %w", pid, err)
 	}
-	if err := p.makeRoomLocked(); err != nil {
+	if err := p.makeRoomLocked(s); err != nil {
 		return nil, err
 	}
 	f := &Frame{ID: pid, pg: pg, pins: 1, refbit: true}
-	p.frames[pid] = f
-	p.clock = append(p.clock, pid)
+	p.installLocked(s, f)
 	return f, nil
 }
 
@@ -286,47 +445,56 @@ func (p *Pool) Fetch(pid types.PageID) (*Frame, error) {
 // replayed into the blank pages. Intermediate pages created by the extension
 // are marked dirty with recLSN = lsn (a safe lower bound for the DPT).
 func (p *Pool) FetchOrCreate(pid types.PageID, factory func() page.Page, lsn types.LSN) (*Frame, error) {
-	p.mu.Lock()
-	if err := p.openFileLocked(pid.File); err != nil {
-		p.mu.Unlock()
+	if err := p.OpenFile(pid.File); err != nil {
 		return nil, err
 	}
-	for p.nPages[pid.File] <= pid.Page {
+	for {
+		// Claim the next page number under fmu alone, then install the blank
+		// frame under its shard mutex — taking a shard mutex while holding
+		// fmu would invert the pool's lock order.
+		p.fmu.Lock()
+		if p.nPages[pid.File] > pid.Page {
+			p.fmu.Unlock()
+			break
+		}
 		n := p.nPages[pid.File]
 		p.nPages[pid.File]++
+		p.fmu.Unlock()
 		blank := types.PageID{File: pid.File, Page: n}
-		if _, ok := p.frames[blank]; ok {
+		s := p.shardFor(blank)
+		s.mu.Lock()
+		if _, ok := s.frames[blank]; ok {
+			s.mu.Unlock()
 			continue
 		}
-		if err := p.makeRoomLocked(); err != nil {
-			p.mu.Unlock()
+		if err := p.makeRoomLocked(s); err != nil {
+			s.mu.Unlock()
 			return nil, err
 		}
 		f := &Frame{ID: blank, pg: factory(), dirty: true, recLSN: lsn, refbit: true}
-		p.frames[blank] = f
-		p.clock = append(p.clock, blank)
+		p.installLocked(s, f)
+		s.mu.Unlock()
 	}
-	p.mu.Unlock()
 	fr, err := p.Fetch(pid)
 	if errors.Is(err, page.ErrBlank) {
 		// The page lies inside the file's durable extent but was never
 		// itself written (a later page's flush extended the file with
 		// zeros). It is logically a fresh page: install the factory image
 		// and let redo replay its history.
-		p.mu.Lock()
-		defer p.mu.Unlock()
-		if f, ok := p.frames[pid]; ok { // lost a race with another creator
+		s := p.shardFor(pid)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if f, ok := s.frames[pid]; ok { // lost a race with another creator
 			f.mu.Lock()
 			f.pins++
 			f.mu.Unlock()
 			return f, nil
 		}
-		if err := p.makeRoomLocked(); err != nil {
+		if err := p.makeRoomLocked(s); err != nil {
 			return nil, err
 		}
 		f := &Frame{ID: pid, pg: factory(), dirty: true, recLSN: lsn, pins: 1, refbit: true}
-		p.frames[pid] = f
-		p.clock = append(p.clock, pid)
+		p.installLocked(s, f)
 		return f, nil
 	}
 	return fr, err
@@ -342,50 +510,113 @@ func (p *Pool) Unpin(f *Frame) {
 	f.pins--
 }
 
-// makeRoomLocked evicts clock-chosen unpinned frames until the pool is under
-// capacity. Dirty victims are flushed (with the WAL protocol) first. A
-// victim whose latch is held is skipped rather than waited for: the holder
-// may be blocked on the pool mutex we hold, so waiting could deadlock.
-func (p *Pool) makeRoomLocked() error {
+// makeRoomLocked evicts clock-chosen unpinned frames from s until it is
+// under its share. Dirty victims are flushed (with the WAL protocol) first.
+// A victim whose latch is held is skipped rather than waited for: the holder
+// may be blocked on the shard mutex we hold, so waiting could deadlock. When
+// s has nothing evictable, one frame is stolen (evicted) from a sibling
+// shard instead and s is allowed to overflow by this insert — the global
+// frame count still steps down by one.
+func (p *Pool) makeRoomLocked(s *shard) error {
 	busy := 0
-	for len(p.frames) >= p.capacity {
-		victim := p.pickVictimLocked()
+	for len(s.frames) >= s.cap {
+		victim := s.pickVictimLocked()
 		if victim == nil {
-			return ErrAllPinned
+			return p.stealLocked(s)
 		}
 		if !victim.Latch.TryAcquire(latch.S) {
 			// Busy: put it back in the ring and try another. If everything
-			// is latched, give up rather than spin under the pool mutex.
-			p.clock = append(p.clock, victim.ID)
+			// is latched, fall back to stealing rather than spin under the
+			// shard mutex.
+			s.clock = append(s.clock, victim.ID)
 			busy++
-			if busy > 2*len(p.frames) {
-				return ErrAllPinned
+			if busy > 2*len(s.frames) {
+				return p.stealLocked(s)
 			}
 			continue
 		}
-		err := p.flushFrameLocked(victim)
+		err := p.flushFrame(victim)
 		victim.Latch.Release(latch.S)
 		if err != nil {
 			return err
 		}
-		delete(p.frames, victim.ID)
-		p.stats.Evictions++
-		p.met.Evictions.Inc()
+		p.evictLocked(s, victim)
 	}
 	return nil
 }
 
-func (p *Pool) pickVictimLocked() *Frame {
-	for sweep := 0; sweep < 2*len(p.clock)+1; sweep++ {
-		if len(p.clock) == 0 {
+// evictLocked removes a flushed victim from s (s.mu held).
+func (p *Pool) evictLocked(s *shard, victim *Frame) {
+	delete(s.frames, victim.ID)
+	s.occupancy.Store(int64(len(s.frames)))
+	s.evictions.Add(1)
+	s.mEvictions.Inc()
+	p.ctr.evictions.Add(1)
+	p.met.Evictions.Inc()
+	p.updateImbalance()
+}
+
+// stealLocked evicts one frame from some sibling of s, letting s overflow
+// its nominal share by the caller's pending insert. Called with s.mu held;
+// sibling mutexes are only TryLock'd, so shards stealing from each other
+// cannot deadlock. Returns ErrAllPinned when no shard has an evictable
+// frame.
+func (p *Pool) stealLocked(s *shard) error {
+	for _, t := range p.shards {
+		if t == s || !t.mu.TryLock() {
+			continue
+		}
+		ok, err := p.stealFromLocked(t)
+		t.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		if ok {
 			return nil
 		}
-		p.hand %= len(p.clock)
-		pid := p.clock[p.hand]
-		f, ok := p.frames[pid]
+	}
+	return ErrAllPinned
+}
+
+// stealFromLocked evicts one frame from t (t.mu held). Returns false when t
+// has no evictable frame.
+func (p *Pool) stealFromLocked(t *shard) (bool, error) {
+	busy := 0
+	for {
+		victim := t.pickVictimLocked()
+		if victim == nil {
+			return false, nil
+		}
+		if !victim.Latch.TryAcquire(latch.S) {
+			t.clock = append(t.clock, victim.ID)
+			busy++
+			if busy > 2*len(t.frames) {
+				return false, nil
+			}
+			continue
+		}
+		err := p.flushFrame(victim)
+		victim.Latch.Release(latch.S)
+		if err != nil {
+			return false, err
+		}
+		p.evictLocked(t, victim)
+		return true, nil
+	}
+}
+
+// pickVictimLocked runs the clock hand over s's ring (s.mu held).
+func (s *shard) pickVictimLocked() *Frame {
+	for sweep := 0; sweep < 2*len(s.clock)+1; sweep++ {
+		if len(s.clock) == 0 {
+			return nil
+		}
+		s.hand %= len(s.clock)
+		pid := s.clock[s.hand]
+		f, ok := s.frames[pid]
 		if !ok {
 			// stale ring entry: compact
-			p.clock = append(p.clock[:p.hand], p.clock[p.hand+1:]...)
+			s.clock = append(s.clock[:s.hand], s.clock[s.hand+1:]...)
 			continue
 		}
 		f.mu.Lock()
@@ -394,26 +625,27 @@ func (p *Pool) pickVictimLocked() *Frame {
 		f.refbit = false
 		f.mu.Unlock()
 		if !pinned && !ref {
-			p.clock = append(p.clock[:p.hand], p.clock[p.hand+1:]...)
+			s.clock = append(s.clock[:s.hand], s.clock[s.hand+1:]...)
 			return f
 		}
-		p.hand++
+		s.hand++
 	}
 	return nil
 }
 
-// flushFrameLocked writes the frame's page image to stable storage if dirty,
+// flushFrame writes the frame's page image to stable storage if dirty,
 // enforcing the WAL protocol: the log is forced up to the PageLSN first.
-// The caller must hold the pool mutex and the frame's latch in at least S
-// mode (so no writer is mutating the page mid-marshal).
+// The caller must hold the frame's latch in at least S mode (so no writer is
+// mutating the page mid-marshal); concurrent flushes of the same frame
+// serialize on the frame mutex, the loser seeing a clean page.
 //
 // The Force may ride a group-commit epoch: if a WAL flush covering PageLSN
 // is already in flight this call parks until that epoch's leader syncs,
-// holding the pool mutex the whole time. That is deadlock-free — the leader
-// needs only the WAL's own mutex and the log file, never the pool — and
-// correct: Force returns only once PageLSN is durable (a failed epoch
+// possibly holding a shard mutex the whole time. That is deadlock-free — the
+// leader needs only the WAL's own mutex and the log file, never the pool —
+// and correct: Force returns only once PageLSN is durable (a failed epoch
 // returns the leader's error, and the page write below is skipped).
-func (p *Pool) flushFrameLocked(f *Frame) error {
+func (p *Pool) flushFrame(f *Frame) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if !f.dirty {
@@ -434,7 +666,9 @@ func (p *Pool) flushFrameLocked(f *Frame) error {
 	if len(img) != page.Size {
 		return fmt.Errorf("buffer: page %s image is %d bytes, want %d", f.ID, len(img), page.Size)
 	}
+	p.fmu.Lock()
 	file := p.files[f.ID.File]
+	p.fmu.Unlock()
 	if file == nil {
 		return fmt.Errorf("buffer: flush %s: file not open", f.ID)
 	}
@@ -446,7 +680,7 @@ func (p *Pool) flushFrameLocked(f *Frame) error {
 	}
 	f.dirty = false
 	f.recLSN = types.NilLSN
-	p.stats.Flushes++
+	p.ctr.flushes.Add(1)
 	p.met.Flushes.Inc()
 	return nil
 }
@@ -462,21 +696,23 @@ func (p *Pool) FlushFile(id types.FileID) error {
 }
 
 // flushMatching flushes all frames whose page ID matches. Frames are
-// snapshotted first and latched one at a time without the pool mutex held,
-// so a flush never deadlocks against an operation that holds a page latch
-// while fetching another page.
+// snapshotted first and latched one at a time with no shard mutex held, so a
+// flush never deadlocks against an operation that holds a page latch while
+// fetching another page.
 func (p *Pool) flushMatching(match func(types.PageID) bool) error {
-	p.mu.Lock()
-	frames := make([]*Frame, 0, len(p.frames))
-	for _, f := range p.frames {
-		if match(f.ID) {
-			frames = append(frames, f)
+	var frames []*Frame
+	for _, s := range p.shards {
+		s.mu.Lock()
+		for _, f := range s.frames {
+			if match(f.ID) {
+				frames = append(frames, f)
+			}
 		}
+		s.mu.Unlock()
 	}
-	p.mu.Unlock()
-	// Flush in page-ID order, not map order: the fault-injection harness
-	// numbers I/O operations and needs identical runs to issue them in an
-	// identical sequence.
+	// Flush in page-ID order, not map/shard order: the fault-injection
+	// harness numbers I/O operations and needs identical runs to issue them
+	// in an identical sequence.
 	sort.Slice(frames, func(i, j int) bool {
 		a, b := frames[i].ID, frames[j].ID
 		if a.File != b.File {
@@ -486,9 +722,7 @@ func (p *Pool) flushMatching(match func(types.PageID) bool) error {
 	})
 	for _, f := range frames {
 		f.Latch.Acquire(latch.S)
-		p.mu.Lock()
-		err := p.flushFrameLocked(f)
-		p.mu.Unlock()
+		err := p.flushFrame(f)
 		f.Latch.Release(latch.S)
 		if err != nil {
 			return err
@@ -501,15 +735,17 @@ func (p *Pool) flushMatching(match func(types.PageID) bool) error {
 // checkpoints: each dirty page with the RecLSN from which redo must consider
 // it.
 func (p *Pool) DirtyPages() []DirtyPage {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	var dpt []DirtyPage
-	for _, f := range p.frames {
-		f.mu.Lock()
-		if f.dirty {
-			dpt = append(dpt, DirtyPage{ID: f.ID, RecLSN: f.recLSN})
+	for _, s := range p.shards {
+		s.mu.Lock()
+		for _, f := range s.frames {
+			f.mu.Lock()
+			if f.dirty {
+				dpt = append(dpt, DirtyPage{ID: f.ID, RecLSN: f.recLSN})
+			}
+			f.mu.Unlock()
 		}
-		f.mu.Unlock()
+		s.mu.Unlock()
 	}
 	sort.Slice(dpt, func(i, j int) bool { return dpt[i].ID.Less(dpt[j].ID) })
 	return dpt
@@ -518,23 +754,35 @@ func (p *Pool) DirtyPages() []DirtyPage {
 // TruncateFile shrinks a file to n pages, discarding cached frames above the
 // cut. SF restart uses it to make "the keys higher than the checkpointed key
 // disappear from the index" by deallocating pages added after the last index
-// checkpoint (§3.2.4).
+// checkpoint (§3.2.4). All shard mutexes are held (acquired in index order)
+// so no fetch can re-cache a discarded page mid-truncate.
 func (p *Pool) TruncateFile(id types.FileID, n types.PageNum) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	for _, s := range p.shards {
+		s.mu.Lock()
+	}
+	defer func() {
+		for i := len(p.shards) - 1; i >= 0; i-- {
+			p.shards[i].mu.Unlock()
+		}
+	}()
+	for _, s := range p.shards {
+		for pid, f := range s.frames {
+			if pid.File == id && pid.Page >= n {
+				f.mu.Lock()
+				pinned := f.pins > 0
+				f.mu.Unlock()
+				if pinned {
+					return fmt.Errorf("buffer: truncate %d: page %s still pinned", id, pid)
+				}
+				delete(s.frames, pid)
+				s.occupancy.Store(int64(len(s.frames)))
+			}
+		}
+	}
+	p.fmu.Lock()
+	defer p.fmu.Unlock()
 	if err := p.openFileLocked(id); err != nil {
 		return err
-	}
-	for pid, f := range p.frames {
-		if pid.File == id && pid.Page >= n {
-			f.mu.Lock()
-			pinned := f.pins > 0
-			f.mu.Unlock()
-			if pinned {
-				return fmt.Errorf("buffer: truncate %d: page %s still pinned", id, pid)
-			}
-			delete(p.frames, pid)
-		}
 	}
 	if err := p.files[id].Truncate(int64(n) * page.Size); err != nil {
 		return err
@@ -548,16 +796,30 @@ func (p *Pool) TruncateFile(id types.FileID, n types.PageNum) error {
 
 // Stats returns a snapshot of the pool counters.
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return Stats{
+		Fetches:   p.ctr.fetches.Load(),
+		Hits:      p.ctr.hits.Load(),
+		Misses:    p.ctr.misses.Load(),
+		Flushes:   p.ctr.flushes.Load(),
+		Evictions: p.ctr.evictions.Load(),
+	}
+}
+
+// ShardStats returns the per-shard (lookups, evictions) counters, index-
+// aligned with the shard layout. Used by tests and the contention benchmark.
+func (p *Pool) ShardStats() (lookups, evictions []uint64) {
+	for _, s := range p.shards {
+		lookups = append(lookups, s.lookups.Load())
+		evictions = append(evictions, s.evictions.Load())
+	}
+	return lookups, evictions
 }
 
 // Close closes the underlying files without flushing (a crash path closes
 // nothing at all; a clean shutdown calls FlushAll first).
 func (p *Pool) Close() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.fmu.Lock()
+	defer p.fmu.Unlock()
 	for _, f := range p.files {
 		f.Close()
 	}

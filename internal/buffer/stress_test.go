@@ -6,6 +6,7 @@ import (
 
 	"onlineindex/internal/latch"
 	"onlineindex/internal/types"
+	"onlineindex/internal/vfs"
 	"onlineindex/internal/wal"
 )
 
@@ -100,5 +101,122 @@ func TestConcurrentFetchEvictFlush(t *testing.T) {
 	}
 	if pool.Stats().Evictions == 0 {
 		t.Error("stress never evicted (pool too large for the test to mean anything)")
+	}
+}
+
+// TestConcurrentShardedFetchEvictSteal is the multi-shard variant: a 4-shard
+// pool far smaller than the page population, hammered by more goroutines
+// than per-shard capacity so evictions constantly cross shard boundaries
+// through the work-stealing fallback. Page identities must survive the
+// churn, and the per-shard counters must sum to the pool totals.
+func TestConcurrentShardedFetchEvictSteal(t *testing.T) {
+	fs := vfs.NewMemFS()
+	log, err := wal.Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewSharded(fs, log, 16, 4) // 4 frames per shard
+	if got := pool.Shards(); got != 4 {
+		t.Fatalf("Shards() = %d, want 4", got)
+	}
+	const pages = 128
+	pids := make([]types.PageID, 0, pages)
+	for i := 0; i < pages; i++ {
+		f, err := pool.NewPage(1, &testPage{counter: uint64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsn, _ := log.Append(&wal.Record{Type: wal.TypeHeapFormat, Flags: wal.FlagRedo, PageID: f.ID})
+		f.MarkDirty(lsn)
+		pids = append(pids, f.ID)
+		pool.Unpin(f)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Each goroutine cycles a window of pages and holds two pins
+				// at once, so a shard's whole frame list is often pinned and
+				// the evictor must steal from a sibling.
+				a := pids[(i*5+w*17)%pages]
+				b := pids[(i*11+w*3)%pages]
+				fa, err := pool.Fetch(a)
+				if err != nil {
+					t.Errorf("fetch %v: %v", a, err)
+					return
+				}
+				fb, err := pool.Fetch(b)
+				if err != nil {
+					pool.Unpin(fa)
+					t.Errorf("fetch %v: %v", b, err)
+					return
+				}
+				if w%2 == 1 {
+					fb.Latch.Acquire(latch.X)
+					fb.Page().(*testPage).counter += 1000
+					lsn, _ := log.Append(&wal.Record{Type: wal.TypeHeapUpdate, Flags: wal.FlagRedo, PageID: b})
+					fb.MarkDirty(lsn)
+					fb.Latch.Release(latch.X)
+				}
+				pool.Unpin(fb)
+				pool.Unpin(fa)
+			}
+		}(w)
+	}
+	// Concurrent flushes and DPT snapshots take the cross-shard paths.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			if err := pool.FlushAll(); err != nil {
+				t.Errorf("flush: %v", err)
+				return
+			}
+			pool.DirtyPages()
+		}
+	}()
+
+	doneAll := make(chan struct{})
+	go func() { wg.Wait(); close(doneAll) }()
+	for i := 0; i < 200; i++ {
+		pool.Stats() // concurrent per-shard counter aggregation
+	}
+	close(stop)
+	<-doneAll
+
+	for i, pid := range pids {
+		f, err := pool.Fetch(pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := f.Page().(*testPage).counter % 1000; got != uint64(i) {
+			t.Fatalf("page %v identity = %d, want %d", pid, got, i)
+		}
+		pool.Unpin(f)
+	}
+	st := pool.Stats()
+	if st.Evictions == 0 {
+		t.Error("sharded stress never evicted")
+	}
+	lookups, evictions := pool.ShardStats()
+	var sumL, sumE uint64
+	for i := range lookups {
+		sumL += lookups[i]
+		sumE += evictions[i]
+	}
+	if sumE != st.Evictions {
+		t.Errorf("per-shard evictions sum %d != pool total %d", sumE, st.Evictions)
+	}
+	if sumL == 0 {
+		t.Error("per-shard lookup counters never moved")
 	}
 }

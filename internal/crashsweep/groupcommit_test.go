@@ -44,7 +44,7 @@ func TestGroupCommitCrashAtomicity(t *testing.T) {
 	for k := uint64(1); k <= maxPoints; k++ {
 		mem := vfs.NewMemFS()
 		ffs := faultfs.Wrap(mem, faultfs.Config{Mode: faultfs.ModeCrash, Point: k, Seed: 1})
-		db, _, err := openPopulated(ffs, seedRows)
+		db, _, err := openPopulated(ffs, &Scenario{Rows: seedRows})
 		if err != nil {
 			t.Fatalf("point %d: populate: %v", k, err)
 		}

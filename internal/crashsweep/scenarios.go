@@ -30,6 +30,12 @@ type Scenario struct {
 	// Run performs the faulted section. rids are the seed rows' RIDs in
 	// insert order.
 	Run func(db *engine.DB, rids []types.RID) error
+	// Shards is the buffer pool's page-table shard count (0 means 1, the
+	// historical single-shard pool). Scenarios stay single-goroutine either
+	// way; a multi-shard scenario exercises the sharded fetch/eviction paths
+	// under the sweep, which stays deterministic because the shard hash is a
+	// fixed function of the page ID. The lock manager is always 1 stripe.
+	Shards int
 }
 
 // Table schema shared by all scenarios: id (unique by construction),
@@ -198,6 +204,26 @@ func Scenarios() []*Scenario {
 				_, err := core.Build(db, engine.CreateIndexSpec{
 					Name: "by_id", Table: "items", Columns: []string{"id"}, Unique: true, Method: catalog.MethodNSF,
 				}, opts)
+				return err
+			},
+		},
+		{
+			// The SF build again, but on a 2-shard buffer pool: same scripted
+			// DML, different fetch/eviction/flush internals (per-shard clocks,
+			// occasional work-stealing at this small pool size). Its I/O
+			// schedule differs from "sf" — pages flush in the same sorted
+			// order but evict in shard-local clock order — and the sweep only
+			// requires that the schedule be a deterministic function of the
+			// scenario, which the fixed page-ID hash guarantees.
+			Name:   "shard2",
+			Rows:   300,
+			Opts:   sfOpts,
+			Shards: 2,
+			Specs:  []engine.CreateIndexSpec{nameSpec("by_name", catalog.MethodSF)},
+			Run: func(db *engine.DB, rids []types.RID) error {
+				opts := sfOpts
+				opts.OnCheckpoint = observer(db, rids)
+				_, err := core.Build(db, nameSpec("by_name", catalog.MethodSF), opts)
 				return err
 			},
 		},

@@ -120,7 +120,7 @@ func Sweep(sc *Scenario, cfg Config) (*Report, error) {
 	// Count run: enumerate fault points and record the op trace.
 	mem := vfs.NewMemFS()
 	ffs := faultfs.Wrap(mem, faultfs.Config{Mode: faultfs.ModeCount, Trace: true})
-	db, rids, err := openPopulated(ffs, sc.Rows)
+	db, rids, err := openPopulated(ffs, sc)
 	if err != nil {
 		return nil, fmt.Errorf("crashsweep %s: populate: %w", sc.Name, err)
 	}
@@ -203,7 +203,7 @@ func replay(sc *Scenario, seed int64, mode faultfs.Mode, k uint64, trace []fault
 	pr := PointResult{K: k, Mode: mode}
 	mem := vfs.NewMemFS()
 	ffs := faultfs.Wrap(mem, faultfs.Config{Mode: mode, Point: k, Seed: seed, TornOK: tornEligible})
-	db, rids, err := openPopulated(ffs, sc.Rows)
+	db, rids, err := openPopulated(ffs, sc)
 	if err != nil {
 		return pr, fmt.Errorf("populate: %w", err)
 	}
@@ -233,7 +233,8 @@ func replay(sc *Scenario, seed int64, mode faultfs.Mode, k uint64, trace []fault
 	}
 
 	mem.Recover()
-	db2, err := engine.Recover(engine.Config{FS: mem, PoolSize: poolSize, TreeBudget: treeBudget})
+	db2, err := engine.Recover(engine.Config{FS: mem, PoolSize: poolSize, TreeBudget: treeBudget,
+		BufferShards: scenarioShards(sc), LockStripes: 1})
 	if err != nil {
 		return pr, fmt.Errorf("restart recovery: %w", err)
 	}
@@ -243,12 +244,25 @@ func replay(sc *Scenario, seed int64, mode faultfs.Mode, k uint64, trace []fault
 	return pr, nil
 }
 
+// scenarioShards pins the engine's concurrency knobs for a scenario: the
+// buffer pool uses the scenario's shard count (default 1) and the lock
+// manager always one stripe, so fault-point schedules are a pure function of
+// (scenario, seed, point) regardless of the host's core count.
+func scenarioShards(sc *Scenario) int {
+	if sc.Shards > 0 {
+		return sc.Shards
+	}
+	return 1
+}
+
 // openPopulated opens a fresh engine on fs and seeds the "items" table with
 // rows fat enough to span multiple pages, then takes a checkpoint so
 // recovery has a master record. All of this happens before the harness
 // arms, so populate I/O is not part of the fault-point numbering.
-func openPopulated(fs vfs.FS, rows int) (*engine.DB, []types.RID, error) {
-	db, err := engine.Open(engine.Config{FS: fs, PoolSize: poolSize, TreeBudget: treeBudget})
+func openPopulated(fs vfs.FS, sc *Scenario) (*engine.DB, []types.RID, error) {
+	rows := sc.Rows
+	db, err := engine.Open(engine.Config{FS: fs, PoolSize: poolSize, TreeBudget: treeBudget,
+		BufferShards: scenarioShards(sc), LockStripes: 1})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -58,6 +58,14 @@ type Config struct {
 	// SerialCommitForce disables group commit and restores the serial
 	// hold-the-mutex-across-fsync Force. Benchmark baseline only.
 	SerialCommitForce bool
+	// BufferShards is the buffer pool's page-table shard count (rounded up
+	// to a power of two). 0 means min(16, GOMAXPROCS). The deterministic
+	// fault-injection sweep pins it to 1 so I/O schedules replay unchanged.
+	BufferShards int
+	// LockStripes is the lock manager's bucket-map stripe count (rounded up
+	// to a power of two). 0 means min(16, GOMAXPROCS); the fault sweep pins
+	// it to 1.
+	LockStripes int
 }
 
 // DB is the engine instance.
@@ -110,8 +118,8 @@ func Open(cfg Config) (*DB, error) {
 	db := &DB{
 		fs:         cfg.FS,
 		log:        log,
-		pool:       buffer.New(cfg.FS, log, cfg.PoolSize),
-		lock:       lock.NewManager(),
+		pool:       buffer.NewSharded(cfg.FS, log, cfg.PoolSize, cfg.BufferShards),
+		lock:       lock.NewManagerStriped(cfg.LockStripes),
 		cat:        catalog.New(),
 		cfg:        cfg,
 		met:        reg,
@@ -125,8 +133,8 @@ func Open(cfg Config) (*DB, error) {
 	db.log.SetMetrics(wal.MetricsFrom(reg))
 	db.log.SetBatchDelay(cfg.CommitBatchDelay)
 	db.log.SetSerialForce(cfg.SerialCommitForce)
-	db.pool.SetMetrics(buffer.MetricsFrom(reg))
-	db.lock.SetMetrics(lock.MetricsFrom(reg))
+	db.pool.SetMetrics(buffer.MetricsFrom(reg, db.pool.Shards()))
+	db.lock.SetMetrics(lock.MetricsFrom(reg, db.lock.Stripes()))
 	db.txns = txn.NewManager(log, db.lock)
 	db.txns.SetDispatcher(db)
 	return db, nil

@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"onlineindex/internal/buffer"
+	"onlineindex/internal/harness"
+	"onlineindex/internal/lock"
+	"onlineindex/internal/page"
+	"onlineindex/internal/types"
+	"onlineindex/internal/vfs"
+	"onlineindex/internal/wal"
+)
+
+// benchPage is a minimal page type for the buffer-fetch contention
+// microbenchmark: the common header plus a filler word.
+type benchPage struct {
+	page.Header
+	filler uint64
+}
+
+const benchPageKind page.Kind = 201
+
+func init() {
+	page.Register(benchPageKind, func() page.Page { return &benchPage{} })
+}
+
+func (b *benchPage) Kind() page.Kind { return benchPageKind }
+
+func (b *benchPage) MarshalPage() ([]byte, error) {
+	img := make([]byte, page.Size)
+	b.MarshalHeader(img, benchPageKind)
+	binary.LittleEndian.PutUint64(img[page.HeaderSize:], b.filler)
+	return img, nil
+}
+
+func (b *benchPage) UnmarshalPage(img []byte) error {
+	if _, err := b.UnmarshalHeader(img); err != nil {
+		return err
+	}
+	b.filler = binary.LittleEndian.Uint64(img[page.HeaderSize:])
+	return nil
+}
+
+// ConcCell is one shards×stripes configuration of the contention
+// microbenchmark: operations per second per subsystem, best of the
+// interleaved trials.
+type ConcCell struct {
+	Shards       int     `json:"buffer_shards"`
+	Stripes      int     `json:"lock_stripes"`
+	FetchPerSec  float64 `json:"buffer_fetches_per_sec"`
+	LockPerSec   float64 `json:"lock_acquires_per_sec"`
+	AppendPerSec float64 `json:"wal_appends_per_sec"`
+}
+
+// ConcRecord is the machine-readable contention measurement appended to
+// BENCH_build.json by `benchtab -concbench`. Each cell hammers the three
+// refactored singletons in isolation from goroutine fan-out: all-hit buffer
+// fetch/unpin over a cached working set (pure page-table contention),
+// conflict-free record lock/unlock pairs (pure bucket-map contention), and
+// small-record WAL appends with no forcing (pure LSN-reservation
+// contention). The WAL has no shard knob — its append path is the same
+// lock-free reserve-then-copy in every cell — so its column should be flat
+// across the matrix; it rides along as the control.
+type ConcRecord struct {
+	Kind       string     `json:"kind"` // "concbench"
+	NumCPU     int        `json:"num_cpu"`
+	Goroutines int        `json:"goroutines"`
+	Trials     int        `json:"trials"`
+	Results    []ConcCell `json:"results"`
+}
+
+// concBenchDur is the per-trial measurement window. Short, because every
+// (cell, subsystem) pair runs once per trial and the trials interleave.
+const concBenchDur = 50 * time.Millisecond
+
+// concurrentOpsPerSec fans work out over goroutines for roughly dur: each
+// goroutine repeatedly calls op with a per-goroutine iteration counter.
+// Returns total ops per second.
+func concurrentOpsPerSec(goroutines int, dur time.Duration, op func(g, i int) error) (float64, error) {
+	var stop atomic.Bool
+	counts := make([]int64, goroutines)
+	errs := make([]error, goroutines)
+	var ready, done sync.WaitGroup
+	start := make(chan struct{})
+	ready.Add(goroutines)
+	done.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer done.Done()
+			ready.Done()
+			<-start
+			for i := 0; !stop.Load(); i++ {
+				if err := op(g, i); err != nil {
+					errs[g] = err
+					return
+				}
+				counts[g]++
+			}
+		}(g)
+	}
+	ready.Wait()
+	begin := time.Now()
+	close(start)
+	time.Sleep(dur)
+	stop.Store(true)
+	done.Wait()
+	elapsed := time.Since(begin)
+	var total int64
+	for g := range counts {
+		if errs[g] != nil {
+			return 0, errs[g]
+		}
+		total += counts[g]
+	}
+	return float64(total) / elapsed.Seconds(), nil
+}
+
+// MeasureBufferFetch measures all-hit Fetch/Unpin throughput on a pool with
+// the given shard count: the working set (64 pages) is far under the pool
+// capacity, so no I/O and no eviction happen inside the window and the
+// measurement isolates page-table lookup contention.
+func MeasureBufferFetch(shards, goroutines int, dur time.Duration) (float64, error) {
+	const pages = 64
+	pool := buffer.NewSharded(vfs.NewMemFS(), nil, 4*pages, shards)
+	ids := make([]types.PageID, pages)
+	for i := range ids {
+		fr, err := pool.NewPage(1, &benchPage{filler: uint64(i)})
+		if err != nil {
+			return 0, err
+		}
+		ids[i] = fr.ID
+		pool.Unpin(fr)
+	}
+	defer pool.Close()
+	return concurrentOpsPerSec(goroutines, dur, func(g, i int) error {
+		fr, err := pool.Fetch(ids[(i*7+g*13)%pages])
+		if err != nil {
+			return err
+		}
+		pool.Unpin(fr)
+		return nil
+	})
+}
+
+// MeasureLockAcquire measures conflict-free Lock(S)/Unlock pair throughput
+// on a manager with the given stripe count: each goroutine cycles over its
+// own record names, so no request ever blocks and the measurement isolates
+// bucket-map latch contention.
+func MeasureLockAcquire(stripes, goroutines int, dur time.Duration) (float64, error) {
+	m := lock.NewManagerStriped(stripes)
+	const namesPer = 64
+	return concurrentOpsPerSec(goroutines, dur, func(g, i int) error {
+		rid := types.RID{
+			PageID: types.PageID{File: types.FileID(g + 1), Page: types.PageNum(i % namesPer)},
+			Slot:   types.SlotNum(g),
+		}
+		name := lock.RecordName(rid)
+		txn := types.TxnID(g + 1)
+		if err := m.Lock(txn, name, lock.S); err != nil {
+			return err
+		}
+		m.Unlock(txn, name)
+		return nil
+	})
+}
+
+// MeasureWALAppend measures small-record Append throughput with no forcing:
+// pure LSN-reservation contention on the lock-free reserve-then-copy path.
+func MeasureWALAppend(goroutines int, dur time.Duration) (float64, error) {
+	log, err := wal.Open(vfs.NewMemFS())
+	if err != nil {
+		return 0, err
+	}
+	defer log.Close()
+	var payload [24]byte
+	return concurrentOpsPerSec(goroutines, dur, func(g, i int) error {
+		r := wal.Record{Type: wal.TypeHeapInsert, TxnID: types.TxnID(g + 1), Flags: wal.FlagRedo, Payload: payload[:]}
+		_, err := log.Append(&r)
+		return err
+	})
+}
+
+// ConcBench runs the shards×stripes contention matrix at 8 goroutines,
+// best-of-5 with the trials interleaved across cells so every configuration
+// sees the same machine drift, and returns the BENCH_build.json record.
+func ConcBench(cfg Config) (ConcRecord, error) {
+	const (
+		goroutines = 8
+		trials     = 5
+	)
+	configs := []struct{ shards, stripes int }{
+		{1, 1}, {2, 2}, {4, 4}, {8, 8}, {16, 16},
+	}
+	rec := ConcRecord{
+		Kind:       "concbench",
+		NumCPU:     runtime.NumCPU(),
+		Goroutines: goroutines,
+		Trials:     trials,
+	}
+	for _, c := range configs {
+		rec.Results = append(rec.Results, ConcCell{Shards: c.shards, Stripes: c.stripes})
+	}
+	for t := 0; t < trials; t++ {
+		for i, c := range configs {
+			cell := &rec.Results[i]
+			fetch, err := MeasureBufferFetch(c.shards, goroutines, concBenchDur)
+			if err != nil {
+				return rec, fmt.Errorf("concbench shards=%d fetch: %w", c.shards, err)
+			}
+			locks, err := MeasureLockAcquire(c.stripes, goroutines, concBenchDur)
+			if err != nil {
+				return rec, fmt.Errorf("concbench stripes=%d lock: %w", c.stripes, err)
+			}
+			appends, err := MeasureWALAppend(goroutines, concBenchDur)
+			if err != nil {
+				return rec, fmt.Errorf("concbench wal append: %w", err)
+			}
+			if fetch > cell.FetchPerSec {
+				cell.FetchPerSec = fetch
+			}
+			if locks > cell.LockPerSec {
+				cell.LockPerSec = locks
+			}
+			if appends > cell.AppendPerSec {
+				cell.AppendPerSec = appends
+			}
+		}
+	}
+	rows := make([][]string, len(rec.Results))
+	for i, c := range rec.Results {
+		rows[i] = []string{
+			fmt.Sprintf("%d", c.Shards), fmt.Sprintf("%d", c.Stripes),
+			fmt.Sprintf("%.0f", c.FetchPerSec), fmt.Sprintf("%.0f", c.LockPerSec),
+			fmt.Sprintf("%.0f", c.AppendPerSec),
+		}
+	}
+	cfg.printf("%s\n", harness.Table(
+		fmt.Sprintf("Singleton contention, %d goroutines on %d CPUs (ops/s, best of %d)",
+			goroutines, rec.NumCPU, trials),
+		[]string{"shards", "stripes", "buffer fetch/s", "lock pair/s", "wal append/s"},
+		rows))
+	return rec, nil
+}

@@ -16,12 +16,25 @@
 //
 // The index builder itself never locks data while extracting keys — that is
 // the whole point of the execution model (§1.1).
+//
+// The bucket map is striped: each lock name hashes to one of M
+// independently-latched stripes holding its own lock heads, wait queues and
+// waits-for edges, so lock traffic on unrelated names never serializes.
+// Deadlock detection needs a consistent snapshot of the whole waits-for
+// graph, so after enqueuing (edges installed stripe-locally first) the
+// requester acquires every stripe mutex in ascending index order and runs
+// the cycle search over the union — the fixed acquisition order makes
+// concurrent detectors deadlock-free among themselves, and because every
+// waiter installs its edges before detecting, the detector that adds the
+// cycle-closing edge is guaranteed to see the whole cycle.
 package lock
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"onlineindex/internal/metrics"
@@ -181,50 +194,146 @@ type Metrics struct {
 	// WaitNs observes how long blocked requests waited, in nanoseconds
 	// (granted or victimized alike — the time was spent either way).
 	WaitNs *metrics.Histogram
+	// StripeWaits[i] counts requests that blocked on stripe i (contention
+	// observability: a skewed distribution marks a hot stripe).
+	StripeWaits []*metrics.Counter
 }
 
-// MetricsFrom resolves the manager's standard instrument names on r.
-func MetricsFrom(r *metrics.Registry) Metrics {
-	return Metrics{
+// MetricsFrom resolves the manager's standard instrument names on r,
+// including per-stripe wait counters for stripes stripes.
+func MetricsFrom(r *metrics.Registry, stripes int) Metrics {
+	m := Metrics{
 		Requests:  r.Counter("lock.requests"),
 		Waits:     r.Counter("lock.waits"),
 		Deadlocks: r.Counter("lock.deadlocks"),
 		WaitNs:    r.Histogram("lock.wait_ns", metrics.ExpBounds(1<<12, 20)), // 4µs .. ~2s
 	}
+	for i := 0; i < stripes; i++ {
+		m.StripeWaits = append(m.StripeWaits, r.Counter(fmt.Sprintf("lock.stripe_waits.%d", i)))
+	}
+	return m
+}
+
+// stripe is one independently-latched slice of the bucket map.
+type stripe struct {
+	mu    sync.Mutex
+	locks map[Name]*lockHead
+	// waitsFor[t] is the set of transactions t currently waits behind. A
+	// transaction waits on at most one name at a time, so its edges live in
+	// exactly the stripe of that name; the deadlock detector unions the
+	// per-stripe maps under the full stripe lock set.
+	waitsFor map[types.TxnID]map[types.TxnID]struct{}
+
+	waits  atomic.Uint64
+	mWaits *metrics.Counter
 }
 
 // Manager is the lock manager. Safe for concurrent use.
+//
+// Lock ordering: a stripe mutex may be taken before heldMu, never the other
+// way around; multiple stripe mutexes are only ever acquired in ascending
+// index order (deadlock detection, ReleaseAll).
 type Manager struct {
-	mu    sync.Mutex
-	locks map[Name]*lockHead
-	held  map[types.TxnID]map[Name]struct{} // for ReleaseAll
-	// waitsFor[t] is the set of transactions t currently waits behind.
-	waitsFor map[types.TxnID]map[types.TxnID]struct{}
-	stats    Stats
-	met      Metrics
+	stripes []*stripe
+	mask    uint64
+
+	heldMu sync.Mutex
+	held   map[types.TxnID]map[Name]struct{} // for ReleaseAll
+
+	ctr struct {
+		requests    atomic.Uint64
+		grants      atomic.Uint64
+		waits       atomic.Uint64
+		conditional atomic.Uint64
+		deadlocks   atomic.Uint64
+	}
+	met Metrics
 }
 
 // SetMetrics attaches registry handles. Call before concurrent use.
 func (m *Manager) SetMetrics(mt Metrics) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.met = mt
+	for i, s := range m.stripes {
+		if i < len(mt.StripeWaits) {
+			s.mWaits = mt.StripeWaits[i]
+		}
+	}
 }
 
-// NewManager returns an empty lock manager.
-func NewManager() *Manager {
-	return &Manager{
-		locks:    make(map[Name]*lockHead),
-		held:     make(map[types.TxnID]map[Name]struct{}),
-		waitsFor: make(map[types.TxnID]map[types.TxnID]struct{}),
+// DefaultStripes is the stripe count used when a caller passes 0: one per
+// core up to 16.
+func DefaultStripes() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 16 {
+		n = 16
 	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// NewManager returns an empty lock manager with the default stripe count.
+func NewManager() *Manager { return NewManagerStriped(0) }
+
+// NewManagerStriped returns an empty lock manager with the given number of
+// bucket-map stripes (rounded up to a power of two; 0 means DefaultStripes).
+// The deterministic fault-injection sweep pins it to 1.
+func NewManagerStriped(stripes int) *Manager {
+	if stripes <= 0 {
+		stripes = DefaultStripes()
+	}
+	n := 1
+	for n < stripes {
+		n <<= 1
+	}
+	m := &Manager{
+		mask: uint64(n - 1),
+		held: make(map[types.TxnID]map[Name]struct{}),
+	}
+	for i := 0; i < n; i++ {
+		m.stripes = append(m.stripes, &stripe{
+			locks:    make(map[Name]*lockHead),
+			waitsFor: make(map[types.TxnID]map[types.TxnID]struct{}),
+		})
+	}
+	return m
+}
+
+// Stripes returns the manager's stripe count.
+func (m *Manager) Stripes() int { return len(m.stripes) }
+
+// stripeFor hashes a lock name to its stripe (splitmix64 finalizer over the
+// name words; fixed, so deterministic across runs).
+func (m *Manager) stripeFor(name Name) *stripe {
+	h := uint64(name.Space)*0x9e3779b97f4a7c15 ^ name.A ^ name.B*0xff51afd7ed558ccd
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return m.stripes[h&m.mask]
 }
 
 // Stats returns a snapshot of the activity counters.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	return Stats{
+		Requests:    m.ctr.requests.Load(),
+		Grants:      m.ctr.grants.Load(),
+		Waits:       m.ctr.waits.Load(),
+		Conditional: m.ctr.conditional.Load(),
+		Deadlocks:   m.ctr.deadlocks.Load(),
+	}
+}
+
+// StripeWaits returns the per-stripe blocked-request counters, index-aligned
+// with the stripe layout.
+func (m *Manager) StripeWaits() []uint64 {
+	out := make([]uint64, len(m.stripes))
+	for i, s := range m.stripes {
+		out[i] = s.waits.Load()
+	}
+	return out
 }
 
 // Lock acquires name in the given mode for txn, blocking until granted. If
@@ -256,14 +365,15 @@ func (m *Manager) LockConditionalInstant(txn types.TxnID, name Name, mode Mode) 
 }
 
 func (m *Manager) lock(txn types.TxnID, name Name, mode Mode, conditional, instant bool) error {
-	m.mu.Lock()
-	m.stats.Requests++
+	s := m.stripeFor(name)
+	s.mu.Lock()
+	m.ctr.requests.Add(1)
 	m.met.Requests.Inc()
 
-	lh := m.locks[name]
+	lh := s.locks[name]
 	if lh == nil {
 		lh = &lockHead{holders: make(map[types.TxnID]*holder)}
-		m.locks[name] = lh
+		s.locks[name] = lh
 	}
 
 	h := lh.holders[txn]
@@ -272,8 +382,8 @@ func (m *Manager) lock(txn types.TxnID, name Name, mode Mode, conditional, insta
 	if h != nil {
 		if h.mode.Covers(mode) {
 			h.count++
-			m.stats.Grants++
-			m.mu.Unlock()
+			m.ctr.grants.Add(1)
+			s.mu.Unlock()
 			if instant {
 				m.Unlock(txn, name)
 			}
@@ -289,7 +399,7 @@ func (m *Manager) lock(txn types.TxnID, name Name, mode Mode, conditional, insta
 		// owns the lock and making it wait behind new requesters risks
 		// avoidable deadlocks); fresh requests must respect FIFO fairness.
 		m.grantLocked(lh, txn, name, target, convert)
-		m.mu.Unlock()
+		s.mu.Unlock()
 		if instant {
 			m.Unlock(txn, name)
 		}
@@ -297,8 +407,8 @@ func (m *Manager) lock(txn types.TxnID, name Name, mode Mode, conditional, insta
 	}
 
 	if conditional {
-		m.stats.Conditional++
-		m.mu.Unlock()
+		m.ctr.conditional.Add(1)
+		s.mu.Unlock()
 		return ErrWouldBlock
 	}
 
@@ -316,20 +426,44 @@ func (m *Manager) lock(txn types.TxnID, name Name, mode Mode, conditional, insta
 	} else {
 		lh.queue = append(lh.queue, w)
 	}
-	m.stats.Waits++
+	m.ctr.waits.Add(1)
 	m.met.Waits.Inc()
-	m.updateWaitEdgesLocked(lh, name)
+	s.waits.Add(1)
+	s.mWaits.Inc()
+	m.updateWaitEdgesLocked(s, lh)
 
-	if m.deadlockLocked(txn) {
-		m.stats.Deadlocks++
-		m.met.Deadlocks.Inc()
-		m.removeWaiterLocked(lh, name, w)
-		m.mu.Unlock()
-		return ErrDeadlock
+	// Deadlock detection. The single-stripe manager checks inline; with
+	// multiple stripes the waits-for graph spans them, so the stripe mutex
+	// is dropped and the full set re-acquired in index order for a
+	// consistent snapshot. The edges above are already installed, so if this
+	// request closed a cycle some detector holding the full lock set — this
+	// one, unless a concurrent one beat it to a different victim — sees it.
+	if len(m.stripes) == 1 {
+		if m.deadlockLocked(txn) {
+			m.ctr.deadlocks.Add(1)
+			m.met.Deadlocks.Inc()
+			m.removeWaiterLocked(s, lh, name, w)
+			s.mu.Unlock()
+			return ErrDeadlock
+		}
+		s.mu.Unlock()
+	} else {
+		s.mu.Unlock()
+		m.lockAllStripes()
+		// The request may have been granted while no lock was held; a
+		// granted waiter is off the queue and contributes no edges, so skip
+		// detection and fall through to the (already-closed) channel.
+		if !w.granted && !w.dead && m.deadlockLocked(txn) {
+			m.ctr.deadlocks.Add(1)
+			m.met.Deadlocks.Inc()
+			m.removeWaiterLocked(s, lh, name, w)
+			m.unlockAllStripes()
+			return ErrDeadlock
+		}
+		m.unlockAllStripes()
 	}
-	waitHist := m.met.WaitNs
-	m.mu.Unlock()
 
+	waitHist := m.met.WaitNs
 	var waitStart time.Time
 	if waitHist != nil {
 		waitStart = time.Now()
@@ -339,9 +473,9 @@ func (m *Manager) lock(txn types.TxnID, name Name, mode Mode, conditional, insta
 		waitHist.Observe(uint64(time.Since(waitStart).Nanoseconds()))
 	}
 
-	m.mu.Lock()
+	s.mu.Lock()
 	dead := w.dead
-	m.mu.Unlock()
+	s.mu.Unlock()
 	if dead {
 		return ErrDeadlock
 	}
@@ -351,9 +485,23 @@ func (m *Manager) lock(txn types.TxnID, name Name, mode Mode, conditional, insta
 	return nil
 }
 
+// lockAllStripes acquires every stripe mutex in ascending index order — the
+// fixed order makes concurrent full-graph acquirers deadlock-free.
+func (m *Manager) lockAllStripes() {
+	for _, s := range m.stripes {
+		s.mu.Lock()
+	}
+}
+
+func (m *Manager) unlockAllStripes() {
+	for i := len(m.stripes) - 1; i >= 0; i-- {
+		m.stripes[i].mu.Unlock()
+	}
+}
+
 // grantableLocked reports whether txn can hold `target` on lh given the
-// other current holders. For conversions the transaction's own hold is
-// ignored.
+// other current holders. The caller holds lh's stripe mutex. For conversions
+// the transaction's own hold is ignored.
 func (m *Manager) grantableLocked(lh *lockHead, txn types.TxnID, target Mode, convert bool) bool {
 	for t, h := range lh.holders {
 		if t == txn {
@@ -375,13 +523,15 @@ func (m *Manager) grantLocked(lh *lockHead, txn types.TxnID, name Name, target M
 	}
 	h.mode = target
 	h.count++
-	m.stats.Grants++
+	m.ctr.grants.Add(1)
+	m.heldMu.Lock()
 	hs := m.held[txn]
 	if hs == nil {
 		hs = make(map[Name]struct{})
 		m.held[txn] = hs
 	}
 	hs[name] = struct{}{}
+	m.heldMu.Unlock()
 	_ = convert
 }
 
@@ -389,9 +539,10 @@ func (m *Manager) grantLocked(lh *lockHead, txn types.TxnID, name Name, target M
 // when its acquisition count reaches zero, at which point waiters are
 // re-examined.
 func (m *Manager) Unlock(txn types.TxnID, name Name) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	lh := m.locks[name]
+	s := m.stripeFor(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lh := s.locks[name]
 	if lh == nil {
 		return
 	}
@@ -404,31 +555,56 @@ func (m *Manager) Unlock(txn types.TxnID, name Name) {
 		return
 	}
 	delete(lh.holders, txn)
+	m.heldMu.Lock()
 	if hs := m.held[txn]; hs != nil {
 		delete(hs, name)
 	}
-	m.wakeLocked(lh, name)
+	m.heldMu.Unlock()
+	m.wakeLocked(s, lh, name)
 }
 
 // ReleaseAll releases every lock txn holds (commit/rollback time).
 func (m *Manager) ReleaseAll(txn types.TxnID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	// Snapshot the held set first: the lock order is stripe before heldMu,
+	// so the names must be in hand before any stripe mutex is taken. The
+	// owning transaction is the only caller and is not concurrently
+	// acquiring, so the snapshot is exact.
+	m.heldMu.Lock()
+	names := make([]Name, 0, len(m.held[txn]))
 	for name := range m.held[txn] {
-		lh := m.locks[name]
-		if lh == nil {
-			continue
-		}
-		delete(lh.holders, txn)
-		m.wakeLocked(lh, name)
+		names = append(names, name)
 	}
 	delete(m.held, txn)
-	delete(m.waitsFor, txn)
+	m.heldMu.Unlock()
+
+	byStripe := make(map[*stripe][]Name)
+	for _, name := range names {
+		s := m.stripeFor(name)
+		byStripe[s] = append(byStripe[s], name)
+	}
+	for _, s := range m.stripes {
+		ns, ok := byStripe[s]
+		if !ok {
+			continue
+		}
+		s.mu.Lock()
+		for _, name := range ns {
+			lh := s.locks[name]
+			if lh == nil {
+				continue
+			}
+			delete(lh.holders, txn)
+			m.wakeLocked(s, lh, name)
+		}
+		delete(s.waitsFor, txn)
+		s.mu.Unlock()
+	}
 }
 
 // wakeLocked grants queued requests that are now compatible, in FIFO order,
 // stopping at the first ungrantable one (no barging past blocked waiters).
-func (m *Manager) wakeLocked(lh *lockHead, name Name) {
+// The caller holds s.mu.
+func (m *Manager) wakeLocked(s *stripe, lh *lockHead, name Name) {
 	for len(lh.queue) > 0 {
 		w := lh.queue[0]
 		if !m.grantableLocked(lh, w.txn, w.mode, w.convert) {
@@ -437,19 +613,19 @@ func (m *Manager) wakeLocked(lh *lockHead, name Name) {
 		lh.queue = lh.queue[1:]
 		m.grantLocked(lh, w.txn, name, w.mode, w.convert)
 		w.granted = true
-		delete(m.waitsFor, w.txn)
+		delete(s.waitsFor, w.txn)
 		close(w.ch)
 	}
-	m.updateWaitEdgesLocked(lh, name)
+	m.updateWaitEdgesLocked(s, lh)
 	if len(lh.holders) == 0 && len(lh.queue) == 0 {
-		delete(m.locks, name)
+		delete(s.locks, name)
 	}
 }
 
 // updateWaitEdgesLocked recomputes the waits-for edges contributed by lh's
 // queue: each waiter waits for all incompatible holders and all earlier
-// incompatible waiters.
-func (m *Manager) updateWaitEdgesLocked(lh *lockHead, name Name) {
+// incompatible waiters. The caller holds s.mu; all of lh's edges live in s.
+func (m *Manager) updateWaitEdgesLocked(s *stripe, lh *lockHead) {
 	for i, w := range lh.queue {
 		edges := make(map[types.TxnID]struct{})
 		for t, h := range lh.holders {
@@ -463,12 +639,25 @@ func (m *Manager) updateWaitEdgesLocked(lh *lockHead, name Name) {
 				edges[prev.txn] = struct{}{}
 			}
 		}
-		m.waitsFor[w.txn] = edges
+		s.waitsFor[w.txn] = edges
 	}
-	_ = name
 }
 
-// deadlockLocked reports whether start is part of a waits-for cycle.
+// edgesLocked returns t's outgoing waits-for edges. A transaction waits on
+// at most one name, so at most one stripe has an entry. The caller holds
+// every stripe mutex (multi-stripe) or the single stripe mutex.
+func (m *Manager) edgesLocked(t types.TxnID) map[types.TxnID]struct{} {
+	for _, s := range m.stripes {
+		if e, ok := s.waitsFor[t]; ok {
+			return e
+		}
+	}
+	return nil
+}
+
+// deadlockLocked reports whether start is part of a waits-for cycle. The
+// caller holds the stripe mutexes covering the whole graph (all of them when
+// striped).
 func (m *Manager) deadlockLocked(start types.TxnID) bool {
 	seen := make(map[types.TxnID]bool)
 	var dfs func(t types.TxnID) bool
@@ -480,14 +669,14 @@ func (m *Manager) deadlockLocked(start types.TxnID) bool {
 			return false
 		}
 		seen[t] = true
-		for next := range m.waitsFor[t] {
+		for next := range m.edgesLocked(t) {
 			if dfs(next) {
 				return true
 			}
 		}
 		return false
 	}
-	for next := range m.waitsFor[start] {
+	for next := range m.edgesLocked(start) {
 		if next == start || dfs(next) {
 			return true
 		}
@@ -495,7 +684,9 @@ func (m *Manager) deadlockLocked(start types.TxnID) bool {
 	return false
 }
 
-func (m *Manager) removeWaiterLocked(lh *lockHead, name Name, w *waiter) {
+// removeWaiterLocked unqueues a victimized waiter. The caller holds s.mu (at
+// least; the multi-stripe detector holds all).
+func (m *Manager) removeWaiterLocked(s *stripe, lh *lockHead, name Name, w *waiter) {
 	for i, q := range lh.queue {
 		if q == w {
 			lh.queue = append(lh.queue[:i], lh.queue[i+1:]...)
@@ -503,17 +694,18 @@ func (m *Manager) removeWaiterLocked(lh *lockHead, name Name, w *waiter) {
 		}
 	}
 	w.dead = true
-	delete(m.waitsFor, w.txn)
+	delete(s.waitsFor, w.txn)
 	// Removing a waiter can unblock those queued behind it.
-	m.wakeLocked(lh, name)
+	m.wakeLocked(s, lh, name)
 }
 
 // HoldsAtLeast reports whether txn currently holds name in a mode covering
 // `mode`. Used by assertions and by the unique-key commit check.
 func (m *Manager) HoldsAtLeast(txn types.TxnID, name Name, mode Mode) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	lh := m.locks[name]
+	s := m.stripeFor(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lh := s.locks[name]
 	if lh == nil {
 		return false
 	}
@@ -523,7 +715,7 @@ func (m *Manager) HoldsAtLeast(txn types.TxnID, name Name, mode Mode) bool {
 
 // HeldCount returns the number of distinct lock names txn holds.
 func (m *Manager) HeldCount(txn types.TxnID) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.heldMu.Lock()
+	defer m.heldMu.Unlock()
 	return len(m.held[txn])
 }

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"onlineindex/internal/metrics"
@@ -28,45 +30,87 @@ const (
 
 // Log is the append-only write-ahead log.
 //
-// Appends go to an in-memory tail buffer; Force writes buffered records
-// through to the VFS file and syncs them, advancing FlushedLSN. The buffer
-// pool enforces the WAL protocol by calling Force(pageLSN) before writing a
-// dirty page, and the transaction manager forces the log at commit.
+// Appends use a reserve-then-copy protocol that never takes the log mutex on
+// the fast path: a CAS on the active segment's reserved-offset counter claims
+// an LSN range, the record bytes are copied into the claimed range with no
+// lock held, and a completion watermark (the segment's done counter) publishes
+// the copy. A flush never writes a hole because sealing a segment waits until
+// every claimed range has published — done == reserved means each reservation
+// copied exactly its own bytes, so the sealed prefix is contiguous.
 //
-// Forcing is group commit with a double buffer: the log keeps an append
-// buffer (buf) and at most one in-flight flush buffer (inflight). The first
-// Force caller that finds no flush in flight becomes the leader of a flush
-// epoch: it swaps the append buffer out, releases the mutex, and performs one
-// WriteAt+Sync covering every record appended so far. Concurrent Force
-// callers whose target the in-flight epoch covers park on the epoch and share
-// the leader's outcome — one fsync durably commits the whole batch, and a
-// failed Sync fails every waiter of that epoch. Append only ever touches the
-// append buffer, so it never waits behind an in-flight fsync.
+// Forcing is group commit with a double buffer, unchanged from the original
+// protocol: the first Force caller that finds no flush in flight becomes the
+// leader of a flush epoch, seals the active segment (rotating in a fresh one),
+// releases the mutex, and performs one WriteAt+Sync covering every record
+// appended so far. Concurrent Force callers whose target the in-flight epoch
+// covers park on the epoch and share the leader's outcome — one fsync durably
+// commits the whole batch, and a failed Sync fails every waiter of that epoch.
+// Append never waits behind an in-flight fsync.
 //
 // Log is safe for concurrent use.
 type Log struct {
 	mu      sync.Mutex
 	f       vfs.File
-	nextLSN types.LSN // LSN the next record will receive
 	flushed types.LSN // all records with LSN < flushed are durable
 
-	// buf holds records not yet handed to a flush: [flushed, nextLSN) when
-	// idle, [flushed+len(inflight), nextLSN) while a flush is in flight.
-	buf []byte
+	// seg is the active append segment: reservations CAS its state counter
+	// and copy outside the mutex. Rotation (seal + replace) happens only
+	// under mu.
+	seg atomic.Pointer[walSeg]
+	// head holds sealed-but-unflushed bytes older than the active segment:
+	// [flushed+len(inflight), seg.base). Iterator rotations and failed
+	// flushes park bytes here; the next flush writes head first.
+	head []byte
 	// inflight holds the records the current epoch's leader is writing:
 	// [flushed, flushed+len(inflight)). Empty when no flush is in flight.
 	inflight []byte
-	// spare recycles the buffer a successful flush retires, so steady-state
-	// group commit ping-pongs between two arrays instead of reallocating.
-	spare []byte
+	// spareSeg recycles a retired segment's array so steady-state rotation
+	// ping-pongs between two arrays instead of reallocating.
+	spareSeg []byte
 
 	flushing   bool        // a leader is (or is about to be) flushing
 	curEpoch   *flushEpoch // epoch accepting waiters; nil unless flushing
 	batchDelay time.Duration
 	serial     bool // legacy serial-Force path (benchmark baseline)
 
-	stats Stats
-	met   Metrics
+	ctr walCounters
+	met Metrics
+}
+
+// walSeg is one append segment. base and data are immutable after
+// construction; state packs the reserved byte count with the seal bit, and
+// done counts bytes whose copy has completed (the completion watermark:
+// done == reserved means no reservation is still copying).
+type walSeg struct {
+	base  types.LSN // LSN of data[0]
+	data  []byte    // fixed-size backing array (len == cap)
+	state atomic.Int64
+	done  atomic.Int64
+}
+
+// segSealed marks a segment closed to new reservations: appenders that see it
+// reload the segment pointer (the rotator installs the successor under mu).
+const segSealed = int64(1) << 62
+
+// segDefaultSize is the capacity of a fresh append segment. Oversized records
+// get a dedicated larger segment.
+const segDefaultSize = 64 << 10
+
+// walCounters are the log's internal statistics, atomic because Append
+// updates them with no lock held.
+type walCounters struct {
+	records        atomic.Uint64
+	bytes          atomic.Uint64
+	forces         atomic.Uint64
+	forceAttempts  atomic.Uint64
+	forceErrors    atomic.Uint64
+	reserveRetries atomic.Uint64
+	byType         [numRecTypes]typeCounters
+}
+
+type typeCounters struct {
+	records atomic.Uint64
+	bytes   atomic.Uint64
 }
 
 // flushEpoch is one group flush: everyone whose commit the leader's single
@@ -76,7 +120,7 @@ type flushEpoch struct {
 	err  error
 	// end is the first LSN NOT covered by this epoch. Zero while the leader
 	// is still accumulating (batch-delay window): joiners' targets are
-	// covered by construction, because the leader swaps the append buffer
+	// covered by construction, because the leader seals the append segment
 	// after they joined.
 	end     types.LSN
 	waiters uint64 // batch size: leader + parked waiters
@@ -93,6 +137,9 @@ type Metrics struct {
 	Forces        *metrics.Counter
 	ForceAttempts *metrics.Counter
 	ForceErrors   *metrics.Counter
+	// ReserveRetries counts Append reservation CAS attempts that lost the
+	// race and retried — the residual contention on the lock-free path.
+	ReserveRetries *metrics.Counter
 	// BatchSize observes committers per group flush; WaitNs observes how
 	// long a parked committer waited for its epoch's leader.
 	BatchSize *metrics.Histogram
@@ -102,13 +149,14 @@ type Metrics struct {
 // MetricsFrom resolves the log's standard instrument names on r.
 func MetricsFrom(r *metrics.Registry) Metrics {
 	return Metrics{
-		Records:       r.Counter("wal.records"),
-		Bytes:         r.Counter("wal.bytes"),
-		Forces:        r.Counter("wal.forces"),
-		ForceAttempts: r.Counter("wal.force_attempts"),
-		ForceErrors:   r.Counter("wal.force_errors"),
-		BatchSize:     r.Histogram("wal.group_commit.batch_size", metrics.ExpBounds(1, 10)),
-		WaitNs:        r.Histogram("wal.group_commit.wait_ns", metrics.ExpBounds(1024, 21)),
+		Records:        r.Counter("wal.records"),
+		Bytes:          r.Counter("wal.bytes"),
+		Forces:         r.Counter("wal.forces"),
+		ForceAttempts:  r.Counter("wal.force_attempts"),
+		ForceErrors:    r.Counter("wal.force_errors"),
+		ReserveRetries: r.Counter("wal.reserve_retries"),
+		BatchSize:      r.Histogram("wal.group_commit.batch_size", metrics.ExpBounds(1, 10)),
+		WaitNs:         r.Histogram("wal.group_commit.wait_ns", metrics.ExpBounds(1024, 21)),
 	}
 }
 
@@ -120,7 +168,7 @@ func (l *Log) SetMetrics(m Metrics) {
 }
 
 // SetBatchDelay sets the group-commit max batch delay: how long a flush
-// leader lingers before swapping the append buffer, letting more committers
+// leader lingers before sealing the append segment, letting more committers
 // pile into its epoch. Zero (the default) flushes immediately; latency is
 // then bounded by the in-flight fsync alone. Call before concurrent use.
 func (l *Log) SetBatchDelay(d time.Duration) {
@@ -149,6 +197,8 @@ type Stats struct {
 	Forces        uint64
 	ForceAttempts uint64
 	ForceErrors   uint64
+	// ReserveRetries counts Append LSN-reservation CAS retries.
+	ReserveRetries uint64
 	// Per-type record counts and bytes.
 	ByType [numRecTypes]TypeStats
 }
@@ -162,11 +212,12 @@ type TypeStats struct {
 // Delta returns s minus prev, counter-wise.
 func (s Stats) Delta(prev Stats) Stats {
 	d := Stats{
-		Records:       s.Records - prev.Records,
-		Bytes:         s.Bytes - prev.Bytes,
-		Forces:        s.Forces - prev.Forces,
-		ForceAttempts: s.ForceAttempts - prev.ForceAttempts,
-		ForceErrors:   s.ForceErrors - prev.ForceErrors,
+		Records:        s.Records - prev.Records,
+		Bytes:          s.Bytes - prev.Bytes,
+		Forces:         s.Forces - prev.Forces,
+		ForceAttempts:  s.ForceAttempts - prev.ForceAttempts,
+		ForceErrors:    s.ForceErrors - prev.ForceErrors,
+		ReserveRetries: s.ReserveRetries - prev.ReserveRetries,
 	}
 	for i := range s.ByType {
 		d.ByType[i] = TypeStats{
@@ -200,26 +251,29 @@ func Open(fs vfs.FS) (*Log, error) {
 	if err != nil {
 		return nil, err
 	}
-	l := &Log{f: f, nextLSN: 1, flushed: 1}
+	l := &Log{f: f, flushed: 1}
+	base := types.LSN(1)
 	if exists {
-		if err := l.recoverTail(); err != nil {
+		base, err = l.recoverTail()
+		if err != nil {
 			return nil, err
 		}
 	}
+	l.seg.Store(&walSeg{base: base, data: make([]byte, segDefaultSize)})
 	return l, nil
 }
 
-// recoverTail scans the durable log to find its valid end and positions
-// nextLSN/flushed there.
-func (l *Log) recoverTail() error {
+// recoverTail scans the durable log to find its valid end, positions flushed
+// there and returns the LSN the first new record will receive.
+func (l *Log) recoverTail() (types.LSN, error) {
 	size, err := l.f.Size()
 	if err != nil {
-		return err
+		return 0, err
 	}
 	data := make([]byte, size)
 	if size > 0 {
 		if _, err := l.f.ReadAt(data, 0); err != nil && err != io.EOF {
-			return err
+			return 0, err
 		}
 	}
 	off := 0
@@ -230,36 +284,175 @@ func (l *Log) recoverTail() error {
 		}
 		off += n
 	}
-	l.nextLSN = types.LSN(off) + 1
-	l.flushed = l.nextLSN
+	l.flushed = types.LSN(off) + 1
 	// Drop any torn tail so future appends land on a clean boundary.
 	if int64(off) != size {
 		if err := l.f.Truncate(int64(off)); err != nil {
-			return err
+			return 0, err
 		}
 	}
-	return nil
+	return l.flushed, nil
 }
 
-// Append assigns the next LSN to r, buffers its encoding, and returns the
-// LSN. The record is not durable until Force reaches it. Append only takes
-// the log mutex — never the in-flight fsync — so its latency is independent
-// of any concurrent Force.
+// Append assigns the next LSN to r, copies its encoding into the active
+// segment, and returns the LSN. The record is not durable until Force reaches
+// it. The fast path is lock-free: a CAS on the segment's reserved-offset
+// counter claims the LSN range, the copy happens with no lock held, and the
+// segment's completion watermark publishes it. Append never waits behind an
+// in-flight fsync, and concurrent appenders never serialize on a mutex —
+// only on the one CAS.
 func (l *Log) Append(r *Record) (types.LSN, error) {
+	size := r.EncodedSize()
+	for {
+		s := l.seg.Load()
+		st := s.state.Load()
+		if st&segSealed == 0 && int(st)+size <= len(s.data) {
+			if !s.state.CompareAndSwap(st, st+int64(size)) {
+				l.ctr.reserveRetries.Add(1)
+				l.met.ReserveRetries.Inc()
+				continue
+			}
+			off := int(st)
+			r.LSN = s.base + types.LSN(off)
+			// Copy outside any lock: encode appends into the claimed range
+			// in place (len 0, cap exactly size, so no reallocation).
+			l.mustFill(r, s.data[off:off:off+size])
+			s.done.Add(int64(size))
+			l.noteAppend(r, size)
+			return r.LSN, nil
+		}
+		// Sealed (rotation in progress) or full: rotate under the mutex.
+		l.rotateForAppend(size)
+	}
+}
+
+// mustFill encodes r into the claimed range and asserts the encoding filled
+// it exactly — a mismatch would tear the LSN address space.
+func (l *Log) mustFill(r *Record, dst []byte) {
+	out := r.encode(dst)
+	if len(out) != cap(dst) {
+		panic(fmt.Sprintf("wal: record encoded to %d bytes, reserved %d", len(out), cap(dst)))
+	}
+}
+
+func (l *Log) noteAppend(r *Record, size int) {
+	l.ctr.records.Add(1)
+	l.ctr.bytes.Add(uint64(size))
+	l.met.Records.Inc()
+	l.met.Bytes.Add(uint64(size))
+	if int(r.Type) < len(l.ctr.byType) {
+		l.ctr.byType[r.Type].records.Add(1)
+		l.ctr.byType[r.Type].bytes.Add(uint64(size))
+	}
+}
+
+// rotateForAppend installs a fresh segment big enough for a size-byte record,
+// sealing the current one and parking its bytes in head. A concurrent rotator
+// may have done the work already; callers always re-check the active segment.
+func (l *Log) rotateForAppend(size int) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	r.LSN = l.nextLSN
-	l.buf = r.encode(l.buf)
-	l.nextLSN += types.LSN(r.EncodedSize())
-	l.stats.Records++
-	l.stats.Bytes += uint64(r.EncodedSize())
-	l.met.Records.Inc()
-	l.met.Bytes.Add(uint64(r.EncodedSize()))
-	if int(r.Type) < len(l.stats.ByType) {
-		l.stats.ByType[r.Type].Records++
-		l.stats.ByType[r.Type].Bytes += uint64(r.EncodedSize())
+	s := l.seg.Load()
+	st := s.state.Load()
+	if st&segSealed == 0 && int(st)+size <= len(s.data) {
+		return // lost the race to another rotator; segment already fits
 	}
-	return r.LSN, nil
+	l.retireSegLocked(s)
+	if size > segDefaultSize {
+		l.seg.Store(&walSeg{base: l.segEndLocked(s), data: make([]byte, size)})
+	} else {
+		l.seg.Store(&walSeg{base: l.segEndLocked(s), data: l.freshSegArrayLocked()})
+	}
+}
+
+// retireSegLocked seals s and appends its reserved bytes to head. Called with
+// l.mu held; the caller installs the successor segment.
+func (l *Log) retireSegLocked(s *walSeg) {
+	off := sealSeg(s)
+	if off > 0 {
+		l.head = append(l.head, s.data[:off]...)
+	}
+	if cap(s.data) == segDefaultSize {
+		l.spareSeg = s.data
+	}
+}
+
+// segEndLocked returns the LSN one past the last reserved byte of a sealed
+// segment — the base of its successor.
+func (l *Log) segEndLocked(s *walSeg) types.LSN {
+	return s.base + types.LSN(s.state.Load()&^segSealed)
+}
+
+func (l *Log) freshSegArrayLocked() []byte {
+	if l.spareSeg != nil {
+		d := l.spareSeg
+		l.spareSeg = nil
+		return d
+	}
+	return make([]byte, segDefaultSize)
+}
+
+// sealSeg closes s to new reservations and waits for every claimed range to
+// publish its copy. Returns the final reserved byte count. done == reserved
+// is the no-holes watermark: every reservation added exactly its own size
+// after copying, so a matching sum means the prefix is contiguous.
+func sealSeg(s *walSeg) int64 {
+	var off int64
+	for {
+		st := s.state.Load()
+		if st&segSealed != 0 {
+			panic("wal: segment sealed twice")
+		}
+		if s.state.CompareAndSwap(st, st|segSealed) {
+			off = st
+			break
+		}
+	}
+	for s.done.Load() != off {
+		runtime.Gosched() // a claimed copy is still in flight; it never blocks
+	}
+	return off
+}
+
+// sealRotateLocked seals the active segment, rotates in a fresh one, and
+// returns every unflushed byte in LSN order: head (older sealed bytes) then
+// the segment's reserved prefix. head is left empty; on a flush failure the
+// caller parks the bytes back there. Called with l.mu held.
+func (l *Log) sealRotateLocked() []byte {
+	s := l.seg.Load()
+	off := sealSeg(s)
+	next := &walSeg{base: s.base + types.LSN(off), data: l.freshSegArrayLocked()}
+	var data []byte
+	if len(l.head) == 0 {
+		// Common case: hand the segment's own prefix to the flusher with no
+		// copy; its array is recycled when the successor retires.
+		data = s.data[:off]
+	} else {
+		data = append(l.head, s.data[:off]...)
+		if cap(s.data) == segDefaultSize && l.spareSeg == nil {
+			l.spareSeg = s.data
+		}
+	}
+	l.head = nil
+	l.seg.Store(next)
+	return data
+}
+
+// unflushedTail rotates the active segment into head and returns the
+// buffered-but-not-yet-durable bytes starting at flushed. Test helper for
+// simulating a flush that tore before its sync.
+func (l *Log) unflushedTail() []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.head = l.sealRotateLocked()
+	return l.head
+}
+
+// nextLSNLocked returns the LSN the next appended record will receive.
+// Called with l.mu held; concurrent reservations may advance it immediately.
+func (l *Log) nextLSNLocked() types.LSN {
+	s := l.seg.Load()
+	return s.base + types.LSN(s.state.Load()&^segSealed)
 }
 
 // Force makes every record with LSN <= lsn durable before returning. Callers
@@ -273,8 +466,8 @@ func (l *Log) Force(lsn types.LSN) error {
 	// Clamp overflow (lsn == ^uint64(0)) and targets beyond the last
 	// assigned LSN to "everything appended so far": an unassigned LSN can't
 	// become durable, and NextLSN-style callers mean the current end of log.
-	if target < lsn || target > l.nextLSN {
-		target = l.nextLSN
+	if next := l.nextLSNLocked(); target < lsn || target > next {
+		target = next
 	}
 	return l.forceLocked(target)
 }
@@ -285,7 +478,7 @@ func (l *Log) Force(lsn types.LSN) error {
 func (l *Log) ForceAll() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.forceLocked(l.nextLSN)
+	return l.forceLocked(l.nextLSNLocked())
 }
 
 // forceLocked makes every LSN < target durable. Called and returns with l.mu
@@ -314,8 +507,8 @@ func (l *Log) forceLocked(target types.LSN) error {
 			continue
 		}
 		// Covered: either the epoch's range is fixed and includes target,
-		// or the leader is still accumulating (end == 0) and will swap the
-		// append buffer — which holds target — when it proceeds.
+		// or the leader is still accumulating (end == 0) and will seal the
+		// append segment — which holds target — when it proceeds.
 		ep.waiters++
 		l.mu.Unlock()
 		start := time.Now()
@@ -329,8 +522,8 @@ func (l *Log) forceLocked(target types.LSN) error {
 	}
 }
 
-// leadFlush runs one flush epoch as its leader. Called with l.mu held and a
-// non-empty append buffer; returns with l.mu held.
+// leadFlush runs one flush epoch as its leader. Called with l.mu held and
+// unflushed bytes buffered; returns with l.mu held.
 func (l *Log) leadFlush() error {
 	ep := &flushEpoch{done: make(chan struct{}), waiters: 1}
 	l.curEpoch = ep
@@ -342,17 +535,11 @@ func (l *Log) leadFlush() error {
 		time.Sleep(l.batchDelay)
 		l.mu.Lock()
 	}
-	data := l.buf
-	if l.spare != nil {
-		l.buf = l.spare[:0]
-		l.spare = nil
-	} else {
-		l.buf = nil
-	}
+	data := l.sealRotateLocked()
 	base := l.flushed
 	ep.end = base + types.LSN(len(data))
 	l.inflight = data
-	l.stats.ForceAttempts++
+	l.ctr.forceAttempts.Add(1)
 	l.met.ForceAttempts.Inc()
 	l.mu.Unlock()
 
@@ -364,17 +551,17 @@ func (l *Log) leadFlush() error {
 	l.mu.Lock()
 	if err == nil {
 		l.flushed = ep.end
-		l.spare = data[:0]
-		l.stats.Forces++
+		l.ctr.forces.Add(1)
 		l.met.Forces.Inc()
 		l.met.BatchSize.Observe(ep.waiters)
 	} else {
 		// The flush failed: its records are not durable. Put them back in
-		// front of the append buffer so a later Force retries them; the
-		// iterator never trusts file bytes at or beyond flushed, so a
-		// half-applied WriteAt can't surface.
-		l.buf = append(data, l.buf...)
-		l.stats.ForceErrors++
+		// front of head so a later Force retries them; the iterator never
+		// trusts file bytes at or beyond flushed, so a half-applied WriteAt
+		// can't surface. head may have gained newer sealed bytes during the
+		// flush (an append-path rotation) — the failed batch is older.
+		l.head = append(data, l.head...)
+		l.ctr.forceErrors.Add(1)
 		l.met.ForceErrors.Inc()
 	}
 	l.inflight = nil
@@ -392,21 +579,23 @@ func (l *Log) serialForceLocked(target types.LSN) error {
 	if l.flushed >= target {
 		return nil
 	}
-	l.stats.ForceAttempts++
+	data := l.sealRotateLocked()
+	l.ctr.forceAttempts.Add(1)
 	l.met.ForceAttempts.Inc()
-	if _, err := l.f.WriteAt(l.buf, int64(l.flushed-1)); err != nil {
-		l.stats.ForceErrors++
+	if _, err := l.f.WriteAt(data, int64(l.flushed-1)); err != nil {
+		l.head = data
+		l.ctr.forceErrors.Add(1)
 		l.met.ForceErrors.Inc()
 		return err
 	}
 	if err := l.f.Sync(); err != nil {
-		l.stats.ForceErrors++
+		l.head = data
+		l.ctr.forceErrors.Add(1)
 		l.met.ForceErrors.Inc()
 		return err
 	}
-	l.flushed += types.LSN(len(l.buf))
-	l.buf = l.buf[:0]
-	l.stats.Forces++
+	l.flushed += types.LSN(len(data))
+	l.ctr.forces.Add(1)
 	l.met.Forces.Inc()
 	return nil
 }
@@ -423,14 +612,26 @@ func (l *Log) FlushedLSN() types.LSN {
 func (l *Log) NextLSN() types.LSN {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.nextLSN
+	return l.nextLSNLocked()
 }
 
 // Stats returns a snapshot of the log-volume counters.
 func (l *Log) Stats() Stats {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.stats
+	s := Stats{
+		Records:        l.ctr.records.Load(),
+		Bytes:          l.ctr.bytes.Load(),
+		Forces:         l.ctr.forces.Load(),
+		ForceAttempts:  l.ctr.forceAttempts.Load(),
+		ForceErrors:    l.ctr.forceErrors.Load(),
+		ReserveRetries: l.ctr.reserveRetries.Load(),
+	}
+	for i := range l.ctr.byType {
+		s.ByType[i] = TypeStats{
+			Records: l.ctr.byType[i].records.Load(),
+			Bytes:   l.ctr.byType[i].bytes.Load(),
+		}
+	}
+	return s
 }
 
 // Close closes the underlying file without forcing (a deliberate crash
@@ -537,10 +738,12 @@ type Iterator struct {
 
 // NewIterator returns an iterator positioned at `from` (use 1 or the
 // checkpoint LSN). It snapshots the current log contents: the durable file
-// prefix below flushed, then any in-flight flush buffer, then the append
-// buffer. File bytes at or beyond flushed are never trusted — a failed flush
-// may have written them without making them durable, and the buffered copy
-// is the authoritative one.
+// prefix below flushed, then any in-flight flush buffer, then the buffered
+// tail. To capture a consistent tail the active segment is sealed and
+// rotated (waiting out any in-flight record copies), exactly as a flush
+// leader would, but the bytes stay buffered. File bytes at or beyond flushed
+// are never trusted — a failed flush may have written them without making
+// them durable, and the buffered copy is the authoritative one.
 func (l *Log) NewIterator(from types.LSN) (*Iterator, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -551,18 +754,21 @@ func (l *Log) NewIterator(from types.LSN) (*Iterator, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Rotate the active segment into head so the snapshot below sees every
+	// completed append.
+	l.head = l.sealRotateLocked()
 	durable := int64(l.flushed - 1)
 	if durable > size {
 		durable = size
 	}
-	data := make([]byte, durable, int(durable)+len(l.inflight)+len(l.buf))
+	data := make([]byte, durable, int(durable)+len(l.inflight)+len(l.head))
 	if durable > 0 {
 		if _, err := l.f.ReadAt(data, 0); err != nil && err != io.EOF {
 			return nil, err
 		}
 	}
 	data = append(data, l.inflight...)
-	data = append(data, l.buf...)
+	data = append(data, l.head...)
 	if from-1 > types.LSN(len(data)) {
 		return nil, fmt.Errorf("wal: iterator start %d beyond log end %d", from, len(data)+1)
 	}

@@ -357,10 +357,11 @@ func TestTornTailRecovery(t *testing.T) {
 		// A force that never reached its sync: the tail bytes are written
 		// but volatile when the power fails.
 		off := int64(l.flushed - 1)
-		if _, err := l.f.WriteAt(l.buf, off); err != nil {
+		tail := l.unflushedTail()
+		if _, err := l.f.WriteAt(tail, off); err != nil {
 			t.Fatal(err)
 		}
-		return fs, l, off, len(l.buf)
+		return fs, l, off, len(tail)
 	}
 
 	_, _, _, inFlight := build()

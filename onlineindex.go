@@ -129,6 +129,13 @@ type Config struct {
 	// path that holds the log mutex across the fsync. Benchmarks use it as
 	// the baseline; production code should leave it off.
 	SerialCommitForce bool
+	// BufferShards is the buffer pool's page-table shard count (rounded up
+	// to a power of two; 0 means min(16, GOMAXPROCS)). See README "Tuning
+	// shard counts".
+	BufferShards int
+	// LockStripes is the lock manager's bucket-map stripe count (rounded up
+	// to a power of two; 0 means min(16, GOMAXPROCS)).
+	LockStripes int
 }
 
 // IndexSpec describes an index to build.
@@ -181,6 +188,7 @@ func (cfg Config) engineConfig() engine.Config {
 	return engine.Config{
 		FS: cfg.FS, PoolSize: cfg.PoolSize, DisableMetrics: cfg.DisableMetrics,
 		CommitBatchDelay: cfg.CommitBatchDelay, SerialCommitForce: cfg.SerialCommitForce,
+		BufferShards: cfg.BufferShards, LockStripes: cfg.LockStripes,
 	}
 }
 

@@ -22,6 +22,15 @@
 #                      than the serial single-tree sorter (wall-clock; run on
 #                      a quiet machine), then records the sortbench build
 #                      matrix (partitions x overlap) in BENCH_build.json.
+#   ci.sh bench-conc   the sharded-buffer gate: fails unless all-hit buffer
+#                      fetch throughput from 8 goroutines on an 8-shard pool
+#                      is >= 1.5x the single-shard pool's (skips on < 4 CPUs;
+#                      wall-clock; run on a quiet machine), then records the
+#                      shards x stripes contention matrix (buffer fetch, lock
+#                      pair, WAL append ops/s) in BENCH_build.json.
+#   ci.sh race         focused race-detector pass over the sharded singletons
+#                      (buffer, lock, wal, txn) with the dedicated concurrency
+#                      stress tests at a high -count so the schedules vary.
 #   ci.sh admin-smoke  end-to-end admin endpoint check: run an SF build with
 #                      `idxbuild -admin`, poll the live endpoint over HTTP
 #                      until the build completes, and assert the terminal
@@ -58,6 +67,14 @@ bench-sort)
     ONLINEINDEX_SORT_GATE=1 go test -run TestPartitionedSortGate -v -count=1 -timeout 10m .
     go run ./cmd/benchtab -sortbench 200000 -out BENCH_build.json
     ;;
+bench-conc)
+    ONLINEINDEX_CONC_GATE=1 go test -run TestShardedBufferGate -v -count=1 -timeout 10m .
+    go run ./cmd/benchtab -concbench -out BENCH_build.json
+    ;;
+race)
+    go test -race -count=4 -timeout 20m \
+        ./internal/buffer ./internal/lock ./internal/wal ./internal/txn
+    ;;
 admin-smoke)
     go build -o /tmp/onlineindex-idxbuild ./cmd/idxbuild
     addr=127.0.0.1:7071
@@ -88,7 +105,7 @@ admin-smoke)
     echo "admin-smoke OK"
     ;;
 *)
-    echo "usage: $0 [test|sweep|overhead|bench-commit|bench-sort|admin-smoke]" >&2
+    echo "usage: $0 [test|sweep|overhead|bench-commit|bench-sort|bench-conc|race|admin-smoke]" >&2
     exit 2
     ;;
 esac
