@@ -18,12 +18,17 @@
 //	benchtab -concbench           # buffer/lock/WAL contention matrix
 //	                              # (shards×stripes at 8 goroutines); merges a
 //	                              # concbench record into BENCH_build.json
+//	benchtab -readbench 20000     # read-path throughput matrix (point/range/
+//	                              # seqscan, quiescent and during a live SF
+//	                              # build) on a table of this many rows;
+//	                              # merges a readbench record into
+//	                              # BENCH_build.json
 //
 // The benchmark modes all merge into -out rather than clobbering each
 // other's records: build records carry no "kind" field, the commit record
 // carries "kind": "commit_tps", sort records carry "kind": "sortbench", the
-// contention record carries "kind": "concbench", and each mode replaces only
-// its own.
+// contention record carries "kind": "concbench", the read record carries
+// "kind": "readbench", and each mode replaces only its own.
 package main
 
 import (
@@ -73,6 +78,7 @@ func main() {
 	commitBench := flag.Bool("commitbench", false, "run the commit-throughput benchmark and merge a commit_tps record into -out (skips experiments)")
 	sortBench := flag.Int("sortbench", 0, "run the partitioned-sort benchmark on a table of this many rows and merge sortbench records into -out (skips experiments)")
 	concBench := flag.Bool("concbench", false, "run the buffer/lock/WAL contention benchmark and merge a concbench record into -out (skips experiments)")
+	readBench := flag.Int("readbench", 0, "run the read-path benchmark on a table of this many rows and merge a readbench record into -out (skips experiments)")
 	out := flag.String("out", "BENCH_build.json", "output path for the -buildbench/-commitbench JSON records")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
@@ -126,6 +132,20 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("merged %d sortbench records into %s\n", len(recs), *out)
+		return
+	}
+
+	if *readBench > 0 {
+		rec, err := experiments.ReadBench(cfg, *readBench)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: readbench failed: %v\n", err)
+			os.Exit(1)
+		}
+		if err := mergeRecords(*out, rec.Kind, []any{rec}); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("merged readbench record into %s\n", *out)
 		return
 	}
 

@@ -1,0 +1,174 @@
+package btree
+
+import (
+	"onlineindex/internal/latch"
+	"onlineindex/internal/types"
+)
+
+// Cursor defaults; NewCursor callers can lower them (tests force refills).
+const (
+	// cursorBatchEntries is the refill target: how many entries one latched
+	// traversal copies out before the cursor lets go of the tree.
+	cursorBatchEntries = 256
+	// cursorBatchLeaves caps how many leaves one refill crabs across, so a
+	// refill over sparse (heavily pseudo-deleted) regions still bounds its
+	// latch-hold window.
+	cursorBatchLeaves = 8
+)
+
+// Cursor is a forward range scan with bounded latch holds. Unlike ScanRange,
+// which pins the tree latch in share mode for the whole scan (blocking every
+// split until the callback chain finishes), a Cursor works in batches: each
+// refill takes the tree latch shared, descends to its resume position,
+// latch-crabs across up to a few leaves copying entries out, and releases
+// everything before handing entries to the caller. Between refills the tree
+// is completely unlatched, so structure modifications proceed.
+//
+// Splits between refills are harmless: the cursor resumes by re-descending
+// for the first entry strictly greater than the last one it returned, and
+// leaf key ranges only change under the exclusive tree latch, which the
+// refill's share hold excludes. The cursor therefore returns every entry
+// that existed (at its key position) for the whole scan, each exactly once,
+// in (key, RID) order; entries inserted behind the scan position are not
+// revisited and entries removed ahead of it (GC) are not returned — the
+// usual cursor-stability contract. Pseudo-deleted entries are returned with
+// Entry.Pseudo set; visibility is the caller's business (the engine runs the
+// lock protocol over them).
+type Cursor struct {
+	t  *Tree
+	hi []byte // inclusive upper key bound; nil = unbounded
+
+	batch []Entry
+	pos   int
+
+	// resume is the last entry handed out (exclusive restart position);
+	// before the first refill it is the inclusive lower bound.
+	resumeKey []byte
+	resumeRID types.RID
+	exclusive bool
+
+	maxEntries int
+	maxLeaves  int
+	done       bool
+}
+
+// NewCursor positions a cursor at the first entry >= (lo, RID zero); nil lo
+// starts at the tree's smallest entry. Entries with key value <= hi are
+// returned (nil hi scans to the end) — like ScanRange, the bound is on the
+// key value, so every RID of the hi key is included.
+func (t *Tree) NewCursor(lo, hi []byte) *Cursor {
+	return &Cursor{
+		t: t, hi: hi,
+		resumeKey:  append([]byte(nil), lo...),
+		maxEntries: cursorBatchEntries,
+		maxLeaves:  cursorBatchLeaves,
+	}
+}
+
+// SetBatch overrides the refill batch limits (tests use tiny batches to
+// force many resume descents). Zero values keep the defaults.
+func (c *Cursor) SetBatch(entries, leaves int) {
+	if entries > 0 {
+		c.maxEntries = entries
+	}
+	if leaves > 0 {
+		c.maxLeaves = leaves
+	}
+}
+
+// Next returns the next entry in (key, RID) order. ok=false means the scan
+// is exhausted (or past hi).
+func (c *Cursor) Next() (Entry, bool, error) {
+	if c.pos >= len(c.batch) {
+		if c.done {
+			return Entry{}, false, nil
+		}
+		if err := c.refill(); err != nil {
+			return Entry{}, false, err
+		}
+		if c.pos >= len(c.batch) {
+			return Entry{}, false, nil
+		}
+	}
+	e := c.batch[c.pos]
+	c.pos++
+	return e, true, nil
+}
+
+// refill latches the tree shared, descends to the resume position and crabs
+// forward copying entries until a batch limit or the hi bound is reached.
+func (c *Cursor) refill() error {
+	c.batch = c.batch[:0]
+	c.pos = 0
+
+	c.t.mu.RLock()
+	defer c.t.mu.RUnlock()
+	c.t.Stats.ScanResumes.Add(1)
+	c.t.met.ScanResumes.Add(1)
+
+	f, n, err := c.t.descend(c.resumeKey, c.resumeRID, latch.S)
+	if err != nil {
+		return err
+	}
+	i, exact := n.searchLeaf(c.resumeKey, c.resumeRID)
+	if exact && c.exclusive {
+		// The resume entry itself was already returned; if it has been
+		// physically removed since, searchLeaf already points past it.
+		i++
+	}
+	leaves := 1
+	for {
+		c.t.Stats.ScanLeaves.Add(1)
+		c.t.met.ScanLeaves.Add(1)
+		for ; i < len(n.entries); i++ {
+			e := n.entries[i]
+			if c.hi != nil && CompareEntry(e.Key, types.RID{}, c.hi, types.MaxRID) > 0 {
+				c.t.release(f, latch.S)
+				c.done = true
+				return nil
+			}
+			c.batch = append(c.batch, Entry{Key: append([]byte(nil), e.Key...), RID: e.RID, Pseudo: e.Pseudo})
+			if len(c.batch) >= c.maxEntries {
+				i++
+				break
+			}
+		}
+		if i < len(n.entries) || len(c.batch) >= c.maxEntries {
+			break
+		}
+		// The leaf cap bounds the latch-hold window, but an empty batch must
+		// keep crabbing: a resume position at the very end of a leaf would
+		// otherwise read as end-of-scan.
+		if leaves >= c.maxLeaves && len(c.batch) > 0 {
+			break
+		}
+		next := n.next
+		if next == NoPage {
+			c.t.release(f, latch.S)
+			c.done = true
+			return nil
+		}
+		// Latch-couple to the right sibling: acquire the next leaf's S latch
+		// before releasing the current one (left→right, the tree's latch
+		// order), so the chain cannot change underfoot mid-step.
+		nf, nn, err := c.t.fetchLatched(next, latch.S)
+		if err != nil {
+			c.t.release(f, latch.S)
+			return err
+		}
+		c.t.release(f, latch.S)
+		f, n = nf, nn
+		i = 0
+		leaves++
+	}
+	c.t.release(f, latch.S)
+	if len(c.batch) == 0 {
+		c.done = true
+		return nil
+	}
+	last := c.batch[len(c.batch)-1]
+	c.resumeKey = append(c.resumeKey[:0], last.Key...)
+	c.resumeRID = last.RID
+	c.exclusive = true
+	return nil
+}

@@ -1,0 +1,191 @@
+package btree
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"onlineindex/internal/rm"
+	"onlineindex/internal/types"
+)
+
+// drain pulls the cursor dry and returns its entries.
+func drain(t *testing.T, c *Cursor) []Entry {
+	t.Helper()
+	var out []Entry
+	for {
+		e, ok, err := c.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, e)
+	}
+}
+
+func TestCursorMatchesScanRange(t *testing.T) {
+	_, log, _, tr := newTree(t, false, smallBudget)
+	tl := &rm.SimpleLogger{L: log, Txn: 1}
+	const n = 700
+	for _, i := range rand.New(rand.NewSource(3)).Perm(n) {
+		if _, _, err := tr.TxnInsert(tl, keyOf(i), ridOf(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pseudo-delete a scattering so the cursor sees both entry states.
+	for i := 0; i < n; i += 5 {
+		if _, err := tr.TxnPseudoDelete(tl, keyOf(i), ridOf(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bounds := [][2][]byte{
+		{nil, nil},
+		{keyOf(100), keyOf(400)},
+		{keyOf(0), keyOf(0)},
+		{nil, keyOf(250)},
+		{keyOf(650), nil},
+		{keyOf(699), keyOf(699)},
+		{keyOf(n + 50), nil}, // empty range past the end
+	}
+	for _, b := range bounds {
+		lo, hi := b[0], b[1]
+		var want []Entry
+		if err := tr.ScanRange(lo, hi, func(e Entry) bool {
+			want = append(want, e)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for _, batch := range []int{1, 3, 1000} {
+			c := tr.NewCursor(lo, hi)
+			c.SetBatch(batch, 2)
+			got := drain(t, c)
+			if len(got) != len(want) {
+				t.Fatalf("bounds %q..%q batch %d: cursor %d entries, ScanRange %d",
+					lo, hi, batch, len(got), len(want))
+			}
+			for i := range got {
+				if !bytes.Equal(got[i].Key, want[i].Key) || got[i].RID != want[i].RID || got[i].Pseudo != want[i].Pseudo {
+					t.Fatalf("bounds %q..%q batch %d entry %d: got %+v want %+v",
+						lo, hi, batch, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCursorSurvivesSplitsBetweenBatches interleaves refills with inserts
+// that split leaves ahead of, behind and at the scan position: the cursor
+// must still return every original entry exactly once, in order.
+func TestCursorSurvivesSplitsBetweenBatches(t *testing.T) {
+	_, log, _, tr := newTree(t, false, smallBudget)
+	tl := &rm.SimpleLogger{L: log, Txn: 1}
+	const n = 400
+	for i := 0; i < n; i += 2 { // even ids seed the tree
+		if _, _, err := tr.TxnInsert(tl, keyOf(i), ridOf(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := tr.NewCursor(nil, nil)
+	c.SetBatch(7, 1)
+	seen := make(map[string]bool)
+	fill := 1 // odd ids are inserted while the scan runs
+	for {
+		e, ok, err := c.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if seen[string(e.Key)] {
+			t.Fatalf("entry %q returned twice", e.Key)
+		}
+		seen[string(e.Key)] = true
+		// Two inserts per returned entry keep splits happening around the
+		// scan position for the whole run.
+		for j := 0; j < 2 && fill < n; j++ {
+			if _, _, err := tr.TxnInsert(tl, keyOf(fill), ridOf(fill)); err != nil {
+				t.Fatal(err)
+			}
+			fill += 2
+		}
+	}
+	for i := 0; i < n; i += 2 {
+		if !seen[string(keyOf(i))] {
+			t.Fatalf("seed entry %d missing from the cursor scan", i)
+		}
+	}
+	checkInvariants(t, tr)
+}
+
+// TestCursorResumeAfterEntryRemoval removes the cursor's exact resume entry
+// between batches (what GC does); the scan must continue at the next entry
+// without skipping or repeating.
+func TestCursorResumeAfterEntryRemoval(t *testing.T) {
+	_, log, _, tr := newTree(t, false, smallBudget)
+	tl := &rm.SimpleLogger{L: log, Txn: 1}
+	const n = 60
+	for i := 0; i < n; i++ {
+		if _, _, err := tr.TxnInsert(tl, keyOf(i), ridOf(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := tr.NewCursor(nil, nil)
+	c.SetBatch(1, 1) // resume descent after every single entry
+	var got []int
+	for i := 0; ; i++ {
+		e, ok, err := c.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, len(got))
+		_ = e
+		// Physically remove the entry just returned: the next refill's
+		// resume position no longer exists in the tree.
+		if _, err := tr.RemoveEntry(tl, e.Key, e.RID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != n {
+		t.Fatalf("cursor returned %d entries, want %d", len(got), n)
+	}
+	live, pseudo, err := tr.CountEntries()
+	if err != nil || live != 0 || pseudo != 0 {
+		t.Fatalf("tree not empty after removals: live=%d pseudo=%d err=%v", live, pseudo, err)
+	}
+}
+
+func ridAt(file types.FileID, i int) types.RID {
+	return types.RID{PageID: types.PageID{File: file, Page: types.PageNum(i / 16)}, Slot: types.SlotNum(i % 16)}
+}
+
+// TestCursorNonUniqueKeyRun scans a single key value with many RIDs across
+// leaf boundaries.
+func TestCursorNonUniqueKeyRun(t *testing.T) {
+	_, log, _, tr := newTree(t, false, smallBudget)
+	tl := &rm.SimpleLogger{L: log, Txn: 1}
+	key := []byte("dup-key-0000000000000000000000000000")
+	const n = 120
+	for i := 0; i < n; i++ {
+		if _, _, err := tr.TxnInsert(tl, key, ridAt(99, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := tr.NewCursor(key, key)
+	c.SetBatch(4, 1)
+	got := drain(t, c)
+	if len(got) != n {
+		t.Fatalf("key run scan returned %d entries, want %d", len(got), n)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].RID.Compare(got[i].RID) >= 0 {
+			t.Fatalf("key run out of RID order at %d: %v then %v", i, got[i-1].RID, got[i].RID)
+		}
+	}
+}

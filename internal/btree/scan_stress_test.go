@@ -1,0 +1,118 @@
+package btree
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"onlineindex/internal/rm"
+)
+
+// TestCursorScanStress races batched cursor scans against splitting inserts,
+// pseudo-deletes and GC-style physical removals. Run with -race. Each scan
+// asserts the cursor contract that holds under concurrency: strictly
+// increasing (key, RID) order (no duplicates, no regressions) and that every
+// entry present for the whole scan is returned.
+func TestCursorScanStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	_, log, _, tr := newTree(t, false, smallBudget)
+	seedTL := &rm.SimpleLogger{L: log, Txn: 1}
+
+	const (
+		stable  = 500  // ids always present, never mutated
+		churnLo = 1000 // ids the mutators cycle through
+		churnN  = 300
+	)
+	for i := 0; i < stable; i++ {
+		if _, _, err := tr.TxnInsert(seedTL, keyOf(i), ridOf(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	fail := func(format string, args ...any) {
+		stop.Store(true)
+		t.Errorf(format, args...)
+	}
+
+	// Mutator: insert → pseudo-delete → remove churn ids in a rolling window,
+	// forcing splits, state flips and physical removals all over the keyspace.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tl := &rm.SimpleLogger{L: log, Txn: 2}
+		for round := 0; !stop.Load(); round++ {
+			for j := 0; j < churnN; j++ {
+				id := churnLo + j
+				if _, _, err := tr.TxnInsert(tl, keyOf(id), ridOf(id)); err != nil {
+					fail("churn insert: %v", err)
+					return
+				}
+			}
+			for j := 0; j < churnN; j += 2 {
+				id := churnLo + j
+				if _, err := tr.TxnPseudoDelete(tl, keyOf(id), ridOf(id)); err != nil {
+					fail("churn pseudo-delete: %v", err)
+					return
+				}
+			}
+			for j := 0; j < churnN; j++ {
+				id := churnLo + j
+				if _, err := tr.RemoveEntry(tl, keyOf(id), ridOf(id)); err != nil {
+					fail("churn remove: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	// Scanners: repeated full-range cursor scans with small batches so every
+	// scan interleaves many refills with the mutator.
+	for s := 0; s < 3; s++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for iter := 0; iter < 40 && !stop.Load(); iter++ {
+				c := tr.NewCursor(nil, nil)
+				c.SetBatch(8, 2)
+				var prev Entry
+				have := false
+				liveStable := 0
+				for {
+					e, ok, err := c.Next()
+					if err != nil {
+						fail("scanner %d: %v", seed, err)
+						return
+					}
+					if !ok {
+						break
+					}
+					if have {
+						if CompareEntry(prev.Key, prev.RID, e.Key, e.RID) >= 0 {
+							fail("scanner %d: order violation %q/%v then %q/%v",
+								seed, prev.Key, prev.RID, e.Key, e.RID)
+							return
+						}
+					}
+					prev = Entry{Key: e.Key, RID: e.RID}
+					have = true
+					if bytes.Compare(e.Key, keyOf(stable)) < 0 && !e.Pseudo {
+						liveStable++
+					}
+				}
+				if liveStable != stable {
+					fail("scanner %d: saw %d stable entries, want %d", seed, liveStable, stable)
+					return
+				}
+			}
+			stop.Store(true) // one scanner finishing its quota ends the run
+		}(s)
+	}
+
+	wg.Wait()
+	checkInvariants(t, tr)
+}

@@ -31,12 +31,15 @@ type Stats struct {
 	Tombstones    atomic.Uint64 // pseudo-deleted keys inserted by deleters
 	IBSkips       atomic.Uint64 // IB inserts rejected as duplicates (txn won the race)
 	Removes       atomic.Uint64 // physical entry removals (GC, undo)
+	ScanResumes   atomic.Uint64 // cursor refills (each is one resume descent)
+	ScanLeaves    atomic.Uint64 // leaves visited by cursor refills
 }
 
 // StatsSnapshot is a plain-value copy of Stats.
 type StatsSnapshot struct {
 	Descents, FastPathHits, Splits, RootSplits, Inserts, Noops,
-	Reactivates, PseudoDeletes, Tombstones, IBSkips, Removes uint64
+	Reactivates, PseudoDeletes, Tombstones, IBSkips, Removes,
+	ScanResumes, ScanLeaves uint64
 }
 
 // Snapshot returns the current counter values.
@@ -48,6 +51,7 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		Reactivates: s.Reactivates.Load(), PseudoDeletes: s.PseudoDeletes.Load(),
 		Tombstones: s.Tombstones.Load(), IBSkips: s.IBSkips.Load(),
 		Removes: s.Removes.Load(),
+		ScanResumes: s.ScanResumes.Load(), ScanLeaves: s.ScanLeaves.Load(),
 	}
 }
 
@@ -64,6 +68,8 @@ type Metrics struct {
 	Inserts       *metrics.Counter
 	Removes       *metrics.Counter
 	PseudoDeleted *metrics.Gauge
+	ScanResumes   *metrics.Counter
+	ScanLeaves    *metrics.Counter
 }
 
 // MetricsFrom resolves the tree's standard instrument names on r. All trees
@@ -75,6 +81,8 @@ func MetricsFrom(r *metrics.Registry) Metrics {
 		Inserts:       r.Counter("btree.inserts"),
 		Removes:       r.Counter("btree.removes"),
 		PseudoDeleted: r.Gauge("btree.pseudo_deleted"),
+		ScanResumes:   r.Counter("btree.scan_resumes"),
+		ScanLeaves:    r.Counter("btree.scan_leaves"),
 	}
 }
 

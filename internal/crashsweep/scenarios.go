@@ -1,6 +1,7 @@
 package crashsweep
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -27,9 +28,20 @@ type Scenario struct {
 	Opts core.Options
 	// Specs are the indexes Run creates, which the oracle verifies.
 	Specs []engine.CreateIndexSpec
+	// Setup, when set, runs after the seed rows are committed but before the
+	// harness arms fault counting — state the scenario treats as
+	// pre-existing (a complete index to read during the build, say). Its
+	// I/O is not part of the fault-point numbering.
+	Setup func(db *engine.DB, rids []types.RID) error
 	// Run performs the faulted section. rids are the seed rows' RIDs in
 	// insert order.
 	Run func(db *engine.DB, rids []types.RID) error
+	// ReadCheck extends the post-recovery oracle with the read-path
+	// assertions: point lookups (tree and hash passes) against a
+	// heap-derived reference, ordered index scans, and pruned-vs-full
+	// sequential scan equivalence. Only meaningful for scenarios whose
+	// Setup pre-built the by_id index readers use.
+	ReadCheck bool
 	// Shards is the buffer pool's page-table shard count (0 means 1, the
 	// historical single-shard pool). Scenarios stay single-goroutine either
 	// way; a multi-shard scenario exercises the sharded fetch/eviction paths
@@ -112,6 +124,147 @@ func observer(db *engine.DB, rids []types.RID) func(engine.IBPhase) error {
 			return err
 		}
 		return nil
+	}
+}
+
+// shadowRow is the readObserver's record of one committed row.
+type shadowRow struct {
+	rid  types.RID
+	id   int64
+	qty  int64
+	live bool
+}
+
+// readObserver is observer with a reader bolted on: the same shape of
+// scripted DML each checkpoint, now mirrored into a shadow of the table,
+// followed by reads — point lookups on the pre-built by_id index (twice, so
+// the second pass exercises the hash fast path), a lookup of the most
+// recently deleted id (must miss through its pseudo-deleted entry), an
+// unreadability probe of the index being built, and every third step a
+// zone-mapped sequential scan — each checked against the shadow at its
+// commit point. Everything runs on the builder goroutine, so the I/O
+// schedule stays a pure function of the checkpoint sequence; a hash-cache
+// hit legitimately does less I/O than a tree descent, deterministically so.
+func readObserver(db *engine.DB, rids []types.RID, building string) func(engine.IBPhase) error {
+	n := 0
+	rows := make([]shadowRow, len(rids))
+	for i, rid := range rids {
+		rows[i] = shadowRow{rid: rid, id: int64(i), qty: int64(i % 97), live: true}
+	}
+	lastDeleted := int64(-1)
+	pick := func(start int) int {
+		for i := 0; i < len(rows); i++ {
+			j := (start + i) % len(rows)
+			if rows[j].live {
+				return j
+			}
+		}
+		return -1
+	}
+	return func(engine.IBPhase) error {
+		n++
+		tx := db.Begin()
+		insID := int64(1_000_000 + n)
+		insRID, err := db.Insert(tx, "items", sweepRow(insID, sweepName(1_000_000+n), int64(n)))
+		if err != nil {
+			tx.Rollback() //nolint:errcheck
+			return err
+		}
+		upd, del := -1, -1
+		updID := int64(2_000_000 + n)
+		var updRID types.RID
+		if u := pick(7 * n); u >= 0 {
+			updRID, err = db.Update(tx, "items", rows[u].rid,
+				sweepRow(updID, fmt.Sprintf("upd-%06d-%s", n, strings.Repeat("y", 80)), int64(n%7)))
+			if err != nil {
+				tx.Rollback() //nolint:errcheck
+				return err
+			}
+			upd = u
+		}
+		if d := pick(11*n + 3); d >= 0 && d != upd {
+			if err := db.Delete(tx, "items", rows[d].rid); err != nil {
+				tx.Rollback() //nolint:errcheck
+				return err
+			}
+			del = d
+		}
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+		rows = append(rows, shadowRow{rid: insRID, id: insID, qty: int64(n), live: true})
+		if upd >= 0 {
+			rows[upd].rid, rows[upd].id, rows[upd].qty = updRID, updID, int64(n%7)
+		}
+		if del >= 0 {
+			lastDeleted = rows[del].id
+			rows[del].live = false
+		}
+
+		rtx := db.Begin()
+		err = func() error {
+			if j := pick(5 * n); j >= 0 {
+				for pass := 0; pass < 2; pass++ {
+					got, err := db.IndexLookup(rtx, "by_id", keyenc.Int64(rows[j].id))
+					if err != nil {
+						return err
+					}
+					if len(got) != 1 || got[0] != rows[j].rid {
+						return fmt.Errorf("readpath step %d: by_id lookup %d pass %d = %v, want [%v]",
+							n, rows[j].id, pass, got, rows[j].rid)
+					}
+				}
+			}
+			if lastDeleted >= 0 {
+				for pass := 0; pass < 2; pass++ {
+					got, err := db.IndexLookup(rtx, "by_id", keyenc.Int64(lastDeleted))
+					if err != nil {
+						return err
+					}
+					if len(got) != 0 {
+						return fmt.Errorf("readpath step %d: deleted id %d pass %d still resolves to %v",
+							n, lastDeleted, pass, got)
+					}
+				}
+			}
+			var notReadable *engine.ErrIndexNotReadable
+			if _, err := db.IndexLookup(rtx, building, keyenc.String("x")); !errors.As(err, &notReadable) {
+				return fmt.Errorf("readpath step %d: lookup of building index %q: err = %v, want ErrIndexNotReadable",
+					n, building, err)
+			}
+			if n%3 == 0 {
+				lo, hi := keyenc.Int64(2), keyenc.Int64(5)
+				want := map[types.RID]bool{}
+				for _, r := range rows {
+					if r.live && r.qty >= 2 && r.qty <= 5 {
+						want[r.rid] = true
+					}
+				}
+				got := map[types.RID]bool{}
+				err := db.SeqScan(rtx, "items", &engine.Predicate{Col: 2, Lo: &lo, Hi: &hi},
+					func(rid types.RID, _ engine.Row) bool {
+						got[rid] = true
+						return true
+					})
+				if err != nil {
+					return err
+				}
+				if len(got) != len(want) {
+					return fmt.Errorf("readpath step %d: seqscan returned %d rows, shadow has %d in qty range",
+						n, len(got), len(want))
+				}
+				for rid := range want {
+					if !got[rid] {
+						return fmt.Errorf("readpath step %d: seqscan missed rid %v", n, rid)
+					}
+				}
+			}
+			return nil
+		}()
+		if rbErr := rtx.Rollback(); err == nil {
+			err = rbErr
+		}
+		return err
 	}
 }
 
@@ -206,6 +359,38 @@ func Scenarios() []*Scenario {
 				}, opts)
 				return err
 			},
+		},
+		{
+			// The SF build with readers in the loop: by_id is complete before
+			// the harness arms, the observer serves scripted reads off it (and
+			// off the heap's zone-mapped scan) at every checkpoint, and the
+			// post-recovery oracle re-checks the whole read path — the crash
+			// may land mid-lookup, mid-scan, or between a DML's tree change
+			// and its cache invalidation, and recovery must leave nothing
+			// stale (the cache and zone maps are memory-only, so a restart
+			// empties them by construction; ReadCheck proves the rebuilt
+			// state serves exactly the committed table).
+			Name: "readpath",
+			Rows: 240,
+			Opts: sfOpts,
+			Setup: func(db *engine.DB, rids []types.RID) error {
+				_, err := core.Build(db, engine.CreateIndexSpec{
+					Name: "by_id", Table: "items", Columns: []string{"id"}, Unique: true,
+					Method: catalog.MethodOffline,
+				}, core.Options{})
+				return err
+			},
+			Specs: []engine.CreateIndexSpec{
+				{Name: "by_id", Table: "items", Columns: []string{"id"}, Unique: true, Method: catalog.MethodOffline},
+				nameSpec("by_name", catalog.MethodSF),
+			},
+			Run: func(db *engine.DB, rids []types.RID) error {
+				opts := sfOpts
+				opts.OnCheckpoint = readObserver(db, rids, "by_name")
+				_, err := core.Build(db, nameSpec("by_name", catalog.MethodSF), opts)
+				return err
+			},
+			ReadCheck: true,
 		},
 		{
 			// The SF build again, but on a 2-shard buffer pool: same scripted

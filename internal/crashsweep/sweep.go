@@ -12,7 +12,9 @@
 package crashsweep
 
 import (
+	"bytes"
 	"fmt"
+	"sort"
 	"strings"
 
 	"onlineindex/internal/btree"
@@ -20,6 +22,7 @@ import (
 	"onlineindex/internal/core"
 	"onlineindex/internal/engine"
 	"onlineindex/internal/faultfs"
+	"onlineindex/internal/keyenc"
 	"onlineindex/internal/types"
 	"onlineindex/internal/vfs"
 	"onlineindex/internal/wal"
@@ -285,6 +288,11 @@ func openPopulated(fs vfs.FS, sc *Scenario) (*engine.DB, []types.RID, error) {
 			return nil, nil, err
 		}
 	}
+	if sc.Setup != nil {
+		if err := sc.Setup(db, rids); err != nil {
+			return nil, nil, fmt.Errorf("scenario setup: %w", err)
+		}
+	}
 	if err := db.Checkpoint(); err != nil {
 		return nil, nil, err
 	}
@@ -356,6 +364,12 @@ func verifyScenario(db *engine.DB, mem *vfs.MemFS, sc *Scenario, pr *PointResult
 		}
 	}
 
+	if sc.ReadCheck {
+		if err := verifyReads(db, sc); err != nil {
+			return fmt.Errorf("read oracle: %w", err)
+		}
+	}
+
 	// The WAL on disk must be one valid record sequence end to end:
 	// recovery truncates any torn tail and its final checkpoint forces the
 	// log, so nothing invalid may remain.
@@ -410,6 +424,113 @@ func differential(db *engine.DB, spec engine.CreateIndexSpec) error {
 	for i := range got {
 		if got[i] != want[i] {
 			return fmt.Errorf("index %q entry %d = %v, offline oracle has %v", spec.Name, i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// verifyReads is the ReadCheck half of the oracle: after recovery and
+// resume, the read path (fresh, empty hash cache and all-unknown zone maps —
+// both are memory-only and did not survive the crash) must serve exactly the
+// committed table as derived from the heap itself.
+func verifyReads(db *engine.DB, sc *Scenario) error {
+	type refRow struct {
+		rid  types.RID
+		id   int64
+		qty  int64
+		name string
+	}
+	var ref []refRow
+	if err := db.TableScan("items", func(rid types.RID, row engine.Row) error {
+		ref = append(ref, refRow{rid: rid, id: row[0].I, qty: row[2].I, name: row[1].S})
+		return nil
+	}); err != nil {
+		return err
+	}
+	tx := db.Begin()
+	defer tx.Rollback() //nolint:errcheck // read-only: rollback just releases S locks
+
+	// Point lookups: first pass descends the tree and fills the cache, the
+	// second must hit it — both must agree with the heap.
+	live := make(map[int64]types.RID, len(ref))
+	for _, r := range ref {
+		live[r.id] = r.rid
+	}
+	for i := 0; i < len(ref); i += 5 {
+		for pass := 0; pass < 2; pass++ {
+			got, err := db.IndexLookup(tx, "by_id", keyenc.Int64(ref[i].id))
+			if err != nil {
+				return err
+			}
+			if len(got) != 1 || got[0] != ref[i].rid {
+				return fmt.Errorf("by_id lookup %d pass %d = %v, heap says [%v]", ref[i].id, pass, got, ref[i].rid)
+			}
+		}
+	}
+	// Every seed id the workload deleted must miss — through whatever
+	// pseudo-deleted entries the recovered tree still carries.
+	for id := int64(0); id < int64(sc.Rows); id++ {
+		if _, ok := live[id]; ok {
+			continue
+		}
+		got, err := db.IndexLookup(tx, "by_id", keyenc.Int64(id))
+		if err != nil {
+			return err
+		}
+		if len(got) != 0 {
+			return fmt.Errorf("deleted id %d still resolves to %v after recovery", id, got)
+		}
+	}
+
+	// Ordered scan of by_name: exactly the heap's rows, in key order.
+	want := make([][]byte, 0, len(ref))
+	for _, r := range ref {
+		want = append(want, keyenc.Encode(keyenc.String(r.name)))
+	}
+	sort.Slice(want, func(i, j int) bool { return bytes.Compare(want[i], want[j]) < 0 })
+	var got [][]byte
+	if err := db.IndexScan(tx, "by_name", nil, nil, func(key []byte, _ types.RID) bool {
+		got = append(got, append([]byte(nil), key...))
+		return true
+	}); err != nil {
+		return err
+	}
+	if len(got) != len(want) {
+		return fmt.Errorf("by_name scan returned %d entries, heap has %d rows", len(got), len(want))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], want[i]) {
+			return fmt.Errorf("by_name scan entry %d = %x, heap order says %x", i, got[i], want[i])
+		}
+	}
+
+	// Sequential scan with a qty predicate, twice: the first pass rebuilds
+	// zone-map summaries as it goes, the second prunes on them — both must
+	// equal the unpruned reference.
+	wantRids := map[types.RID]bool{}
+	for _, r := range ref {
+		if r.qty >= 2 && r.qty <= 5 {
+			wantRids[r.rid] = true
+		}
+	}
+	lo, hi := keyenc.Int64(2), keyenc.Int64(5)
+	for pass := 0; pass < 2; pass++ {
+		seen := map[types.RID]bool{}
+		err := db.SeqScan(tx, "items", &engine.Predicate{Col: 2, Lo: &lo, Hi: &hi},
+			func(rid types.RID, _ engine.Row) bool {
+				seen[rid] = true
+				return true
+			})
+		if err != nil {
+			return err
+		}
+		if len(seen) != len(wantRids) {
+			return fmt.Errorf("seqscan pass %d returned %d rows, heap has %d in range", pass, len(seen), len(wantRids))
+		}
+		for rid := range wantRids {
+			if !seen[rid] {
+				return fmt.Errorf("seqscan pass %d missed rid %v", pass, rid)
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,35 @@
+package crashsweep
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"testing"
+
+	"onlineindex/internal/faultfs"
+	"onlineindex/internal/vfs"
+)
+
+func TestDumpTraces(t *testing.T) {
+	if os.Getenv("SWEEP_TRACE_DUMP") == "" {
+		t.Skip("set SWEEP_TRACE_DUMP=1 to dump count-run trace hashes")
+	}
+	for _, sc := range Scenarios() {
+		mem := vfs.NewMemFS()
+		ffs := faultfs.Wrap(mem, faultfs.Config{Mode: faultfs.ModeCount, Trace: true})
+		db, rids, err := openPopulated(ffs, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ffs.Arm()
+		if err := sc.Run(db, rids); err != nil {
+			t.Fatal(err)
+		}
+		ffs.Disarm()
+		h := sha256.New()
+		for _, ev := range ffs.Trace() {
+			fmt.Fprintf(h, "%v\n", ev)
+		}
+		fmt.Printf("TRACE %s %d %x\n", sc.Name, ffs.Points(), h.Sum(nil))
+	}
+}

@@ -40,6 +40,7 @@ func (db *DB) CreateTable(name string, schema catalog.Schema) (catalog.Table, er
 	db.mu.Lock()
 	db.tables[t.ID] = h
 	db.mu.Unlock()
+	db.installZoneMap(t.ID, h)
 	if err := tx.Commit(); err != nil {
 		return catalog.Table{}, err
 	}
@@ -223,6 +224,7 @@ func (db *DB) DropIndex(name string) error {
 	delete(db.sfiles, ix.ID)
 	delete(db.builds, ix.ID)
 	delete(db.lastIBCkpt, ix.ID)
+	delete(db.rcaches, ix.ID)
 	db.mu.Unlock()
 	return tx.Commit()
 }

@@ -318,15 +318,22 @@ func (db *DB) applyIndexOps(lockTx *txn.Txn, logger rm.TxnLogger, plan *opPlan, 
 			if err != nil {
 				return err
 			}
+			// Invalidate the point-lookup cache for every key this op touches,
+			// after the tree op and while the transaction still holds its X
+			// locks on the affected records — the ordering the fast path's
+			// Validate-after-lock check relies on. This also covers rollback
+			// compensations, which route through here under the CLR logger.
 			if oldKey != nil {
 				if _, err := tree.TxnPseudoDelete(logger, oldKey, rid); err != nil {
 					return err
 				}
+				db.invalidateKey(p.ix.ID, oldKey)
 			}
 			if newKey != nil {
 				if err := db.directInsert(lockTx, logger, &p.ix, tree, newKey, rid); err != nil {
 					return err
 				}
+				db.invalidateKey(p.ix.ID, newKey)
 			}
 		}
 	}

@@ -30,11 +30,13 @@ import (
 	"onlineindex/internal/lock"
 	"onlineindex/internal/metrics"
 	"onlineindex/internal/progress"
+	"onlineindex/internal/readcache"
 	"onlineindex/internal/sidefile"
 	"onlineindex/internal/txn"
 	"onlineindex/internal/types"
 	"onlineindex/internal/vfs"
 	"onlineindex/internal/wal"
+	"onlineindex/internal/zonemap"
 )
 
 // Config tunes a DB.
@@ -66,6 +68,16 @@ type Config struct {
 	// to a power of two). 0 means min(16, GOMAXPROCS); the fault sweep pins
 	// it to 1.
 	LockStripes int
+	// DisableReadCache turns off the hash point-lookup fast path; IndexLookup
+	// then always descends the tree. The deterministic fault sweep pins it
+	// off in legacy scenarios (the cache is memory-only, so this is about
+	// keeping the read code path identical, not about I/O schedules).
+	DisableReadCache bool
+	// ReadCacheSize caps the cached key runs per index (0 = 4096).
+	ReadCacheSize int
+	// DisableZoneMap turns off heap zone-map maintenance and sequential-scan
+	// block pruning.
+	DisableZoneMap bool
 }
 
 // DB is the engine instance.
@@ -94,6 +106,12 @@ type DB struct {
 	// checkpoint payload, included in fuzzy checkpoints so restart can find
 	// it without scanning the whole log.
 	lastIBCkpt map[types.IndexID][]byte
+	// rcaches holds each readable index's hash point-lookup cache, created
+	// lazily on first read. Memory-only: restart starts cold.
+	rcaches map[types.IndexID]*readcache.Cache
+	// zmaps holds each table's zone-map sidecar. Memory-only: restart starts
+	// with every block unknown, so stale pruning after recovery is impossible.
+	zmaps map[types.TableID]*zonemap.Map
 
 	crashed bool
 }
@@ -129,6 +147,8 @@ func Open(cfg Config) (*DB, error) {
 		builds:     make(map[types.IndexID]*BuildCtl),
 		progs:      make(map[types.IndexID]*progress.Tracker),
 		lastIBCkpt: make(map[types.IndexID][]byte),
+		rcaches:    make(map[types.IndexID]*readcache.Cache),
+		zmaps:      make(map[types.TableID]*zonemap.Map),
 	}
 	db.log.SetMetrics(wal.MetricsFrom(reg))
 	db.log.SetBatchDelay(cfg.CommitBatchDelay)

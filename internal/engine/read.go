@@ -1,13 +1,18 @@
 package engine
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 
 	"onlineindex/internal/btree"
 	"onlineindex/internal/catalog"
 	"onlineindex/internal/keyenc"
+	"onlineindex/internal/lock"
+	"onlineindex/internal/readcache"
 	"onlineindex/internal/txn"
 	"onlineindex/internal/types"
+	"onlineindex/internal/zonemap"
 )
 
 // ErrIndexNotReadable is returned when an index is used as an access path
@@ -20,26 +25,127 @@ func (e *ErrIndexNotReadable) Error() string {
 	return fmt.Sprintf("engine: index %q is still being built and cannot be read", e.Name)
 }
 
-// IndexLookup returns the RIDs matching the key values in the named
-// (complete) index.
+// IndexLookup returns the RIDs whose index key equals the given values, with
+// an S record lock held on each returned RID for the rest of the
+// transaction (data-only locking: the record lock IS the key lock, §6.2).
+//
+// Two paths. The hash fast path consults the read cache: on a hit it takes
+// conditional (non-waiting) S locks on every cached entry and then
+// re-validates the cache version — every writer invalidates the key while
+// still holding its X locks, so an unchanged version after our locks are
+// granted proves the cached run equals the committed tree state. Any
+// would-block or version change falls back to the tree path, which descends
+// the tree, refills the cache, and runs the full per-entry lock protocol
+// (blocking S locks on live entries, the conditional-instant probe on
+// pseudo-deleted ones, re-checking the entry state after every wait).
 func (db *DB) IndexLookup(tx *txn.Txn, index string, vals ...keyenc.Value) ([]types.RID, error) {
 	ix, tree, err := db.readableIndex(index)
 	if err != nil {
 		return nil, err
 	}
-	_ = ix
-	_ = tx
-	return tree.Lookup(keyenc.Encode(vals...))
+	if tx == nil {
+		// Quiescent-point read (harness/oracle use): no locks, no cache.
+		return tree.Lookup(keyenc.Encode(vals...))
+	}
+	if err := tx.Lock(lock.TableName(ix.Table), lock.IS); err != nil {
+		return nil, err
+	}
+	key := keyenc.Encode(vals...)
+	rc := db.readCacheOf(ix.ID)
+	if rc != nil {
+		if rids, ok := db.lookupFast(tx, rc, key); ok {
+			return rids, nil
+		}
+	}
+	return db.lookupTree(tx, rc, tree, key)
+}
+
+// lookupFast is the hash-hit path; ok=false sends the caller to the tree
+// path. No tree descent and no lock-manager waiting happen here: every lock
+// is conditional, and the version re-validation after the locks are granted
+// is what makes the cached run trustworthy — a writer that changed the key's
+// entry run between our Get and our locks must have bumped the version
+// before releasing the X locks our grants waited on.
+func (db *DB) lookupFast(tx *txn.Txn, rc *readcache.Cache, key []byte) ([]types.RID, bool) {
+	entries, ver, ok := rc.Get(key)
+	if !ok {
+		return nil, false
+	}
+	for _, e := range entries {
+		if e.Pseudo {
+			// A granted instant probe proves the deleter terminated — but an
+			// aborted deleter reactivates the entry, which bumps the version
+			// and fails Validate below, so skipping here is safe.
+			if tx.LockConditionalInstant(lock.RecordName(e.RID), lock.S) != nil {
+				return nil, false
+			}
+		} else {
+			if tx.LockConditional(lock.RecordName(e.RID), lock.S) != nil {
+				return nil, false
+			}
+		}
+	}
+	if !rc.Validate(key, ver) {
+		return nil, false
+	}
+	rids := make([]types.RID, 0, len(entries))
+	for _, e := range entries {
+		if !e.Pseudo {
+			rids = append(rids, e.RID)
+		}
+	}
+	return rids, true
+}
+
+// lookupTree is the tree path: scan the key's entry run, refill the cache,
+// and apply the read lock protocol entry by entry.
+func (db *DB) lookupTree(tx *txn.Txn, rc *readcache.Cache, tree *btree.Tree, key []byte) ([]types.RID, error) {
+	var fillVer uint64
+	if rc != nil {
+		fillVer = rc.Begin(key)
+	}
+	var run []readcache.Entry
+	err := tree.ScanRange(key, key, func(e btree.Entry) bool {
+		run = append(run, readcache.Entry{RID: e.RID, Pseudo: e.Pseudo})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if rc != nil {
+		// Fill before locking: if any writer changes the run while we wait on
+		// locks below, it bumps the version and the fill is already dead.
+		rc.Put(key, fillVer, run)
+	}
+	var rids []types.RID
+	for _, e := range run {
+		visible, err := db.verifyEntry(tx, tree, key, e.RID, e.Pseudo)
+		if err != nil {
+			return nil, err
+		}
+		if visible {
+			rids = append(rids, e.RID)
+		}
+	}
+	return rids, nil
 }
 
 // IndexScan streams the live entries of a complete index with lo <= key <=
-// hi (nil bounds are open). fn returning false stops the scan.
+// hi (nil bounds are open) in key order, S-locking each returned record. fn
+// returning false stops the scan. The scan uses a latch-coupled cursor:
+// between batches the tree is completely unlatched, so concurrent splits,
+// GC and DML proceed; each entry's liveness is re-verified after its lock is
+// acquired, so the results are committed reads.
 func (db *DB) IndexScan(tx *txn.Txn, index string, lo, hi []keyenc.Value, fn func(key []byte, rid types.RID) bool) error {
-	_, tree, err := db.readableIndex(index)
+	ix, tree, err := db.readableIndex(index)
 	if err != nil {
 		return err
 	}
-	_ = tx
+	if tx != nil {
+		if err := tx.Lock(lock.TableName(ix.Table), lock.IS); err != nil {
+			return err
+		}
+	}
 	var loB, hiB []byte
 	if lo != nil {
 		loB = keyenc.Encode(lo...)
@@ -47,12 +153,65 @@ func (db *DB) IndexScan(tx *txn.Txn, index string, lo, hi []keyenc.Value, fn fun
 	if hi != nil {
 		hiB = keyenc.Encode(hi...)
 	}
-	return tree.ScanRange(loB, hiB, func(e btree.Entry) bool {
-		if e.Pseudo {
-			return true
+	c := tree.NewCursor(loB, hiB)
+	for {
+		e, ok, err := c.Next()
+		if err != nil {
+			return err
 		}
-		return fn(e.Key, e.RID)
-	})
+		if !ok {
+			return nil
+		}
+		visible := !e.Pseudo // nil tx: quiescent-point read, no lock protocol
+		if tx != nil {
+			if visible, err = db.verifyEntry(tx, tree, e.Key, e.RID, e.Pseudo); err != nil {
+				return err
+			}
+		}
+		if visible && !fn(e.Key, e.RID) {
+			return nil
+		}
+	}
+}
+
+// verifyEntry applies the read lock protocol to one index entry observed
+// without locks (from a cursor batch or a cache run) and reports whether the
+// entry is a committed live entry the reader may return. On return the
+// reader holds an S lock on the RID iff visible.
+//
+//   - live entry: blocking S lock (waits out a concurrent deleter), then
+//     re-check — the entry may have gone pseudo (deleter committed) or
+//     vanished (GC) while we waited or between observation and lock;
+//   - pseudo entry: conditional instant S probe. Granted means its writer
+//     has terminated, but termination may have been an abort that
+//     reactivated the entry, so re-check rather than skip. Would-block means
+//     the deleter is still active; wait it out with a blocking instant lock
+//     and then re-check.
+func (db *DB) verifyEntry(tx *txn.Txn, tree *btree.Tree, key []byte, rid types.RID, pseudo bool) (bool, error) {
+	if pseudo {
+		if err := tx.LockConditionalInstant(lock.RecordName(rid), lock.S); err != nil {
+			if !errors.Is(err, lock.ErrWouldBlock) {
+				return false, err
+			}
+			if err := tx.LockInstant(lock.RecordName(rid), lock.S); err != nil {
+				return false, err
+			}
+		}
+		found, stillPseudo, err := tree.SearchEntry(key, rid)
+		if err != nil || !found || stillPseudo {
+			return false, err
+		}
+		// Reactivated under us (the deleter rolled back): fall through to the
+		// live-entry protocol.
+	}
+	if err := tx.Lock(lock.RecordName(rid), lock.S); err != nil {
+		return false, err
+	}
+	found, stillPseudo, err := tree.SearchEntry(key, rid)
+	if err != nil {
+		return false, err
+	}
+	return found && !stillPseudo, nil
 }
 
 func (db *DB) readableIndex(name string) (catalog.Index, *btree.Tree, error) {
@@ -89,6 +248,144 @@ func (db *DB) TableScan(table string, fn func(rid types.RID, row Row) error) err
 		}
 		return fn(rid, row)
 	})
+}
+
+// Predicate is a single-column range restriction for SeqScan: keep rows with
+// Lo <= row[Col] <= Hi in keyenc order. Nil bounds are open; a nil Predicate
+// matches every row.
+type Predicate struct {
+	Col int
+	Lo  *keyenc.Value
+	Hi  *keyenc.Value
+}
+
+func (p *Predicate) bounds() (col int, lo, hi []byte) {
+	if p == nil {
+		return -1, nil, nil
+	}
+	col = p.Col
+	if p.Lo != nil {
+		lo = keyenc.Encode(*p.Lo)
+	}
+	if p.Hi != nil {
+		hi = keyenc.Encode(*p.Hi)
+	}
+	return col, lo, hi
+}
+
+// match evaluates the predicate against a record's raw column encodings.
+func (p *Predicate) match(cols [][]byte) bool {
+	if p == nil {
+		return true
+	}
+	if p.Col < 0 || p.Col >= len(cols) {
+		return false
+	}
+	v := cols[p.Col]
+	if p.Lo != nil && bytes.Compare(v, keyenc.Encode(*p.Lo)) < 0 {
+		return false
+	}
+	if p.Hi != nil && bytes.Compare(v, keyenc.Encode(*p.Hi)) > 0 {
+		return false
+	}
+	return true
+}
+
+// SeqScan streams the table's rows that satisfy pred in RID order, with an S
+// record lock on each returned row. The scan is block-at-a-time: the
+// table's zone map is consulted per block, blocks whose summary excludes the
+// predicate range (or that hold no live rows) are skipped without touching
+// their pages, and unknown blocks are summarized as a side effect of
+// scanning them (installed only if no DML raced the block — the map's
+// version check). Each candidate row is re-read and re-checked after its
+// lock is granted, so results are committed reads; rows inserted behind the
+// scan position are not revisited (the usual cursor-stability contract).
+func (db *DB) SeqScan(tx *txn.Txn, table string, pred *Predicate, fn func(rid types.RID, row Row) bool) error {
+	tbl, ok := db.cat.Table(table)
+	if !ok {
+		return fmt.Errorf("engine: no table %q", table)
+	}
+	h, err := db.heapOf(tbl.ID)
+	if err != nil {
+		return err
+	}
+	if tx != nil {
+		if err := tx.Lock(lock.TableName(tbl.ID), lock.IS); err != nil {
+			return err
+		}
+	}
+	zm := db.zoneMapOf(tbl.ID)
+	nPages, err := h.PageCount()
+	if err != nil {
+		return err
+	}
+	col, loB, hiB := pred.bounds()
+
+	blockPages := types.PageNum(8)
+	if zm != nil {
+		blockPages = types.PageNum(zm.BlockPages())
+	}
+	for blkStart := types.PageNum(0); blkStart < nPages; blkStart += blockPages {
+		blkEnd := blkStart + blockPages
+		if blkEnd > nPages {
+			blkEnd = nPages
+		}
+		blk := int(blkStart / blockPages)
+		if zm != nil && zm.CanPrune(blk, col, loB, hiB) {
+			continue
+		}
+		rebuild := zm != nil && !zm.Known(blk)
+		var ver uint64
+		var sum zonemap.Summary
+		if rebuild {
+			ver = zm.BeginRebuild(blk)
+		}
+
+		// Collect candidates under the page S latches, then lock and re-read
+		// them off-latch (lock-then-latch would invert the latch order).
+		var cands []types.RID
+		for p := blkStart; p < blkEnd; p++ {
+			err := h.VisitPage(p, func(rid types.RID, rec []byte) error {
+				cols := colSlices(rec)
+				if rebuild {
+					sum.AddRow(cols, colIsNull)
+				}
+				if pred.match(cols) {
+					cands = append(cands, rid)
+				}
+				return nil
+			}, nil)
+			if err != nil {
+				return err
+			}
+		}
+		if rebuild {
+			zm.CompleteRebuild(blk, ver, sum)
+		}
+
+		for _, rid := range cands {
+			if tx != nil {
+				if err := tx.Lock(lock.RecordName(rid), lock.S); err != nil {
+					return err
+				}
+			}
+			rec, found, err := h.Get(rid)
+			if err != nil {
+				return err
+			}
+			if !found || !pred.match(colSlices(rec)) {
+				continue // deleted or mutated out of range while we waited
+			}
+			row, err := DecodeRow(rec)
+			if err != nil {
+				return err
+			}
+			if !fn(rid, row) {
+				return nil
+			}
+		}
+	}
+	return nil
 }
 
 // CheckIndexConsistency verifies that a complete index exactly reflects its

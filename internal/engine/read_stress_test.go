@@ -1,0 +1,277 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"onlineindex/internal/keyenc"
+	"onlineindex/internal/lock"
+	"onlineindex/internal/types"
+)
+
+// TestReadPathStress hammers every read primitive while writers churn the
+// table, a GC goroutine physically removes pseudo-deleted entries, and the
+// hash point-lookup cache is filled and invalidated under their feet. Run
+// under -race this is the read path's schedule fuzzer; the assertions are
+// the locking invariants the race detector cannot see:
+//
+//   - every RID a lookup returns is, while the lookup transaction's S locks
+//     are still held, a live heap row bearing the looked-up key;
+//   - an index scan yields strictly increasing (key, RID) pairs — no
+//     duplicates, no order inversions across leaf boundaries, whatever
+//     splits and GC did meanwhile;
+//   - a predicate-pushdown sequential scan returns only rows matching the
+//     predicate.
+//
+// Deadlocks are expected (readers lock in key order, writers in RID order)
+// and handled the way applications do: roll back and retry.
+func TestReadPathStress(t *testing.T) {
+	dur := 800 * time.Millisecond
+	if testing.Short() {
+		dur = 200 * time.Millisecond
+	}
+	db := openDB(t)
+	createCompleteIndex(t, db, "by_name", []string{"name"}, false)
+
+	// 50 distinct names × 8 rows each: multi-RID key runs for the cache.
+	nameOf := func(id int64) string { return fmt.Sprintf("n-%03d", id%50) }
+	const seedRows = 400
+	var seed []types.RID
+	tx := db.Begin()
+	for i := int64(0); i < seedRows; i++ {
+		rid, err := db.Insert(tx, "items", rowOf(i, nameOf(i), i%11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed = append(seed, rid)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	fail := make(chan error, 16)
+	failf := func(format string, args ...any) {
+		select {
+		case fail <- fmt.Errorf(format, args...):
+		default:
+		}
+	}
+	tolerable := func(err error) bool {
+		return err == nil || errors.Is(err, lock.ErrDeadlock)
+	}
+
+	// Writers: each owns a disjoint slice of the seed rows and a private id
+	// range, and cycles insert/update/delete/rollback against them.
+	const writers = 2
+	for w := 0; w < writers; w++ {
+		mine := append([]types.RID(nil), seed[w*seedRows/writers:(w+1)*seedRows/writers]...)
+		wg.Add(1)
+		go func(w int, mine []types.RID) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*101 + 7))
+			nextID := int64(1_000_000 * (w + 1))
+			for !stop.Load() {
+				tx := db.Begin()
+				var err error
+				commitHook := func() {}
+				switch rng.Intn(4) {
+				case 0:
+					nextID++
+					var rid types.RID
+					rid, err = db.Insert(tx, "items", rowOf(nextID, nameOf(nextID), nextID%11))
+					commitHook = func() { mine = append(mine, rid) }
+				case 1:
+					if len(mine) == 0 {
+						tx.Rollback()
+						continue
+					}
+					k := rng.Intn(len(mine))
+					err = db.Delete(tx, "items", mine[k])
+					commitHook = func() { mine = append(mine[:k], mine[k+1:]...) }
+				case 2:
+					if len(mine) == 0 {
+						tx.Rollback()
+						continue
+					}
+					k := rng.Intn(len(mine))
+					nextID++
+					var rid types.RID
+					rid, err = db.Update(tx, "items", mine[k], rowOf(nextID, nameOf(nextID), nextID%11))
+					commitHook = func() { mine[k] = rid }
+				default:
+					// A rollback cycle: do a change and abort it, so readers
+					// race undo-driven cache invalidation and pseudo-delete
+					// reactivation.
+					if len(mine) > 0 {
+						_ = db.Delete(tx, "items", mine[rng.Intn(len(mine))])
+					}
+					tx.Rollback()
+					continue
+				}
+				if err != nil {
+					tx.Rollback()
+					if !tolerable(err) {
+						failf("writer %d: %v", w, err)
+						return
+					}
+					continue
+				}
+				if err := tx.Commit(); err != nil {
+					failf("writer %d commit: %v", w, err)
+					return
+				}
+				commitHook()
+			}
+		}(w, mine)
+	}
+
+	// GC: §2.2.4 physical removal of committed pseudo-deleted entries,
+	// racing the scans' latch coupling and the cache's cached runs.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ix, _ := db.Catalog().Index("by_name")
+		tree, err := db.TreeOf(ix.ID)
+		if err != nil {
+			failf("gc: %v", err)
+			return
+		}
+		for !stop.Load() {
+			tx := db.Begin()
+			commitLSN := db.Txns().CommitLSN()
+			_, err := tree.GC(tx,
+				func(pageLSN types.LSN) bool { return pageLSN < commitLSN },
+				func(key []byte, rid types.RID) bool {
+					return tx.LockConditionalInstant(lock.RecordName(rid), lock.S) == nil
+				})
+			if err != nil {
+				tx.Rollback()
+				failf("gc: %v", err)
+				return
+			}
+			if err := tx.Commit(); err != nil {
+				failf("gc commit: %v", err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Point lookups: hot keys, so the cache cycles fill→hit→invalidate.
+	// While the lookup tx's S locks are held, every returned RID must be a
+	// live row with the looked-up name.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r)*977 + 3))
+			for !stop.Load() {
+				name := fmt.Sprintf("n-%03d", rng.Intn(50))
+				tx := db.Begin()
+				rids, err := db.IndexLookup(tx, "by_name", keyenc.String(name))
+				if err != nil {
+					tx.Rollback()
+					if !tolerable(err) {
+						failf("lookup %q: %v", name, err)
+						return
+					}
+					continue
+				}
+				for _, rid := range rids {
+					row, ok, err := db.Get(tx, "items", rid)
+					if err != nil || !ok {
+						failf("lookup %q returned rid %v: Get ok=%v err=%v", name, rid, ok, err)
+						tx.Rollback()
+						return
+					}
+					if row[1].S != name {
+						failf("lookup %q returned rid %v whose row has name %q", name, rid, row[1].S)
+						tx.Rollback()
+						return
+					}
+				}
+				tx.Rollback()
+			}
+		}(r)
+	}
+
+	// Range scans: strictly increasing (key, RID) order end to end.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			tx := db.Begin()
+			var lastKey []byte
+			var lastRID types.RID
+			n := 0
+			err := db.IndexScan(tx, "by_name", nil, nil, func(key []byte, rid types.RID) bool {
+				if lastKey != nil {
+					if c := bytes.Compare(lastKey, key); c > 0 || (c == 0 && lastRID.Compare(rid) >= 0) {
+						failf("scan order inversion: <%x,%v> then <%x,%v>", lastKey, lastRID, key, rid)
+						return false
+					}
+				}
+				lastKey = append(lastKey[:0], key...)
+				lastRID = rid
+				n++
+				return true
+			})
+			tx.Rollback()
+			if !tolerable(err) {
+				failf("scan: %v", err)
+				return
+			}
+			if err == nil && n == 0 {
+				failf("scan returned no entries from a table that always has rows")
+				return
+			}
+		}
+	}()
+
+	// Sequential scans with a qty predicate: zone-map pruning and the
+	// opportunistic rebuilds race the writers; only matching rows may come
+	// back.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			lo, hi := keyenc.Int64(3), keyenc.Int64(7)
+			tx := db.Begin()
+			err := db.SeqScan(tx, "items", &Predicate{Col: 2, Lo: &lo, Hi: &hi},
+				func(rid types.RID, row Row) bool {
+					if row[2].I < 3 || row[2].I > 7 {
+						failf("seqscan returned qty %d outside [3,7]", row[2].I)
+						return false
+					}
+					return true
+				})
+			tx.Rollback()
+			if !tolerable(err) {
+				failf("seqscan: %v", err)
+				return
+			}
+		}
+	}()
+
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	close(fail)
+	for err := range fail {
+		t.Error(err)
+	}
+	if t.Failed() {
+		return
+	}
+	if err := db.CheckIndexConsistency("by_name"); err != nil {
+		t.Fatal(err)
+	}
+}

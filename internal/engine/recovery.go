@@ -263,6 +263,9 @@ func Recover(cfg Config) (*DB, error) {
 			return nil, err
 		}
 		db.tables[t.ID] = h
+		// Fresh zone map, every block unknown: derived read-path state never
+		// survives a restart, so post-recovery pruning can't be stale.
+		db.installZoneMap(t.ID, h)
 	}
 	for _, ix := range db.cat.Indexes() {
 		tree, err := btree.Open(db.pool, ix.FileID, btree.Config{Unique: ix.Unique, Budget: db.cfg.TreeBudget})

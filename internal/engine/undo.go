@@ -85,7 +85,15 @@ func (db *DB) Undo(tx *txn.Txn, rec *wal.Record, undoNext types.LSN) error {
 		if err != nil {
 			return err
 		}
-		return tree.UndoInsert(tx, pl, undoNext)
+		// Every logical index undo changes the key's entry run, so the hash
+		// fast path's cached run for that key must be invalidated — while the
+		// rolling-back transaction still holds its X locks, same as forward
+		// processing. The rollback-reactivates-a-pseudo-entry case is exactly
+		// what stops the fast path from skipping entries whose deleter
+		// aborted.
+		err = tree.UndoInsert(tx, pl, undoNext)
+		db.invalidateKeyByFile(rec.PageID.File, pl.Key)
+		return err
 
 	case wal.TypeIdxInsertNoop:
 		pl, err := btree.DecodeEntry(rec.Payload)
@@ -96,7 +104,9 @@ func (db *DB) Undo(tx *txn.Txn, rec *wal.Record, undoNext types.LSN) error {
 		if err != nil {
 			return err
 		}
-		return tree.UndoInsertNoop(tx, pl, undoNext)
+		err = tree.UndoInsertNoop(tx, pl, undoNext)
+		db.invalidateKeyByFile(rec.PageID.File, pl.Key)
+		return err
 
 	case wal.TypeIdxPseudoDel:
 		pl, err := btree.DecodeEntry(rec.Payload)
@@ -107,7 +117,9 @@ func (db *DB) Undo(tx *txn.Txn, rec *wal.Record, undoNext types.LSN) error {
 		if err != nil {
 			return err
 		}
-		return tree.UndoPseudoDelete(tx, pl, undoNext)
+		err = tree.UndoPseudoDelete(tx, pl, undoNext)
+		db.invalidateKeyByFile(rec.PageID.File, pl.Key)
+		return err
 
 	case wal.TypeIdxReactivate:
 		pl, err := btree.DecodeEntry(rec.Payload)
@@ -118,7 +130,9 @@ func (db *DB) Undo(tx *txn.Txn, rec *wal.Record, undoNext types.LSN) error {
 		if err != nil {
 			return err
 		}
-		return tree.UndoReactivate(tx, pl, undoNext)
+		err = tree.UndoReactivate(tx, pl, undoNext)
+		db.invalidateKeyByFile(rec.PageID.File, pl.Key)
+		return err
 
 	case wal.TypeIdxDelete:
 		pl, err := btree.DecodeEntry(rec.Payload)
@@ -129,9 +143,13 @@ func (db *DB) Undo(tx *txn.Txn, rec *wal.Record, undoNext types.LSN) error {
 		if err != nil {
 			return err
 		}
-		return tree.UndoRemoveEntry(tx, pl, undoNext)
+		err = tree.UndoRemoveEntry(tx, pl, undoNext)
+		db.invalidateKeyByFile(rec.PageID.File, pl.Key)
+		return err
 
 	case wal.TypeIdxMultiInsert:
+		// Builder load-path batches only: the index is never readable while
+		// its loader runs, so no point-lookup cache can exist to invalidate.
 		pl, err := btree.DecodeMultiInsert(rec.Payload)
 		if err != nil {
 			return err

@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"onlineindex/internal/catalog"
+	"onlineindex/internal/core"
+	"onlineindex/internal/engine"
+	"onlineindex/internal/harness"
+	"onlineindex/internal/keyenc"
+	"onlineindex/internal/types"
+	"onlineindex/internal/vfs"
+	"onlineindex/internal/workload"
+)
+
+// ReadCell is one read-mode measurement of the readbench matrix.
+type ReadCell struct {
+	Mode        string  `json:"mode"` // point_hash | point_tree | range | seqscan
+	DuringBuild bool    `json:"during_build"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+}
+
+// ReadRecord is the machine-readable read-path measurement appended to
+// BENCH_build.json by `benchtab -readbench`: point lookups through the hash
+// fast path and through the raw B+-tree (cache disabled), 200-entry ordered
+// range scans, and zone-map-pruned sequential scans — each measured on a
+// quiescent table and again while a live SF index build runs over the same
+// table, which is the paper's no-quiesce claim seen from the reader's side.
+type ReadRecord struct {
+	Kind    string     `json:"kind"` // "readbench"
+	NumCPU  int        `json:"num_cpu"`
+	Rows    int        `json:"rows"`
+	Readers int        `json:"readers"`
+	Trials  int        `json:"trials"`
+	Builds  int        `json:"sf_builds_completed"` // SF builds finished during the live-build window
+	Results []ReadCell `json:"results"`
+}
+
+// readBatch amortizes transaction begin/rollback across this many lookups
+// per measured op, so the measurement weighs the lookup itself.
+const readBatch = 64
+
+// hotKeys is the point-lookup working set; it sits well under the cache's
+// default capacity so the steady state is all-hit.
+const hotKeys = 1024
+
+// NewReadGateDBs opens two identically populated engines — hash fast path
+// enabled and disabled — each with the complete by_key index the point
+// lookups use. The pair is the readbench's (and the read gate's) subject.
+func NewReadGateDBs(rows int) (hash, tree *engine.DB, err error) {
+	if hash, err = newReadDB(rows, false); err != nil {
+		return nil, nil, err
+	}
+	if tree, err = newReadDB(rows, true); err != nil {
+		return nil, nil, err
+	}
+	return hash, tree, nil
+}
+
+func newReadDB(rows int, disableCache bool) (*engine.DB, error) {
+	db, err := engine.Open(engine.Config{FS: vfs.NewMemFS(), PoolSize: 4096,
+		DisableReadCache: disableCache})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := db.CreateTable("orders", workload.Schema()); err != nil {
+		return nil, err
+	}
+	if _, err := workload.Populate(db, "orders", rows, 16); err != nil {
+		return nil, err
+	}
+	if _, err := core.Build(db, engine.CreateIndexSpec{
+		Name: "by_key", Table: "orders", Columns: []string{"key"}, Method: catalog.MethodOffline,
+	}, core.Options{}); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// MeasurePointLookup measures all-hit point-lookup throughput on the by_key
+// index over the hot key set: each measured op is one transaction doing
+// readBatch lookups. Returns individual lookups per second.
+func MeasurePointLookup(db *engine.DB, goroutines int, dur time.Duration) (float64, error) {
+	ops, err := concurrentOpsPerSec(goroutines, dur, func(g, i int) error {
+		tx := db.Begin()
+		defer tx.Rollback() //nolint:errcheck
+		for j := 0; j < readBatch; j++ {
+			id := int64((i*readBatch + j*7 + g*13) % hotKeys)
+			rids, err := db.IndexLookup(tx, "by_key", keyenc.String(workload.KeyOf(id)))
+			if err != nil {
+				return err
+			}
+			if len(rids) != 1 {
+				return fmt.Errorf("readbench: lookup id %d returned %d rids", id, len(rids))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return ops * readBatch, nil
+}
+
+// measureRangeScan measures 200-entry ordered index scans per second from
+// rotating start positions of the by_key index.
+func measureRangeScan(db *engine.DB, rows, goroutines int, dur time.Duration) (float64, error) {
+	return concurrentOpsPerSec(goroutines, dur, func(g, i int) error {
+		tx := db.Begin()
+		defer tx.Rollback() //nolint:errcheck
+		lo := []keyenc.Value{keyenc.String(workload.KeyOf(int64((i*37 + g*11) % rows)))}
+		n := 0
+		return db.IndexScan(tx, "by_key", lo, nil, func(_ []byte, _ types.RID) bool {
+			n++
+			return n < 200
+		})
+	})
+}
+
+// measureSeqScan measures predicate-pushdown sequential scans per second: a
+// narrow id-range predicate over a table whose insert order correlates with
+// page order, so zone maps prune almost every block once their summaries
+// have been rebuilt by earlier passes.
+func measureSeqScan(db *engine.DB, rows, goroutines int, dur time.Duration) (float64, error) {
+	return concurrentOpsPerSec(goroutines, dur, func(g, i int) error {
+		tx := db.Begin()
+		defer tx.Rollback() //nolint:errcheck
+		base := int64((i*211 + g*401) % rows)
+		lo, hi := keyenc.Int64(base), keyenc.Int64(base+200)
+		return db.SeqScan(tx, "orders", &engine.Predicate{Col: 0, Lo: &lo, Hi: &hi},
+			func(_ types.RID, _ engine.Row) bool { return true })
+	})
+}
+
+// ReadBench runs the read-path throughput matrix — quiescent, then with a
+// live SF build looping on the same table — and returns the
+// BENCH_build.json record.
+func ReadBench(cfg Config, rows int) (ReadRecord, error) {
+	const (
+		readers = 4
+		trials  = 3
+		dur     = 120 * time.Millisecond
+	)
+	rec := ReadRecord{
+		Kind: "readbench", NumCPU: runtime.NumCPU(), Rows: rows,
+		Readers: readers, Trials: trials,
+	}
+	dbHash, dbTree, err := NewReadGateDBs(rows)
+	if err != nil {
+		return rec, err
+	}
+	defer dbHash.Close() //nolint:errcheck
+	defer dbTree.Close() //nolint:errcheck
+
+	type probe struct {
+		mode    string
+		measure func() (float64, error)
+	}
+	quiescent := []probe{
+		{"point_hash", func() (float64, error) { return MeasurePointLookup(dbHash, readers, dur) }},
+		{"point_tree", func() (float64, error) { return MeasurePointLookup(dbTree, readers, dur) }},
+		{"range", func() (float64, error) { return measureRangeScan(dbHash, rows, readers, dur) }},
+		{"seqscan", func() (float64, error) { return measureSeqScan(dbHash, rows, readers, dur) }},
+	}
+	bestOf := func(probes []probe, during bool) error {
+		cells := make([]ReadCell, len(probes))
+		for i, p := range probes {
+			cells[i] = ReadCell{Mode: p.mode, DuringBuild: during}
+		}
+		for t := 0; t < trials; t++ {
+			for i, p := range probes {
+				v, err := p.measure()
+				if err != nil {
+					return fmt.Errorf("readbench %s (during_build=%v): %w", p.mode, during, err)
+				}
+				if v > cells[i].OpsPerSec {
+					cells[i].OpsPerSec = v
+				}
+			}
+		}
+		rec.Results = append(rec.Results, cells...)
+		return nil
+	}
+	if err := bestOf(quiescent, false); err != nil {
+		return rec, err
+	}
+
+	// The live-build window: an SF build of by_id loops (build, drop,
+	// rebuild) on dbHash until the measurements finish, so a build's scan,
+	// sort, load and side-file phases all overlap the reads.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var buildErr error
+	var builds int
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for n := 0; ; n++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			name := fmt.Sprintf("by_id_%d", n)
+			if _, err := core.Build(dbHash, engine.CreateIndexSpec{
+				Name: name, Table: "orders", Columns: []string{"id"}, Method: catalog.MethodSF,
+			}, cfg.buildOptions()); err != nil {
+				buildErr = err
+				return
+			}
+			builds++
+			if err := dbHash.DropIndex(name); err != nil {
+				buildErr = err
+				return
+			}
+		}
+	}()
+	during := []probe{
+		{"point_hash", func() (float64, error) { return MeasurePointLookup(dbHash, readers, dur) }},
+		{"range", func() (float64, error) { return measureRangeScan(dbHash, rows, readers, dur) }},
+		{"seqscan", func() (float64, error) { return measureSeqScan(dbHash, rows, readers, dur) }},
+	}
+	err = bestOf(during, true)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		return rec, err
+	}
+	if buildErr != nil {
+		return rec, fmt.Errorf("readbench: concurrent SF build: %w", buildErr)
+	}
+	rec.Builds = builds
+
+	rows2 := make([][]string, len(rec.Results))
+	for i, c := range rec.Results {
+		rows2[i] = []string{c.Mode, fmt.Sprintf("%v", c.DuringBuild), fmt.Sprintf("%.0f", c.OpsPerSec)}
+	}
+	cfg.printf("%s\n", harness.Table(
+		fmt.Sprintf("Read path, %d readers on %d CPUs over %d rows (ops/s, best of %d; %d SF builds completed in the live window)",
+			readers, rec.NumCPU, rows, trials, builds),
+		[]string{"mode", "during build", "ops/s"},
+		rows2))
+	return rec, nil
+}

@@ -20,15 +20,41 @@ import (
 // builder's Current-RID and capture the side-file decision.
 type DecideFn func(rid types.RID) (visCount uint16)
 
+// Observer is notified of every record mutation, synchronously, while the
+// data page's X latch is still held — the only point where the mutation is
+// ordered against every other access to the page. The engine hangs its
+// zone-map maintenance here. Callbacks receive the raw record bytes; they
+// must be quick and must not touch the buffer pool. Redo during restart
+// recovery does NOT notify (recovery rebuilds derived state from scratch).
+type Observer interface {
+	HeapInsert(page types.PageNum, rec []byte)
+	HeapDelete(page types.PageNum, old []byte)
+	HeapUpdate(page types.PageNum, old, new []byte)
+}
+
 // Table is the record manager for one heap file.
 type Table struct {
 	pool *buffer.Pool
 	file types.FileID
 
 	mu       sync.Mutex
+	obs      Observer
 	freeHint map[types.PageNum]int // approximate free bytes per page
 	lastPage types.PageNum
 	havePage bool
+}
+
+// SetObserver installs the mutation observer (nil clears it).
+func (t *Table) SetObserver(o Observer) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.obs = o
+}
+
+func (t *Table) observer() Observer {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.obs
 }
 
 // Open opens the heap file, scanning existing pages to build the free-space
@@ -179,6 +205,9 @@ func (t *Table) Insert(tl rm.TxnLogger, rec []byte, accept AcceptFn, decide Deci
 			return types.NilRID, ierr
 		}
 		rid := types.RID{PageID: f.ID, Slot: slot}
+		if o := t.observer(); o != nil {
+			o.HeapInsert(f.ID.Page, rec)
+		}
 		var vis uint16
 		if decide != nil {
 			vis = decide(rid)
@@ -218,6 +247,9 @@ func (t *Table) Delete(tl rm.TxnLogger, rid types.RID, decide DecideFn) ([]byte,
 			return err
 		}
 		old = o
+		if obs := t.observer(); obs != nil {
+			obs.HeapDelete(rid.PageID.Page, o)
+		}
 		pl := DeletePayload{RID: rid, Old: o, VisCount: vis}
 		lsn, err := tl.Log(&wal.Record{
 			Type: wal.TypeHeapDelete, Flags: wal.FlagRedo | wal.FlagUndo,
@@ -250,6 +282,9 @@ func (t *Table) Update(tl rm.TxnLogger, rid types.RID, rec []byte, decide Decide
 			return err
 		}
 		old = o
+		if obs := t.observer(); obs != nil {
+			obs.HeapUpdate(rid.PageID.Page, o, rec)
+		}
 		pl := UpdatePayload{RID: rid, Old: o, New: rec, VisCount: vis}
 		lsn, err := tl.Log(&wal.Record{
 			Type: wal.TypeHeapUpdate, Flags: wal.FlagRedo | wal.FlagUndo,
@@ -407,6 +442,9 @@ func (t *Table) UndoInsert(tl rm.TxnLogger, pl InsertPayload, undoNext types.LSN
 		if err != nil {
 			return fmt.Errorf("heap: undo insert %s: %w", pl.RID, err)
 		}
+		if o := t.observer(); o != nil {
+			o.HeapDelete(pl.RID.PageID.Page, old)
+		}
 		clr := DeletePayload{RID: pl.RID, Old: old, VisCount: pl.VisCount}
 		lsn, err := tl.LogCLR(&wal.Record{
 			Type: wal.TypeHeapDelete, Flags: wal.FlagRedo,
@@ -432,6 +470,9 @@ func (t *Table) UndoDelete(tl rm.TxnLogger, pl DeletePayload, undoNext types.LSN
 		if err := hp.InsertAt(pl.RID.Slot, pl.Old); err != nil {
 			return fmt.Errorf("heap: undo delete %s: %w", pl.RID, err)
 		}
+		if o := t.observer(); o != nil {
+			o.HeapInsert(pl.RID.PageID.Page, pl.Old)
+		}
 		clr := InsertPayload{RID: pl.RID, Rec: pl.Old, VisCount: pl.VisCount}
 		lsn, err := tl.LogCLR(&wal.Record{
 			Type: wal.TypeHeapInsert, Flags: wal.FlagRedo,
@@ -456,6 +497,9 @@ func (t *Table) UndoUpdate(tl rm.TxnLogger, pl UpdatePayload, undoNext types.LSN
 		}
 		if _, err := hp.Update(pl.RID.Slot, pl.Old); err != nil {
 			return fmt.Errorf("heap: undo update %s: %w", pl.RID, err)
+		}
+		if o := t.observer(); o != nil {
+			o.HeapUpdate(pl.RID.PageID.Page, pl.New, pl.Old)
 		}
 		clr := UpdatePayload{RID: pl.RID, Old: pl.New, New: pl.Old, VisCount: pl.VisCount}
 		lsn, err := tl.LogCLR(&wal.Record{

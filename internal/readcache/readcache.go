@@ -1,0 +1,209 @@
+// Package readcache is a hash-table fast path for index point lookups,
+// layered over the B+-tree (the Griffin idea: the tree stays the source of
+// truth; the hash table is a coherent cache of recently-looked-up key runs).
+//
+// Coherence is version-based, not content-based. Every key maps to a slot
+// holding a version counter and, when filled, the full entry run (all RIDs,
+// including pseudo-deleted entries with their flags) for that key. Writers
+// call Invalidate while still holding their X key locks — before the
+// transaction releases them — which bumps the version and clears the run.
+// Readers use the Begin/Put pair to fill (a fill racing an invalidation
+// loses: Put only lands if the version still matches), and Validate after
+// acquiring locks to prove freshness: if the version a reader sampled at Get
+// is still current after it holds S locks on every returned RID, no writer
+// can have changed the key's committed entry run in between, so the cached
+// run equals what a tree descent would return now.
+//
+// The cache is memory-only and bounded: each shard evicts an arbitrary slot
+// beyond its capacity share. Eviction only loses the cached run, never
+// correctness (a miss falls back to the tree).
+package readcache
+
+import (
+	"sync"
+
+	"onlineindex/internal/metrics"
+	"onlineindex/internal/types"
+)
+
+const shardCount = 16 // fixed power of two; key runs hash across shards
+
+// Entry is one cached index entry: an RID and its pseudo-delete flag at fill
+// time. Pseudo entries are cached too — the engine's lock protocol decides
+// their visibility per read, and caching them keeps Validate exact (a
+// live→pseudo transition bumps the version like any other write).
+type Entry struct {
+	RID    types.RID
+	Pseudo bool
+}
+
+// Metrics are the cache's nil-safe counters.
+type Metrics struct {
+	Hits          *metrics.Counter // Get returned a filled run
+	Misses        *metrics.Counter // Get found no filled slot
+	Fills         *metrics.Counter // Put landed
+	Invalidations *metrics.Counter // Invalidate bumped a slot
+	Evictions     *metrics.Counter // slot dropped for capacity
+}
+
+// MetricsFrom registers the cache counters under prefix (e.g. "readcache").
+func MetricsFrom(r *metrics.Registry, prefix string) Metrics {
+	return Metrics{
+		Hits:          r.Counter(prefix + ".hits"),
+		Misses:        r.Counter(prefix + ".misses"),
+		Fills:         r.Counter(prefix + ".fills"),
+		Invalidations: r.Counter(prefix + ".invalidations"),
+		Evictions:     r.Counter(prefix + ".evictions"),
+	}
+}
+
+type slot struct {
+	ver     uint64
+	filled  bool
+	entries []Entry
+}
+
+type shard struct {
+	mu    sync.Mutex
+	slots map[string]*slot
+}
+
+// Cache is one index's hash fast path.
+type Cache struct {
+	shards [shardCount]shard
+	perCap int // max slots per shard
+	met    Metrics
+}
+
+// New creates a cache holding at most cap key runs (0 means a default of
+// 4096). Metrics are optional; the zero Metrics is a no-op.
+func New(capacity int, met Metrics) *Cache {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	per := capacity / shardCount
+	if per < 1 {
+		per = 1
+	}
+	c := &Cache{perCap: per, met: met}
+	for i := range c.shards {
+		c.shards[i].slots = make(map[string]*slot)
+	}
+	return c
+}
+
+// fnv1a matches the spirit of the buffer pool's fixed hash: deterministic,
+// allocation-free, good enough to spread keys across 16 shards.
+func fnv1a(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (c *Cache) shardOf(key []byte) *shard {
+	return &c.shards[fnv1a(key)&(shardCount-1)]
+}
+
+// Get returns the cached entry run for key and the version it was read at.
+// ok=false means no filled slot exists (the caller goes to the tree; pair
+// with Begin/Put to fill). The returned slice is shared — callers must not
+// mutate it.
+func (c *Cache) Get(key []byte) ([]Entry, uint64, bool) {
+	s := c.shardOf(key)
+	s.mu.Lock()
+	sl := s.slots[string(key)]
+	if sl == nil || !sl.filled {
+		s.mu.Unlock()
+		c.met.Misses.Inc()
+		return nil, 0, false
+	}
+	entries, ver := sl.entries, sl.ver
+	s.mu.Unlock()
+	c.met.Hits.Inc()
+	return entries, ver, true
+}
+
+// Begin reserves a fill for key and returns the version the upcoming tree
+// read will be tagged with. The caller reads the tree, then calls Put with
+// this version; any Invalidate in between bumps the version and the Put
+// becomes a no-op. Begin on an existing slot reuses it (and its version).
+func (c *Cache) Begin(key []byte) uint64 {
+	s := c.shardOf(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sl := s.slots[string(key)]
+	if sl == nil {
+		if len(s.slots) >= c.perCap {
+			c.evictLocked(s)
+		}
+		sl = &slot{}
+		s.slots[string(key)] = sl
+	}
+	return sl.ver
+}
+
+// Put installs the entry run read from the tree iff the slot still exists at
+// the version Begin returned. entries is retained — pass an owned slice.
+func (c *Cache) Put(key []byte, ver uint64, entries []Entry) {
+	s := c.shardOf(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sl := s.slots[string(key)]
+	if sl == nil || sl.ver != ver {
+		return // invalidated or evicted while the tree was being read
+	}
+	sl.entries = entries
+	sl.filled = true
+	c.met.Fills.Inc()
+}
+
+// Validate reports whether key's slot is still at ver. True after the caller
+// acquired locks on every cached RID proves the run is the committed state.
+func (c *Cache) Validate(key []byte, ver uint64) bool {
+	s := c.shardOf(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sl := s.slots[string(key)]
+	return sl != nil && sl.ver == ver
+}
+
+// Invalidate bumps the key's version and drops its cached run. Writers call
+// it for every key they touch while still holding their X locks on the
+// affected entries, which is what makes Validate-after-lock sound.
+func (c *Cache) Invalidate(key []byte) {
+	s := c.shardOf(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sl := s.slots[string(key)]
+	if sl == nil {
+		return
+	}
+	sl.ver++
+	sl.filled = false
+	sl.entries = nil
+	c.met.Invalidations.Inc()
+}
+
+// evictLocked drops one slot to stay under the shard cap. Go's random map
+// iteration picks the victim; losing a cached run only costs a future miss.
+func (c *Cache) evictLocked(s *shard) {
+	for k := range s.slots {
+		delete(s.slots, k)
+		c.met.Evictions.Inc()
+		return
+	}
+}
+
+// Len reports the total number of slots (filled or reserved), for tests.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += len(c.shards[i].slots)
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,112 @@
+package readcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"onlineindex/internal/metrics"
+	"onlineindex/internal/types"
+)
+
+func ridN(i int) types.RID {
+	return types.RID{PageID: types.PageID{File: 1, Page: types.PageNum(i)}, Slot: 0}
+}
+
+func TestFillGetValidate(t *testing.T) {
+	c := New(64, Metrics{})
+	key := []byte("k1")
+	if _, _, ok := c.Get(key); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	ver := c.Begin(key)
+	c.Put(key, ver, []Entry{{RID: ridN(1)}, {RID: ridN(2), Pseudo: true}})
+	got, gv, ok := c.Get(key)
+	if !ok || len(got) != 2 || gv != ver {
+		t.Fatalf("Get after Put: ok=%v len=%d ver=%d want 2 entries at ver %d", ok, len(got), gv, ver)
+	}
+	if !got[1].Pseudo {
+		t.Fatal("pseudo flag lost in cache")
+	}
+	if !c.Validate(key, gv) {
+		t.Fatal("Validate failed with no intervening writer")
+	}
+}
+
+func TestInvalidateDefeatsStaleFill(t *testing.T) {
+	c := New(64, Metrics{})
+	key := []byte("k1")
+	ver := c.Begin(key)
+	// Writer invalidates while the reader is off reading the tree.
+	c.Invalidate(key)
+	c.Put(key, ver, []Entry{{RID: ridN(1)}})
+	if _, _, ok := c.Get(key); ok {
+		t.Fatal("stale Put landed after Invalidate")
+	}
+	// And a run filled before the invalidation must fail Validate after it.
+	ver2 := c.Begin(key)
+	c.Put(key, ver2, []Entry{{RID: ridN(2)}})
+	_, gv, ok := c.Get(key)
+	if !ok {
+		t.Fatal("fresh fill missing")
+	}
+	c.Invalidate(key)
+	if c.Validate(key, gv) {
+		t.Fatal("Validate passed across an invalidation")
+	}
+}
+
+func TestEvictionBoundsSize(t *testing.T) {
+	reg := metrics.New()
+	met := MetricsFrom(reg, "readcache")
+	c := New(32, met) // 2 slots per shard
+	for i := 0; i < 500; i++ {
+		key := []byte(fmt.Sprintf("key-%04d", i))
+		v := c.Begin(key)
+		c.Put(key, v, []Entry{{RID: ridN(i)}})
+	}
+	if n := c.Len(); n > 32 {
+		t.Fatalf("cache grew to %d slots, cap 32", n)
+	}
+	if met.Evictions.Value() == 0 {
+		t.Fatal("no evictions counted despite overflow")
+	}
+	if met.Fills.Value() == 0 {
+		t.Fatal("no fills counted")
+	}
+}
+
+// TestConcurrentFillInvalidate races fillers against invalidators (-race);
+// the invariant is that a Get never returns a run whose version fails an
+// immediate Validate unless an invalidation happened in between — i.e. the
+// version number pins the run.
+func TestConcurrentFillInvalidate(t *testing.T) {
+	c := New(256, Metrics{})
+	keys := make([][]byte, 8)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("k%d", i))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(2)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := keys[(w+i)%len(keys)]
+				v := c.Begin(k)
+				c.Put(k, v, []Entry{{RID: ridN(i)}})
+				if got, gv, ok := c.Get(k); ok {
+					_ = got
+					c.Validate(k, gv)
+				}
+			}
+		}(w)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				c.Invalidate(keys[(w*3+i)%len(keys)])
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -132,6 +132,13 @@ func (t *Txn) LockInstant(name lock.Name, mode lock.Mode) error {
 	return t.mgr.locks.LockInstant(t.id, name, mode)
 }
 
+// LockConditional acquires a held lock only if it can be granted without
+// waiting; otherwise ErrWouldBlock. The read fast path uses it to keep the
+// no-contention case free of lock-manager queueing.
+func (t *Txn) LockConditional(name lock.Name, mode lock.Mode) error {
+	return t.mgr.locks.LockConditional(t.id, name, mode)
+}
+
 // LockConditionalInstant is the GC probe: granted-and-released or
 // ErrWouldBlock, never waiting.
 func (t *Txn) LockConditionalInstant(name lock.Name, mode lock.Mode) error {

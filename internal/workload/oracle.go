@@ -1,0 +1,299 @@
+package workload
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+
+	"onlineindex/internal/engine"
+	"onlineindex/internal/keyenc"
+	"onlineindex/internal/types"
+)
+
+// ReadOracle is the read path's differential oracle: a scripted,
+// single-goroutine DML stream over the standard experiment table plus a
+// shadow copy of its committed state. Because everything runs on one
+// goroutine, the shadow IS the single-threaded reference at every commit
+// point — after each Step, every engine read (point lookup, ordered index
+// scan, predicate-pushdown sequential scan) must return exactly what the
+// shadow predicts. Driven from a builder's OnCheckpoint hook it checks the
+// paper's availability claim from the reader's side: an index that is
+// complete serves exactly the committed state while another index on the
+// same table is being built, and the one being built is firmly unreadable.
+//
+// The script deliberately routes every read twice through IndexLookup so
+// the second pass exercises the hash fast path: a wrong answer there is a
+// cache-invalidation bug, not a tree bug.
+type ReadOracle struct {
+	db    *engine.DB
+	table string
+	rows  []oracleRow
+	n     int
+}
+
+type oracleRow struct {
+	rid  types.RID
+	id   int64
+	live bool
+}
+
+// NewReadOracle wraps db's table, whose rows must be RowOf(i) for the seed
+// rids in insert order (what Populate produces).
+func NewReadOracle(db *engine.DB, table string, rids []types.RID) *ReadOracle {
+	o := &ReadOracle{db: db, table: table}
+	for i, rid := range rids {
+		o.rows = append(o.rows, oracleRow{rid: rid, id: int64(i), live: true})
+	}
+	return o
+}
+
+// pick returns the index of the first live row at or after start (mod len),
+// or -1 when the table is empty.
+func (o *ReadOracle) pick(start int) int {
+	for i := 0; i < len(o.rows); i++ {
+		j := (start + i) % len(o.rows)
+		if o.rows[j].live {
+			return j
+		}
+	}
+	return -1
+}
+
+// Step commits one scripted transaction — an insert, an update and a delete
+// chosen by fixed arithmetic on the step ordinal — and mirrors it into the
+// shadow. Deterministic: the stream is a pure function of the step count.
+func (o *ReadOracle) Step() error {
+	o.n++
+	n := o.n
+	tx := o.db.Begin()
+	newID := int64(1_000_000 + n)
+	rid, err := o.db.Insert(tx, o.table, RowOf(newID, 16))
+	if err != nil {
+		tx.Rollback() //nolint:errcheck
+		return err
+	}
+	ins := oracleRow{rid: rid, id: newID, live: true}
+	var upd, del = -1, -1
+	var updRID types.RID
+	updID := int64(2_000_000 + n)
+	if u := o.pick(7 * n); u >= 0 {
+		if updRID, err = o.db.Update(tx, o.table, o.rows[u].rid, RowOf(updID, 16)); err != nil {
+			tx.Rollback() //nolint:errcheck
+			return err
+		}
+		upd = u
+	}
+	if d := o.pick(11*n + 3); d >= 0 && d != upd {
+		if err := o.db.Delete(tx, o.table, o.rows[d].rid); err != nil {
+			tx.Rollback() //nolint:errcheck
+			return err
+		}
+		del = d
+	}
+	// Every third step the script aborts instead: the shadow keeps the old
+	// state and the reads must agree — rollback reactivation of
+	// pseudo-deleted entries is exactly what the fast path gets wrong if its
+	// cache outlives an undo.
+	if n%3 == 0 {
+		return tx.Rollback()
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	o.rows = append(o.rows, ins)
+	if upd >= 0 {
+		o.rows[upd].rid, o.rows[upd].id = updRID, updID
+	}
+	if del >= 0 {
+		o.rows[del].live = false
+	}
+	return nil
+}
+
+// keyVal is the indexed value of column col for a live row with this id
+// (rows are RowOf(id), so the row is a pure function of id).
+func keyVal(col int, id int64) keyenc.Value {
+	if col == 0 {
+		return keyenc.Int64(id)
+	}
+	return keyenc.String(KeyOf(id))
+}
+
+// VerifyReads checks every read primitive against the shadow. index must be
+// a complete index over column col (0 = "id", 1 = "key") of the table.
+func (o *ReadOracle) VerifyReads(index string, col int) error {
+	tx := o.db.Begin()
+	defer tx.Rollback() //nolint:errcheck // read-only: rollback just releases S locks
+
+	// Point lookups: a couple of live rows, the most recent dead row, and a
+	// key that never existed. Twice each — tree descent, then hash hit.
+	var dead *oracleRow
+	for i := len(o.rows) - 1; i >= 0; i-- {
+		if !o.rows[i].live {
+			dead = &o.rows[i]
+			break
+		}
+	}
+	probes := []struct {
+		val  keyenc.Value
+		want []types.RID
+	}{
+		{keyVal(col, int64(-12345)), nil},
+	}
+	for _, start := range []int{5 * o.n, 13*o.n + 1} {
+		if j := o.pick(start); j >= 0 {
+			probes = append(probes, struct {
+				val  keyenc.Value
+				want []types.RID
+			}{keyVal(col, o.rows[j].id), []types.RID{o.rows[j].rid}})
+		}
+	}
+	if dead != nil {
+		probes = append(probes, struct {
+			val  keyenc.Value
+			want []types.RID
+		}{keyVal(col, dead.id), nil})
+	}
+	for _, p := range probes {
+		for pass := 0; pass < 2; pass++ {
+			got, err := o.db.IndexLookup(tx, index, p.val)
+			if err != nil {
+				return fmt.Errorf("read oracle step %d: lookup %v: %w", o.n, p.val, err)
+			}
+			if !ridsEqual(got, p.want) {
+				return fmt.Errorf("read oracle step %d: lookup %v pass %d = %v, shadow says %v",
+					o.n, p.val, pass, got, p.want)
+			}
+		}
+	}
+
+	// Ordered scan over the whole index: exactly the shadow's live rows, in
+	// key order, no duplicates, no pseudo-deleted leakage.
+	type kr struct {
+		key []byte
+		rid types.RID
+	}
+	var want []kr
+	for _, r := range o.rows {
+		if r.live {
+			want = append(want, kr{key: keyenc.Encode(keyVal(col, r.id)), rid: r.rid})
+		}
+	}
+	sort.Slice(want, func(i, j int) bool {
+		if c := bytes.Compare(want[i].key, want[j].key); c != 0 {
+			return c < 0
+		}
+		return want[i].rid.Compare(want[j].rid) < 0
+	})
+	var got []kr
+	err := o.db.IndexScan(tx, index, nil, nil, func(key []byte, rid types.RID) bool {
+		got = append(got, kr{key: append([]byte(nil), key...), rid: rid})
+		return true
+	})
+	if err != nil {
+		return fmt.Errorf("read oracle step %d: scan: %w", o.n, err)
+	}
+	if len(got) != len(want) {
+		return fmt.Errorf("read oracle step %d: scan returned %d entries, shadow has %d live rows",
+			o.n, len(got), len(want))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i].key, want[i].key) || got[i].rid != want[i].rid {
+			return fmt.Errorf("read oracle step %d: scan entry %d = <%x,%v>, shadow says <%x,%v>",
+				o.n, i, got[i].key, got[i].rid, want[i].key, want[i].rid)
+		}
+	}
+
+	// Predicate-pushdown sequential scan on the id column, over a window that
+	// includes seed rows and the script's inserts. The zone maps behind it
+	// must only ever skip blocks with no match.
+	lo, hi := keyenc.Int64(0), keyenc.Int64(int64(1_000_000+o.n))
+	wantRids := map[types.RID]int64{}
+	for _, r := range o.rows {
+		if r.live && r.id >= 0 && r.id <= int64(1_000_000+o.n) {
+			wantRids[r.rid] = r.id
+		}
+	}
+	seen := map[types.RID]int64{}
+	err = o.db.SeqScan(tx, o.table, &engine.Predicate{Col: 0, Lo: &lo, Hi: &hi},
+		func(rid types.RID, row Row) bool {
+			seen[rid] = row[0].I
+			return true
+		})
+	if err != nil {
+		return fmt.Errorf("read oracle step %d: seqscan: %w", o.n, err)
+	}
+	if len(seen) != len(wantRids) {
+		return fmt.Errorf("read oracle step %d: seqscan returned %d rows, shadow has %d in range",
+			o.n, len(seen), len(wantRids))
+	}
+	for rid, id := range wantRids {
+		if got, ok := seen[rid]; !ok || got != id {
+			return fmt.Errorf("read oracle step %d: seqscan missing/mismatched rid %v (id %d, got %d ok=%v)",
+				o.n, rid, id, got, ok)
+		}
+	}
+	return nil
+}
+
+// Row aliases the engine row type for the seqscan callback above.
+type Row = engine.Row
+
+// VerifyUnreadable asserts that reads of a still-building index fail with
+// ErrIndexNotReadable rather than serving a half-built tree.
+func (o *ReadOracle) VerifyUnreadable(index string) error {
+	tx := o.db.Begin()
+	defer tx.Rollback() //nolint:errcheck
+	var notReadable *engine.ErrIndexNotReadable
+	if _, err := o.db.IndexLookup(tx, index, keyenc.Int64(1)); !errors.As(err, &notReadable) {
+		return fmt.Errorf("read oracle step %d: lookup of building index %q: err = %v, want ErrIndexNotReadable",
+			o.n, index, err)
+	}
+	err := o.db.IndexScan(tx, index, nil, nil, func([]byte, types.RID) bool { return true })
+	if !errors.As(err, &notReadable) {
+		return fmt.Errorf("read oracle step %d: scan of building index %q: err = %v, want ErrIndexNotReadable",
+			o.n, index, err)
+	}
+	return nil
+}
+
+// Hook packages Step + VerifyReads (+ VerifyUnreadable when building is
+// non-empty) as a builder OnCheckpoint callback: DML and reads interleave
+// with the build at every checkpoint, and every read is checked against the
+// shadow at its commit point.
+func (o *ReadOracle) Hook(readable string, readableCol int, building string) func(engine.IBPhase) error {
+	return func(engine.IBPhase) error {
+		if err := o.Step(); err != nil {
+			return err
+		}
+		if err := o.VerifyReads(readable, readableCol); err != nil {
+			return err
+		}
+		if building != "" {
+			if err := o.VerifyUnreadable(building); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// Steps reports how many scripted transactions have run.
+func (o *ReadOracle) Steps() int { return o.n }
+
+func ridsEqual(got, want []types.RID) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	g := append([]types.RID(nil), got...)
+	w := append([]types.RID(nil), want...)
+	sort.Slice(g, func(i, j int) bool { return g[i].Compare(g[j]) < 0 })
+	sort.Slice(w, func(i, j int) bool { return w[i].Compare(w[j]) < 0 })
+	for i := range g {
+		if g[i] != w[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"testing"
+
+	"onlineindex/internal/catalog"
+	"onlineindex/internal/core"
+	"onlineindex/internal/engine"
+)
+
+// TestReadOracleUnderBuild interleaves the scripted DML+read oracle with a
+// live build at every builder checkpoint: the complete by_key index and the
+// table's sequential scan must serve exactly the shadow's committed state
+// the whole way through, the index being built must stay unreadable, and
+// once the build completes the new index must agree with the shadow too.
+func TestReadOracleUnderBuild(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		method catalog.BuildMethod
+	}{
+		{"nsf", catalog.MethodNSF},
+		{"sf", catalog.MethodSF},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			db, rids := setup(t, 400)
+			if _, err := core.Build(db, engine.CreateIndexSpec{
+				Name: "by_key", Table: "orders", Columns: []string{"key"}, Method: catalog.MethodOffline,
+			}, core.Options{}); err != nil {
+				t.Fatal(err)
+			}
+
+			o := NewReadOracle(db, "orders", rids)
+			hook := o.Hook("by_key", 1, "by_id")
+			opts := core.Options{SortMemory: 64, CheckpointPages: 2, CheckpointKeys: 40, BatchSize: 32}
+			opts.OnCheckpoint = func(ph engine.IBPhase) error {
+				if err := hook(ph); err != nil {
+					return err
+				}
+				// Every few steps, GC the readable index under the reader's
+				// feet: physical removal of pseudo-deleted entries must be
+				// invisible to lookups and scans.
+				if o.Steps()%4 == 0 {
+					if _, err := core.GC(db, "by_key"); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			if _, err := core.Build(db, engine.CreateIndexSpec{
+				Name: "by_id", Table: "orders", Columns: []string{"id"}, Method: tc.method,
+			}, opts); err != nil {
+				t.Fatal(err)
+			}
+			if o.Steps() < 5 {
+				t.Fatalf("only %d oracle steps ran — checkpoint knobs too loose for a meaningful test", o.Steps())
+			}
+
+			// The build is complete: the new index must now serve the shadow's
+			// state exactly, as must by_key after all that DML and GC.
+			if err := o.VerifyReads("by_id", 0); err != nil {
+				t.Fatal(err)
+			}
+			if err := o.VerifyReads("by_key", 1); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.CheckIndexConsistency("by_id"); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestReadOracleQuiescent sanity-checks the oracle machinery itself with no
+// build running: a few scripted steps against a complete index.
+func TestReadOracleQuiescent(t *testing.T) {
+	db, rids := setup(t, 150)
+	if _, err := core.Build(db, engine.CreateIndexSpec{
+		Name: "by_key", Table: "orders", Columns: []string{"key"}, Method: catalog.MethodOffline,
+	}, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	o := NewReadOracle(db, "orders", rids)
+	for i := 0; i < 12; i++ {
+		if err := o.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.VerifyReads("by_key", 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

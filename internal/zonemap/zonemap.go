@@ -1,0 +1,276 @@
+// Package zonemap is a per-heap block-summary sidecar (the sieswi .sidx
+// idea): the heap's pages are grouped into fixed-size blocks, and each block
+// carries a summary — live row count, per-column min/max over the keyenc
+// encodings, per-column null counts — that a sequential scan consults to
+// skip blocks that cannot contain a match.
+//
+// Correctness rests on a superset invariant: a known block's bounds always
+// cover every live row in the block. Inserts and updates widen bounds under
+// the heap page's X latch; deletes only decrement counts and never shrink
+// bounds. Pruning can therefore only err toward scanning too much, never
+// toward skipping a matching row. Exact bounds are restored by a rebuild: a
+// scan over the block's pages computes the summary from scratch and installs
+// it version-checked — every mutation bumps the block's version, so a
+// rebuild that raced any DML is discarded and retried later.
+//
+// The map is memory-only. After a crash or restart every block starts
+// unknown, which makes stale pruning after recovery impossible by
+// construction; the first sequential scan rebuilds summaries as it goes.
+package zonemap
+
+import (
+	"bytes"
+	"sync"
+
+	"onlineindex/internal/metrics"
+	"onlineindex/internal/types"
+)
+
+// DefaultBlockPages is how many heap pages share one summary block.
+const DefaultBlockPages = 8
+
+// Metrics are the map's nil-safe counters.
+type Metrics struct {
+	Prunes          *metrics.Counter // blocks skipped by a scan
+	Rebuilds        *metrics.Counter // summaries installed
+	RebuildDiscards *metrics.Counter // rebuilds lost to concurrent DML
+	Notes           *metrics.Counter // DML notifications applied
+}
+
+// MetricsFrom registers the map counters under prefix (e.g. "zonemap").
+func MetricsFrom(r *metrics.Registry, prefix string) Metrics {
+	return Metrics{
+		Prunes:          r.Counter(prefix + ".prunes"),
+		Rebuilds:        r.Counter(prefix + ".rebuilds"),
+		RebuildDiscards: r.Counter(prefix + ".rebuild_discards"),
+		Notes:           r.Counter(prefix + ".notes"),
+	}
+}
+
+// ColStats summarizes one column across a block's live rows. Min/Max compare
+// as raw bytes, which is the keyenc order (nulls encode as 0x00 and sort
+// first, so they are inside the bounds like any other value).
+type ColStats struct {
+	Min, Max []byte
+	Nulls    int
+}
+
+// Summary is one block's contents as the map knows them.
+type Summary struct {
+	Live    int        // live rows in the block
+	MinCols int        // smallest column count of any row ever noted/seen
+	Cols    []ColStats // indexed by column position
+}
+
+// AddRow folds one live row into a summary being computed by a rebuild scan
+// (same folding the map applies for inserts on known blocks).
+func (s *Summary) AddRow(cols [][]byte, isNull func([]byte) bool) {
+	s.Live++
+	noteCols(s, cols, isNull, 1)
+}
+
+type block struct {
+	known bool
+	ver   uint64
+	sum   Summary
+}
+
+// Map is one heap's zone-map sidecar.
+type Map struct {
+	mu         sync.Mutex
+	blockPages int
+	blocks     []*block
+	met        Metrics
+}
+
+// New creates an empty map (every block unknown). blockPages <= 0 uses
+// DefaultBlockPages.
+func New(blockPages int, met Metrics) *Map {
+	if blockPages <= 0 {
+		blockPages = DefaultBlockPages
+	}
+	return &Map{blockPages: blockPages, met: met}
+}
+
+// BlockPages reports the block size in pages.
+func (m *Map) BlockPages() int { return m.blockPages }
+
+// BlockOf maps a heap page to its block index.
+func (m *Map) BlockOf(page types.PageNum) int { return int(page) / m.blockPages }
+
+// blockFor grows the block table on demand. Caller holds m.mu.
+func (m *Map) blockFor(idx int) *block {
+	for len(m.blocks) <= idx {
+		m.blocks = append(m.blocks, &block{})
+	}
+	return m.blocks[idx]
+}
+
+func widen(cs *ColStats, v []byte) {
+	if cs.Min == nil || bytes.Compare(v, cs.Min) < 0 {
+		cs.Min = append([]byte(nil), v...)
+	}
+	if cs.Max == nil || bytes.Compare(v, cs.Max) > 0 {
+		cs.Max = append([]byte(nil), v...)
+	}
+}
+
+// noteCols folds one row's column encodings into the summary. isNull reports
+// whether a column encoding is the null value (the caller knows keyenc).
+func noteCols(sum *Summary, cols [][]byte, isNull func([]byte) bool, add int) {
+	if sum.MinCols == 0 || len(cols) < sum.MinCols {
+		sum.MinCols = len(cols)
+	}
+	for len(sum.Cols) < len(cols) {
+		sum.Cols = append(sum.Cols, ColStats{})
+	}
+	for i, v := range cols {
+		cs := &sum.Cols[i]
+		if add > 0 {
+			widen(cs, v)
+		}
+		if isNull(v) {
+			cs.Nulls += add
+		}
+	}
+}
+
+// NoteInsert records a row landing on page. cols are the row's per-column
+// keyenc encodings; isNull identifies the null encoding. Called under the
+// page's X latch.
+func (m *Map) NoteInsert(page types.PageNum, cols [][]byte, isNull func([]byte) bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b := m.blockFor(m.BlockOf(page))
+	b.ver++
+	m.met.Notes.Inc()
+	if !b.known {
+		return
+	}
+	b.sum.Live++
+	noteCols(&b.sum, cols, isNull, 1)
+}
+
+// NoteDelete records a row leaving page. Bounds are left alone (superset
+// invariant); only the counts move. Called under the page's X latch.
+func (m *Map) NoteDelete(page types.PageNum, old [][]byte, isNull func([]byte) bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b := m.blockFor(m.BlockOf(page))
+	b.ver++
+	m.met.Notes.Inc()
+	if !b.known {
+		return
+	}
+	b.sum.Live--
+	for i, v := range old {
+		if i < len(b.sum.Cols) && isNull(v) {
+			b.sum.Cols[i].Nulls--
+		}
+	}
+}
+
+// NoteUpdate records a row on page changing in place. Called under the
+// page's X latch.
+func (m *Map) NoteUpdate(page types.PageNum, old, new [][]byte, isNull func([]byte) bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b := m.blockFor(m.BlockOf(page))
+	b.ver++
+	m.met.Notes.Inc()
+	if !b.known {
+		return
+	}
+	for i, v := range old {
+		if i < len(b.sum.Cols) && isNull(v) {
+			b.sum.Cols[i].Nulls--
+		}
+	}
+	noteCols(&b.sum, new, isNull, 1)
+}
+
+// BeginRebuild samples the block's version before the caller scans its
+// pages. Pair with CompleteRebuild.
+func (m *Map) BeginRebuild(idx int) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.blockFor(idx).ver
+}
+
+// CompleteRebuild installs a freshly computed summary iff no mutation
+// touched the block since BeginRebuild. Reports whether it landed.
+func (m *Map) CompleteRebuild(idx int, ver uint64, sum Summary) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b := m.blockFor(idx)
+	if b.ver != ver {
+		m.met.RebuildDiscards.Inc()
+		return false
+	}
+	b.sum = sum
+	b.known = true
+	m.met.Rebuilds.Inc()
+	return true
+}
+
+// CanPrune reports whether a scan may skip block idx entirely for a
+// predicate bounding column col to [lo, hi] in keyenc byte order (nil bound
+// = unbounded; col < 0 means no column predicate — then only an empty block
+// prunes). Unknown blocks never prune.
+func (m *Map) CanPrune(idx, col int, lo, hi []byte) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if idx >= len(m.blocks) {
+		return false
+	}
+	b := m.blocks[idx]
+	if !b.known {
+		return false
+	}
+	if b.sum.Live <= 0 {
+		m.met.Prunes.Inc()
+		return true
+	}
+	if col < 0 {
+		return false
+	}
+	// Rows with fewer columns than col+1 have no value there; the bounds say
+	// nothing about them, so the block must be scanned.
+	if col >= b.sum.MinCols || col >= len(b.sum.Cols) {
+		return false
+	}
+	cs := b.sum.Cols[col]
+	if cs.Min == nil { // no live row ever contributed a value
+		return false
+	}
+	if hi != nil && bytes.Compare(cs.Min, hi) > 0 {
+		m.met.Prunes.Inc()
+		return true
+	}
+	if lo != nil && bytes.Compare(cs.Max, lo) < 0 {
+		m.met.Prunes.Inc()
+		return true
+	}
+	return false
+}
+
+// Known reports whether block idx currently has an installed summary.
+func (m *Map) Known(idx int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return idx < len(m.blocks) && m.blocks[idx].known
+}
+
+// SummaryOf returns a copy of block idx's summary for tests and admin
+// display; ok=false if the block is unknown.
+func (m *Map) SummaryOf(idx int) (Summary, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if idx >= len(m.blocks) || !m.blocks[idx].known {
+		return Summary{}, false
+	}
+	b := m.blocks[idx]
+	out := Summary{Live: b.sum.Live, MinCols: b.sum.MinCols, Cols: make([]ColStats, len(b.sum.Cols))}
+	copy(out.Cols, b.sum.Cols)
+	return out, true
+}

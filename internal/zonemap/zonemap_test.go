@@ -1,0 +1,133 @@
+package zonemap
+
+import (
+	"testing"
+
+	"onlineindex/internal/keyenc"
+	"onlineindex/internal/metrics"
+	"onlineindex/internal/types"
+)
+
+func isNull(v []byte) bool {
+	k, _, err := keyenc.DecodeOne(v)
+	return err == nil && k.Kind == keyenc.KindNull
+}
+
+func enc(v keyenc.Value) []byte { return keyenc.Encode(v) }
+
+func row(id int64, name string) [][]byte {
+	return [][]byte{enc(keyenc.Int64(id)), enc(keyenc.String(name))}
+}
+
+func TestRebuildInstallAndPrune(t *testing.T) {
+	m := New(4, Metrics{})
+	// Block 0 unknown: never prunes.
+	if m.CanPrune(0, 0, enc(keyenc.Int64(100)), enc(keyenc.Int64(200))) {
+		t.Fatal("unknown block pruned")
+	}
+	ver := m.BeginRebuild(0)
+	sum := Summary{Live: 2, MinCols: 2}
+	for _, r := range [][][]byte{row(10, "aa"), row(20, "bb")} {
+		noteCols(&sum, r, isNull, 1)
+	}
+	if !m.CompleteRebuild(0, ver, sum) {
+		t.Fatal("uncontended rebuild discarded")
+	}
+	// id range [100,200] misses [10,20] entirely.
+	if !m.CanPrune(0, 0, enc(keyenc.Int64(100)), enc(keyenc.Int64(200))) {
+		t.Fatal("disjoint range not pruned")
+	}
+	// id range [15,200] overlaps.
+	if m.CanPrune(0, 0, enc(keyenc.Int64(15)), enc(keyenc.Int64(200))) {
+		t.Fatal("overlapping range pruned")
+	}
+	// Unbounded predicate on a live block never prunes.
+	if m.CanPrune(0, -1, nil, nil) {
+		t.Fatal("live block pruned with no predicate")
+	}
+}
+
+func TestRebuildDiscardedOnConcurrentDML(t *testing.T) {
+	reg := metrics.New()
+	m := New(4, MetricsFrom(reg, "zm"))
+	ver := m.BeginRebuild(0)
+	m.NoteInsert(types.PageNum(1), row(5, "x"), isNull) // races the rebuild
+	if m.CompleteRebuild(0, ver, Summary{Live: 1, MinCols: 2}) {
+		t.Fatal("rebuild landed despite concurrent insert")
+	}
+	if m.Known(0) {
+		t.Fatal("block known after discarded rebuild")
+	}
+}
+
+func TestSupersetInvariantUnderDML(t *testing.T) {
+	m := New(4, Metrics{})
+	ver := m.BeginRebuild(0)
+	sum := Summary{}
+	noteCols(&sum, row(50, "mm"), isNull, 1)
+	sum.Live = 1
+	if !m.CompleteRebuild(0, ver, sum) {
+		t.Fatal("rebuild discarded")
+	}
+	// Insert outside the bounds widens them.
+	m.NoteInsert(0, row(5, "aa"), isNull)
+	if m.CanPrune(0, 0, enc(keyenc.Int64(1)), enc(keyenc.Int64(7))) {
+		t.Fatal("block pruned after insert widened bounds into the range")
+	}
+	// Delete does not shrink bounds: range [1,7] still unprunable even after
+	// the only row in it is gone (conservative, correct).
+	m.NoteDelete(0, row(5, "aa"), isNull)
+	if m.CanPrune(0, 0, enc(keyenc.Int64(1)), enc(keyenc.Int64(7))) {
+		t.Fatal("delete shrank bounds")
+	}
+	// But when live hits zero the block prunes for any predicate.
+	m.NoteDelete(0, row(50, "mm"), isNull)
+	if !m.CanPrune(0, -1, nil, nil) {
+		t.Fatal("empty block not pruned")
+	}
+	// Update moves a row: bounds widen to the new value, old bound remains.
+	m.NoteInsert(0, row(50, "mm"), isNull)
+	m.NoteUpdate(0, row(50, "mm"), row(500, "zz"), isNull)
+	if m.CanPrune(0, 0, enc(keyenc.Int64(400)), enc(keyenc.Int64(600))) {
+		t.Fatal("update did not widen bounds to the new value")
+	}
+}
+
+func TestShortRowsDisableColumnPrune(t *testing.T) {
+	m := New(4, Metrics{})
+	ver := m.BeginRebuild(0)
+	sum := Summary{Live: 2}
+	noteCols(&sum, row(10, "aa"), isNull, 1)
+	noteCols(&sum, [][]byte{enc(keyenc.Int64(20))}, isNull, 1) // only one column
+	if !m.CompleteRebuild(0, ver, sum) {
+		t.Fatal("rebuild discarded")
+	}
+	// Column 1 bounds only describe the two-column row; the short row could
+	// be anything, so pruning on column 1 must be off.
+	if m.CanPrune(0, 1, enc(keyenc.String("zz")), nil) {
+		t.Fatal("pruned on a column some rows lack")
+	}
+	// Column 0 is present in every row and prunes normally.
+	if !m.CanPrune(0, 0, enc(keyenc.Int64(100)), nil) {
+		t.Fatal("column 0 prune lost")
+	}
+}
+
+func TestNullsInsideBounds(t *testing.T) {
+	m := New(4, Metrics{})
+	ver := m.BeginRebuild(0)
+	sum := Summary{Live: 2, MinCols: 2}
+	noteCols(&sum, [][]byte{enc(keyenc.Int64(10)), enc(keyenc.Null())}, isNull, 1)
+	noteCols(&sum, row(20, "bb"), isNull, 1)
+	if !m.CompleteRebuild(0, ver, sum) {
+		t.Fatal("rebuild discarded")
+	}
+	s, ok := m.SummaryOf(0)
+	if !ok || s.Cols[1].Nulls != 1 {
+		t.Fatalf("null count = %d, want 1", s.Cols[1].Nulls)
+	}
+	// Null sorts first: a predicate range starting at null must not prune.
+	if m.CanPrune(0, 1, enc(keyenc.Null()), enc(keyenc.Null())) {
+		t.Fatal("pruned a block containing a null in range")
+	}
+}

@@ -136,6 +136,15 @@ type Config struct {
 	// LockStripes is the lock manager's bucket-map stripe count (rounded up
 	// to a power of two; 0 means min(16, GOMAXPROCS)).
 	LockStripes int
+	// DisableReadCache turns off the hash point-lookup fast path; Lookup then
+	// always descends the B+-tree. See README "Serving reads during a build".
+	DisableReadCache bool
+	// ReadCacheSize caps the point-lookup cache at this many key runs per
+	// index (0 means 4096).
+	ReadCacheSize int
+	// DisableZoneMap turns off zone-map maintenance and sequential-scan block
+	// pruning.
+	DisableZoneMap bool
 }
 
 // IndexSpec describes an index to build.
@@ -189,6 +198,8 @@ func (cfg Config) engineConfig() engine.Config {
 		FS: cfg.FS, PoolSize: cfg.PoolSize, DisableMetrics: cfg.DisableMetrics,
 		CommitBatchDelay: cfg.CommitBatchDelay, SerialCommitForce: cfg.SerialCommitForce,
 		BufferShards: cfg.BufferShards, LockStripes: cfg.LockStripes,
+		DisableReadCache: cfg.DisableReadCache, ReadCacheSize: cfg.ReadCacheSize,
+		DisableZoneMap: cfg.DisableZoneMap,
 	}
 }
 
@@ -295,14 +306,44 @@ func (db *DB) DropIndex(index string) error { return db.eng.DropIndex(index) }
 // deletions.
 func (db *DB) GC(index string) (GCResult, error) { return core.GC(db.eng, index) }
 
-// IndexLookup returns the RIDs matching a key in a complete index.
+// IndexLookup returns the RIDs matching a key in a complete index. With a
+// transaction it is a committed read: an S record lock is held on each
+// returned RID, and a hash fast path over the B+-tree serves repeated
+// lookups without a tree descent (see README "Serving reads during a
+// build"). A nil tx reads without locks (quiescent-point use only).
 func (db *DB) IndexLookup(tx *Txn, index string, vals ...Value) ([]RID, error) {
 	return db.eng.IndexLookup(tx, index, vals...)
 }
 
-// IndexScan streams a complete index's live entries in key order.
+// Lookup is IndexLookup under its natural name.
+func (db *DB) Lookup(tx *Txn, index string, vals ...Value) ([]RID, error) {
+	return db.eng.IndexLookup(tx, index, vals...)
+}
+
+// IndexScan streams a complete index's live entries in key order (nil
+// bounds are open). With a transaction the scan is latch-coupled and
+// batched — concurrent splits, DML and GC proceed between batches — and
+// every returned entry is verified under an S record lock. A nil tx reads
+// without locks.
 func (db *DB) IndexScan(tx *Txn, index string, lo, hi []Value, fn func(key []byte, rid RID) bool) error {
 	return db.eng.IndexScan(tx, index, lo, hi, fn)
+}
+
+// Scan is IndexScan under its natural name.
+func (db *DB) Scan(tx *Txn, index string, lo, hi []Value, fn func(key []byte, rid RID) bool) error {
+	return db.eng.IndexScan(tx, index, lo, hi, fn)
+}
+
+// Predicate restricts a SeqScan to rows whose column Col lies in [Lo, Hi]
+// (nil bounds are open).
+type Predicate = engine.Predicate
+
+// SeqScan streams a table's rows matching pred in RID order, skipping page
+// blocks whose zone-map summary excludes the predicate range. With a
+// transaction each returned row is locked and re-verified; a nil tx reads
+// without locks.
+func (db *DB) SeqScan(tx *Txn, table string, pred *Predicate, fn func(rid RID, row Row) bool) error {
+	return db.eng.SeqScan(tx, table, pred, fn)
 }
 
 // TableScan streams every live row in RID order.

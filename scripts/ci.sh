@@ -28,9 +28,18 @@
 #                      wall-clock; run on a quiet machine), then records the
 #                      shards x stripes contention matrix (buffer fetch, lock
 #                      pair, WAL append ops/s) in BENCH_build.json.
+#   ci.sh bench-read   the read-path gate: fails unless all-hit point lookups
+#                      through the hash fast path are >= 1.5x the tree-only
+#                      path on an identically populated database (skips on
+#                      < 4 CPUs; wall-clock; run on a quiet machine), then
+#                      records the read-path matrix (point/range/seqscan,
+#                      quiescent and during a live SF build) in
+#                      BENCH_build.json.
 #   ci.sh race         focused race-detector pass over the sharded singletons
-#                      (buffer, lock, wal, txn) with the dedicated concurrency
-#                      stress tests at a high -count so the schedules vary.
+#                      (buffer, lock, wal, txn) and the read path (cursor
+#                      batching, hash cache, zone maps, engine read stress)
+#                      with the dedicated concurrency stress tests at a high
+#                      -count so the schedules vary.
 #   ci.sh admin-smoke  end-to-end admin endpoint check: run an SF build with
 #                      `idxbuild -admin`, poll the live endpoint over HTTP
 #                      until the build completes, and assert the terminal
@@ -55,6 +64,7 @@ sweep)
     go test -race -timeout 60m -run 'TestCrashSweep|TestReplay' -v ./internal/crashsweep -sweep.full
     go test -run xxx -fuzz FuzzKeyEncOrder -fuzztime 60s ./internal/keyenc
     go test -run xxx -fuzz FuzzWALRoundTrip -fuzztime 60s ./internal/wal
+    go test -run xxx -fuzz FuzzZoneMapPrune -fuzztime 60s ./internal/zonemap
     ;;
 overhead)
     ONLINEINDEX_OVERHEAD_GATE=1 go test -run TestMetricsOverheadGate -v -count=1 .
@@ -71,9 +81,15 @@ bench-conc)
     ONLINEINDEX_CONC_GATE=1 go test -run TestShardedBufferGate -v -count=1 -timeout 10m .
     go run ./cmd/benchtab -concbench -out BENCH_build.json
     ;;
+bench-read)
+    ONLINEINDEX_READ_GATE=1 go test -run TestReadPathGate -v -count=1 -timeout 10m .
+    go run ./cmd/benchtab -readbench 20000 -out BENCH_build.json
+    ;;
 race)
     go test -race -count=4 -timeout 20m \
-        ./internal/buffer ./internal/lock ./internal/wal ./internal/txn
+        ./internal/buffer ./internal/lock ./internal/wal ./internal/txn \
+        ./internal/btree ./internal/readcache ./internal/zonemap
+    go test -race -count=2 -timeout 20m -run 'TestReadPathStress' ./internal/engine
     ;;
 admin-smoke)
     go build -o /tmp/onlineindex-idxbuild ./cmd/idxbuild
@@ -105,7 +121,7 @@ admin-smoke)
     echo "admin-smoke OK"
     ;;
 *)
-    echo "usage: $0 [test|sweep|overhead|bench-commit|bench-sort|bench-conc|race|admin-smoke]" >&2
+    echo "usage: $0 [test|sweep|overhead|bench-commit|bench-sort|bench-conc|bench-read|race|admin-smoke]" >&2
     exit 2
     ;;
 esac
