@@ -1,6 +1,7 @@
 package btree
 
 import (
+	"onlineindex/internal/buffer"
 	"onlineindex/internal/latch"
 	"onlineindex/internal/types"
 )
@@ -47,6 +48,13 @@ type Cursor struct {
 	resumeRID types.RID
 	exclusive bool
 
+	// resumePage, when not NoPage, short-circuits the next refill's descent:
+	// the previous refill hit the leaf cap inside a run of entry-less leaves
+	// and recorded the right sibling it was about to visit. Resuming at the
+	// page (instead of by key) is what lets the crawl release the tree latch
+	// without losing its place — empty leaves have no key to descend to.
+	resumePage types.PageNum
+
 	maxEntries int
 	maxLeaves  int
 	done       bool
@@ -60,6 +68,7 @@ func (t *Tree) NewCursor(lo, hi []byte) *Cursor {
 	return &Cursor{
 		t: t, hi: hi,
 		resumeKey:  append([]byte(nil), lo...),
+		resumePage: NoPage,
 		maxEntries: cursorBatchEntries,
 		maxLeaves:  cursorBatchLeaves,
 	}
@@ -77,17 +86,18 @@ func (c *Cursor) SetBatch(entries, leaves int) {
 }
 
 // Next returns the next entry in (key, RID) order. ok=false means the scan
-// is exhausted (or past hi).
+// is exhausted (or past hi). A refill may legitimately come back empty
+// without ending the scan (a leaf-capped crawl through an entry-less
+// region), so Next keeps refilling until entries arrive or the scan is done;
+// each iteration re-latches from scratch, so the tree is unlatched between
+// steps.
 func (c *Cursor) Next() (Entry, bool, error) {
-	if c.pos >= len(c.batch) {
+	for c.pos >= len(c.batch) {
 		if c.done {
 			return Entry{}, false, nil
 		}
 		if err := c.refill(); err != nil {
 			return Entry{}, false, err
-		}
-		if c.pos >= len(c.batch) {
-			return Entry{}, false, nil
 		}
 	}
 	e := c.batch[c.pos]
@@ -106,7 +116,23 @@ func (c *Cursor) refill() error {
 	c.t.Stats.ScanResumes.Add(1)
 	c.t.met.ScanResumes.Add(1)
 
-	f, n, err := c.t.descend(c.resumeKey, c.resumeRID, latch.S)
+	var (
+		f   *buffer.Frame
+		n   *Node
+		err error
+	)
+	if c.resumePage != NoPage {
+		// Resume a leaf-capped crawl directly at the remembered leaf. This is
+		// sound across the unlatched gap: leaf pages are never freed or
+		// merged (only split, which keeps the left page and moves the upper
+		// part of its range to a new page), so the remembered page is still a
+		// leaf at the same chain position and every entry it can hold is
+		// strictly beyond the last entry returned. searchLeaf below still
+		// applies the (resumeKey, resumeRID) bound, so nothing can repeat.
+		f, n, err = c.t.fetchLatched(c.resumePage, latch.S)
+	} else {
+		f, n, err = c.t.descend(c.resumeKey, c.resumeRID, latch.S)
+	}
 	if err != nil {
 		return err
 	}
@@ -136,11 +162,24 @@ func (c *Cursor) refill() error {
 		if i < len(n.entries) || len(c.batch) >= c.maxEntries {
 			break
 		}
-		// The leaf cap bounds the latch-hold window, but an empty batch must
-		// keep crabbing: a resume position at the very end of a leaf would
-		// otherwise read as end-of-scan.
-		if leaves >= c.maxLeaves && len(c.batch) > 0 {
-			break
+		if leaves >= c.maxLeaves {
+			if len(c.batch) > 0 {
+				break
+			}
+			// Leaf cap hit with nothing collected — a run of entry-less
+			// leaves (e.g. a heavily GC'd region). Ending the scan here
+			// would be wrong, and crabbing on would hold the tree share
+			// latch for an unbounded stretch; instead remember the right
+			// sibling as a direct resume point and let go. Next's refill
+			// loop continues the crawl with the tree unlatched in between.
+			next := n.next
+			c.t.release(f, latch.S)
+			if next == NoPage {
+				c.done = true
+			} else {
+				c.resumePage = next
+			}
+			return nil
 		}
 		next := n.next
 		if next == NoPage {
@@ -170,5 +209,6 @@ func (c *Cursor) refill() error {
 	c.resumeKey = append(c.resumeKey[:0], last.Key...)
 	c.resumeRID = last.RID
 	c.exclusive = true
+	c.resumePage = NoPage // a key resume position supersedes a page one
 	return nil
 }

@@ -161,6 +161,64 @@ func TestCursorResumeAfterEntryRemoval(t *testing.T) {
 	}
 }
 
+// TestCursorBoundsEmptyLeafCrawl empties a wide middle region of the tree
+// (what GC of pseudo-deleted entries produces: entry-less leaves that stay in
+// the chain) and scans across it with a tiny leaf cap. The scan must cross
+// the region in many bounded refills — never one unbounded latched crawl —
+// and still return exactly the surviving entries, in order. A fully emptied
+// tail checks the crawl still terminates at end-of-chain.
+func TestCursorBoundsEmptyLeafCrawl(t *testing.T) {
+	_, log, _, tr := newTree(t, false, smallBudget)
+	tl := &rm.SimpleLogger{L: log, Txn: 1}
+	const n = 600
+	for i := 0; i < n; i++ {
+		if _, _, err := tr.TxnInsert(tl, keyOf(i), ridOf(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 50; i < 550; i++ {
+		if _, err := tr.RemoveEntry(tl, keyOf(i), ridOf(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := tr.Stats.ScanResumes.Load()
+	c := tr.NewCursor(nil, nil)
+	c.SetBatch(1000, 2) // leaf cap 2: the empty region must take many refills
+	got := drain(t, c)
+	var want []int
+	for i := 0; i < 50; i++ {
+		want = append(want, i)
+	}
+	for i := 550; i < n; i++ {
+		want = append(want, i)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scan over emptied region returned %d entries, want %d", len(got), len(want))
+	}
+	for i, id := range want {
+		if !bytes.Equal(got[i].Key, keyOf(id)) {
+			t.Fatalf("entry %d: got key %q want %q", i, got[i].Key, keyOf(id))
+		}
+	}
+	resumes := tr.Stats.ScanResumes.Load() - before
+	if resumes < 3 {
+		t.Fatalf("emptied region crossed in %d refills; the crawl was not chunked", resumes)
+	}
+
+	// Empty the tail too: the capped crawl must hit end-of-chain and stop.
+	for i := 550; i < n; i++ {
+		if _, err := tr.RemoveEntry(tl, keyOf(i), ridOf(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c = tr.NewCursor(keyOf(50), nil)
+	c.SetBatch(1000, 2)
+	if tail := drain(t, c); len(tail) != 0 {
+		t.Fatalf("scan of emptied tail returned %d entries, want 0", len(tail))
+	}
+	checkInvariants(t, tr)
+}
+
 func ridAt(file types.FileID, i int) types.RID {
 	return types.RID{PageID: types.PageID{File: file, Page: types.PageNum(i / 16)}, Slot: types.SlotNum(i % 16)}
 }

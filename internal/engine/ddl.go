@@ -162,6 +162,7 @@ func (db *DB) CreateIndexDescriptorWithCtl(spec CreateIndexSpec, makeCtl func(ca
 		return catalog.Index{}, err
 	}
 	db.trees[ix.ID] = tree
+	db.treeFiles[ix.FileID] = ix.ID
 	if sf != nil {
 		db.sfiles[ix.ID] = sf
 	}
@@ -221,6 +222,7 @@ func (db *DB) DropIndex(name string) error {
 	}
 	db.mu.Lock()
 	delete(db.trees, ix.ID)
+	delete(db.treeFiles, ix.FileID)
 	delete(db.sfiles, ix.ID)
 	delete(db.builds, ix.ID)
 	delete(db.lastIBCkpt, ix.ID)

@@ -97,8 +97,12 @@ type DB struct {
 	mu     sync.Mutex
 	tables map[types.TableID]*heap.Table
 	trees  map[types.IndexID]*btree.Tree
-	sfiles map[types.IndexID]*sidefile.File
-	builds map[types.IndexID]*BuildCtl
+	// treeFiles maps each open tree's index file back to its index ID, so
+	// the undo path (which only has a log record's PageID) can invalidate
+	// read caches without scanning every tree.
+	treeFiles map[types.FileID]types.IndexID
+	sfiles    map[types.IndexID]*sidefile.File
+	builds    map[types.IndexID]*BuildCtl
 	// progs holds one progress tracker per in-flight (or just-finished)
 	// index build, registered by the builders in package core.
 	progs map[types.IndexID]*progress.Tracker
@@ -143,6 +147,7 @@ func Open(cfg Config) (*DB, error) {
 		met:        reg,
 		tables:     make(map[types.TableID]*heap.Table),
 		trees:      make(map[types.IndexID]*btree.Tree),
+		treeFiles:  make(map[types.FileID]types.IndexID),
 		sfiles:     make(map[types.IndexID]*sidefile.File),
 		builds:     make(map[types.IndexID]*BuildCtl),
 		progs:      make(map[types.IndexID]*progress.Tracker),

@@ -40,15 +40,13 @@ func (db *DB) invalidateKey(id types.IndexID, key []byte) {
 }
 
 // invalidateKeyByFile is invalidateKey addressed by index file — the undo
-// path only has the log record's PageID.
+// path only has the log record's PageID. treeFiles makes it a constant-time
+// lookup; rollback-heavy workloads call this once per undone index record.
 func (db *DB) invalidateKeyByFile(f types.FileID, key []byte) {
 	db.mu.Lock()
 	var rc *readcache.Cache
-	for id, t := range db.trees {
-		if t.FileID() == f {
-			rc = db.rcaches[id]
-			break
-		}
+	if id, ok := db.treeFiles[f]; ok {
+		rc = db.rcaches[id]
 	}
 	db.mu.Unlock()
 	if rc != nil {

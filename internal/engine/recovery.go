@@ -274,6 +274,7 @@ func Recover(cfg Config) (*DB, error) {
 		}
 		tree.SetMetrics(btree.MetricsFrom(db.met))
 		db.trees[ix.ID] = tree
+		db.treeFiles[ix.FileID] = ix.ID
 		if ix.SideFile != 0 && ix.State == catalog.StateBuilding {
 			sf, err := sidefile.Open(db.pool, ix.SideFile)
 			if err != nil {
@@ -350,6 +351,7 @@ func (db *DB) cancelBuildInternal(ix catalog.Index) error {
 	}
 	db.mu.Lock()
 	delete(db.trees, ix.ID)
+	delete(db.treeFiles, ix.FileID)
 	delete(db.sfiles, ix.ID)
 	delete(db.builds, ix.ID)
 	delete(db.lastIBCkpt, ix.ID)

@@ -14,6 +14,14 @@
 // can have changed the key's committed entry run in between, so the cached
 // run equals what a tree descent would return now.
 //
+// Versions are never reused: every version a slot ever carries is drawn from
+// a per-shard monotonic counter, both at slot creation and on Invalidate.
+// This closes the evict/recreate ABA: if a slot is evicted (its version
+// forgotten, making Invalidate on the key a no-op) and later recreated by
+// Begin, the new slot's version is strictly greater than any version a
+// reader could have sampled from the old incarnation, so a stale Validate
+// or delayed Put from before the eviction correctly fails.
+//
 // The cache is memory-only and bounded: each shard evicts an arbitrary slot
 // beyond its capacity share. Eviction only loses the cached run, never
 // correctness (a miss falls back to the tree).
@@ -64,7 +72,11 @@ type slot struct {
 }
 
 type shard struct {
-	mu    sync.Mutex
+	mu sync.Mutex
+	// ver is the shard's monotonic version source: every slot version ever
+	// handed out in this shard came from a bump of this counter, so no slot
+	// — including one recreated after an eviction — can repeat a version.
+	ver   uint64
 	slots map[string]*slot
 }
 
@@ -139,7 +151,8 @@ func (c *Cache) Begin(key []byte) uint64 {
 		if len(s.slots) >= c.perCap {
 			c.evictLocked(s)
 		}
-		sl = &slot{}
+		s.ver++
+		sl = &slot{ver: s.ver}
 		s.slots[string(key)] = sl
 	}
 	return sl.ver
@@ -172,7 +185,10 @@ func (c *Cache) Validate(key []byte, ver uint64) bool {
 
 // Invalidate bumps the key's version and drops its cached run. Writers call
 // it for every key they touch while still holding their X locks on the
-// affected entries, which is what makes Validate-after-lock sound.
+// affected entries, which is what makes Validate-after-lock sound. An absent
+// key is a no-op: with no slot, Validate already fails, and any future slot
+// is seeded from the shard counter with a version strictly greater than
+// every version previously observed for the key.
 func (c *Cache) Invalidate(key []byte) {
 	s := c.shardOf(key)
 	s.mu.Lock()
@@ -181,7 +197,8 @@ func (c *Cache) Invalidate(key []byte) {
 	if sl == nil {
 		return
 	}
-	sl.ver++
+	s.ver++
+	sl.ver = s.ver
 	sl.filled = false
 	sl.entries = nil
 	c.met.Invalidations.Inc()

@@ -56,6 +56,88 @@ func TestInvalidateDefeatsStaleFill(t *testing.T) {
 	}
 }
 
+// TestEvictRecreateNoVersionABA replays the evict/recreate ABA: a reader
+// samples a version, the slot is evicted (so a writer's Invalidate on the
+// now-absent key is a no-op), and a later Begin recreates the slot. The
+// recreated slot must never carry a version the old incarnation handed out —
+// otherwise the reader's stale Validate would pass (serving a pre-write run)
+// and a delayed pre-eviction Put would install stale entries.
+func TestEvictRecreateNoVersionABA(t *testing.T) {
+	c := New(shardCount, Metrics{}) // 1 slot per shard: same-shard keys collide
+	// Two keys in the same shard so filling one evicts the other.
+	var victim, evictor []byte
+	victim = []byte("victim")
+	vs := c.shardOf(victim)
+	for i := 0; ; i++ {
+		k := []byte(fmt.Sprintf("evictor-%d", i))
+		if c.shardOf(k) == vs {
+			evictor = k
+			break
+		}
+	}
+
+	// Reader samples the victim's version (as Get would) and goes to the tree.
+	ver := c.Begin(victim)
+	c.Put(victim, ver, []Entry{{RID: ridN(1)}})
+	if !c.Validate(victim, ver) {
+		t.Fatal("sanity: fresh fill should validate")
+	}
+
+	// Capacity pressure evicts the victim; the writer's Invalidate finds no
+	// slot; a new lookup recreates the victim's slot.
+	c.Begin(evictor)
+	if c.Validate(victim, ver) {
+		t.Fatal("Validate passed against an evicted slot")
+	}
+	c.Invalidate(victim) // absent: no-op, and must stay safe anyway
+	ver2 := c.Begin(victim)
+
+	if ver2 == ver {
+		t.Fatalf("recreated slot reused version %d", ver)
+	}
+	if c.Validate(victim, ver) {
+		t.Fatal("stale Validate passed against the recreated slot")
+	}
+	// The delayed pre-eviction Put must not land in the recreated slot.
+	c.Put(victim, ver, []Entry{{RID: ridN(99)}})
+	if _, _, ok := c.Get(victim); ok {
+		t.Fatal("delayed stale Put landed in the recreated slot")
+	}
+}
+
+// TestInvalidateNeverReusesVersions drives one key through many
+// invalidate/evict/recreate cycles and asserts every version observed is
+// strictly increasing — the property the Validate-after-lock protocol needs.
+func TestInvalidateNeverReusesVersions(t *testing.T) {
+	c := New(shardCount, Metrics{})
+	key := []byte("k")
+	ks := c.shardOf(key)
+	var other []byte
+	for i := 0; ; i++ {
+		k := []byte(fmt.Sprintf("o-%d", i))
+		if c.shardOf(k) == ks {
+			other = k
+			break
+		}
+	}
+	last := uint64(0)
+	for i := 0; i < 50; i++ {
+		v := c.Begin(key)
+		if v <= last {
+			t.Fatalf("cycle %d: version %d not above prior %d", i, v, last)
+		}
+		c.Put(key, v, []Entry{{RID: ridN(i)}})
+		c.Invalidate(key)
+		if c.Validate(key, v) {
+			t.Fatalf("cycle %d: Validate passed across Invalidate", i)
+		}
+		last = v
+		if i%2 == 0 {
+			c.Begin(other) // evict key's slot so the next Begin recreates it
+		}
+	}
+}
+
 func TestEvictionBoundsSize(t *testing.T) {
 	reg := metrics.New()
 	met := MetricsFrom(reg, "readcache")
