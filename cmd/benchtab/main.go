@@ -23,6 +23,12 @@
 //	                              # build) on a table of this many rows;
 //	                              # merges a readbench record into
 //	                              # BENCH_build.json
+//	benchtab -partbench 20000     # horizontal-partitioning matrix: fan-out SF
+//	                              # build time and routed read mix at P in
+//	                              # {1,2,4} shards (-partitions adds one more
+//	                              # count, -partition-scheme picks range|hash);
+//	                              # merges a partbench record into
+//	                              # BENCH_build.json
 //
 // The benchmark modes all merge into -out rather than clobbering each
 // other's records: build records carry no "kind" field, the commit record
@@ -79,6 +85,9 @@ func main() {
 	sortBench := flag.Int("sortbench", 0, "run the partitioned-sort benchmark on a table of this many rows and merge sortbench records into -out (skips experiments)")
 	concBench := flag.Bool("concbench", false, "run the buffer/lock/WAL contention benchmark and merge a concbench record into -out (skips experiments)")
 	readBench := flag.Int("readbench", 0, "run the read-path benchmark on a table of this many rows and merge a readbench record into -out (skips experiments)")
+	partBench := flag.Int("partbench", 0, "run the horizontal-partitioning benchmark (P in {1,2,4}) on a table of this many rows and merge a partbench record into -out (skips experiments)")
+	partitions := flag.Int("partitions", 0, "extra partition count to add to the -partbench sweep")
+	partScheme := flag.String("partition-scheme", "hash", "partitioning scheme for -partbench: range or hash")
 	out := flag.String("out", "BENCH_build.json", "output path for the -buildbench/-commitbench JSON records")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
@@ -146,6 +155,20 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("merged readbench record into %s\n", *out)
+		return
+	}
+
+	if *partBench > 0 {
+		rec, err := experiments.PartBench(cfg, *partScheme, *partBench, *partitions)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: partbench failed: %v\n", err)
+			os.Exit(1)
+		}
+		if err := mergeRecords(*out, rec.Kind, []any{rec}); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("merged partbench record into %s\n", *out)
 		return
 	}
 

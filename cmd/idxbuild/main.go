@@ -8,6 +8,9 @@
 //	idxbuild -rows 50000 -method sf -updaters 4
 //	idxbuild -method nsf -unique
 //	idxbuild -method offline -crash   # offline cannot crash-resume; see -method sf -crash
+//	idxbuild -partitions 4 -partition-scheme hash -method sf -updaters 4
+//	                                  # fan the build out over 4 hash shards
+//	                                  # behind one logical index
 package main
 
 import (
@@ -37,6 +40,8 @@ func main() {
 	linger := flag.Duration("linger", 0, "keep the admin endpoint serving this long after the build finishes")
 	bufShards := flag.Int("buffer-shards", 0, "buffer pool page-table shards, rounded up to a power of two (0 = min(16, GOMAXPROCS))")
 	lockStripes := flag.Int("lock-stripes", 0, "lock manager bucket-map stripes, rounded up to a power of two (0 = min(16, GOMAXPROCS))")
+	partitions := flag.Int("partitions", 0, "hash/range-partition the table into this many shards and fan the build out over them (0 = unpartitioned)")
+	partScheme := flag.String("partition-scheme", "hash", "partitioning scheme for -partitions: range or hash (on the id column)")
 	flag.Parse()
 
 	var m onlineindex.BuildMethod
@@ -67,11 +72,29 @@ func main() {
 		currentAdmin = adm
 		fmt.Printf("admin endpoint at %s\n", adm.URL())
 	}
-	if _, err := eng.CreateTable("orders", workload.Schema()); err != nil {
+	if *partitions > 0 {
+		pspec := onlineindex.PartitionSpec{Partitions: *partitions, KeyColumn: "id"}
+		switch strings.ToLower(*partScheme) {
+		case "hash":
+			pspec.Scheme = onlineindex.HashPartition
+		case "range":
+			pspec.Scheme = onlineindex.RangePartition
+			for i := 1; i < *partitions; i++ {
+				pspec.Bounds = append(pspec.Bounds, onlineindex.Int64(int64(*rows*i / *partitions)))
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "unknown partition scheme %q\n", *partScheme)
+			os.Exit(2)
+		}
+		if _, err := db.CreatePartitionedTable("orders", workload.Schema(), pspec); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("partitioned orders into %d %s shards\n", *partitions, strings.ToLower(*partScheme))
+	} else if _, err := eng.CreateTable("orders", workload.Schema()); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("populating %d rows...\n", *rows)
-	rids, err := workload.Populate(eng, "orders", *rows, 24)
+	rids, err := workload.Populate(db, "orders", *rows, 24)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -92,7 +115,7 @@ func main() {
 	if *updaters > 0 && m != onlineindex.Offline && !*crash {
 		// The crash demo runs without the workload: the workers would keep
 		// talking to the fenced pre-crash incarnation.
-		runner = workload.NewRunner(eng, "orders", rids, *updaters, workload.DefaultMix)
+		runner = workload.NewRunner(db, "orders", rids, *updaters, workload.DefaultMix)
 		runner.Start()
 		fmt.Printf("started %d update workers\n", *updaters)
 	}
@@ -101,7 +124,7 @@ func main() {
 	start := time.Now()
 	var res *onlineindex.BuildResult
 	if *crash {
-		res, err = buildWithCrash(cfg, db, spec, opts)
+		res, err = buildWithCrash(cfg, db, spec, opts, *partitions > 0)
 	} else {
 		res, err = db.BuildIndex(spec, opts)
 	}
@@ -121,7 +144,10 @@ func main() {
 	if err := db.CheckIndexConsistency("orders_idx"); err != nil {
 		log.Fatalf("CONSISTENCY FAILURE: %v", err)
 	}
-	cl, _ := harness.IndexClustering(db.Engine(), "orders_idx")
+	var cl float64
+	if *partitions == 0 {
+		cl, _ = harness.IndexClustering(db.Engine(), "orders_idx")
+	}
 
 	st := res.Stats
 	fmt.Printf("\nbuild method      %s\n", st.Method)
@@ -136,7 +162,9 @@ func main() {
 	}
 	fmt.Printf("quiesce wait      %.1fms\n", st.QuiesceWait.Seconds()*1000)
 	fmt.Printf("checkpoints       %d\n", st.Checkpoints)
-	fmt.Printf("clustering        %.3f\n", cl)
+	if *partitions == 0 {
+		fmt.Printf("clustering        %.3f\n", cl)
+	}
 	if runner != nil {
 		fmt.Printf("workload          %d commits (%.0f/s), worst stall %.1fms\n",
 			wst.Commits, wst.Throughput(), wst.MaxStall.Seconds()*1000)
@@ -158,7 +186,20 @@ var currentDB *onlineindex.DB
 // recovered engine so pollers keep seeing the resumed build.
 var currentAdmin *onlineindex.AdminServer
 
-func buildWithCrash(cfg onlineindex.Config, db *onlineindex.DB, spec onlineindex.IndexSpec, opts onlineindex.BuildOptions) (*onlineindex.BuildResult, error) {
+// rebindAdmin moves the admin endpoint onto the recovered database.
+func rebindAdmin(db *onlineindex.DB) {
+	if currentAdmin == nil {
+		return
+	}
+	addr := currentAdmin.Addr()
+	currentAdmin.Close() //nolint:errcheck
+	currentAdmin = nil
+	if adm, err := db.ServeAdmin(addr); err == nil {
+		currentAdmin = adm
+	}
+}
+
+func buildWithCrash(cfg onlineindex.Config, db *onlineindex.DB, spec onlineindex.IndexSpec, opts onlineindex.BuildOptions, partitioned bool) (*onlineindex.BuildResult, error) {
 	currentDB = db
 	done := make(chan struct{})
 	go func() {
@@ -170,19 +211,30 @@ func buildWithCrash(cfg onlineindex.Config, db *onlineindex.DB, spec onlineindex
 	db.Crash()
 	<-done
 	fmt.Println("CRASH injected; recovering...")
+	if partitioned {
+		// Partitioned recovery is coordinator-driven: Recover resumes the
+		// checkpointed shard builds, rebuilds shards whose descriptors never
+		// became durable, and re-runs the completion protocol.
+		db2, err := onlineindex.Recover(cfg)
+		if err != nil {
+			return nil, err
+		}
+		currentDB = db2
+		rebindAdmin(db2)
+		fmt.Println("coordinator finished the fan-out build during recovery")
+		return &onlineindex.BuildResult{
+			Index: onlineindex.IndexInfo{
+				Name: spec.Name, Unique: spec.Unique, Method: spec.Method,
+			},
+			Stats: onlineindex.BuildStats{Method: spec.Method},
+		}, nil
+	}
 	db2, err := onlineindex.RecoverWithoutResume(cfg)
 	if err != nil {
 		return nil, err
 	}
 	currentDB = db2
-	if currentAdmin != nil {
-		addr := currentAdmin.Addr()
-		currentAdmin.Close() //nolint:errcheck
-		currentAdmin = nil
-		if adm, err := db2.ServeAdmin(addr); err == nil {
-			currentAdmin = adm
-		}
-	}
+	rebindAdmin(db2)
 	pending, err := db2.PendingBuilds()
 	if err != nil {
 		return nil, err

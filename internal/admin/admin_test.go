@@ -2,6 +2,7 @@ package admin_test
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"sync"
 	"testing"
@@ -11,6 +12,8 @@ import (
 	"onlineindex/internal/catalog"
 	"onlineindex/internal/core"
 	"onlineindex/internal/engine"
+	"onlineindex/internal/partition"
+	"onlineindex/internal/progress"
 	"onlineindex/internal/workload"
 )
 
@@ -132,6 +135,101 @@ func TestAdminSmoke(t *testing.T) {
 	}
 	if ms.Counters["sidefile.appends"] == 0 {
 		t.Fatal("/metrics: expected nonzero sidefile.appends under concurrent DML")
+	}
+}
+
+// TestAdminPartitionProgress: a fan-out build on a partitioned table must
+// surface its aggregated logical fraction on /progress (alongside the
+// per-shard trackers) and its routing and per-shard gauges on /metrics.
+func TestAdminPartitionProgress(t *testing.T) {
+	db, err := engine.Open(engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := partition.CreateTable(db, "orders", workload.Schema(), partition.Spec{
+		Partitions: 2, Scheme: catalog.SchemeHash, KeyColumn: "id",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r := partition.NewRouter(db)
+	if _, err := workload.Populate(r, "orders", 2000, 24); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := admin.Serve("127.0.0.1:0", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	findLogical := func(v admin.View) (progress.Snapshot, bool) {
+		for _, b := range v.Builds {
+			if b.Index == "orders_key" {
+				return b, true
+			}
+		}
+		return progress.Snapshot{}, false
+	}
+
+	// Mid-build probe from a checkpoint: the logical aggregate must already
+	// be visible, incomplete, with a fraction strictly between 0 and 1 once
+	// shard 0 has checkpointed (Serial mode: shard 0 runs to completion
+	// before shard 1 starts, so the equal-weight mean is at most ~0.5 plus
+	// shard 0's contribution — what matters here is presence and bounds).
+	var probed sync.Once
+	var probeErr error
+	if _, err := partition.Build(db, engine.CreateIndexSpec{
+		Name: "orders_key", Table: "orders", Columns: []string{"key"}, Method: catalog.MethodSF,
+	}, partition.BuildOptions{Serial: true, Options: core.Options{
+		CheckpointPages: 4, CheckpointKeys: 200,
+		OnCheckpoint: func(engine.IBPhase) error {
+			probed.Do(func() {
+				v := getView(t, srv.URL()+"/")
+				b, ok := findLogical(v)
+				if !ok {
+					probeErr = fmt.Errorf("mid-build /progress has no logical aggregate: %+v", v.Builds)
+					return
+				}
+				if b.Complete || b.Fraction <= 0 || b.Fraction >= 1 {
+					probeErr = fmt.Errorf("mid-build aggregate complete=%v fraction=%v", b.Complete, b.Fraction)
+				}
+			})
+			return nil
+		},
+	}}); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if probeErr != nil {
+		t.Fatal(probeErr)
+	}
+
+	final, ok := findLogical(getView(t, srv.URL()+"/"))
+	if !ok {
+		t.Fatal("final /progress lost the logical aggregate")
+	}
+	if !final.Complete || final.Fraction != 1 {
+		t.Fatalf("final aggregate not terminal: complete=%v fraction=%v", final.Complete, final.Fraction)
+	}
+
+	var ms struct {
+		Counters map[string]uint64 `json:"counters"`
+		Gauges   map[string]int64  `json:"gauges"`
+	}
+	getJSON(t, srv.URL()+"/metrics", &ms)
+	if ms.Counters["partition.route_hits"] == 0 {
+		t.Fatal("/metrics: expected nonzero partition.route_hits after routed inserts")
+	}
+	for i := 0; i < 2; i++ {
+		if g := ms.Gauges[fmt.Sprintf("partition.%d.progress", i)]; g != 10000 {
+			t.Fatalf("/metrics: partition.%d.progress = %d basis points, want 10000", i, g)
+		}
+		if ms.Gauges[fmt.Sprintf("partition.%d.rows", i)] == 0 {
+			t.Fatalf("/metrics: partition.%d.rows is zero", i)
+		}
+	}
+	if _, ok := ms.Gauges["partition.skew"]; !ok {
+		t.Fatal("/metrics: partition.skew gauge missing")
 	}
 }
 

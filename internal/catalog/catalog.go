@@ -124,15 +124,21 @@ type Catalog struct {
 	nextTbl  types.TableID
 	nextIdx  types.IndexID
 	nextFile types.FileID
+	// Partition registry (partition.go): logical partitioned tables and
+	// the logical fan-out indexes over them, keyed by logical name.
+	partTables  map[string]*PartTable
+	partIndexes map[string]*PartIndex
 }
 
 // New returns an empty catalog.
 func New() *Catalog {
 	return &Catalog{
-		tables:  make(map[types.TableID]*Table),
-		indexes: make(map[types.IndexID]*Index),
-		byName:  make(map[string]types.TableID),
-		idxName: make(map[string]types.IndexID),
+		tables:      make(map[types.TableID]*Table),
+		indexes:     make(map[types.IndexID]*Index),
+		byName:      make(map[string]types.TableID),
+		idxName:     make(map[string]types.IndexID),
+		partTables:  make(map[string]*PartTable),
+		partIndexes: make(map[string]*PartIndex),
 	}
 }
 
@@ -437,6 +443,12 @@ func (c *Catalog) Snapshot() []byte {
 	for _, id := range iids {
 		encodeIndex(w, c.indexes[id])
 	}
+	// The partition section trails the legacy layout and is written only
+	// when the registry is non-empty, so unpartitioned databases produce
+	// byte-identical snapshots to earlier versions.
+	if c.partCountLocked() > 0 {
+		c.snapshotPartLocked(w)
+	}
 	return w.Bytes()
 }
 
@@ -461,6 +473,9 @@ func FromSnapshot(b []byte) (*Catalog, error) {
 		if ix.State != StateDropped {
 			c.idxName[ix.Name] = ix.ID
 		}
+	}
+	if r.Err() == nil && r.Remaining() > 0 {
+		c.restorePartSection(r)
 	}
 	return c, r.Err()
 }

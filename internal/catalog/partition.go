@@ -1,0 +1,330 @@
+// Horizontal partitioning registry: one logical table name maps to N
+// ordinary shard tables, and one logical index name maps to N ordinary
+// shard indexes. The shards are full citizens of the existing catalog —
+// each has its own heap file, FSM, zone-map sidecar and index trees, and
+// every byte of the per-shard build/recovery machinery is reused
+// unchanged. The partition layer is pure metadata: which shards make up a
+// logical table, how rows route to them, and the lifecycle state of each
+// logical (fan-out) index build.
+//
+// Durability follows the DDL precedent: partition metadata changes are
+// logged as redo-only TypePartMeta records and applied unconditionally
+// during the recovery analysis scan, and the registry rides in a trailing
+// section of the fuzzy-checkpoint snapshot that is written only when the
+// registry is non-empty — databases that never partition produce
+// byte-identical snapshots and logs to earlier versions.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+
+	"onlineindex/internal/enc"
+	"onlineindex/internal/types"
+)
+
+// PartScheme selects how rows map to shards.
+type PartScheme uint8
+
+// Partitioning schemes.
+const (
+	// SchemeRange routes by comparing the keyenc encoding of the
+	// partitioning column against the table's upper-exclusive bounds.
+	SchemeRange PartScheme = iota + 1
+	// SchemeHash routes by FNV-1a over the keyenc encoding of the
+	// partitioning column, modulo the shard count.
+	SchemeHash
+)
+
+func (s PartScheme) String() string {
+	switch s {
+	case SchemeRange:
+		return "range"
+	case SchemeHash:
+		return "hash"
+	default:
+		return fmt.Sprintf("scheme(%d)", uint8(s))
+	}
+}
+
+// PartTable describes one logical partitioned table.
+type PartTable struct {
+	Name   string
+	Scheme PartScheme
+	KeyCol int             // schema position of the partitioning column
+	Parts  []types.TableID // shard table IDs, partition order
+	// Bounds are the upper-exclusive split points for SchemeRange, as
+	// keyenc encodings of the partitioning column: len(Parts)-1 entries,
+	// shard i holds keys < Bounds[i] (the last shard is unbounded).
+	// Empty for SchemeHash.
+	Bounds [][]byte
+}
+
+func clonePartTable(pt *PartTable) *PartTable {
+	cp := *pt
+	cp.Parts = append([]types.TableID(nil), pt.Parts...)
+	cp.Bounds = make([][]byte, 0, len(pt.Bounds))
+	for _, b := range pt.Bounds {
+		cp.Bounds = append(cp.Bounds, append([]byte(nil), b...))
+	}
+	return &cp
+}
+
+// PartIndex describes one logical index over a partitioned table. The
+// shard indexes it fans out to are derived by name (PartShardIndexName),
+// so the registry entry carries only the build spec and lifecycle state.
+type PartIndex struct {
+	Name    string
+	Table   string // logical table name
+	Columns []string
+	Unique  bool
+	Method  BuildMethod
+	State   IndexState
+}
+
+func clonePartIndex(pi *PartIndex) *PartIndex {
+	cp := *pi
+	cp.Columns = append([]string(nil), pi.Columns...)
+	return &cp
+}
+
+// PartShardTableName derives shard i's catalog table name. The '#' makes
+// collisions with user-chosen names impossible by convention.
+func PartShardTableName(table string, i int) string {
+	return fmt.Sprintf("%s#p%d", table, i)
+}
+
+// PartShardIndexName derives shard i's catalog index name.
+func PartShardIndexName(index string, i int) string {
+	return fmt.Sprintf("%s#p%d", index, i)
+}
+
+// AddPartTable installs (or, during log replay, reinstalls) a logical
+// partitioned-table descriptor. Upsert semantics keep replay idempotent.
+func (c *Catalog) AddPartTable(pt *PartTable) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.partTables[pt.Name] = clonePartTable(pt)
+}
+
+// PartTable returns a copy of the named logical table's descriptor.
+func (c *Catalog) PartTable(name string) (PartTable, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	pt, ok := c.partTables[name]
+	if !ok {
+		return PartTable{}, false
+	}
+	return *clonePartTable(pt), true
+}
+
+// PartTables returns all logical table descriptors, name-sorted.
+func (c *Catalog) PartTables() []PartTable {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]PartTable, 0, len(c.partTables))
+	for _, pt := range c.partTables {
+		out = append(out, *clonePartTable(pt))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// UpsertPartIndex installs or updates a logical index descriptor.
+// Creation and state changes share this one last-write-wins entry point,
+// which is what makes replaying the redo-only meta records idempotent.
+func (c *Catalog) UpsertPartIndex(pi *PartIndex) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.partIndexes[pi.Name] = clonePartIndex(pi)
+}
+
+// PartIndex returns a copy of the named logical index's descriptor.
+func (c *Catalog) PartIndex(name string) (PartIndex, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	pi, ok := c.partIndexes[name]
+	if !ok {
+		return PartIndex{}, false
+	}
+	return *clonePartIndex(pi), true
+}
+
+// PartIndexes returns all logical index descriptors, name-sorted.
+func (c *Catalog) PartIndexes() []PartIndex {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]PartIndex, 0, len(c.partIndexes))
+	for _, pi := range c.partIndexes {
+		out = append(out, *clonePartIndex(pi))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// RemovePartIndex deletes a logical index descriptor (drop or cancelled
+// fan-out build). Idempotent.
+func (c *Catalog) RemovePartIndex(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.partIndexes, name)
+}
+
+// partCountLocked reports whether the registry holds anything; Snapshot
+// uses it to decide whether to emit the trailing partition section.
+func (c *Catalog) partCountLocked() int {
+	return len(c.partTables) + len(c.partIndexes)
+}
+
+// ---------------------------------------------------------------------------
+// Serialization: TypePartMeta payloads and the snapshot section.
+// ---------------------------------------------------------------------------
+
+// PartMeta payload operation tags.
+const (
+	partOpTable     uint8 = 1 // upsert a PartTable
+	partOpIndex     uint8 = 2 // upsert a PartIndex (create and state change)
+	partOpIndexDrop uint8 = 3 // remove a PartIndex by name
+)
+
+func encodePartTable(w *enc.Writer, pt *PartTable) {
+	w.String32(pt.Name).U8(uint8(pt.Scheme)).U32(uint32(pt.KeyCol))
+	w.U32(uint32(len(pt.Parts)))
+	for _, id := range pt.Parts {
+		w.U32(uint32(id))
+	}
+	w.U32(uint32(len(pt.Bounds)))
+	for _, b := range pt.Bounds {
+		w.Bytes32(b)
+	}
+}
+
+func decodePartTable(r *enc.Reader) PartTable {
+	pt := PartTable{Name: r.String32(), Scheme: PartScheme(r.U8()), KeyCol: int(r.U32())}
+	np := int(r.U32())
+	for i := 0; i < np; i++ {
+		pt.Parts = append(pt.Parts, types.TableID(r.U32()))
+	}
+	nb := int(r.U32())
+	for i := 0; i < nb; i++ {
+		pt.Bounds = append(pt.Bounds, append([]byte(nil), r.Bytes32()...))
+	}
+	return pt
+}
+
+func encodePartIndex(w *enc.Writer, pi *PartIndex) {
+	w.String32(pi.Name).String32(pi.Table).
+		Bool(pi.Unique).U8(uint8(pi.Method)).U8(uint8(pi.State)).
+		U32(uint32(len(pi.Columns)))
+	for _, c := range pi.Columns {
+		w.String32(c)
+	}
+}
+
+func decodePartIndex(r *enc.Reader) PartIndex {
+	pi := PartIndex{
+		Name: r.String32(), Table: r.String32(),
+		Unique: r.Bool(), Method: BuildMethod(r.U8()), State: IndexState(r.U8()),
+	}
+	nc := int(r.U32())
+	for i := 0; i < nc; i++ {
+		pi.Columns = append(pi.Columns, r.String32())
+	}
+	return pi
+}
+
+// EncodePartTableMeta builds a TypePartMeta payload that upserts pt.
+func EncodePartTableMeta(pt *PartTable) []byte {
+	w := enc.NewWriter()
+	w.U8(partOpTable)
+	encodePartTable(w, pt)
+	return w.Bytes()
+}
+
+// EncodePartIndexMeta builds a TypePartMeta payload that upserts pi.
+func EncodePartIndexMeta(pi *PartIndex) []byte {
+	w := enc.NewWriter()
+	w.U8(partOpIndex)
+	encodePartIndex(w, pi)
+	return w.Bytes()
+}
+
+// EncodePartIndexDropMeta builds a TypePartMeta payload that removes the
+// named logical index descriptor.
+func EncodePartIndexDropMeta(name string) []byte {
+	return enc.NewWriter().U8(partOpIndexDrop).String32(name).Bytes()
+}
+
+// ApplyPartMeta applies one TypePartMeta payload to the registry. The
+// recovery analysis scan calls it unconditionally (same treatment as the
+// other DDL records); all three operations are idempotent upserts/deletes
+// so replay after a snapshot restore is harmless.
+func (c *Catalog) ApplyPartMeta(b []byte) error {
+	r := enc.NewReader(b)
+	switch op := r.U8(); op {
+	case partOpTable:
+		pt := decodePartTable(r)
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("catalog: bad PartMeta table payload: %w", err)
+		}
+		c.AddPartTable(&pt)
+	case partOpIndex:
+		pi := decodePartIndex(r)
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("catalog: bad PartMeta index payload: %w", err)
+		}
+		c.UpsertPartIndex(&pi)
+	case partOpIndexDrop:
+		name := r.String32()
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("catalog: bad PartMeta drop payload: %w", err)
+		}
+		c.RemovePartIndex(name)
+	default:
+		return fmt.Errorf("catalog: unknown PartMeta op %d", op)
+	}
+	return nil
+}
+
+// snapshotPartLocked appends the partition section to a checkpoint
+// snapshot. Callers must hold c.mu and only call when partCountLocked()>0.
+func (c *Catalog) snapshotPartLocked(w *enc.Writer) {
+	var tnames []string
+	for n := range c.partTables {
+		tnames = append(tnames, n)
+	}
+	sort.Strings(tnames)
+	w.U32(uint32(len(tnames)))
+	for _, n := range tnames {
+		encodePartTable(w, c.partTables[n])
+	}
+	var inames []string
+	for n := range c.partIndexes {
+		inames = append(inames, n)
+	}
+	sort.Strings(inames)
+	w.U32(uint32(len(inames)))
+	for _, n := range inames {
+		encodePartIndex(w, c.partIndexes[n])
+	}
+}
+
+// restorePartSection reads the optional trailing partition section.
+func (c *Catalog) restorePartSection(r *enc.Reader) {
+	nt := int(r.U32())
+	for i := 0; i < nt; i++ {
+		pt := decodePartTable(r)
+		if r.Err() != nil {
+			return
+		}
+		c.partTables[pt.Name] = &pt
+	}
+	ni := int(r.U32())
+	for i := 0; i < ni; i++ {
+		pi := decodePartIndex(r)
+		if r.Err() != nil {
+			return
+		}
+		c.partIndexes[pi.Name] = &pi
+	}
+}

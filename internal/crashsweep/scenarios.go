@@ -9,6 +9,8 @@ import (
 	"onlineindex/internal/core"
 	"onlineindex/internal/engine"
 	"onlineindex/internal/keyenc"
+	"onlineindex/internal/partition"
+	"onlineindex/internal/txn"
 	"onlineindex/internal/types"
 )
 
@@ -48,6 +50,13 @@ type Scenario struct {
 	// under the sweep, which stays deterministic because the shard hash is a
 	// fixed function of the page ID. The lock manager is always 1 stripe.
 	Shards int
+	// Partitions, when > 0, hash-partitions the "items" table on "id" into
+	// that many shards: the seed rows and the observer's DML route through a
+	// partition.Router, Run drives the fan-out coordinator (in Serial mode,
+	// so the shard order is fixed), and the oracle switches to the
+	// partition-aware verifyPartScenario. Routing is FNV over the encoded
+	// key — a fixed function — so determinism is preserved.
+	Partitions int
 }
 
 // Table schema shared by all scenarios: id (unique by construction),
@@ -69,6 +78,16 @@ func sweepName(i int) string {
 	return fmt.Sprintf("name-%06d-%s", i, strings.Repeat("x", 80))
 }
 
+// dml is the write surface the observer drives. Both *engine.DB (the
+// legacy single-heap scenarios) and *partition.Router (part2) satisfy it,
+// so the same scripted workload exercises either topology.
+type dml interface {
+	Begin() *txn.Txn
+	Insert(tx *txn.Txn, table string, row engine.Row) (types.RID, error)
+	Update(tx *txn.Txn, table string, rid types.RID, row engine.Row) (types.RID, error)
+	Delete(tx *txn.Txn, table string, rid types.RID) error
+}
+
 // observer returns an OnCheckpoint hook that runs one scripted transaction
 // after every builder checkpoint: an insert of a fresh row, an update and a
 // delete of seed rows. Targets are chosen by fixed arithmetic on the
@@ -78,7 +97,7 @@ func sweepName(i int) string {
 // generates behind-Current-RID updates (applied directly) and ahead-of-it
 // ones (captured in the side-file); during load and catch-up, every change
 // lands in the side-file, growing the tail the drain must chase (§3.2.3).
-func observer(db *engine.DB, rids []types.RID) func(engine.IBPhase) error {
+func observer(db dml, rids []types.RID) func(engine.IBPhase) error {
 	n := 0
 	cur := append([]types.RID(nil), rids...) // current RID of each live seed row
 	live := make([]bool, len(rids))
@@ -391,6 +410,34 @@ func Scenarios() []*Scenario {
 				return err
 			},
 			ReadCheck: true,
+		},
+		{
+			// The paper's machinery under horizontal partitioning: a unique
+			// SF build fans out over two hash shards behind one logical
+			// descriptor, with the coordinator in Serial mode so the shard
+			// order — shard 0's build, shard 1's build, the cross-shard
+			// uniqueness sweep, the completion-meta commit — is a fixed
+			// schedule the sweep can crash at every point of. The observer's
+			// DML routes through the partition.Router, so side-file capture,
+			// cross-shard row migration (an update whose new id hashes to the
+			// other shard), and the logical-metadata WAL records all sit
+			// inside the faulted section. verifyPartScenario supplies the
+			// partition-aware oracle.
+			Name:       "part2",
+			Rows:       300,
+			Opts:       sfOpts,
+			Partitions: 2,
+			Specs: []engine.CreateIndexSpec{
+				{Name: "by_name", Table: "items", Columns: []string{"name"}, Unique: true, Method: catalog.MethodSF},
+			},
+			Run: func(db *engine.DB, rids []types.RID) error {
+				opts := sfOpts
+				opts.OnCheckpoint = observer(partition.NewRouter(db), rids)
+				_, err := partition.Build(db, engine.CreateIndexSpec{
+					Name: "by_name", Table: "items", Columns: []string{"name"}, Unique: true, Method: catalog.MethodSF,
+				}, partition.BuildOptions{Options: opts, Serial: true})
+				return err
+			},
 		},
 		{
 			// The SF build again, but on a 2-shard buffer pool: same scripted

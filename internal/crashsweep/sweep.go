@@ -23,6 +23,7 @@ import (
 	"onlineindex/internal/engine"
 	"onlineindex/internal/faultfs"
 	"onlineindex/internal/keyenc"
+	"onlineindex/internal/partition"
 	"onlineindex/internal/types"
 	"onlineindex/internal/vfs"
 	"onlineindex/internal/wal"
@@ -269,7 +270,15 @@ func openPopulated(fs vfs.FS, sc *Scenario) (*engine.DB, []types.RID, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	if _, err := db.CreateTable("items", sweepSchema()); err != nil {
+	var target dml = db
+	if sc.Partitions > 0 {
+		if _, err := partition.CreateTable(db, "items", sweepSchema(), partition.Spec{
+			Partitions: sc.Partitions, Scheme: catalog.SchemeHash, KeyColumn: "id",
+		}); err != nil {
+			return nil, nil, err
+		}
+		target = partition.NewRouter(db)
+	} else if _, err := db.CreateTable("items", sweepSchema()); err != nil {
 		return nil, nil, err
 	}
 	rids := make([]types.RID, 0, rows)
@@ -277,7 +286,7 @@ func openPopulated(fs vfs.FS, sc *Scenario) (*engine.DB, []types.RID, error) {
 	for i := 0; i < rows; {
 		tx := db.Begin()
 		for j := 0; j < batch && i < rows; j++ {
-			rid, err := db.Insert(tx, "items", sweepRow(int64(i), sweepName(i), int64(i%97)))
+			rid, err := target.Insert(tx, "items", sweepRow(int64(i), sweepName(i), int64(i%97)))
 			if err != nil {
 				return nil, nil, err
 			}
@@ -302,6 +311,9 @@ func openPopulated(fs vfs.FS, sc *Scenario) (*engine.DB, []types.RID, error) {
 // verifyScenario is the oracle: every index the scenario was building must
 // be completable and correct on the recovered database.
 func verifyScenario(db *engine.DB, mem *vfs.MemFS, sc *Scenario, pr *PointResult) error {
+	if sc.Partitions > 0 {
+		return verifyPartScenario(db, mem, sc, pr)
+	}
 	pending, err := db.PendingBuilds()
 	if err != nil {
 		return fmt.Errorf("pending builds: %w", err)

@@ -1,0 +1,69 @@
+package crashsweep
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+
+	"onlineindex/internal/faultfs"
+	"onlineindex/internal/vfs"
+)
+
+// legacyTraceHashes pins the count-run I/O schedule of every scenario that
+// predates the partition subsystem. The partition code paths (catalog
+// registry, conditional snapshot section, router) must be invisible to an
+// unpartitioned database: if one of these hashes moves, a legacy schedule
+// changed and every historical (seed, point) reproduction recipe is silently
+// invalidated. Regenerate deliberately with
+//
+//	SWEEP_TRACE_DUMP=1 go test ./internal/crashsweep -run TestDumpTraces -v
+//
+// and update the table only when the schedule change is intentional.
+var legacyTraceHashes = map[string]struct {
+	points uint64
+	sha    string
+}{
+	"nsf":      {235, "5693332f9b626074c14c47adc44a65aa27665a66828283f8d41a20889d7c1f7e"},
+	"sf":       {385, "6ced53454a78907d14a6f9173ff50f0ff1514893bfacda330cef3aaa82a36b80"},
+	"multi":    {433, "5d443c6cc9013636b6ceb89d56a41d0abf2a40b1382e4ceb0d448bb6e59d31d3"},
+	"sortpar":  {290, "435dd91ef8a51d329f4e52bbcaa4fd7bcb79048e56f2d764dd2ba0637662f718"},
+	"extsort":  {51, "59bd26a0ebe5e750e515e8f990b76f69f007a77a098456fbab633346033e13c6"},
+	"readpath": {277, "11803962d96f50defc0db8f8d8406ef7e1a3af0c4ff9c0945a8fbd2bc6b277d5"},
+	"shard2":   {315, "25ebfd9d1ef1f877599cbef802c46441b4837d698d24d1218a1134f5ad6f1be9"},
+}
+
+// TestLegacyTracesByteIdentical re-runs each legacy scenario's count run and
+// compares the sha256 of its full op trace against the pinned value.
+func TestLegacyTracesByteIdentical(t *testing.T) {
+	for _, sc := range Scenarios() {
+		want, pinned := legacyTraceHashes[sc.Name]
+		if !pinned {
+			continue // new scenario: its determinism is checked by the sweep itself
+		}
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			mem := vfs.NewMemFS()
+			ffs := faultfs.Wrap(mem, faultfs.Config{Mode: faultfs.ModeCount, Trace: true})
+			db, rids, err := openPopulated(ffs, sc)
+			if err != nil {
+				t.Fatalf("populate: %v", err)
+			}
+			ffs.Arm()
+			if err := sc.Run(db, rids); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			ffs.Disarm()
+			if ffs.Points() != want.points {
+				t.Errorf("fault points = %d, pinned %d", ffs.Points(), want.points)
+			}
+			h := sha256.New()
+			for _, ev := range ffs.Trace() {
+				fmt.Fprintf(h, "%v\n", ev)
+			}
+			if got := fmt.Sprintf("%x", h.Sum(nil)); got != want.sha {
+				t.Errorf("trace hash = %s, pinned %s — a legacy I/O schedule changed; see legacyTraceHashes for the regeneration recipe", got, want.sha)
+			}
+		})
+	}
+}

@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"onlineindex/internal/btree"
+	"onlineindex/internal/keyenc"
+	"onlineindex/internal/lock"
+	"onlineindex/internal/txn"
+	"onlineindex/internal/types"
+)
+
+// IndexCursor is a pull-style reader over one readable index, applying the
+// same latch-coupled crawl plus entry-verification lock protocol as
+// IndexScan. It exists so higher layers can compose several per-shard
+// streams (the partition router's k-way merge) without re-implementing the
+// read protocol. With a nil transaction entries are returned unverified
+// (quiescent-point reads), matching IndexScan's nil-tx semantics.
+type IndexCursor struct {
+	db   *DB
+	tx   *txn.Txn
+	tree *btree.Tree
+	cur  *btree.Cursor
+}
+
+// NewIndexCursor opens a cursor over index for keys in [lo, hi] (nil means
+// unbounded), taking the table IS lock when tx is non-nil.
+func (db *DB) NewIndexCursor(tx *txn.Txn, index string, lo, hi []keyenc.Value) (*IndexCursor, error) {
+	var loB, hiB []byte
+	if lo != nil {
+		loB = keyenc.Encode(lo...)
+	}
+	if hi != nil {
+		hiB = keyenc.Encode(hi...)
+	}
+	return db.NewIndexCursorRaw(tx, index, loB, hiB)
+}
+
+// NewIndexCursorRaw is NewIndexCursor with pre-encoded key bounds, for
+// callers that already hold keyenc-encoded keys (the partition merge).
+func (db *DB) NewIndexCursorRaw(tx *txn.Txn, index string, loB, hiB []byte) (*IndexCursor, error) {
+	ix, tree, err := db.readableIndex(index)
+	if err != nil {
+		return nil, err
+	}
+	if tx != nil {
+		if err := tx.Lock(lock.TableName(ix.Table), lock.IS); err != nil {
+			return nil, err
+		}
+	}
+	return &IndexCursor{db: db, tx: tx, tree: tree, cur: tree.NewCursor(loB, hiB)}, nil
+}
+
+// Next returns the next committed live entry, or ok=false at the end of
+// the range. The returned key aliases cursor-internal storage only until
+// the next call; copy it to retain it.
+func (c *IndexCursor) Next() (key []byte, rid types.RID, ok bool, err error) {
+	for {
+		e, more, err := c.cur.Next()
+		if err != nil || !more {
+			return nil, types.RID{}, false, err
+		}
+		visible := !e.Pseudo
+		if c.tx != nil {
+			visible, err = c.db.verifyEntry(c.tx, c.tree, e.Key, e.RID, e.Pseudo)
+			if err != nil {
+				return nil, types.RID{}, false, err
+			}
+		}
+		if visible {
+			return e.Key, e.RID, true, nil
+		}
+	}
+}
+
+// VerifyIndexEntry applies the read-path entry verification protocol to a
+// (key, rid) pair observed in index id's tree without locks: blocking S
+// lock on the RID, then a SearchEntry re-check. It reports whether the
+// entry is still a committed live entry. The partition layer's cross-shard
+// unique probe uses it — the blocking S lock against a concurrent
+// inserter's X record lock is what turns a symmetric cross-shard duplicate
+// race into a deadlock the lock manager resolves to exactly one winner.
+func (db *DB) VerifyIndexEntry(tx *txn.Txn, id types.IndexID, key []byte, rid types.RID, pseudo bool) (bool, error) {
+	tree, err := db.TreeOf(id)
+	if err != nil {
+		return false, err
+	}
+	return db.verifyEntry(tx, tree, key, rid, pseudo)
+}

@@ -106,6 +106,10 @@ type DB struct {
 	// progs holds one progress tracker per in-flight (or just-finished)
 	// index build, registered by the builders in package core.
 	progs map[types.IndexID]*progress.Tracker
+	// progGroups holds named snapshot closures that aggregate several
+	// builds into one logical progress view (the partition coordinator
+	// registers one per fan-out index build).
+	progGroups map[string]func() progress.Snapshot
 	// lastIBCkpt holds each building index's latest committed builder
 	// checkpoint payload, included in fuzzy checkpoints so restart can find
 	// it without scanning the whole log.
@@ -151,6 +155,7 @@ func Open(cfg Config) (*DB, error) {
 		sfiles:     make(map[types.IndexID]*sidefile.File),
 		builds:     make(map[types.IndexID]*BuildCtl),
 		progs:      make(map[types.IndexID]*progress.Tracker),
+		progGroups: make(map[string]func() progress.Snapshot),
 		lastIBCkpt: make(map[types.IndexID][]byte),
 		rcaches:    make(map[types.IndexID]*readcache.Cache),
 		zmaps:      make(map[types.TableID]*zonemap.Map),
@@ -195,18 +200,41 @@ func (db *DB) ProgressOf(id types.IndexID) *progress.Tracker {
 	return db.progs[id]
 }
 
-// ProgressSnapshots returns a snapshot of every registered build tracker,
-// in unspecified order.
+// RegisterProgressGroup installs a named aggregate progress view (one
+// snapshot summarizing several shard builds). Re-registering a name
+// replaces the previous closure.
+func (db *DB) RegisterProgressGroup(name string, fn func() progress.Snapshot) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.progGroups[name] = fn
+}
+
+// DropProgressGroup forgets an aggregate progress view.
+func (db *DB) DropProgressGroup(name string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.progGroups, name)
+}
+
+// ProgressSnapshots returns a snapshot of every registered build tracker
+// followed by every registered aggregate group view, in unspecified order.
 func (db *DB) ProgressSnapshots() []progress.Snapshot {
 	db.mu.Lock()
 	trs := make([]*progress.Tracker, 0, len(db.progs))
 	for _, tr := range db.progs {
 		trs = append(trs, tr)
 	}
+	fns := make([]func() progress.Snapshot, 0, len(db.progGroups))
+	for _, fn := range db.progGroups {
+		fns = append(fns, fn)
+	}
 	db.mu.Unlock()
-	out := make([]progress.Snapshot, 0, len(trs))
+	out := make([]progress.Snapshot, 0, len(trs)+len(fns))
 	for _, tr := range trs {
 		out = append(out, tr.Snapshot())
+	}
+	for _, fn := range fns {
+		out = append(out, fn())
 	}
 	return out
 }

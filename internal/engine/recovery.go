@@ -175,6 +175,13 @@ func Recover(cfg Config) (*DB, error) {
 				delete(committedIB, pl.Index)
 				delete(ibCandidates, pl.Index)
 			}
+		case wal.TypePartMeta:
+			// Partition metadata is applied unconditionally like the other
+			// DDL records; the payloads are idempotent upserts/deletes so
+			// replay over a snapshot-restored registry is harmless.
+			if err := db.cat.ApplyPartMeta(rec.Payload); err != nil {
+				return nil, err
+			}
 		case wal.TypeIBCheckpoint:
 			st, err := DecodeIBState(rec.Payload)
 			if err != nil {

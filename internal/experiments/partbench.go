@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"onlineindex/internal/catalog"
+	"onlineindex/internal/engine"
+	"onlineindex/internal/harness"
+	"onlineindex/internal/keyenc"
+	"onlineindex/internal/partition"
+	"onlineindex/internal/types"
+	"onlineindex/internal/vfs"
+	"onlineindex/internal/workload"
+)
+
+// PartCell is one partition-count measurement of the partbench matrix.
+type PartCell struct {
+	Partitions int     `json:"partitions"`
+	BuildMS    float64 `json:"build_ms"`
+	LookupOps  float64 `json:"lookup_ops_per_sec"`
+	ScanOps    float64 `json:"scan_ops_per_sec"`
+}
+
+// PartRecord is the machine-readable horizontal-partitioning measurement
+// merged into BENCH_build.json by `benchtab -partbench`: for P in {1, 2, 4}
+// shards, the wall-clock of a fan-out SF build of the logical by_id index
+// and the routed read mix on the result — exact-shard point lookups and
+// 200-entry ordered scans through the partition-merging cursor. Trials are
+// interleaved across the partition counts (trial 0 of every P before trial
+// 1 of any) so ambient machine noise lands on all cells alike; each cell
+// keeps its best trial.
+type PartRecord struct {
+	Kind    string     `json:"kind"` // "partbench"
+	NumCPU  int        `json:"num_cpu"`
+	Rows    int        `json:"rows"`
+	Trials  int        `json:"trials"`
+	Scheme  string     `json:"scheme"`
+	Results []PartCell `json:"results"`
+}
+
+// partSpec parses the -partition-scheme flag value.
+func partSpec(scheme string, parts, rows int) (partition.Spec, error) {
+	spec := partition.Spec{Partitions: parts, KeyColumn: "id"}
+	switch scheme {
+	case "hash", "":
+		spec.Scheme = catalog.SchemeHash
+	case "range":
+		spec.Scheme = catalog.SchemeRange
+		for i := 1; i < parts; i++ {
+			spec.Bounds = append(spec.Bounds, keyenc.Int64(int64(rows*i/parts)))
+		}
+	default:
+		return spec, fmt.Errorf("unknown partition scheme %q (want range or hash)", scheme)
+	}
+	return spec, nil
+}
+
+// PartTrial populates one fresh P-shard table, times the fan-out SF build
+// of by_id, and measures the routed read mix on it.
+func PartTrial(cfg Config, scheme string, rows, parts, readers int, dur time.Duration) (PartCell, error) {
+	cell := PartCell{Partitions: parts}
+	db, err := engine.Open(engine.Config{FS: vfs.NewMemFS(), PoolSize: 4096})
+	if err != nil {
+		return cell, err
+	}
+	defer db.Close() //nolint:errcheck
+	spec, err := partSpec(scheme, parts, rows)
+	if err != nil {
+		return cell, err
+	}
+	if _, err := partition.CreateTable(db, tableName, workload.Schema(), spec); err != nil {
+		return cell, err
+	}
+	r := partition.NewRouter(db)
+	if _, err := workload.Populate(r, tableName, rows, 16); err != nil {
+		return cell, err
+	}
+
+	start := time.Now()
+	if _, err := partition.Build(db, engine.CreateIndexSpec{
+		Name: "by_id", Table: tableName, Columns: []string{"id"}, Method: catalog.MethodSF,
+	}, partition.BuildOptions{Options: cfg.buildOptions()}); err != nil {
+		return cell, err
+	}
+	cell.BuildMS = time.Since(start).Seconds() * 1000
+
+	// Point lookups on the partition key route to exactly one shard.
+	lookups, err := concurrentOpsPerSec(readers, dur, func(g, i int) error {
+		tx := db.Begin()
+		defer tx.Rollback() //nolint:errcheck
+		for j := 0; j < readBatch; j++ {
+			id := int64((i*readBatch + j*7 + g*13) % rows)
+			rids, err := r.Lookup(tx, "by_id", keyenc.Int64(id))
+			if err != nil {
+				return err
+			}
+			if len(rids) != 1 {
+				return fmt.Errorf("partbench: lookup id %d returned %d rids", id, len(rids))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return cell, err
+	}
+	cell.LookupOps = lookups * readBatch
+
+	// 200-entry ordered scans: under hash these k-way merge all P shard
+	// cursors, under range they concatenate in partition order.
+	cell.ScanOps, err = concurrentOpsPerSec(readers, dur, func(g, i int) error {
+		tx := db.Begin()
+		defer tx.Rollback() //nolint:errcheck
+		lo := []keyenc.Value{keyenc.Int64(int64((i*37 + g*11) % rows))}
+		n := 0
+		return r.Scan(tx, "by_id", lo, nil, func(_ []byte, _ types.RID) bool {
+			n++
+			return n < 200
+		})
+	})
+	return cell, err
+}
+
+// PartBench runs the partitioning benchmark and returns the
+// BENCH_build.json record. extra, when > 0, adds one more partition count
+// to the standard {1, 2, 4} sweep (the -partitions flag).
+func PartBench(cfg Config, scheme string, rows, extra int) (PartRecord, error) {
+	const (
+		trials  = 5
+		readers = 4
+		dur     = 120 * time.Millisecond
+	)
+	if scheme == "" {
+		scheme = "hash"
+	}
+	counts := []int{1, 2, 4}
+	if extra > 0 && extra != 1 && extra != 2 && extra != 4 {
+		counts = append(counts, extra)
+	}
+	rec := PartRecord{
+		Kind: "partbench", NumCPU: runtime.NumCPU(), Rows: rows,
+		Trials: trials, Scheme: scheme,
+	}
+	cells := make([]PartCell, len(counts))
+	for i, p := range counts {
+		cells[i] = PartCell{Partitions: p}
+	}
+	for t := 0; t < trials; t++ {
+		for i, p := range counts {
+			cell, err := PartTrial(cfg, scheme, rows, p, readers, dur)
+			if err != nil {
+				return rec, fmt.Errorf("partbench P=%d trial %d: %w", p, t, err)
+			}
+			if cells[i].BuildMS == 0 || cell.BuildMS < cells[i].BuildMS {
+				cells[i].BuildMS = cell.BuildMS
+			}
+			if cell.LookupOps > cells[i].LookupOps {
+				cells[i].LookupOps = cell.LookupOps
+			}
+			if cell.ScanOps > cells[i].ScanOps {
+				cells[i].ScanOps = cell.ScanOps
+			}
+		}
+	}
+	rec.Results = cells
+
+	rows2 := make([][]string, len(cells))
+	for i, c := range cells {
+		rows2[i] = []string{
+			fmt.Sprintf("%d", c.Partitions),
+			fmt.Sprintf("%.1f", c.BuildMS),
+			fmt.Sprintf("%.0f", c.LookupOps),
+			fmt.Sprintf("%.0f", c.ScanOps),
+		}
+	}
+	cfg.printf("%s\n", harness.Table(
+		fmt.Sprintf("Horizontal partitioning (%s on id), %d rows, %d readers on %d CPUs (best of %d interleaved trials)",
+			scheme, rows, readers, rec.NumCPU, trials),
+		[]string{"partitions", "SF build ms", "lookup ops/s", "scan ops/s"},
+		rows2))
+	return rec, nil
+}

@@ -1,0 +1,78 @@
+package partition
+
+import (
+	"bytes"
+
+	"onlineindex/internal/engine"
+	"onlineindex/internal/types"
+)
+
+// mergeCursor interleaves N per-shard index cursor streams back into one
+// globally (key, RID)-ordered stream. Each input is already sorted (btree
+// cursor order), so this is a plain k-way merge; the composition point is
+// engine.IndexCursor, which applies the read lock protocol per entry, so
+// merged reads carry exactly the same consistency guarantees as a
+// single-shard IndexScan.
+type mergeCursor struct {
+	curs  []*engine.IndexCursor
+	heads []mergeHead
+}
+
+type mergeHead struct {
+	key []byte
+	rid types.RID
+	ok  bool
+}
+
+// newMergeCursor primes every input stream.
+func newMergeCursor(curs []*engine.IndexCursor) (*mergeCursor, error) {
+	m := &mergeCursor{curs: curs, heads: make([]mergeHead, len(curs))}
+	for i := range curs {
+		if err := m.advance(i); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// advance pulls the next entry of stream i into its head slot. Cursor keys
+// alias internal storage only until the next Next call, so the head keeps
+// a copy.
+func (m *mergeCursor) advance(i int) error {
+	key, rid, ok, err := m.curs[i].Next()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		m.heads[i] = mergeHead{}
+		return nil
+	}
+	m.heads[i] = mergeHead{key: append(m.heads[i].key[:0], key...), rid: rid, ok: true}
+	return nil
+}
+
+// Next returns the globally smallest (key, RID) across the live heads.
+func (m *mergeCursor) Next() (key []byte, rid types.RID, ok bool, err error) {
+	best := -1
+	for i, h := range m.heads {
+		if !h.ok {
+			continue
+		}
+		if best < 0 {
+			best = i
+			continue
+		}
+		if c := bytes.Compare(h.key, m.heads[best].key); c < 0 || (c == 0 && h.rid.Less(m.heads[best].rid)) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, types.RID{}, false, nil
+	}
+	key = append([]byte(nil), m.heads[best].key...)
+	rid = m.heads[best].rid
+	if err := m.advance(best); err != nil {
+		return nil, types.RID{}, false, err
+	}
+	return key, rid, true, nil
+}

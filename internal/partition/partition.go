@@ -1,0 +1,573 @@
+// Package partition implements horizontal partitioning: one logical table
+// backed by N independent shard tables, each a full citizen of the
+// existing engine (own heap file, FSM, zone-map sidecar, per-shard index
+// trees, WAL records, undo and recovery). The package adds three layers on
+// top of that unchanged substrate:
+//
+//   - a Router that threads DML and the read path through the right
+//     shard(s): exact-shard routing for point operations, a
+//     partition-ordered concatenation for range scans over range
+//     partitioning, and a fan-out k-way merge elsewhere;
+//   - a build coordinator (build.go) that fans one logical index build out
+//     into N per-shard builds — each reusing the NSF/SF/offline pipeline
+//     verbatim — and commits the logical index only when every shard
+//     completes;
+//   - a cross-shard unique protocol (unique.go) for unique keys that are
+//     not aligned with the partitioning key, where the engine's per-tree
+//     §2.2.3 machinery cannot see a duplicate sitting on a sibling shard.
+package partition
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"onlineindex/internal/catalog"
+	"onlineindex/internal/engine"
+	"onlineindex/internal/keyenc"
+	"onlineindex/internal/txn"
+	"onlineindex/internal/types"
+	"onlineindex/internal/wal"
+)
+
+// Spec describes how to partition a new logical table.
+type Spec struct {
+	Partitions int
+	Scheme     catalog.PartScheme
+	KeyColumn  string
+	// Bounds are the upper-exclusive range split points (Partitions-1
+	// values of the key column's kind, ascending). Ignored for hash.
+	Bounds []keyenc.Value
+}
+
+// CreateTable creates a logical partitioned table: N ordinary shard tables
+// named name#p0..name#pN-1, plus one redo-only PartMeta record that
+// registers the logical descriptor. The shards are created first so a
+// crash mid-way leaves only unreferenced (and empty) ordinary tables.
+func CreateTable(db *engine.DB, name string, schema catalog.Schema, spec Spec) (catalog.PartTable, error) {
+	if spec.Partitions < 1 {
+		return catalog.PartTable{}, fmt.Errorf("partition: need at least 1 partition, got %d", spec.Partitions)
+	}
+	if spec.Scheme != catalog.SchemeRange && spec.Scheme != catalog.SchemeHash {
+		return catalog.PartTable{}, fmt.Errorf("partition: unknown scheme %v", spec.Scheme)
+	}
+	keyCol := -1
+	for i, c := range schema {
+		if c.Name == spec.KeyColumn {
+			keyCol = i
+			break
+		}
+	}
+	if keyCol < 0 {
+		return catalog.PartTable{}, fmt.Errorf("partition: schema has no column %q", spec.KeyColumn)
+	}
+	if _, exists := db.Catalog().PartTable(name); exists {
+		return catalog.PartTable{}, fmt.Errorf("partition: table %q exists", name)
+	}
+	pt := catalog.PartTable{Name: name, Scheme: spec.Scheme, KeyCol: keyCol}
+	if spec.Scheme == catalog.SchemeRange {
+		if len(spec.Bounds) != spec.Partitions-1 {
+			return catalog.PartTable{}, fmt.Errorf("partition: range scheme needs %d bounds, got %d",
+				spec.Partitions-1, len(spec.Bounds))
+		}
+		for i, v := range spec.Bounds {
+			b := keyenc.Append(nil, v)
+			if i > 0 && bytes.Compare(pt.Bounds[i-1], b) >= 0 {
+				return catalog.PartTable{}, fmt.Errorf("partition: bounds not strictly ascending at %d", i)
+			}
+			pt.Bounds = append(pt.Bounds, b)
+		}
+	}
+	for i := 0; i < spec.Partitions; i++ {
+		t, err := db.CreateTable(catalog.PartShardTableName(name, i), schema)
+		if err != nil {
+			return catalog.PartTable{}, err
+		}
+		pt.Parts = append(pt.Parts, t.ID)
+	}
+	if err := logPartMeta(db, catalog.EncodePartTableMeta(&pt)); err != nil {
+		return catalog.PartTable{}, err
+	}
+	db.Catalog().AddPartTable(&pt)
+	return pt, nil
+}
+
+// logPartMeta writes one redo-only partition-metadata record in its own
+// committed transaction — the same pattern CreateTable uses for DDL.
+func logPartMeta(db *engine.DB, payload []byte) error {
+	tx := db.Begin()
+	if _, err := tx.Log(&wal.Record{
+		Type: wal.TypePartMeta, Flags: wal.FlagRedo, Payload: payload,
+	}); err != nil {
+		tx.Rollback()
+		return err
+	}
+	return tx.Commit()
+}
+
+// routeKey picks the shard for a keyenc-encoded partitioning-column value.
+// Hash routing is FNV-1a over the encoding — a fixed function, so replay
+// and recovery land every row on the same shard deterministically.
+func routeKey(pt *catalog.PartTable, keyEnc []byte) int {
+	if pt.Scheme == catalog.SchemeRange {
+		for i, b := range pt.Bounds {
+			if bytes.Compare(keyEnc, b) < 0 {
+				return i
+			}
+		}
+		return len(pt.Parts) - 1
+	}
+	h := fnv.New64a()
+	h.Write(keyEnc)
+	return int(h.Sum64() % uint64(len(pt.Parts)))
+}
+
+// Router threads DML and reads through the partition layer: operations on
+// partitioned logical names route to the right shard(s); everything else
+// delegates to the engine untouched, so one Router can front a database
+// that mixes partitioned and plain tables.
+type Router struct {
+	db *engine.DB
+}
+
+// NewRouter returns a router over db.
+func NewRouter(db *engine.DB) *Router { return &Router{db: db} }
+
+// DB returns the underlying engine.
+func (r *Router) DB() *engine.DB { return r.db }
+
+// Begin starts a transaction (delegates; transactions span shards freely —
+// locks, undo and recovery are shard-agnostic).
+func (r *Router) Begin() *txn.Txn { return r.db.Begin() }
+
+// schemaOf returns the logical table's schema (every shard shares it).
+func (r *Router) schemaOf(pt *catalog.PartTable) (catalog.Schema, error) {
+	t, ok := r.db.Catalog().TableByID(pt.Parts[0])
+	if !ok {
+		return nil, fmt.Errorf("partition: shard table %d of %q missing", pt.Parts[0], pt.Name)
+	}
+	return t.Schema, nil
+}
+
+// rowShard picks the shard a row belongs to.
+func (r *Router) rowShard(pt *catalog.PartTable, row engine.Row) (int, error) {
+	if pt.KeyCol >= len(row) {
+		return 0, fmt.Errorf("partition: row has %d columns, key column is %d", len(row), pt.KeyCol)
+	}
+	return routeKey(pt, keyenc.Append(nil, row[pt.KeyCol])), nil
+}
+
+// ridShard finds the shard that owns a RID by its heap file.
+func (r *Router) ridShard(pt *catalog.PartTable, rid types.RID) (int, error) {
+	for i, tid := range pt.Parts {
+		t, ok := r.db.Catalog().TableByID(tid)
+		if ok && t.FileID == rid.PageID.File {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("partition: no shard of %q owns %s", pt.Name, rid)
+}
+
+// Insert routes an insert to its shard and then runs the cross-shard
+// unique probe for every logical unique index whose key is not the
+// partitioning key. On error the caller must roll back tx, exactly as with
+// engine.Insert.
+func (r *Router) Insert(tx *txn.Txn, table string, row engine.Row) (types.RID, error) {
+	pt, ok := r.db.Catalog().PartTable(table)
+	if !ok {
+		return r.db.Insert(tx, table, row)
+	}
+	shard, err := r.rowShard(&pt, row)
+	if err != nil {
+		return types.RID{}, err
+	}
+	rid, err := r.db.Insert(tx, catalog.PartShardTableName(table, shard), row)
+	if err != nil {
+		return types.RID{}, err
+	}
+	if err := r.probeUnique(tx, &pt, row, shard); err != nil {
+		return types.RID{}, err
+	}
+	r.noteRows(&pt, shard, +1)
+	r.db.Metrics().Counter("partition.route_hits").Inc()
+	return rid, nil
+}
+
+// Delete routes a delete by the RID's owning shard.
+func (r *Router) Delete(tx *txn.Txn, table string, rid types.RID) error {
+	pt, ok := r.db.Catalog().PartTable(table)
+	if !ok {
+		return r.db.Delete(tx, table, rid)
+	}
+	shard, err := r.ridShard(&pt, rid)
+	if err != nil {
+		return err
+	}
+	if err := r.db.Delete(tx, catalog.PartShardTableName(table, shard), rid); err != nil {
+		return err
+	}
+	r.noteRows(&pt, shard, -1)
+	r.db.Metrics().Counter("partition.route_hits").Inc()
+	return nil
+}
+
+// Update updates in place when the new row stays on its shard, and turns
+// into a delete+insert pair when the partitioning key moves the row. Both
+// paths end with the unique probe for the (possibly changed) key values.
+func (r *Router) Update(tx *txn.Txn, table string, rid types.RID, row engine.Row) (types.RID, error) {
+	pt, ok := r.db.Catalog().PartTable(table)
+	if !ok {
+		return r.db.Update(tx, table, rid, row)
+	}
+	oldShard, err := r.ridShard(&pt, rid)
+	if err != nil {
+		return types.RID{}, err
+	}
+	newShard, err := r.rowShard(&pt, row)
+	if err != nil {
+		return types.RID{}, err
+	}
+	var newRID types.RID
+	if oldShard == newShard {
+		newRID, err = r.db.Update(tx, catalog.PartShardTableName(table, oldShard), rid, row)
+		if err != nil {
+			return types.RID{}, err
+		}
+	} else {
+		if err := r.db.Delete(tx, catalog.PartShardTableName(table, oldShard), rid); err != nil {
+			return types.RID{}, err
+		}
+		newRID, err = r.db.Insert(tx, catalog.PartShardTableName(table, newShard), row)
+		if err != nil {
+			return types.RID{}, err
+		}
+		r.noteRows(&pt, oldShard, -1)
+		r.noteRows(&pt, newShard, +1)
+	}
+	if err := r.probeUnique(tx, &pt, row, newShard); err != nil {
+		return types.RID{}, err
+	}
+	r.db.Metrics().Counter("partition.route_hits").Inc()
+	return newRID, nil
+}
+
+// Get routes a point read by the RID's owning shard.
+func (r *Router) Get(tx *txn.Txn, table string, rid types.RID) (engine.Row, bool, error) {
+	pt, ok := r.db.Catalog().PartTable(table)
+	if !ok {
+		return r.db.Get(tx, table, rid)
+	}
+	shard, err := r.ridShard(&pt, rid)
+	if err != nil {
+		return nil, false, err
+	}
+	r.db.Metrics().Counter("partition.route_hits").Inc()
+	return r.db.Get(tx, catalog.PartShardTableName(table, shard), rid)
+}
+
+// partIndexTarget resolves a logical index name to its descriptors; ok is
+// false when the name is not a logical partitioned index.
+func (r *Router) partIndexTarget(index string) (catalog.PartIndex, catalog.PartTable, bool, error) {
+	pi, ok := r.db.Catalog().PartIndex(index)
+	if !ok {
+		return catalog.PartIndex{}, catalog.PartTable{}, false, nil
+	}
+	if pi.State != catalog.StateComplete {
+		return catalog.PartIndex{}, catalog.PartTable{}, true, &engine.ErrIndexNotReadable{Name: index}
+	}
+	pt, ok := r.db.Catalog().PartTable(pi.Table)
+	if !ok {
+		return catalog.PartIndex{}, catalog.PartTable{}, true,
+			fmt.Errorf("partition: index %q references missing table %q", index, pi.Table)
+	}
+	return pi, pt, true, nil
+}
+
+// partKeyPos returns the position of the partitioning column within the
+// index's column list, or -1 when the index doesn't cover it.
+func (r *Router) partKeyPos(pi *catalog.PartIndex, pt *catalog.PartTable) int {
+	schema, err := r.schemaOf(pt)
+	if err != nil {
+		return -1
+	}
+	keyName := schema[pt.KeyCol].Name
+	for i, c := range pi.Columns {
+		if c == keyName {
+			return i
+		}
+	}
+	return -1
+}
+
+// Lookup is an exact-match point lookup through the partition planner:
+// when the partitioning column is part of the index key the value pins the
+// shard (partition.route_hits); otherwise every shard is probed
+// (partition.fanout_scans).
+func (r *Router) Lookup(tx *txn.Txn, index string, vals ...keyenc.Value) ([]types.RID, error) {
+	pi, pt, partitioned, err := r.partIndexTarget(index)
+	if !partitioned {
+		return r.db.IndexLookup(tx, index, vals...)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if pos := r.partKeyPos(&pi, &pt); pos >= 0 && pos < len(vals) {
+		shard := routeKey(&pt, keyenc.Append(nil, vals[pos]))
+		r.db.Metrics().Counter("partition.route_hits").Inc()
+		return r.db.IndexLookup(tx, catalog.PartShardIndexName(index, shard), vals...)
+	}
+	r.db.Metrics().Counter("partition.fanout_scans").Inc()
+	var out []types.RID
+	for i := range pt.Parts {
+		rids, err := r.db.IndexLookup(tx, catalog.PartShardIndexName(index, i), vals...)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rids...)
+	}
+	sortRIDs(out) // shard iteration order is meaningless; return a stable order
+	return out, nil
+}
+
+// Scan is a range scan through the partition planner. Over range
+// partitioning with the partitioning column leading the key, shard key
+// ranges are disjoint and ordered, so the scan is a partition-ordered
+// concatenation with shards outside [lo, hi] pruned; otherwise it is a
+// fan-out k-way merge that interleaves the per-shard streams back into
+// global (key, RID) order.
+func (r *Router) Scan(tx *txn.Txn, index string, lo, hi []keyenc.Value, fn func(key []byte, rid types.RID) bool) error {
+	pi, pt, partitioned, err := r.partIndexTarget(index)
+	if !partitioned {
+		return r.db.IndexScan(tx, index, lo, hi, fn)
+	}
+	if err != nil {
+		return err
+	}
+	if pt.Scheme == catalog.SchemeRange && r.partKeyPos(&pi, &pt) == 0 {
+		return r.scanOrdered(tx, &pt, index, lo, hi, fn)
+	}
+	r.db.Metrics().Counter("partition.fanout_scans").Inc()
+	curs := make([]*engine.IndexCursor, 0, len(pt.Parts))
+	for i := range pt.Parts {
+		c, err := r.db.NewIndexCursor(tx, catalog.PartShardIndexName(index, i), lo, hi)
+		if err != nil {
+			return err
+		}
+		curs = append(curs, c)
+	}
+	m, err := newMergeCursor(curs)
+	if err != nil {
+		return err
+	}
+	for {
+		key, rid, ok, err := m.Next()
+		if err != nil || !ok {
+			return err
+		}
+		if !fn(key, rid) {
+			return nil
+		}
+	}
+}
+
+// scanOrdered walks shards in partition order (range partitioning, index
+// led by the partitioning column): each shard's keys are strictly below
+// the next shard's, so concatenation preserves global key order. Shards
+// whose key range cannot intersect [lo, hi] are pruned via the
+// partitioning bounds — the partition layer's analogue of zone-map block
+// pruning, one level up.
+func (r *Router) scanOrdered(tx *txn.Txn, pt *catalog.PartTable, index string, lo, hi []keyenc.Value, fn func(key []byte, rid types.RID) bool) error {
+	var loEnc, hiEnc []byte
+	if len(lo) > 0 {
+		loEnc = keyenc.Append(nil, lo[0])
+	}
+	if len(hi) > 0 {
+		hiEnc = keyenc.Append(nil, hi[0])
+	}
+	touched := 0
+	done := false
+	for i := range pt.Parts {
+		// Shard i holds first-column values in [Bounds[i-1], Bounds[i]).
+		if loEnc != nil && i < len(pt.Bounds) && bytes.Compare(loEnc, pt.Bounds[i]) >= 0 {
+			continue // whole shard below lo
+		}
+		if hiEnc != nil && i > 0 && bytes.Compare(hiEnc, pt.Bounds[i-1]) < 0 {
+			break // this and all later shards above hi
+		}
+		touched++
+		err := r.db.IndexScan(tx, catalog.PartShardIndexName(index, i), lo, hi, func(key []byte, rid types.RID) bool {
+			if !fn(key, rid) {
+				done = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if done {
+			break
+		}
+	}
+	if touched <= 1 {
+		r.db.Metrics().Counter("partition.route_hits").Inc()
+	} else {
+		r.db.Metrics().Counter("partition.fanout_scans").Inc()
+	}
+	return nil
+}
+
+// SeqScan fans a predicate scan out over the shards in partition order,
+// reusing each shard's zone-map pruning untouched.
+func (r *Router) SeqScan(tx *txn.Txn, table string, pred *engine.Predicate, fn func(rid types.RID, row engine.Row) bool) error {
+	pt, ok := r.db.Catalog().PartTable(table)
+	if !ok {
+		return r.db.SeqScan(tx, table, pred, fn)
+	}
+	r.db.Metrics().Counter("partition.fanout_scans").Inc()
+	done := false
+	for i := range pt.Parts {
+		err := r.db.SeqScan(tx, catalog.PartShardTableName(table, i), pred, func(rid types.RID, row engine.Row) bool {
+			if !fn(rid, row) {
+				done = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+	}
+	return nil
+}
+
+// TableScan fans an unlocked full scan out over the shards in order.
+func (r *Router) TableScan(table string, fn func(rid types.RID, row engine.Row) error) error {
+	pt, ok := r.db.Catalog().PartTable(table)
+	if !ok {
+		return r.db.TableScan(table, fn)
+	}
+	for i := range pt.Parts {
+		if err := r.db.TableScan(catalog.PartShardTableName(table, i), fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckIndexConsistency runs the per-shard oracle on every shard index
+// and, for unique logical indexes, additionally audits that no committed
+// live key appears on two shards (the invariant the per-tree checker
+// cannot see).
+func (r *Router) CheckIndexConsistency(index string) error {
+	pi, ok := r.db.Catalog().PartIndex(index)
+	if !ok {
+		return r.db.CheckIndexConsistency(index)
+	}
+	pt, ok := r.db.Catalog().PartTable(pi.Table)
+	if !ok {
+		return fmt.Errorf("partition: index %q references missing table %q", index, pi.Table)
+	}
+	for i := range pt.Parts {
+		if err := r.db.CheckIndexConsistency(catalog.PartShardIndexName(index, i)); err != nil {
+			return err
+		}
+	}
+	if !pi.Unique || pi.State != catalog.StateComplete {
+		return nil
+	}
+	seen := make(map[string]int)
+	for i := range pt.Parts {
+		err := r.db.IndexScan(nil, catalog.PartShardIndexName(index, i), nil, nil, func(key []byte, rid types.RID) bool {
+			if prev, dup := seen[string(key)]; dup && prev != i {
+				// keep scanning; report below with full context
+				seen[string(key)] = -1000 - prev
+				return true
+			}
+			seen[string(key)] = i
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for k, v := range seen {
+		if v <= -1000 {
+			return fmt.Errorf("partition: unique index %q has key %x on shards %d and more", index, k, -1000-v)
+		}
+	}
+	return nil
+}
+
+// noteRows maintains the per-partition row-count gauges and the skew
+// gauge. The counts are advisory observability (they move when the DML
+// executes, not when it commits); RefreshStats recomputes them exactly.
+func (r *Router) noteRows(pt *catalog.PartTable, shard, delta int) {
+	met := r.db.Metrics()
+	met.Gauge(fmt.Sprintf("partition.%d.rows", shard)).Add(int64(delta))
+	var total, max int64
+	for i := range pt.Parts {
+		v := met.Gauge(fmt.Sprintf("partition.%d.rows", i)).Value()
+		total += v
+		if v > max {
+			max = v
+		}
+	}
+	met.Gauge("partition.skew").Set(skewBP(max, total, len(pt.Parts)))
+}
+
+// skewBP is the skew gauge value: how far the fullest shard sits above the
+// perfectly even share, in basis points (0 = even, 10000 = one shard holds
+// double its share).
+func skewBP(max, total int64, parts int) int64 {
+	if total <= 0 || parts == 0 {
+		return 0
+	}
+	return (max*int64(parts) - total) * 10000 / total
+}
+
+// RefreshStats recomputes the per-partition row gauges (and skew) from the
+// shard heaps — called after recovery, when the advisory DML-time counts
+// start from zero.
+func RefreshStats(db *engine.DB) error {
+	met := db.Metrics()
+	for _, pt := range db.Catalog().PartTables() {
+		var total, max int64
+		for i, tid := range pt.Parts {
+			h, err := db.HeapOf(tid)
+			if err != nil {
+				return err
+			}
+			var n int64
+			if err := h.Scan(func(types.RID, []byte) error { n++; return nil }); err != nil {
+				return err
+			}
+			met.Gauge(fmt.Sprintf("partition.%d.rows", i)).Set(n)
+			total += n
+			if n > max {
+				max = n
+			}
+		}
+		met.Gauge("partition.skew").Set(skewBP(max, total, len(pt.Parts)))
+	}
+	return nil
+}
+
+// ShardNames lists the shard table names of a logical table, partition
+// order (diagnostics and tests).
+func ShardNames(pt *catalog.PartTable) []string {
+	out := make([]string, len(pt.Parts))
+	for i := range pt.Parts {
+		out[i] = catalog.PartShardTableName(pt.Name, i)
+	}
+	return out
+}
+
+// sortRIDs orders a fan-out lookup result deterministically.
+func sortRIDs(rids []types.RID) {
+	sort.Slice(rids, func(i, j int) bool { return rids[i].Less(rids[j]) })
+}

@@ -1,0 +1,497 @@
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"onlineindex/internal/catalog"
+	"onlineindex/internal/core"
+	"onlineindex/internal/engine"
+	"onlineindex/internal/keyenc"
+	"onlineindex/internal/lock"
+	"onlineindex/internal/types"
+	"onlineindex/internal/workload"
+)
+
+func testRow(id int64) engine.Row {
+	return workload.RowOf(id, 8)
+}
+
+func openDB(t *testing.T) *engine.DB {
+	t.Helper()
+	db, err := engine.Open(engine.Config{PoolSize: 256})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+// rangeBounds splits ids 0..n-1 into parts roughly even ranges.
+func rangeBounds(n int64, parts int) []keyenc.Value {
+	var out []keyenc.Value
+	for i := 1; i < parts; i++ {
+		out = append(out, keyenc.Int64(n*int64(i)/int64(parts)))
+	}
+	return out
+}
+
+// collectKeys scans an index (through the router for logical names) and
+// returns the ordered live key list.
+func collectKeys(t *testing.T, r *Router, index string) []string {
+	t.Helper()
+	var keys []string
+	err := r.Scan(nil, index, nil, nil, func(key []byte, rid types.RID) bool {
+		keys = append(keys, string(key))
+		return true
+	})
+	if err != nil {
+		t.Fatalf("scan %s: %v", index, err)
+	}
+	return keys
+}
+
+// TestDifferentialEntryIdentical checks the core acceptance criterion: a
+// P-partition fan-out build yields exactly the same ordered live key
+// sequence as the serial single-heap build, for all three methods, unique
+// and non-unique, under both schemes.
+func TestDifferentialEntryIdentical(t *testing.T) {
+	const rows = 300
+	methods := []catalog.BuildMethod{catalog.MethodOffline, catalog.MethodNSF, catalog.MethodSF}
+	opts := core.Options{SortMemory: 64}
+
+	// Serial reference: one plain heap, one index per (method, unique).
+	serial := openDB(t)
+	sr := NewRouter(serial)
+	if _, err := serial.CreateTable("t", workload.Schema()); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := workload.Populate(serial, "t", rows, 8); err != nil {
+		t.Fatalf("populate: %v", err)
+	}
+	ref := make(map[string][]string)
+	for _, m := range methods {
+		for _, unique := range []bool{false, true} {
+			name := fmt.Sprintf("ix_%s_%v", m, unique)
+			if _, err := core.Build(serial, engine.CreateIndexSpec{
+				Name: name, Table: "t", Columns: []string{"key"}, Unique: unique, Method: m,
+			}, opts); err != nil {
+				t.Fatalf("serial build %s: %v", name, err)
+			}
+			ref[name] = collectKeys(t, sr, name)
+			if len(ref[name]) != rows {
+				t.Fatalf("serial %s: %d keys, want %d", name, len(ref[name]), rows)
+			}
+		}
+	}
+
+	for _, parts := range []int{2, 4} {
+		for _, scheme := range []catalog.PartScheme{catalog.SchemeHash, catalog.SchemeRange} {
+			t.Run(fmt.Sprintf("P%d_%s", parts, scheme), func(t *testing.T) {
+				db := openDB(t)
+				r := NewRouter(db)
+				spec := Spec{Partitions: parts, Scheme: scheme, KeyColumn: "id"}
+				if scheme == catalog.SchemeRange {
+					spec.Bounds = rangeBounds(rows, parts)
+				}
+				pt, err := CreateTable(db, "t", workload.Schema(), spec)
+				if err != nil {
+					t.Fatalf("create: %v", err)
+				}
+				if _, err := workload.Populate(r, "t", rows, 8); err != nil {
+					t.Fatalf("populate: %v", err)
+				}
+				// Every shard must have received some rows for the test to
+				// mean anything.
+				for i := range pt.Parts {
+					n := 0
+					if err := db.TableScan(catalog.PartShardTableName("t", i), func(types.RID, engine.Row) error {
+						n++
+						return nil
+					}); err != nil {
+						t.Fatalf("shard scan: %v", err)
+					}
+					if n == 0 {
+						t.Fatalf("shard %d empty", i)
+					}
+				}
+				for _, m := range methods {
+					for _, unique := range []bool{false, true} {
+						name := fmt.Sprintf("ix_%s_%v", m, unique)
+						res, err := Build(db, engine.CreateIndexSpec{
+							Name: name, Table: "t", Columns: []string{"key"},
+							Unique: unique, Method: m,
+						}, BuildOptions{Options: opts})
+						if err != nil {
+							t.Fatalf("fan-out build %s: %v", name, err)
+						}
+						if res.Index.State != catalog.StateComplete {
+							t.Fatalf("%s not complete", name)
+						}
+						if got, want := len(res.Shards), parts; got != want {
+							t.Fatalf("%s: %d shard results, want %d", name, got, want)
+						}
+						got := collectKeys(t, r, name)
+						want := ref[name]
+						if len(got) != len(want) {
+							t.Fatalf("%s: %d keys, want %d", name, len(got), len(want))
+						}
+						for i := range got {
+							if got[i] != want[i] {
+								t.Fatalf("%s: key %d = %q, want %q", name, i, got[i], want[i])
+							}
+						}
+						if err := r.CheckIndexConsistency(name); err != nil {
+							t.Fatalf("%s consistency: %v", name, err)
+						}
+						if snap, ok := Progress(db, name); !ok || !snap.Complete || snap.Fraction != 1 {
+							t.Fatalf("%s progress: ok=%v %+v", name, ok, snap)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRouting checks point lookups route to one shard, fan-out lookups hit
+// all shards, and DML lands where reads find it — including a
+// partition-key update that migrates the row across shards.
+func TestRouting(t *testing.T) {
+	db := openDB(t)
+	r := NewRouter(db)
+	if _, err := CreateTable(db, "t", workload.Schema(), Spec{
+		Partitions: 4, Scheme: catalog.SchemeRange, KeyColumn: "id",
+		Bounds: rangeBounds(400, 4),
+	}); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	rids, err := workload.Populate(r, "t", 400, 8)
+	if err != nil {
+		t.Fatalf("populate: %v", err)
+	}
+	if _, err := Build(db, engine.CreateIndexSpec{
+		Name: "by_id", Table: "t", Columns: []string{"id"}, Unique: true, Method: catalog.MethodOffline,
+	}, BuildOptions{}); err != nil {
+		t.Fatalf("build by_id: %v", err)
+	}
+	if _, err := Build(db, engine.CreateIndexSpec{
+		Name: "by_key", Table: "t", Columns: []string{"key"}, Method: catalog.MethodSF,
+	}, BuildOptions{}); err != nil {
+		t.Fatalf("build by_key: %v", err)
+	}
+
+	met := db.Metrics()
+	routeBefore := met.Counter("partition.route_hits").Value()
+	tx := db.Begin()
+	got, err := r.Lookup(tx, "by_id", keyenc.Int64(123))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("point lookup: %v %v", got, err)
+	}
+	if met.Counter("partition.route_hits").Value() <= routeBefore {
+		t.Fatalf("point lookup did not count as route hit")
+	}
+	fanBefore := met.Counter("partition.fanout_scans").Value()
+	if _, err := r.Lookup(tx, "by_key", keyenc.String(workload.KeyOf(123))); err != nil {
+		t.Fatalf("fanout lookup: %v", err)
+	}
+	if met.Counter("partition.fanout_scans").Value() <= fanBefore {
+		t.Fatalf("non-key lookup did not fan out")
+	}
+	// Ordered range scan over the partition key: ascending ids, pruned.
+	var ids []int64
+	err = r.Scan(tx, "by_id", []keyenc.Value{keyenc.Int64(90)}, []keyenc.Value{keyenc.Int64(210)},
+		func(key []byte, rid types.RID) bool {
+			v, _, err := keyenc.DecodeOne(key)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			ids = append(ids, v.I)
+			return true
+		})
+	if err != nil {
+		t.Fatalf("range scan: %v", err)
+	}
+	if len(ids) != 121 || ids[0] != 90 || ids[len(ids)-1] != 210 {
+		t.Fatalf("range scan got %d ids [%d..%d]", len(ids), ids[0], ids[len(ids)-1])
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatalf("range scan out of order at %d", i)
+		}
+	}
+	tx.Commit()
+
+	// Cross-shard migration: update row 10 to id 399 (last shard).
+	tx = db.Begin()
+	newRID, err := r.Update(tx, "t", rids[10], engine.Row{
+		keyenc.Int64(1000), keyenc.String("migrated"), keyenc.String("f"),
+	})
+	if err != nil {
+		t.Fatalf("migrating update: %v", err)
+	}
+	if newRID.PageID.File == rids[10].PageID.File {
+		t.Fatalf("row did not move shards")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	tx = db.Begin()
+	if got, err := r.Lookup(tx, "by_id", keyenc.Int64(1000)); err != nil || len(got) != 1 || got[0] != newRID {
+		t.Fatalf("lookup after migration: %v %v", got, err)
+	}
+	if got, err := r.Lookup(tx, "by_id", keyenc.Int64(10)); err != nil || len(got) != 0 {
+		t.Fatalf("old id still visible: %v %v", got, err)
+	}
+	tx.Commit()
+	if err := r.CheckIndexConsistency("by_id"); err != nil {
+		t.Fatalf("consistency after migration: %v", err)
+	}
+}
+
+// shardOf computes the hash-routing target for an id, mirroring the router.
+func shardOf(pt *catalog.PartTable, id int64) int {
+	return routeKey(pt, keyenc.Append(nil, keyenc.Int64(id)))
+}
+
+// TestCrossPartitionUniqueOneWinner is the -race stress test: pairs of
+// transactions concurrently insert rows with the same unique key routed to
+// different shards while a unique NSF build is live. Exactly one of each
+// pair must commit; the loser must fail with a unique violation or as a
+// deadlock victim and roll back cleanly; and the finished build must pass
+// the cross-shard consistency oracle.
+func TestCrossPartitionUniqueOneWinner(t *testing.T) {
+	const parts = 4
+	db := openDB(t)
+	r := NewRouter(db)
+	pt, err := CreateTable(db, "t", workload.Schema(), Spec{
+		Partitions: parts, Scheme: catalog.SchemeHash, KeyColumn: "id",
+	})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := workload.Populate(r, "t", 240, 8); err != nil {
+		t.Fatalf("populate: %v", err)
+	}
+
+	// Pre-pick id pairs that hash to different shards.
+	type pair struct{ a, b int64 }
+	var pairs []pair
+	next := int64(1_000_000)
+	for len(pairs) < 8 {
+		a := next
+		next++
+		var b int64
+		for {
+			b = next
+			next++
+			if shardOf(&pt, b) != shardOf(&pt, a) {
+				break
+			}
+		}
+		pairs = append(pairs, pair{a, b})
+	}
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	buildErr := make(chan error, 1)
+	go func() {
+		_, err := Build(db, engine.CreateIndexSpec{
+			Name: "by_key", Table: "t", Columns: []string{"key"},
+			Unique: true, Method: catalog.MethodNSF,
+		}, BuildOptions{Options: core.Options{
+			SortMemory: 64, CheckpointKeys: 16,
+			OnCheckpoint: func(engine.IBPhase) error {
+				once.Do(func() {
+					close(started)
+					<-release // hold the build open while the races run
+				})
+				return nil
+			},
+		}})
+		buildErr <- err
+	}()
+	<-started
+
+	winners := make([]int, len(pairs))
+	var wg sync.WaitGroup
+	for pi, p := range pairs {
+		dupKey := fmt.Sprintf("dup-%03d", pi)
+		var wins sync.Map
+		var pwg sync.WaitGroup
+		for _, id := range []int64{p.a, p.b} {
+			pwg.Add(1)
+			wg.Add(1)
+			go func(id int64) {
+				defer pwg.Done()
+				defer wg.Done()
+				tx := db.Begin()
+				_, err := r.Insert(tx, "t", engine.Row{
+					keyenc.Int64(id), keyenc.String(dupKey), keyenc.String("f"),
+				})
+				if err != nil {
+					tx.Rollback()
+					var uv *engine.UniqueViolationError
+					if !errors.As(err, &uv) && !errors.Is(err, lock.ErrDeadlock) {
+						t.Errorf("id %d: unexpected error %v", id, err)
+					}
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					t.Errorf("id %d: commit: %v", id, err)
+					return
+				}
+				wins.Store(id, true)
+			}(id)
+		}
+		pwg.Wait()
+		n := 0
+		wins.Range(func(any, any) bool { n++; return true })
+		winners[pi] = n
+	}
+	wg.Wait()
+	close(release)
+	if err := <-buildErr; err != nil {
+		t.Fatalf("build: %v", err)
+	}
+
+	for pi, n := range winners {
+		if n != 1 {
+			t.Fatalf("pair %d: %d winners, want exactly 1", pi, n)
+		}
+	}
+	if err := r.CheckIndexConsistency("by_key"); err != nil {
+		t.Fatalf("consistency: %v", err)
+	}
+	tx := db.Begin()
+	defer tx.Rollback()
+	for pi := range pairs {
+		rids, err := r.Lookup(tx, "by_key", keyenc.String(fmt.Sprintf("dup-%03d", pi)))
+		if err != nil {
+			t.Fatalf("lookup dup-%03d: %v", pi, err)
+		}
+		if len(rids) != 1 {
+			t.Fatalf("dup-%03d: %d rids, want 1", pi, len(rids))
+		}
+	}
+}
+
+// TestUniqueSweepCatchesSFCaptureDuplicate: duplicates that both commit
+// while every shard index is still in the SF capture phase (so the probe
+// rightly stays silent) must fail the build at the coordinator's
+// completion sweep, with full teardown.
+func TestUniqueSweepCatchesSFCaptureDuplicate(t *testing.T) {
+	db := openDB(t)
+	r := NewRouter(db)
+	pt, err := CreateTable(db, "t", workload.Schema(), Spec{
+		Partitions: 2, Scheme: catalog.SchemeHash, KeyColumn: "id",
+	})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	// Two rows, same unique key, different shards, both committed before
+	// any build exists.
+	a, b := int64(1), int64(2)
+	for shardOf(&pt, b) == shardOf(&pt, a) {
+		b++
+	}
+	tx := db.Begin()
+	for _, id := range []int64{a, b} {
+		if _, err := r.Insert(tx, "t", engine.Row{
+			keyenc.Int64(id), keyenc.String("samekey"), keyenc.String("f"),
+		}); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	_, err = Build(db, engine.CreateIndexSpec{
+		Name: "by_key", Table: "t", Columns: []string{"key"},
+		Unique: true, Method: catalog.MethodSF,
+	}, BuildOptions{})
+	var uv *engine.UniqueViolationError
+	if !errors.As(err, &uv) {
+		t.Fatalf("build error = %v, want unique violation", err)
+	}
+	if _, ok := db.Catalog().PartIndex("by_key"); ok {
+		t.Fatalf("failed build left logical descriptor behind")
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := db.Catalog().Index(catalog.PartShardIndexName("by_key", i)); ok {
+			t.Fatalf("failed build left shard index %d behind", i)
+		}
+	}
+}
+
+// TestPartitionRecoverRoundTrip: the registry and routed data survive a
+// crash, both via the log (no checkpoint) and via a snapshot (checkpoint).
+func TestPartitionRecoverRoundTrip(t *testing.T) {
+	for _, checkpoint := range []bool{false, true} {
+		t.Run(fmt.Sprintf("checkpoint=%v", checkpoint), func(t *testing.T) {
+			db := openDB(t)
+			r := NewRouter(db)
+			if _, err := CreateTable(db, "t", workload.Schema(), Spec{
+				Partitions: 3, Scheme: catalog.SchemeHash, KeyColumn: "id",
+			}); err != nil {
+				t.Fatalf("create: %v", err)
+			}
+			if _, err := workload.Populate(r, "t", 120, 8); err != nil {
+				t.Fatalf("populate: %v", err)
+			}
+			if _, err := Build(db, engine.CreateIndexSpec{
+				Name: "by_key", Table: "t", Columns: []string{"key"},
+				Unique: true, Method: catalog.MethodNSF,
+			}, BuildOptions{Options: core.Options{SortMemory: 64}}); err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			if checkpoint {
+				if err := db.Checkpoint(); err != nil {
+					t.Fatalf("checkpoint: %v", err)
+				}
+			}
+			fs := db.Crash()
+			db2, err := engine.Recover(engine.Config{FS: fs, PoolSize: 256})
+			if err != nil {
+				t.Fatalf("recover: %v", err)
+			}
+			defer db2.Close()
+			if err := FinishPending(db2, BuildOptions{}); err != nil {
+				t.Fatalf("finish pending: %v", err)
+			}
+			if err := RefreshStats(db2); err != nil {
+				t.Fatalf("refresh stats: %v", err)
+			}
+			pt2, ok := db2.Catalog().PartTable("t")
+			if !ok || len(pt2.Parts) != 3 {
+				t.Fatalf("registry lost: %+v %v", pt2, ok)
+			}
+			pi2, ok := db2.Catalog().PartIndex("by_key")
+			if !ok || pi2.State != catalog.StateComplete {
+				t.Fatalf("logical index lost: %+v %v", pi2, ok)
+			}
+			r2 := NewRouter(db2)
+			tx := db2.Begin()
+			defer tx.Rollback()
+			for _, id := range []int64{0, 17, 119} {
+				rids, err := r2.Lookup(tx, "by_key", keyenc.String(workload.KeyOf(id)))
+				if err != nil || len(rids) != 1 {
+					t.Fatalf("lookup id %d after recovery: %v %v", id, rids, err)
+				}
+			}
+			if err := r2.CheckIndexConsistency("by_key"); err != nil {
+				t.Fatalf("consistency after recovery: %v", err)
+			}
+			var total int64
+			for i := 0; i < 3; i++ {
+				total += db2.Metrics().Gauge(fmt.Sprintf("partition.%d.rows", i)).Value()
+			}
+			if total != 120 {
+				t.Fatalf("row gauges sum %d, want 120", total)
+			}
+		})
+	}
+}

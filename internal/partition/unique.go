@@ -1,0 +1,164 @@
+package partition
+
+import (
+	"bytes"
+
+	"onlineindex/internal/btree"
+	"onlineindex/internal/catalog"
+	"onlineindex/internal/engine"
+	"onlineindex/internal/txn"
+	"onlineindex/internal/types"
+)
+
+// Cross-shard unique enforcement. A unique key that is not aligned with
+// the partitioning key can have its duplicate sitting on a *different*
+// shard's tree, where the engine's per-tree §2.2.3 conflict protocol never
+// looks. The Router closes the gap with a probe protocol:
+//
+// After a routed insert (or update) lands its key in shard i's tree under
+// the transaction's X record lock, the transaction probes every sibling
+// shard's tree for the same key. A live sibling entry is verified with the
+// read path's protocol (blocking S lock on the entry's RID, then a
+// SearchEntry re-check): if it is still live once the lock is granted, its
+// owner has committed and the insert fails with UniqueViolationError.
+//
+// Exactly-one-winner for the symmetric race — T1 inserts key k on shard A
+// while T2 inserts k on shard B — falls out of data-only locking: each
+// transaction holds the X lock on its own new RID before probing, so T1's
+// probe blocks on T2's RID and T2's probe blocks on T1's RID. That cycle
+// is a deadlock; the lock manager aborts one victim (lock.ErrDeadlock),
+// its rollback erases its entry, and the survivor's re-check then sees a
+// dead entry and proceeds. Both inserts cannot miss each other: a probe
+// starts only after its own tree insert finished, so the later prober
+// observes the earlier insert.
+//
+// Sibling builds in progress: an NSF-building sibling tree is maintained
+// directly by DML and scanned-in rows are committed, so it is probed like
+// a complete one. An SF-building sibling routes concurrent changes through
+// the side-file — its tree is not authoritative yet, so the probe skips it
+// and the coordinator's completion sweep (build.go) catches any duplicate
+// that slipped in during the capture phase, exactly as a serial SF build
+// surfaces capture-era duplicates at catch-up time. Offline-building
+// siblings quiesce their own shard and are likewise swept at completion.
+
+// probeUnique checks the row's keys for every logical unique index on the
+// table against all sibling shards. self is the shard that already holds
+// the row (its own tree enforced local uniqueness).
+func (r *Router) probeUnique(tx *txn.Txn, pt *catalog.PartTable, row engine.Row, self int) error {
+	cat := r.db.Catalog()
+	var uniques []catalog.PartIndex
+	for _, pi := range cat.PartIndexes() {
+		if pi.Table == pt.Name && pi.Unique && pi.State != catalog.StateDropped {
+			uniques = append(uniques, pi)
+		}
+	}
+	if len(uniques) == 0 {
+		return nil
+	}
+	schema, err := r.schemaOf(pt)
+	if err != nil {
+		return err
+	}
+	for _, pi := range uniques {
+		key, err := logicalIndexKey(schema, &pi, row)
+		if err != nil {
+			return err
+		}
+		for j := range pt.Parts {
+			if j == self {
+				continue
+			}
+			six, ok := cat.Index(catalog.PartShardIndexName(pi.Name, j))
+			if !ok {
+				continue // build has not reached this shard yet; sweep covers it
+			}
+			probe := six.State == catalog.StateComplete ||
+				(six.State == catalog.StateBuilding && six.Method == catalog.MethodNSF)
+			if !probe {
+				continue
+			}
+			if err := r.probeShardKey(tx, &six, key, pi.Name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// logicalIndexKey encodes the row's key for a logical index by resolving
+// its column names against the shared shard schema.
+func logicalIndexKey(schema catalog.Schema, pi *catalog.PartIndex, row engine.Row) ([]byte, error) {
+	ix := catalog.Index{Name: pi.Name}
+	for _, cn := range pi.Columns {
+		pos := -1
+		for i, c := range schema {
+			if c.Name == cn {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			return nil, &engine.ErrIndexNotReadable{Name: pi.Name}
+		}
+		ix.Columns = append(ix.Columns, pos)
+	}
+	return engine.IndexKey(&ix, row)
+}
+
+// probeShardKey looks for a committed live entry with key in one sibling
+// shard index. Entries are collected latch-only first (the tree scan takes
+// no locks), then each candidate is verified under the read protocol; the
+// heap row is re-checked to still carry the key, mirroring the builder's
+// own §2.2.3 RID verification, so a stale tree entry can never produce a
+// false violation.
+func (r *Router) probeShardKey(tx *txn.Txn, six *catalog.Index, key []byte, logical string) error {
+	tree, err := r.db.TreeOf(six.ID)
+	if err != nil {
+		return nil // dropped underneath us: nothing to conflict with
+	}
+	var cands []btree.Entry
+	err = tree.ScanRange(key, key, func(e btree.Entry) bool {
+		cands = append(cands, btree.Entry{
+			Key: append([]byte(nil), e.Key...), RID: e.RID, Pseudo: e.Pseudo,
+		})
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	for _, e := range cands {
+		live, err := r.db.VerifyIndexEntry(tx, six.ID, e.Key, e.RID, e.Pseudo)
+		if err != nil {
+			return err // includes lock.ErrDeadlock: this txn lost the race
+		}
+		if !live {
+			continue
+		}
+		has, err := r.recordHasKey(six, e.RID, key)
+		if err != nil {
+			return err
+		}
+		if has {
+			return &engine.UniqueViolationError{Index: logical, Key: e.Key, Existing: e.RID}
+		}
+	}
+	return nil
+}
+
+// recordHasKey re-derives the index key from the heap row at rid and
+// compares it to key.
+func (r *Router) recordHasKey(six *catalog.Index, rid types.RID, key []byte) (bool, error) {
+	h, err := r.db.HeapOf(six.Table)
+	if err != nil {
+		return false, err
+	}
+	rec, ok, err := h.Get(rid)
+	if err != nil || !ok {
+		return false, err
+	}
+	k, err := engine.IndexKeyFromRecord(six, rec)
+	if err != nil {
+		return false, err
+	}
+	return bytes.Equal(k, key), nil
+}

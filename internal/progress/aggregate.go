@@ -1,0 +1,70 @@
+package progress
+
+import "fmt"
+
+// Aggregate folds N per-shard build snapshots into one logical view: the
+// partition coordinator registers the result (via the engine's progress
+// groups) so a fan-out build shows the user a single fraction and ETA.
+//
+// Shards get equal weight — the partitioner spreads rows roughly evenly,
+// and equal weighting keeps the aggregate monotone as long as each shard's
+// own fraction is monotone (per-shard trackers already guarantee that).
+// The aggregate ETA is the worst per-shard ETA, since the logical index
+// commits only when the slowest shard finishes; Durable averages the
+// per-shard durable floors (the most a crash could cost, summed over
+// shards, normalized the same way as Fraction). Each input snapshot is
+// folded into one synthetic "shard i" phase entry so the admin endpoint
+// can show per-partition detail under the logical row.
+func Aggregate(index, method string, shards []Snapshot) Snapshot {
+	out := Snapshot{
+		Index:      index,
+		Method:     method,
+		Complete:   len(shards) > 0,
+		ETASeconds: -1,
+	}
+	if len(shards) == 0 {
+		return out
+	}
+	n := float64(len(shards))
+	for i, s := range shards {
+		out.Fraction += s.Fraction / n
+		out.Durable += s.Durable / n
+		out.ResumeFloor += s.ResumeFloor / n
+		out.Regressions += s.Regressions
+		if !s.Complete {
+			out.Complete = false
+			if s.Phase != "" && out.Phase == "" {
+				out.Phase = fmt.Sprintf("shard %d: %s", i, s.Phase)
+			}
+		}
+		if s.ETASeconds > out.ETASeconds {
+			out.ETASeconds = s.ETASeconds
+		}
+		if s.ElapsedSeconds > out.ElapsedSeconds {
+			out.ElapsedSeconds = s.ElapsedSeconds
+		}
+		out.Phases = append(out.Phases, PhaseSnapshot{
+			Name:     fmt.Sprintf("shard %d", i),
+			Weight:   1 / n,
+			Fraction: s.Fraction,
+		})
+	}
+	if out.Complete {
+		out.Phase = "complete"
+		out.ETASeconds = 0
+	}
+	return out
+}
+
+// CompleteSnapshot synthesizes the terminal snapshot of a finished shard
+// whose in-memory tracker is gone (e.g. a shard already complete before
+// the last restart). A complete shard index is, truthfully, fraction 1.
+func CompleteSnapshot(index, method string) Snapshot {
+	return Snapshot{
+		Index:    index,
+		Method:   method,
+		Phase:    "complete",
+		Fraction: 1, Durable: 1,
+		Complete: true,
+	}
+}

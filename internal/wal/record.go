@@ -72,6 +72,12 @@ const (
 	// inserted, side-file position, rightmost branch.
 	TypeIBCheckpoint
 
+	// Partition metadata (redo-only): upserts/removals of the logical
+	// partitioned-table and fan-out-index descriptors. Payload defined in
+	// package catalog (partition.go); applied unconditionally during the
+	// analysis scan like the other DDL records.
+	TypePartMeta
+
 	numRecTypes // sentinel for stats arrays
 )
 
@@ -89,6 +95,7 @@ var recTypeNames = map[RecType]string{
 	TypeCreateTable: "CreateTable", TypeCreateIndex: "CreateIndex",
 	TypeDropIndex: "DropIndex", TypeIndexStateChange: "IndexStateChange",
 	TypeIBCheckpoint: "IBCheckpoint",
+	TypePartMeta:     "PartMeta",
 }
 
 func (t RecType) String() string {

@@ -17,8 +17,20 @@ import (
 	"onlineindex/internal/engine"
 	"onlineindex/internal/keyenc"
 	"onlineindex/internal/lock"
+	"onlineindex/internal/txn"
 	"onlineindex/internal/types"
 )
+
+// DML is the operation surface a workload drives. *engine.DB satisfies it
+// directly; the partition router satisfies it too, so the same population
+// and runner code exercises plain and partitioned tables identically.
+type DML interface {
+	Begin() *txn.Txn
+	Insert(tx *txn.Txn, table string, row engine.Row) (types.RID, error)
+	Delete(tx *txn.Txn, table string, rid types.RID) error
+	Update(tx *txn.Txn, table string, rid types.RID, row engine.Row) (types.RID, error)
+	Get(tx *txn.Txn, table string, rid types.RID) (engine.Row, bool, error)
+}
 
 // Schema is the standard experiment table: a synthetic "orders" table with
 // an integer id, a string key column indexes are built over, and a filler
@@ -64,7 +76,7 @@ func filler(id int64, n int) string {
 // Rows are committed in batches of 100 — population is setup, not the
 // workload under measurement, so per-row commit forcing would only slow the
 // experiments down.
-func Populate(db *engine.DB, table string, n, fillerLen int) ([]types.RID, error) {
+func Populate(db DML, table string, n, fillerLen int) ([]types.RID, error) {
 	rids := make([]types.RID, 0, n)
 	const batch = 100
 	for i := 0; i < n; {
@@ -125,7 +137,7 @@ func (s Stats) Throughput() float64 {
 
 // Runner drives concurrent update transactions against one table.
 type Runner struct {
-	db      *engine.DB
+	db      DML
 	table   string
 	workers int
 	mix     Mix
@@ -159,7 +171,7 @@ type Runner struct {
 }
 
 // NewRunner prepares a workload over the pre-populated rids.
-func NewRunner(db *engine.DB, table string, rids []types.RID, workers int, mix Mix) *Runner {
+func NewRunner(db DML, table string, rids []types.RID, workers int, mix Mix) *Runner {
 	r := &Runner{
 		db: db, table: table, workers: workers, mix: mix,
 		windowLen: 50 * time.Millisecond,

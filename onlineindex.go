@@ -40,6 +40,7 @@ import (
 	"onlineindex/internal/engine"
 	"onlineindex/internal/keyenc"
 	"onlineindex/internal/metrics"
+	"onlineindex/internal/partition"
 	"onlineindex/internal/progress"
 	"onlineindex/internal/txn"
 	"onlineindex/internal/types"
@@ -188,9 +189,12 @@ type UniqueViolationError = engine.UniqueViolationError
 // GCResult summarizes a pseudo-deleted key cleanup pass.
 type GCResult = btree.GCResult
 
-// DB is a database handle.
+// DB is a database handle. All DML and read methods route through the
+// partition router: on plain tables the router is a pass-through; on
+// partitioned logical tables it picks the shard(s).
 type DB struct {
 	eng *engine.DB
+	rt  *partition.Router
 }
 
 func (cfg Config) engineConfig() engine.Config {
@@ -209,7 +213,7 @@ func Open(cfg Config) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{eng: eng}, nil
+	return &DB{eng: eng, rt: partition.NewRouter(eng)}, nil
 }
 
 // Recover reopens a database from the durable state on fs, running restart
@@ -220,8 +224,16 @@ func Recover(cfg Config) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	db := &DB{eng: eng}
+	db := &DB{eng: eng, rt: partition.NewRouter(eng)}
 	if _, err := core.ResumeAll(eng, core.Options{}); err != nil {
+		return nil, err
+	}
+	// Fan-out builds interrupted mid-coordination: rebuild missing shards,
+	// re-run the unique completion sweep, commit the logical index.
+	if err := partition.FinishPending(eng, partition.BuildOptions{}); err != nil {
+		return nil, err
+	}
+	if err := partition.RefreshStats(eng); err != nil {
 		return nil, err
 	}
 	return db, nil
@@ -235,7 +247,7 @@ func RecoverWithoutResume(cfg Config) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{eng: eng}, nil
+	return &DB{eng: eng, rt: partition.NewRouter(eng)}, nil
 }
 
 // Engine exposes the underlying engine for advanced use (experiment
@@ -247,38 +259,88 @@ func (db *DB) CreateTable(name string, schema Schema) (TableInfo, error) {
 	return db.eng.CreateTable(name, schema)
 }
 
+// Partitioning schemes for CreatePartitionedTable.
+const (
+	// RangePartition routes rows by comparing the partitioning column
+	// against the spec's upper-exclusive bounds; range scans led by the
+	// partitioning column stay partition-ordered (no merge needed).
+	RangePartition = catalog.SchemeRange
+	// HashPartition routes rows by a hash of the partitioning column;
+	// spreads any key distribution evenly, but range scans fan out.
+	HashPartition = catalog.SchemeHash
+)
+
+// PartitionSpec describes how to split a logical table into shards.
+type PartitionSpec = partition.Spec
+
+// PartitionInfo is a logical partitioned table's descriptor.
+type PartitionInfo = catalog.PartTable
+
+// CreatePartitionedTable creates one logical table backed by
+// spec.Partitions independent shard tables (each with its own heap file,
+// free-space map, zone map, and index trees). All DML and read methods
+// accept the logical name and route automatically; BuildIndex on the
+// logical table fans out one build per shard under a global coordinator.
+// See README "Partitioning a table".
+func (db *DB) CreatePartitionedTable(name string, schema Schema, spec PartitionSpec) (PartitionInfo, error) {
+	return partition.CreateTable(db.eng, name, schema, spec)
+}
+
+// PartitionedTable returns a logical partitioned table's descriptor.
+func (db *DB) PartitionedTable(name string) (PartitionInfo, bool) {
+	return db.eng.Catalog().PartTable(name)
+}
+
 // Begin starts a transaction.
 func (db *DB) Begin() *Txn { return db.eng.Begin() }
 
 // Insert inserts a row, maintaining every visible index.
 func (db *DB) Insert(tx *Txn, table string, row Row) (RID, error) {
-	return db.eng.Insert(tx, table, row)
+	return db.rt.Insert(tx, table, row)
 }
 
 // Delete deletes a row by RID.
 func (db *DB) Delete(tx *Txn, table string, rid RID) error {
-	return db.eng.Delete(tx, table, rid)
+	return db.rt.Delete(tx, table, rid)
 }
 
 // Update replaces a row in place when possible, relocating it otherwise;
 // the returned RID is the row's (possibly new) identity.
 func (db *DB) Update(tx *Txn, table string, rid RID, row Row) (RID, error) {
-	return db.eng.Update(tx, table, rid, row)
+	return db.rt.Update(tx, table, rid, row)
 }
 
 // Get reads a row by RID under a share lock.
 func (db *DB) Get(tx *Txn, table string, rid RID) (Row, bool, error) {
-	return db.eng.Get(tx, table, rid)
+	return db.rt.Get(tx, table, rid)
 }
 
 // BuildIndex builds an index with the chosen algorithm, blocking until it
 // completes. For the online methods (NSF, SF) other goroutines can keep
-// updating the table throughout.
+// updating the table throughout. On a partitioned logical table the build
+// fans out one per-shard builder per partition (concurrently) under a
+// coordinator that commits the logical index only when every shard
+// completes; the returned result then carries a synthesized logical
+// descriptor and the per-shard stats summed.
 func (db *DB) BuildIndex(spec IndexSpec, opts BuildOptions) (*BuildResult, error) {
-	return core.Build(db.eng, engine.CreateIndexSpec{
+	espec := engine.CreateIndexSpec{
 		Name: spec.Name, Table: spec.Table, Columns: spec.Columns,
 		Unique: spec.Unique, Method: spec.Method,
-	}, opts)
+	}
+	if _, ok := db.eng.Catalog().PartTable(spec.Table); ok {
+		pres, err := partition.Build(db.eng, espec, partition.BuildOptions{Options: opts})
+		if err != nil {
+			return nil, err
+		}
+		return &BuildResult{
+			Index: catalog.Index{
+				Name: spec.Name, Unique: spec.Unique,
+				Method: spec.Method, State: catalog.StateComplete,
+			},
+			Stats: pres.Stats,
+		}, nil
+	}
+	return core.Build(db.eng, espec, opts)
 }
 
 // BuildIndexes builds several indexes on one table in a single data scan
@@ -298,8 +360,14 @@ func (db *DB) BuildIndexes(specs []IndexSpec, opts BuildOptions) ([]*BuildResult
 // to delete the descriptor, as §2.3.2 requires).
 func (db *DB) CancelBuild(index string) error { return core.Cancel(db.eng, index) }
 
-// DropIndex removes a complete index.
-func (db *DB) DropIndex(index string) error { return db.eng.DropIndex(index) }
+// DropIndex removes a complete index (for a partitioned logical index,
+// every shard index plus the logical descriptor).
+func (db *DB) DropIndex(index string) error {
+	if _, ok := db.eng.Catalog().PartIndex(index); ok {
+		return partition.Drop(db.eng, index)
+	}
+	return db.eng.DropIndex(index)
+}
 
 // GC garbage-collects the pseudo-deleted keys of an index (§2.2.4), using
 // the Commit_LSN check and conditional instant locks to skip uncommitted
@@ -312,12 +380,12 @@ func (db *DB) GC(index string) (GCResult, error) { return core.GC(db.eng, index)
 // lookups without a tree descent (see README "Serving reads during a
 // build"). A nil tx reads without locks (quiescent-point use only).
 func (db *DB) IndexLookup(tx *Txn, index string, vals ...Value) ([]RID, error) {
-	return db.eng.IndexLookup(tx, index, vals...)
+	return db.rt.Lookup(tx, index, vals...)
 }
 
 // Lookup is IndexLookup under its natural name.
 func (db *DB) Lookup(tx *Txn, index string, vals ...Value) ([]RID, error) {
-	return db.eng.IndexLookup(tx, index, vals...)
+	return db.rt.Lookup(tx, index, vals...)
 }
 
 // IndexScan streams a complete index's live entries in key order (nil
@@ -326,12 +394,12 @@ func (db *DB) Lookup(tx *Txn, index string, vals ...Value) ([]RID, error) {
 // every returned entry is verified under an S record lock. A nil tx reads
 // without locks.
 func (db *DB) IndexScan(tx *Txn, index string, lo, hi []Value, fn func(key []byte, rid RID) bool) error {
-	return db.eng.IndexScan(tx, index, lo, hi, fn)
+	return db.rt.Scan(tx, index, lo, hi, fn)
 }
 
 // Scan is IndexScan under its natural name.
 func (db *DB) Scan(tx *Txn, index string, lo, hi []Value, fn func(key []byte, rid RID) bool) error {
-	return db.eng.IndexScan(tx, index, lo, hi, fn)
+	return db.rt.Scan(tx, index, lo, hi, fn)
 }
 
 // Predicate restricts a SeqScan to rows whose column Col lies in [Lo, Hi]
@@ -343,17 +411,17 @@ type Predicate = engine.Predicate
 // transaction each returned row is locked and re-verified; a nil tx reads
 // without locks.
 func (db *DB) SeqScan(tx *Txn, table string, pred *Predicate, fn func(rid RID, row Row) bool) error {
-	return db.eng.SeqScan(tx, table, pred, fn)
+	return db.rt.SeqScan(tx, table, pred, fn)
 }
 
 // TableScan streams every live row in RID order.
 func (db *DB) TableScan(table string, fn func(rid RID, row Row) error) error {
-	return db.eng.TableScan(table, fn)
+	return db.rt.TableScan(table, fn)
 }
 
 // CheckIndexConsistency verifies an index exactly reflects its table.
 func (db *DB) CheckIndexConsistency(index string) error {
-	return db.eng.CheckIndexConsistency(index)
+	return db.rt.CheckIndexConsistency(index)
 }
 
 // Index returns an index descriptor.

@@ -35,11 +35,19 @@
 #                      records the read-path matrix (point/range/seqscan,
 #                      quiescent and during a live SF build) in
 #                      BENCH_build.json.
+#   ci.sh bench-part   the fan-out build gate: fails unless a parallel 4-shard
+#                      SF build of one logical index is >= 1.25x faster than
+#                      the single-shard build (skips on < 4 CPUs; wall-clock;
+#                      run on a quiet machine), then records the partbench
+#                      matrix (build ms + routed read mix at P in {1,2,4}) in
+#                      BENCH_build.json.
 #   ci.sh race         focused race-detector pass over the sharded singletons
-#                      (buffer, lock, wal, txn) and the read path (cursor
-#                      batching, hash cache, zone maps, engine read stress)
-#                      with the dedicated concurrency stress tests at a high
-#                      -count so the schedules vary.
+#                      (buffer, lock, wal, txn), the read path (cursor
+#                      batching, hash cache, zone maps, engine read stress),
+#                      and the cross-partition unique protocol (duplicate-key
+#                      inserts racing on different shards during a live
+#                      unique build) with the dedicated concurrency stress
+#                      tests at a high -count so the schedules vary.
 #   ci.sh admin-smoke  end-to-end admin endpoint check: run an SF build with
 #                      `idxbuild -admin`, poll the live endpoint over HTTP
 #                      until the build completes, and assert the terminal
@@ -85,11 +93,16 @@ bench-read)
     ONLINEINDEX_READ_GATE=1 go test -run TestReadPathGate -v -count=1 -timeout 10m .
     go run ./cmd/benchtab -readbench 20000 -out BENCH_build.json
     ;;
+bench-part)
+    ONLINEINDEX_PART_GATE=1 go test -run TestPartitionBuildGate -v -count=1 -timeout 10m .
+    go run ./cmd/benchtab -partbench 20000 -out BENCH_build.json
+    ;;
 race)
     go test -race -count=4 -timeout 20m \
         ./internal/buffer ./internal/lock ./internal/wal ./internal/txn \
         ./internal/btree ./internal/readcache ./internal/zonemap
     go test -race -count=2 -timeout 20m -run 'TestReadPathStress' ./internal/engine
+    go test -race -count=4 -timeout 20m -run 'TestCrossPartitionUniqueOneWinner' ./internal/partition
     ;;
 admin-smoke)
     go build -o /tmp/onlineindex-idxbuild ./cmd/idxbuild
@@ -121,7 +134,7 @@ admin-smoke)
     echo "admin-smoke OK"
     ;;
 *)
-    echo "usage: $0 [test|sweep|overhead|bench-commit|bench-sort|bench-conc|bench-read|race|admin-smoke]" >&2
+    echo "usage: $0 [test|sweep|overhead|bench-commit|bench-sort|bench-conc|bench-read|bench-part|race|admin-smoke]" >&2
     exit 2
     ;;
 esac
