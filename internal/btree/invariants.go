@@ -49,8 +49,34 @@ func CheckInvariants(tr *Tree) error {
 			return nil
 		}
 
+		// On a compressed page the stored prefix must actually prefix every
+		// key; it is enough to check the extremes, keys being sorted.
+		if n.comp {
+			check := func(key []byte, what string, i int) error {
+				if !bytes.HasPrefix(key, n.prefix) {
+					return fmt.Errorf("btree: page %d: %s %d lacks page prefix %x", pg, what, i, n.prefix)
+				}
+				return nil
+			}
+			if n.leaf && len(n.entries) > 0 {
+				if err := check(n.entries[0].Key, "entry", 0); err != nil {
+					return 0, err
+				}
+				if err := check(n.entries[len(n.entries)-1].Key, "entry", len(n.entries)-1); err != nil {
+					return 0, err
+				}
+			}
+			if !n.leaf && len(n.seps) > 0 {
+				if err := check(n.seps[0].key, "sep", 0); err != nil {
+					return 0, err
+				}
+				if err := check(n.seps[len(n.seps)-1].key, "sep", len(n.seps)-1); err != nil {
+					return 0, err
+				}
+			}
+		}
+
 		if n.leaf {
-			used := nodeFixed
 			for i, e := range n.entries {
 				if err := within(e.Key, e.RID, "entry"); err != nil {
 					return 0, err
@@ -68,16 +94,14 @@ func CheckInvariants(tr *Tree) error {
 					prevLive = append(prevLive[:0], e.Key...)
 					havePrevLive = true
 				}
-				used += entryBytes(e.Key)
 			}
-			if used != n.used {
+			if used := n.computeUsed(); used != n.used {
 				return 0, fmt.Errorf("btree: page %d: used=%d, recomputed %d", pg, n.used, used)
 			}
 			leavesByTree = append(leavesByTree, pg)
 			return 1, nil
 		}
 
-		used := nodeFixed + 4*len(n.children)
 		if len(n.children) != len(n.seps)+1 {
 			return 0, fmt.Errorf("btree: page %d: %d children, %d seps", pg, len(n.children), len(n.seps))
 		}
@@ -91,9 +115,8 @@ func CheckInvariants(tr *Tree) error {
 					return 0, fmt.Errorf("btree: page %d: seps %d,%d out of order", pg, i-1, i)
 				}
 			}
-			used += sepBytes(s.key)
 		}
-		if used != n.used {
+		if used := n.computeUsed(); used != n.used {
 			return 0, fmt.Errorf("btree: page %d: used=%d, recomputed %d", pg, n.used, used)
 		}
 		depth0 := -1

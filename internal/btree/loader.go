@@ -24,6 +24,7 @@ import (
 type Loader struct {
 	t          *Tree
 	fillBudget int
+	comp       bool            // build prefix-compressed pages
 	levels     []*buffer.Frame // pinned current (rightmost) node per level; 0 = leaf
 	count      uint64
 	high       Entry
@@ -34,6 +35,15 @@ type Loader struct {
 // of each node to use before starting a new one ("the proper amount of
 // desired free space ... is left in the leaf pages", §2.2.3); 0 means 0.9.
 func (t *Tree) NewLoader(fill float64) *Loader {
+	return t.NewLoaderWith(fill, false)
+}
+
+// NewLoaderWith is NewLoader with per-page prefix key compression
+// selectable: every leaf and branch page the loader creates then stores its
+// keys truncated against a per-page common prefix, which widens fanout (the
+// sorted stream gives adjacent keys long shared prefixes). The merge's
+// output stream is thus re-delta'd at page granularity as it loads.
+func (t *Tree) NewLoaderWith(fill float64, compress bool) *Loader {
 	if fill <= 0 || fill > 1 {
 		fill = 0.9
 	}
@@ -41,7 +51,7 @@ func (t *Tree) NewLoader(fill float64) *Loader {
 	if fb < 256 {
 		fb = 256
 	}
-	return &Loader{t: t, fillBudget: fb}
+	return &Loader{t: t, fillBudget: fb, comp: compress}
 }
 
 // Count returns the number of entries added so far.
@@ -62,7 +72,7 @@ func (ld *Loader) Add(e Entry) error {
 		return nil // duplicate from a restarted sort merge; idempotent
 	}
 	if len(ld.levels) == 0 {
-		f, err := ld.t.pool.NewPage(ld.t.file, NewLeaf())
+		f, err := ld.t.pool.NewPage(ld.t.file, NewLeafWith(ld.comp))
 		if err != nil {
 			return err
 		}
@@ -71,7 +81,7 @@ func (ld *Loader) Add(e Entry) error {
 	}
 	lf := ld.levels[0]
 	if !lf.Page().(*Node).hasRoomEntry(e.Key, ld.fillBudget) {
-		nf, err := ld.t.pool.NewPage(ld.t.file, NewLeaf())
+		nf, err := ld.t.pool.NewPage(ld.t.file, NewLeafWith(ld.comp))
 		if err != nil {
 			return err
 		}
@@ -142,7 +152,7 @@ func (ld *Loader) AddBatch(es []Entry) error {
 // left as its first child) if it does not exist yet.
 func (ld *Loader) addSep(level int, s sep, right, left types.PageNum) error {
 	if level == len(ld.levels) {
-		f, err := ld.t.pool.NewPage(ld.t.file, NewInternal([]types.PageNum{left}, nil))
+		f, err := ld.t.pool.NewPage(ld.t.file, NewInternalWith([]types.PageNum{left}, nil, ld.comp))
 		if err != nil {
 			return err
 		}
@@ -152,7 +162,7 @@ func (ld *Loader) addSep(level int, s sep, right, left types.PageNum) error {
 	f := ld.levels[level]
 	node := f.Page().(*Node)
 	if !node.hasRoomSep(s.key, ld.fillBudget) {
-		nf, err := ld.t.pool.NewPage(ld.t.file, NewInternal([]types.PageNum{right}, nil))
+		nf, err := ld.t.pool.NewPage(ld.t.file, NewInternalWith([]types.PageNum{right}, nil, ld.comp))
 		if err != nil {
 			return err
 		}
@@ -277,10 +287,19 @@ func (ld *Loader) Checkpoint() (LoaderState, error) {
 // rightmost branch, so the tree is exactly as it was at Checkpoint time.
 // Feeding the sorted stream from just after State.High continues the build.
 func (t *Tree) RestartLoader(st LoaderState, fill float64) (*Loader, error) {
+	return t.RestartLoaderWith(st, fill, false)
+}
+
+// RestartLoaderWith is RestartLoader for a build that may have been running
+// with key compression. The flag seeds the loader, but the surviving pages
+// are authoritative: once the checkpointed rightmost branch is fetched, the
+// loader adopts the compression bit recorded on those pages, so a resume
+// cannot mix compressed and uncompressed pages within one build.
+func (t *Tree) RestartLoaderWith(st LoaderState, fill float64, compress bool) (*Loader, error) {
 	if err := t.pool.TruncateFile(t.file, st.PageCount); err != nil {
 		return nil, err
 	}
-	ld := t.NewLoader(fill)
+	ld := t.NewLoaderWith(fill, compress)
 	ld.count = st.Count
 	ld.high = st.High
 	for level, pg := range st.LevelPages {
@@ -296,6 +315,7 @@ func (t *Tree) RestartLoader(st LoaderState, fill float64) (*Loader, error) {
 			return nil, fmt.Errorf("btree: restart: page %d is not a node", pg)
 		}
 		if level == 0 {
+			ld.comp = n.comp // pages on disk win over the caller's flag
 			for len(n.entries) > 0 {
 				last := n.entries[len(n.entries)-1]
 				if CompareEntry(last.Key, last.RID, st.High.Key, st.High.RID) <= 0 {
@@ -321,6 +341,7 @@ func (t *Tree) RestartLoader(st LoaderState, fill float64) (*Loader, error) {
 				return nil, fmt.Errorf("btree: restart: level %d still references truncated page", level)
 			}
 		}
+		n.resetPrefix() // no-op uncompressed; rebuilds prefix+used otherwise
 		t.pool.MarkDirtyUnlogged(f)
 		f.Latch.Release(latch.X)
 		ld.levels = append(ld.levels, f)

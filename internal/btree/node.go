@@ -73,9 +73,17 @@ type sep struct {
 //
 // Internal layout: children[0..n] and seps[0..n-1]; child i+1 holds entries
 // >= seps[i], child i holds entries < seps[i].
+//
+// A compressed node (comp set) stores its keys prefix-truncated on disk:
+// the page image holds one per-page common prefix and each entry/separator
+// records only its suffix. In memory keys are always full — only the
+// marshalled image and the `used` accounting change — so search, insert and
+// split logic is oblivious to compression except through the size helpers.
 type Node struct {
 	page.Header
 	leaf bool
+	comp bool   // keys are prefix-truncated against `prefix` on disk
+	prefix []byte // per-page common prefix (comp only; prefix of every key)
 
 	// leaf fields
 	entries []Entry
@@ -88,10 +96,30 @@ type Node struct {
 	used int // bytes the marshalled image needs
 }
 
-const nodeFixed = page.HeaderSize + 1 + 2 + 4 // header, isLeaf, count, next
+const nodeFixed = page.HeaderSize + 1 + 2 + 4 // header, flags, count, next
+
+// compFixed is the extra fixed cost of a compressed image: the u16 prefix
+// length (the prefix bytes themselves are counted separately).
+const compFixed = 2
+
+// Page-image flag bits (the byte after the header).
+const (
+	flagLeaf = 1 << 0
+	flagComp = 1 << 1
+)
 
 // NewLeaf returns an empty leaf node.
 func NewLeaf() *Node { return &Node{leaf: true, next: NoPage, used: nodeFixed} }
+
+// NewLeafWith returns an empty leaf, compressed on request.
+func NewLeafWith(compress bool) *Node {
+	n := NewLeaf()
+	if compress {
+		n.comp = true
+		n.used += compFixed
+	}
+	return n
+}
 
 // NewInternal returns an internal node with the given children and
 // separators (len(children) == len(seps)+1).
@@ -104,14 +132,158 @@ func NewInternal(children []types.PageNum, seps []sep) *Node {
 	return n
 }
 
+// NewInternalWith is NewInternal, compressed on request.
+func NewInternalWith(children []types.PageNum, seps []sep, compress bool) *Node {
+	n := NewInternal(children, seps)
+	if compress {
+		n.comp = true
+		n.resetPrefix()
+	}
+	return n
+}
+
 func entryBytes(key []byte) int { return 2 + len(key) + 10 + 1 } // len, key, rid, flags
 func sepBytes(key []byte) int   { return 2 + len(key) + 10 }
+
+// entryRecBytes is the image cost of a leaf entry already covered by the
+// current prefix.
+func (n *Node) entryRecBytes(key []byte) int {
+	if n.comp {
+		return 2 + len(key) - len(n.prefix) + 10 + 1
+	}
+	return entryBytes(key)
+}
+
+// sepRecBytes is the image cost of a separator already covered by the
+// current prefix.
+func (n *Node) sepRecBytes(key []byte) int {
+	if n.comp {
+		return 2 + len(key) - len(n.prefix) + 10
+	}
+	return sepBytes(key)
+}
+
+// keyCount returns the number of keyed records (entries or separators).
+func (n *Node) keyCount() int {
+	if n.leaf {
+		return len(n.entries)
+	}
+	return len(n.seps)
+}
+
+// entryAddCost is the growth of `used` if key were inserted as a leaf
+// entry: on a compressed page that includes shrinking the common prefix to
+// cover the new key (every existing suffix grows by the shrink).
+func (n *Node) entryAddCost(key []byte) int {
+	if !n.comp {
+		return entryBytes(key)
+	}
+	return n.compAddCost(key) + 10 + 1
+}
+
+// sepAddCost is entryAddCost for a separator (no pseudo flag, no child —
+// hasRoomSep adds the child pointer).
+func (n *Node) sepAddCost(key []byte) int {
+	if !n.comp {
+		return sepBytes(key)
+	}
+	return n.compAddCost(key) + 10
+}
+
+// compAddCost is the shared part of the compressed-insert cost: the suffix
+// record's length field and bytes, plus the prefix-shrink ripple.
+func (n *Node) compAddCost(key []byte) int {
+	cnt := n.keyCount()
+	if cnt == 0 {
+		// The page's first key becomes the prefix in full; its suffix is
+		// empty.
+		return (len(key) - len(n.prefix)) + 2
+	}
+	d := len(n.prefix) - commonPrefixLen(n.prefix, key)
+	// cnt existing suffixes grow by d, the stored prefix shrinks by d, the
+	// new suffix is key minus the shrunk prefix.
+	return d*cnt - d + 2 + len(key) - (len(n.prefix) - d)
+}
+
+// adoptPrefix adjusts the page prefix to cover an incoming key. Must be
+// called before the key is spliced in (keyCount still excludes it); the
+// caller accounts for `used` via entryAddCost/sepAddCost.
+func (n *Node) adoptPrefix(key []byte) {
+	if !n.comp {
+		return
+	}
+	if n.keyCount() == 0 {
+		n.prefix = append(n.prefix[:0], key...)
+		return
+	}
+	n.prefix = n.prefix[:commonPrefixLen(n.prefix, key)]
+}
+
+// commonPrefixLen returns the length of the longest common prefix of a and b.
+func commonPrefixLen(a, b []byte) int {
+	m := len(a)
+	if len(b) < m {
+		m = len(b)
+	}
+	i := 0
+	for i < m && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// resetPrefix recomputes the tightest per-page prefix (the common prefix of
+// the first and last key — keys are sorted) and rebuilds `used`. Called
+// after bulk restructuring (splits, truncations, content decode) where
+// incremental accounting is not worth carrying through.
+func (n *Node) resetPrefix() {
+	if !n.comp {
+		return
+	}
+	var first, last []byte
+	if n.leaf {
+		if len(n.entries) > 0 {
+			first, last = n.entries[0].Key, n.entries[len(n.entries)-1].Key
+		}
+	} else if len(n.seps) > 0 {
+		first, last = n.seps[0].key, n.seps[len(n.seps)-1].key
+	}
+	if first == nil {
+		n.prefix = n.prefix[:0]
+	} else {
+		n.prefix = append(n.prefix[:0], first[:commonPrefixLen(first, last)]...)
+	}
+	n.used = n.computeUsed()
+}
+
+// computeUsed recomputes the marshalled image size from scratch; the
+// invariant checker compares it against the incrementally maintained field.
+func (n *Node) computeUsed() int {
+	used := nodeFixed
+	if n.comp {
+		used += compFixed + len(n.prefix)
+	}
+	if n.leaf {
+		for _, e := range n.entries {
+			used += n.entryRecBytes(e.Key)
+		}
+		return used
+	}
+	used += 4 * len(n.children)
+	for _, s := range n.seps {
+		used += n.sepRecBytes(s.key)
+	}
+	return used
+}
 
 // Kind implements page.Page.
 func (n *Node) Kind() page.Kind { return page.KindBTree }
 
 // IsLeaf reports whether the node is a leaf.
 func (n *Node) IsLeaf() bool { return n.leaf }
+
+// Compressed reports whether the node stores prefix-truncated keys.
+func (n *Node) Compressed() bool { return n.comp }
 
 // Next returns the right-sibling page of a leaf.
 func (n *Node) Next() types.PageNum { return n.next }
@@ -133,12 +305,12 @@ func (n *Node) UsedBytes() int { return n.used }
 
 // hasRoomEntry reports whether a leaf can absorb an entry with this key.
 func (n *Node) hasRoomEntry(key []byte, budget int) bool {
-	return n.used+entryBytes(key) <= budget
+	return n.used+n.entryAddCost(key) <= budget
 }
 
 // hasRoomSep reports whether an internal node can absorb a separator+child.
 func (n *Node) hasRoomSep(key []byte, budget int) bool {
-	return n.used+sepBytes(key)+4 <= budget
+	return n.used+n.sepAddCost(key)+4 <= budget
 }
 
 // searchLeaf returns the index of the first entry >= (key, rid), and whether
@@ -160,52 +332,77 @@ func (n *Node) searchChild(key []byte, rid types.RID) int {
 
 // insertEntryAt splices e into position i of a leaf.
 func (n *Node) insertEntryAt(i int, e Entry) {
+	n.used += n.entryAddCost(e.Key)
+	n.adoptPrefix(e.Key)
 	n.entries = append(n.entries, Entry{})
 	copy(n.entries[i+1:], n.entries[i:])
 	n.entries[i] = Entry{Key: append([]byte(nil), e.Key...), RID: e.RID, Pseudo: e.Pseudo}
-	n.used += entryBytes(e.Key)
 }
 
-// removeEntryAt removes leaf entry i.
+// removeEntryAt removes leaf entry i. On a compressed page the prefix is
+// left as-is (it stays a valid, merely possibly loose, common prefix).
 func (n *Node) removeEntryAt(i int) {
-	n.used -= entryBytes(n.entries[i].Key)
+	n.used -= n.entryRecBytes(n.entries[i].Key)
 	n.entries = append(n.entries[:i], n.entries[i+1:]...)
 }
 
 // insertSepAt splices separator s and its right child at position i.
 func (n *Node) insertSepAt(i int, s sep, rightChild types.PageNum) {
+	n.used += n.sepAddCost(s.key) + 4
+	n.adoptPrefix(s.key)
 	n.seps = append(n.seps, sep{})
 	copy(n.seps[i+1:], n.seps[i:])
 	n.seps[i] = sep{key: append([]byte(nil), s.key...), rid: s.rid}
 	n.children = append(n.children, 0)
 	copy(n.children[i+2:], n.children[i+1:])
 	n.children[i+1] = rightChild
-	n.used += sepBytes(s.key) + 4
 }
 
 // MarshalPage implements page.Page.
+//
+// Compressed layout inserts [u16 prefixLen][prefix] between the next
+// pointer and the count; entry and separator keys then store only the
+// suffix past the prefix. Uncompressed pages keep the historical layout
+// byte for byte.
 func (n *Node) MarshalPage() ([]byte, error) {
 	img := make([]byte, page.Size)
 	n.MarshalHeader(img, page.KindBTree)
 	off := page.HeaderSize
+	var flags byte
 	if n.leaf {
-		img[off] = 1
+		flags |= flagLeaf
 	}
+	if n.comp {
+		flags |= flagComp
+	}
+	img[off] = flags
 	off++
 	binary.LittleEndian.PutUint32(img[off:], uint32(n.next))
 	off += 4
+	plen := 0
+	if n.comp {
+		plen = len(n.prefix)
+		if off+2+plen > page.Size {
+			return nil, fmt.Errorf("btree: prefix overflow at %d bytes", off)
+		}
+		binary.LittleEndian.PutUint16(img[off:], uint16(plen))
+		off += 2
+		copy(img[off:], n.prefix)
+		off += plen
+	}
 	if n.leaf {
 		binary.LittleEndian.PutUint16(img[off:], uint16(len(n.entries)))
 		off += 2
 		for _, e := range n.entries {
-			need := entryBytes(e.Key)
+			need := n.entryRecBytes(e.Key)
 			if off+need > page.Size {
 				return nil, fmt.Errorf("btree: leaf overflow at %d bytes", off)
 			}
-			binary.LittleEndian.PutUint16(img[off:], uint16(len(e.Key)))
+			suf := e.Key[plen:]
+			binary.LittleEndian.PutUint16(img[off:], uint16(len(suf)))
 			off += 2
-			copy(img[off:], e.Key)
-			off += len(e.Key)
+			copy(img[off:], suf)
+			off += len(suf)
 			off = putRID(img, off, e.RID)
 			if e.Pseudo {
 				img[off] = 1
@@ -224,14 +421,15 @@ func (n *Node) MarshalPage() ([]byte, error) {
 		off += 4
 	}
 	for _, s := range n.seps {
-		need := sepBytes(s.key)
+		need := n.sepRecBytes(s.key)
 		if off+need > page.Size {
 			return nil, fmt.Errorf("btree: internal overflow at %d bytes", off)
 		}
-		binary.LittleEndian.PutUint16(img[off:], uint16(len(s.key)))
+		suf := s.key[plen:]
+		binary.LittleEndian.PutUint16(img[off:], uint16(len(suf)))
 		off += 2
-		copy(img[off:], s.key)
-		off += len(s.key)
+		copy(img[off:], suf)
+		off += len(suf)
 		off = putRID(img, off, s.rid)
 	}
 	return img, nil
@@ -243,13 +441,26 @@ func (n *Node) UnmarshalPage(img []byte) error {
 		return err
 	}
 	off := page.HeaderSize
-	n.leaf = img[off] == 1
+	flags := img[off]
+	n.leaf = flags&flagLeaf != 0
+	n.comp = flags&flagComp != 0
 	off++
 	n.next = types.PageNum(binary.LittleEndian.Uint32(img[off:]))
 	off += 4
+	n.used = nodeFixed
+	n.prefix = nil
+	if n.comp {
+		plen := int(binary.LittleEndian.Uint16(img[off:]))
+		off += 2
+		if off+plen > len(img) {
+			return fmt.Errorf("btree: corrupt compressed node (prefix)")
+		}
+		n.prefix = append([]byte(nil), img[off:off+plen]...)
+		off += plen
+		n.used += compFixed + plen
+	}
 	count := int(binary.LittleEndian.Uint16(img[off:]))
 	off += 2
-	n.used = nodeFixed
 	n.entries, n.seps, n.children = nil, nil, nil
 	if n.leaf {
 		n.entries = make([]Entry, 0, count)
@@ -262,14 +473,15 @@ func (n *Node) UnmarshalPage(img []byte) error {
 			if off+kl+11 > len(img) {
 				return fmt.Errorf("btree: corrupt leaf (entry %d key)", i)
 			}
-			key := append([]byte(nil), img[off:off+kl]...)
+			key := make([]byte, 0, len(n.prefix)+kl)
+			key = append(append(key, n.prefix...), img[off:off+kl]...)
 			off += kl
 			var rid types.RID
 			rid, off = getRID(img, off)
 			pseudo := img[off] == 1
 			off++
 			n.entries = append(n.entries, Entry{Key: key, RID: rid, Pseudo: pseudo})
-			n.used += entryBytes(key)
+			n.used += n.entryRecBytes(key)
 		}
 		return nil
 	}
@@ -292,12 +504,13 @@ func (n *Node) UnmarshalPage(img []byte) error {
 		if off+kl+10 > len(img) {
 			return fmt.Errorf("btree: corrupt internal (sep %d key)", i)
 		}
-		key := append([]byte(nil), img[off:off+kl]...)
+		key := make([]byte, 0, len(n.prefix)+kl)
+		key = append(append(key, n.prefix...), img[off:off+kl]...)
 		off += kl
 		var rid types.RID
 		rid, off = getRID(img, off)
 		n.seps = append(n.seps, sep{key: key, rid: rid})
-		n.used += sepBytes(key)
+		n.used += n.sepRecBytes(key)
 	}
 	return nil
 }

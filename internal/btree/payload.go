@@ -93,9 +93,20 @@ func DecodeSetRID(b []byte) (SetRIDPayload, error) {
 }
 
 // encodeContent serializes a node's logical content (compactly, unlike the
-// fixed-size page image) for split and format log records.
+// fixed-size page image) for split and format log records. Keys are stored
+// in full; the leading flag byte carries the leaf bit and, for compressed
+// nodes, the comp bit so redo reconstructs an equivalently compressed page
+// (the per-page prefix is recomputed, not stored). An uncompressed node's
+// encoding is byte-identical to the historical Bool(leaf) format.
 func (n *Node) encodeContent(w *enc.Writer) {
-	w.Bool(n.leaf).U32(uint32(n.next))
+	var flags uint8
+	if n.leaf {
+		flags |= flagLeaf
+	}
+	if n.comp {
+		flags |= flagComp
+	}
+	w.U8(flags).U32(uint32(n.next))
 	if n.leaf {
 		w.U32(uint32(len(n.entries)))
 		for _, e := range n.entries {
@@ -114,7 +125,9 @@ func (n *Node) encodeContent(w *enc.Writer) {
 
 // decodeContent restores a node's logical content.
 func decodeContent(r *enc.Reader) (*Node, error) {
-	leaf := r.Bool()
+	flags := r.U8()
+	leaf := flags&flagLeaf != 0
+	comp := flags&flagComp != 0
 	next := types.PageNum(r.U32())
 	count := int(r.U32())
 	var n *Node
@@ -137,6 +150,10 @@ func decodeContent(r *enc.Reader) (*Node, error) {
 		}
 		n = NewInternal(children, seps)
 		n.next = next
+	}
+	if comp {
+		n.comp = true
+		n.resetPrefix()
 	}
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("btree: corrupt node content: %w", err)

@@ -193,6 +193,7 @@ func redoSplit(pool *buffer.Pool, rec *wal.Record, pl SplitPayload) error {
 			n.seps = n.seps[:cut]
 			n.children = n.children[:cut+1]
 		}
+		n.resetPrefix() // no-op uncompressed; rebuilds prefix+used otherwise
 		f.MarkDirty(rec.LSN)
 		return nil
 	})

@@ -190,11 +190,13 @@ func (t *Tree) splitChild(tl rm.TxnLogger, pf *buffer.Frame, parent *Node, cf *b
 func (t *Tree) buildRight(n *Node, cut int) *Node {
 	if n.leaf {
 		right := NewLeaf()
+		right.comp = n.comp
 		right.next = n.next
 		for _, e := range n.entries[cut:] {
 			right.entries = append(right.entries, Entry{Key: append([]byte(nil), e.Key...), RID: e.RID, Pseudo: e.Pseudo})
 			right.used += entryBytes(e.Key)
 		}
+		right.resetPrefix() // no-op uncompressed; recomputes prefix+used otherwise
 		return right
 	}
 	children := append([]types.PageNum(nil), n.children[cut+1:]...)
@@ -202,7 +204,7 @@ func (t *Tree) buildRight(n *Node, cut int) *Node {
 	for _, s := range n.seps[cut+1:] {
 		seps = append(seps, sep{key: append([]byte(nil), s.key...), rid: s.rid})
 	}
-	return NewInternal(children, seps)
+	return NewInternalWith(children, seps, n.comp)
 }
 
 // truncateLeft applies the left half of a split to the existing node.
@@ -222,6 +224,7 @@ func (t *Tree) truncateLeft(f *buffer.Frame, n *Node, cut int, next types.PageNu
 		n.seps = n.seps[:cut]
 		n.children = n.children[:cut+1]
 	}
+	n.resetPrefix() // no-op uncompressed; rebuilds prefix+used otherwise
 	f.MarkDirty(lsn)
 	f.Latch.Release(latch.X)
 }
@@ -248,17 +251,19 @@ func (t *Tree) splitRoot(tl rm.TxnLogger, rootF *buffer.Frame, root *Node, key [
 	var left *Node
 	if root.leaf {
 		left = NewLeaf()
+		left.comp = root.comp
 		for _, e := range root.entries[:cut] {
 			left.entries = append(left.entries, Entry{Key: append([]byte(nil), e.Key...), RID: e.RID, Pseudo: e.Pseudo})
 			left.used += entryBytes(e.Key)
 		}
+		left.resetPrefix()
 	} else {
 		children := append([]types.PageNum(nil), root.children[:cut+1]...)
 		seps := make([]sep, 0, cut)
 		for _, s := range root.seps[:cut] {
 			seps = append(seps, sep{key: append([]byte(nil), s.key...), rid: s.rid})
 		}
-		left = NewInternal(children, seps)
+		left = NewInternalWith(children, seps, root.comp)
 	}
 
 	lf, err := t.pool.NewPage(t.file, left)
@@ -277,9 +282,10 @@ func (t *Tree) splitRoot(tl rm.TxnLogger, rootF *buffer.Frame, root *Node, key [
 		// leaf).
 	}
 
-	newRoot := NewInternal(
+	newRoot := NewInternalWith(
 		[]types.PageNum{lf.ID.Page, rfr.ID.Page},
 		[]sep{{key: append([]byte(nil), promoted.key...), rid: promoted.rid}},
+		root.comp,
 	)
 
 	lw, rw, nw := enc.NewWriter(), enc.NewWriter(), enc.NewWriter()

@@ -68,6 +68,9 @@ func (b *builder) buildOffline(spec engine.CreateIndexSpec) (*Result, error) {
 		return nil, b.cancel(err)
 	}
 	b.st.Runs = len(runs)
+	for _, r := range runs {
+		b.st.BytesSpilled += uint64(r.Bytes)
+	}
 
 	tree, err := b.db.TreeOf(ix.ID)
 	if err != nil {
@@ -79,7 +82,7 @@ func (b *builder) buildOffline(spec engine.CreateIndexSpec) (*Result, error) {
 		return nil, b.cancel(err)
 	}
 	defer merger.Close()
-	loader := tree.NewLoader(b.opts.FillFactor)
+	loader := tree.NewLoaderWith(b.opts.FillFactor, b.runCompress)
 	// With the table quiesced there is nothing to verify on a unique
 	// conflict: adjacent identical keys in the sorted stream are a genuine
 	// violation.

@@ -92,10 +92,11 @@ func partCapacity(sortMemory, parts int) int {
 // engine's sort metrics attached. SerialFinish keeps the partition feed
 // inline on the scan goroutine for a deterministic I/O order.
 func (b *builder) newSorter() *extsort.PartSorter {
-	s := extsort.NewPartSorter(b.db.FS(), sortPrefix(b.ix.ID),
+	s := extsort.NewPartSorterWith(b.db.FS(), sortPrefix(b.ix.ID),
 		partCapacity(b.opts.SortMemory, b.opts.SortPartitions),
-		b.opts.SortPartitions, !b.opts.SerialFinish)
+		b.opts.SortPartitions, !b.opts.SerialFinish, b.opts.CompressKeys)
 	s.SetMetrics(extsort.MetricsFrom(b.db.Metrics()))
+	b.runCompress = b.opts.CompressKeys
 	return s
 }
 
@@ -113,6 +114,7 @@ func (b *builder) resumeSorter(sortState []byte) (*extsort.PartSorter, []byte, e
 		return nil, nil, err
 	}
 	s.SetMetrics(extsort.MetricsFrom(b.db.Metrics()))
+	b.runCompress = s.Compressed() // the runs on disk decide, not the options
 	return s, scanPos, nil
 }
 
@@ -124,6 +126,7 @@ func (b *builder) resumeSorter(sortState []byte) (*extsort.PartSorter, []byte, e
 func (b *builder) mergeOpts() extsort.MergeOptions {
 	return extsort.MergeOptions{
 		Readahead: !b.opts.SerialFinish && (b.opts.SortPartitions > 1 || b.opts.MergeOverlap),
+		Compress:  b.runCompress,
 	}
 }
 
@@ -133,6 +136,10 @@ func (b *builder) noteMerge(runs []extsort.RunMeta, counters []uint64) {
 	met := extsort.MetricsFrom(b.db.Metrics())
 	met.MergeFanIn.Observe(uint64(len(runs)))
 	met.FanIn.Set(int64(len(runs)))
+	b.st.BytesSpilled = 0
+	for _, r := range runs {
+		b.st.BytesSpilled += uint64(r.Bytes)
+	}
 	ms := extsort.MergeState{Runs: runs, Counters: counters}
 	done, total := mergeProgress(&ms)
 	b.prog.FinishPhase(progress.Sort)

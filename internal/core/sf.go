@@ -119,7 +119,7 @@ func (b *builder) sfLoadPhase(runs []extsort.RunMeta, mergeState *extsort.MergeS
 		if err != nil {
 			return b.cancel(err)
 		}
-		loader, err = tree.RestartLoader(*loadState, b.opts.FillFactor)
+		loader, err = tree.RestartLoaderWith(*loadState, b.opts.FillFactor, b.runCompress)
 		if err != nil {
 			return b.cancel(err)
 		}
@@ -129,7 +129,7 @@ func (b *builder) sfLoadPhase(runs []extsort.RunMeta, mergeState *extsort.MergeS
 		if err != nil {
 			return b.cancel(err)
 		}
-		loader = tree.NewLoader(b.opts.FillFactor)
+		loader = tree.NewLoaderWith(b.opts.FillFactor, b.runCompress)
 		b.noteMerge(runs, nil)
 	}
 	defer merger.Close()

@@ -307,6 +307,14 @@ func Scenarios() []*Scenario {
 	// during the scan and on overlap hand-off points during the load.
 	sortparOpts := core.Options{SortMemory: 24, SortPartitions: 4, MergeOverlap: true,
 		SerialFinish: true, CheckpointPages: 2, CheckpointKeys: 48}
+	// Prefix compression end-to-end: delta-encoded run records and
+	// prefix-truncated tree pages, with SortMemory small enough to force
+	// several runs over the long shared-prefix "name-..." keys. Checkpoints
+	// land on compressed sort states (mid-run delta chains restart from
+	// RunMeta.High) and on loader states over compressed pages, so every
+	// fault point exercises a format-aware resume.
+	compressOpts := core.Options{SortMemory: 16, CompressKeys: true,
+		CheckpointPages: 2, CheckpointKeys: 40}
 
 	return []*Scenario{
 		{
@@ -410,6 +418,24 @@ func Scenarios() []*Scenario {
 				return err
 			},
 			ReadCheck: true,
+		},
+		{
+			// The SF build with CompressKeys on: a crash can land mid delta
+			// chain in a run, between a checkpoint and its run truncation, or
+			// mid load over prefix-truncated pages, and resume must keep the
+			// durable format (states carry the compression bit; pages carry
+			// theirs). The full oracle — tree invariants, heap↔index
+			// equivalence — runs at every fault point.
+			Name:  "compress",
+			Rows:  360,
+			Opts:  compressOpts,
+			Specs: []engine.CreateIndexSpec{nameSpec("by_name", catalog.MethodSF)},
+			Run: func(db *engine.DB, rids []types.RID) error {
+				opts := compressOpts
+				opts.OnCheckpoint = observer(db, rids)
+				_, err := core.Build(db, nameSpec("by_name", catalog.MethodSF), opts)
+				return err
+			},
 		},
 		{
 			// The paper's machinery under horizontal partitioning: a unique

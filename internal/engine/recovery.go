@@ -60,6 +60,12 @@ func Recover(cfg Config) (*DB, error) {
 	committedIB := make(map[types.IndexID][]byte)
 	createIdxTxn := make(map[types.IndexID]types.TxnID)
 	committedTxns := make(map[types.TxnID]bool) // survives the End-record delete from tt
+	type stateChange struct {
+		lsn types.LSN
+		txn types.TxnID
+		pl  catalog.StateChangePayload
+	}
+	var stateChanges []stateChange
 	var maxTxn types.TxnID
 
 	scanFrom := types.LSN(1)
@@ -168,13 +174,10 @@ func Recover(cfg Config) (*DB, error) {
 			if err != nil {
 				return nil, err
 			}
-			if err := db.cat.SetIndexState(pl.Index, pl.State, rec.LSN); err != nil {
-				return nil, err
-			}
-			if pl.State != catalog.StateBuilding {
-				delete(committedIB, pl.Index)
-				delete(ibCandidates, pl.Index)
-			}
+			// Deferred: a state change is only as durable as the transaction
+			// that logged it, which isn't known until the scan finds (or fails
+			// to find) its commit record.
+			stateChanges = append(stateChanges, stateChange{lsn: rec.LSN, txn: rec.TxnID, pl: pl})
 		case wal.TypePartMeta:
 			// Partition metadata is applied unconditionally like the other
 			// DDL records; the payloads are idempotent upserts/deletes so
@@ -202,6 +205,26 @@ func Recover(cfg Config) (*DB, error) {
 	for id, c := range ibCandidates {
 		if e := tt[c.txn]; e != nil && e.committed {
 			committedIB[id] = c.payload
+		}
+	}
+
+	// Apply the state changes of winners only, in log order. SetIndexComplete
+	// rides in the same transaction as the builder's final side-file
+	// applications; if that commit was torn off the log tail, undo below will
+	// strip those RU records back out, and replaying the redo-only state
+	// change alone would declare complete an index that is missing them.
+	// Skipping a loser's change leaves the index in StateBuilding with its
+	// last committed checkpoint intact, so the build is resumed instead.
+	for _, sc := range stateChanges {
+		if sc.txn != types.NilTxn && !committedTxns[sc.txn] {
+			continue
+		}
+		if err := db.cat.SetIndexState(sc.pl.Index, sc.pl.State, sc.lsn); err != nil {
+			return nil, err
+		}
+		if sc.pl.State != catalog.StateBuilding {
+			delete(committedIB, sc.pl.Index)
+			delete(ibCandidates, sc.pl.Index)
 		}
 	}
 

@@ -8,9 +8,12 @@ import (
 
 	"onlineindex/internal/catalog"
 	"onlineindex/internal/core"
+	"onlineindex/internal/engine"
 	"onlineindex/internal/extsort"
 	"onlineindex/internal/harness"
+	"onlineindex/internal/keyenc"
 	"onlineindex/internal/vfs"
+	"onlineindex/internal/workload"
 )
 
 // SortRecord is one machine-readable measurement of the parallel back half
@@ -27,11 +30,18 @@ type SortRecord struct {
 	NumCPU     int     `json:"num_cpu"`
 	Partitions int     `json:"sort_partitions"`
 	Overlap    bool    `json:"merge_overlap"`
+	Compress   bool    `json:"compress_keys"`
 	TotalMs    float64 `json:"total_ms"`
 	ScanMs     float64 `json:"scan_sort_ms"`
 	InsertMs   float64 `json:"insert_ms"`
 	SideMs     float64 `json:"side_file_ms"`
 	Runs       int     `json:"runs"`
+	// BytesSpilled is the total run-file bytes the sort wrote (post
+	// prefix-delta compression when Compress is set); BranchFanout is the
+	// built tree's mean children per internal page. Together they show what
+	// key compression buys on each side of the merge.
+	BytesSpilled uint64  `json:"bytes_spilled"`
+	BranchFanout float64 `json:"branch_fanout"`
 	// FeedWait is the sequencer blocking on extraction results; FeedBusy is
 	// the time it spends inside the sorter feed. Partitioning is meant to
 	// collapse FeedBusy (the serial-feed bottleneck) — watching both shows
@@ -49,41 +59,50 @@ func SortBench(cfg Config, n int) ([]SortRecord, error) {
 	const trials = 5
 	const workers = 4
 	type config struct {
-		parts   int
-		overlap bool
+		parts    int
+		overlap  bool
+		compress bool
 	}
-	configs := []config{{1, false}, {4, false}, {1, true}, {4, true}}
+	// The last two rows are the compressed-vs-uncompressed pair at the
+	// fastest uncompressed configuration.
+	configs := []config{{1, false, false}, {4, false, false}, {1, true, false}, {4, true, false}, {4, true, true}}
 
-	oneBuild := func(c config) (*core.Result, time.Duration, error) {
+	oneBuild := func(c config) (*core.Result, time.Duration, float64, error) {
 		db, _, err := setup(n)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, 0, err
 		}
 		runtime.GC()
 		start := time.Now()
 		res, err := core.Build(db, spec("by_key", catalog.MethodSF), core.Options{
 			ScanWorkers: workers, SortPartitions: c.parts, MergeOverlap: c.overlap,
+			CompressKeys: c.compress,
 		})
 		if err != nil {
-			return nil, 0, fmt.Errorf("sortbench P=%d overlap=%v: %w", c.parts, c.overlap, err)
+			return nil, 0, 0, fmt.Errorf("sortbench P=%d overlap=%v comp=%v: %w", c.parts, c.overlap, c.compress, err)
 		}
 		total := time.Since(start)
 		if err := db.CheckIndexConsistency("by_key"); err != nil {
-			return nil, 0, fmt.Errorf("sortbench P=%d overlap=%v: %w", c.parts, c.overlap, err)
+			return nil, 0, 0, fmt.Errorf("sortbench P=%d overlap=%v comp=%v: %w", c.parts, c.overlap, c.compress, err)
 		}
-		return res, total, nil
+		fanout := 0.0
+		if tree, err := db.TreeOf(res.Index.ID); err == nil {
+			fanout, _ = tree.AvgBranchFanout()
+		}
+		return res, total, fanout, nil
 	}
 
 	best := make([]*core.Result, len(configs))
 	bestT := make([]time.Duration, len(configs))
+	fanouts := make([]float64, len(configs))
 	for trial := 0; trial < trials; trial++ {
 		for i, c := range configs {
-			res, total, err := oneBuild(c)
+			res, total, fanout, err := oneBuild(c)
 			if err != nil {
 				return nil, err
 			}
 			if best[i] == nil || total < bestT[i] {
-				best[i], bestT[i] = res, total
+				best[i], bestT[i], fanouts[i] = res, total, fanout
 			}
 		}
 	}
@@ -95,25 +114,89 @@ func SortBench(cfg Config, n int) ([]SortRecord, error) {
 		rec := SortRecord{
 			Kind: "sortbench", Rows: n, Method: methodName(catalog.MethodSF),
 			Workers: workers, NumCPU: runtime.NumCPU(),
-			Partitions: c.parts, Overlap: c.overlap,
+			Partitions: c.parts, Overlap: c.overlap, Compress: c.compress,
 			TotalMs: msf(bestT[i]), ScanMs: msf(st.ScanSort),
 			InsertMs: msf(st.Insert), SideMs: msf(st.SideFile),
-			Runs:       st.Runs,
-			FeedWaitMs: msf(st.Pipeline.FeedWait),
-			FeedBusyMs: msf(st.Pipeline.FeedBusy),
+			Runs:         st.Runs,
+			FeedWaitMs:   msf(st.Pipeline.FeedWait),
+			FeedBusyMs:   msf(st.Pipeline.FeedBusy),
+			BytesSpilled: st.BytesSpilled,
+			BranchFanout: fanouts[i],
 		}
 		recs = append(recs, rec)
 		rows = append(rows, []string{
 			harness.N(uint64(n)), fmt.Sprintf("%d", c.parts), fmt.Sprintf("%v", c.overlap),
-			ms(st.ScanSort), ms(st.Insert), ms(bestT[i]),
-			fmt.Sprintf("%.1f", rec.FeedWaitMs), fmt.Sprintf("%.1f", rec.FeedBusyMs),
+			fmt.Sprintf("%v", c.compress),
+			ms(st.ScanSort), ms(bestT[i]),
+			harness.N(rec.BytesSpilled), fmt.Sprintf("%.1f", rec.BranchFanout),
 		})
 	}
 	cfg.printf("%s\n", harness.Table(
-		"SF build vs sort partitions and merge→load overlap (ScanWorkers=4, quiet table)",
-		[]string{"rows", "partitions", "overlap", "scan+sort ms", "insert ms", "total ms", "feed wait ms", "feed busy ms"},
+		"SF build vs sort partitions, merge→load overlap, key compression (ScanWorkers=4, quiet table)",
+		[]string{"rows", "partitions", "overlap", "compress", "scan+sort ms", "total ms", "bytes spilled", "branch fanout"},
 		rows))
 	return recs, nil
+}
+
+// MeasureSpill builds the same SF index on two identically populated n-row
+// tables, once with prefix-delta key compression and once without, and
+// returns the run-file bytes each sort spilled plus the built trees' branch
+// fanouts. The key column is composite-style ("tenant/order") rather than
+// the hash-prefixed benchmark key: prefix truncation targets keys whose
+// sorted neighbors share prefixes, and hash prefixes are built not to. Byte
+// counts are deterministic (no wall-clock), so the compression gate can run
+// anywhere without trials.
+func MeasureSpill(n int) (plain, comp SpillMeasure, err error) {
+	one := func(compress bool) (SpillMeasure, error) {
+		db, err := engine.Open(engine.Config{FS: vfs.NewMemFS(), PoolSize: 4096})
+		if err != nil {
+			return SpillMeasure{}, err
+		}
+		if _, err := db.CreateTable("orders", workload.Schema()); err != nil {
+			return SpillMeasure{}, err
+		}
+		rng := rand.New(rand.NewSource(11))
+		for _, id := range rng.Perm(n) {
+			tx := db.Begin()
+			row := engine.Row{
+				keyenc.Int64(int64(id)),
+				keyenc.String(fmt.Sprintf("tenant-%03d/order-%010d", id%37, id)),
+				keyenc.String("x"),
+			}
+			if _, err := db.Insert(tx, "orders", row); err != nil {
+				tx.Rollback() //nolint:errcheck
+				return SpillMeasure{}, err
+			}
+			if err := tx.Commit(); err != nil {
+				return SpillMeasure{}, err
+			}
+		}
+		res, err := core.Build(db, spec("by_key", catalog.MethodSF), core.Options{
+			SortMemory: 4096, CompressKeys: compress,
+		})
+		if err != nil {
+			return SpillMeasure{}, err
+		}
+		if err := db.CheckIndexConsistency("by_key"); err != nil {
+			return SpillMeasure{}, err
+		}
+		m := SpillMeasure{Bytes: res.Stats.BytesSpilled}
+		if tree, err := db.TreeOf(res.Index.ID); err == nil {
+			m.Fanout, _ = tree.AvgBranchFanout()
+		}
+		return m, nil
+	}
+	if plain, err = one(false); err != nil {
+		return plain, comp, err
+	}
+	comp, err = one(true)
+	return plain, comp, err
+}
+
+// SpillMeasure is one side of the compression gate's comparison.
+type SpillMeasure struct {
+	Bytes  uint64
+	Fanout float64
 }
 
 // MeasureRunGeneration times the sort's run-generation half in isolation —

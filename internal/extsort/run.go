@@ -2,6 +2,7 @@ package extsort
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
@@ -9,10 +10,23 @@ import (
 	"onlineindex/internal/vfs"
 )
 
+// ErrNoProgress is returned when a vfs ReadAt repeatedly reports no bytes
+// and no error. A correct vfs.File never does this (ReadAt must return
+// io.EOF or data), so the retry is bounded rather than infinite.
+var ErrNoProgress = errors.New("extsort: read made no progress")
+
+// noProgressLimit bounds consecutive (0, nil) ReadAt results before the
+// reader gives up with ErrNoProgress.
+const noProgressLimit = 8
+
 // RunMeta describes one sorted run file: its name, how many items it holds,
 // its byte length, and its highest (last) item. This is exactly what the
 // sort-phase checkpoint records per stream ("file names, etc." plus, for the
 // last stream, "the value of the highest key that was output", §5.1).
+//
+// High doubles as the delta predecessor for compressed runs: it is the last
+// item written, so a writer reopened from a checkpoint can resume
+// prefix-delta encoding against it without any extra durable state.
 type RunMeta struct {
 	Name  string
 	Count uint64
@@ -28,27 +42,54 @@ func decodeRunMeta(r *enc.Reader) RunMeta {
 	return RunMeta{Name: r.String32(), Count: r.U64(), Bytes: int64(r.U64()), High: r.Bytes32()}
 }
 
-// Run file format: a sequence of [uint32 length][item bytes] records.
+// Run file formats:
+//
+//	legacy:     a sequence of [uint32 LE length][item bytes] records.
+//	compressed: a sequence of [uint16 LE shared][uint16 LE suffixLen][suffix]
+//	            records, where shared is the byte length of the prefix this
+//	            item has in common with the previous item in the run (0 for
+//	            the first item) and suffix is the remainder. Because items
+//	            are memcmp-comparable keyenc encodings followed by the RID
+//	            suffix, reconstruction (prev[:shared] + suffix) preserves
+//	            order exactly.
+//
+// Both record headers are 4 bytes, so compression saves exactly the shared
+// prefix bytes per item.
+
+// commonPrefixLen returns the length of the longest common prefix of a and b.
+func commonPrefixLen(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
 
 // runWriter appends items to a run file.
 type runWriter struct {
 	f    vfs.File
 	meta RunMeta
+	comp bool
 	buf  []byte // pending bytes not yet written through
 }
 
-func createRun(fs vfs.FS, name string) (*runWriter, error) {
+func createRun(fs vfs.FS, name string, comp bool) (*runWriter, error) {
 	f, err := fs.Create(name)
 	if err != nil {
 		return nil, err
 	}
-	return &runWriter{f: f, meta: RunMeta{Name: name}}, nil
+	return &runWriter{f: f, meta: RunMeta{Name: name}, comp: comp}, nil
 }
 
 // reopenRun opens an existing run for appending, truncating it to the
 // checkpointed state first (restart: "reposition the last sorted output
 // stream ... to the end of file position recorded in the checkpoint").
-func reopenRun(fs vfs.FS, meta RunMeta) (*runWriter, error) {
+// For a compressed run, meta.High seeds the delta predecessor.
+func reopenRun(fs vfs.FS, meta RunMeta, comp bool) (*runWriter, error) {
 	f, err := fs.Open(meta.Name)
 	if err != nil {
 		return nil, err
@@ -57,19 +98,39 @@ func reopenRun(fs vfs.FS, meta RunMeta) (*runWriter, error) {
 		f.Close()
 		return nil, err
 	}
-	return &runWriter{f: f, meta: meta}, nil
+	return &runWriter{f: f, meta: meta, comp: comp}, nil
 }
 
-func (w *runWriter) add(item []byte) {
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(item)))
-	w.buf = append(w.buf, hdr[:]...)
-	w.buf = append(w.buf, item...)
+func (w *runWriter) add(item []byte) error {
+	if w.comp {
+		shared := commonPrefixLen(w.meta.High, item)
+		if w.meta.Count == 0 && w.meta.Bytes == 0 && len(w.buf) == 0 {
+			shared = 0 // a stale High from a recycled meta must not leak in
+		}
+		if shared > 0xffff {
+			shared = 0xffff
+		}
+		suffix := item[shared:]
+		if len(suffix) > 0xffff {
+			return fmt.Errorf("extsort: item suffix %d bytes exceeds compressed-run limit", len(suffix))
+		}
+		var hdr [4]byte
+		binary.LittleEndian.PutUint16(hdr[0:2], uint16(shared))
+		binary.LittleEndian.PutUint16(hdr[2:4], uint16(len(suffix)))
+		w.buf = append(w.buf, hdr[:]...)
+		w.buf = append(w.buf, suffix...)
+	} else {
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(item)))
+		w.buf = append(w.buf, hdr[:]...)
+		w.buf = append(w.buf, item...)
+	}
 	w.meta.Count++
 	w.meta.High = append(w.meta.High[:0], item...)
 	if len(w.buf) >= 1<<16 {
-		w.flush()
+		return w.flush()
 	}
+	return nil
 }
 
 func (w *runWriter) flush() error {
@@ -108,6 +169,8 @@ type runReader struct {
 	rdbuf  []byte
 	bufOff int64 // file offset of rdbuf[0]
 	count  uint64
+	comp   bool
+	prev   []byte // last reconstituted item (compressed runs only)
 
 	pf     chan pfBlock  // prefetched chunks; nil = synchronous reads
 	pfStop chan struct{} // closed by close() to unstick a blocked send
@@ -121,15 +184,18 @@ type pfBlock struct {
 	err  error
 }
 
-func openRun(fs vfs.FS, meta RunMeta) (*runReader, error) {
+func openRun(fs vfs.FS, meta RunMeta, comp bool) (*runReader, error) {
 	f, err := fs.Open(meta.Name)
 	if err != nil {
 		return nil, err
 	}
-	return &runReader{f: f}, nil
+	return &runReader{f: f, comp: comp}, nil
 }
 
-// next returns the next item, or ok=false at end of run.
+// next returns the next item, or ok=false at end of run. For compressed
+// runs it reconstitutes prev[:shared] + suffix; the returned slice is
+// freshly allocated every call (the reader retains it as the next
+// predecessor, so callers must treat it as read-only, which they do).
 func (r *runReader) next() ([]byte, bool, error) {
 	hdr, err := r.read(4)
 	if err == io.EOF {
@@ -138,13 +204,30 @@ func (r *runReader) next() ([]byte, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	n := binary.LittleEndian.Uint32(hdr)
-	item, err := r.read(int(n))
-	if err != nil {
-		return nil, false, fmt.Errorf("extsort: truncated run item: %w", err)
+	var out []byte
+	if r.comp {
+		shared := int(binary.LittleEndian.Uint16(hdr[0:2]))
+		sufLen := int(binary.LittleEndian.Uint16(hdr[2:4]))
+		if shared > len(r.prev) {
+			return nil, false, fmt.Errorf("extsort: corrupt compressed run: shared %d > prev %d", shared, len(r.prev))
+		}
+		suffix, err := r.read(sufLen)
+		if err != nil {
+			return nil, false, fmt.Errorf("extsort: truncated run item: %w", err)
+		}
+		out = make([]byte, shared+sufLen)
+		copy(out, r.prev[:shared])
+		copy(out[shared:], suffix)
+		r.prev = out
+	} else {
+		n := binary.LittleEndian.Uint32(hdr)
+		item, err := r.read(int(n))
+		if err != nil {
+			return nil, false, fmt.Errorf("extsort: truncated run item: %w", err)
+		}
+		out = make([]byte, n)
+		copy(out, item)
 	}
-	out := make([]byte, n)
-	copy(out, item)
 	r.count++
 	return out, true, nil
 }
@@ -172,11 +255,13 @@ func (r *runReader) startPrefetch() {
 	r.pfStop = make(chan struct{})
 	go func(off int64) {
 		defer close(r.pf)
+		stalls := 0
 		for {
 			chunk := make([]byte, readChunk)
 			m, err := r.f.ReadAt(chunk, off)
 			off += int64(m)
 			if m > 0 {
+				stalls = 0
 				select {
 				case r.pf <- pfBlock{data: chunk[:m]}:
 				case <-r.pfStop:
@@ -184,7 +269,15 @@ func (r *runReader) startPrefetch() {
 				}
 			}
 			if err == nil {
-				continue
+				if m == 0 {
+					if stalls++; stalls >= noProgressLimit {
+						err = fmt.Errorf("%w: %s at offset %d", ErrNoProgress, r.f.Name(), off)
+					} else {
+						continue
+					}
+				} else {
+					continue
+				}
 			}
 			// A partial chunk's EOF arrives as its own terminal block, after
 			// the data block above, so fill sees data and end separately.
@@ -198,7 +291,8 @@ func (r *runReader) startPrefetch() {
 }
 
 // fill appends at least one more byte to rdbuf or reports why it cannot:
-// io.EOF at a clean end of file, any other error verbatim.
+// io.EOF at a clean end of file, ErrNoProgress after repeated empty
+// errorless reads, any other error verbatim.
 func (r *runReader) fill() error {
 	if r.pf != nil {
 		if r.pfEOF {
@@ -216,7 +310,7 @@ func (r *runReader) fill() error {
 		r.rdbuf = append(r.rdbuf, blk.data...)
 		return nil
 	}
-	for {
+	for stalls := 0; ; {
 		chunk := make([]byte, readChunk)
 		m, err := r.f.ReadAt(chunk, r.bufOff+int64(len(r.rdbuf)))
 		if m > 0 {
@@ -224,6 +318,9 @@ func (r *runReader) fill() error {
 			return nil
 		}
 		if err == nil {
+			if stalls++; stalls >= noProgressLimit {
+				return fmt.Errorf("%w: %s at offset %d", ErrNoProgress, r.f.Name(), r.bufOff+int64(len(r.rdbuf)))
+			}
 			continue
 		}
 		return err

@@ -420,6 +420,7 @@ func addStats(dst, src *core.Stats) {
 	dst.SideFileApplied += src.SideFileApplied
 	dst.Checkpoints += src.Checkpoints
 	dst.Runs += src.Runs
+	dst.BytesSpilled += src.BytesSpilled
 	dst.ScanSort += src.ScanSort
 	dst.Insert += src.Insert
 	dst.SideFile += src.SideFile

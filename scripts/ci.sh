@@ -41,6 +41,13 @@
 #                      run on a quiet machine), then records the partbench
 #                      matrix (build ms + routed read mix at P in {1,2,4}) in
 #                      BENCH_build.json.
+#   ci.sh bench-compress  the key-compression gate: fails unless CompressKeys
+#                      spills >= 20% fewer run-file bytes than the
+#                      uncompressed build over composite-style keys
+#                      (deterministic byte counts, no wall-clock), then
+#                      records the sortbench matrix — whose last two rows are
+#                      the compressed-vs-uncompressed pair — in
+#                      BENCH_build.json.
 #   ci.sh race         focused race-detector pass over the sharded singletons
 #                      (buffer, lock, wal, txn), the read path (cursor
 #                      batching, hash cache, zone maps, engine read stress),
@@ -73,6 +80,7 @@ sweep)
     go test -run xxx -fuzz FuzzKeyEncOrder -fuzztime 60s ./internal/keyenc
     go test -run xxx -fuzz FuzzWALRoundTrip -fuzztime 60s ./internal/wal
     go test -run xxx -fuzz FuzzZoneMapPrune -fuzztime 60s ./internal/zonemap
+    go test -run xxx -fuzz FuzzRunDelta -fuzztime 60s ./internal/extsort
     ;;
 overhead)
     ONLINEINDEX_OVERHEAD_GATE=1 go test -run TestMetricsOverheadGate -v -count=1 .
@@ -96,6 +104,10 @@ bench-read)
 bench-part)
     ONLINEINDEX_PART_GATE=1 go test -run TestPartitionBuildGate -v -count=1 -timeout 10m .
     go run ./cmd/benchtab -partbench 20000 -out BENCH_build.json
+    ;;
+bench-compress)
+    ONLINEINDEX_COMPRESS_GATE=1 go test -run TestCompressSpillGate -v -count=1 -timeout 10m .
+    go run ./cmd/benchtab -sortbench 200000 -out BENCH_build.json
     ;;
 race)
     go test -race -count=4 -timeout 20m \
@@ -134,7 +146,7 @@ admin-smoke)
     echo "admin-smoke OK"
     ;;
 *)
-    echo "usage: $0 [test|sweep|overhead|bench-commit|bench-sort|bench-conc|bench-read|bench-part|race|admin-smoke]" >&2
+    echo "usage: $0 [test|sweep|overhead|bench-commit|bench-sort|bench-conc|bench-read|bench-part|bench-compress|race|admin-smoke]" >&2
     exit 2
     ;;
 esac
