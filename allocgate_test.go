@@ -1,0 +1,77 @@
+package onlineindex_test
+
+import (
+	"os"
+	"runtime"
+	"testing"
+
+	"onlineindex/internal/catalog"
+	"onlineindex/internal/core"
+	"onlineindex/internal/engine"
+	"onlineindex/internal/vfs"
+	"onlineindex/internal/workload"
+)
+
+// allocGateBaseline is the post-optimization offline-build allocation rate in
+// heap objects per table row, measured on a quiet machine after the
+// diskbench hot-path pass (shared-scratch key extraction, single-alloc sort
+// items, recycled run-reader chunks). The gate fails if a change regresses
+// allocs/row more than 20% past this; update the constant deliberately when
+// an accepted change moves the floor.
+const allocGateBaseline = 4.5
+
+// allocGateSlack is the tolerated regression over the baseline before the
+// gate fails.
+const allocGateSlack = 1.20
+
+// measureBuildAllocs runs one offline build of rows rows on MemFS and
+// returns the runtime.MemStats Mallocs delta per row. Allocation counts are
+// exact (not wall-clock), so a single trial is reproducible to within GC
+// bookkeeping noise; the minimum of a few trials removes even that.
+func measureBuildAllocs(t *testing.T, rows int) float64 {
+	t.Helper()
+	db, err := engine.Open(engine.Config{FS: vfs.NewMemFS(), PoolSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close() //nolint:errcheck
+	if _, err := db.CreateTable("orders", workload.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := workload.Populate(db, "orders", rows, 24); err != nil {
+		t.Fatal(err)
+	}
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	if _, err := core.Build(db, buildSpec(catalog.MethodOffline), core.Options{SortMemory: 1 << 16}); err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&m1)
+	return float64(m1.Mallocs-m0.Mallocs) / float64(rows)
+}
+
+// TestBuildAllocGate holds the line on per-row allocation churn in the
+// offline build: the diskbench optimization loop exists to drive this number
+// down, and this gate keeps it down. Gated behind ONLINEINDEX_ALLOC_GATE=1
+// (set by `scripts/ci.sh bench-disk`) — allocation counts are stable, but
+// the 100k-row build is too heavy for the default `go test ./...` pass.
+func TestBuildAllocGate(t *testing.T) {
+	if os.Getenv("ONLINEINDEX_ALLOC_GATE") == "" {
+		t.Skip("set ONLINEINDEX_ALLOC_GATE=1 to run the allocation gate")
+	}
+	const rows = 100_000
+	const trials = 3
+	best := measureBuildAllocs(t, rows)
+	for i := 1; i < trials; i++ {
+		if a := measureBuildAllocs(t, rows); a < best {
+			best = a
+		}
+	}
+	limit := allocGateBaseline * allocGateSlack
+	t.Logf("offline build: %.2f allocs/row (baseline %.1f, limit %.1f)", best, allocGateBaseline, limit)
+	if best > limit {
+		t.Errorf("offline build allocates %.2f objects/row, more than %.0f%% over the %.1f baseline",
+			best, (allocGateSlack-1)*100, allocGateBaseline)
+	}
+}

@@ -29,6 +29,14 @@
 //	                              # count, -partition-scheme picks range|hash);
 //	                              # merges a partbench record into
 //	                              # BENCH_build.json
+//	benchtab -diskbench 10000000  # on-disk (OSFS) build matrix at this many
+//	                              # rows (-scale sizes it down, -dir picks the
+//	                              # scratch directory, -variant tags the
+//	                              # records baseline|optimized); merges
+//	                              # diskbench records into BENCH_build.json.
+//	                              # -cpuprofile/-memprofile capture pprof
+//	                              # profiles of the build matrix, summarized
+//	                              # by scripts/analyze_profile.sh
 //
 // The benchmark modes all merge into -out rather than clobbering each
 // other's records: build records carry no "kind" field, the commit record
@@ -42,6 +50,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -76,6 +86,71 @@ func mergeRecords(path, kind string, recs []any) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// mergeDiskRecords is mergeRecords for the diskbench mode, which keeps one
+// record set per variant: a "-variant optimized" run must not erase the
+// "-variant baseline" rows it is being compared against, so only records
+// matching both kind and variant are replaced.
+func mergeDiskRecords(path, variant string, recs []any) error {
+	var kept []any
+	if data, err := os.ReadFile(path); err == nil {
+		var existing []map[string]any
+		if err := json.Unmarshal(data, &existing); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		for _, r := range existing {
+			k, _ := r["kind"].(string)
+			v, _ := r["variant"].(string)
+			if k != "diskbench" || v != variant {
+				kept = append(kept, r)
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	kept = append(kept, recs...)
+	data, err := json.MarshalIndent(kept, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// startProfiles begins CPU profiling to cpuPath (if non-empty) and returns a
+// stop function that finishes the CPU profile and writes a heap profile to
+// memPath (if non-empty). Either path may be empty independently.
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: heap profile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: heap profile: %v\n", err)
+			}
+		}
+	}, nil
+}
+
 func main() {
 	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
 	scale := flag.Float64("scale", 1.0, "table-size scale factor")
@@ -88,6 +163,11 @@ func main() {
 	partBench := flag.Int("partbench", 0, "run the horizontal-partitioning benchmark (P in {1,2,4}) on a table of this many rows and merge a partbench record into -out (skips experiments)")
 	partitions := flag.Int("partitions", 0, "extra partition count to add to the -partbench sweep")
 	partScheme := flag.String("partition-scheme", "hash", "partitioning scheme for -partbench: range or hash")
+	diskBench := flag.Int("diskbench", 0, "run the on-disk (OSFS) build matrix on a table of this many rows (scaled by -scale) and merge diskbench records into -out (skips experiments)")
+	dir := flag.String("dir", "", "scratch directory for -diskbench (default: a fresh os.MkdirTemp dir, removed afterwards)")
+	variant := flag.String("variant", "optimized", "variant tag for -diskbench records (baseline|optimized); each variant's records replace only their own")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the -diskbench build matrix to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the -diskbench build matrix to this file")
 	out := flag.String("out", "BENCH_build.json", "output path for the -buildbench/-commitbench JSON records")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
@@ -123,6 +203,40 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("merged %d build records into %s\n", len(recs), *out)
+		return
+	}
+
+	if *diskBench > 0 {
+		scratch := *dir
+		if scratch == "" {
+			tmp, err := os.MkdirTemp("", "onlineindex-diskbench-*")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+				os.Exit(1)
+			}
+			defer os.RemoveAll(tmp)
+			scratch = tmp
+		}
+		stop, err := startProfiles(*cpuProfile, *memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: profile: %v\n", err)
+			os.Exit(1)
+		}
+		recs, err := experiments.DiskBench(cfg, *diskBench, scratch, *variant)
+		stop()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: diskbench failed: %v\n", err)
+			os.Exit(1)
+		}
+		anys := make([]any, len(recs))
+		for i := range recs {
+			anys[i] = recs[i]
+		}
+		if err := mergeDiskRecords(*out, *variant, anys); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("merged %d diskbench (%s) records into %s\n", len(recs), *variant, *out)
 		return
 	}
 

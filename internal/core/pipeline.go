@@ -94,19 +94,33 @@ func pipelineScan(h *heap.Table, from, end types.PageNum, feeds []*scanFeed,
 	return parallelScan(h, from, end, feeds, workers, advance, checkpointPages, checkpoint)
 }
 
+// extractScratch is one extraction worker's reusable key-assembly buffer.
+// Sort items are handed to the sorters with ownership (Sorter.AddOwned
+// retains them), so each item still needs its own exact-size allocation; the
+// scratch absorbs the variable-length key assembly and its growth, taking
+// extraction from ~10 heap allocations per record (row decode, per-column
+// copies, key growth, item copy) down to the one retained item.
+type extractScratch struct {
+	key []byte
+}
+
 // extractPage builds every feed's sort items for one page batch. Pure CPU
 // work over the batch's snapshot — safe off the latch and off the scan
-// goroutine.
-func extractPage(feeds []*scanFeed, batch *heap.PageBatch) ([][][]byte, error) {
+// goroutine. sc is owned by the calling worker and reused across pages.
+func extractPage(feeds []*scanFeed, batch *heap.PageBatch, sc *extractScratch) ([][][]byte, error) {
 	out := make([][][]byte, len(feeds))
 	for fi, f := range feeds {
 		items := make([][]byte, batch.Len())
 		for i := range items {
-			key, err := engine.IndexKeyFromRecord(f.ix, batch.Rec(i))
+			key, err := engine.AppendIndexKeyFromRecord(sc.key[:0], f.ix, batch.Rec(i))
 			if err != nil {
 				return nil, err
 			}
-			items[i] = encodeItem(key, batch.RID(i))
+			sc.key = key[:0] // keep any growth for the next record
+			item := make([]byte, len(key)+ridSuffix)
+			copy(item, key)
+			putRIDBytes(item[len(key):], batch.RID(i))
+			items[i] = item
 		}
 		out[fi] = items
 	}
@@ -150,13 +164,14 @@ func serialScan(h *heap.Table, from, end types.PageNum, feeds []*scanFeed,
 	advance func(next types.PageNum),
 	checkpointPages int, checkpoint func(next types.PageNum) error) error {
 	var busy, feedBusy time.Duration
+	var sc extractScratch
 	for pg := from; pg <= end; pg++ {
 		batch, err := h.ReadPageBatch(pg, underLatch(advance, pg))
 		if err != nil {
 			return err
 		}
 		t0 := time.Now()
-		items, err := extractPage(feeds, &batch)
+		items, err := extractPage(feeds, &batch, &sc)
 		busy += time.Since(t0)
 		if err != nil {
 			return err
@@ -251,9 +266,10 @@ func parallelScan(h *heap.Table, from, end types.PageNum, feeds []*scanFeed,
 		workersWG.Add(1)
 		go func() {
 			defer workersWG.Done()
+			var sc extractScratch
 			for j := range jobs {
 				t0 := time.Now()
-				items, err := extractPage(feeds, &j.batch)
+				items, err := extractPage(feeds, &j.batch, &sc)
 				r := pageResult{seq: j.seq, items: items, n: j.batch.Len(),
 					busy: time.Since(t0), err: err}
 				select {

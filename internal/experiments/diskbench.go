@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"onlineindex/internal/catalog"
+	"onlineindex/internal/core"
+	"onlineindex/internal/engine"
+	"onlineindex/internal/harness"
+	"onlineindex/internal/vfs"
+	"onlineindex/internal/workload"
+)
+
+// DiskRecord is one on-disk (OSFS) build measurement, written by
+// `benchtab -diskbench` to BENCH_build.json. Unlike the MemFS build records
+// it carries allocation accounting from runtime.MemStats deltas, because at
+// disk scale the build is decided by per-key allocation churn and copy
+// counts, not algorithmic structure — allocs_per_row is the number the
+// profile-driven optimization loop drives down, and TestBuildAllocGate
+// holds it down.
+type DiskRecord struct {
+	Kind    string `json:"kind"`    // always "diskbench"
+	Variant string `json:"variant"` // "baseline" (pre-optimization) or "optimized"
+	Rows    int    `json:"rows"`
+	Method  string `json:"method"`
+	Workers int    `json:"workers"`
+	NumCPU  int    `json:"num_cpu"`
+
+	TotalMs  float64 `json:"total_ms"`
+	ScanMs   float64 `json:"scan_sort_ms"`
+	InsertMs float64 `json:"insert_ms"`
+	SideMs   float64 `json:"side_file_ms"`
+	RowsPerS float64 `json:"rows_per_sec"`
+
+	Runs         int    `json:"runs"`
+	BytesSpilled uint64 `json:"bytes_spilled"`
+
+	// AllocsPerRow is the heap allocation count per table row over the whole
+	// build (runtime.MemStats Mallocs delta / rows); BytesCopied is the total
+	// heap bytes allocated by the build (TotalAlloc delta) — every one of
+	// those bytes was written at least once, so it bounds the build's memory
+	// copy traffic from below.
+	AllocsPerRow  float64 `json:"allocs_per_row"`
+	BytesCopied   uint64  `json:"bytes_copied"`
+	BytesPerRow   float64 `json:"bytes_copied_per_row"`
+	PopulateMs    float64 `json:"populate_ms"`
+	VerifySkipped bool    `json:"verify_skipped,omitempty"`
+}
+
+// diskSortMemory is the tournament-tree capacity the disk benchmark builds
+// with. The MemFS experiments keep the core default (4096) to exercise many
+// runs; at millions of rows that default would merge over a thousand
+// streams, so the disk matrix uses a capacity sized for the scale while
+// still spilling tens of runs.
+const diskSortMemory = 1 << 18
+
+// diskPoolSize is the buffer-pool frame count for disk builds: large enough
+// to hold the working set of the scan (the pool is re-read behind the OS
+// page cache), small enough that a 10M-row table does not fit — the disk is
+// supposed to be exercised.
+const diskPoolSize = 8192
+
+// diskPopulateBatch is the rows-per-commit during table population. The
+// default workload batch (100) would pay one real fsync per 100 rows on
+// OSFS; population is scaffolding, not the thing being measured, so it
+// commits rarely.
+const diskPopulateBatch = 10000
+
+// diskVerifyLimit caps the row count at which every built index is fully
+// cross-checked against the heap. Above it the offline build is verified
+// (cheapest full check) and the rest rely on the per-build unique/adjacency
+// invariants — a 10M-row triple verification would dominate the wall clock.
+const diskVerifyLimit = 2_000_000
+
+// populateDisk fills the orders table with n rows in large committed
+// batches, returning the wall-clock spent.
+func populateDisk(db *engine.DB, n int) (time.Duration, error) {
+	start := time.Now()
+	for i := 0; i < n; {
+		tx := db.Begin()
+		for j := 0; j < diskPopulateBatch && i < n; j++ {
+			if _, err := db.Insert(tx, tableName, workload.RowOf(int64(i), 24)); err != nil {
+				tx.Rollback() //nolint:errcheck
+				return 0, err
+			}
+			i++
+		}
+		if err := tx.Commit(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start), nil
+}
+
+// DiskBench stands one n-row table up on OSFS under dir and runs the
+// offline/NSF/SF build matrix on it, recording wall-clock, MemStats
+// allocation deltas and spill volume per method. The table is populated
+// once; each method builds its index, is verified, and drops it before the
+// next. variant tags the records so before/after pairs of the optimization
+// loop can coexist in BENCH_build.json.
+func DiskBench(cfg Config, n int, dir string, variant string) ([]DiskRecord, error) {
+	n = cfg.rows(n) // -scale sizes the nominal 10M down for laptops/CI
+	osfs, err := vfs.NewOSFS(dir)
+	if err != nil {
+		return nil, err
+	}
+	// Write coalescing sits between the engine and the OS: sequential small
+	// writes (WAL appends, sort-run spills) reach ext4 as MB-scale WriteAts.
+	// The crash sweep runs on bare MemFS/faultfs, so this layer never touches
+	// a fault schedule.
+	fs := vfs.NewCoalescingFS(osfs, 0)
+	db, err := engine.Open(engine.Config{FS: fs, PoolSize: diskPoolSize})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close() //nolint:errcheck
+	if _, err := db.CreateTable(tableName, workload.Schema()); err != nil {
+		return nil, err
+	}
+	cfg.printf("diskbench: populating %d rows on %s ...\n", n, dir)
+	popDur, err := populateDisk(db, n)
+	if err != nil {
+		return nil, fmt.Errorf("diskbench populate: %w", err)
+	}
+	cfg.printf("diskbench: populated in %.1fs\n", popDur.Seconds())
+
+	opts := core.Options{ScanWorkers: cfg.workers(), SortMemory: diskSortMemory}
+
+	var recs []DiskRecord
+	var rows [][]string
+	for _, method := range []catalog.BuildMethod{catalog.MethodOffline, catalog.MethodNSF, catalog.MethodSF} {
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		res, err := core.Build(db, spec("by_key", method), opts)
+		total := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		if err != nil {
+			return nil, fmt.Errorf("diskbench %s: %w", method, err)
+		}
+		skipVerify := n > diskVerifyLimit && method != catalog.MethodOffline
+		if !skipVerify {
+			if err := db.CheckIndexConsistency("by_key"); err != nil {
+				return nil, fmt.Errorf("diskbench %s: %w", method, err)
+			}
+		}
+		st := res.Stats
+		allocs := m1.Mallocs - m0.Mallocs
+		bytes := m1.TotalAlloc - m0.TotalAlloc
+		rec := DiskRecord{
+			Kind: "diskbench", Variant: variant,
+			Rows: n, Method: methodName(method), Workers: cfg.workers(),
+			NumCPU:  runtime.NumCPU(),
+			TotalMs: msf(total), ScanMs: msf(st.ScanSort),
+			InsertMs: msf(st.Insert), SideMs: msf(st.SideFile),
+			RowsPerS:     float64(n) / total.Seconds(),
+			Runs:         st.Runs,
+			BytesSpilled: st.BytesSpilled,
+			AllocsPerRow: float64(allocs) / float64(n),
+			BytesCopied:  bytes,
+			BytesPerRow:  float64(bytes) / float64(n),
+			PopulateMs:   msf(popDur),
+		}
+		rec.VerifySkipped = skipVerify
+		recs = append(recs, rec)
+		rows = append(rows, []string{
+			harness.N(uint64(n)), methodName(method),
+			ms(total), ms(st.ScanSort), ms(st.Insert), ms(st.SideFile),
+			fmt.Sprintf("%.1f", rec.AllocsPerRow),
+			fmt.Sprintf("%.0f", rec.BytesPerRow),
+			fmt.Sprintf("%.0fk", rec.RowsPerS/1000),
+		})
+		if err := db.DropIndex("by_key"); err != nil {
+			return nil, fmt.Errorf("diskbench drop after %s: %w", method, err)
+		}
+	}
+	printDiskTable(cfg, rows)
+	return recs, nil
+}
+
+func printDiskTable(cfg Config, rows [][]string) {
+	cfg.printf("%s\n", harness.Table(
+		"On-disk (OSFS) build matrix",
+		[]string{"rows", "method", "total ms", "scan+sort ms", "insert ms", "side ms", "allocs/row", "bytes/row", "rows/s"},
+		rows))
+}

@@ -174,7 +174,10 @@ type runReader struct {
 
 	pf     chan pfBlock  // prefetched chunks; nil = synchronous reads
 	pfStop chan struct{} // closed by close() to unstick a blocked send
+	pfFree chan []byte   // consumed chunk buffers recycled to the prefetcher
 	pfEOF  bool          // terminal block consumed; pf yields nothing more
+
+	chunk []byte // synchronous fill's reusable read buffer
 }
 
 // pfBlock is one prefetched chunk, or the stream's terminal error
@@ -189,6 +192,7 @@ func openRun(fs vfs.FS, meta RunMeta, comp bool) (*runReader, error) {
 	if err != nil {
 		return nil, err
 	}
+	vfs.Advise(f) // runs are consumed front to back; ask the OS for readahead
 	return &runReader{f: f, comp: comp}, nil
 }
 
@@ -253,11 +257,21 @@ const readChunk = 1 << 16
 func (r *runReader) startPrefetch() {
 	r.pf = make(chan pfBlock, 2)
 	r.pfStop = make(chan struct{})
+	// Chunk buffers cycle between the prefetcher and fill: two may sit in
+	// the pf channel and one may just have been consumed, so three buffers
+	// cover the steady state with no per-chunk allocation.
+	r.pfFree = make(chan []byte, 3)
 	go func(off int64) {
 		defer close(r.pf)
 		stalls := 0
 		for {
-			chunk := make([]byte, readChunk)
+			var chunk []byte
+			select {
+			case chunk = <-r.pfFree:
+				chunk = chunk[:readChunk]
+			default:
+				chunk = make([]byte, readChunk)
+			}
 			m, err := r.f.ReadAt(chunk, off)
 			off += int64(m)
 			if m > 0 {
@@ -308,13 +322,21 @@ func (r *runReader) fill() error {
 			return blk.err
 		}
 		r.rdbuf = append(r.rdbuf, blk.data...)
+		// The chunk's bytes are copied out; hand the buffer back to the
+		// prefetcher. A full free list just means the buffer is dropped.
+		select {
+		case r.pfFree <- blk.data[:cap(blk.data)]:
+		default:
+		}
 		return nil
 	}
+	if r.chunk == nil {
+		r.chunk = make([]byte, readChunk)
+	}
 	for stalls := 0; ; {
-		chunk := make([]byte, readChunk)
-		m, err := r.f.ReadAt(chunk, r.bufOff+int64(len(r.rdbuf)))
+		m, err := r.f.ReadAt(r.chunk, r.bufOff+int64(len(r.rdbuf)))
 		if m > 0 {
-			r.rdbuf = append(r.rdbuf, chunk[:m]...)
+			r.rdbuf = append(r.rdbuf, r.chunk[:m]...)
 			return nil
 		}
 		if err == nil {

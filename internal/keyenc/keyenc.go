@@ -20,6 +20,7 @@
 package keyenc
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -178,6 +179,44 @@ func Encode(vals ...Value) []byte {
 
 // ErrCorrupt is returned when a key cannot be decoded.
 var ErrCorrupt = errors.New("keyenc: corrupt encoding")
+
+// EncodedLen returns the byte length of the first encoded value in b without
+// decoding or allocating, or ErrCorrupt if b does not begin with a
+// well-formed encoding. It is the validation half of DecodeOne for callers
+// that reuse stored encodings verbatim (zero-decode index-key extraction).
+func EncodedLen(b []byte) (int, error) {
+	if len(b) == 0 {
+		return 0, ErrCorrupt
+	}
+	switch b[0] {
+	case tagNull:
+		return 1, nil
+	case tagInt64, tagUint64:
+		if len(b) < 9 {
+			return 0, ErrCorrupt
+		}
+		return 9, nil
+	case tagString, tagBytes:
+		i := 1
+		for {
+			j := bytes.IndexByte(b[i:], escByte)
+			if j < 0 || i+j+1 >= len(b) {
+				return 0, ErrCorrupt
+			}
+			i += j + 1 // index of the byte following the escape
+			switch b[i] {
+			case escPad:
+				i++
+			case termByte:
+				return i + 1, nil
+			default:
+				return 0, ErrCorrupt
+			}
+		}
+	default:
+		return 0, fmt.Errorf("%w: tag %#x", ErrCorrupt, b[0])
+	}
+}
 
 // Decode parses all values out of an encoded key.
 func Decode(key []byte) ([]Value, error) {

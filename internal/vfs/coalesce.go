@@ -1,0 +1,254 @@
+package vfs
+
+import "sync"
+
+// CoalescingFS wraps an inner FS with per-file write coalescing: strictly
+// sequential WriteAt calls accumulate in a contiguous buffer and reach the
+// inner file as one large WriteAt, so append-heavy flows (WAL appends, sort
+// run spills, index flush snapshots) stop paying one syscall per small
+// write. Durability is unchanged — Sync always flushes the pending buffer
+// before forcing the inner file, so everything the engine considers durable
+// really went through the inner file first — and read-your-writes is
+// preserved: a ReadAt that could observe the buffered region flushes it
+// first.
+//
+// The buffer state is shared per file *name*, not per handle, so two open
+// handles onto one file (which alias the same inode on OSFS and the same
+// memFile on MemFS) see each other's pending writes through the same flush
+// discipline.
+//
+// MemFS already coalesces internally (a write is a memcpy), so wrapping it
+// is pointless but harmless; the crash sweep runs on bare MemFS/faultfs and
+// is untouched by this layer.
+type CoalescingFS struct {
+	inner   FS
+	bufSize int
+
+	mu     sync.Mutex
+	states map[string]*coalState
+}
+
+// DefaultCoalesceSize is the pending-buffer cap used when NewCoalescingFS is
+// given a non-positive size: large enough to turn page-sized writes into
+// MB-scale ones, small enough to be irrelevant next to the buffer pool.
+const DefaultCoalesceSize = 1 << 20
+
+// coalState is one file's shared pending write buffer: the contiguous byte
+// range [off, off+len(buf)) not yet written through. refs counts open
+// handles; the state dies with the last one.
+type coalState struct {
+	mu   sync.Mutex
+	buf  []byte
+	off  int64
+	refs int
+}
+
+// NewCoalescingFS wraps inner with write coalescing. bufSize <= 0 selects
+// DefaultCoalesceSize.
+func NewCoalescingFS(inner FS, bufSize int) *CoalescingFS {
+	if bufSize <= 0 {
+		bufSize = DefaultCoalesceSize
+	}
+	return &CoalescingFS{inner: inner, bufSize: bufSize, states: make(map[string]*coalState)}
+}
+
+func (fs *CoalescingFS) attach(name string, f File) File {
+	fs.mu.Lock()
+	st, ok := fs.states[name]
+	if !ok {
+		st = &coalState{}
+		fs.states[name] = st
+	}
+	st.refs++
+	fs.mu.Unlock()
+	return &coalFile{fs: fs, name: name, inner: f, st: st}
+}
+
+func (fs *CoalescingFS) detach(name string, st *coalState) {
+	fs.mu.Lock()
+	st.refs--
+	if st.refs == 0 {
+		delete(fs.states, name)
+	}
+	fs.mu.Unlock()
+}
+
+// Create implements FS. Creating truncates, so any pending state from a
+// prior incarnation of the name is dropped.
+func (fs *CoalescingFS) Create(name string) (File, error) {
+	f, err := fs.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	h := fs.attach(name, f)
+	ch := h.(*coalFile)
+	ch.st.mu.Lock()
+	ch.st.buf = ch.st.buf[:0]
+	ch.st.off = 0
+	ch.st.mu.Unlock()
+	return h, nil
+}
+
+// Open implements FS.
+func (fs *CoalescingFS) Open(name string) (File, error) {
+	f, err := fs.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return fs.attach(name, f), nil
+}
+
+// Remove implements FS. Pending writes to a removed file are moot and are
+// simply dropped with the name.
+func (fs *CoalescingFS) Remove(name string) error {
+	fs.mu.Lock()
+	if st, ok := fs.states[name]; ok {
+		st.mu.Lock()
+		st.buf = st.buf[:0]
+		st.mu.Unlock()
+	}
+	fs.mu.Unlock()
+	return fs.inner.Remove(name)
+}
+
+// Exists implements FS.
+func (fs *CoalescingFS) Exists(name string) (bool, error) { return fs.inner.Exists(name) }
+
+// List implements FS.
+func (fs *CoalescingFS) List() ([]string, error) { return fs.inner.List() }
+
+// coalFile is one handle onto a coalesced file. All handles onto the same
+// name share st; inner writes go through whichever handle performs the
+// flush (same inode either way).
+type coalFile struct {
+	fs    *CoalescingFS
+	name  string
+	inner File
+	st    *coalState
+}
+
+// flushLocked writes the pending buffer through. Caller holds st.mu.
+func (c *coalFile) flushLocked() error {
+	if len(c.st.buf) == 0 {
+		return nil
+	}
+	if _, err := c.inner.WriteAt(c.st.buf, c.st.off); err != nil {
+		return err
+	}
+	c.st.off += int64(len(c.st.buf))
+	c.st.buf = c.st.buf[:0]
+	return nil
+}
+
+func (c *coalFile) WriteAt(p []byte, off int64) (int, error) {
+	c.st.mu.Lock()
+	defer c.st.mu.Unlock()
+	st := c.st
+	if off != st.off+int64(len(st.buf)) {
+		// Not a continuation of the buffered region: write the pending bytes
+		// through and restart the buffer at the new offset. Correctness never
+		// depends on coalescing, so non-sequential patterns (concurrent WAL
+		// reservations landing out of order, page rewrites) just degrade to
+		// pass-through.
+		if err := c.flushLocked(); err != nil {
+			return 0, err
+		}
+		st.off = off
+	}
+	st.buf = append(st.buf, p...)
+	if len(st.buf) >= c.fs.bufSize {
+		if err := c.flushLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+
+func (c *coalFile) ReadAt(p []byte, off int64) (int, error) {
+	c.st.mu.Lock()
+	// Only a read entirely below the buffered region can safely bypass the
+	// pending bytes; anything at or past st.off (including reads beyond the
+	// inner EOF that the buffer would extend) must see them.
+	if len(c.st.buf) > 0 && off+int64(len(p)) > c.st.off {
+		if err := c.flushLocked(); err != nil {
+			c.st.mu.Unlock()
+			return 0, err
+		}
+	}
+	c.st.mu.Unlock()
+	return c.inner.ReadAt(p, off)
+}
+
+func (c *coalFile) Size() (int64, error) {
+	c.st.mu.Lock()
+	pendingEnd := c.st.off + int64(len(c.st.buf))
+	pending := len(c.st.buf) > 0
+	c.st.mu.Unlock()
+	size, err := c.inner.Size()
+	if err != nil {
+		return 0, err
+	}
+	if pending && pendingEnd > size {
+		size = pendingEnd
+	}
+	return size, nil
+}
+
+func (c *coalFile) Sync() error {
+	c.st.mu.Lock()
+	if err := c.flushLocked(); err != nil {
+		c.st.mu.Unlock()
+		return err
+	}
+	c.st.mu.Unlock()
+	return c.inner.Sync()
+}
+
+func (c *coalFile) Truncate(size int64) error {
+	c.st.mu.Lock()
+	if err := c.flushLocked(); err != nil {
+		c.st.mu.Unlock()
+		return err
+	}
+	c.st.mu.Unlock()
+	return c.inner.Truncate(size)
+}
+
+func (c *coalFile) Close() error {
+	c.st.mu.Lock()
+	err := c.flushLocked()
+	c.st.mu.Unlock()
+	c.fs.detach(c.name, c.st)
+	if cerr := c.inner.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (c *coalFile) Name() string { return c.inner.Name() }
+
+// AdviseSequential forwards the readahead hint to the inner file.
+func (c *coalFile) AdviseSequential() { Advise(c.inner) }
+
+// ---------------------------------------------------------------------------
+// sequential readahead hints
+// ---------------------------------------------------------------------------
+
+// SequentialReader is an optional File extension: AdviseSequential hints
+// that the file is about to be read front to back, letting the backend ask
+// the OS for aggressive readahead (posix_fadvise on Linux). Purely advisory;
+// implementations must not change any visible state.
+type SequentialReader interface {
+	AdviseSequential()
+}
+
+// Advise issues the sequential-read hint if f's backend supports it. Safe to
+// call on any File — a no-op otherwise.
+func Advise(f File) {
+	if s, ok := f.(SequentialReader); ok {
+		s.AdviseSequential()
+	}
+}
+
+// AdviseSequential implements SequentialReader for OS files.
+func (o *osFile) AdviseSequential() { fadviseSequential(o.f.Fd()) }

@@ -1,0 +1,245 @@
+package vfs
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// TestCoalesceSequentialWrites verifies the core contract: many small
+// sequential writes reach the inner FS as few large ones, with identical
+// visible content before and after the flush.
+func TestCoalesceSequentialWrites(t *testing.T) {
+	inner := NewMemFS()
+	fs := NewCoalescingFS(inner, 1<<16)
+	f, err := fs.Create("log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []byte
+	for i := 0; i < 1000; i++ {
+		chunk := bytes.Repeat([]byte{byte(i)}, 37)
+		if _, err := f.WriteAt(chunk, int64(len(want))); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, chunk...)
+	}
+	// Size must include the pending (unflushed) tail.
+	if sz, err := f.Size(); err != nil || sz != int64(len(want)) {
+		t.Fatalf("Size = %d, %v; want %d", sz, err, len(want))
+	}
+	// Reads must see buffered bytes (flush-on-overlap).
+	got := make([]byte, len(want))
+	if _, err := f.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("content diverges from write sequence")
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st := inner.Stats()
+	// 1000 writes of 37 bytes with a 64 KiB buffer should collapse to a
+	// handful of inner writes (37000/65536 rounds to ~1, plus the
+	// flush-on-read). Allow slack but reject pass-through behavior.
+	if st.Writes > 20 {
+		t.Fatalf("inner saw %d writes for 1000 coalesced WriteAts", st.Writes)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoalesceSharedAcrossHandles checks that two handles onto one name share
+// the pending buffer: bytes buffered through one handle are visible through
+// the other, matching the inode aliasing of the inner FS.
+func TestCoalesceSharedAcrossHandles(t *testing.T) {
+	fs := NewCoalescingFS(NewMemFS(), DefaultCoalesceSize)
+	a, err := fs.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fs.Open("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.WriteAt([]byte("pending bytes"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := b.Size(); sz != 13 {
+		t.Fatalf("second handle Size = %d, want 13", sz)
+	}
+	got := make([]byte, 13)
+	if _, err := b.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(got) != "pending bytes" {
+		t.Fatalf("second handle read %q", got)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// With both handles closed the state is gone; a fresh handle reads the
+	// flushed bytes from the inner file.
+	c, err := fs.Open("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(got) != "pending bytes" {
+		t.Fatalf("post-close read %q", got)
+	}
+}
+
+// TestCoalesceDifferential drives the same deterministic pseudo-random op
+// sequence against a bare MemFS and a CoalescingFS-wrapped MemFS and demands
+// byte-identical observations at every step. This is the layer's correctness
+// oracle: coalescing must be invisible to any caller.
+func TestCoalesceDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	plain := NewMemFS()
+	wrapped := NewCoalescingFS(NewMemFS(), 4096) // small buffer: many flush boundaries
+
+	pf, err := plain.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, err := wrapped.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var end int64
+	for step := 0; step < 3000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 5: // sequential append (the coalesced case)
+			n := 1 + rng.Intn(300)
+			p := make([]byte, n)
+			rng.Read(p)
+			if _, err := pf.WriteAt(p, end); err != nil {
+				t.Fatalf("step %d: plain write: %v", step, err)
+			}
+			if _, err := wf.WriteAt(p, end); err != nil {
+				t.Fatalf("step %d: wrapped write: %v", step, err)
+			}
+			end += int64(n)
+		case op < 7: // random-offset overwrite (degrades to pass-through)
+			if end == 0 {
+				continue
+			}
+			off := rng.Int63n(end + 64)
+			n := 1 + rng.Intn(100)
+			p := make([]byte, n)
+			rng.Read(p)
+			if _, err := pf.WriteAt(p, off); err != nil {
+				t.Fatalf("step %d: plain write: %v", step, err)
+			}
+			if _, err := wf.WriteAt(p, off); err != nil {
+				t.Fatalf("step %d: wrapped write: %v", step, err)
+			}
+			if e := off + int64(n); e > end {
+				end = e
+			}
+		case op < 9: // read a random window, compare bytes and result
+			off := rng.Int63n(end + 32)
+			n := 1 + rng.Intn(200)
+			bp := make([]byte, n)
+			bw := make([]byte, n)
+			np, errp := pf.ReadAt(bp, off)
+			nw, errw := wf.ReadAt(bw, off)
+			if np != nw || (errp == nil) != (errw == nil) {
+				t.Fatalf("step %d: ReadAt(%d,%d) = (%d,%v) vs (%d,%v)", step, off, n, np, errp, nw, errw)
+			}
+			if !bytes.Equal(bp[:np], bw[:nw]) {
+				t.Fatalf("step %d: ReadAt(%d,%d) contents diverge", step, off, n)
+			}
+		default: // size / sync / truncate
+			switch rng.Intn(3) {
+			case 0:
+				sp, errp := pf.Size()
+				sw, errw := wf.Size()
+				if sp != sw || (errp == nil) != (errw == nil) {
+					t.Fatalf("step %d: Size = (%d,%v) vs (%d,%v)", step, sp, errp, sw, errw)
+				}
+			case 1:
+				if err := pf.Sync(); err != nil {
+					t.Fatal(err)
+				}
+				if err := wf.Sync(); err != nil {
+					t.Fatal(err)
+				}
+			case 2:
+				if end == 0 {
+					continue
+				}
+				sz := rng.Int63n(end + 1)
+				if err := pf.Truncate(sz); err != nil {
+					t.Fatal(err)
+				}
+				if err := wf.Truncate(sz); err != nil {
+					t.Fatal(err)
+				}
+				end = sz
+			}
+		}
+	}
+	// Final byte-for-byte comparison.
+	sp, _ := pf.Size()
+	sw, _ := wf.Size()
+	if sp != sw {
+		t.Fatalf("final sizes diverge: %d vs %d", sp, sw)
+	}
+	bp := make([]byte, sp)
+	bw := make([]byte, sw)
+	if _, err := pf.ReadAt(bp, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if _, err := wf.ReadAt(bw, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bp, bw) {
+		t.Fatal("final contents diverge")
+	}
+	if err := pf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wf.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoalesceCreateDropsStaleState ensures re-Creating a name discards any
+// pending bytes from a previous handle generation instead of flushing them
+// into the truncated file.
+func TestCoalesceCreateDropsStaleState(t *testing.T) {
+	fs := NewCoalescingFS(NewMemFS(), DefaultCoalesceSize)
+	a, _ := fs.Create("f")
+	if _, err := a.WriteAt([]byte("stale"), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Recreate while the old handle still has pending bytes.
+	b, err := fs.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.WriteAt([]byte("new"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8)
+	n, _ := b.ReadAt(got, 0)
+	if string(got[:n]) != "new" {
+		t.Fatalf("content = %q, want %q", got[:n], "new")
+	}
+	a.Close()
+	b.Close()
+}

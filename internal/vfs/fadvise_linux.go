@@ -1,0 +1,16 @@
+//go:build linux
+
+package vfs
+
+import "syscall"
+
+// posixFadvSequential is POSIX_FADV_SEQUENTIAL: the application expects to
+// read the whole file front to back, so the kernel may double its readahead
+// window.
+const posixFadvSequential = 2
+
+// fadviseSequential hints sequential access over the whole file. Advisory
+// only — errors (e.g. on pipes) are deliberately ignored.
+func fadviseSequential(fd uintptr) {
+	syscall.Syscall6(syscall.SYS_FADVISE64, fd, 0, 0, posixFadvSequential, 0, 0) //nolint:errcheck
+}

@@ -1,0 +1,6 @@
+//go:build !linux
+
+package vfs
+
+// fadviseSequential is a no-op where posix_fadvise is unavailable.
+func fadviseSequential(uintptr) {}

@@ -67,6 +67,11 @@ type Log struct {
 	// spareSeg recycles a retired segment's array so steady-state rotation
 	// ping-pongs between two arrays instead of reallocating.
 	spareSeg []byte
+	// readBuf is ReadAt's reusable record buffer: rollback walks a
+	// transaction's PrevLSN chain one ReadAt per record, so the buffer grows
+	// to the largest record read and is then reused with zero steady-state
+	// allocations (decodeRecord copies the payload out, so reuse is safe).
+	readBuf []byte
 
 	flushing   bool        // a leader is (or is about to be) flushing
 	curEpoch   *flushEpoch // epoch accepting waiters; nil unless flushing
@@ -672,23 +677,51 @@ func VerifyTail(fs vfs.FS) (TailInfo, error) {
 		return ti, err
 	}
 	ti.Size = size
-	data := make([]byte, size)
-	if size > 0 {
-		if _, err := f.ReadAt(data, 0); err != nil && err != io.EOF {
-			return ti, err
+	// Stream the file through a sliding window instead of materializing it:
+	// the window holds the unparsed remainder plus one read chunk, growing
+	// only if a single record exceeds it, and records are validated in place
+	// (no per-record payload copy). The crash sweep calls this once per
+	// fault schedule, so the old whole-file allocation was O(schedules ×
+	// log size).
+	const verifyChunk = 1 << 16
+	buf := make([]byte, 0, 2*verifyChunk)
+	pos := 0         // parse position within buf
+	next := int64(0) // next unread file offset; buf[pos:] == file[valid, next)
+	for {
+		n, err := validateRecord(buf[pos:])
+		if err == nil {
+			pos += n
+			ti.Records++
+			ti.Valid += int64(n)
+			continue
 		}
-	}
-	off := 0
-	for off < len(data) {
-		_, n, err := decodeRecord(data[off:])
-		if err != nil {
-			ti.Torn = true
-			break
+		if err == errTruncated && next < size {
+			// The window may simply be short: slide the remainder to the
+			// front and top up with one more chunk.
+			buf = append(buf[:0], buf[pos:]...)
+			pos = 0
+			take := int64(verifyChunk)
+			if take > size-next {
+				take = size - next
+			}
+			if cap(buf)-len(buf) < int(take) {
+				// One record is larger than the window (oversized payloads
+				// get dedicated log segments): grow once and keep the array.
+				grown := make([]byte, len(buf), len(buf)+int(take)+verifyChunk)
+				copy(grown, buf)
+				buf = grown
+			}
+			start := len(buf)
+			buf = buf[:start+int(take)]
+			if _, err := f.ReadAt(buf[start:], next); err != nil && err != io.EOF {
+				return ti, err
+			}
+			next += take
+			continue
 		}
-		off += n
-		ti.Records++
+		break
 	}
-	ti.Valid = int64(off)
+	ti.Torn = ti.Valid < size
 	return ti, nil
 }
 
@@ -794,17 +827,91 @@ func (it *Iterator) Next() (Record, bool, error) {
 
 // ReadAt returns the single record stored at the given LSN. Rollback uses it
 // to walk a transaction's PrevLSN chain.
+//
+// Unlike NewIterator it does not snapshot the log: the record is located in
+// whichever region holds it — the durable file prefix (read through the
+// reusable scratch buffer), the in-flight flush buffer, or the sealed head —
+// so a rollback over a large log costs one bounded read per record instead
+// of one whole-log copy per record.
 func (l *Log) ReadAt(lsn types.LSN) (Record, error) {
-	it, err := l.NewIterator(lsn)
-	if err != nil {
-		return Record{}, err
-	}
-	r, ok, err := it.Next()
-	if err != nil {
-		return Record{}, err
-	}
-	if !ok {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if lsn == types.NilLSN {
 		return Record{}, fmt.Errorf("wal: no record at LSN %d", lsn)
 	}
+	// Rotate completed appends into head so the record is addressable
+	// whether it is durable, mid-flush, or only buffered — the same
+	// visibility NewIterator establishes. When the active segment is empty
+	// the rotation would be a no-op, so skip it: a rollback chain walked
+	// after a force then costs no segment churn (and no allocation) at all.
+	if s := l.seg.Load(); s.state.Load()&^segSealed != 0 {
+		l.head = l.sealRotateLocked()
+	}
+	size, err := l.f.Size()
+	if err != nil {
+		return Record{}, err
+	}
+	durable := int64(l.flushed - 1)
+	if durable > size {
+		durable = size
+	}
+	pos := int64(lsn - 1)
+	// Flushes cover whole records, so a record never straddles the
+	// durable/inflight or inflight/head boundaries: exactly one region
+	// holds it end to end.
+	var b []byte
+	switch {
+	case pos < durable:
+		b, err = l.readDurableLocked(pos, durable)
+		if err != nil {
+			return Record{}, err
+		}
+	case pos < durable+int64(len(l.inflight)):
+		b = l.inflight[pos-durable:]
+	case pos < durable+int64(len(l.inflight))+int64(len(l.head)):
+		b = l.head[pos-durable-int64(len(l.inflight)):]
+	default:
+		return Record{}, fmt.Errorf("wal: no record at LSN %d", lsn)
+	}
+	r, _, err := decodeRecord(b)
+	if err != nil {
+		return Record{}, err
+	}
+	r.LSN = lsn
 	return r, nil
+}
+
+// readDurableLocked returns the encoded bytes of the single record starting
+// at file offset pos, reading through l.readBuf. Only bytes below durable
+// are trusted from the file (a failed flush may have written further without
+// making them durable); the frame length is read first, then exactly the
+// record.
+func (l *Log) readDurableLocked(pos, durable int64) ([]byte, error) {
+	if pos+lenSize > durable {
+		return nil, fmt.Errorf("wal: truncated record frame at LSN %d", pos+1)
+	}
+	// The header is read through l.readBuf rather than a stack array: a
+	// stack buffer handed to the vfs.File interface escapes, and this path
+	// must stay allocation-free in steady state.
+	if cap(l.readBuf) < headerSize {
+		l.readBuf = make([]byte, headerSize)
+	}
+	hdr := l.readBuf[:lenSize]
+	if _, err := l.f.ReadAt(hdr, pos); err != nil && err != io.EOF {
+		return nil, err
+	}
+	total := int64(binary.LittleEndian.Uint32(hdr))
+	end := pos + lenSize + crcSize + total
+	if total < fixedSize || end > durable {
+		return nil, fmt.Errorf("wal: corrupt record frame at LSN %d", pos+1)
+	}
+	n := int(end - pos)
+	if cap(l.readBuf) < n {
+		l.readBuf = make([]byte, n)
+	}
+	buf := l.readBuf[:n]
+	if _, err := l.f.ReadAt(buf, pos); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return buf, nil
 }

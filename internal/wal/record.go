@@ -203,22 +203,34 @@ func (r *Record) encode(dst []byte) []byte {
 	return append(dst, r.Payload...)
 }
 
-// decodeRecord parses one record from b. It returns the record, the number
-// of bytes consumed, and an error if the bytes do not form a valid record
-// (torn write at the end of the log).
-func decodeRecord(b []byte) (Record, int, error) {
+// validateRecord checks the framing and CRC of the record at the front of b
+// without materializing it (no payload copy) and returns its encoded length.
+// It accepts exactly the prefixes decodeRecord accepts.
+func validateRecord(b []byte) (int, error) {
 	if len(b) < headerSize {
-		return Record{}, 0, errTruncated
+		return 0, errTruncated
 	}
 	total := binary.LittleEndian.Uint32(b[0:])
 	if total < fixedSize || int(total) > len(b)-lenSize-crcSize {
-		return Record{}, 0, errTruncated
+		return 0, errTruncated
 	}
 	wantCRC := binary.LittleEndian.Uint32(b[4:])
 	end := lenSize + crcSize + int(total)
 	if crc32.Checksum(b[8:end], crcTable) != wantCRC {
-		return Record{}, 0, errBadCRC
+		return 0, errBadCRC
 	}
+	return end, nil
+}
+
+// decodeRecord parses one record from b. It returns the record, the number
+// of bytes consumed, and an error if the bytes do not form a valid record
+// (torn write at the end of the log).
+func decodeRecord(b []byte) (Record, int, error) {
+	end, err := validateRecord(b)
+	if err != nil {
+		return Record{}, 0, err
+	}
+	total := binary.LittleEndian.Uint32(b[0:])
 	r := Record{
 		Type:     RecType(b[8]),
 		Flags:    Flags(b[9]),

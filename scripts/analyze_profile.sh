@@ -1,0 +1,44 @@
+#!/usr/bin/env sh
+# Summarize pprof profiles captured by `benchtab -diskbench -cpuprofile/-memprofile`.
+#
+# Usage:
+#   scripts/analyze_profile.sh cpu.pprof [heap.pprof ...]
+#
+# For each profile this prints the top-25 flat consumers plus, for heap
+# profiles, the same ranking by allocation count (alloc_objects) — the view
+# that drives the allocs_per_row optimization loop. Output is plain text so
+# CI can archive it as an artifact next to the raw profiles.
+#
+# Requires only the go toolchain (`go tool pprof`), no graphviz.
+set -eu
+
+if [ "$#" -lt 1 ]; then
+    echo "usage: $0 <profile.pprof> [more.pprof ...]" >&2
+    exit 2
+fi
+
+for prof in "$@"; do
+    if [ ! -f "$prof" ]; then
+        echo "analyze_profile: no such profile: $prof" >&2
+        exit 1
+    fi
+    echo "==================================================================="
+    echo "== $prof"
+    echo "==================================================================="
+    # Heap profiles contain an alloc_objects sample type; CPU profiles don't.
+    # Probe for it instead of guessing from the file name.
+    if go tool pprof -sample_index=alloc_objects -top -nodecount=1 "$prof" >/dev/null 2>&1; then
+        echo "--- top 25 by allocated objects (alloc_objects) ---"
+        go tool pprof -sample_index=alloc_objects -top -nodecount=25 "$prof"
+        echo
+        echo "--- top 25 by allocated bytes (alloc_space) ---"
+        go tool pprof -sample_index=alloc_space -top -nodecount=25 "$prof"
+    else
+        echo "--- top 25 by flat CPU ---"
+        go tool pprof -top -nodecount=25 "$prof"
+        echo
+        echo "--- cumulative view (who calls the hot paths) ---"
+        go tool pprof -top -cum -nodecount=25 "$prof"
+    fi
+    echo
+done

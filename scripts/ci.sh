@@ -48,6 +48,20 @@
 #                      records the sortbench matrix — whose last two rows are
 #                      the compressed-vs-uncompressed pair — in
 #                      BENCH_build.json.
+#   ci.sh bench-disk   the on-disk build pipeline, nightly size: the
+#                      allocation gate (offline build must stay within 20%
+#                      of the post-optimization allocs/row baseline) plus a
+#                      1M-row -diskbench matrix on a real filesystem with
+#                      CPU/heap profiles summarized by analyze_profile.sh
+#                      and kept as run artifacts, records merged into
+#                      BENCH_build.json. 1M rows (~100 MB scratch) stays
+#                      tmpfs-safe on CI runners; the full 10M numbers in
+#                      EXPERIMENTS.md are produced on a quiet machine.
+#   ci.sh bench-disk-smoke  the per-change slice of the same pipeline: a
+#                      100k-row -diskbench pass proving populate, the three
+#                      build methods and verification work end to end on a
+#                      real filesystem. No thresholds, no profiles, and the
+#                      records go to /tmp so the checkout stays clean.
 #   ci.sh race         focused race-detector pass over the sharded singletons
 #                      (buffer, lock, wal, txn), the read path (cursor
 #                      batching, hash cache, zone maps, engine read stress),
@@ -109,6 +123,15 @@ bench-compress)
     ONLINEINDEX_COMPRESS_GATE=1 go test -run TestCompressSpillGate -v -count=1 -timeout 10m .
     go run ./cmd/benchtab -sortbench 200000 -out BENCH_build.json
     ;;
+bench-disk)
+    ONLINEINDEX_ALLOC_GATE=1 go test -run TestBuildAllocGate -v -count=1 -timeout 10m .
+    go run ./cmd/benchtab -diskbench 1000000 \
+        -cpuprofile disk_cpu.pprof -memprofile disk_mem.pprof -out BENCH_build.json
+    scripts/analyze_profile.sh disk_cpu.pprof disk_mem.pprof
+    ;;
+bench-disk-smoke)
+    go run ./cmd/benchtab -diskbench 100000 -out /tmp/diskbench-smoke.json
+    ;;
 race)
     go test -race -count=4 -timeout 20m \
         ./internal/buffer ./internal/lock ./internal/wal ./internal/txn \
@@ -146,7 +169,7 @@ admin-smoke)
     echo "admin-smoke OK"
     ;;
 *)
-    echo "usage: $0 [test|sweep|overhead|bench-commit|bench-sort|bench-conc|bench-read|bench-part|bench-compress|race|admin-smoke]" >&2
+    echo "usage: $0 [test|sweep|overhead|bench-commit|bench-sort|bench-conc|bench-read|bench-part|bench-compress|bench-disk|bench-disk-smoke|race|admin-smoke]" >&2
     exit 2
     ;;
 esac
